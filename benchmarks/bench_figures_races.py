@@ -1,0 +1,53 @@
+"""Figures 2, 3, 4, 6, 7, 8: the race-condition scenarios, deterministic.
+
+Each figure runs under its exact interleaving twice -- the unleased
+baseline exhibits the race, the IQ framework prevents it -- and the
+resulting RDBMS/KVS values are printed as the figure-reproduction table.
+"""
+
+from _common import emit, format_table
+
+from repro.sim import run_all_figures
+
+
+def run_experiment():
+    outcomes = run_all_figures()
+    rows = [
+        [
+            o.figure,
+            o.variant,
+            repr(o.rdbms_value),
+            repr(o.kvs_value),
+            "yes" if o.consistent else "STALE",
+        ]
+        for o in outcomes
+    ]
+    return outcomes, rows
+
+
+def test_figures(benchmark):
+    outcomes, rows = benchmark.pedantic(
+        run_experiment, iterations=1, rounds=3
+    )
+    emit("figures", format_table(
+        "Figures 2/3/4/6/7/8: final RDBMS vs KVS value per interleaving",
+        ["Figure", "Variant", "RDBMS", "KVS", "Consistent"],
+        rows,
+    ))
+    for outcome in outcomes:
+        if outcome.variant.startswith("baseline"):
+            assert not outcome.consistent, outcome
+        else:
+            assert outcome.consistent, outcome
+    # Spot-check the paper's concrete Figure 2 numbers.
+    figure2 = outcomes[0]
+    assert figure2.rdbms_value == 1500 and figure2.kvs_value == 1050
+
+
+if __name__ == "__main__":
+    _outcomes, rows = run_experiment()
+    emit("figures", format_table(
+        "Figures 2/3/4/6/7/8: final RDBMS vs KVS value per interleaving",
+        ["Figure", "Variant", "RDBMS", "KVS", "Consistent"],
+        rows,
+    ))

@@ -1,0 +1,70 @@
+"""Extension benchmark: the IQ framework under a LinkBench workload.
+
+The paper's Section 8 proposes evaluating IQ with LinkBench; this module
+does it.  For each technique the unleased baseline and the IQ
+configuration run the Facebook production operation mix under real
+thread concurrency; the table reports stale percentages and throughput.
+Shape claim mirrored from BG: baselines produce unpredictable reads, IQ
+produces exactly zero at comparable throughput.
+"""
+
+from _common import emit, format_table, pct
+
+from repro.linkbench import LinkBenchRunner, build_linkbench_system
+
+TECHNIQUES = ("invalidate", "refresh", "delta")
+
+
+def run_experiment(threads=8, ops=80, nodes=60):
+    rows = []
+    iq_stale = []
+    ratios = []
+    for technique in TECHNIQUES:
+        cells = [technique]
+        throughputs = {}
+        for leased in (False, True):
+            system = build_linkbench_system(
+                nodes=nodes, initial_degree=3, leased=leased,
+                technique=technique,
+                compute_delay=0.001, write_delay=0.001,
+            )
+            result = LinkBenchRunner(system).run(
+                threads=threads, ops_per_thread=ops
+            )
+            throughputs[leased] = result.throughput
+            cells.append(pct(result.unpredictable_percentage))
+            cells.append("{:,.0f}".format(result.throughput))
+            if leased:
+                iq_stale.append(result.unpredictable_percentage)
+        ratios.append(throughputs[True] / throughputs[False])
+        rows.append(cells)
+    return rows, iq_stale, ratios
+
+
+HEADERS = [
+    "Technique", "Baseline stale", "Baseline ops/s", "IQ stale", "IQ ops/s",
+]
+
+
+def test_linkbench(benchmark):
+    rows, iq_stale, ratios = benchmark.pedantic(
+        run_experiment, kwargs={"threads": 6, "ops": 60},
+        iterations=1, rounds=1,
+    )
+    emit("linkbench", format_table(
+        "LinkBench extension: stale reads and throughput, baseline vs IQ",
+        HEADERS, rows,
+    ))
+    assert all(value == 0.0 for value in iq_stale)
+    for ratio in ratios:
+        assert ratio > 0.4  # IQ throughput in the same ballpark
+
+
+if __name__ == "__main__":
+    rows, _stale, ratios = run_experiment(threads=8, ops=150, nodes=100)
+    emit("linkbench", format_table(
+        "LinkBench extension: stale reads and throughput, baseline vs IQ",
+        HEADERS, rows,
+    ))
+    print("IQ/baseline throughput ratios:",
+          ", ".join("{:.2f}".format(r) for r in ratios))

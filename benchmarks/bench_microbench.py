@@ -1,0 +1,133 @@
+"""Microbenchmarks: substrate costs and the IQ framework's overhead.
+
+Supports the paper's "the overhead of the IQ framework is negligible"
+claim at command granularity: an IQget/IQset cycle vs a raw get/set
+cycle, QaRead/SaR vs gets/cas, and wire-protocol round trips.
+"""
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.kvs.store import CacheStore
+from repro.sql.engine import Database
+
+
+@pytest.fixture(scope="module")
+def warm_store():
+    store = CacheStore()
+    for i in range(1000):
+        store.set("key{}".format(i), b"x" * 64)
+    return store
+
+
+@pytest.fixture(scope="module")
+def warm_iq():
+    server = IQServer()
+    for i in range(1000):
+        server.store.set("key{}".format(i), b"x" * 64)
+    return server
+
+
+def test_kvs_get(benchmark, warm_store):
+    benchmark(lambda: warm_store.get("key500"))
+
+
+def test_kvs_set(benchmark, warm_store):
+    benchmark(lambda: warm_store.set("key500", b"y" * 64))
+
+
+def test_kvs_cas_cycle(benchmark, warm_store):
+    def cycle():
+        _v, _f, cas_id = warm_store.gets("key500")
+        warm_store.cas("key500", b"z" * 64, cas_id)
+
+    benchmark(cycle)
+
+
+def test_iqget_hit_overhead(benchmark, warm_iq):
+    """The IQ read path on a hit -- paper claim: negligible overhead."""
+    benchmark(lambda: warm_iq.iq_get("key500"))
+
+
+def test_iq_read_session_miss_cycle(benchmark):
+    server = IQServer()
+    counter = [0]
+
+    def cycle():
+        counter[0] += 1
+        key = "k{}".format(counter[0])
+        result = server.iq_get(key)
+        server.iq_set(key, b"v", result.token)
+
+    benchmark(cycle)
+
+
+def test_iq_refresh_cycle(benchmark, warm_iq):
+    def cycle():
+        tid = warm_iq.gen_id()
+        old = warm_iq.qaread("key501", tid).value
+        warm_iq.sar("key501", old, tid)
+
+    benchmark(cycle)
+
+
+def test_iq_invalidate_cycle(benchmark, warm_iq):
+    def cycle():
+        warm_iq.store.set("key502", b"v")
+        tid = warm_iq.gen_id()
+        warm_iq.qar(tid, "key502")
+        warm_iq.dar(tid)
+
+    benchmark(cycle)
+
+
+@pytest.fixture(scope="module")
+def warm_db():
+    db = Database()
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, val INTEGER)"
+    )
+    for i in range(1000):
+        connection.execute(
+            "INSERT INTO t (id, val) VALUES (?, ?)", (i, i)
+        )
+    connection.execute("CREATE INDEX t_val ON t (val)")
+    connection.close()
+    return db
+
+
+def test_sql_point_select(benchmark, warm_db):
+    connection = warm_db.connect()
+    benchmark(
+        lambda: connection.query_one("SELECT * FROM t WHERE id = ?", (500,))
+    )
+
+
+def test_sql_indexed_select(benchmark, warm_db):
+    connection = warm_db.connect()
+    benchmark(
+        lambda: connection.query_one("SELECT * FROM t WHERE val = ?", (500,))
+    )
+
+
+def test_sql_update(benchmark, warm_db):
+    connection = warm_db.connect()
+    benchmark(
+        lambda: connection.execute(
+            "UPDATE t SET val = val + 1 WHERE id = ?", (500,)
+        )
+    )
+
+
+def test_wire_roundtrip(benchmark):
+    from repro.net import RemoteIQServer, serve_background
+
+    server, _thread = serve_background()
+    remote = RemoteIQServer(port=server.port)
+    remote.set("k", b"v" * 64)
+    try:
+        benchmark(lambda: remote.get("k"))
+    finally:
+        remote.close()
+        server.shutdown()

@@ -1,0 +1,99 @@
+"""Table 8: SoAR parity of Twemcache vs IQ-Twemcached (warm cache).
+
+Paper: with a fully utilized cache server and a warm cache, the IQ
+framework's overhead is negligible -- SoAR within ~1% of the baseline for
+invalidate and refresh across the three mixes (both ~29-31K actions/s on
+their testbed).
+
+We reproduce the *parity* claim: measured warm-cache throughput of the IQ
+configuration stays within a modest factor of the unleased baseline on
+the same substrate.  Absolute numbers are Python-substrate-specific and
+not comparable to the paper's testbed.
+"""
+
+from _common import emit, format_table
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import MIXES
+
+MIX_LABELS = ["0.1%", "1%", "10%"]
+
+
+def throughput(mix_label, technique, leased, threads=8, ops=200, seed=17):
+    system = build_bg_system(
+        members=80, friends_per_member=6, resources_per_member=2,
+        technique=technique, leased=leased, mix=MIXES[mix_label], seed=seed,
+    )
+    result = system.runner.run(
+        threads=threads, ops_per_thread=ops, warmup_ops=30
+    )
+    return result.throughput
+
+
+def run_experiment(threads=8, ops=200):
+    rows = []
+    ratios = []
+    for label in MIX_LABELS:
+        cells = [label]
+        for technique in (Technique.INVALIDATE, Technique.REFRESH):
+            base = throughput(label, technique, leased=False,
+                              threads=threads, ops=ops)
+            with_iq = throughput(label, technique, leased=True,
+                                 threads=threads, ops=ops)
+            ratios.append(with_iq / base)
+            cells.extend(["{:,.0f}".format(base), "{:,.0f}".format(with_iq)])
+        rows.append(cells)
+    return rows, ratios
+
+
+HEADERS = [
+    "Mix", "Invalidate/Twemcache", "Invalidate/IQ",
+    "Refresh/Twemcache", "Refresh/IQ",
+]
+
+
+def test_table8(benchmark):
+    rows, ratios = benchmark.pedantic(
+        run_experiment, kwargs={"threads": 6, "ops": 150},
+        iterations=1, rounds=1,
+    )
+    emit("table8", format_table(
+        "Table 8: warm-cache throughput, actions/s "
+        "(SoAR parity of Twemcache vs IQ-Twemcached)",
+        HEADERS, rows,
+    ))
+    # Parity claim: IQ within 2x in both directions (the paper finds ~1x;
+    # Python scheduling noise warrants slack).
+    for ratio in ratios:
+        assert 0.5 <= ratio <= 2.0, ratios
+
+
+def test_soar_search_runs(benchmark):
+    """Exercise the full SoAR doubling/bisection rater once."""
+    from repro.bg.soar import SoARRater
+
+    system = build_bg_system(
+        members=60, friends_per_member=4, resources_per_member=2,
+        mix=MIXES["1%"],
+    )
+
+    def rate():
+        rater = SoARRater(
+            system.runner, probe_duration=0.2, max_threads=4, warmup_ops=10
+        )
+        return rater.rate()
+
+    result = benchmark.pedantic(rate, iterations=1, rounds=1)
+    assert result.soar > 0
+
+
+if __name__ == "__main__":
+    rows, ratios = run_experiment(threads=12, ops=400)
+    emit("table8", format_table(
+        "Table 8: warm-cache throughput, actions/s "
+        "(SoAR parity of Twemcache vs IQ-Twemcached)",
+        HEADERS, rows,
+    ))
+    print("IQ/baseline throughput ratios:",
+          ", ".join("{:.2f}".format(r) for r in ratios))

@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable as top-level modules."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

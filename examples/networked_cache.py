@@ -1,0 +1,80 @@
+"""IQ-Twemcached over TCP: the full client/server deployment shape.
+
+Starts the cache server on a real socket, connects with the wire-protocol
+client, and runs the same session patterns an application would -- read
+sessions with I leases, a refresh write session with QaRead/SaR, and an
+incremental-update session -- all across the network boundary, ending
+with the server's `stats` output.
+
+Run:  python examples/networked_cache.py
+"""
+
+from repro.core import IQClient
+from repro.net import RemoteIQServer, serve_background
+from repro.sql import Database
+
+
+def main():
+    server, _thread = serve_background()
+    print("IQ-Twemcached listening on 127.0.0.1:{}".format(server.port))
+
+    db = Database()
+    setup = db.connect()
+    setup.execute("CREATE TABLE counters (id INTEGER PRIMARY KEY, n INTEGER)")
+    setup.execute("INSERT INTO counters (id, n) VALUES (1, 10)")
+    setup.close()
+
+    remote = RemoteIQServer(port=server.port)
+    print("server version:", remote.version())
+
+    # -- Read session over the wire ----------------------------------------
+    client = IQClient(remote)
+
+    def compute():
+        connection = db.connect()
+        try:
+            value = connection.query_scalar(
+                "SELECT n FROM counters WHERE id = 1"
+            )
+            return str(value).encode()
+        finally:
+            connection.close()
+
+    value = client.read_through("counter:1", compute)
+    print("read-through over TCP:", value)
+
+    # -- Refresh write session (QaRead / SaR) -------------------------------
+    tid = remote.gen_id()
+    old = remote.qaread("counter:1", tid).value
+    connection = db.connect()
+    connection.begin()
+    connection.execute("UPDATE counters SET n = n + 5 WHERE id = 1")
+    connection.commit()
+    connection.close()
+    remote.sar("counter:1", str(int(old) + 5).encode(), tid)
+    print("after refresh session:", remote.get("counter:1")[0])
+
+    # -- Incremental update session (IQ-delta) -------------------------------
+    tid = remote.gen_id()
+    remote.iq_delta(tid, "counter:1", "incr", b"1")
+    connection = db.connect()
+    connection.execute("UPDATE counters SET n = n + 1 WHERE id = 1")
+    connection.close()
+    remote.commit(tid)
+    print("after delta session:  ", remote.get("counter:1")[0])
+
+    db_value = db.connect().query_scalar("SELECT n FROM counters WHERE id = 1")
+    assert remote.get("counter:1")[0] == str(db_value).encode()
+    print("KVS agrees with RDBMS:", db_value)
+
+    print("\nserver stats (nonzero):")
+    for name, value in sorted(remote.stats().items()):
+        if value:
+            print("  {}: {}".format(name, value))
+
+    remote.close()
+    server.shutdown()
+
+
+if __name__ == "__main__":
+    main()

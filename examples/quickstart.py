@@ -1,0 +1,78 @@
+"""Quickstart: a cache-augmented SQL system with strong consistency.
+
+Builds the three pieces of a CASQL deployment -- an RDBMS, an
+IQ-Twemcached cache server, and the consistency client -- then runs read
+and write sessions against a tiny inventory application and shows that
+the cache always agrees with the database.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.casql import CASQLFacade
+from repro.core import IQClient, IQServer
+from repro.core.policies import IQInvalidateClient, KeyChange
+from repro.sql import Database
+
+
+def main():
+    # 1. The RDBMS: an in-process engine with snapshot isolation.
+    db = Database("inventory")
+    setup = db.connect()
+    setup.execute(
+        "CREATE TABLE products (id INTEGER PRIMARY KEY,"
+        " name TEXT NOT NULL, stock INTEGER NOT NULL)"
+    )
+    setup.execute(
+        "INSERT INTO products (id, name, stock) VALUES"
+        " (1, 'widget', 100), (2, 'gadget', 25)"
+    )
+    setup.close()
+
+    # 2. The KVS: IQ-Twemcached (Twemcache semantics + I/Q leases).
+    server = IQServer()
+
+    # 3. The consistency client: invalidate technique with IQ leases.
+    consistency = IQInvalidateClient(IQClient(server), db.connect)
+    app = CASQLFacade(consistency, db.connect)
+
+    # -- Read sessions: query-result caching -------------------------------
+    key = "product:1"
+    rows = app.cached_query(
+        "SELECT name, stock FROM products WHERE id = ?", (1,), key=key
+    )
+    print("first read (RDBMS miss -> computed):", rows)
+    rows = app.cached_query(
+        "SELECT name, stock FROM products WHERE id = ?", (1,), key=key
+    )
+    print("second read (KVS hit):            ", rows)
+    print("cache hits so far:", server.stats.get("get_hits"))
+
+    # -- A write session: RDBMS update + cache invalidation, atomically ----
+    def sell_one(session):
+        session.execute(
+            "UPDATE products SET stock = stock - 1 WHERE id = ?", (1,)
+        )
+        return "sold"
+
+    outcome = app.write(sell_one, [KeyChange(key)])
+    print("write session committed (restarts={})".format(outcome.restarts))
+
+    rows = app.cached_query(
+        "SELECT name, stock FROM products WHERE id = ?", (1,), key=key
+    )
+    print("read after write (recomputed):    ", rows)
+    assert rows[0]["stock"] == 99
+
+    # -- Why the leases matter ---------------------------------------------
+    # A reader that misses while a write session is in flight is told to
+    # back off (the Q lease), so it can never install a stale value
+    # computed from a pre-commit snapshot.  See
+    # examples/race_conditions.py for every race in the paper replayed
+    # with and without the framework.
+    print("\nKVS/RDBMS agree; stats:", {
+        k: v for k, v in server.stats.snapshot().items() if v
+    })
+
+
+if __name__ == "__main__":
+    main()

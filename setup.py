@@ -1,0 +1,35 @@
+"""Packaging metadata.
+
+Kept in setup.py (rather than PEP 621 pyproject metadata) so that
+``pip install -e .`` works on minimal/offline environments whose pip
+lacks the ``wheel`` package required by PEP 660 editable builds; with no
+``[build-system]`` table pip falls back to the legacy ``setup.py
+develop`` path, which needs nothing beyond setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Strong Consistency in Cache Augmented SQL "
+        "Systems' (Middleware 2014): the IQ lease framework, a "
+        "Twemcache-semantics KVS, an MVCC snapshot-isolation SQL engine, "
+        "and the BG social-networking benchmark."
+    ),
+    long_description=open("README.md", encoding="utf-8").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,49 @@
+"""The BG social-networking benchmark (Barahmand & Ghandeharizadeh, CIDR'13).
+
+BG rates a data store for interactive social-networking actions and --
+uniquely -- quantifies the amount of *unpredictable* (stale, inconsistent,
+or invalid) data produced in response to read actions.  This package
+reimplements the slice of BG the paper's evaluation uses:
+
+* the social-graph schema and deterministic loader (:mod:`repro.bg.schema`,
+  :mod:`repro.bg.graph`);
+* the nine core actions (:mod:`repro.bg.actions`) implemented as sessions
+  over any consistency client of :mod:`repro.core.policies`;
+* the three workload mixes of Table 5 (:mod:`repro.bg.workload`) and the
+  Zipfian popularity distribution (:mod:`repro.bg.zipfian`);
+* validation of reads against a ground-truth timeline
+  (:mod:`repro.bg.validation`);
+* a multi-threaded driver (:mod:`repro.bg.runner`) and the SoAR rating
+  (:mod:`repro.bg.soar`).
+"""
+
+from repro.bg.actions import BGActions, Technique
+from repro.bg.graph import SocialGraph
+from repro.bg.runner import BenchmarkResult, WorkloadRunner
+from repro.bg.soar import SoARRater
+from repro.bg.validation import ValidationLog
+from repro.bg.workload import (
+    ActionMix,
+    HIGH_WRITE_MIX,
+    LOW_WRITE_MIX,
+    VERY_LOW_WRITE_MIX,
+    mix_with_write_fraction,
+)
+from repro.bg.zipfian import ZipfianGenerator, exponent_for_hotspot
+
+__all__ = [
+    "ActionMix",
+    "BGActions",
+    "BenchmarkResult",
+    "HIGH_WRITE_MIX",
+    "LOW_WRITE_MIX",
+    "SoARRater",
+    "SocialGraph",
+    "Technique",
+    "ValidationLog",
+    "VERY_LOW_WRITE_MIX",
+    "WorkloadRunner",
+    "ZipfianGenerator",
+    "exponent_for_hotspot",
+    "mix_with_write_fraction",
+]

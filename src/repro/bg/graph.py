@@ -1,0 +1,190 @@
+"""Deterministic social-graph generation and loading.
+
+BG "detects [unpredictable data] by maintaining the initial state of a
+data item in the database (by creating them using a deterministic
+function)".  We follow suit: every attribute of every member, friendship,
+and resource is a pure function of the ids and the seed, so the expected
+initial state is recomputable by the validator.
+
+Friendships form a ring: member ``i`` is confirmed friends with its
+``phi/2`` successors and ``phi/2`` predecessors (mod M).  The ring keeps
+the friend count exactly ``phi`` for every member with no rejection
+sampling, while remaining deterministic.
+"""
+
+from repro.bg.schema import STATUS_CONFIRMED, create_bg_database
+from repro.config import BGConfig
+
+
+class SocialGraph:
+    """Generator of the initial social graph state."""
+
+    def __init__(self, config=None):
+        self.config = config or BGConfig()
+        if self.config.friends_per_member >= self.config.members:
+            raise ValueError("friends_per_member must be below members")
+        if self.config.friends_per_member % 2:
+            raise ValueError("friends_per_member must be even (ring halves)")
+
+    # -- deterministic initial state -----------------------------------------------
+
+    def member_ids(self):
+        return range(self.config.members)
+
+    def initial_friends(self, member_id):
+        """The deterministic confirmed-friend set of ``member_id``."""
+        half = self.config.friends_per_member // 2
+        members = self.config.members
+        return frozenset(
+            (member_id + offset) % members
+            for offset in range(-half, half + 1)
+            if offset != 0
+        )
+
+    def initial_profile(self, member_id):
+        """The initial ``users`` row as a dict."""
+        return {
+            "userid": member_id,
+            "username": "member{}".format(member_id),
+            "pw": "pw{}".format(member_id),
+            "firstname": "First{}".format(member_id),
+            "lastname": "Last{}".format(member_id),
+            "gender": "F" if member_id % 2 else "M",
+            "dob": "1990-01-{:02d}".format(member_id % 28 + 1),
+            "jdate": "2014-01-01",
+            "ldate": "2014-06-01",
+            "address": "{} Main St".format(member_id),
+            "email": "member{}@bg.bench".format(member_id),
+            "tel": "555-{:07d}".format(member_id),
+            "pendingcount": 0,
+            "friendcount": self.config.friends_per_member,
+            "resourcecount": self.config.resources_per_member,
+        }
+
+    def resource_ids_of(self, member_id):
+        """Resources posted on ``member_id``'s wall (deterministic ids)."""
+        rho = self.config.resources_per_member
+        base = member_id * rho
+        return range(base, base + rho)
+
+    def initial_resource(self, rid, comments_per_resource=0):
+        rho = self.config.resources_per_member
+        wall = rid // rho
+        return {
+            "rid": rid,
+            "creatorid": wall,
+            "walluserid": wall,
+            "type": "image",
+            "body": "resource body {}".format(rid),
+            "doc": "doc{}".format(rid),
+            "commentcount": comments_per_resource,
+        }
+
+    def total_resources(self):
+        return self.config.members * self.config.resources_per_member
+
+    # -- loading ---------------------------------------------------------------------
+
+    def load(self, db=None, comments_per_resource=2, batch=500):
+        """Populate a database with the initial graph; returns the db."""
+        if db is None:
+            db = create_bg_database()
+        connection = db.connect()
+        try:
+            self._load_users(connection, batch)
+            self._load_friendships(connection, batch)
+            self._load_resources(connection, batch, comments_per_resource)
+            self._load_comments(connection, comments_per_resource, batch)
+        finally:
+            connection.close()
+        return db
+
+    def _load_users(self, connection, batch):
+        columns = (
+            "userid, username, pw, firstname, lastname, gender, dob, jdate,"
+            " ldate, address, email, tel, pendingcount, friendcount,"
+            " resourcecount"
+        )
+        placeholders = "(" + ", ".join(["?"] * 15) + ")"
+        pending = []
+        for member_id in self.member_ids():
+            profile = self.initial_profile(member_id)
+            pending.append(tuple(profile.values()))
+            if len(pending) >= batch:
+                self._flush(connection, "users", columns, placeholders, pending)
+        self._flush(connection, "users", columns, placeholders, pending)
+
+    def _load_friendships(self, connection, batch):
+        columns = "inviterid, inviteeid, status"
+        placeholders = "(?, ?, ?)"
+        pending = []
+        half = self.config.friends_per_member // 2
+        members = self.config.members
+        for member_id in self.member_ids():
+            # Store both directions; generate each unordered pair once by
+            # emitting only the "successor" half per member.
+            for offset in range(1, half + 1):
+                other = (member_id + offset) % members
+                pending.append((member_id, other, STATUS_CONFIRMED))
+                pending.append((other, member_id, STATUS_CONFIRMED))
+                if len(pending) >= batch:
+                    self._flush(
+                        connection, "friendship", columns, placeholders, pending
+                    )
+        self._flush(connection, "friendship", columns, placeholders, pending)
+
+    def _load_resources(self, connection, batch, comments_per_resource=0):
+        columns = "rid, creatorid, walluserid, type, body, doc, commentcount"
+        placeholders = "(?, ?, ?, ?, ?, ?, ?)"
+        pending = []
+        for rid in range(self.total_resources()):
+            resource = self.initial_resource(rid, comments_per_resource)
+            pending.append(tuple(resource.values()))
+            if len(pending) >= batch:
+                self._flush(
+                    connection, "resources", columns, placeholders, pending
+                )
+        self._flush(connection, "resources", columns, placeholders, pending)
+
+    def _load_comments(self, connection, comments_per_resource, batch):
+        columns = "mid, creatorid, rid, modifierid, timestamp, type, content"
+        placeholders = "(?, ?, ?, ?, ?, ?, ?)"
+        pending = []
+        mid = 0
+        for rid in range(self.total_resources()):
+            owner = rid // self.config.resources_per_member
+            for i in range(comments_per_resource):
+                pending.append(
+                    (
+                        mid,
+                        owner,
+                        rid,
+                        owner,
+                        "2014-06-{:02d}".format(i % 28 + 1),
+                        "comment",
+                        "comment {} on {}".format(i, rid),
+                    )
+                )
+                mid += 1
+                if len(pending) >= batch:
+                    self._flush(
+                        connection, "manipulations", columns, placeholders,
+                        pending,
+                    )
+        self._flush(connection, "manipulations", columns, placeholders, pending)
+
+    @staticmethod
+    def _flush(connection, table, columns, placeholders, pending):
+        if not pending:
+            return
+        width = placeholders.count("?")
+        sql = "INSERT INTO {} ({}) VALUES {}".format(
+            table, columns, ", ".join([placeholders] * len(pending))
+        )
+        params = []
+        for row in pending:
+            if len(row) != width:
+                raise ValueError("row width mismatch loading {}".format(table))
+            params.extend(row)
+        connection.execute(sql, params)
+        pending.clear()

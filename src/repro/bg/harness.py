@@ -1,0 +1,126 @@
+"""One-call assembly of a complete CASQL + BG deployment.
+
+The evaluation compares many configurations -- {invalidate, refresh,
+delta} x {IQ-leased, unleased baseline} x {Q-acquisition prior/during} x
+graph sizes -- and every benchmark, example, and integration test needs
+the same plumbing: database, loaded graph, cache server, consistency
+client, actions, validation log, registry, runner.  :func:`build_bg_system`
+builds it all.
+"""
+
+from repro.bg.actions import BGActions, Technique
+from repro.bg.graph import SocialGraph
+from repro.bg.registry import FriendshipRegistry
+from repro.bg.runner import WorkloadRunner
+from repro.bg.validation import ValidationLog
+from repro.casql.keys import KeySpace
+from repro.config import BGConfig, KVSConfig, LeaseConfig
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    BaselineDeltaClient,
+    BaselineInvalidateClient,
+    BaselineRefreshClient,
+    DeleteTiming,
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+)
+from repro.core.session import AcquisitionMode
+from repro.kvs.read_lease import ReadLeaseStore
+
+
+class BGSystem:
+    """The assembled components of one benchmark configuration."""
+
+    def __init__(self, db, cache, consistency_client, actions, registry,
+                 runner, log, graph):
+        self.db = db
+        #: the IQServer (leased) or ReadLeaseStore (baseline)
+        self.cache = cache
+        self.consistency_client = consistency_client
+        self.actions = actions
+        self.registry = registry
+        self.runner = runner
+        self.log = log
+        self.graph = graph
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+
+def build_bg_system(members=200, friends_per_member=10,
+                    resources_per_member=3, technique=Technique.INVALIDATE,
+                    leased=True, mode=AcquisitionMode.DURING,
+                    mix=None, compute_delay=0.0, write_delay=0.0,
+                    delete_timing=DeleteTiming.DURING_TRANSACTION,
+                    serve_pending_versions=True, validate=True, seed=42,
+                    comments_per_resource=1, hotspot=(0.2, 0.7),
+                    backoff=None, hot_writes=False):
+    """Build and load a full BG deployment; returns a :class:`BGSystem`.
+
+    ``leased`` selects the IQ framework; otherwise the unleased baseline
+    (Twemcache with Facebook read leases) runs the same technique and
+    exhibits the paper's races.  Defaults are laptop-scale; the Table 7
+    benchmarks pass the paper's 10K/100K-member graph shapes (scaled).
+    """
+    from repro.bg.workload import LOW_WRITE_MIX
+
+    config = BGConfig(
+        members=members,
+        friends_per_member=friends_per_member,
+        resources_per_member=resources_per_member,
+        seed=seed,
+    )
+    graph = SocialGraph(config)
+    db = graph.load(comments_per_resource=comments_per_resource)
+    log = ValidationLog() if validate else None
+    keyspace = KeySpace()
+
+    lease_config = LeaseConfig(serve_pending_versions=serve_pending_versions)
+
+    if leased:
+        server = IQServer(
+            kvs_config=KVSConfig(), lease_config=lease_config
+        )
+        iq_client = IQClient(server, backoff=backoff)
+        client_class = {
+            Technique.INVALIDATE: IQInvalidateClient,
+            Technique.REFRESH: IQRefreshClient,
+            Technique.DELTA: IQDeltaClient,
+        }[technique]
+        consistency_client = client_class(
+            iq_client, db.connect, mode=mode, backoff=backoff
+        )
+        cache = server
+    else:
+        store = ReadLeaseStore(lease_config=lease_config)
+        if technique is Technique.INVALIDATE:
+            consistency_client = BaselineInvalidateClient(
+                store, db.connect, timing=delete_timing, backoff=backoff
+            )
+        elif technique is Technique.REFRESH:
+            consistency_client = BaselineRefreshClient(
+                store, db.connect, backoff=backoff
+            )
+        else:
+            consistency_client = BaselineDeltaClient(
+                store, db.connect, backoff=backoff
+            )
+        cache = store
+
+    actions = BGActions(
+        db, consistency_client, graph, keyspace=keyspace, log=log,
+        technique=technique, compute_delay=compute_delay,
+        write_delay=write_delay,
+    )
+    actions.register_validation()
+    registry = FriendshipRegistry(graph)
+    runner = WorkloadRunner(
+        actions, mix or LOW_WRITE_MIX, registry=registry, seed=seed,
+        hotspot=hotspot, hot_writes=hot_writes,
+    )
+    return BGSystem(
+        db, cache, consistency_client, actions, registry, runner, log, graph
+    )

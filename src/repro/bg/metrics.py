@@ -1,0 +1,92 @@
+"""Aggregated results of a benchmark run."""
+
+
+class RestartStats:
+    """Average/maximum restart counts of sessions that restarted.
+
+    Table 6 reports "the average and maximum number of times a restarted
+    session attempts to obtain its Q lease": sessions with zero restarts
+    are excluded from the average.
+    """
+
+    def __init__(self, restarts):
+        self.all_sessions = list(restarts)
+        self.restarted = [r for r in self.all_sessions if r > 0]
+
+    @property
+    def sessions(self):
+        return len(self.all_sessions)
+
+    @property
+    def restarted_sessions(self):
+        return len(self.restarted)
+
+    @property
+    def average(self):
+        """Mean restarts over restarted sessions (0 when none restarted)."""
+        if not self.restarted:
+            return 0.0
+        return sum(self.restarted) / len(self.restarted)
+
+    @property
+    def maximum(self):
+        return max(self.restarted) if self.restarted else 0
+
+    def __repr__(self):
+        return "RestartStats(avg={:.2f}, max={}, sessions={})".format(
+            self.average, self.maximum, self.sessions
+        )
+
+
+class BenchmarkResult:
+    """Everything a workload run produced."""
+
+    def __init__(self, mix_name, threads, duration, actions, reads, writes,
+                 latency, restarts, validation, fallbacks=0, errors=0):
+        self.mix_name = mix_name
+        self.threads = threads
+        self.duration = duration
+        self.actions = actions
+        self.reads = reads
+        self.writes = writes
+        self.latency = latency
+        self.restart_stats = RestartStats(restarts)
+        self.validation = validation
+        #: write actions that fell back to reads (no valid operand)
+        self.fallbacks = fallbacks
+        self.errors = errors
+
+    @property
+    def throughput(self):
+        """Completed actions per second."""
+        if self.duration <= 0:
+            return 0.0
+        return self.actions / self.duration
+
+    @property
+    def unpredictable_percentage(self):
+        if self.validation is None:
+            return 0.0
+        return self.validation.unpredictable_percentage()
+
+    def meets_sla(self, percentile=0.95, latency=0.100):
+        return self.latency.meets_sla(percentile, latency)
+
+    def summary(self):
+        """One-line human-readable summary."""
+        p95 = self.latency.percentile(0.95)
+        return (
+            "{}: {} threads, {:.0f} actions/s, p95={}ms, stale={:.3f}%, "
+            "restarts(avg={:.2f}, max={})"
+        ).format(
+            self.mix_name,
+            self.threads,
+            self.throughput,
+            "{:.1f}".format(p95 * 1000) if p95 is not None else "n/a",
+            self.unpredictable_percentage,
+            self.restart_stats.average,
+            self.restart_stats.maximum,
+        )
+
+    def __repr__(self):
+        return "BenchmarkResult({})".format(self.summary())

@@ -1,0 +1,276 @@
+"""Multi-threaded BG workload driver.
+
+Spawns N emulated users (threads).  Each thread repeatedly samples an
+action from the mix, picks operands (Zipfian-popular members for reads,
+registry-claimed pairs for writes), executes the action, and records
+latency.  Validation and restart statistics accumulate in shared
+structures and are folded into a :class:`~repro.bg.metrics.BenchmarkResult`.
+
+Write actions with no valid operand available (e.g. Accept Friend before
+any invitation exists) fall back to Invite Friend, then to View Profile;
+the fallback count is reported.
+"""
+
+import random
+import threading
+import time
+
+from repro.bg.metrics import BenchmarkResult
+from repro.bg.registry import FriendshipRegistry
+from repro.bg.workload import WRITE_ACTIONS
+from repro.bg.zipfian import ZipfianGenerator, exponent_for_hotspot
+from repro.core.session import SessionOutcome
+from repro.errors import (
+    QuarantinedError,
+    SessionAbortedError,
+    TransactionAbortedError,
+)
+from repro.util.histogram import LatencyHistogram
+
+# Re-exported for the package namespace.
+__all__ = ["WorkloadRunner", "BenchmarkResult"]
+
+#: How many times the runner retries a write action whose *baseline*
+#: session hit an RDBMS write-write conflict (IQ clients retry internally).
+BASELINE_RETRIES = 20
+
+
+class _ThreadState:
+    """Per-thread sampling state."""
+
+    def __init__(self, seed, members, resources, hot_exponent):
+        self.rng = random.Random(seed)
+        self.member_zipf = ZipfianGenerator(
+            members, exponent=hot_exponent,
+            rng=random.Random(seed ^ 0x5EED), scramble=True,
+        )
+        self.resources = resources
+
+    def popular_member(self):
+        return self.member_zipf.next()
+
+
+class WorkloadRunner:
+    """Drives one :class:`~repro.bg.actions.BGActions` instance."""
+
+    def __init__(self, actions, mix, registry=None, seed=42,
+                 hotspot=(0.2, 0.7), hot_writes=False):
+        self.actions = actions
+        self.mix = mix
+        self.graph = actions.graph
+        self.registry = registry or FriendshipRegistry(self.graph)
+        self.seed = seed
+        #: bias Invite Friend invitees with the Zipfian sampler, so write
+        #: sessions contend on popular members' keys
+        self.hot_writes = hot_writes
+        members = self.graph.config.members
+        data_fraction, access_fraction = hotspot
+        self.hot_exponent = exponent_for_hotspot(
+            members, data_fraction, access_fraction
+        )
+
+    # -- single-action dispatch ----------------------------------------------------
+
+    def _run_read(self, name, state):
+        member = state.popular_member()
+        if name == "view_profile":
+            return self.actions.view_profile(member)
+        if name == "list_friends":
+            return self.actions.list_friends(member)
+        if name == "view_friend_requests":
+            return self.actions.view_friend_requests(member)
+        if name == "view_top_k_resources":
+            return self.actions.view_top_k_resources(member)
+        if name == "view_comments_on_resource":
+            resources = list(self.graph.resource_ids_of(member))
+            resource = state.rng.choice(resources)
+            return self.actions.view_comments_on_resource(resource)
+        raise ValueError("unknown read action {!r}".format(name))
+
+    def _claim_for(self, name, state):
+        if name == "invite_friend":
+            sampler = state.popular_member if self.hot_writes else None
+            return self.registry.claim_invite(
+                state.rng, invitee_sampler=sampler
+            )
+        if name == "accept_friend_request":
+            return self.registry.claim_pending(state.rng, "accept")
+        if name == "reject_friend_request":
+            return self.registry.claim_pending(state.rng, "reject")
+        if name == "thaw_friendship":
+            return self.registry.claim_confirmed(state.rng)
+        raise ValueError("unknown write action {!r}".format(name))
+
+    def _run_write(self, claim):
+        if claim.kind == "invite":
+            return self.actions.invite_friend(claim.inviter, claim.invitee)
+        if claim.kind == "accept":
+            return self.actions.accept_friend_request(
+                claim.inviter, claim.invitee
+            )
+        if claim.kind == "reject":
+            return self.actions.reject_friend_request(
+                claim.inviter, claim.invitee
+            )
+        if claim.kind == "thaw":
+            return self.actions.thaw_friendship(claim.inviter, claim.invitee)
+        raise ValueError("unknown claim kind {!r}".format(claim.kind))
+
+    def _execute_write(self, claim, stats):
+        """Run a write action, retrying baseline RDBMS conflicts."""
+        attempts = 0
+        while True:
+            try:
+                outcome = self._run_write(claim)
+                self.registry.complete(claim, succeeded=True)
+                session_restarts = (
+                    outcome.restarts if isinstance(outcome, SessionOutcome)
+                    else 0
+                )
+                stats["restarts"].append(session_restarts + attempts)
+                return True
+            except (QuarantinedError, TransactionAbortedError):
+                attempts += 1
+                if attempts >= BASELINE_RETRIES:
+                    self.registry.complete(claim, succeeded=False)
+                    stats["errors"] += 1
+                    return False
+                time.sleep(0.0005 * attempts)
+            except SessionAbortedError:
+                self.registry.complete(claim, succeeded=False)
+                stats["errors"] += 1
+                return False
+            except Exception:
+                self.registry.complete(claim, succeeded=False)
+                raise
+
+    def _run_comment_write(self, name, state, stats):
+        """Comment write actions need no pair claims (mid-keyed)."""
+        member = state.popular_member()
+        resource = state.rng.choice(list(self.graph.resource_ids_of(member)))
+        attempts = 0
+        while True:
+            try:
+                if name == "post_comment":
+                    outcome = self.actions.post_comment(member, resource)
+                else:
+                    outcome = self.actions.delete_comment(resource)
+                if isinstance(outcome, SessionOutcome):
+                    stats["restarts"].append(outcome.restarts + attempts)
+                return True
+            except (QuarantinedError, TransactionAbortedError):
+                attempts += 1
+                if attempts >= BASELINE_RETRIES:
+                    stats["errors"] += 1
+                    return False
+                time.sleep(0.0005 * attempts)
+
+    def execute_one(self, name, state, stats):
+        """Run one sampled action (resolving write fallbacks)."""
+        if name in ("post_comment", "delete_comment"):
+            self._run_comment_write(name, state, stats)
+            return "write"
+        if name in WRITE_ACTIONS:
+            claim = self._claim_for(name, state)
+            if claim is None and name != "invite_friend":
+                claim = self.registry.claim_invite(state.rng)
+                stats["fallbacks"] += 1
+            if claim is None:
+                stats["fallbacks"] += 1
+                self._run_read("view_profile", state)
+                return "read"
+            self._execute_write(claim, stats)
+            return "write"
+        self._run_read(name, state)
+        return "read"
+
+    # -- the drive loop ---------------------------------------------------------------
+
+    def run(self, threads=1, duration=None, ops_per_thread=None,
+            warmup_ops=0):
+        """Run the workload; exactly one of duration/ops_per_thread given.
+
+        ``warmup_ops`` read actions per thread populate the cache before
+        measurement starts (the paper's warm-cache experiments).
+        """
+        if (duration is None) == (ops_per_thread is None):
+            raise ValueError("give exactly one of duration or ops_per_thread")
+
+        latency = LatencyHistogram()
+        stats = {
+            "restarts": [],
+            "fallbacks": 0,
+            "errors": 0,
+            "reads": 0,
+            "writes": 0,
+        }
+        stats_lock = threading.Lock()
+        stop_flag = threading.Event()
+        failures = []
+
+        def worker(worker_index):
+            state = _ThreadState(
+                self.seed + worker_index * 7919,
+                self.graph.config.members,
+                self.graph.config.resources_per_member,
+                self.hot_exponent,
+            )
+            local = {
+                "restarts": [],
+                "fallbacks": 0,
+                "errors": 0,
+                "reads": 0,
+                "writes": 0,
+            }
+            try:
+                for _ in range(warmup_ops):
+                    self._run_read("view_profile", state)
+                    self._run_read("list_friends", state)
+                completed = 0
+                while not stop_flag.is_set():
+                    if ops_per_thread is not None and completed >= ops_per_thread:
+                        break
+                    name = self.mix.sample(state.rng)
+                    start = time.monotonic()
+                    kind = self.execute_one(name, state, local)
+                    latency.record(time.monotonic() - start)
+                    local["reads" if kind == "read" else "writes"] += 1
+                    completed += 1
+            except Exception as exc:  # surface crashes to the caller
+                failures.append(exc)
+                stop_flag.set()
+            finally:
+                with stats_lock:
+                    stats["restarts"].extend(local["restarts"])
+                    for key in ("fallbacks", "errors", "reads", "writes"):
+                        stats[key] += local[key]
+
+        started = time.monotonic()
+        pool = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        if duration is not None:
+            time.sleep(duration)
+            stop_flag.set()
+        for thread in pool:
+            thread.join()
+        elapsed = time.monotonic() - started
+        if failures:
+            raise failures[0]
+
+        return BenchmarkResult(
+            mix_name=self.mix.name,
+            threads=threads,
+            duration=elapsed,
+            actions=stats["reads"] + stats["writes"],
+            reads=stats["reads"],
+            writes=stats["writes"],
+            latency=latency,
+            restarts=stats["restarts"],
+            validation=self.actions.log,
+            fallbacks=stats["fallbacks"],
+            errors=stats["errors"],
+        )

@@ -1,0 +1,108 @@
+"""BG's relational schema (the physical data design of [6]/[8]).
+
+Four tables:
+
+* ``users`` -- one row per member, including the denormalized counters
+  BG's actions maintain (``pendingcount``, ``friendcount``);
+* ``friendship`` -- one row per (inviter, invitee) pair with ``status``
+  1 = pending invitation, 2 = confirmed friendship.  Confirmed friendships
+  are stored symmetrically (both directions), as the paper's Accept
+  Friend description requires;
+* ``resources`` -- images/posts on a member's wall, with a denormalized
+  ``commentcount`` maintained by the comment actions (it also serializes
+  concurrent comment writes on one resource, as ``pendingcount`` does
+  for invitations);
+* ``manipulations`` -- comments posted on resources.
+"""
+
+from repro.sql.engine import Database
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import INTEGER, TEXT
+
+STATUS_PENDING = 1
+STATUS_CONFIRMED = 2
+
+
+def users_schema():
+    return TableSchema(
+        "users",
+        [
+            Column("userid", INTEGER, nullable=False),
+            Column("username", TEXT, nullable=False),
+            Column("pw", TEXT),
+            Column("firstname", TEXT),
+            Column("lastname", TEXT),
+            Column("gender", TEXT),
+            Column("dob", TEXT),
+            Column("jdate", TEXT),
+            Column("ldate", TEXT),
+            Column("address", TEXT),
+            Column("email", TEXT),
+            Column("tel", TEXT),
+            Column("pendingcount", INTEGER, nullable=False),
+            Column("friendcount", INTEGER, nullable=False),
+            Column("resourcecount", INTEGER, nullable=False),
+        ],
+        primary_key=("userid",),
+    )
+
+
+def friendship_schema():
+    return TableSchema(
+        "friendship",
+        [
+            Column("inviterid", INTEGER, nullable=False),
+            Column("inviteeid", INTEGER, nullable=False),
+            Column("status", INTEGER, nullable=False),
+        ],
+        primary_key=("inviterid", "inviteeid"),
+    )
+
+
+def resources_schema():
+    return TableSchema(
+        "resources",
+        [
+            Column("rid", INTEGER, nullable=False),
+            Column("creatorid", INTEGER, nullable=False),
+            Column("walluserid", INTEGER, nullable=False),
+            Column("type", TEXT),
+            Column("body", TEXT),
+            Column("doc", TEXT),
+            Column("commentcount", INTEGER, nullable=False),
+        ],
+        primary_key=("rid",),
+    )
+
+
+def manipulations_schema():
+    return TableSchema(
+        "manipulations",
+        [
+            Column("mid", INTEGER, nullable=False),
+            Column("creatorid", INTEGER, nullable=False),
+            Column("rid", INTEGER, nullable=False),
+            Column("modifierid", INTEGER, nullable=False),
+            Column("timestamp", TEXT),
+            Column("type", TEXT),
+            Column("content", TEXT),
+        ],
+        primary_key=("mid",),
+    )
+
+
+def create_bg_database(name="bgdb"):
+    """Create a database with the BG schema and its secondary indexes."""
+    db = Database(name)
+    db.create_table(users_schema())
+    db.create_table(friendship_schema())
+    db.create_table(resources_schema())
+    db.create_table(manipulations_schema())
+    db.create_index("friendship_by_invitee", "friendship", ["inviteeid"])
+    db.create_index("friendship_by_inviter", "friendship", ["inviterid"])
+    db.create_index(
+        "friendship_by_pair", "friendship", ["inviterid", "inviteeid"]
+    )
+    db.create_index("resources_by_wall", "resources", ["walluserid"])
+    db.create_index("manipulations_by_rid", "manipulations", ["rid"])
+    return db

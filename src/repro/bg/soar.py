@@ -1,0 +1,88 @@
+"""SoAR: the Social Action Rating.
+
+"Given a workload, BG computes the Social Action Rating (SoAR) of its
+target data store using a pre-specified Service Level Agreement: ...
+The maximum number of simultaneous actions per second that satisfies this
+SLA is the SoAR of the system for a workload."
+
+The rater searches over the number of emulated users: it doubles the
+thread count while the SLA holds, then bisects between the last passing
+and first failing counts, and reports the highest observed SLA-compliant
+throughput.
+"""
+
+from repro.config import BGConfig
+
+
+class SoARResult:
+    """Outcome of a SoAR search."""
+
+    def __init__(self, soar, best_threads, probes):
+        #: actions/second at the highest SLA-compliant load
+        self.soar = soar
+        self.best_threads = best_threads
+        #: list of (threads, throughput, sla_ok) probe points
+        self.probes = probes
+
+    def __repr__(self):
+        return "SoARResult(soar={:.0f} actions/s @ {} threads)".format(
+            self.soar, self.best_threads
+        )
+
+
+class SoARRater:
+    """Computes the SoAR of a workload runner configuration."""
+
+    def __init__(self, runner, config=None, probe_duration=1.0,
+                 max_threads=64, warmup_ops=50):
+        self.runner = runner
+        self.config = config or BGConfig()
+        self.probe_duration = probe_duration
+        self.max_threads = max_threads
+        self.warmup_ops = warmup_ops
+
+    def _probe(self, threads):
+        result = self.runner.run(
+            threads=threads,
+            duration=self.probe_duration,
+            warmup_ops=self.warmup_ops,
+        )
+        ok = result.meets_sla(
+            self.config.sla_percentile, self.config.sla_latency
+        )
+        return result.throughput, ok
+
+    def rate(self):
+        """Run the doubling + bisection search; returns a SoARResult."""
+        probes = []
+        best_throughput = 0.0
+        best_threads = 0
+        threads = 1
+        last_ok = 0
+        first_bad = None
+        while threads <= self.max_threads:
+            throughput, ok = self._probe(threads)
+            probes.append((threads, throughput, ok))
+            if ok:
+                last_ok = threads
+                if throughput > best_throughput:
+                    best_throughput = throughput
+                    best_threads = threads
+                threads *= 2
+            else:
+                first_bad = threads
+                break
+        if first_bad is not None:
+            lo, hi = last_ok, first_bad
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                throughput, ok = self._probe(mid)
+                probes.append((mid, throughput, ok))
+                if ok:
+                    lo = mid
+                    if throughput > best_throughput:
+                        best_throughput = throughput
+                        best_threads = mid
+                else:
+                    hi = mid
+        return SoARResult(best_throughput, best_threads, probes)

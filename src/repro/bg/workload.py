@@ -1,0 +1,180 @@
+"""BG workload mixes (Table 5 of the paper).
+
+Three mixes with 0.1% / 1% / 10% write actions.  An :class:`ActionMix`
+samples action names according to its percentages.
+"""
+
+import random
+
+
+#: The nine core BG actions of Table 5.
+CORE_ACTIONS = (
+    "view_profile",
+    "list_friends",
+    "view_friend_requests",
+    "invite_friend",
+    "accept_friend_request",
+    "reject_friend_request",
+    "thaw_friendship",
+    "view_top_k_resources",
+    "view_comments_on_resource",
+)
+
+#: BG's extended action set adds the comment write actions.
+ACTIONS = CORE_ACTIONS + ("post_comment", "delete_comment")
+
+WRITE_ACTIONS = frozenset(
+    (
+        "invite_friend",
+        "accept_friend_request",
+        "reject_friend_request",
+        "thaw_friendship",
+        "post_comment",
+        "delete_comment",
+    )
+)
+
+
+class ActionMix:
+    """A named distribution over the nine BG actions."""
+
+    def __init__(self, name, percentages):
+        unknown = set(percentages) - set(ACTIONS)
+        if unknown:
+            raise ValueError("unknown actions in mix: {}".format(unknown))
+        total = sum(percentages.values())
+        if abs(total - 100.0) > 1e-6:
+            raise ValueError(
+                "mix {!r} percentages sum to {}, not 100".format(name, total)
+            )
+        self.name = name
+        self.percentages = dict(percentages)
+        self._names = list(percentages)
+        self._weights = [percentages[n] for n in self._names]
+
+    def sample(self, rng=None):
+        """Draw one action name."""
+        rng = rng or random
+        return rng.choices(self._names, weights=self._weights, k=1)[0]
+
+    def write_fraction(self):
+        """Total percentage of write actions (0-100)."""
+        return sum(
+            pct for name, pct in self.percentages.items()
+            if name in WRITE_ACTIONS
+        )
+
+    def __repr__(self):
+        return "ActionMix({!r}, {:.3g}% writes)".format(
+            self.name, self.write_fraction()
+        )
+
+
+#: Table 5, "Very Low (0.1% Write)".
+VERY_LOW_WRITE_MIX = ActionMix(
+    "very_low_0.1pct",
+    {
+        "view_profile": 40.0,
+        "list_friends": 5.0,
+        "view_friend_requests": 5.0,
+        "invite_friend": 0.02,
+        "accept_friend_request": 0.02,
+        "reject_friend_request": 0.03,
+        "thaw_friendship": 0.03,
+        "view_top_k_resources": 40.0,
+        "view_comments_on_resource": 9.9,
+    },
+)
+
+#: Table 5, "Low (1% Write)".
+LOW_WRITE_MIX = ActionMix(
+    "low_1pct",
+    {
+        "view_profile": 40.0,
+        "list_friends": 5.0,
+        "view_friend_requests": 5.0,
+        "invite_friend": 0.2,
+        "accept_friend_request": 0.2,
+        "reject_friend_request": 0.3,
+        "thaw_friendship": 0.3,
+        "view_top_k_resources": 40.0,
+        "view_comments_on_resource": 9.0,
+    },
+)
+
+#: Table 5, "High (10% Write)".
+HIGH_WRITE_MIX = ActionMix(
+    "high_10pct",
+    {
+        "view_profile": 35.0,
+        "list_friends": 5.0,
+        "view_friend_requests": 5.0,
+        "invite_friend": 2.0,
+        "accept_friend_request": 2.0,
+        "reject_friend_request": 3.0,
+        "thaw_friendship": 3.0,
+        "view_top_k_resources": 35.0,
+        "view_comments_on_resource": 10.0,
+    },
+)
+
+#: Extended mix exercising BG's comment write actions alongside Table 5's
+#: (not part of the paper's evaluation; used by extension tests/benches).
+EXTENDED_MIX = ActionMix(
+    "extended_comments",
+    {
+        "view_profile": 30.0,
+        "list_friends": 5.0,
+        "view_friend_requests": 5.0,
+        "invite_friend": 2.0,
+        "accept_friend_request": 2.0,
+        "reject_friend_request": 3.0,
+        "thaw_friendship": 3.0,
+        "view_top_k_resources": 30.0,
+        "view_comments_on_resource": 13.0,
+        "post_comment": 5.0,
+        "delete_comment": 2.0,
+    },
+)
+
+MIXES = {
+    "0.1%": VERY_LOW_WRITE_MIX,
+    "1%": LOW_WRITE_MIX,
+    "10%": HIGH_WRITE_MIX,
+}
+
+
+def mix_with_write_fraction(write_pct):
+    """Build a mix with an arbitrary write percentage.
+
+    Scales Table 5's High-mix write proportions (2:2:3:3) to ``write_pct``
+    and distributes the remainder over the read actions in the High mix's
+    ratios.  Used by sweep/ablation benchmarks between the paper's points.
+    """
+    if not 0 <= write_pct < 100:
+        raise ValueError("write_pct must be in [0, 100)")
+    write_ratios = {
+        "invite_friend": 0.2,
+        "accept_friend_request": 0.2,
+        "reject_friend_request": 0.3,
+        "thaw_friendship": 0.3,
+    }
+    read_ratios = {
+        "view_profile": 35.0,
+        "list_friends": 5.0,
+        "view_friend_requests": 5.0,
+        "view_top_k_resources": 35.0,
+        "view_comments_on_resource": 10.0,
+    }
+    read_total = sum(read_ratios.values())
+    read_pct = 100.0 - write_pct
+    percentages = {
+        name: ratio * write_pct for name, ratio in write_ratios.items()
+    }
+    percentages.update(
+        {
+            name: ratio / read_total * read_pct
+            for name, ratio in read_ratios.items()
+        }
+    )
+    return ActionMix("custom_{}pct".format(write_pct), percentages)

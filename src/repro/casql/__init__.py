@@ -1,0 +1,16 @@
+"""Cache-augmented-SQL application layer.
+
+Glue between the application, the RDBMS, and the KVS:
+
+* :mod:`repro.casql.codec` -- serialization of query results and
+  application objects into the byte-string values the KVS stores;
+* :mod:`repro.casql.keys` -- key-naming conventions for cached entities;
+* :mod:`repro.casql.cache_store` -- :class:`CASQLFacade`, a cache-aside
+  query-result cache with pluggable consistency clients.
+"""
+
+from repro.casql.cache_store import CASQLFacade
+from repro.casql.codec import decode, encode
+from repro.casql.keys import KeySpace
+
+__all__ = ["CASQLFacade", "KeySpace", "decode", "encode"]

@@ -1,0 +1,92 @@
+"""CASQLFacade: cache-aside query-result caching with strong consistency.
+
+The facade packages the common CASQL pattern: "look up the result of a
+computation that queries the database in a KVS instead of processing it
+with the RDBMS."  A read goes through the consistency client's read
+session (I lease on a miss); a write runs a write session that updates the
+RDBMS and invalidates/refreshes the impacted keys.
+
+This is the public entry point a downstream application would adopt; the
+BG benchmark builds its nine actions directly on the consistency clients
+for finer control.
+"""
+
+import hashlib
+
+from repro.casql.codec import decode, encode
+from repro.casql.keys import KeySpace
+
+
+class CASQLFacade:
+    """High-level cache-augmented-SQL interface.
+
+    ``consistency_client`` is any of the clients in
+    :mod:`repro.core.policies` (IQ or baseline).  ``connection_factory``
+    opens RDBMS connections for read-side recomputation.
+    """
+
+    def __init__(self, consistency_client, connection_factory,
+                 keyspace=None):
+        self.client = consistency_client
+        self.connection_factory = connection_factory
+        self.keys = keyspace or KeySpace()
+
+    # -- reads -------------------------------------------------------------
+
+    def cached_query(self, sql, params=(), key=None):
+        """Return the (decoded) result rows of ``sql``, cache-aside.
+
+        The cache key defaults to a digest of the statement and its
+        parameters.  On a miss the query runs on a fresh autocommit
+        connection (its own snapshot) and the result is installed in the
+        KVS under an I lease.
+        """
+        if key is None:
+            digest = hashlib.sha1(
+                repr((sql, tuple(params))).encode("utf-8")
+            ).hexdigest()[:16]
+            key = self.keys.query(digest)
+
+        def compute():
+            connection = self.connection_factory()
+            try:
+                result = connection.execute(sql, params)
+                return encode([row.as_dict() for row in result])
+            finally:
+                connection.close()
+
+        return decode(self.client.read(key, compute))
+
+    def cached_object(self, key, compute):
+        """Read-through for an application-computed object.
+
+        ``compute()`` returns any encodable value (or ``None`` for absent).
+        """
+        def compute_bytes():
+            value = compute()
+            return None if value is None else encode(value)
+
+        return decode(self.client.read(key, compute_bytes))
+
+    # -- writes --------------------------------------------------------------
+
+    def write(self, sql_body, changes):
+        """Run a write session; see the consistency client's ``write``.
+
+        ``sql_body(session)`` performs the DML; ``changes`` lists the
+        impacted :class:`~repro.core.policies.KeyChange` objects.
+        Returns the session's :class:`~repro.core.session.SessionOutcome`.
+        """
+        return self.client.write(sql_body, changes)
+
+    def invalidate_keys(self, keys):
+        """Write session with no RDBMS work that invalidates ``keys``.
+
+        Useful for administrative cache maintenance.
+        """
+        from repro.core.policies import KeyChange
+
+        def no_sql(_session):
+            return None
+
+        return self.client.write(no_sql, [KeyChange(k) for k in keys])

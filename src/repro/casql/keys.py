@@ -1,0 +1,55 @@
+"""Key-naming conventions for cached entities.
+
+Follows the paper's BG usage, e.g. ``Key = "Profile" + InviteeID``
+(Figure 9).  A :class:`KeySpace` optionally prefixes every key with an
+application namespace so several tenants can share one KVS.
+"""
+
+
+class KeySpace:
+    """Key builder for the BG social-network entities."""
+
+    def __init__(self, namespace=""):
+        self.namespace = namespace
+
+    def _build(self, kind, ident):
+        if self.namespace:
+            return "{}:{}{}".format(self.namespace, kind, ident)
+        return "{}{}".format(kind, ident)
+
+    def profile(self, member_id):
+        """The member's profile, read by 'View Profile'."""
+        return self._build("Profile", member_id)
+
+    def friends(self, member_id):
+        """The member's confirmed-friend list, read by 'List Friends'."""
+        return self._build("Friends", member_id)
+
+    def pending_friends(self, member_id):
+        """Pending invitations, read by 'View Friend Requests'."""
+        return self._build("PendingFriends", member_id)
+
+    def top_resources(self, member_id):
+        """Top-K resources posted on the member's wall."""
+        return self._build("TopKResources", member_id)
+
+    def resource_comments(self, resource_id):
+        """Comments on one resource, read by 'View Comments on Resource'."""
+        return self._build("Comments", resource_id)
+
+    def pending_count(self, member_id):
+        """Standalone pending-invitation counter (incremental-update mode).
+
+        The delta technique's ``incr``/``decr`` operate on whole values, so
+        the mutable counters live in their own ASCII-integer keys while the
+        immutable profile body stays under :meth:`profile`.
+        """
+        return self._build("PendingCount", member_id)
+
+    def friend_count(self, member_id):
+        """Standalone friend counter (incremental-update mode)."""
+        return self._build("FriendCount", member_id)
+
+    def query(self, digest):
+        """Generic query-result key used by :class:`CASQLFacade`."""
+        return self._build("Q", digest)

@@ -1,0 +1,160 @@
+"""Command-line interface.
+
+::
+
+    python -m repro serve [--port P] [--i-ttl S] [--q-ttl S]
+        Run an IQ-Twemcached server on a TCP port.
+
+    python -m repro figures
+        Replay the paper's race-condition figures and print the outcomes.
+
+    python -m repro bench --experiment table1|table6|table7|table8
+        Run a scaled evaluation experiment and print its table.
+
+    python -m repro demo [--threads N] [--ops N]
+        Run the BG workload baseline-vs-IQ comparison.
+"""
+
+import argparse
+import sys
+
+
+def _cmd_serve(args):
+    from repro.config import LeaseConfig
+    from repro.core.iq_server import IQServer
+    from repro.net.server import IQTCPServer
+
+    server = IQTCPServer(
+        ("127.0.0.1", args.port),
+        IQServer(lease_config=LeaseConfig(
+            i_lease_ttl=args.i_ttl, q_lease_ttl=args.q_ttl,
+        )),
+    )
+    print("IQ-Twemcached listening on 127.0.0.1:{}".format(server.port))
+    print("Protocol: memcached ASCII + IQ extensions (see repro.net)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    return 0
+
+
+def _cmd_figures(_args):
+    from repro.sim import run_all_figures
+
+    failures = 0
+    for outcome in run_all_figures():
+        status = "consistent" if outcome.consistent else "STALE"
+        print("{:<10} {:<21} rdbms={!r:<8} kvs={!r:<8} {}".format(
+            outcome.figure, outcome.variant, outcome.rdbms_value,
+            outcome.kvs_value, status,
+        ))
+        if outcome.variant.startswith("iq") and not outcome.consistent:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _cmd_demo(args):
+    from repro.bg.actions import Technique
+    from repro.bg.harness import build_bg_system
+    from repro.bg.workload import HIGH_WRITE_MIX
+
+    for leased in (False, True):
+        system = build_bg_system(
+            members=args.members, friends_per_member=6,
+            resources_per_member=2, technique=Technique.REFRESH,
+            leased=leased, mix=HIGH_WRITE_MIX,
+            compute_delay=0.001, write_delay=0.001,
+        )
+        result = system.runner.run(
+            threads=args.threads, ops_per_thread=args.ops
+        )
+        label = "IQ-Twemcached" if leased else "Twemcache baseline"
+        print("{:<20} {:.0f} actions/s, unpredictable reads: {:.3f}%".format(
+            label, result.throughput, result.unpredictable_percentage,
+        ))
+    return 0
+
+
+def _cmd_bench(args):
+    import importlib
+    import os
+
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )), "benchmarks"),
+    )
+    modules = {
+        "table1": "bench_table1_stale",
+        "table6": "bench_table6_restarts",
+        "table7": "bench_table7_stale_by_graph",
+        "table8": "bench_table8_soar",
+        "figures": "bench_figures_races",
+        "ablations": "bench_ablations",
+        "linkbench": "bench_linkbench",
+    }
+    name = modules[args.experiment]
+    try:
+        module = importlib.import_module(name)
+    except ImportError:
+        print("benchmark module {!r} not found; run from a source "
+              "checkout (benchmarks/ directory required)".format(name))
+        return 2
+    # Each bench module is runnable as a script via its __main__ block;
+    # execute the same path here.
+    import runpy
+
+    runpy.run_module(name, run_name="__main__")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IQ framework reproduction: strong consistency in "
+                    "cache-augmented SQL systems (Middleware 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run an IQ-Twemcached TCP server")
+    serve.add_argument("--port", type=int, default=11211)
+    serve.add_argument("--i-ttl", type=float, default=10.0,
+                       help="I lease lifetime, seconds")
+    serve.add_argument("--q-ttl", type=float, default=10.0,
+                       help="Q lease lifetime, seconds")
+    serve.set_defaults(func=_cmd_serve)
+
+    figures = sub.add_parser(
+        "figures", help="replay the paper's race-condition figures"
+    )
+    figures.set_defaults(func=_cmd_figures)
+
+    demo = sub.add_parser(
+        "demo", help="BG workload: baseline vs IQ stale percentages"
+    )
+    demo.add_argument("--threads", type=int, default=8)
+    demo.add_argument("--ops", type=int, default=100)
+    demo.add_argument("--members", type=int, default=100)
+    demo.set_defaults(func=_cmd_demo)
+
+    bench = sub.add_parser("bench", help="run one evaluation experiment")
+    bench.add_argument(
+        "--experiment", required=True,
+        choices=["table1", "table6", "table7", "table8", "figures",
+                 "ablations", "linkbench"],
+    )
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Tunable parameters shared across the reproduction.
+
+The defaults mirror the paper's experimental setup where a concrete value is
+given (lease lifetimes are only described as "finite"; memcached's historic
+defaults are used where the paper is silent).
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KVSConfig:
+    """Configuration of the Twemcache-semantics store."""
+
+    #: Maximum bytes of value payload the store may hold before LRU eviction.
+    #: ``None`` disables eviction (useful for deterministic tests).
+    memory_limit_bytes: int = None
+
+    #: Maximum size of a single item's value (memcached default: 1 MiB).
+    max_item_bytes: int = 1024 * 1024
+
+    #: Maximum key length in characters (memcached: 250).
+    max_key_length: int = 250
+
+    #: Default item time-to-live in seconds; ``0`` means "never expires".
+    default_ttl: float = 0.0
+
+
+@dataclass
+class LeaseConfig:
+    """Configuration of I/Q lease behaviour on the IQ-Server."""
+
+    #: Lifetime of an Inhibit lease, seconds.  On expiry the lease is simply
+    #: released (the reader's eventual IQset is ignored).
+    i_lease_ttl: float = 10.0
+
+    #: Lifetime of a Quarantine lease, seconds.  On expiry the IQ-Server
+    #: *deletes the key-value pair* (Section 4.2 condition 3), guaranteeing
+    #: safety when an application node fails while holding leases.
+    q_lease_ttl: float = 10.0
+
+    #: Section 3.3 / 4.2.2 optimization: keep the old version of a pair that
+    #: is being invalidated/updated visible to other sessions until commit.
+    serve_pending_versions: bool = True
+
+
+@dataclass
+class BackoffConfig:
+    """Exponential backoff used when a lease request is refused."""
+
+    initial_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.1
+    #: Add up to this fraction of the delay as jitter to avoid lockstep.
+    jitter: float = 0.5
+    #: Give up (raise :class:`~repro.errors.StarvationError`) after this
+    #: many attempts; ``None`` retries forever.
+    max_attempts: int = None
+
+
+@dataclass
+class BGConfig:
+    """Parameters of the BG benchmark's social graph and SLA.
+
+    The paper: "The social graph ... consists of M members, phi friends per
+    member, and rho resources per member. ... 100 resources and 100 friends
+    per member in all experiments"; SLA: 95% of actions faster than 100 ms.
+    """
+
+    members: int = 10_000
+    friends_per_member: int = 100
+    resources_per_member: int = 100
+    #: Zipfian skew: "70% of requests referencing 20% of data
+    #: (Zipfian distribution with theta = 0.27)".
+    zipfian_theta: float = 0.27
+    sla_percentile: float = 0.95
+    sla_latency: float = 0.100
+    seed: int = 42
+
+
+@dataclass
+class ReproConfig:
+    """Aggregate configuration object."""
+
+    kvs: KVSConfig = field(default_factory=KVSConfig)
+    lease: LeaseConfig = field(default_factory=LeaseConfig)
+    backoff: BackoffConfig = field(default_factory=BackoffConfig)
+    bg: BGConfig = field(default_factory=BGConfig)
+
+
+DEFAULT_CONFIG = ReproConfig()

@@ -1,0 +1,272 @@
+"""The lease table: grant, validate, void, release, and expire I/Q leases.
+
+Semantics (Sections 2-4 of the paper):
+
+* **I (Inhibit)** -- granted to a read session that observes a KVS miss.
+  At most one I lease exists per key; a concurrent reader is told to back
+  off.  An I lease is *voided* (invalidated in place) when any Q lease is
+  granted on its key: the reader's eventual ``IQset`` is then ignored.
+
+* **Q (Quarantine)** -- acquired by write sessions on every key they will
+  change.  Granting a Q voids any I lease.  Q-Q compatibility depends on
+  the technique:
+
+  - *invalidate* (:attr:`QMode.SHARED_INVALIDATE`): always granted, because
+    concurrent deletes of the same key are idempotent (Figure 5a);
+  - *refresh* / *incremental update* (:attr:`QMode.EXCLUSIVE`): a second
+    session's request is rejected and that session must abort (Figure 5b),
+    because the KVS cannot know the RDBMS serialization order of two
+    writers of the same key.
+
+  Mixing modes on one key is treated as exclusive-incompatible: the
+  requester aborts.  (The paper's implementation supports applications
+  using invalidate and refresh *simultaneously*; rejecting the mixed-mode
+  requester is the conservative composition of the two matrices.)
+
+* Leases have a **finite lifetime**.  An expired I lease simply vanishes.
+  When a Q lease expires the key-value pair must be *deleted* (Section 4.2
+  condition 3); the owning :class:`~repro.core.iq_server.IQServer`
+  registers ``on_q_expired`` to do so.
+"""
+
+import enum
+import threading
+
+from repro.config import LeaseConfig
+from repro.kvs.stats import CacheStats
+from repro.util.clock import SystemClock
+from repro.util.tokens import TokenGenerator
+
+
+class QMode(enum.Enum):
+    """Q-Q compatibility mode, per Figure 5 of the paper."""
+
+    #: Invalidate: multiple concurrent Q leases allowed (Figure 5a).
+    SHARED_INVALIDATE = "shared-invalidate"
+    #: Refresh / incremental update: at most one holder (Figure 5b).
+    EXCLUSIVE = "exclusive"
+
+
+class QRequestOutcome(enum.Enum):
+    GRANTED = "granted"
+    REJECTED = "rejected"
+
+
+class _ILease:
+    __slots__ = ("token", "expires_at")
+
+    def __init__(self, token, expires_at):
+        self.token = token
+        self.expires_at = expires_at
+
+
+class _KeyLeases:
+    """Lease state for a single key."""
+
+    __slots__ = ("i_lease", "q_mode", "q_holders")
+
+    def __init__(self):
+        self.i_lease = None
+        self.q_mode = None
+        #: session id -> expiry time
+        self.q_holders = {}
+
+    def is_empty(self):
+        return self.i_lease is None and not self.q_holders
+
+
+class LeaseTable:
+    """Thread-safe lease bookkeeping for one IQ-Server."""
+
+    def __init__(self, config=None, clock=None, stats=None):
+        self.config = config or LeaseConfig()
+        self.clock = clock or SystemClock()
+        self.stats = stats or CacheStats()
+        self._tokens = TokenGenerator()
+        self._keys = {}
+        self._lock = threading.RLock()
+        #: Callback ``fn(key, session_id)`` invoked when a Q lease expires;
+        #: the IQ-Server deletes the key-value pair here.
+        self.on_q_expired = None
+
+    # -- internal ------------------------------------------------------------
+
+    def _state(self, key, create=False):
+        state = self._keys.get(key)
+        if state is None and create:
+            state = _KeyLeases()
+            self._keys[key] = state
+        return state
+
+    def _gc(self, key, state):
+        if state is not None and state.is_empty():
+            self._keys.pop(key, None)
+
+    def _expire_locked(self, key, state):
+        """Drop expired leases on ``key``; fire Q-expiry callbacks."""
+        if state is None:
+            return
+        now = self.clock.now()
+        if state.i_lease is not None and now >= state.i_lease.expires_at:
+            state.i_lease = None
+            self.stats.incr("lease_expirations")
+        expired_q = [
+            sid for sid, expiry in state.q_holders.items() if now >= expiry
+        ]
+        for sid in expired_q:
+            del state.q_holders[sid]
+            self.stats.incr("lease_expirations")
+            if self.on_q_expired is not None:
+                self.on_q_expired(key, sid)
+        if not state.q_holders:
+            state.q_mode = None
+        self._gc(key, state)
+
+    # -- I leases --------------------------------------------------------------
+
+    def request_i(self, key):
+        """Request an I lease on ``key``.
+
+        Returns the lease token, or ``None`` when the reader must back off
+        (an I or Q lease already exists -- Figure 5a, row I).
+        """
+        with self._lock:
+            state = self._state(key)
+            self._expire_locked(key, state)
+            state = self._state(key, create=True)
+            if state.i_lease is not None or state.q_holders:
+                self._gc(key, state)
+                self.stats.incr("lease_backoffs")
+                return None
+            token = self._tokens.next()
+            state.i_lease = _ILease(
+                token, self.clock.now() + self.config.i_lease_ttl
+            )
+            self.stats.incr("i_lease_grants")
+            return token
+
+    def i_valid(self, key, token):
+        """True when ``token`` is the live I lease on ``key``."""
+        with self._lock:
+            state = self._state(key)
+            self._expire_locked(key, state)
+            state = self._state(key)
+            return (
+                state is not None
+                and state.i_lease is not None
+                and state.i_lease.token == token
+            )
+
+    def redeem_i(self, key, token):
+        """Atomically validate and consume the I lease for an ``IQset``.
+
+        Returns True (and releases the lease) when the token was live.
+        """
+        with self._lock:
+            if not self.i_valid(key, token):
+                return False
+            state = self._state(key)
+            state.i_lease = None
+            self._gc(key, state)
+            return True
+
+    def void_i(self, key):
+        """Invalidate any I lease on ``key`` (Q grant / delete / eviction)."""
+        with self._lock:
+            state = self._state(key)
+            if state is not None and state.i_lease is not None:
+                state.i_lease = None
+                self.stats.incr("i_lease_voids")
+                self._gc(key, state)
+
+    # -- Q leases ---------------------------------------------------------------
+
+    def request_q(self, key, session_id, mode):
+        """Request a Q lease on ``key`` for ``session_id``.
+
+        Voids an existing I lease on grant.  Returns
+        :attr:`QRequestOutcome.GRANTED` or ``REJECTED`` (the caller must
+        abort, per Figure 5b).  Re-requesting a lease the session already
+        holds is granted and refreshes its expiry.
+        """
+        with self._lock:
+            state = self._state(key)
+            self._expire_locked(key, state)
+            state = self._state(key, create=True)
+            granted_expiry = self.clock.now() + self.config.q_lease_ttl
+            if session_id in state.q_holders:
+                state.q_holders[session_id] = granted_expiry
+                return QRequestOutcome.GRANTED
+            if state.q_holders:
+                incompatible = (
+                    state.q_mode != QMode.SHARED_INVALIDATE
+                    or mode != QMode.SHARED_INVALIDATE
+                )
+                if incompatible:
+                    self._gc(key, state)
+                    self.stats.incr("q_lease_rejects")
+                    return QRequestOutcome.REJECTED
+            if state.i_lease is not None:
+                state.i_lease = None
+                self.stats.incr("i_lease_voids")
+            state.q_mode = mode if not state.q_holders else state.q_mode
+            state.q_holders[session_id] = granted_expiry
+            self.stats.incr("q_lease_grants")
+            return QRequestOutcome.GRANTED
+
+    def q_held_by(self, key, session_id):
+        """True when ``session_id`` holds a live Q lease on ``key``."""
+        with self._lock:
+            state = self._state(key)
+            self._expire_locked(key, state)
+            state = self._state(key)
+            return state is not None and session_id in state.q_holders
+
+    def release_q(self, key, session_id):
+        """Release ``session_id``'s Q lease on ``key`` (commit/abort)."""
+        with self._lock:
+            state = self._state(key)
+            if state is None:
+                return False
+            removed = state.q_holders.pop(session_id, None) is not None
+            if not state.q_holders:
+                state.q_mode = None
+            self._gc(key, state)
+            return removed
+
+    # -- introspection / maintenance ------------------------------------------------
+
+    def leases_on(self, key):
+        """Diagnostic snapshot: ``(has_i, q_session_ids)`` for ``key``."""
+        with self._lock:
+            state = self._state(key)
+            self._expire_locked(key, state)
+            state = self._state(key)
+            if state is None:
+                return (False, frozenset())
+            return (
+                state.i_lease is not None,
+                frozenset(state.q_holders),
+            )
+
+    def has_any_lease(self, key):
+        has_i, q_holders = self.leases_on(key)
+        return has_i or bool(q_holders)
+
+    def sweep_expired(self):
+        """Eagerly expire every stale lease (tests / maintenance thread)."""
+        with self._lock:
+            for key in list(self._keys):
+                self._expire_locked(key, self._keys.get(key))
+
+    def clear(self):
+        """Drop every lease without firing expiry callbacks (flush_all)."""
+        with self._lock:
+            self._keys.clear()
+
+    def outstanding(self):
+        """Number of keys with at least one live lease."""
+        with self._lock:
+            for key in list(self._keys):
+                self._expire_locked(key, self._keys.get(key))
+            return len(self._keys)

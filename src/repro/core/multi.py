@@ -1,0 +1,264 @@
+"""Multi-transaction sessions (the paper's Section 8 research question).
+
+The published IQ framework "limits a session to at most one RDBMS
+transaction"; the authors pose as future work "whether the framework
+provides strong consistency guarantees for sessions consisting of
+multiple RDBMS transactions".
+
+This module implements the natural generalization and the library's
+answer: **yes, provided the 2PL discipline is stretched across the whole
+session** --
+
+* the session's *growing phase* spans every constituent transaction: Q
+  leases accumulate (never release) until the last transaction commits;
+* the *shrinking phase* -- applying KVS changes and releasing leases --
+  happens only after the final commit;
+* if any constituent transaction aborts, or any lease request is
+  rejected, the entire session aborts: every already-committed
+  constituent transaction is *compensated* (its registered undo action
+  runs in its own transaction) and all leases are released without
+  applying KVS changes.
+
+The compensation requirement is the real cost surfaced by the
+generalization: the RDBMS cannot atomically abort a transaction it
+already committed, so the application must supply logical undo --
+exactly the saga pattern.  The exhaustive-interleaving tests in
+``tests/core/test_multi.py`` check that no schedule of a reader against
+a two-transaction writer leaves stale data in the KVS.
+"""
+
+from repro.config import BackoffConfig
+from repro.errors import (
+    QuarantinedError,
+    SessionAbortedError,
+    TransactionAbortedError,
+)
+from repro.util.backoff import ExponentialBackoff
+from repro.util.clock import SystemClock
+
+
+class CompensationError(SessionAbortedError):
+    """A compensating transaction failed; manual intervention needed.
+
+    The session's KVS keys have been *deleted* (safety via deletion) so
+    no stale value can be served while the database is repaired.
+    """
+
+    def __init__(self, original, failures):
+        super().__init__(
+            "compensation failed for {} step(s)".format(len(failures)),
+            retriable=False,
+        )
+        self.original = original
+        self.failures = failures
+
+
+class MultiTransactionSession:
+    """A session spanning several RDBMS transactions under one TID.
+
+    Usage::
+
+        session = MultiTransactionSession(iq_client, db.connect)
+        session.qar(key1)                      # growing phase: leases
+        with session.transaction(undo=undo1) as txn:
+            txn.execute(...)                   # constituent transaction 1
+        session.qaread(key2)
+        with session.transaction(undo=undo2) as txn:
+            txn.execute(...)                   # constituent transaction 2
+        session.sar(key2, new_value)           # stage KVS changes
+        session.commit()                       # shrinking phase
+
+    ``undo`` callables receive a live connection inside a fresh
+    transaction and must logically reverse their step.
+    """
+
+    def __init__(self, client, connection_factory):
+        self.kvs = client
+        self.connection_factory = connection_factory
+        self.tid = client.gen_id()
+        #: (description, undo) for each committed constituent transaction
+        self._completed = []
+        #: staged (key, value) pairs applied at commit via SaR
+        self._staged_sar = []
+        self._quarantined = set()
+        self._finished = False
+
+    # -- growing phase: leases -----------------------------------------------
+
+    def _check_open(self):
+        if self._finished:
+            raise SessionAbortedError("session already finished")
+
+    def qar(self, key):
+        """Quarantine ``key`` for invalidation at session commit."""
+        self._check_open()
+        try:
+            self.kvs.qar(self.tid, key)
+        except QuarantinedError:
+            self.abort()
+            raise
+        self._quarantined.add(key)
+
+    def qaread(self, key):
+        """Quarantine ``key`` exclusively and read its current value."""
+        self._check_open()
+        try:
+            result = self.kvs.qaread(key, self.tid)
+        except QuarantinedError:
+            self.abort()
+            raise
+        self._quarantined.add(key)
+        return result.value
+
+    def delta(self, key, op, operand):
+        """Propose an incremental change, applied at session commit."""
+        self._check_open()
+        try:
+            self.kvs.iq_delta(self.tid, key, op, operand)
+        except QuarantinedError:
+            self.abort()
+            raise
+        self._quarantined.add(key)
+
+    def sar_at_commit(self, key, value):
+        """Stage a refresh value; the SaR runs at session commit."""
+        self._check_open()
+        if key not in self._quarantined:
+            raise SessionAbortedError(
+                "sar_at_commit on {!r} without a Q lease".format(key),
+                retriable=False,
+            )
+        self._staged_sar.append((key, value))
+
+    # -- constituent transactions -----------------------------------------------
+
+    def transaction(self, undo=None, description=None):
+        """Open the next constituent transaction (context manager)."""
+        self._check_open()
+        return _ConstituentTransaction(self, undo, description)
+
+    @property
+    def completed_transactions(self):
+        return len(self._completed)
+
+    # -- shrinking phase -------------------------------------------------------------
+
+    def commit(self):
+        """Apply every staged KVS change and release all leases."""
+        self._check_open()
+        for key, value in self._staged_sar:
+            self.kvs.sar(key, value, self.tid)
+        # Registered invalidations and deltas apply inside Commit(TID).
+        self.kvs.commit(self.tid)
+        self._finished = True
+
+    def abort(self):
+        """Undo committed constituent transactions; release all leases.
+
+        Compensations run newest-first.  KVS proposals are discarded and
+        the quarantined keys keep their pre-session values -- unless a
+        compensation fails, in which case those keys are deleted (the
+        framework's safety-via-deletion) and :class:`CompensationError`
+        is raised.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        failures = []
+        for description, undo in reversed(self._completed):
+            if undo is None:
+                failures.append((description, "no undo registered"))
+                continue
+            connection = self.connection_factory()
+            try:
+                connection.begin()
+                undo(connection)
+                connection.commit()
+            except Exception as exc:  # noqa: BLE001 - collected and re-raised
+                if connection.in_transaction:
+                    connection.rollback()
+                failures.append((description, repr(exc)))
+            finally:
+                connection.close()
+        if failures:
+            # Safety via deletion: purge the keys whose database state is
+            # now uncertain, then release the leases.
+            for key in self._quarantined:
+                self.kvs.server.store.delete(key)
+            self.kvs.abort(self.tid)
+            raise CompensationError("abort", failures)
+        self.kvs.abort(self.tid)
+
+
+class _ConstituentTransaction:
+    """One RDBMS transaction inside a multi-transaction session."""
+
+    def __init__(self, session, undo, description):
+        self.session = session
+        self.undo = undo
+        self.description = description or "txn{}".format(
+            session.completed_transactions + 1
+        )
+        self.connection = None
+
+    def __enter__(self):
+        self.connection = self.session.connection_factory()
+        self.connection.begin()
+        return self
+
+    def execute(self, sql, params=()):
+        return self.connection.execute(sql, params)
+
+    def query_one(self, sql, params=()):
+        return self.connection.query_one(sql, params)
+
+    def query_scalar(self, sql, params=()):
+        return self.connection.query_scalar(sql, params)
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            if exc_type is None:
+                self.connection.commit()
+                self.session._completed.append((self.description, self.undo))
+                return False
+            if self.connection.in_transaction:
+                self.connection.rollback()
+        finally:
+            self.connection.close()
+        if exc_type is TransactionAbortedError or exc_type is QuarantinedError:
+            # The constituent failed: abort the whole session (undoing
+            # earlier constituents) and let the error propagate.
+            self.session.abort()
+        return False
+
+
+class MultiSessionRunner:
+    """Retry loop for multi-transaction session bodies."""
+
+    RETRIABLE = (QuarantinedError, TransactionAbortedError)
+
+    def __init__(self, client, connection_factory, backoff=None, clock=None):
+        self.client = client
+        self.connection_factory = connection_factory
+        self.backoff = backoff or ExponentialBackoff(BackoffConfig())
+        self.clock = clock or SystemClock()
+
+    def run(self, body):
+        """Run ``body(session)`` to completion; returns its result."""
+        delays = self.backoff.delays()
+        while True:
+            session = MultiTransactionSession(
+                self.client, self.connection_factory
+            )
+            try:
+                result = body(session)
+                session.commit()
+                return result
+            except self.RETRIABLE:
+                session.abort()
+                self.clock.sleep(next(delays))
+            except CompensationError:
+                raise
+            except Exception:
+                session.abort()
+                raise

@@ -1,0 +1,358 @@
+"""Consistency-maintenance techniques: invalidate, refresh, incremental update.
+
+Each technique is packaged as a *consistency client* exposing a uniform
+surface to application code (the BG actions):
+
+* ``read(key, compute, runner_connection)`` -- execute a read session;
+* ``write(sql_body, changes)`` -- execute a write session whose RDBMS work
+  is ``sql_body(session)`` and whose KVS impact is described by
+  :class:`KeyChange` objects.
+
+Two families are provided:
+
+* **IQ clients** (``IQInvalidateClient``, ``IQRefreshClient``,
+  ``IQDeltaClient``) follow the paper's Section 3/4 protocols and are
+  strongly consistent;
+* **Unleased baseline clients** (``BaselineInvalidateClient``,
+  ``BaselineRefreshClient``, ``BaselineDeltaClient``) implement the naive
+  sessions of Figures 3/10 against Twemcache-with-read-leases and exhibit
+  the undesirable race conditions of Sections 3.1 and 4.1 -- they exist so
+  the evaluation can reproduce the nonzero stale percentages of
+  Tables 1 and 7.
+"""
+
+import enum
+
+from repro.config import BackoffConfig
+from repro.core.session import AcquisitionMode, SessionOutcome, SessionRunner
+from repro.util.backoff import ExponentialBackoff
+from repro.util.clock import SystemClock
+
+
+class KeyChange:
+    """The impact of one write session on one key-value pair.
+
+    ``refresher(old_value_bytes_or_None) -> new_value_bytes_or_None`` is
+    used by refresh; returning ``None`` means "skip" (release the lease
+    without writing; the next reader recomputes from the RDBMS).
+
+    ``deltas`` is a list of ``(op, operand)`` incremental changes used by
+    the incremental-update technique (op in append/prepend/incr/decr).
+
+    ``invalidate`` marks a key that must be *deleted* even under the
+    refresh/delta techniques -- used for changes (set-element removal)
+    that no incremental operator can express.  The paper notes the IQ
+    implementation "enables an application to use both invalidate and
+    refresh simultaneously"; this flag is that combination.
+    """
+
+    __slots__ = ("key", "refresher", "deltas", "invalidate")
+
+    def __init__(self, key, refresher=None, deltas=(), invalidate=False):
+        self.key = key
+        self.refresher = refresher
+        self.deltas = list(deltas)
+        self.invalidate = invalidate
+
+    def __repr__(self):
+        return "KeyChange({!r})".format(self.key)
+
+
+class DeleteTiming(enum.Enum):
+    """When a baseline invalidate session deletes the impacted keys."""
+
+    #: Inside the RDBMS transaction -- models trigger-based invalidation,
+    #: the Figure 3 configuration.
+    DURING_TRANSACTION = "during"
+    #: After the RDBMS commit -- the application-side ordering that the
+    #: Facebook lease was designed for (Section 7 discussion).
+    AFTER_COMMIT = "after"
+
+
+# ---------------------------------------------------------------------------
+# IQ (leased) clients
+# ---------------------------------------------------------------------------
+
+class _IQClientBase:
+    """Shared structure of the three IQ consistency clients."""
+
+    def __init__(self, client, connection_factory, mode=AcquisitionMode.DURING,
+                 backoff=None, clock=None):
+        self.client = client
+        self.connection_factory = connection_factory
+        self.mode = mode
+        self.runner = SessionRunner(
+            client, connection_factory, backoff=backoff, clock=clock
+        )
+
+    @property
+    def is_strongly_consistent(self):
+        return True
+
+    def read(self, key, compute):
+        """Read session: cache hit, or I-lease-guarded RDBMS computation."""
+        return self.client.read_through(key, compute)
+
+    def write(self, sql_body, changes):
+        raise NotImplementedError
+
+
+class IQInvalidateClient(_IQClientBase):
+    """Section 3.2: QaR each key, run the transaction, DaR at commit."""
+
+    def write(self, sql_body, changes):
+        def body(session):
+            if self.mode == AcquisitionMode.PRIOR:
+                for change in changes:
+                    session.qar(change.key)
+                session.begin_sql()
+                result = sql_body(session)
+            else:
+                session.begin_sql()
+                result = sql_body(session)
+                for change in changes:
+                    session.qar(change.key)
+            session.commit_sql()
+            session.dar()
+            return result
+
+        return self.runner.run(body)
+
+
+class IQRefreshClient(_IQClientBase):
+    """Section 4.2: QaRead before commit, SaR after commit (Figure 9).
+
+    Keys flagged ``invalidate`` (or lacking a refresher -- there is
+    nothing to read-modify-write for a fresh insert or a delete) are
+    quarantined with ``QaR`` and deleted at commit, the paper's
+    simultaneous refresh+invalidate usage.
+    """
+
+    @staticmethod
+    def _is_invalidation(change):
+        return change.invalidate or change.refresher is None
+
+    def write(self, sql_body, changes):
+        def body(session):
+            new_values = {}
+
+            def acquire_and_compute():
+                for change in changes:
+                    if self._is_invalidation(change):
+                        session.qar(change.key)
+                    else:
+                        old = session.qaread(change.key).value
+                        new_values[change.key] = change.refresher(old)
+
+            if self.mode == AcquisitionMode.PRIOR:
+                acquire_and_compute()
+                session.begin_sql()
+                result = sql_body(session)
+            else:
+                session.begin_sql()
+                result = sql_body(session)
+                acquire_and_compute()
+            session.commit_sql()
+            for change in changes:
+                if not self._is_invalidation(change):
+                    session.sar(change.key, new_values[change.key])
+            # Applies registered invalidations and releases any leases
+            # still held (a no-op when every key went through SaR).
+            session.commit_kvs()
+            return result
+
+        return self.runner.run(body)
+
+
+class IQDeltaClient(_IQClientBase):
+    """Section 4.2.1: IQ-delta before commit, Commit(TID) after."""
+
+    def write(self, sql_body, changes):
+        def body(session):
+            def propose():
+                for change in changes:
+                    if change.invalidate:
+                        session.qar(change.key)
+                        continue
+                    for op, operand in change.deltas:
+                        session.delta(change.key, op, operand)
+
+            if self.mode == AcquisitionMode.PRIOR:
+                propose()
+                session.begin_sql()
+                result = sql_body(session)
+            else:
+                session.begin_sql()
+                result = sql_body(session)
+                propose()
+            session.commit_sql()
+            session.commit_kvs()
+            return result
+
+        return self.runner.run(body)
+
+
+# ---------------------------------------------------------------------------
+# Unleased baseline clients (raceful by design)
+# ---------------------------------------------------------------------------
+
+class _BaselineBase:
+    """Shared read path: Facebook read leases over Twemcache.
+
+    The store is a :class:`repro.kvs.read_lease.ReadLeaseStore`.  Reads use
+    ``lease_get``/``lease_set``; on a hot miss the reader backs off.  Write
+    sessions are technique-specific and carry the races the IQ framework
+    eliminates.
+    """
+
+    def __init__(self, store, connection_factory, backoff=None, clock=None):
+        self.store = store
+        self.connection_factory = connection_factory
+        self.backoff = backoff or ExponentialBackoff(BackoffConfig())
+        self.clock = clock or SystemClock()
+
+    @property
+    def is_strongly_consistent(self):
+        return False
+
+    def read(self, key, compute):
+        delays = self.backoff.delays()
+        while True:
+            result = self.store.lease_get(key)
+            if result.is_hit:
+                return result.value
+            if result.has_lease:
+                value = compute()
+                if value is not None:
+                    self.store.lease_set(key, value, result.token)
+                return value
+            self.clock.sleep(next(delays))
+
+    def _run_sql(self, sql_body, before_body=None, before_commit=None):
+        """Run the RDBMS transaction of a baseline write session."""
+        connection = self.connection_factory()
+        try:
+            connection.begin()
+            if before_body is not None:
+                before_body()
+            result = sql_body(_BaselineSession(connection))
+            if before_commit is not None:
+                before_commit()
+            connection.commit()
+            return result
+        except Exception:
+            if connection.in_transaction:
+                connection.rollback()
+            raise
+        finally:
+            connection.close()
+
+
+class _BaselineSession:
+    """Minimal session facade handed to ``sql_body`` for baselines."""
+
+    __slots__ = ("sql",)
+
+    def __init__(self, connection):
+        self.sql = connection
+
+    def execute(self, sql, params=()):
+        return self.sql.execute(sql, params)
+
+    def query_one(self, sql, params=()):
+        return self.sql.query_one(sql, params)
+
+    def query_scalar(self, sql, params=()):
+        return self.sql.query_scalar(sql, params)
+
+    def on_commit(self, callback):
+        return self.sql.on_commit(callback)
+
+
+class BaselineInvalidateClient(_BaselineBase):
+    """Invalidate without Q leases.
+
+    With ``DeleteTiming.DURING_TRANSACTION`` this is the trigger
+    configuration of Figure 3, which races with snapshot-isolation readers
+    and inserts stale values.  ``AFTER_COMMIT`` shrinks but does not close
+    the window (Section 3.1: "it is still possible for an adversary to
+    move Step 2.5 to occur after this step").
+    """
+
+    def __init__(self, store, connection_factory,
+                 timing=DeleteTiming.DURING_TRANSACTION, **kwargs):
+        super().__init__(store, connection_factory, **kwargs)
+        self.timing = timing
+
+    def write(self, sql_body, changes):
+        def delete_all():
+            for change in changes:
+                self.store.delete(change.key)
+
+        if self.timing == DeleteTiming.DURING_TRANSACTION:
+            # The trigger fires as part of the DML, so the deletes land
+            # while the rest of the transaction (and the commit round
+            # trip) is still in flight -- the Figure 3 window.
+            result = self._run_sql(sql_body, before_body=delete_all)
+        else:
+            result = self._run_sql(sql_body)
+            delete_all()
+        return SessionOutcome(result, restarts=0)
+
+
+class BaselineRefreshClient(_BaselineBase):
+    """Refresh via get / modify / cas after commit (Figure 10).
+
+    The cas retry loop repairs KVS-internal interleavings but cannot align
+    the KVS order with the RDBMS serialization order (Figure 2), nor stop
+    a snapshot-stale recomputation from landing, so stale data persists.
+    """
+
+    def __init__(self, store, connection_factory, cas_retries=3, **kwargs):
+        super().__init__(store, connection_factory, **kwargs)
+        self.cas_retries = cas_retries
+
+    def write(self, sql_body, changes):
+        from repro.kvs.store import StoreResult
+
+        result = self._run_sql(sql_body)
+        for change in changes:
+            if change.invalidate or change.refresher is None:
+                self.store.delete(change.key)
+                continue
+            for _attempt in range(self.cas_retries):
+                got = self.store.gets(change.key)
+                if got is None:
+                    break  # nothing cached; next reader recomputes
+                value, _flags, cas_id = got
+                new_value = change.refresher(value)
+                if new_value is None:
+                    break
+                if self.store.cas(change.key, new_value, cas_id) == StoreResult.STORED:
+                    break
+        return SessionOutcome(result, restarts=0)
+
+
+class BaselineDeltaClient(_BaselineBase):
+    """Incremental update applied directly after commit.
+
+    Appends/increments race with concurrent read sessions repopulating the
+    key from a stale snapshot (Figures 7 and 8: lost or doubled deltas).
+    """
+
+    def write(self, sql_body, changes):
+        result = self._run_sql(sql_body)
+        for change in changes:
+            if change.invalidate:
+                self.store.delete(change.key)
+                continue
+            for op, operand in change.deltas:
+                if op == "append":
+                    self.store.append(change.key, operand)
+                elif op == "prepend":
+                    self.store.prepend(change.key, operand)
+                elif op == "incr":
+                    self.store.incr(change.key, operand)
+                elif op == "decr":
+                    self.store.decr(change.key, operand)
+        return SessionOutcome(result, restarts=0)

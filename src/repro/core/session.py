@@ -1,0 +1,184 @@
+"""The session programming model.
+
+A *session* is "a sequence of operations consisting of at most one RDBMS
+transaction and one or more KVS operations" (Table 2 of the paper).  Write
+sessions follow a 2PL-like discipline: all Q leases are acquired before
+the RDBMS transaction commits (the growing phase) and the KVS changes are
+applied -- and leases released -- after the commit (the shrinking phase).
+
+Two lease-acquisition strategies are compared in Section 6.2:
+
+* :attr:`AcquisitionMode.PRIOR` -- QaRead/QaR before ``BEGIN``; a lease
+  conflict needs no RDBMS rollback but has no queuing, so under load a
+  session can starve (Table 6's high restart maxima);
+* :attr:`AcquisitionMode.DURING` -- QaRead/QaR inside the transaction; a
+  conflict forces a rollback but the shorter lease hold time keeps restart
+  counts low.
+
+:class:`SessionRunner` executes a session body with automatic abort,
+rollback, backoff, and restart accounting (the Table 6 metric).
+"""
+
+import enum
+
+from repro.config import BackoffConfig
+from repro.errors import (
+    QuarantinedError,
+    SessionAbortedError,
+    StarvationError,
+    TransactionAbortedError,
+)
+from repro.util.backoff import ExponentialBackoff
+from repro.util.clock import SystemClock
+
+
+class AcquisitionMode(enum.Enum):
+    """When a write session acquires its Q leases (Section 6.2)."""
+
+    PRIOR = "prior to the RDBMS transaction"
+    DURING = "during the RDBMS transaction"
+
+
+class WriteSession:
+    """One attempt at executing a write session.
+
+    Binds a fresh TID from the IQ-Server to an RDBMS connection and exposes
+    the session-scoped commands.  The KVS-side commit happens via
+    :meth:`dar` (invalidate), :meth:`sar` per key (refresh), or
+    :meth:`commit_kvs` (incremental update) -- always *after*
+    :meth:`commit_sql`.
+    """
+
+    def __init__(self, client, connection):
+        self.kvs = client
+        self.sql = connection
+        self.tid = client.gen_id()
+        self._finished = False
+
+    # -- KVS commands bound to this session's TID --------------------------------
+
+    def iq_get(self, key):
+        """Read ``key`` with this session's read-your-own-update view."""
+        return self.kvs.server.iq_get(key, session=self.tid)
+
+    def qar(self, key):
+        return self.kvs.qar(self.tid, key)
+
+    def qaread(self, key):
+        return self.kvs.qaread(key, self.tid)
+
+    def sar(self, key, value):
+        return self.kvs.sar(key, value, self.tid)
+
+    def propose_refresh(self, key, value):
+        return self.kvs.propose_refresh(key, value, self.tid)
+
+    def delta(self, key, op, operand):
+        return self.kvs.iq_delta(self.tid, key, op, operand)
+
+    def dar(self):
+        self.kvs.dar(self.tid)
+        self._finished = True
+
+    def commit_kvs(self):
+        self.kvs.commit(self.tid)
+        self._finished = True
+
+    def abort_kvs(self):
+        self.kvs.abort(self.tid)
+        self._finished = True
+
+    # -- RDBMS operations ------------------------------------------------------------
+
+    def begin_sql(self):
+        return self.sql.begin()
+
+    def execute(self, sql, params=()):
+        return self.sql.execute(sql, params)
+
+    def query_one(self, sql, params=()):
+        return self.sql.query_one(sql, params)
+
+    def query_scalar(self, sql, params=()):
+        return self.sql.query_scalar(sql, params)
+
+    def on_commit(self, callback):
+        return self.sql.on_commit(callback)
+
+    def commit_sql(self):
+        self.sql.commit()
+
+    def rollback_sql(self):
+        if self.sql.in_transaction:
+            self.sql.rollback()
+
+    # -- cleanup ----------------------------------------------------------------------
+
+    def abandon(self):
+        """Release everything after a failure: KVS leases + RDBMS rollback."""
+        if not self._finished:
+            self.kvs.abort(self.tid)
+            self._finished = True
+        self.rollback_sql()
+
+
+class SessionOutcome:
+    """Result of a completed session plus its restart statistics."""
+
+    __slots__ = ("result", "restarts")
+
+    def __init__(self, result, restarts):
+        self.result = result
+        self.restarts = restarts
+
+    def __repr__(self):
+        return "SessionOutcome(restarts={}, result={!r})".format(
+            self.restarts, self.result
+        )
+
+
+class SessionRunner:
+    """Run write-session bodies with abort/retry semantics.
+
+    ``body(session)`` implements one attempt of the session; raising
+    :class:`QuarantinedError` (Q lease conflict) or
+    :class:`TransactionAbortedError` (RDBMS write-write conflict) triggers
+    full cleanup -- release leases, roll back the transaction -- a backoff
+    delay, and a restart with a fresh TID, per Section 4.2.  The restart
+    count is the metric reported in Table 6.
+    """
+
+    RETRIABLE = (QuarantinedError, TransactionAbortedError)
+
+    def __init__(self, client, connection_factory, backoff=None, clock=None):
+        self.client = client
+        self.connection_factory = connection_factory
+        self.backoff = backoff or ExponentialBackoff(BackoffConfig())
+        self.clock = clock or SystemClock()
+
+    def run(self, body):
+        """Execute ``body`` until it succeeds; returns a SessionOutcome."""
+        restarts = 0
+        delays = self.backoff.delays()
+        while True:
+            connection = self.connection_factory()
+            session = WriteSession(self.client, connection)
+            try:
+                result = body(session)
+                return SessionOutcome(result, restarts)
+            except self.RETRIABLE:
+                session.abandon()
+                restarts += 1
+                try:
+                    delay = next(delays)
+                except StarvationError:
+                    raise StarvationError(restarts)
+                self.clock.sleep(delay)
+            except SessionAbortedError:
+                session.abandon()
+                raise
+            except Exception:
+                session.abandon()
+                raise
+            finally:
+                connection.close()

@@ -1,0 +1,46 @@
+"""Cache item representation."""
+
+
+class CacheEntry:
+    """A single key-value pair stored in the cache.
+
+    Attributes mirror a memcached item: an opaque byte-string value, client
+    flags, an absolute expiry time (0 = never), and a unique ``cas`` version
+    that changes on every mutation of the value.
+
+    Entries double as nodes of the intrusive LRU list (``lru_prev`` /
+    ``lru_next``), avoiding a second allocation per item as memcached does
+    with its item header.
+    """
+
+    __slots__ = (
+        "key",
+        "value",
+        "flags",
+        "expires_at",
+        "cas_id",
+        "lru_prev",
+        "lru_next",
+    )
+
+    def __init__(self, key, value, flags=0, expires_at=0.0, cas_id=0):
+        self.key = key
+        self.value = value
+        self.flags = flags
+        self.expires_at = expires_at
+        self.cas_id = cas_id
+        self.lru_prev = None
+        self.lru_next = None
+
+    def size(self):
+        """Approximate memory footprint charged against the budget."""
+        return len(self.key) + len(self.value)
+
+    def is_expired(self, now):
+        """True when the entry carries a TTL that has elapsed."""
+        return self.expires_at != 0.0 and now >= self.expires_at
+
+    def __repr__(self):
+        return "CacheEntry(key={!r}, value={!r}, cas_id={})".format(
+            self.key, self.value, self.cas_id
+        )

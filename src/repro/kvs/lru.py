@@ -1,0 +1,65 @@
+"""Intrusive doubly-linked LRU list over :class:`~repro.kvs.entry.CacheEntry`.
+
+The list orders entries from most- to least-recently used.  All operations
+are O(1).  The list itself is not thread-safe; :class:`~repro.kvs.store.
+CacheStore` serializes access under its lock, exactly as memcached guards
+its LRU with the cache lock.
+"""
+
+
+class LRUList:
+    """Most-recently-used at the head, least-recently-used at the tail."""
+
+    def __init__(self):
+        self._head = None
+        self._tail = None
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    def push_front(self, entry):
+        """Insert ``entry`` at the MRU position."""
+        entry.lru_prev = None
+        entry.lru_next = self._head
+        if self._head is not None:
+            self._head.lru_prev = entry
+        self._head = entry
+        if self._tail is None:
+            self._tail = entry
+        self._count += 1
+
+    def remove(self, entry):
+        """Unlink ``entry`` from the list."""
+        prev_entry, next_entry = entry.lru_prev, entry.lru_next
+        if prev_entry is not None:
+            prev_entry.lru_next = next_entry
+        else:
+            self._head = next_entry
+        if next_entry is not None:
+            next_entry.lru_prev = prev_entry
+        else:
+            self._tail = prev_entry
+        entry.lru_prev = None
+        entry.lru_next = None
+        self._count -= 1
+
+    def touch(self, entry):
+        """Move ``entry`` to the MRU position."""
+        if self._head is entry:
+            return
+        self.remove(entry)
+        self.push_front(entry)
+
+    def lru_victim(self):
+        """Return the least-recently-used entry, or ``None`` when empty."""
+        return self._tail
+
+    def items_lru_first(self):
+        """Iterate entries from LRU to MRU (eviction order)."""
+        node = self._tail
+        while node is not None:
+            # Capture next before the caller potentially unlinks node.
+            prev_node = node.lru_prev
+            yield node
+            node = prev_node

@@ -1,0 +1,70 @@
+"""Slab-class accounting in the style of Twemcache.
+
+Twemcache (like memcached) carves memory into slab classes of geometrically
+growing chunk sizes and charges each item to the smallest class whose chunk
+fits it.  We do not need real memory management in Python, but the paper's
+baseline is Twemcache specifically, so the store keeps the same *accounting
+model*: an item occupies a whole chunk of its class, and the memory budget
+is enforced over chunk bytes rather than raw value bytes.  This reproduces
+the internal fragmentation that shapes eviction behaviour.
+"""
+
+DEFAULT_FACTOR = 1.25
+DEFAULT_MIN_CHUNK = 88
+DEFAULT_MAX_CHUNK = 1024 * 1024
+
+
+class SlabClassTable:
+    """Maps item sizes to slab classes and tracks per-class occupancy."""
+
+    def __init__(self, factor=DEFAULT_FACTOR, min_chunk=DEFAULT_MIN_CHUNK,
+                 max_chunk=DEFAULT_MAX_CHUNK):
+        if factor <= 1.0:
+            raise ValueError("slab growth factor must exceed 1.0")
+        self.chunk_sizes = []
+        size = min_chunk
+        while size < max_chunk:
+            self.chunk_sizes.append(size)
+            size = int(size * factor) + 1
+        self.chunk_sizes.append(max_chunk)
+        self._occupancy = [0] * len(self.chunk_sizes)
+
+    def class_for(self, item_size):
+        """Return the index of the smallest class whose chunk fits the item.
+
+        Raises :class:`ValueError` for items larger than the biggest chunk;
+        the store translates that into ``ValueTooLargeError``.
+        """
+        # Binary search over the sorted chunk sizes.
+        lo, hi = 0, len(self.chunk_sizes) - 1
+        if item_size > self.chunk_sizes[hi]:
+            raise ValueError("item of {} bytes exceeds max chunk".format(item_size))
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.chunk_sizes[mid] >= item_size:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def chunk_size_for(self, item_size):
+        """Bytes charged against the memory budget for an item."""
+        return self.chunk_sizes[self.class_for(item_size)]
+
+    def charge(self, item_size):
+        """Account for storing an item; returns the charged chunk bytes."""
+        cls = self.class_for(item_size)
+        self._occupancy[cls] += 1
+        return self.chunk_sizes[cls]
+
+    def release(self, item_size):
+        """Account for removing an item; returns the released chunk bytes."""
+        cls = self.class_for(item_size)
+        if self._occupancy[cls] <= 0:
+            raise RuntimeError("slab class {} under-released".format(cls))
+        self._occupancy[cls] -= 1
+        return self.chunk_sizes[cls]
+
+    def occupancy(self):
+        """Per-class item counts (index aligned with ``chunk_sizes``)."""
+        return list(self._occupancy)

@@ -1,0 +1,257 @@
+"""Twemcache-style slab allocation with slab-granularity eviction.
+
+Twitter's Twemcache differs from stock memcached chiefly in *how it
+evicts*: instead of (only) per-item LRU within a slab class, it can evict
+an entire slab -- all items it holds -- and reassign the slab to whatever
+class needs memory.  This eliminates slab calcification when the item
+size distribution drifts.  Twemcache ships three slab strategies:
+
+* **RANDOM** -- evict a random slab;
+* **LRA** -- evict the least-recently-*accessed* slab;
+* **LRC** -- evict the least-recently-*created* slab.
+
+This module models that allocator faithfully at the data-structure level
+(slabs, per-class freelists, slab reassignment) for study and for the
+eviction ablation benchmark.  The main :class:`~repro.kvs.store.
+CacheStore` uses classic item-LRU accounting, which the paper's
+experiments run under; :class:`SlabCache` here is a self-contained cache
+front end over the slab allocator so the strategies can be compared on
+identical workloads.
+"""
+
+import enum
+import itertools
+import random
+
+from repro.errors import KVSError, ValueTooLargeError
+from repro.kvs.slab import DEFAULT_FACTOR, DEFAULT_MIN_CHUNK
+
+
+class SlabStrategy(enum.Enum):
+    NO_EVICTION = "no-eviction"
+    RANDOM = "random"
+    LRA = "slab-lra"
+    LRC = "slab-lrc"
+
+
+class Slab:
+    """A fixed-size arena carved into chunks of one class's size."""
+
+    __slots__ = (
+        "slab_id", "class_index", "chunk_size", "chunk_count",
+        "items", "created_seq", "accessed_seq",
+    )
+
+    def __init__(self, slab_id, class_index, chunk_size, slab_bytes, seq):
+        self.slab_id = slab_id
+        self.class_index = class_index
+        self.chunk_size = chunk_size
+        self.chunk_count = max(1, slab_bytes // chunk_size)
+        #: keys resident in this slab
+        self.items = set()
+        self.created_seq = seq
+        self.accessed_seq = seq
+
+    @property
+    def free_chunks(self):
+        return self.chunk_count - len(self.items)
+
+    def __repr__(self):
+        return "Slab(id={}, class={}, {}/{} used)".format(
+            self.slab_id, self.class_index,
+            len(self.items), self.chunk_count,
+        )
+
+
+class SlabAllocator:
+    """Slabs, per-class partial lists, and slab-granularity eviction."""
+
+    def __init__(self, memory_limit_bytes, slab_bytes=4096,
+                 factor=DEFAULT_FACTOR, min_chunk=DEFAULT_MIN_CHUNK,
+                 strategy=SlabStrategy.LRA, rng=None):
+        if slab_bytes > memory_limit_bytes:
+            raise ValueError("slab size exceeds the memory limit")
+        self.memory_limit = memory_limit_bytes
+        self.slab_bytes = slab_bytes
+        self.strategy = strategy
+        self.rng = rng or random.Random(0)
+        self.chunk_sizes = []
+        size = min_chunk
+        while size < slab_bytes:
+            self.chunk_sizes.append(size)
+            size = int(size * factor) + 1
+        self.chunk_sizes.append(slab_bytes)
+        self._slab_ids = itertools.count(1)
+        self._seq = itertools.count(1)
+        #: class index -> list of slabs with free chunks
+        self._partial = {i: [] for i in range(len(self.chunk_sizes))}
+        #: every live slab by id
+        self._slabs = {}
+        #: key -> slab
+        self._item_slab = {}
+        self.evicted_keys = []
+        self.slab_evictions = 0
+
+    # -- class mapping ------------------------------------------------------
+
+    def class_for(self, item_size):
+        for index, chunk in enumerate(self.chunk_sizes):
+            if chunk >= item_size:
+                return index
+        raise ValueTooLargeError(
+            "item of {} bytes exceeds slab size {}".format(
+                item_size, self.slab_bytes
+            )
+        )
+
+    # -- slab lifecycle ----------------------------------------------------------
+
+    def memory_used(self):
+        return len(self._slabs) * self.slab_bytes
+
+    def _new_slab(self, class_index):
+        if self.memory_used() + self.slab_bytes > self.memory_limit:
+            return None
+        slab = Slab(
+            next(self._slab_ids), class_index,
+            self.chunk_sizes[class_index], self.slab_bytes, next(self._seq),
+        )
+        self._slabs[slab.slab_id] = slab
+        self._partial[class_index].append(slab)
+        return slab
+
+    def _evict_slab(self):
+        """Pick a victim slab per the strategy; frees all its items."""
+        if not self._slabs:
+            raise KVSError("no slab to evict")
+        slabs = list(self._slabs.values())
+        if self.strategy is SlabStrategy.RANDOM:
+            victim = self.rng.choice(slabs)
+        elif self.strategy is SlabStrategy.LRA:
+            victim = min(slabs, key=lambda s: s.accessed_seq)
+        elif self.strategy is SlabStrategy.LRC:
+            victim = min(slabs, key=lambda s: s.created_seq)
+        else:
+            raise KVSError("allocator is full and eviction is disabled")
+        for key in list(victim.items):
+            self.evicted_keys.append(key)
+            del self._item_slab[key]
+        victim.items.clear()
+        del self._slabs[victim.slab_id]
+        self._partial[victim.class_index] = [
+            s for s in self._partial[victim.class_index]
+            if s.slab_id != victim.slab_id
+        ]
+        self.slab_evictions += 1
+
+    # -- item placement -------------------------------------------------------------
+
+    def allocate(self, key, item_size):
+        """Place ``key`` into a chunk; returns the hosting slab.
+
+        Allocation order mirrors Twemcache: reuse a partial slab of the
+        class, else grab a whole new slab, else evict a slab (strategy)
+        and retry.  Keys evicted as collateral are appended to
+        ``evicted_keys`` for the caller to unmap.
+        """
+        if key in self._item_slab:
+            raise KVSError("key {!r} already allocated".format(key))
+        class_index = self.class_for(item_size)
+        while True:
+            partial = self._partial[class_index]
+            while partial and partial[-1].free_chunks == 0:
+                partial.pop()
+            if partial:
+                slab = partial[-1]
+            else:
+                slab = self._new_slab(class_index)
+                if slab is None:
+                    self._evict_slab()
+                    continue
+            slab.items.add(key)
+            slab.accessed_seq = next(self._seq)
+            self._item_slab[key] = slab
+            if slab.free_chunks > 0 and slab not in self._partial[class_index]:
+                self._partial[class_index].append(slab)
+            return slab
+
+    def touch(self, key):
+        """Record an access to ``key``'s slab (drives LRA)."""
+        slab = self._item_slab.get(key)
+        if slab is not None:
+            slab.accessed_seq = next(self._seq)
+
+    def free(self, key):
+        """Release ``key``'s chunk back to its slab's freelist."""
+        slab = self._item_slab.pop(key, None)
+        if slab is None:
+            return False
+        slab.items.discard(key)
+        if slab.slab_id in self._slabs and slab not in self._partial[
+            slab.class_index
+        ]:
+            self._partial[slab.class_index].append(slab)
+        return True
+
+    def holds(self, key):
+        return key in self._item_slab
+
+    def drain_evicted(self):
+        """Return and clear the collateral-eviction key list."""
+        drained = self.evicted_keys
+        self.evicted_keys = []
+        return drained
+
+    def slab_count(self):
+        return len(self._slabs)
+
+    def item_count(self):
+        return len(self._item_slab)
+
+
+class SlabCache:
+    """A minimal get/set/delete cache over :class:`SlabAllocator`.
+
+    Used by the eviction ablation: identical workloads run against each
+    strategy and hit rates are compared.  Values are stored alongside the
+    allocator's placement map (the allocator owns residency decisions).
+    """
+
+    def __init__(self, memory_limit_bytes, slab_bytes=4096,
+                 strategy=SlabStrategy.LRA, rng=None):
+        self.allocator = SlabAllocator(
+            memory_limit_bytes, slab_bytes=slab_bytes, strategy=strategy,
+            rng=rng,
+        )
+        self._values = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        if key in self._values:
+            self.hits += 1
+            self.allocator.touch(key)
+            return self._values[key]
+        self.misses += 1
+        return None
+
+    def set(self, key, value):
+        if key in self._values:
+            self.allocator.free(key)
+        self.allocator.allocate(key, len(key) + len(value))
+        self._values[key] = value
+        for evicted in self.allocator.drain_evicted():
+            self._values.pop(evicted, None)
+
+    def delete(self, key):
+        if key in self._values:
+            del self._values[key]
+            return self.allocator.free(key)
+        return False
+
+    def __len__(self):
+        return len(self._values)
+
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else None

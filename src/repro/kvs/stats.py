@@ -1,0 +1,74 @@
+"""Cache statistics, mirroring the counters memcached exposes via ``stats``."""
+
+import threading
+
+
+class CacheStats:
+    """Thread-safe monotonic counters for cache activity.
+
+    The counter names follow memcached's ``stats`` output where an
+    equivalent exists (``get_hits``, ``get_misses``, ``evictions`` ...) and
+    add lease-protocol counters used by the evaluation (``lease_backoffs``,
+    ``lease_aborts``).
+    """
+
+    COUNTERS = (
+        "get_hits",
+        "get_misses",
+        "cmd_get",
+        "cmd_set",
+        "cas_hits",
+        "cas_misses",
+        "cas_badval",
+        "delete_hits",
+        "delete_misses",
+        "incr_hits",
+        "incr_misses",
+        "decr_hits",
+        "decr_misses",
+        "evictions",
+        "expirations",
+        "total_items",
+        # Lease protocol counters (IQ framework / read leases):
+        "i_lease_grants",
+        "i_lease_voids",
+        "q_lease_grants",
+        "q_lease_rejects",
+        "lease_backoffs",
+        "lease_aborts",
+        "lease_expirations",
+        "ignored_sets",
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {name: 0 for name in self.COUNTERS}
+
+    def incr(self, name, amount=1):
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counts[name] += amount
+
+    def get(self, name):
+        """Read a single counter."""
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self):
+        """Return a point-in-time copy of all counters."""
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self):
+        """Zero every counter."""
+        with self._lock:
+            for name in self._counts:
+                self._counts[name] = 0
+
+    def hit_rate(self):
+        """Fraction of ``get`` commands that hit, or ``None`` if no gets."""
+        with self._lock:
+            total = self._counts["cmd_get"]
+            if total == 0:
+                return None
+            return self._counts["get_hits"] / total

@@ -1,0 +1,381 @@
+"""The cache store: memcached command semantics over a hash table + LRU.
+
+Each public method is one memcached command and executes atomically under
+the store lock, exactly matching the per-command atomicity a memcached
+server provides.  Anything *across* commands -- the read-modify-write of
+Figure 1b, a session's invalidations -- is **not** atomic, which is
+precisely the gap the paper's IQ framework closes.
+"""
+
+import enum
+import threading
+
+from repro.config import KVSConfig
+from repro.errors import BadValueError, KeyFormatError, ValueTooLargeError
+from repro.kvs.entry import CacheEntry
+from repro.kvs.lru import LRUList
+from repro.kvs.slab import SlabClassTable
+from repro.kvs.stats import CacheStats
+from repro.util.clock import SystemClock
+
+#: memcached caps incr/decr values at 2**64 - 1 and wraps increments.
+_UINT64_MASK = (1 << 64) - 1
+
+
+class StoreResult(enum.Enum):
+    """Outcome of a storage command, mirroring the wire protocol replies."""
+
+    STORED = "STORED"
+    NOT_STORED = "NOT_STORED"
+    EXISTS = "EXISTS"
+    NOT_FOUND = "NOT_FOUND"
+
+
+class CacheStore:
+    """Thread-safe in-memory cache with Twemcache semantics.
+
+    Values are ``bytes``.  ``incr``/``decr`` interpret the value as an ASCII
+    unsigned decimal, per memcached.  ``cas`` identifiers are unique per
+    mutation.  When ``config.memory_limit_bytes`` is set, storing a new item
+    evicts least-recently-used entries (charged at slab-chunk granularity)
+    until the item fits.
+    """
+
+    def __init__(self, config=None, clock=None, stats=None):
+        self.config = config or KVSConfig()
+        self.clock = clock or SystemClock()
+        self.stats = stats or CacheStats()
+        self._lock = threading.RLock()
+        self._table = {}
+        self._lru = LRUList()
+        self._slabs = SlabClassTable(max_chunk=self.config.max_item_bytes + 512)
+        self._memory_used = 0
+        self._cas_counter = 0
+        #: Called with the evicted/expired entry; the IQ server hooks this
+        #: to drop leases attached to keys that vanish underneath them.
+        self.on_entry_removed = None
+
+    # -- validation --------------------------------------------------------
+
+    def _check_key(self, key):
+        if not isinstance(key, str) or not key:
+            raise KeyFormatError("key must be a non-empty str")
+        if len(key) > self.config.max_key_length:
+            raise KeyFormatError(
+                "key exceeds {} characters".format(self.config.max_key_length)
+            )
+        for ch in key:
+            if ch.isspace() or ord(ch) < 0x21:
+                raise KeyFormatError("key contains whitespace/control characters")
+
+    def _check_value(self, value):
+        if not isinstance(value, bytes):
+            raise BadValueError("values must be bytes, got {}".format(type(value)))
+        if len(value) > self.config.max_item_bytes:
+            raise ValueTooLargeError(
+                "value of {} bytes exceeds limit of {}".format(
+                    len(value), self.config.max_item_bytes
+                )
+            )
+
+    # -- internal helpers (caller holds the lock) ---------------------------
+
+    def _next_cas(self):
+        self._cas_counter += 1
+        return self._cas_counter
+
+    def _expiry_for(self, ttl):
+        if ttl is None:
+            ttl = self.config.default_ttl
+        if not ttl:
+            return 0.0
+        return self.clock.now() + ttl
+
+    def _lookup_live(self, key):
+        """Return the live entry for ``key``, expiring it lazily if stale."""
+        entry = self._table.get(key)
+        if entry is None:
+            return None
+        if entry.is_expired(self.clock.now()):
+            self._unlink(entry)
+            self.stats.incr("expirations")
+            self._notify_removed(entry)
+            return None
+        return entry
+
+    def _unlink(self, entry):
+        del self._table[entry.key]
+        self._lru.remove(entry)
+        self._memory_used -= self._slabs.release(entry.size())
+
+    def _notify_removed(self, entry):
+        if self.on_entry_removed is not None:
+            self.on_entry_removed(entry.key)
+
+    def _insert(self, entry):
+        chunk = self._slabs.chunk_size_for(entry.size())
+        self._ensure_room(chunk)
+        self._table[entry.key] = entry
+        self._lru.push_front(entry)
+        self._memory_used += self._slabs.charge(entry.size())
+        self.stats.incr("total_items")
+
+    def _replace_value(self, entry, value, flags=None, expires_at=None):
+        """Swap an existing entry's value in place, re-accounting memory."""
+        self._memory_used -= self._slabs.release(entry.size())
+        entry.value = value
+        if flags is not None:
+            entry.flags = flags
+        if expires_at is not None:
+            entry.expires_at = expires_at
+        entry.cas_id = self._next_cas()
+        chunk = self._slabs.chunk_size_for(entry.size())
+        self._ensure_room(chunk, exclude=entry)
+        self._memory_used += self._slabs.charge(entry.size())
+        self._lru.touch(entry)
+
+    def _ensure_room(self, chunk_bytes, exclude=None):
+        limit = self.config.memory_limit_bytes
+        if limit is None:
+            return
+        while self._memory_used + chunk_bytes > limit:
+            victim = None
+            for candidate in self._lru.items_lru_first():
+                if candidate is not exclude:
+                    victim = candidate
+                    break
+            if victim is None:
+                raise ValueTooLargeError(
+                    "item of {} chunk bytes cannot fit in a {}-byte cache".format(
+                        chunk_bytes, limit
+                    )
+                )
+            self._unlink(victim)
+            self.stats.incr("evictions")
+            self._notify_removed(victim)
+
+    # -- retrieval ----------------------------------------------------------
+
+    def get(self, key):
+        """``get``: return ``(value, flags)`` or ``None`` on a miss."""
+        self._check_key(key)
+        with self._lock:
+            self.stats.incr("cmd_get")
+            entry = self._lookup_live(key)
+            if entry is None:
+                self.stats.incr("get_misses")
+                return None
+            self._lru.touch(entry)
+            self.stats.incr("get_hits")
+            return entry.value, entry.flags
+
+    def gets(self, key):
+        """``gets``: return ``(value, flags, cas_id)`` or ``None``."""
+        self._check_key(key)
+        with self._lock:
+            self.stats.incr("cmd_get")
+            entry = self._lookup_live(key)
+            if entry is None:
+                self.stats.incr("get_misses")
+                return None
+            self._lru.touch(entry)
+            self.stats.incr("get_hits")
+            return entry.value, entry.flags, entry.cas_id
+
+    def get_multi(self, keys):
+        """Fetch several keys at once; returns ``{key: value}`` for hits."""
+        result = {}
+        for key in keys:
+            hit = self.get(key)
+            if hit is not None:
+                result[key] = hit[0]
+        return result
+
+    # -- storage ------------------------------------------------------------
+
+    def set(self, key, value, flags=0, ttl=None):
+        """``set``: unconditionally store the value."""
+        self._check_key(key)
+        self._check_value(value)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            entry = self._lookup_live(key)
+            expires_at = self._expiry_for(ttl)
+            if entry is None:
+                new_entry = CacheEntry(
+                    key, value, flags, expires_at, self._next_cas()
+                )
+                self._insert(new_entry)
+            else:
+                self._replace_value(entry, value, flags, expires_at)
+            return StoreResult.STORED
+
+    def add(self, key, value, flags=0, ttl=None):
+        """``add``: store only if the key does not already hold a value."""
+        self._check_key(key)
+        self._check_value(value)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            if self._lookup_live(key) is not None:
+                return StoreResult.NOT_STORED
+            entry = CacheEntry(key, value, flags, self._expiry_for(ttl),
+                               self._next_cas())
+            self._insert(entry)
+            return StoreResult.STORED
+
+    def replace(self, key, value, flags=0, ttl=None):
+        """``replace``: store only if the key already holds a value."""
+        self._check_key(key)
+        self._check_value(value)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            entry = self._lookup_live(key)
+            if entry is None:
+                return StoreResult.NOT_STORED
+            self._replace_value(entry, value, flags, self._expiry_for(ttl))
+            return StoreResult.STORED
+
+    def append(self, key, suffix):
+        """``append``: concatenate ``suffix`` after the existing value."""
+        self._check_key(key)
+        self._check_value(suffix)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            entry = self._lookup_live(key)
+            if entry is None:
+                return StoreResult.NOT_STORED
+            new_value = entry.value + suffix
+            if len(new_value) > self.config.max_item_bytes:
+                raise ValueTooLargeError("append would exceed item size limit")
+            self._replace_value(entry, new_value)
+            return StoreResult.STORED
+
+    def prepend(self, key, prefix):
+        """``prepend``: concatenate ``prefix`` before the existing value."""
+        self._check_key(key)
+        self._check_value(prefix)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            entry = self._lookup_live(key)
+            if entry is None:
+                return StoreResult.NOT_STORED
+            new_value = prefix + entry.value
+            if len(new_value) > self.config.max_item_bytes:
+                raise ValueTooLargeError("prepend would exceed item size limit")
+            self._replace_value(entry, new_value)
+            return StoreResult.STORED
+
+    def cas(self, key, value, cas_id, flags=0, ttl=None):
+        """``cas``: store only if the entry's version still equals ``cas_id``.
+
+        Returns ``STORED`` on success, ``EXISTS`` when the value changed
+        since it was fetched with ``gets``, and ``NOT_FOUND`` when the key
+        no longer holds a value.
+        """
+        self._check_key(key)
+        self._check_value(value)
+        with self._lock:
+            self.stats.incr("cmd_set")
+            entry = self._lookup_live(key)
+            if entry is None:
+                self.stats.incr("cas_misses")
+                return StoreResult.NOT_FOUND
+            if entry.cas_id != cas_id:
+                self.stats.incr("cas_badval")
+                return StoreResult.EXISTS
+            self._replace_value(entry, value, flags, self._expiry_for(ttl))
+            self.stats.incr("cas_hits")
+            return StoreResult.STORED
+
+    # -- deletion / arithmetic / misc ----------------------------------------
+
+    def delete(self, key):
+        """``delete``: remove the value; returns True when a value existed."""
+        self._check_key(key)
+        with self._lock:
+            entry = self._lookup_live(key)
+            if entry is None:
+                self.stats.incr("delete_misses")
+                return False
+            self._unlink(entry)
+            self.stats.incr("delete_hits")
+            self._notify_removed(entry)
+            return True
+
+    def _arith(self, key, delta, sign):
+        self._check_key(key)
+        with self._lock:
+            counter = "incr" if sign > 0 else "decr"
+            entry = self._lookup_live(key)
+            if entry is None:
+                self.stats.incr(counter + "_misses")
+                return None
+            try:
+                current = int(entry.value.decode("ascii"))
+                if current < 0:
+                    raise ValueError
+            except (UnicodeDecodeError, ValueError):
+                raise BadValueError(
+                    "cannot increment or decrement non-numeric value"
+                )
+            if sign > 0:
+                new = (current + delta) & _UINT64_MASK
+            else:
+                # memcached clamps decrements at zero rather than wrapping.
+                new = max(0, current - delta)
+            self._replace_value(entry, str(new).encode("ascii"))
+            self.stats.incr(counter + "_hits")
+            return new
+
+    def incr(self, key, delta=1):
+        """``incr``: add ``delta`` to an ASCII-decimal value (wraps at 2^64)."""
+        if delta < 0:
+            raise BadValueError("incr delta must be non-negative")
+        return self._arith(key, delta, +1)
+
+    def decr(self, key, delta=1):
+        """``decr``: subtract ``delta``, clamping at zero."""
+        if delta < 0:
+            raise BadValueError("decr delta must be non-negative")
+        return self._arith(key, delta, -1)
+
+    def touch(self, key, ttl):
+        """``touch``: update an entry's TTL without reading its value."""
+        self._check_key(key)
+        with self._lock:
+            entry = self._lookup_live(key)
+            if entry is None:
+                return False
+            entry.expires_at = self._expiry_for(ttl)
+            self._lru.touch(entry)
+            return True
+
+    def flush_all(self):
+        """``flush_all``: drop every entry."""
+        with self._lock:
+            entries = list(self._table.values())
+            for entry in entries:
+                self._unlink(entry)
+            for entry in entries:
+                self._notify_removed(entry)
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self):
+        with self._lock:
+            return len(self._table)
+
+    def __contains__(self, key):
+        with self._lock:
+            return self._lookup_live(key) is not None
+
+    def memory_used(self):
+        """Chunk bytes currently charged against the budget."""
+        with self._lock:
+            return self._memory_used
+
+    def keys(self):
+        """Snapshot of live keys (test/diagnostic helper)."""
+        with self._lock:
+            now = self.clock.now()
+            return [k for k, e in self._table.items() if not e.is_expired(now)]

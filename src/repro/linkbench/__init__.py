@@ -1,0 +1,33 @@
+"""A LinkBench-style social-graph-store workload (paper Section 8).
+
+The paper's future work proposes evaluating the IQ framework with
+"other benchmarks such [as] LinkBench [4] and RUBiS".  This package
+implements a LinkBench-shaped workload -- Facebook's social-graph store
+benchmark of typed nodes, typed directed links, and link counts -- on
+top of the same CASQL machinery:
+
+* :mod:`repro.linkbench.schema` -- the ``nodes`` / ``links`` /
+  ``counts`` tables;
+* :mod:`repro.linkbench.store` -- the LinkBench operation API
+  (add/get/update/delete node, add/delete link, get_link,
+  get_link_list, count_links) as IQ sessions with cached link lists,
+  link counts, and node objects;
+* :mod:`repro.linkbench.workload` -- the standard operation mix and a
+  multithreaded driver with unpredictable-read validation.
+"""
+
+from repro.linkbench.schema import create_linkbench_database
+from repro.linkbench.store import LinkStore
+from repro.linkbench.workload import (
+    LINKBENCH_MIX,
+    LinkBenchRunner,
+    build_linkbench_system,
+)
+
+__all__ = [
+    "LINKBENCH_MIX",
+    "LinkBenchRunner",
+    "LinkStore",
+    "build_linkbench_system",
+    "create_linkbench_database",
+]

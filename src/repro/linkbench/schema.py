@@ -1,0 +1,66 @@
+"""LinkBench's relational schema.
+
+Mirrors the MySQL schema of Armstrong et al. (SIGMOD'13): a node store,
+a typed directed link store keyed on ``(id1, link_type, id2)``, and a
+denormalized per-(id1, link_type) count table -- the same shape Facebook
+uses for its association lists.
+"""
+
+from repro.sql.engine import Database
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import INTEGER, TEXT
+
+#: links.visibility values
+VISIBILITY_DEFAULT = 1
+VISIBILITY_HIDDEN = 0
+
+
+def nodes_schema():
+    return TableSchema(
+        "nodes",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("type", INTEGER, nullable=False),
+            Column("version", INTEGER, nullable=False),
+            Column("time", INTEGER, nullable=False),
+            Column("data", TEXT),
+        ],
+        primary_key=("id",),
+    )
+
+
+def links_schema():
+    return TableSchema(
+        "links",
+        [
+            Column("id1", INTEGER, nullable=False),
+            Column("link_type", INTEGER, nullable=False),
+            Column("id2", INTEGER, nullable=False),
+            Column("visibility", INTEGER, nullable=False),
+            Column("time", INTEGER, nullable=False),
+            Column("data", TEXT),
+        ],
+        primary_key=("id1", "link_type", "id2"),
+    )
+
+
+def counts_schema():
+    return TableSchema(
+        "counts",
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("link_type", INTEGER, nullable=False),
+            Column("count", INTEGER, nullable=False),
+        ],
+        primary_key=("id", "link_type"),
+    )
+
+
+def create_linkbench_database(name="linkdb"):
+    db = Database(name)
+    db.create_table(nodes_schema())
+    db.create_table(links_schema())
+    db.create_table(counts_schema())
+    db.create_index("links_by_source", "links", ["id1", "link_type"])
+    db.create_index("counts_by_pair", "counts", ["id", "link_type"])
+    return db

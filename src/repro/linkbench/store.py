@@ -1,0 +1,366 @@
+"""The LinkBench operation API as IQ-framework sessions.
+
+Cached entities and their keys:
+
+* ``Node<id>`` -- the node row (JSON);
+* ``LinkList<id1>:<type>`` -- visible out-links of (id1, type), a sorted
+  JSON list of id2 values (what ``get_link_list`` serves);
+* ``LinkCount<id1>:<type>`` -- the denormalized association count, an
+  ASCII integer.
+
+Writes run through any consistency client from
+:mod:`repro.core.policies`: link lists and node objects are refreshed or
+invalidated; counts use ``incr``/``decr`` deltas under the
+incremental-update technique, mirroring how the BG actions treat
+counters.
+"""
+
+from repro.casql.codec import decode, encode
+from repro.core.policies import KeyChange
+from repro.linkbench.schema import VISIBILITY_DEFAULT
+
+
+class LinkKeySpace:
+    """Key naming for cached LinkBench entities."""
+
+    def node(self, node_id):
+        return "Node{}".format(node_id)
+
+    def link_list(self, id1, link_type):
+        return "LinkList{}:{}".format(id1, link_type)
+
+    def link_count(self, id1, link_type):
+        return "LinkCount{}:{}".format(id1, link_type)
+
+
+class LinkStore:
+    """LinkBench operations over a database + consistency client.
+
+    ``technique`` selects how writes maintain the cache (and must match
+    the supplied consistency client): ``"invalidate"`` deletes impacted
+    keys, ``"refresh"`` read-modify-writes them, ``"delta"`` drives the
+    counts with ``incr``/``decr``, extends link lists with ``append``
+    (CSV encoding), and invalidates what no incremental operator can
+    express.  ``log`` is an optional
+    :class:`~repro.bg.validation.ValidationLog` (items:
+    ``("linkcount", (id1, type))`` and ``("linklist", (id1, type))``).
+    """
+
+    def __init__(self, db, client, keys=None, log=None,
+                 technique="refresh", compute_delay=0.0, write_delay=0.0):
+        self.db = db
+        self.client = client
+        self.keys = keys or LinkKeySpace()
+        self.log = log
+        #: "invalidate" | "refresh" | "delta" -- must match the client
+        self.technique = technique
+        #: service-time stand-ins, as in repro.bg.actions (seconds)
+        self.compute_delay = compute_delay
+        self.write_delay = write_delay
+
+    def _delay(self, seconds):
+        if seconds > 0:
+            import time
+
+            time.sleep(seconds)
+
+    # -- validation plumbing ----------------------------------------------------
+
+    def _read_items(self, items):
+        if self.log is None:
+            return None
+        return self.log.read_begin(items)
+
+    def _validate(self, item, observed, floors, kind):
+        if self.log is None or floors is None or observed is None:
+            return True
+        return self.log.validate(
+            item, observed, floors, self.log.read_end(), kind=kind
+        )
+
+    def _record_link_state(self, session, id1, link_type):
+        if self.log is None:
+            return
+        count = session.query_scalar(
+            "SELECT count FROM counts WHERE id = ? AND link_type = ?",
+            (id1, link_type),
+        ) or 0
+        rows = session.execute(
+            "SELECT id2 FROM links WHERE id1 = ? AND link_type = ?"
+            " AND visibility = ?",
+            (id1, link_type, VISIBILITY_DEFAULT),
+        )
+        members = frozenset(r[0] for r in rows)
+        log = self.log
+        session.on_commit(lambda: (
+            log.record(("linkcount", (id1, link_type)), int(count)),
+            log.record(("linklist", (id1, link_type)), members),
+        ))
+
+    def _write(self, items, sql_body, changes):
+        handle = self.log.write_begin(items) if self.log is not None else None
+        try:
+            return self.client.write(sql_body, changes)
+        finally:
+            if handle is not None:
+                self.log.write_end(handle)
+
+    # -- node operations -----------------------------------------------------------
+
+    def add_node(self, node_id, node_type, data=""):
+        def sql_body(session):
+            session.execute(
+                "INSERT INTO nodes (id, type, version, time, data)"
+                " VALUES (?, ?, 0, 0, ?)",
+                (node_id, node_type, data),
+            )
+            return node_id
+
+        return self._write(
+            [], sql_body, [KeyChange(self.keys.node(node_id))]
+        )
+
+    def get_node(self, node_id):
+        def compute():
+            connection = self.db.connect()
+            try:
+                row = connection.query_one(
+                    "SELECT * FROM nodes WHERE id = ?", (node_id,)
+                )
+                self._delay(self.compute_delay)
+                return None if row is None else encode(row.as_dict())
+            finally:
+                connection.close()
+
+        return decode(self.client.read(self.keys.node(node_id), compute))
+
+    def update_node(self, node_id, data):
+        key = self.keys.node(node_id)
+
+        def sql_body(session):
+            session.execute(
+                "UPDATE nodes SET data = ?, version = version + 1"
+                " WHERE id = ?",
+                (data, node_id),
+            )
+
+        def refresher(old):
+            if old is None:
+                return None
+            node = decode(old)
+            node["data"] = data
+            node["version"] += 1
+            return encode(node)
+
+        if self.technique == "delta":
+            # No incremental operator rewrites a JSON field: invalidate.
+            change = KeyChange(key, invalidate=True)
+        else:
+            change = KeyChange(key, refresher=refresher)
+        return self._write([], sql_body, [change])
+
+    def delete_node(self, node_id):
+        def sql_body(session):
+            session.execute("DELETE FROM nodes WHERE id = ?", (node_id,))
+
+        return self._write(
+            [], sql_body, [KeyChange(self.keys.node(node_id))]
+        )
+
+    # -- link operations -----------------------------------------------------------
+
+    def _link_changes(self, id1, link_type, id2, add):
+        """KVS impact of adding/removing one link, per technique.
+
+        * invalidate -- delete both keys;
+        * refresh -- R-M-W both (JSON list; ASCII count);
+        * delta -- counts via incr/decr; list addition via CSV append,
+          list removal via invalidation (no incremental operator can
+          remove an element), mirroring the BG actions.
+        """
+        list_key = self.keys.link_list(id1, link_type)
+        count_key = self.keys.link_count(id1, link_type)
+
+        if self.technique == "invalidate":
+            return [KeyChange(list_key), KeyChange(count_key)]
+
+        if self.technique == "delta":
+            changes = []
+            if add:
+                changes.append(KeyChange(
+                    list_key,
+                    deltas=[("append", "{},".format(id2).encode("ascii"))],
+                ))
+            else:
+                changes.append(KeyChange(list_key, invalidate=True))
+            changes.append(KeyChange(
+                count_key, deltas=[("incr" if add else "decr", 1)]
+            ))
+            return changes
+
+        def list_refresher(old):
+            if old is None:
+                return None
+            members = set(_decode_members(old))
+            if add:
+                members.add(id2)
+            else:
+                members.discard(id2)
+            return encode(sorted(members))
+
+        def count_refresher(old):
+            if old is None:
+                return None
+            return str(max(0, int(old) + (1 if add else -1))).encode()
+
+        return [
+            KeyChange(list_key, refresher=list_refresher),
+            KeyChange(count_key, refresher=count_refresher),
+        ]
+
+    def add_link(self, id1, link_type, id2, data=""):
+        """Insert a link and bump the count; no-op-safe via PK check."""
+        items = [
+            ("linkcount", (id1, link_type)), ("linklist", (id1, link_type)),
+        ]
+
+        def sql_body(session):
+            existing = session.query_one(
+                "SELECT visibility FROM links"
+                " WHERE id1 = ? AND link_type = ? AND id2 = ?",
+                (id1, link_type, id2),
+            )
+            if existing is not None:
+                raise _AlreadyExists()
+            session.execute(
+                "INSERT INTO links (id1, link_type, id2, visibility,"
+                " time, data) VALUES (?, ?, ?, ?, 0, ?)",
+                (id1, link_type, id2, VISIBILITY_DEFAULT, data),
+            )
+            updated = session.execute(
+                "UPDATE counts SET count = count + 1"
+                " WHERE id = ? AND link_type = ?",
+                (id1, link_type),
+            )
+            if updated.rowcount == 0:
+                session.execute(
+                    "INSERT INTO counts (id, link_type, count)"
+                    " VALUES (?, ?, 1)",
+                    (id1, link_type),
+                )
+            self._record_link_state(session, id1, link_type)
+            self._delay(self.write_delay)
+            return True
+
+        try:
+            return self._write(
+                items, sql_body,
+                self._link_changes(id1, link_type, id2, add=True),
+            )
+        except _AlreadyExists:
+            return None
+
+    def delete_link(self, id1, link_type, id2):
+        items = [
+            ("linkcount", (id1, link_type)), ("linklist", (id1, link_type)),
+        ]
+
+        def sql_body(session):
+            removed = session.execute(
+                "DELETE FROM links"
+                " WHERE id1 = ? AND link_type = ? AND id2 = ?",
+                (id1, link_type, id2),
+            )
+            if removed.rowcount == 0:
+                raise _AlreadyExists()
+            session.execute(
+                "UPDATE counts SET count = count - 1"
+                " WHERE id = ? AND link_type = ?",
+                (id1, link_type),
+            )
+            self._record_link_state(session, id1, link_type)
+            self._delay(self.write_delay)
+            return True
+
+        try:
+            return self._write(
+                items, sql_body,
+                self._link_changes(id1, link_type, id2, add=False),
+            )
+        except _AlreadyExists:
+            return None
+
+    def get_link(self, id1, link_type, id2):
+        """Point lookup (uncached in LinkBench's MySQL tier too)."""
+        connection = self.db.connect()
+        try:
+            row = connection.query_one(
+                "SELECT * FROM links"
+                " WHERE id1 = ? AND link_type = ? AND id2 = ?",
+                (id1, link_type, id2),
+            )
+            return None if row is None else row.as_dict()
+        finally:
+            connection.close()
+
+    def get_link_list(self, id1, link_type):
+        """Cached association list; validated against the ground truth."""
+        items = [("linklist", (id1, link_type))]
+        floors = self._read_items(items)
+
+        def compute():
+            connection = self.db.connect()
+            try:
+                rows = connection.execute(
+                    "SELECT id2 FROM links"
+                    " WHERE id1 = ? AND link_type = ? AND visibility = ?",
+                    (id1, link_type, VISIBILITY_DEFAULT),
+                )
+                ids = sorted(r[0] for r in rows)
+                self._delay(self.compute_delay)
+                if self.technique == "delta":
+                    return b"".join(
+                        "{},".format(i).encode("ascii") for i in ids
+                    )
+                return encode(ids)
+            finally:
+                connection.close()
+
+        raw = self.client.read(self.keys.link_list(id1, link_type), compute)
+        members = None if raw is None else frozenset(_decode_members(raw))
+        self._validate(items[0], members, floors, "linklist")
+        return members
+
+    def count_links(self, id1, link_type):
+        """Cached association count; validated against the ground truth."""
+        items = [("linkcount", (id1, link_type))]
+        floors = self._read_items(items)
+
+        def compute():
+            connection = self.db.connect()
+            try:
+                count = connection.query_scalar(
+                    "SELECT count FROM counts"
+                    " WHERE id = ? AND link_type = ?",
+                    (id1, link_type),
+                )
+                self._delay(self.compute_delay)
+                return encode(int(count or 0))
+            finally:
+                connection.close()
+
+        raw = self.client.read(self.keys.link_count(id1, link_type), compute)
+        count = None if raw is None else decode(raw)
+        self._validate(items[0], count, floors, "linkcount")
+        return count
+
+
+def _decode_members(raw):
+    """Decode a link list in either the JSON or CSV encoding."""
+    if raw.startswith(b"j:"):
+        return decode(raw)
+    return [int(part) for part in raw.decode("ascii").split(",") if part]
+
+
+class _AlreadyExists(Exception):
+    """Internal: the link already exists / is already gone (no-op)."""

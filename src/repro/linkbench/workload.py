@@ -1,0 +1,339 @@
+"""LinkBench workload: operation mix, graph seeding, threaded driver.
+
+The operation mix follows the published Facebook production distribution
+(Armstrong et al., SIGMOD'13, Table 2), renormalized over the operations
+this store implements:
+
+====================  ======
+get_link_list         50.7%
+count_links            4.9%
+get_link               1.9%
+get_node              12.9%
+update_node            7.4%
+add_node               2.6%
+delete_node            1.0%
+add_link               9.0%
+delete_link            3.0%
+update (via re-add)    6.6%  -- folded into add_link
+====================  ======
+"""
+
+import random
+import threading
+import time
+
+from repro.bg.metrics import BenchmarkResult
+from repro.bg.validation import ValidationLog
+from repro.bg.zipfian import ZipfianGenerator, exponent_for_hotspot
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    BaselineDeltaClient,
+    BaselineInvalidateClient,
+    BaselineRefreshClient,
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+)
+from repro.core.session import SessionOutcome
+from repro.errors import QuarantinedError, TransactionAbortedError
+from repro.kvs.read_lease import ReadLeaseStore
+from repro.linkbench.schema import create_linkbench_database
+from repro.linkbench.store import LinkStore
+from repro.util.histogram import LatencyHistogram
+
+LINKBENCH_MIX = {
+    "get_link_list": 50.7,
+    "count_links": 4.9,
+    "get_link": 1.9,
+    "get_node": 12.9,
+    "update_node": 7.4,
+    "add_node": 2.6,
+    "delete_node": 1.0,
+    "add_link": 15.6,
+    "delete_link": 3.0,
+}
+
+LINK_TYPE = 1
+
+
+class LinkGraphState:
+    """Driver-side ground truth of which links exist (operand selection)."""
+
+    def __init__(self, node_count, initial_degree):
+        self._lock = threading.Lock()
+        self.node_count = node_count
+        self._links = {
+            id1: set(
+                (id1 + offset + 1) % node_count
+                for offset in range(initial_degree)
+            )
+            for id1 in range(node_count)
+        }
+        self._claimed = set()
+        self._next_node = node_count
+
+    def initial_links_of(self, id1):
+        return frozenset(
+            (id1 + offset + 1) % self.node_count
+            for offset in range(len(self._links[id1]))
+        )
+
+    def claim_add(self, rng, attempts=16):
+        with self._lock:
+            for _ in range(attempts):
+                id1 = rng.randrange(self.node_count)
+                id2 = rng.randrange(self.node_count)
+                if id1 == id2:
+                    continue
+                if id2 in self._links[id1]:
+                    continue
+                pair = (id1, id2)
+                if pair in self._claimed:
+                    continue
+                self._claimed.add(pair)
+                return pair
+            return None
+
+    def claim_delete(self, rng, attempts=16):
+        with self._lock:
+            for _ in range(attempts):
+                id1 = rng.randrange(self.node_count)
+                if not self._links[id1]:
+                    continue
+                id2 = next(iter(self._links[id1]))
+                pair = (id1, id2)
+                if pair in self._claimed:
+                    continue
+                self._claimed.add(pair)
+                return pair
+            return None
+
+    def complete(self, pair, kind, succeeded):
+        with self._lock:
+            self._claimed.discard(pair)
+            if not succeeded:
+                return
+            id1, id2 = pair
+            if kind == "add":
+                self._links[id1].add(id2)
+            else:
+                self._links[id1].discard(id2)
+
+    def fresh_node_id(self):
+        with self._lock:
+            node_id = self._next_node
+            self._next_node += 1
+            return node_id
+
+
+def seed_graph(db, node_count, initial_degree):
+    """Load nodes, ring links, and counts deterministically."""
+    connection = db.connect()
+    try:
+        for node_id in range(node_count):
+            connection.execute(
+                "INSERT INTO nodes (id, type, version, time, data)"
+                " VALUES (?, 1, 0, 0, ?)",
+                (node_id, "node{}".format(node_id)),
+            )
+        for id1 in range(node_count):
+            for offset in range(initial_degree):
+                id2 = (id1 + offset + 1) % node_count
+                connection.execute(
+                    "INSERT INTO links (id1, link_type, id2, visibility,"
+                    " time, data) VALUES (?, ?, ?, 1, 0, '')",
+                    (id1, LINK_TYPE, id2),
+                )
+            connection.execute(
+                "INSERT INTO counts (id, link_type, count) VALUES (?, ?, ?)",
+                (id1, LINK_TYPE, initial_degree),
+            )
+    finally:
+        connection.close()
+
+
+class LinkBenchSystem:
+    """Assembled components of one LinkBench configuration."""
+
+    def __init__(self, db, cache, store, state, log):
+        self.db = db
+        self.cache = cache
+        self.store = store
+        self.state = state
+        self.log = log
+
+
+def build_linkbench_system(nodes=100, initial_degree=4, leased=True,
+                           technique="refresh", compute_delay=0.0,
+                           write_delay=0.0, backoff=None):
+    """Build a LinkBench deployment mirroring the BG harness's shape."""
+    db = create_linkbench_database()
+    seed_graph(db, nodes, initial_degree)
+    log = ValidationLog()
+    state = LinkGraphState(nodes, initial_degree)
+    for id1 in range(nodes):
+        log.register(("linkcount", (id1, LINK_TYPE)), initial_degree)
+        log.register(
+            ("linklist", (id1, LINK_TYPE)), state.initial_links_of(id1)
+        )
+
+    if leased:
+        server = IQServer()
+        iq_client = IQClient(server, backoff=backoff)
+        client_class = {
+            "invalidate": IQInvalidateClient,
+            "refresh": IQRefreshClient,
+            "delta": IQDeltaClient,
+        }[technique]
+        client = client_class(iq_client, db.connect, backoff=backoff)
+        cache = server
+    else:
+        cache = ReadLeaseStore()
+        client_class = {
+            "invalidate": BaselineInvalidateClient,
+            "refresh": BaselineRefreshClient,
+            "delta": BaselineDeltaClient,
+        }[technique]
+        client = client_class(cache, db.connect, backoff=backoff)
+
+    store = LinkStore(
+        db, client, log=log, technique=technique,
+        compute_delay=compute_delay, write_delay=write_delay,
+    )
+    return LinkBenchSystem(db, cache, store, state, log)
+
+
+class LinkBenchRunner:
+    """Multithreaded LinkBench driver with validation."""
+
+    RETRIES = 20
+
+    def __init__(self, system, mix=None, seed=99, hotspot=(0.2, 0.7)):
+        self.system = system
+        self.mix = dict(mix or LINKBENCH_MIX)
+        self.seed = seed
+        self._names = list(self.mix)
+        self._weights = [self.mix[n] for n in self._names]
+        self.exponent = exponent_for_hotspot(
+            self.system.state.node_count, *hotspot
+        )
+
+    def _one(self, name, rng, zipf, stats):
+        store = self.system.store
+        state = self.system.state
+        node = zipf.next()
+        if name == "get_link_list":
+            store.get_link_list(node, LINK_TYPE)
+        elif name == "count_links":
+            store.count_links(node, LINK_TYPE)
+        elif name == "get_link":
+            store.get_link(node, LINK_TYPE, (node + 1) % state.node_count)
+        elif name == "get_node":
+            store.get_node(node)
+        elif name == "update_node":
+            self._retrying(
+                lambda: store.update_node(node, "d{}".format(rng.random())),
+                stats,
+            )
+        elif name == "add_node":
+            self._retrying(
+                lambda: store.add_node(state.fresh_node_id(), 1), stats
+            )
+        elif name == "delete_node":
+            # Deleting seeded nodes would break operand selection; delete
+            # a previously added extra node when one exists.
+            extra = state.fresh_node_id()
+            self._retrying(lambda: store.add_node(extra, 1), stats)
+            self._retrying(lambda: store.delete_node(extra), stats)
+        elif name == "add_link":
+            pair = state.claim_add(rng)
+            if pair is None:
+                store.get_link_list(node, LINK_TYPE)
+                return
+            ok = self._retrying(
+                lambda: store.add_link(pair[0], LINK_TYPE, pair[1]), stats
+            )
+            state.complete(pair, "add", ok)
+        elif name == "delete_link":
+            pair = state.claim_delete(rng)
+            if pair is None:
+                store.count_links(node, LINK_TYPE)
+                return
+            ok = self._retrying(
+                lambda: store.delete_link(pair[0], LINK_TYPE, pair[1]),
+                stats,
+            )
+            state.complete(pair, "delete", ok)
+        else:
+            raise ValueError(name)
+
+    def _retrying(self, operation, stats):
+        attempts = 0
+        while True:
+            try:
+                outcome = operation()
+                if isinstance(outcome, SessionOutcome):
+                    stats["restarts"].append(outcome.restarts + attempts)
+                return True
+            except (QuarantinedError, TransactionAbortedError):
+                attempts += 1
+                if attempts >= self.RETRIES:
+                    stats["errors"] += 1
+                    return False
+                time.sleep(0.0005 * attempts)
+
+    def run(self, threads=4, ops_per_thread=100):
+        latency = LatencyHistogram()
+        stats = {"restarts": [], "errors": 0, "ops": 0}
+        stats_lock = threading.Lock()
+        failures = []
+
+        def worker(index):
+            rng = random.Random(self.seed + 31 * index)
+            zipf = ZipfianGenerator(
+                self.system.state.node_count, exponent=self.exponent,
+                rng=random.Random(self.seed ^ index), scramble=True,
+            )
+            local = {"restarts": [], "errors": 0, "ops": 0}
+            try:
+                for _ in range(ops_per_thread):
+                    name = rng.choices(
+                        self._names, weights=self._weights, k=1
+                    )[0]
+                    start = time.monotonic()
+                    self._one(name, rng, zipf, local)
+                    latency.record(time.monotonic() - start)
+                    local["ops"] += 1
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+            finally:
+                with stats_lock:
+                    stats["restarts"].extend(local["restarts"])
+                    stats["errors"] += local["errors"]
+                    stats["ops"] += local["ops"]
+
+        started = time.monotonic()
+        pool = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        if failures:
+            raise failures[0]
+        elapsed = time.monotonic() - started
+        return BenchmarkResult(
+            mix_name="linkbench",
+            threads=threads,
+            duration=elapsed,
+            actions=stats["ops"],
+            reads=stats["ops"] - len(stats["restarts"]),
+            writes=len(stats["restarts"]),
+            latency=latency,
+            restarts=stats["restarts"],
+            validation=self.system.log,
+            errors=stats["errors"],
+        )

@@ -1,0 +1,22 @@
+"""Memcached ASCII wire protocol with IQ lease extensions.
+
+The paper's IQ-Twemcached is a network server spoken to by a modified
+Whalin client.  This package provides the equivalent end-to-end path:
+
+* :mod:`repro.net.protocol` -- request/response framing: the standard
+  memcached text commands (``get``, ``set``, ``cas``, ``delete``,
+  ``incr`` ...) plus the IQ extension commands (``iqget``, ``iqset``,
+  ``qaread``, ``sar``, ``genid``, ``qar``, ``dar``, ``iqdelta``,
+  ``commit``, ``abort``);
+* :mod:`repro.net.server` -- a threaded TCP server exposing an
+  :class:`~repro.core.iq_server.IQServer`;
+* :mod:`repro.net.client` -- :class:`RemoteIQServer`, a client with the
+  same method surface as the in-process server, so
+  :class:`~repro.core.iq_client.IQClient` (and everything built on it)
+  runs unchanged over a real socket.
+"""
+
+from repro.net.client import RemoteIQServer
+from repro.net.server import IQTCPServer, serve_background
+
+__all__ = ["IQTCPServer", "RemoteIQServer", "serve_background"]

@@ -1,0 +1,239 @@
+"""RemoteIQServer: the IQ command surface over a TCP connection.
+
+Implements the exact method surface of the in-process
+:class:`~repro.core.iq_server.IQServer`, so application code --
+:class:`~repro.core.iq_client.IQClient`, the consistency clients, the BG
+actions -- runs unchanged against a networked cache.  One instance wraps
+one socket; it is protected by a lock so several threads may share it
+(each request/response exchange is atomic), though one connection per
+thread performs better.
+"""
+
+import socket
+import threading
+
+from repro.errors import ProtocolError, QuarantinedError
+from repro.core.iq_server import IQGetResult, QaReadResult
+from repro.kvs.store import StoreResult
+from repro.net.protocol import CRLF, LineReader
+
+
+class RemoteIQServer:
+    """Client-side stub for a networked IQ-Twemcached."""
+
+    def __init__(self, host="127.0.0.1", port=11211, timeout=10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = LineReader(self._sock)
+        self._lock = threading.Lock()
+
+    def close(self):
+        try:
+            self._sock.sendall(b"quit" + CRLF)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _roundtrip(self, line, data=None):
+        """Send one command (optionally with a data block); read one line."""
+        payload = line.encode() + CRLF
+        if data is not None:
+            payload += data + CRLF
+        with self._lock:
+            self._sock.sendall(payload)
+            return self._reader.read_line()
+
+    def _roundtrip_value(self, line, data=None):
+        """Round trip for commands that may reply ``VALUE``...``END``."""
+        payload = line.encode() + CRLF
+        if data is not None:
+            payload += data + CRLF
+        with self._lock:
+            self._sock.sendall(payload)
+            first = self._reader.read_line()
+            if not first.startswith(b"VALUE "):
+                return first, None
+            parts = first.split()
+            size = int(parts[3])
+            value = self._reader.read_bytes(size)
+            end = self._reader.read_line()
+            if end != b"END":
+                raise ProtocolError("missing END after VALUE block")
+            return first, value
+
+    # -- IQ command surface ------------------------------------------------------
+
+    def gen_id(self):
+        reply = self._roundtrip("genid")
+        if not reply.startswith(b"ID "):
+            raise ProtocolError("bad genid reply {!r}".format(reply))
+        return int(reply.split()[1])
+
+    def iq_get(self, key, session=None):
+        line = "iqget {}".format(key)
+        if session is not None:
+            line += " {}".format(session)
+        reply, value = self._roundtrip_value(line)
+        if value is not None:
+            return IQGetResult(value=value)
+        if reply.startswith(b"LEASE "):
+            return IQGetResult(token=int(reply.split()[1]))
+        if reply == b"BACKOFF":
+            return IQGetResult(backoff=True)
+        if reply == b"MISS":
+            return IQGetResult()
+        raise ProtocolError("bad iqget reply {!r}".format(reply))
+
+    def iq_set(self, key, value, token):
+        reply = self._roundtrip(
+            "iqset {} {} {}".format(key, token, len(value)), value
+        )
+        return reply == b"STORED"
+
+    def release_i(self, key, token):
+        return self._roundtrip("releasei {} {}".format(key, token)) == b"OK"
+
+    def qaread(self, key, tid):
+        reply, value = self._roundtrip_value("qaread {} {}".format(key, tid))
+        if reply == b"ABORT":
+            raise QuarantinedError(key)
+        if value is not None:
+            return QaReadResult(value)
+        if reply == b"MISS":
+            return QaReadResult(None)
+        raise ProtocolError("bad qaread reply {!r}".format(reply))
+
+    def sar(self, key, value, tid):
+        if value is None:
+            reply = self._roundtrip("sar {} {} -1".format(key, tid))
+            return reply == b"RELEASED"
+        reply = self._roundtrip(
+            "sar {} {} {}".format(key, tid, len(value)), value
+        )
+        return reply == b"STORED"
+
+    def propose_refresh(self, key, value, tid):
+        raise NotImplementedError(
+            "propose_refresh is an in-process optimization hook; the wire "
+            "protocol uses qaread/sar"
+        )
+
+    def qar(self, tid, key):
+        reply = self._roundtrip("qar {} {}".format(tid, key))
+        if reply == b"ABORT":
+            raise QuarantinedError(key)
+        return True
+
+    def dar(self, tid):
+        return self._roundtrip("dar {}".format(tid)) == b"OK"
+
+    def iq_delta(self, tid, key, op, operand):
+        reply = self._roundtrip(
+            "iqdelta {} {} {} {}".format(tid, key, op, len(operand)), operand
+        )
+        if reply == b"ABORT":
+            raise QuarantinedError(key)
+        return True
+
+    def commit(self, tid):
+        return self._roundtrip("commit {}".format(tid)) == b"OK"
+
+    def abort(self, tid):
+        return self._roundtrip("abort {}".format(tid)) == b"OK"
+
+    # -- standard memcached commands ---------------------------------------------
+
+    def get(self, key):
+        reply, value = self._roundtrip_value("get {}".format(key))
+        if value is None:
+            return None
+        flags = int(reply.split()[2])
+        return value, flags
+
+    def gets(self, key):
+        reply, value = self._roundtrip_value("gets {}".format(key))
+        if value is None:
+            return None
+        parts = reply.split()
+        return value, int(parts[2]), int(parts[4])
+
+    def set(self, key, value, flags=0, ttl=None):
+        reply = self._roundtrip(
+            "set {} {} {} {}".format(key, flags, ttl or 0, len(value)), value
+        )
+        return StoreResult(reply.decode())
+
+    def add(self, key, value, flags=0, ttl=None):
+        reply = self._roundtrip(
+            "add {} {} {} {}".format(key, flags, ttl or 0, len(value)), value
+        )
+        return StoreResult(reply.decode())
+
+    def replace(self, key, value, flags=0, ttl=None):
+        reply = self._roundtrip(
+            "replace {} {} {} {}".format(key, flags, ttl or 0, len(value)),
+            value,
+        )
+        return StoreResult(reply.decode())
+
+    def append(self, key, suffix):
+        reply = self._roundtrip(
+            "append {} 0 0 {}".format(key, len(suffix)), suffix
+        )
+        return StoreResult(reply.decode())
+
+    def prepend(self, key, prefix):
+        reply = self._roundtrip(
+            "prepend {} 0 0 {}".format(key, len(prefix)), prefix
+        )
+        return StoreResult(reply.decode())
+
+    def cas(self, key, value, cas_id, flags=0, ttl=None):
+        reply = self._roundtrip(
+            "cas {} {} {} {} {}".format(
+                key, flags, ttl or 0, len(value), cas_id
+            ),
+            value,
+        )
+        return StoreResult(reply.decode())
+
+    def delete(self, key):
+        return self._roundtrip("delete {}".format(key)) == b"DELETED"
+
+    def incr(self, key, delta=1):
+        reply = self._roundtrip("incr {} {}".format(key, delta))
+        return None if reply == b"NOT_FOUND" else int(reply)
+
+    def decr(self, key, delta=1):
+        reply = self._roundtrip("decr {} {}".format(key, delta))
+        return None if reply == b"NOT_FOUND" else int(reply)
+
+    def touch(self, key, ttl):
+        return self._roundtrip("touch {} {}".format(key, ttl)) == b"TOUCHED"
+
+    def flush_all(self):
+        return self._roundtrip("flush_all") == b"OK"
+
+    def stats(self):
+        with self._lock:
+            self._sock.sendall(b"stats" + CRLF)
+            result = {}
+            while True:
+                line = self._reader.read_line()
+                if line == b"END":
+                    return result
+                _stat, name, value = line.decode().split()
+                result[name] = int(value)
+
+    def version(self):
+        reply = self._roundtrip("version")
+        return reply.decode().split(" ", 1)[1]

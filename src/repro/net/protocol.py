@@ -1,0 +1,126 @@
+"""Framing helpers for the memcached text protocol and IQ extensions.
+
+Requests and responses are CRLF-delimited command lines, optionally
+followed by a data block of a byte length announced on the command line
+(exactly as in the memcached ASCII protocol).  Every IQ extension follows
+the same discipline so a protocol trace reads like a Twemcache trace.
+
+Extension command grammar (server replies in parentheses)::
+
+    genid                                    (ID <tid>)
+    iqget <key> [<tid>]                      (VALUE .../END | LEASE <token> | MISS | BACKOFF)
+    iqset <key> <token> <nbytes> + data      (STORED | IGNORED)
+    releasei <key> <token>                   (OK)
+    qaread <key> <tid>                       (VALUE .../END | MISS | ABORT)
+    sar <key> <tid> <nbytes> + data          (STORED | RELEASED | IGNORED)
+    sar <key> <tid> -1                       (RELEASED | IGNORED)   # null value
+    qar <tid> <key>                          (GRANTED | ABORT)
+    dar <tid>                                (OK)
+    iqdelta <tid> <key> <op> <nbytes> + data (GRANTED | ABORT)
+    commit <tid>                             (OK)
+    abort <tid>                              (OK)
+"""
+
+from repro.errors import ProtocolError
+
+CRLF = b"\r\n"
+
+#: Commands whose request carries a data block; value is the index of the
+#: <nbytes> field on the command line (0 = command name itself).
+DATA_COMMANDS = {
+    "set": 4,
+    "add": 4,
+    "replace": 4,
+    "append": 4,
+    "prepend": 4,
+    "cas": 4,
+    "iqset": 3,
+    "sar": 3,
+    "iqdelta": 4,
+}
+
+
+class LineReader:
+    """Incremental reader over a socket-like object with ``recv``."""
+
+    def __init__(self, sock, chunk_size=65536):
+        self._sock = sock
+        self._buffer = b""
+        self._chunk_size = chunk_size
+
+    def _fill(self):
+        chunk = self._sock.recv(self._chunk_size)
+        if not chunk:
+            raise ConnectionError("peer closed the connection")
+        self._buffer += chunk
+
+    def read_line(self):
+        """Read one CRLF-terminated line (returned without the CRLF)."""
+        while CRLF not in self._buffer:
+            self._fill()
+        line, self._buffer = self._buffer.split(CRLF, 1)
+        return line
+
+    def read_bytes(self, count):
+        """Read exactly ``count`` bytes plus the trailing CRLF."""
+        needed = count + len(CRLF)
+        while len(self._buffer) < needed:
+            self._fill()
+        data = self._buffer[:count]
+        if self._buffer[count:needed] != CRLF:
+            raise ProtocolError("data block not terminated by CRLF")
+        self._buffer = self._buffer[needed:]
+        return data
+
+
+def parse_command_line(line):
+    """Split a request line into (command, args).  Command is lowercased."""
+    if not line:
+        raise ProtocolError("empty command line")
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError:
+        raise ProtocolError("command line is not valid UTF-8")
+    parts = text.split()
+    if not parts:
+        raise ProtocolError("blank command line")
+    return parts[0].lower(), parts[1:]
+
+
+def data_block_size(command, args):
+    """Return the announced data-block size for ``command`` or ``None``.
+
+    A negative announced size means "no data block follows" (the ``sar``
+    null-value form).
+    """
+    index = DATA_COMMANDS.get(command)
+    if index is None:
+        return None
+    if len(args) < index:
+        raise ProtocolError(
+            "command {!r} is missing its size field".format(command)
+        )
+    try:
+        size = int(args[index - 1])
+    except ValueError:
+        raise ProtocolError("bad data size {!r}".format(args[index - 1]))
+    if size < 0:
+        return None
+    return size
+
+
+def value_response(key, value, flags=0, cas_id=None):
+    """Build a ``VALUE``...``END`` retrieval response."""
+    if cas_id is None:
+        header = "VALUE {} {} {}".format(key, flags, len(value))
+    else:
+        header = "VALUE {} {} {} {}".format(key, flags, len(value), cas_id)
+    return header.encode() + CRLF + value + CRLF + b"END" + CRLF
+
+
+def simple_response(word):
+    return word.encode() if isinstance(word, str) else word
+
+
+def error_response(message):
+    return "SERVER_ERROR {}".format(message).encode()

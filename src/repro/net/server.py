@@ -1,0 +1,199 @@
+"""Threaded TCP server exposing an IQ-Server over the text protocol."""
+
+import socketserver
+import threading
+
+from repro.core.iq_server import IQServer
+from repro.errors import (
+    BadValueError,
+    KeyFormatError,
+    ProtocolError,
+    QuarantinedError,
+    ReproError,
+    ValueTooLargeError,
+)
+from repro.kvs.store import StoreResult
+from repro.net.protocol import (
+    CRLF,
+    LineReader,
+    data_block_size,
+    error_response,
+    parse_command_line,
+    value_response,
+)
+
+_STORE_REPLIES = {
+    StoreResult.STORED: b"STORED",
+    StoreResult.NOT_STORED: b"NOT_STORED",
+    StoreResult.EXISTS: b"EXISTS",
+    StoreResult.NOT_FOUND: b"NOT_FOUND",
+}
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: a loop of request line -> optional data -> reply."""
+
+    def handle(self):
+        reader = LineReader(self.request)
+        iq = self.server.iq_server
+        while True:
+            try:
+                line = reader.read_line()
+            except ConnectionError:
+                return
+            try:
+                command, args = parse_command_line(line)
+                if command == "quit":
+                    return
+                size = data_block_size(command, args)
+                data = reader.read_bytes(size) if size is not None else None
+                reply = self._dispatch(iq, command, args, data)
+            except ProtocolError as exc:
+                reply = error_response(str(exc))
+            except (BadValueError, KeyFormatError, ValueTooLargeError) as exc:
+                reply = "CLIENT_ERROR {}".format(exc).encode()
+            except ReproError as exc:
+                reply = error_response(str(exc))
+            try:
+                self.request.sendall(reply + CRLF)
+            except OSError:
+                return
+
+    # -- command dispatch ----------------------------------------------------
+
+    def _dispatch(self, iq, command, args, data):
+        store = iq.store
+        if command == "get" or command == "gets":
+            return self._retrieve(store, args, with_cas=command == "gets")
+        if command in ("set", "add", "replace"):
+            key, flags, exptime = args[0], int(args[1]), float(args[2])
+            ttl = exptime if exptime > 0 else None
+            result = getattr(store, command)(key, data, int(flags), ttl)
+            return _STORE_REPLIES[result]
+        if command in ("append", "prepend"):
+            result = getattr(store, command)(args[0], data)
+            return _STORE_REPLIES[result]
+        if command == "cas":
+            key, flags, exptime, _size, cas_id = args[:5]
+            ttl = float(exptime) if float(exptime) > 0 else None
+            result = store.cas(key, data, int(cas_id), int(flags), ttl)
+            return _STORE_REPLIES[result]
+        if command == "delete":
+            return b"DELETED" if store.delete(args[0]) else b"NOT_FOUND"
+        if command in ("incr", "decr"):
+            new = getattr(store, command)(args[0], int(args[1]))
+            if new is None:
+                return b"NOT_FOUND"
+            return str(new).encode()
+        if command == "touch":
+            return b"TOUCHED" if store.touch(args[0], float(args[1])) else b"NOT_FOUND"
+        if command == "flush_all":
+            iq.flush_all()
+            return b"OK"
+        if command == "stats":
+            lines = [
+                "STAT {} {}".format(name, value).encode()
+                for name, value in sorted(iq.stats.snapshot().items())
+            ]
+            return CRLF.join(lines + [b"END"])
+        if command == "version":
+            return b"VERSION repro-iq-twemcached 1.0"
+
+        # -- IQ extensions ---------------------------------------------------
+        if command == "genid":
+            return "ID {}".format(iq.gen_id()).encode()
+        if command == "iqget":
+            session = int(args[1]) if len(args) > 1 else None
+            result = iq.iq_get(args[0], session=session)
+            if result.is_hit:
+                return value_response(args[0], result.value)[:-2]
+            if result.has_lease:
+                return "LEASE {}".format(result.token).encode()
+            return b"BACKOFF" if result.backoff else b"MISS"
+        if command == "iqset":
+            stored = iq.iq_set(args[0], data, int(args[1]))
+            return b"STORED" if stored else b"IGNORED"
+        if command == "releasei":
+            iq.release_i(args[0], int(args[1]))
+            return b"OK"
+        if command == "qaread":
+            try:
+                result = iq.qaread(args[0], int(args[1]))
+            except QuarantinedError:
+                return b"ABORT"
+            if result.value is None:
+                return b"MISS"
+            return value_response(args[0], result.value)[:-2]
+        if command == "sar":
+            stored = iq.sar(args[0], data, int(args[1]))
+            if data is None:
+                return b"RELEASED"
+            return b"STORED" if stored else b"IGNORED"
+        if command == "qar":
+            try:
+                iq.qar(int(args[0]), args[1])
+            except QuarantinedError:
+                return b"ABORT"
+            return b"GRANTED"
+        if command == "dar":
+            iq.dar(int(args[0]))
+            return b"OK"
+        if command == "iqdelta":
+            try:
+                iq.iq_delta(int(args[0]), args[1], args[2], data)
+            except QuarantinedError:
+                return b"ABORT"
+            return b"GRANTED"
+        if command == "commit":
+            iq.commit(int(args[0]))
+            return b"OK"
+        if command == "abort":
+            iq.abort(int(args[0]))
+            return b"OK"
+        raise ProtocolError("unknown command {!r}".format(command))
+
+    def _retrieve(self, store, keys, with_cas):
+        chunks = []
+        for key in keys:
+            if with_cas:
+                hit = store.gets(key)
+                if hit is not None:
+                    value, flags, cas_id = hit
+                    header = "VALUE {} {} {} {}".format(
+                        key, flags, len(value), cas_id
+                    )
+                    chunks.append(header.encode() + CRLF + value)
+            else:
+                hit = store.get(key)
+                if hit is not None:
+                    value, flags = hit
+                    header = "VALUE {} {} {}".format(key, flags, len(value))
+                    chunks.append(header.encode() + CRLF + value)
+        chunks.append(b"END")
+        return CRLF.join(chunks)
+
+
+class IQTCPServer(socketserver.ThreadingTCPServer):
+    """TCP front end for an :class:`IQServer`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address=("127.0.0.1", 0), iq_server=None):
+        super().__init__(address, _Handler)
+        self.iq_server = iq_server or IQServer()
+
+    @property
+    def port(self):
+        return self.server_address[1]
+
+
+def serve_background(iq_server=None, address=("127.0.0.1", 0)):
+    """Start an :class:`IQTCPServer` on a daemon thread.
+
+    Returns ``(server, thread)``; call ``server.shutdown()`` to stop.
+    """
+    server = IQTCPServer(address, iq_server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,34 @@
+"""Deterministic replay of the paper's race-condition interleavings.
+
+:mod:`repro.sim.scheduler` runs session *programs* (generators that yield
+between operations) under an explicit interleaving script, so each race in
+Figures 2, 3, 6, 7 and 8 is reproduced bit-for-bit rather than
+probabilistically.  :mod:`repro.sim.scripts` contains one scripted
+scenario per figure, each runnable with the unleased baseline (exhibiting
+the race) and with the IQ framework (race prevented).
+"""
+
+from repro.sim.scheduler import Interleaver, Program
+from repro.sim.scripts import (
+    ScenarioOutcome,
+    figure2_cas_insufficient,
+    figure3_snapshot_invalidate,
+    figure4_rearrangement_window,
+    figure6_dirty_read_refresh,
+    figure7_stale_overwrite_delta,
+    figure8_double_delta,
+    run_all_figures,
+)
+
+__all__ = [
+    "Interleaver",
+    "Program",
+    "ScenarioOutcome",
+    "figure2_cas_insufficient",
+    "figure3_snapshot_invalidate",
+    "figure4_rearrangement_window",
+    "figure6_dirty_read_refresh",
+    "figure7_stale_overwrite_delta",
+    "figure8_double_delta",
+    "run_all_figures",
+]

@@ -1,0 +1,619 @@
+"""Scripted reproductions of the paper's race-condition figures.
+
+Each ``figureN_*`` function runs one scenario twice -- with the unleased
+baseline (``iq=False``) and with the IQ framework (``iq=True``) -- under
+the figure's exact interleaving, and reports the final RDBMS and KVS
+values.  The baseline runs demonstrate the races (RDBMS and KVS diverge);
+the IQ runs end consistent.
+
+The scenarios use tiny single-row schemas so the step sequences map
+one-to-one onto the paper's numbered steps.
+"""
+
+from repro.config import KVSConfig, LeaseConfig
+from repro.core.iq_server import IQServer
+from repro.errors import QuarantinedError
+from repro.kvs.read_lease import ReadLeaseStore
+from repro.sim.scheduler import Interleaver, Program
+from repro.sql.engine import Database
+from repro.util.clock import LogicalClock
+
+
+class ScenarioOutcome:
+    """Result of one scenario run."""
+
+    def __init__(self, figure, variant, rdbms_value, kvs_value, notes=""):
+        self.figure = figure
+        self.variant = variant
+        self.rdbms_value = rdbms_value
+        self.kvs_value = kvs_value
+        self.notes = notes
+
+    @property
+    def consistent(self):
+        """True when the KVS either matches the RDBMS or holds nothing.
+
+        An absent key is consistent: the next read session recomputes the
+        value from the RDBMS under an I lease.
+        """
+        if self.kvs_value is None:
+            return True
+        return self.kvs_value == self.rdbms_value
+
+    def __repr__(self):
+        return (
+            "ScenarioOutcome({}, {}, rdbms={!r}, kvs={!r}, consistent={})"
+        ).format(
+            self.figure, self.variant, self.rdbms_value, self.kvs_value,
+            self.consistent,
+        )
+
+
+def _fresh_db(initial_value, column="val", as_text=False):
+    db = Database()
+    setup = db.connect()
+    value_type = "TEXT" if as_text else "INTEGER"
+    setup.execute(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, {} {})".format(
+            column, value_type
+        )
+    )
+    setup.execute(
+        "INSERT INTO items (id, {}) VALUES (?, ?)".format(column),
+        (1, initial_value),
+    )
+    setup.close()
+    return db
+
+
+def _db_value(db, column="val"):
+    connection = db.connect()
+    try:
+        return connection.query_scalar(
+            "SELECT {} FROM items WHERE id = 1".format(column)
+        )
+    finally:
+        connection.close()
+
+
+def _kvs_int(store_get):
+    return int(store_get[0]) if store_get is not None else None
+
+
+KEY = "item1"
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: compare-and-swap does not provide strong consistency
+# ---------------------------------------------------------------------------
+
+def figure2_cas_insufficient(iq=False):
+    """Two R-M-W write sessions: S1 adds 50, S2 multiplies by 10.
+
+    Schedule (paper): all of S2 runs between S1's RDBMS operations and
+    S1's KVS operations.  Baseline: RDBMS says 1500, the KVS says 1050.
+    IQ refresh: S2's QaRead aborts against S1's Q lease and retries after
+    S1 releases, producing 1500 in both.
+    """
+    db = _fresh_db(100)
+    if not iq:
+        store = ReadLeaseStore()
+        store.set(KEY, b"100")
+
+        def s1():
+            connection = db.connect()
+            connection.begin()
+            connection.execute("UPDATE items SET val = val + 50 WHERE id = 1")
+            yield "S1: RDBMS +50"
+            connection.commit()
+            connection.close()
+            yield "S1: RDBMS commit"
+            value, _flags, cas_id = store.gets(KEY)
+            yield "S1: KVS read"
+            store.cas(KEY, str(int(value) + 50).encode(), cas_id)
+            yield "S1: KVS cas"
+
+        def s2():
+            connection = db.connect()
+            connection.begin()
+            connection.execute("UPDATE items SET val = val * 10 WHERE id = 1")
+            yield "S2: RDBMS *10"
+            connection.commit()
+            connection.close()
+            yield "S2: RDBMS commit"
+            value, _flags, cas_id = store.gets(KEY)
+            yield "S2: KVS read"
+            store.cas(KEY, str(int(value) * 10).encode(), cas_id)
+            yield "S2: KVS cas"
+
+        interleaver = Interleaver([Program("S1", s1), Program("S2", s2)])
+        interleaver.run(
+            ["S1", "S1", "S2", "S2", "S2", "S2", "S1", "S1"],
+            finish_remaining=False,
+        )
+        return ScenarioOutcome(
+            "Figure 2", "baseline-cas", _db_value(db),
+            _kvs_int(store.get(KEY)),
+            notes="cas succeeds on S2's value; KVS order != RDBMS order",
+        )
+
+    clock = LogicalClock()
+    server = IQServer(clock=clock)
+    server.store.set(KEY, b"100")
+
+    def s1_iq():
+        tid = server.gen_id()
+        old = server.qaread(KEY, tid).value
+        yield "S1: QaRead"
+        connection = db.connect()
+        connection.begin()
+        connection.execute("UPDATE items SET val = val + 50 WHERE id = 1")
+        yield "S1: RDBMS +50"
+        connection.commit()
+        connection.close()
+        yield "S1: RDBMS commit"
+        server.sar(KEY, str(int(old) + 50).encode(), tid)
+        yield "S1: SaR"
+
+    def s2_iq():
+        while True:
+            tid = server.gen_id()
+            try:
+                old = server.qaread(KEY, tid).value
+            except QuarantinedError:
+                server.abort(tid)
+                yield "S2: QaRead aborted, backing off"
+                continue
+            yield "S2: QaRead"
+            connection = db.connect()
+            connection.begin()
+            connection.execute("UPDATE items SET val = val * 10 WHERE id = 1")
+            yield "S2: RDBMS *10"
+            connection.commit()
+            connection.close()
+            yield "S2: RDBMS commit"
+            server.sar(KEY, str(int(old) * 10).encode(), tid)
+            yield "S2: SaR"
+            return
+
+    interleaver = Interleaver([Program("S1", s1_iq), Program("S2", s2_iq)])
+    # S2 attempts its QaRead mid-flight (aborted), then completes after S1.
+    interleaver.run(["S1", "S1", "S2", "S1", "S1", "S2", "S2", "S2", "S2"])
+    return ScenarioOutcome(
+        "Figure 2", "iq-refresh", _db_value(db), _kvs_int(server.store.get(KEY)),
+        notes="S2 aborted against S1's Q lease and serialized after it",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: snapshot isolation + trigger invalidate inserts stale data
+# ---------------------------------------------------------------------------
+
+def figure3_snapshot_invalidate(iq=False):
+    """Write session S1 invalidates via trigger; read session S2 races.
+
+    Baseline: S2's I lease (Facebook read lease) is granted *after* S1's
+    delete, so its stale snapshot value lands in the KVS.  IQ: S1's Q
+    lease makes S2 back off until S1 commits.
+    """
+    db = _fresh_db(0)
+    if not iq:
+        store = ReadLeaseStore()
+        store.set(KEY, b"0")
+
+        def s1():
+            connection = db.connect()
+            connection.begin()
+            yield "1.1: begin Xact"
+            connection.execute("UPDATE items SET val = 1 WHERE id = 1")
+            yield "1.2: RDBMS update"
+            store.delete(KEY)  # trigger fires inside the transaction
+            yield "1.3: KVS delete (trigger)"
+            connection.commit()
+            connection.close()
+            yield "1.4: commit Xact"
+
+        def s2():
+            result = store.lease_get(KEY)
+            assert not result.is_hit and result.has_lease
+            yield "2.1: KVS miss, read lease granted"
+            connection = db.connect()
+            stale = connection.query_scalar(
+                "SELECT val FROM items WHERE id = 1"
+            )
+            connection.close()
+            yield "2.2-2.4: RDBMS query (pre-commit snapshot)"
+            store.lease_set(KEY, str(stale).encode(), result.token)
+            yield "2.5: KVS set (stale)"
+
+        interleaver = Interleaver([Program("S1", s1), Program("S2", s2)])
+        interleaver.run(
+            ["S1", "S1", "S1", "S2", "S2", "S1", "S2"], finish_remaining=False
+        )
+        return ScenarioOutcome(
+            "Figure 3", "baseline-invalidate", _db_value(db),
+            _kvs_int(store.get(KEY)),
+            notes="read lease was granted after the delete, so it is valid",
+        )
+
+    clock = LogicalClock()
+    # Eager-delete variant (optimization off) exercises the back-off path.
+    server = IQServer(
+        lease_config=LeaseConfig(serve_pending_versions=False), clock=clock
+    )
+    server.store.set(KEY, b"0")
+    s2_attempts = []
+
+    def s1_iq():
+        tid = server.gen_id()
+        connection = db.connect()
+        connection.begin()
+        yield "1.1: begin Xact"
+        connection.execute("UPDATE items SET val = 1 WHERE id = 1")
+        yield "1.2: RDBMS update"
+        server.qar(tid, KEY)  # quarantine (and eager-delete) inside the Xact
+        yield "1.3: QaR"
+        connection.commit()
+        connection.close()
+        yield "1.4: commit Xact"
+        server.dar(tid)
+        yield "1.5: DaR"
+
+    def s2_iq():
+        while True:
+            result = server.iq_get(KEY)
+            if result.is_hit:
+                s2_attempts.append("hit")
+                return
+            if result.backoff:
+                s2_attempts.append("backoff")
+                yield "2.1: miss, back off (Q pending)"
+                continue
+            s2_attempts.append("lease")
+            yield "2.1: miss, I lease granted"
+            connection = db.connect()
+            value = connection.query_scalar(
+                "SELECT val FROM items WHERE id = 1"
+            )
+            connection.close()
+            yield "2.2-2.4: RDBMS query"
+            server.iq_set(KEY, str(value).encode(), result.token)
+            yield "2.5: IQset"
+            return
+
+    interleaver = Interleaver([Program("S1", s1_iq), Program("S2", s2_iq)])
+    interleaver.run(["S1", "S1", "S1", "S2", "S1", "S1", "S2", "S2", "S2"])
+    return ScenarioOutcome(
+        "Figure 3", "iq-invalidate", _db_value(db),
+        _kvs_int(server.store.get(KEY)),
+        notes="S2 backed off {} time(s) before the I lease".format(
+            sum(1 for a in s2_attempts if a == "backoff")
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: the re-arrangement window of the Section 3.3 optimization
+# ---------------------------------------------------------------------------
+
+def figure4_rearrangement_window():
+    """Reads during a pending invalidation hit the old version.
+
+    With the deferred-delete optimization, readers between QaR and DaR
+    observe the pre-write value (they serialize before the writer), and
+    the writer itself observes a miss on its own key.
+    """
+    db = _fresh_db(0)
+    clock = LogicalClock()
+    server = IQServer(
+        lease_config=LeaseConfig(serve_pending_versions=True), clock=clock
+    )
+    server.store.set(KEY, b"0")
+
+    tid = server.gen_id()
+    connection = db.connect()
+    connection.begin()
+    connection.execute("UPDATE items SET val = 1 WHERE id = 1")
+    server.qar(tid, KEY)
+
+    window_reads = [server.iq_get(KEY).value for _ in range(3)]
+    own_read = server.iq_get(KEY, session=tid)
+
+    connection.commit()
+    connection.close()
+    server.dar(tid)
+
+    after = server.iq_get(KEY)
+    notes = (
+        "window reads={}, writer-own-read miss={}, post-DaR miss with "
+        "I lease={}"
+    ).format(
+        [int(v) for v in window_reads],
+        not own_read.is_hit,
+        after.has_lease,
+    )
+    return ScenarioOutcome(
+        "Figure 4", "iq-optimized", _db_value(db),
+        _kvs_int(server.store.get(KEY)), notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: dirty read with refresh when the writer aborts
+# ---------------------------------------------------------------------------
+
+def figure6_dirty_read_refresh(iq=False):
+    """S1 refreshes the KVS before its RDBMS transaction aborts.
+
+    Baseline (naive pre-commit refresh): S2 consumes the dirty value.  IQ:
+    SaR only runs after a successful commit; on abort the leases are
+    released and the old value remains.
+    """
+    db = _fresh_db(0)
+    dirty_reads = []
+    if not iq:
+        store = ReadLeaseStore()
+        store.set(KEY, b"0")
+
+        def s1():
+            connection = db.connect()
+            connection.begin()
+            connection.execute("UPDATE items SET val = 1 WHERE id = 1")
+            yield "1.1-1.2: RDBMS update"
+            store.set(KEY, b"1")  # naive: refresh before commit
+            yield "1.3-1.4: KVS refresh (pre-commit)"
+            connection.rollback()  # 1.5: the transaction aborts
+            connection.close()
+            yield "1.5: RDBMS abort"
+
+        def s2():
+            result = store.lease_get(KEY)
+            dirty_reads.append(int(result.value))
+            yield "2.1: KVS read"
+
+        interleaver = Interleaver([Program("S1", s1), Program("S2", s2)])
+        interleaver.run(["S1", "S1", "S2", "S1"], finish_remaining=False)
+        return ScenarioOutcome(
+            "Figure 6", "baseline-refresh", _db_value(db),
+            _kvs_int(store.get(KEY)),
+            notes="S2 observed dirty value {}".format(dirty_reads),
+        )
+
+    clock = LogicalClock()
+    server = IQServer(clock=clock)
+    server.store.set(KEY, b"0")
+
+    def s1_iq():
+        tid = server.gen_id()
+        old = server.qaread(KEY, tid).value
+        yield "1.1: QaRead"
+        connection = db.connect()
+        connection.begin()
+        connection.execute("UPDATE items SET val = 1 WHERE id = 1")
+        yield "1.2: RDBMS update"
+        new_value = str(int(old) + 1).encode()
+        assert new_value == b"1"
+        yield "1.3: compute new value (in client memory)"
+        connection.rollback()  # the transaction aborts before commit
+        connection.close()
+        server.abort(tid)  # Abort(TID): release Q leases, keep old value
+        yield "1.5: abort -> leases released, no SaR"
+
+    def s2_iq():
+        result = server.iq_get(KEY)
+        dirty_reads.append(int(result.value))
+        yield "2.1: KVS read"
+
+    interleaver = Interleaver([Program("S1", s1_iq), Program("S2", s2_iq)])
+    interleaver.run(["S1", "S1", "S1", "S2", "S1"], finish_remaining=False)
+    return ScenarioOutcome(
+        "Figure 6", "iq-refresh", _db_value(db),
+        _kvs_int(server.store.get(KEY)),
+        notes="S2 observed committed value {}".format(dirty_reads),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: a read session overwrites a writer's delta with a stale value
+# ---------------------------------------------------------------------------
+
+def figure7_stale_overwrite_delta(iq=False):
+    """S1 appends 'd'; S2 repopulates from a pre-commit snapshot."""
+    db = _fresh_db("x", column="body", as_text=True)
+    if not iq:
+        store = ReadLeaseStore()
+
+        def s2():
+            result = store.lease_get(KEY)
+            assert result.has_lease
+            yield "2.1: KVS miss, read lease"
+            connection = db.connect()
+            stale = connection.query_scalar(
+                "SELECT body FROM items WHERE id = 1"
+            )
+            connection.close()
+            yield "2.2: RDBMS query (sees pre-S1 value)"
+            store.lease_set(KEY, stale.encode(), result.token)
+            yield "2.3: KVS set (stale)"
+
+        def s1():
+            connection = db.connect()
+            connection.begin()
+            connection.execute(
+                "UPDATE items SET body = body + 'd' WHERE id = 1"
+            )
+            yield "1.1: RDBMS append"
+            store.append(KEY, b"d")  # missing key: NOT_STORED, delta lost
+            yield "1.2: KVS append (delta lost on miss)"
+            connection.commit()
+            connection.close()
+            yield "1.3: commit"
+
+        interleaver = Interleaver([Program("S1", s1), Program("S2", s2)])
+        interleaver.run(
+            ["S2", "S2", "S1", "S1", "S1", "S2"], finish_remaining=False
+        )
+        hit = store.get(KEY)
+        return ScenarioOutcome(
+            "Figure 7", "baseline-delta", _db_value(db, "body"),
+            hit[0].decode() if hit else None,
+            notes="S2's stale snapshot overwrote the key after S1's delta",
+        )
+
+    clock = LogicalClock()
+    server = IQServer(clock=clock)
+    installed = []
+
+    def s2_iq():
+        result = server.iq_get(KEY)
+        assert result.has_lease
+        token = result.token
+        yield "2.1: KVS miss, I lease"
+        connection = db.connect()
+        stale = connection.query_scalar("SELECT body FROM items WHERE id = 1")
+        connection.close()
+        yield "2.2: RDBMS query"
+        installed.append(server.iq_set(KEY, stale.encode(), token))
+        yield "2.3: IQset (ignored: I lease voided by S1's Q)"
+
+    def s1_iq():
+        tid = server.gen_id()
+        connection = db.connect()
+        connection.begin()
+        connection.execute("UPDATE items SET body = body + 'd' WHERE id = 1")
+        yield "1.1: RDBMS append"
+        server.iq_delta(tid, KEY, "append", b"d")  # voids S2's I lease
+        yield "1.2: IQ-delta"
+        connection.commit()
+        connection.close()
+        yield "1.3: commit"
+        server.commit(tid)
+        yield "1.4: Commit(TID)"
+
+    interleaver = Interleaver([Program("S1", s1_iq), Program("S2", s2_iq)])
+    interleaver.run(
+        ["S2", "S2", "S1", "S1", "S1", "S1", "S2"], finish_remaining=False
+    )
+    hit = server.store.get(KEY)
+    return ScenarioOutcome(
+        "Figure 7", "iq-delta", _db_value(db, "body"),
+        hit[0].decode() if hit else None,
+        notes="S2's IQset ignored={}; next reader recomputes".format(
+            installed == [False]
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: the delta is reflected twice
+# ---------------------------------------------------------------------------
+
+def figure8_double_delta(iq=False):
+    """S2 repopulates *after* S1's commit; S1's late append doubles."""
+    db = _fresh_db("x", column="body", as_text=True)
+    if not iq:
+        store = ReadLeaseStore()
+
+        def s1():
+            connection = db.connect()
+            connection.begin()
+            connection.execute(
+                "UPDATE items SET body = body + 'd' WHERE id = 1"
+            )
+            yield "1.1: RDBMS append"
+            connection.commit()
+            connection.close()
+            yield "1.2: commit"
+            store.append(KEY, b"d")
+            yield "1.3: KVS append (applies on S2's fresh value)"
+
+        def s2():
+            result = store.lease_get(KEY)
+            assert result.has_lease
+            yield "2.1: KVS miss, read lease"
+            connection = db.connect()
+            fresh = connection.query_scalar(
+                "SELECT body FROM items WHERE id = 1"
+            )
+            connection.close()
+            yield "2.2: RDBMS query (sees S1's committed append)"
+            store.lease_set(KEY, fresh.encode(), result.token)
+            yield "2.3: KVS set"
+
+        interleaver = Interleaver([Program("S1", s1), Program("S2", s2)])
+        interleaver.run(
+            ["S1", "S1", "S2", "S2", "S2", "S1"], finish_remaining=False
+        )
+        hit = store.get(KEY)
+        return ScenarioOutcome(
+            "Figure 8", "baseline-delta", _db_value(db, "body"),
+            hit[0].decode() if hit else None,
+            notes="append applied on top of a value that already had it",
+        )
+
+    clock = LogicalClock()
+    server = IQServer(clock=clock)
+    backoffs = []
+
+    def s1_iq():
+        tid = server.gen_id()
+        connection = db.connect()
+        connection.begin()
+        connection.execute("UPDATE items SET body = body + 'd' WHERE id = 1")
+        yield "1.1: RDBMS append"
+        server.iq_delta(tid, KEY, "append", b"d")
+        yield "1.2: IQ-delta (Q lease held)"
+        connection.commit()
+        connection.close()
+        yield "1.3: commit"
+        server.commit(tid)
+        yield "1.4: Commit(TID) releases Q"
+
+    def s2_iq():
+        while True:
+            result = server.iq_get(KEY)
+            if result.is_hit:
+                return result.value
+            if result.backoff:
+                backoffs.append(1)
+                yield "2.1: miss, back off (Q pending)"
+                continue
+            yield "2.1: miss, I lease"
+            connection = db.connect()
+            fresh = connection.query_scalar(
+                "SELECT body FROM items WHERE id = 1"
+            )
+            connection.close()
+            yield "2.2: RDBMS query"
+            server.iq_set(KEY, fresh.encode(), result.token)
+            yield "2.3: IQset"
+            return fresh
+
+    interleaver = Interleaver([Program("S1", s1_iq), Program("S2", s2_iq)])
+    interleaver.run(["S1", "S1", "S2", "S1", "S1", "S2", "S2", "S2"])
+    hit = server.store.get(KEY)
+    return ScenarioOutcome(
+        "Figure 8", "iq-delta", _db_value(db, "body"),
+        hit[0].decode() if hit else None,
+        notes="S2 backed off {} time(s) until S1 committed".format(
+            len(backoffs)
+        ),
+    )
+
+
+def run_all_figures():
+    """Run every figure scenario; returns a list of ScenarioOutcomes."""
+    outcomes = [
+        figure2_cas_insufficient(iq=False),
+        figure2_cas_insufficient(iq=True),
+        figure3_snapshot_invalidate(iq=False),
+        figure3_snapshot_invalidate(iq=True),
+        figure4_rearrangement_window(),
+        figure6_dirty_read_refresh(iq=False),
+        figure6_dirty_read_refresh(iq=True),
+        figure7_stale_overwrite_delta(iq=False),
+        figure7_stale_overwrite_delta(iq=True),
+        figure8_double_delta(iq=False),
+        figure8_double_delta(iq=True),
+    ]
+    return outcomes

@@ -1,0 +1,101 @@
+"""Result row and result-set containers returned by ``execute``."""
+
+
+class Row:
+    """A single result row with case-insensitive column access.
+
+    Supports ``row["name"]``, ``row.name``, iteration over values in
+    select-list order, and comparison against plain dicts in tests.
+    """
+
+    __slots__ = ("_names", "_values", "_lookup")
+
+    def __init__(self, names, values):
+        object.__setattr__(self, "_names", tuple(names))
+        object.__setattr__(self, "_values", tuple(values))
+        object.__setattr__(
+            self, "_lookup", {n.lower(): i for i, n in enumerate(names)}
+        )
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._lookup[key.lower()]]
+
+    def __getattr__(self, name):
+        try:
+            return self._values[self._lookup[name.lower()]]
+        except KeyError:
+            raise AttributeError(name)
+
+    def get(self, key, default=None):
+        index = self._lookup.get(key.lower())
+        return self._values[index] if index is not None else default
+
+    def keys(self):
+        return list(self._names)
+
+    def values(self):
+        return list(self._values)
+
+    def items(self):
+        return list(zip(self._names, self._values))
+
+    def as_dict(self):
+        return dict(zip(self._names, self._values))
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self):
+        return len(self._values)
+
+    def __eq__(self, other):
+        if isinstance(other, Row):
+            return self.items() == other.items()
+        if isinstance(other, dict):
+            return self.as_dict() == other
+        if isinstance(other, (tuple, list)):
+            return list(self._values) == list(other)
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self._names, self._values))
+
+    def __repr__(self):
+        return "Row({})".format(
+            ", ".join("{}={!r}".format(n, v) for n, v in self.items())
+        )
+
+
+class ResultSet:
+    """Rows plus the affected-row count of a statement."""
+
+    def __init__(self, rows=(), rowcount=0):
+        self.rows = list(rows)
+        self.rowcount = rowcount
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def first(self):
+        """The first row, or ``None`` when the result is empty."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self):
+        """The single value of a single-row, single-column result."""
+        first = self.first()
+        if first is None:
+            return None
+        return first[0]
+
+    def __repr__(self):
+        return "ResultSet({} rows, rowcount={})".format(
+            len(self.rows), self.rowcount
+        )

@@ -1,0 +1,108 @@
+"""Table schemas: columns, primary keys, not-null constraints."""
+
+from repro.errors import IntegrityError, SchemaError
+from repro.sql.types import SQLType
+
+
+class Column:
+    """A column definition."""
+
+    def __init__(self, name, sql_type, nullable=True):
+        if not isinstance(sql_type, SQLType):
+            raise SchemaError("column {!r} needs a SQLType".format(name))
+        self.name = name
+        self.sql_type = sql_type
+        self.nullable = nullable
+
+    def __repr__(self):
+        null = "" if self.nullable else " NOT NULL"
+        return "{} {}{}".format(self.name, self.sql_type.name, null)
+
+
+class TableSchema:
+    """A table definition: ordered columns plus an optional primary key.
+
+    The primary key may span several columns (BG's ``Friendship`` table is
+    keyed on ``(inviter_id, invitee_id)``).  Primary-key columns are
+    implicitly NOT NULL.
+    """
+
+    def __init__(self, name, columns, primary_key=()):
+        if not columns:
+            raise SchemaError("table {!r} needs at least one column".format(name))
+        seen = set()
+        for column in columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(
+                    "duplicate column {!r} in table {!r}".format(column.name, name)
+                )
+            seen.add(lowered)
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {c.name.lower(): i for i, c in enumerate(self.columns)}
+        self.primary_key = tuple(primary_key)
+        for pk_col in self.primary_key:
+            if pk_col.lower() not in self._by_name:
+                raise SchemaError(
+                    "primary key column {!r} not in table {!r}".format(pk_col, name)
+                )
+            self.columns[self._by_name[pk_col.lower()]].nullable = False
+
+    def column_index(self, name):
+        """Position of column ``name`` (case-insensitive)."""
+        try:
+            return self._by_name[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                "no column {!r} in table {!r}".format(name, self.name)
+            )
+
+    def has_column(self, name):
+        return name.lower() in self._by_name
+
+    def column(self, name):
+        return self.columns[self.column_index(name)]
+
+    def column_names(self):
+        return [c.name for c in self.columns]
+
+    def coerce_row(self, values_by_name):
+        """Build a storage tuple from a ``{column: value}`` mapping.
+
+        Missing columns default to ``None``; unknown columns raise; NOT NULL
+        violations raise :class:`IntegrityError`.
+        """
+        row = [None] * len(self.columns)
+        for name, value in values_by_name.items():
+            idx = self.column_index(name)
+            column = self.columns[idx]
+            try:
+                row[idx] = column.sql_type.coerce(value)
+            except (TypeError, ValueError) as exc:
+                raise IntegrityError(
+                    "bad value for column {}.{}: {}".format(
+                        self.name, column.name, exc
+                    )
+                )
+        for idx, column in enumerate(self.columns):
+            if row[idx] is None and not column.nullable:
+                raise IntegrityError(
+                    "column {}.{} may not be NULL".format(self.name, column.name)
+                )
+        return tuple(row)
+
+    def pk_value(self, row):
+        """Extract the primary-key tuple from a storage tuple, or ``None``."""
+        if not self.primary_key:
+            return None
+        return tuple(row[self.column_index(c)] for c in self.primary_key)
+
+    def row_dict(self, row):
+        """Convert a storage tuple to a ``{column: value}`` dict."""
+        return {c.name: row[i] for i, c in enumerate(self.columns)}
+
+    def __repr__(self):
+        return "TableSchema({!r}, {} columns, pk={})".format(
+            self.name, len(self.columns), self.primary_key
+        )

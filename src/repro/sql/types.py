@@ -1,0 +1,102 @@
+"""SQL column types and value coercion."""
+
+from repro.errors import SchemaError
+
+
+class SQLType:
+    """A column type: validates and coerces Python values."""
+
+    name = "ANY"
+
+    def coerce(self, value):
+        """Coerce ``value`` for storage; raise TypeError when impossible."""
+        return value
+
+    def __repr__(self):
+        return self.name
+
+    def __eq__(self, other):
+        return type(self) is type(other)
+
+    def __hash__(self):
+        return hash(type(self))
+
+
+class IntegerType(SQLType):
+    name = "INTEGER"
+
+    def coerce(self, value):
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            return int(value)
+        raise TypeError("cannot store {!r} in an INTEGER column".format(value))
+
+
+class FloatType(SQLType):
+    name = "FLOAT"
+
+    def coerce(self, value):
+        if value is None:
+            return None
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            return float(value)
+        raise TypeError("cannot store {!r} in a FLOAT column".format(value))
+
+
+class TextType(SQLType):
+    name = "TEXT"
+
+    def coerce(self, value):
+        if value is None:
+            return None
+        if isinstance(value, str):
+            return value
+        raise TypeError("cannot store {!r} in a TEXT column".format(value))
+
+
+class BlobType(SQLType):
+    name = "BLOB"
+
+    def coerce(self, value):
+        if value is None:
+            return None
+        if isinstance(value, (bytes, bytearray)):
+            return bytes(value)
+        raise TypeError("cannot store {!r} in a BLOB column".format(value))
+
+
+INTEGER = IntegerType()
+FLOAT = FloatType()
+TEXT = TextType()
+BLOB = BlobType()
+
+_BY_NAME = {
+    "INTEGER": INTEGER,
+    "INT": INTEGER,
+    "BIGINT": INTEGER,
+    "FLOAT": FLOAT,
+    "REAL": FLOAT,
+    "DOUBLE": FLOAT,
+    "TEXT": TEXT,
+    "VARCHAR": TEXT,
+    "CHAR": TEXT,
+    "STRING": TEXT,
+    "BLOB": BLOB,
+}
+
+
+def type_by_name(name):
+    """Resolve a type keyword (case-insensitive) to a :class:`SQLType`."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise SchemaError("unknown column type {!r}".format(name))

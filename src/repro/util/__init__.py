@@ -1,0 +1,17 @@
+"""Shared utilities: clocks, token generation, backoff, metrics."""
+
+from repro.util.backoff import ExponentialBackoff, FixedBackoff, NoBackoff
+from repro.util.clock import Clock, LogicalClock, SystemClock
+from repro.util.histogram import LatencyHistogram
+from repro.util.tokens import TokenGenerator
+
+__all__ = [
+    "Clock",
+    "ExponentialBackoff",
+    "FixedBackoff",
+    "LatencyHistogram",
+    "LogicalClock",
+    "NoBackoff",
+    "SystemClock",
+    "TokenGenerator",
+]

@@ -1,0 +1,74 @@
+"""Backoff policies used when a lease request is refused.
+
+Section 3.2: "the duration of back off may increase exponentially with S2's
+repeated KVS lookups".  The policy objects below are iterators over delays;
+:class:`ExponentialBackoff` is the default, the others support the ablation
+benchmark comparing backoff strategies under a thundering herd.
+"""
+
+import random
+
+from repro.config import BackoffConfig
+from repro.errors import StarvationError
+
+
+class BackoffPolicy:
+    """Interface: produces the delay before the next retry attempt."""
+
+    def delays(self):
+        """Yield successive delays (seconds).  May raise StarvationError."""
+        raise NotImplementedError
+
+
+class ExponentialBackoff(BackoffPolicy):
+    """Exponentially growing delay with optional jitter and attempt cap."""
+
+    def __init__(self, config=None, rng=None):
+        self.config = config or BackoffConfig()
+        self._rng = rng or random.Random()
+
+    def delays(self):
+        cfg = self.config
+        delay = cfg.initial_delay
+        attempt = 0
+        while True:
+            attempt += 1
+            if cfg.max_attempts is not None and attempt > cfg.max_attempts:
+                raise StarvationError(attempt - 1)
+            jittered = delay
+            if cfg.jitter:
+                jittered += delay * cfg.jitter * self._rng.random()
+            yield jittered
+            delay = min(delay * cfg.multiplier, cfg.max_delay)
+
+
+class FixedBackoff(BackoffPolicy):
+    """Constant delay between retries."""
+
+    def __init__(self, delay=0.001, max_attempts=None):
+        self.delay = delay
+        self.max_attempts = max_attempts
+
+    def delays(self):
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.max_attempts is not None and attempt > self.max_attempts:
+                raise StarvationError(attempt - 1)
+            yield self.delay
+
+
+class NoBackoff(BackoffPolicy):
+    """Retry immediately.  Useful under the deterministic scheduler where
+    real sleeping would serve no purpose."""
+
+    def __init__(self, max_attempts=None):
+        self.max_attempts = max_attempts
+
+    def delays(self):
+        attempt = 0
+        while True:
+            attempt += 1
+            if self.max_attempts is not None and attempt > self.max_attempts:
+                raise StarvationError(attempt - 1)
+            yield 0.0

@@ -1,0 +1,58 @@
+"""Clock abstractions.
+
+Lease expiry and item TTLs are driven through a :class:`Clock` interface so
+tests can advance time deterministically (via :class:`LogicalClock`) while
+production paths use :class:`SystemClock` (monotonic wall time).
+"""
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: a source of monotonically non-decreasing timestamps."""
+
+    def now(self):
+        """Return the current time in (fractional) seconds."""
+        raise NotImplementedError
+
+    def sleep(self, seconds):
+        """Block the caller for ``seconds`` of this clock's time."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time, based on :func:`time.monotonic`."""
+
+    def now(self):
+        return time.monotonic()
+
+    def sleep(self, seconds):
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class LogicalClock(Clock):
+    """Manually advanced clock for deterministic tests.
+
+    ``sleep`` advances the clock instead of blocking, so code written
+    against :class:`Clock` behaves identically but runs instantaneously.
+    """
+
+    def __init__(self, start=0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self):
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds):
+        self.advance(max(0.0, seconds))
+
+    def advance(self, seconds):
+        """Move the clock forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError("cannot move a clock backwards")
+        with self._lock:
+            self._now += seconds

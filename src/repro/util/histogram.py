@@ -1,0 +1,67 @@
+"""Latency recording for the BG benchmark's SLA evaluation.
+
+BG's Social Action Rating requires checking that a given percentile of
+action response times falls under the SLA latency (the paper uses
+"95% of actions ... faster than 100 milliseconds").
+"""
+
+import math
+import threading
+
+
+class LatencyHistogram:
+    """Thread-safe reservoir of latency samples with percentile queries.
+
+    Samples are stored exactly (the benchmark runs are bounded in length),
+    which keeps percentile computation simple and precise.
+    """
+
+    def __init__(self):
+        self._samples = []
+        self._lock = threading.Lock()
+
+    def record(self, seconds):
+        """Record one latency sample."""
+        with self._lock:
+            self._samples.append(seconds)
+
+    def merge(self, other):
+        """Fold another histogram's samples into this one."""
+        with other._lock:
+            samples = list(other._samples)
+        with self._lock:
+            self._samples.extend(samples)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, fraction):
+        """Return the latency at ``fraction`` (e.g. ``0.95``) or ``None``.
+
+        Uses the nearest-rank method on the sorted samples.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = math.ceil(fraction * len(ordered)) - 1
+        rank = min(max(rank, 0), len(ordered) - 1)
+        return ordered[rank]
+
+    def mean(self):
+        with self._lock:
+            if not self._samples:
+                return None
+            return sum(self._samples) / len(self._samples)
+
+    def max(self):
+        with self._lock:
+            return max(self._samples) if self._samples else None
+
+    def meets_sla(self, percentile, latency):
+        """True when the given percentile of samples is under ``latency``."""
+        observed = self.percentile(percentile)
+        return observed is not None and observed <= latency

@@ -1,0 +1,157 @@
+"""The nine BG actions against each technique (single-threaded)."""
+
+import pytest
+
+from repro.bg.actions import (
+    Technique,
+    decode_id_set,
+    encode_id_csv,
+    encode_id_list,
+)
+from repro.bg.harness import build_bg_system
+
+
+def build(technique, leased=True):
+    return build_bg_system(
+        members=30, friends_per_member=4, resources_per_member=2,
+        technique=technique, leased=leased,
+    )
+
+
+class TestEncodings:
+    def test_id_list_round_trip(self):
+        assert decode_id_set(encode_id_list([3, 1, 2])) == frozenset({1, 2, 3})
+
+    def test_id_csv_round_trip(self):
+        assert decode_id_set(encode_id_csv([3, 1])) == frozenset({1, 3})
+
+    def test_empty_csv(self):
+        assert decode_id_set(b"") == frozenset()
+
+    def test_none_passthrough(self):
+        assert decode_id_set(None) is None
+
+
+@pytest.mark.parametrize(
+    "technique", [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+)
+class TestActionsAcrossTechniques:
+    def test_read_actions_match_initial_state(self, technique):
+        system = build(technique)
+        actions = system.actions
+        profile = actions.view_profile(3)
+        assert profile["pendingcount"] == 0
+        assert profile["friendcount"] == 4
+        assert actions.list_friends(3) == system.graph.initial_friends(3)
+        assert actions.view_friend_requests(3) == frozenset()
+        top = actions.view_top_k_resources(3)
+        assert [r["rid"] for r in top] == [7, 6]
+        comments = actions.view_comments_on_resource(6)
+        assert len(comments) == 1
+
+    def test_invite_updates_cache_and_db(self, technique):
+        system = build(technique)
+        actions = system.actions
+        actions.view_profile(5)          # warm the cache
+        actions.view_friend_requests(5)
+        actions.invite_friend(20, 5)
+        assert actions.view_profile(5)["pendingcount"] == 1
+        assert actions.view_friend_requests(5) == frozenset({20})
+        connection = system.db.connect()
+        assert connection.query_scalar(
+            "SELECT pendingcount FROM users WHERE userid = 5"
+        ) == 1
+
+    def test_accept_updates_five_entities(self, technique):
+        system = build(technique)
+        actions = system.actions
+        for warm in (actions.view_profile, actions.list_friends):
+            warm(5)
+            warm(20)
+        actions.view_friend_requests(5)
+        actions.invite_friend(20, 5)
+        actions.accept_friend_request(20, 5)
+        assert actions.view_profile(5)["pendingcount"] == 0
+        assert actions.view_profile(5)["friendcount"] == 5
+        assert actions.view_profile(20)["friendcount"] == 5
+        assert 20 in actions.list_friends(5)
+        assert 5 in actions.list_friends(20)
+        assert actions.view_friend_requests(5) == frozenset()
+
+    def test_reject_removes_invitation(self, technique):
+        system = build(technique)
+        actions = system.actions
+        actions.invite_friend(20, 5)
+        actions.reject_friend_request(20, 5)
+        assert actions.view_profile(5)["pendingcount"] == 0
+        assert actions.view_friend_requests(5) == frozenset()
+        assert 20 not in actions.list_friends(5)
+
+    def test_thaw_removes_friendship(self, technique):
+        system = build(technique)
+        actions = system.actions
+        friend = next(iter(system.graph.initial_friends(5)))
+        actions.thaw_friendship(5, friend)
+        assert actions.view_profile(5)["friendcount"] == 3
+        assert friend not in actions.list_friends(5)
+        assert 5 not in actions.list_friends(friend)
+
+    def test_no_unpredictable_reads_single_threaded(self, technique):
+        system = build(technique)
+        actions = system.actions
+        actions.invite_friend(20, 5)
+        actions.accept_friend_request(20, 5)
+        friend = next(iter(system.graph.initial_friends(10)))
+        actions.thaw_friendship(10, friend)
+        for member in (5, 10, 20):
+            actions.view_profile(member)
+            actions.list_friends(member)
+            actions.view_friend_requests(member)
+        assert system.log.unpredictable_reads() == 0
+
+    def test_baseline_also_correct_single_threaded(self, technique):
+        """Without concurrency the baselines are correct too (Table 1,
+        row '1 session': 0%)."""
+        system = build(technique, leased=False)
+        actions = system.actions
+        actions.view_profile(5)
+        actions.invite_friend(20, 5)
+        actions.accept_friend_request(20, 5)
+        actions.view_profile(5)
+        actions.list_friends(5)
+        actions.view_friend_requests(5)
+        assert system.log.unpredictable_reads() == 0
+
+
+class TestTechniqueSpecificFormats:
+    def test_delta_mode_uses_standalone_counters(self):
+        system = build(Technique.DELTA)
+        actions = system.actions
+        actions.view_profile(5)
+        assert system.cache.store.get("PendingCount5") == (b"0", 0)
+        actions.invite_friend(20, 5)
+        assert system.cache.store.get("PendingCount5") == (b"1", 0)
+
+    def test_delta_mode_appends_to_pending_csv(self):
+        system = build(Technique.DELTA)
+        actions = system.actions
+        actions.view_friend_requests(5)
+        actions.invite_friend(20, 5)
+        raw = system.cache.store.get("PendingFriends5")
+        assert raw is not None
+        assert decode_id_set(raw[0]) == frozenset({20})
+
+    def test_refresh_mode_updates_profile_in_place(self):
+        system = build(Technique.REFRESH)
+        actions = system.actions
+        actions.view_profile(5)
+        actions.invite_friend(20, 5)
+        raw = system.cache.store.get("Profile5")
+        assert raw is not None and b'"pendingcount":1' in raw[0]
+
+    def test_invalidate_mode_deletes_profile(self):
+        system = build(Technique.INVALIDATE)
+        actions = system.actions
+        actions.view_profile(5)
+        actions.invite_friend(20, 5)
+        assert system.cache.store.get("Profile5") is None

@@ -1,0 +1,90 @@
+"""BG's extended comment actions (beyond the Table 5 nine)."""
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import EXTENDED_MIX
+
+
+def build(technique, leased=True, **kwargs):
+    return build_bg_system(
+        members=30, friends_per_member=4, resources_per_member=2,
+        technique=technique, leased=leased, **kwargs
+    )
+
+
+@pytest.mark.parametrize(
+    "technique", [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+)
+class TestCommentActions:
+    def test_post_comment_visible(self, technique):
+        system = build(technique)
+        actions = system.actions
+        resource = 10
+        before = actions.view_comments_on_resource(resource)
+        outcome = actions.post_comment(5, resource, content="hello")
+        after = actions.view_comments_on_resource(resource)
+        assert len(after) == len(before) + 1
+        assert any(c["content"] == "hello" for c in after)
+        assert outcome.restarts == 0
+
+    def test_delete_comment_removes_newest(self, technique):
+        system = build(technique)
+        actions = system.actions
+        resource = 10
+        mid = actions.post_comment(5, resource).result
+        actions.delete_comment(resource)
+        after = actions.view_comments_on_resource(resource)
+        assert mid not in {c["mid"] for c in after}
+
+    def test_delete_on_empty_resource_is_noop(self, technique):
+        system = build(technique)
+        actions = system.actions
+        resource = 10
+        # Drain the seeded comment plus anything else.
+        while actions.delete_comment(resource) is not None:
+            pass
+        assert actions.view_comments_on_resource(resource) == []
+        assert actions.delete_comment(resource) is None
+
+    def test_mids_are_unique(self, technique):
+        system = build(technique)
+        actions = system.actions
+        mids = {actions.post_comment(1, 10).result for _ in range(10)}
+        assert len(mids) == 10
+
+    def test_no_unpredictable_reads_single_threaded(self, technique):
+        system = build(technique)
+        actions = system.actions
+        actions.view_comments_on_resource(10)
+        actions.post_comment(3, 10)
+        actions.view_comments_on_resource(10)
+        actions.delete_comment(10)
+        actions.view_comments_on_resource(10)
+        assert system.log.unpredictable_reads() == 0
+
+
+class TestExtendedMixConcurrent:
+    def test_extended_mix_iq_zero_stale(self):
+        system = build(
+            Technique.REFRESH, leased=True, mix=EXTENDED_MIX,
+            compute_delay=0.0005, write_delay=0.0005,
+        )
+        result = system.runner.run(threads=6, ops_per_thread=60)
+        assert result.actions == 360
+        assert result.errors == 0
+        assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+
+    def test_extended_mix_baseline_runs(self):
+        system = build(
+            Technique.INVALIDATE, leased=False, mix=EXTENDED_MIX,
+            compute_delay=0.001, write_delay=0.001,
+        )
+        result = system.runner.run(threads=6, ops_per_thread=50)
+        assert result.actions == 300
+        # (Stale percentage may or may not be nonzero on a short run;
+        # the IQ-zero guarantee above is the assertion that matters.)
+
+    def test_mix_definition(self):
+        assert EXTENDED_MIX.write_fraction() == pytest.approx(17.0)

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.bg.graph import SocialGraph
+from repro.bg.schema import STATUS_CONFIRMED, create_bg_database
+from repro.config import BGConfig
+
+
+@pytest.fixture
+def small_graph():
+    return SocialGraph(
+        BGConfig(members=20, friends_per_member=4, resources_per_member=2)
+    )
+
+
+class TestDeterministicState:
+    def test_friend_count_is_phi(self, small_graph):
+        for member in small_graph.member_ids():
+            assert len(small_graph.initial_friends(member)) == 4
+
+    def test_friendship_is_symmetric(self, small_graph):
+        for member in small_graph.member_ids():
+            for friend in small_graph.initial_friends(member):
+                assert member in small_graph.initial_friends(friend)
+
+    def test_no_self_friendship(self, small_graph):
+        for member in small_graph.member_ids():
+            assert member not in small_graph.initial_friends(member)
+
+    def test_profiles_are_deterministic(self, small_graph):
+        first = small_graph.initial_profile(7)
+        second = small_graph.initial_profile(7)
+        assert first == second
+        assert first["pendingcount"] == 0
+        assert first["friendcount"] == 4
+
+    def test_resource_ids_partition(self, small_graph):
+        seen = set()
+        for member in small_graph.member_ids():
+            ids = set(small_graph.resource_ids_of(member))
+            assert not (ids & seen)
+            seen |= ids
+        assert seen == set(range(small_graph.total_resources()))
+
+    def test_validation_params(self):
+        with pytest.raises(ValueError):
+            SocialGraph(BGConfig(members=10, friends_per_member=10))
+        with pytest.raises(ValueError):
+            SocialGraph(BGConfig(members=10, friends_per_member=3))
+
+
+class TestLoading:
+    def test_loaded_counts_match(self, small_graph):
+        db = small_graph.load(comments_per_resource=2)
+        connection = db.connect()
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 20
+        assert connection.query_scalar(
+            "SELECT COUNT(*) FROM friendship"
+        ) == 20 * 4
+        assert connection.query_scalar(
+            "SELECT COUNT(*) FROM resources"
+        ) == 40
+        assert connection.query_scalar(
+            "SELECT COUNT(*) FROM manipulations"
+        ) == 80
+
+    def test_loaded_friendships_match_initial_sets(self, small_graph):
+        db = small_graph.load()
+        connection = db.connect()
+        for member in (0, 7, 19):
+            rows = connection.execute(
+                "SELECT inviteeid FROM friendship"
+                " WHERE inviterid = ? AND status = ?",
+                (member, STATUS_CONFIRMED),
+            )
+            assert frozenset(
+                r[0] for r in rows
+            ) == small_graph.initial_friends(member)
+
+    def test_load_into_existing_database(self, small_graph):
+        db = create_bg_database()
+        returned = small_graph.load(db=db)
+        assert returned is db
+
+    def test_counters_initialized(self, small_graph):
+        db = small_graph.load()
+        connection = db.connect()
+        row = connection.query_one(
+            "SELECT pendingcount, friendcount FROM users WHERE userid = 3"
+        )
+        assert row["pendingcount"] == 0
+        assert row["friendcount"] == 4

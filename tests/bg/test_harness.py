@@ -1,0 +1,87 @@
+"""The build_bg_system assembly options."""
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    BaselineDeltaClient,
+    BaselineInvalidateClient,
+    BaselineRefreshClient,
+    DeleteTiming,
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+)
+from repro.core.session import AcquisitionMode
+from repro.kvs.read_lease import ReadLeaseStore
+
+
+def build(**kwargs):
+    kwargs.setdefault("members", 20)
+    kwargs.setdefault("friends_per_member", 4)
+    kwargs.setdefault("resources_per_member", 1)
+    return build_bg_system(**kwargs)
+
+
+class TestClientSelection:
+    @pytest.mark.parametrize("technique,client_class", [
+        (Technique.INVALIDATE, IQInvalidateClient),
+        (Technique.REFRESH, IQRefreshClient),
+        (Technique.DELTA, IQDeltaClient),
+    ])
+    def test_leased_clients(self, technique, client_class):
+        system = build(technique=technique, leased=True)
+        assert isinstance(system.consistency_client, client_class)
+        assert isinstance(system.cache, IQServer)
+        assert system.consistency_client.is_strongly_consistent
+
+    @pytest.mark.parametrize("technique,client_class", [
+        (Technique.INVALIDATE, BaselineInvalidateClient),
+        (Technique.REFRESH, BaselineRefreshClient),
+        (Technique.DELTA, BaselineDeltaClient),
+    ])
+    def test_baseline_clients(self, technique, client_class):
+        system = build(technique=technique, leased=False)
+        assert isinstance(system.consistency_client, client_class)
+        assert isinstance(system.cache, ReadLeaseStore)
+        assert not system.consistency_client.is_strongly_consistent
+
+
+class TestOptions:
+    def test_database_is_loaded(self):
+        system = build()
+        connection = system.db.connect()
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 20
+        assert connection.query_scalar(
+            "SELECT COUNT(*) FROM friendship"
+        ) == 80
+
+    def test_validation_can_be_disabled(self):
+        system = build(validate=False)
+        assert system.log is None
+        system.actions.view_profile(3)  # must not crash
+
+    def test_acquisition_mode_propagates(self):
+        system = build(technique=Technique.REFRESH,
+                       mode=AcquisitionMode.PRIOR)
+        assert system.consistency_client.mode is AcquisitionMode.PRIOR
+
+    def test_delete_timing_propagates(self):
+        system = build(leased=False,
+                       delete_timing=DeleteTiming.AFTER_COMMIT)
+        assert system.consistency_client.timing is DeleteTiming.AFTER_COMMIT
+
+    def test_serve_pending_versions_off(self):
+        system = build(serve_pending_versions=False)
+        assert not system.cache.lease_config.serve_pending_versions
+
+    def test_hot_writes_flag(self):
+        system = build(hot_writes=True)
+        assert system.runner.hot_writes
+
+    def test_stats_property(self):
+        system = build()
+        system.actions.view_profile(1)
+        assert system.stats.get("cmd_get") >= 1

@@ -1,0 +1,96 @@
+"""The multithreaded workload driver and SoAR rater."""
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.metrics import RestartStats
+from repro.bg.soar import SoARRater
+from repro.bg.workload import HIGH_WRITE_MIX, LOW_WRITE_MIX
+
+
+class TestRestartStats:
+    def test_average_over_restarted_only(self):
+        stats = RestartStats([0, 0, 2, 4])
+        assert stats.average == 3.0
+        assert stats.maximum == 4
+        assert stats.sessions == 4
+        assert stats.restarted_sessions == 2
+
+    def test_empty(self):
+        stats = RestartStats([])
+        assert stats.average == 0.0
+        assert stats.maximum == 0
+
+
+class TestWorkloadRunner:
+    def test_single_thread_ops_run(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+            mix=HIGH_WRITE_MIX,
+        )
+        result = system.runner.run(threads=1, ops_per_thread=200)
+        assert result.actions == 200
+        assert result.reads + result.writes == 200
+        assert result.unpredictable_percentage == 0.0
+        assert result.throughput > 0
+        assert len(result.latency) == 200
+
+    def test_duration_mode(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+            mix=LOW_WRITE_MIX,
+        )
+        result = system.runner.run(threads=2, duration=0.3)
+        assert result.actions > 0
+        assert result.duration >= 0.3
+
+    def test_exactly_one_mode_required(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+        )
+        with pytest.raises(ValueError):
+            system.runner.run(threads=1)
+        with pytest.raises(ValueError):
+            system.runner.run(threads=1, duration=1, ops_per_thread=1)
+
+    def test_concurrent_iq_run_has_zero_stale(self):
+        system = build_bg_system(
+            members=60, friends_per_member=4, resources_per_member=2,
+            technique=Technique.INVALIDATE, leased=True, mix=HIGH_WRITE_MIX,
+        )
+        result = system.runner.run(threads=8, ops_per_thread=100)
+        assert result.actions == 800
+        assert result.unpredictable_percentage == 0.0
+        assert result.errors == 0
+
+    def test_warmup_populates_cache(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+            mix=LOW_WRITE_MIX,
+        )
+        system.runner.run(threads=2, ops_per_thread=20, warmup_ops=10)
+        assert system.cache.stats.get("get_hits") > 0
+
+    def test_summary_is_readable(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+        )
+        result = system.runner.run(threads=1, ops_per_thread=20)
+        text = result.summary()
+        assert "actions/s" in text and "stale=" in text
+
+
+class TestSoAR:
+    def test_rater_returns_positive_soar(self):
+        system = build_bg_system(
+            members=40, friends_per_member=4, resources_per_member=2,
+            mix=LOW_WRITE_MIX,
+        )
+        rater = SoARRater(
+            system.runner, probe_duration=0.2, max_threads=4, warmup_ops=5
+        )
+        result = rater.rate()
+        assert result.soar > 0
+        assert result.best_threads >= 1
+        assert result.probes

@@ -1,0 +1,143 @@
+"""The unpredictable-read detector."""
+
+from repro.bg.validation import ValidationLog
+
+
+ITEM = ("pendingcount", 1)
+
+
+def test_initial_value_is_acceptable():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    floors = log.read_begin([ITEM])
+    end = log.read_end()
+    assert log.validate(ITEM, 0, floors, end)
+    assert log.unpredictable_reads() == 0
+
+
+def test_old_value_after_commit_is_stale():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    handle = log.write_begin([ITEM])
+    log.record(ITEM, 1)
+    log.write_end(handle)
+    floors = log.read_begin([ITEM])
+    end = log.read_end()
+    assert not log.validate(ITEM, 0, floors, end)
+    assert log.validate(ITEM, 1, floors, end)
+    assert log.unpredictable_reads() == 1
+    assert log.reads() == 2
+
+
+def test_read_overlapping_write_may_see_either_value():
+    """The re-arrangement rule: a read that starts while a write session
+    is mid-flight may serialize before it."""
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    handle = log.write_begin([ITEM])
+    log.record(ITEM, 1)  # RDBMS committed, KVS ops still pending
+    floors = log.read_begin([ITEM])
+    end = log.read_end()
+    assert log.validate(ITEM, 0, floors, end)  # pre-write value OK
+    assert log.validate(ITEM, 1, floors, end)  # new value also OK
+    log.write_end(handle)
+
+
+def test_after_write_end_old_value_is_stale():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    handle = log.write_begin([ITEM])
+    log.record(ITEM, 1)
+    log.write_end(handle)
+    floors = log.read_begin([ITEM])
+    assert not log.validate(ITEM, 0, floors, log.read_end())
+
+
+def test_value_committed_during_read_window_is_acceptable():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    floors = log.read_begin([ITEM])
+    handle = log.write_begin([ITEM])
+    log.record(ITEM, 1)
+    log.write_end(handle)
+    end = log.read_end()
+    assert log.validate(ITEM, 0, floors, end)
+    assert log.validate(ITEM, 1, floors, end)
+
+
+def test_never_held_value_is_always_stale():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    floors = log.read_begin([ITEM])
+    assert not log.validate(ITEM, 42, floors, log.read_end())
+
+
+def test_two_writes_in_window_all_intermediate_values_ok():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    floors = log.read_begin([ITEM])
+    for value in (1, 2):
+        handle = log.write_begin([ITEM])
+        log.record(ITEM, value)
+        log.write_end(handle)
+    end = log.read_end()
+    for value in (0, 1, 2):
+        assert log.validate(ITEM, value, floors, end)
+    assert not log.validate(ITEM, 3, floors, end)
+
+
+def test_set_valued_items():
+    item = ("friends", 5)
+    log = ValidationLog()
+    log.register(item, frozenset({1, 2}))
+    handle = log.write_begin([item])
+    log.record(item, frozenset({1, 2, 3}))
+    log.write_end(handle)
+    floors = log.read_begin([item])
+    end = log.read_end()
+    assert log.validate(item, frozenset({1, 2, 3}), floors, end)
+    assert not log.validate(item, frozenset({1, 2}), floors, end)
+
+
+def test_unregistered_item_is_not_counted_stale():
+    log = ValidationLog()
+    floors = log.read_begin([ITEM])
+    assert log.validate(ITEM, 123, floors, log.read_end())
+    assert log.unpredictable_reads() == 0
+
+
+def test_percentage_and_breakdown():
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    handle = log.write_begin([ITEM])
+    log.record(ITEM, 1)
+    log.write_end(handle)
+    floors = log.read_begin([ITEM])
+    end = log.read_end()
+    log.validate(ITEM, 1, floors, end)
+    log.validate(ITEM, 0, floors, end, kind="pendingcount")
+    assert log.unpredictable_percentage() == 50.0
+    assert log.breakdown() == {"pendingcount": 1}
+    log.reset_counters()
+    assert log.reads() == 0
+    assert log.unpredictable_percentage() == 0.0
+
+
+def test_floor_extends_to_oldest_inflight_writer():
+    """A long-running write session keeps the pre-write value acceptable
+    for reads that start any time before its KVS ops finish."""
+    log = ValidationLog()
+    log.register(ITEM, 0)
+    slow = log.write_begin([ITEM])
+    log.record(ITEM, 1)
+    fast = log.write_begin([ITEM])
+    log.record(ITEM, 2)
+    log.write_end(fast)
+    floors = log.read_begin([ITEM])
+    end = log.read_end()
+    # value 0 acceptable only because `slow` began before it changed
+    # anything and is still mid-flight.
+    assert log.validate(ITEM, 0, floors, end)
+    log.write_end(slow)
+    floors = log.read_begin([ITEM])
+    assert not log.validate(ITEM, 0, floors, log.read_end())

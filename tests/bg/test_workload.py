@@ -1,0 +1,89 @@
+import random
+
+import pytest
+
+from repro.bg.workload import (
+    ACTIONS,
+    HIGH_WRITE_MIX,
+    LOW_WRITE_MIX,
+    MIXES,
+    VERY_LOW_WRITE_MIX,
+    ActionMix,
+    mix_with_write_fraction,
+)
+
+
+class TestTable5Mixes:
+    """The three mixes must match Table 5 of the paper exactly."""
+
+    def test_very_low_mix(self):
+        pct = VERY_LOW_WRITE_MIX.percentages
+        assert pct["view_profile"] == 40.0
+        assert pct["invite_friend"] == 0.02
+        assert pct["thaw_friendship"] == 0.03
+        assert pct["view_comments_on_resource"] == 9.9
+        assert VERY_LOW_WRITE_MIX.write_fraction() == pytest.approx(0.1)
+
+    def test_low_mix(self):
+        assert LOW_WRITE_MIX.write_fraction() == pytest.approx(1.0)
+        assert LOW_WRITE_MIX.percentages["view_comments_on_resource"] == 9.0
+
+    def test_high_mix(self):
+        pct = HIGH_WRITE_MIX.percentages
+        assert pct["view_profile"] == 35.0
+        assert pct["view_top_k_resources"] == 35.0
+        assert HIGH_WRITE_MIX.write_fraction() == pytest.approx(10.0)
+
+    def test_all_mixes_sum_to_100(self):
+        for mix in MIXES.values():
+            assert sum(mix.percentages.values()) == pytest.approx(100.0)
+
+    def test_mix_lookup_labels(self):
+        assert set(MIXES) == {"0.1%", "1%", "10%"}
+
+
+class TestActionMix:
+    def test_sampling_respects_weights(self):
+        rng = random.Random(1)
+        counts = {}
+        for _ in range(20000):
+            name = HIGH_WRITE_MIX.sample(rng)
+            counts[name] = counts.get(name, 0) + 1
+        assert counts["view_profile"] / 20000 == pytest.approx(0.35, abs=0.02)
+        writes = sum(
+            counts.get(a, 0)
+            for a in ("invite_friend", "accept_friend_request",
+                      "reject_friend_request", "thaw_friendship")
+        )
+        assert writes / 20000 == pytest.approx(0.10, abs=0.01)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            ActionMix("bad", {"tweet": 100.0})
+
+    def test_bad_total_rejected(self):
+        with pytest.raises(ValueError):
+            ActionMix("bad", {"view_profile": 50.0})
+
+    def test_all_actions_enumerated(self):
+        from repro.bg.workload import CORE_ACTIONS
+
+        assert len(CORE_ACTIONS) == 9  # the Table 5 set
+        assert len(ACTIONS) == 11      # + post/delete comment
+
+
+class TestCustomMix:
+    def test_custom_write_fraction(self):
+        mix = mix_with_write_fraction(5.0)
+        assert mix.write_fraction() == pytest.approx(5.0)
+        assert sum(mix.percentages.values()) == pytest.approx(100.0)
+
+    def test_zero_writes(self):
+        mix = mix_with_write_fraction(0.0)
+        assert mix.write_fraction() == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            mix_with_write_fraction(100.0)
+        with pytest.raises(ValueError):
+            mix_with_write_fraction(-1.0)

@@ -1,0 +1,73 @@
+import random
+
+import pytest
+
+from repro.bg.zipfian import (
+    ZipfianGenerator,
+    exponent_for_hotspot,
+    hotspot_fraction,
+)
+
+
+class TestZipfianGenerator:
+    def test_samples_in_range(self):
+        gen = ZipfianGenerator(100, rng=random.Random(1))
+        for _ in range(1000):
+            assert 0 <= gen.next_rank() < 100
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, exponent=0.9, rng=random.Random(2))
+        counts = {}
+        for _ in range(20000):
+            rank = gen.next_rank()
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts.get(0, 0) > counts.get(100, 0)
+        assert counts.get(0, 0) > counts.get(999, 0)
+
+    def test_low_exponent_is_flatter(self):
+        skewed = ZipfianGenerator(1000, exponent=0.9, rng=random.Random(3))
+        flat = ZipfianGenerator(1000, exponent=0.01, rng=random.Random(3))
+
+        def top_share(gen):
+            hits = sum(1 for _ in range(5000) if gen.next_rank() < 10)
+            return hits / 5000
+
+        assert top_share(skewed) > top_share(flat)
+
+    def test_scramble_spreads_hot_ids(self):
+        gen = ZipfianGenerator(
+            1000, exponent=0.9, rng=random.Random(4), scramble=True
+        )
+        ids = {gen.next() for _ in range(2000)}
+        # Popular ids should not all cluster below 100.
+        assert any(i > 500 for i in ids)
+
+    def test_population_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+
+    def test_sample_helper(self):
+        gen = ZipfianGenerator(10, rng=random.Random(5))
+        assert len(gen.sample(7)) == 7
+
+
+class TestHotspotSolver:
+    def test_solved_exponent_achieves_target(self):
+        n = 1000
+        exponent = exponent_for_hotspot(
+            n, data_fraction=0.2, access_fraction=0.7
+        )
+        achieved = hotspot_fraction(n, exponent, 0.2)
+        assert achieved == pytest.approx(0.7, abs=0.01)
+
+    def test_empirical_hotspot_close_to_analytic(self):
+        n = 500
+        exponent = exponent_for_hotspot(n, 0.2, 0.7)
+        gen = ZipfianGenerator(n, exponent=exponent, rng=random.Random(6))
+        hot = sum(1 for _ in range(20000) if gen.next_rank() < n * 0.2)
+        assert hot / 20000 == pytest.approx(0.7, abs=0.05)
+
+    def test_stronger_skew_needs_larger_exponent(self):
+        mild = exponent_for_hotspot(1000, 0.2, 0.6)
+        strong = exponent_for_hotspot(1000, 0.2, 0.9)
+        assert strong > mild

@@ -1,0 +1,95 @@
+"""CASQLFacade: cache-aside query caching end to end."""
+
+import pytest
+
+from repro.casql.cache_store import CASQLFacade
+from repro.core.iq_client import IQClient
+from repro.core.policies import IQInvalidateClient, KeyChange
+from repro.util.backoff import NoBackoff
+
+
+@pytest.fixture
+def facade(iq, users_db):
+    iq_client = IQClient(iq, backoff=NoBackoff(max_attempts=100))
+    consistency = IQInvalidateClient(
+        iq_client, users_db.connect, backoff=NoBackoff()
+    )
+    return CASQLFacade(consistency, users_db.connect)
+
+
+class TestCachedQuery:
+    def test_first_call_computes_second_hits(self, facade, iq):
+        rows = facade.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,)
+        )
+        assert rows == [{"name": "alice"}]
+        hits_before = iq.stats.get("get_hits")
+        again = facade.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,)
+        )
+        assert again == rows
+        assert iq.stats.get("get_hits") > hits_before
+
+    def test_distinct_params_distinct_keys(self, facade):
+        alice = facade.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,)
+        )
+        bob = facade.cached_query(
+            "SELECT name FROM users WHERE id = ?", (2,)
+        )
+        assert alice != bob
+
+    def test_explicit_key(self, facade, iq):
+        facade.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,), key="AliceName"
+        )
+        assert iq.store.get("AliceName") is not None
+
+    def test_stale_after_uncached_write_demonstrates_need(self, facade,
+                                                          users_db):
+        """A raw RDBMS write (bypassing the session model) leaves the
+        cached result stale -- motivating write sessions."""
+        key = "Score1"
+        first = facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        )
+        raw = users_db.connect()
+        raw.execute("UPDATE users SET score = 999 WHERE id = 1")
+        again = facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        )
+        assert again == first  # stale on purpose
+
+
+class TestCachedObject:
+    def test_round_trip(self, facade):
+        value = facade.cached_object("Obj1", lambda: {"a": 1})
+        assert value == {"a": 1}
+        assert facade.cached_object("Obj1", lambda: {"a": 2}) == {"a": 1}
+
+    def test_absent_object(self, facade):
+        assert facade.cached_object("Gone", lambda: None) is None
+
+
+class TestWrites:
+    def test_write_session_invalidates(self, facade, iq, users_db):
+        key = "Score1"
+        facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        )
+
+        def body(session):
+            session.execute("UPDATE users SET score = 999 WHERE id = 1")
+
+        facade.write(body, [KeyChange(key)])
+        fresh = facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        )
+        assert fresh == [{"score": 999}]
+
+    def test_invalidate_keys_helper(self, facade, iq):
+        iq.store.set("a", b"1")
+        iq.store.set("b", b"2")
+        facade.invalidate_keys(["a", "b"])
+        assert iq.store.get("a") is None
+        assert iq.store.get("b") is None

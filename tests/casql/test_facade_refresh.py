@@ -1,0 +1,106 @@
+"""CASQLFacade over the refresh and delta clients + namespacing."""
+
+import pytest
+
+from repro.casql.cache_store import CASQLFacade
+from repro.casql.keys import KeySpace
+from repro.core.iq_client import IQClient
+from repro.core.policies import IQDeltaClient, IQRefreshClient, KeyChange
+from repro.util.backoff import NoBackoff
+
+
+@pytest.fixture
+def iq_client(iq):
+    return IQClient(iq, backoff=NoBackoff(max_attempts=100))
+
+
+class TestRefreshFacade:
+    def test_write_refreshes_cached_query(self, iq, iq_client, users_db):
+        facade = CASQLFacade(
+            IQRefreshClient(iq_client, users_db.connect, backoff=NoBackoff()),
+            users_db.connect,
+        )
+        key = "Score1"
+        first = facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        )
+        assert first == [{"score": 10}]
+
+        from repro.casql.codec import decode, encode
+
+        def refresher(old):
+            if old is None:
+                return None
+            rows = decode(old)
+            rows[0]["score"] += 1
+            return encode(rows)
+
+        def body(session):
+            session.execute(
+                "UPDATE users SET score = score + 1 WHERE id = 1"
+            )
+
+        facade.write(body, [KeyChange(key, refresher=refresher)])
+        assert facade.cached_query(
+            "SELECT score FROM users WHERE id = ?", (1,), key=key
+        ) == [{"score": 11}]
+        # The refreshed value is a cache hit, not a recomputation.
+        assert iq.store.get(key) is not None
+
+    def test_refresh_write_on_cold_key_skips(self, iq, iq_client, users_db):
+        facade = CASQLFacade(
+            IQRefreshClient(iq_client, users_db.connect, backoff=NoBackoff()),
+            users_db.connect,
+        )
+
+        def body(session):
+            session.execute("UPDATE users SET score = 0 WHERE id = 1")
+
+        facade.write(
+            body, [KeyChange("ColdKey", refresher=lambda old: old)]
+        )
+        assert iq.store.get("ColdKey") is None
+        # Lease released; a reader can populate.
+        assert facade.cached_object("ColdKey", lambda: 1) == 1
+
+
+class TestDeltaFacade:
+    def test_counter_object_with_deltas(self, iq, iq_client, users_db):
+        facade = CASQLFacade(
+            IQDeltaClient(iq_client, users_db.connect, backoff=NoBackoff()),
+            users_db.connect,
+        )
+        assert facade.cached_object("Visits", lambda: 10) == 10
+
+        def body(session):
+            session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+
+        facade.write(body, [KeyChange("Visits", deltas=[("incr", 5)])])
+        assert facade.cached_object("Visits", lambda: 0) == 15
+
+
+class TestNamespaces:
+    def test_tenants_do_not_collide(self, iq, iq_client, users_db):
+        from repro.core.policies import IQInvalidateClient
+
+        client = IQInvalidateClient(
+            iq_client, users_db.connect, backoff=NoBackoff()
+        )
+        tenant_a = CASQLFacade(
+            client, users_db.connect, keyspace=KeySpace("tenantA")
+        )
+        tenant_b = CASQLFacade(
+            client, users_db.connect, keyspace=KeySpace("tenantB")
+        )
+        rows_a = tenant_a.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,)
+        )
+        users_db.connect().execute(
+            "UPDATE users SET name = 'renamed' WHERE id = 1"
+        )
+        rows_b = tenant_b.cached_query(
+            "SELECT name FROM users WHERE id = ?", (1,)
+        )
+        # A cached under tenantA before the rename; B computed after.
+        assert rows_a == [{"name": "alice"}]
+        assert rows_b == [{"name": "renamed"}]

@@ -1,0 +1,28 @@
+from repro.casql.keys import KeySpace
+
+
+def test_paper_key_format():
+    keys = KeySpace()
+    assert keys.profile(42) == "Profile42"
+    assert keys.friends(42) == "Friends42"
+    assert keys.pending_friends(42) == "PendingFriends42"
+    assert keys.top_resources(42) == "TopKResources42"
+    assert keys.resource_comments(7) == "Comments7"
+    assert keys.pending_count(42) == "PendingCount42"
+    assert keys.friend_count(42) == "FriendCount42"
+
+
+def test_namespace_prefix():
+    keys = KeySpace(namespace="app1")
+    assert keys.profile(1) == "app1:Profile1"
+    assert keys.query("abc") == "app1:Qabc"
+
+
+def test_distinct_kinds_never_collide():
+    keys = KeySpace()
+    built = {
+        keys.profile(1), keys.friends(1), keys.pending_friends(1),
+        keys.top_resources(1), keys.resource_comments(1),
+        keys.pending_count(1), keys.friend_count(1), keys.query(1),
+    }
+    assert len(built) == 8

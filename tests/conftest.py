@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import KVSConfig, LeaseConfig
+from repro.core.iq_server import IQServer
+from repro.kvs.store import CacheStore
+from repro.sql.engine import Database
+from repro.util.clock import LogicalClock
+
+
+@pytest.fixture
+def clock():
+    """A deterministic, manually advanced clock."""
+    return LogicalClock()
+
+
+@pytest.fixture
+def store(clock):
+    """A cache store with no memory limit on a logical clock."""
+    return CacheStore(KVSConfig(), clock=clock)
+
+
+@pytest.fixture
+def iq(clock):
+    """An IQ server on a logical clock with default lease config."""
+    return IQServer(clock=clock)
+
+
+@pytest.fixture
+def iq_short_leases(clock):
+    """An IQ server whose leases expire after one second."""
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=1.0, q_lease_ttl=1.0),
+        clock=clock,
+    )
+
+
+@pytest.fixture
+def db():
+    """An empty database."""
+    return Database()
+
+
+@pytest.fixture
+def users_db(db):
+    """A database with a tiny ``users`` table (3 rows)."""
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT NOT NULL,"
+        " score INTEGER)"
+    )
+    connection.execute(
+        "INSERT INTO users (id, name, score) VALUES"
+        " (1, 'alice', 10), (2, 'bob', 20), (3, 'carol', 30)"
+    )
+    connection.close()
+    return db

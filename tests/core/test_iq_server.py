@@ -1,0 +1,299 @@
+"""IQ-Server command semantics (Section 5 of the paper)."""
+
+import pytest
+
+from repro.config import LeaseConfig
+from repro.core.iq_server import IQServer, apply_delta
+from repro.errors import BadValueError, QuarantinedError
+from repro.util.clock import LogicalClock
+
+
+class TestIQGetSet:
+    def test_hit(self, iq):
+        iq.store.set("k", b"v")
+        result = iq.iq_get("k")
+        assert result.is_hit and result.value == b"v"
+
+    def test_miss_grants_i_lease(self, iq):
+        result = iq.iq_get("k")
+        assert not result.is_hit and result.has_lease
+
+    def test_concurrent_miss_backs_off(self, iq):
+        iq.iq_get("k")
+        second = iq.iq_get("k")
+        assert second.backoff and not second.has_lease
+
+    def test_iqset_with_valid_token(self, iq):
+        result = iq.iq_get("k")
+        assert iq.iq_set("k", b"v", result.token)
+        assert iq.iq_get("k").value == b"v"
+
+    def test_iqset_with_stale_token_ignored(self, iq):
+        result = iq.iq_get("k")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")  # voids the I lease
+        assert not iq.iq_set("k", b"stale", result.token)
+        assert iq.stats.get("ignored_sets") == 1
+
+    def test_release_i_frees_key(self, iq):
+        result = iq.iq_get("k")
+        iq.release_i("k", result.token)
+        assert iq.iq_get("k").has_lease
+
+
+class TestInvalidate:
+    def test_qar_then_dar_deletes(self, iq):
+        iq.store.set("k", b"v")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        assert iq.store.get("k") is not None  # deferred delete (S3.3)
+        iq.dar(tid)
+        assert iq.store.get("k") is None
+
+    def test_deferred_delete_serves_old_version(self, iq):
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        assert iq.iq_get("k").value == b"old"
+
+    def test_writer_observes_own_miss(self, iq):
+        """Section 3.3: the invalidating session must see a miss on its
+        own key so it re-queries the RDBMS."""
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        own = iq.iq_get("k", session=tid)
+        assert not own.is_hit and not own.has_lease and not own.backoff
+
+    def test_eager_delete_when_optimization_off(self, clock):
+        iq = IQServer(
+            lease_config=LeaseConfig(serve_pending_versions=False),
+            clock=clock,
+        )
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        assert iq.store.get("k") is None
+        assert iq.iq_get("k").backoff  # I lease blocked by Q
+
+    def test_multiple_invalidate_sessions_coexist(self, iq):
+        iq.store.set("k", b"v")
+        tid1, tid2 = iq.gen_id(), iq.gen_id()
+        iq.qar(tid1, "k")
+        iq.qar(tid2, "k")  # idempotent deletes: both granted
+        iq.dar(tid1)
+        assert iq.store.get("k") is None
+        iq.dar(tid2)
+
+    def test_i_lease_blocked_until_dar(self, iq):
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        assert iq.iq_get("k").backoff
+        iq.dar(tid)
+        assert iq.iq_get("k").has_lease
+
+
+class TestRefresh:
+    def test_qaread_returns_value_and_quarantines(self, iq):
+        iq.store.set("k", b"10")
+        tid = iq.gen_id()
+        result = iq.qaread("k", tid)
+        assert result.value == b"10"
+        other = iq.gen_id()
+        with pytest.raises(QuarantinedError):
+            iq.qaread("k", other)
+
+    def test_qaread_miss_still_quarantines(self, iq):
+        tid = iq.gen_id()
+        result = iq.qaread("k", tid)
+        assert result.is_miss
+        with pytest.raises(QuarantinedError):
+            iq.qaread("k", iq.gen_id())
+
+    def test_sar_swaps_and_releases(self, iq):
+        iq.store.set("k", b"10")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        assert iq.sar("k", b"20", tid)
+        assert iq.store.get("k") == (b"20", 0)
+        # Lease released: a new session may quarantine.
+        iq.qaread("k", iq.gen_id())
+
+    def test_sar_with_null_only_releases(self, iq):
+        iq.store.set("k", b"10")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        iq.sar("k", None, tid)
+        assert iq.store.get("k") == (b"10", 0)
+        iq.qaread("k", iq.gen_id())
+
+    def test_sar_without_lease_ignored(self, iq):
+        assert not iq.sar("k", b"v", 12345)
+        assert iq.store.get("k") is None
+
+    def test_readers_hit_old_version_during_quarantine(self, iq):
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        assert iq.iq_get("k").value == b"old"
+
+    def test_propose_refresh_read_your_own_write(self, iq):
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        assert iq.propose_refresh("k", b"new", tid)
+        assert iq.iq_get("k", session=tid).value == b"new"
+        assert iq.iq_get("k").value == b"old"
+        iq.commit(tid)
+        assert iq.iq_get("k").value == b"new"
+
+    def test_qaread_voids_i_lease(self, iq):
+        reader = iq.iq_get("k")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        assert not iq.iq_set("k", b"stale", reader.token)
+
+
+class TestDelta:
+    def test_delta_applied_at_commit(self, iq):
+        iq.store.set("k", b"ab")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"cd")
+        assert iq.iq_get("k").value == b"ab"  # not yet applied
+        iq.commit(tid)
+        assert iq.iq_get("k").value == b"abcd"
+
+    def test_delta_read_your_own_change(self, iq):
+        iq.store.set("k", b"ab")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"cd")
+        assert iq.iq_get("k", session=tid).value == b"abcd"
+
+    def test_multiple_deltas_compose_in_order(self, iq):
+        iq.store.set("k", b"b")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"c")
+        iq.iq_delta(tid, "k", "prepend", b"a")
+        iq.commit(tid)
+        assert iq.iq_get("k").value == b"abc"
+
+    def test_incr_decr_deltas(self, iq):
+        iq.store.set("k", b"10")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "incr", 5)
+        iq.iq_delta(tid, "k", "decr", 2)
+        iq.commit(tid)
+        assert iq.iq_get("k").value == b"13"
+
+    def test_delta_to_missing_key_is_skipped(self, iq):
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"x")
+        iq.commit(tid)
+        assert iq.store.get("k") is None
+
+    def test_delta_conflict_aborts_requester(self, iq):
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"x")
+        with pytest.raises(QuarantinedError):
+            iq.iq_delta(iq.gen_id(), "k", "append", b"y")
+
+    def test_unknown_op_rejected(self, iq):
+        with pytest.raises(BadValueError):
+            iq.iq_delta(iq.gen_id(), "k", "reverse", b"")
+
+
+class TestAbort:
+    def test_abort_discards_deltas(self, iq):
+        iq.store.set("k", b"ab")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"cd")
+        iq.abort(tid)
+        assert iq.iq_get("k").value == b"ab"
+        iq.qaread("k", iq.gen_id())  # lease released
+
+    def test_abort_keeps_value_for_invalidate(self, iq):
+        iq.store.set("k", b"v")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        iq.abort(tid)
+        assert iq.iq_get("k").value == b"v"
+
+    def test_abort_unknown_session_is_noop(self, iq):
+        iq.abort(99999)
+
+
+class TestLeaseExpiryFaultTolerance:
+    def test_expired_q_deletes_key(self, clock):
+        iq = IQServer(
+            lease_config=LeaseConfig(q_lease_ttl=5), clock=clock
+        )
+        iq.store.set("k", b"v")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        clock.advance(6)
+        iq.leases.sweep_expired()
+        assert iq.store.get("k") is None
+
+    def test_late_sar_after_expiry_ignored(self, clock):
+        iq = IQServer(
+            lease_config=LeaseConfig(q_lease_ttl=5), clock=clock
+        )
+        iq.store.set("k", b"v")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        clock.advance(6)
+        iq.leases.sweep_expired()
+        assert not iq.sar("k", b"late", tid)
+        assert iq.store.get("k") is None
+
+    def test_late_commit_after_expiry_applies_nothing(self, clock):
+        iq = IQServer(
+            lease_config=LeaseConfig(q_lease_ttl=5), clock=clock
+        )
+        iq.store.set("k", b"ab")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"cd")
+        clock.advance(6)
+        iq.leases.sweep_expired()
+        iq.commit(tid)
+        assert iq.store.get("k") is None  # deleted at expiry, delta dropped
+
+    def test_key_usable_after_expiry(self, clock):
+        iq = IQServer(
+            lease_config=LeaseConfig(q_lease_ttl=5), clock=clock
+        )
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        clock.advance(6)
+        result = iq.iq_get("k")
+        assert result.has_lease
+
+
+class TestApplyDelta:
+    def test_append_prepend(self):
+        assert apply_delta(b"b", "append", b"c") == b"bc"
+        assert apply_delta(b"b", "prepend", b"a") == b"ab"
+
+    def test_incr_decr(self):
+        assert apply_delta(b"10", "incr", 5) == b"15"
+        assert apply_delta(b"10", "decr", 15) == b"0"
+        assert apply_delta(b"10", "incr", b"3") == b"13"
+
+    def test_incr_non_numeric(self):
+        with pytest.raises(BadValueError):
+            apply_delta(b"abc", "incr", 1)
+
+    def test_unknown_op(self):
+        with pytest.raises(BadValueError):
+            apply_delta(b"x", "rot13", None)
+
+
+class TestFlush:
+    def test_flush_all_resets_everything(self, iq):
+        iq.store.set("k", b"v")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        iq.flush_all()
+        assert iq.store.get("k") is None
+        assert iq.session_count() == 0
+        assert iq.iq_get("k").has_lease

@@ -1,0 +1,120 @@
+"""Property-based invariants of the lease table (hypothesis stateful)."""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.config import LeaseConfig
+from repro.core.leases import LeaseTable, QMode, QRequestOutcome
+from repro.util.clock import LogicalClock
+
+KEYS = ["k1", "k2", "k3"]
+SESSIONS = [1, 2, 3, 4]
+
+
+class LeaseMachine(RuleBasedStateMachine):
+    """Model-checked lease table.
+
+    The model tracks, per key, the set of Q holders with their modes and
+    whether an I lease is live, and asserts the Figure 5 matrices hold
+    for every operation sequence hypothesis generates.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.clock = LogicalClock()
+        self.table = LeaseTable(
+            LeaseConfig(i_lease_ttl=1e9, q_lease_ttl=1e9), self.clock
+        )
+        self.model_i = {}      # key -> token
+        self.model_q = {}      # key -> (mode, set of sessions)
+
+    @rule(key=st.sampled_from(KEYS))
+    def request_i(self, key):
+        token = self.table.request_i(key)
+        has_q = key in self.model_q and self.model_q[key][1]
+        if key in self.model_i or has_q:
+            assert token is None, "I granted despite existing lease"
+        else:
+            assert token is not None
+            self.model_i[key] = token
+
+    @rule(key=st.sampled_from(KEYS), session=st.sampled_from(SESSIONS),
+          mode=st.sampled_from([QMode.SHARED_INVALIDATE, QMode.EXCLUSIVE]))
+    def request_q(self, key, session, mode):
+        outcome = self.table.request_q(key, session, mode)
+        current = self.model_q.get(key)
+        if current is None or not current[1]:
+            assert outcome is QRequestOutcome.GRANTED
+            self.model_q[key] = (mode, {session})
+            self.model_i.pop(key, None)
+            return
+        current_mode, holders = current
+        if session in holders:
+            assert outcome is QRequestOutcome.GRANTED
+            return
+        compatible = (
+            current_mode is QMode.SHARED_INVALIDATE
+            and mode is QMode.SHARED_INVALIDATE
+        )
+        if compatible:
+            assert outcome is QRequestOutcome.GRANTED
+            holders.add(session)
+            self.model_i.pop(key, None)
+        else:
+            assert outcome is QRequestOutcome.REJECTED
+
+    @rule(key=st.sampled_from(KEYS), session=st.sampled_from(SESSIONS))
+    def release_q(self, key, session):
+        released = self.table.release_q(key, session)
+        current = self.model_q.get(key)
+        if current and session in current[1]:
+            assert released
+            current[1].discard(session)
+            if not current[1]:
+                del self.model_q[key]
+        else:
+            assert not released
+
+    @rule(key=st.sampled_from(KEYS))
+    def void_i(self, key):
+        self.table.void_i(key)
+        self.model_i.pop(key, None)
+
+    @rule(key=st.sampled_from(KEYS))
+    def redeem_i(self, key):
+        token = self.model_i.get(key)
+        if token is not None:
+            assert self.table.redeem_i(key, token)
+            del self.model_i[key]
+        else:
+            assert not self.table.redeem_i(key, 10 ** 9)
+
+    @invariant()
+    def leases_match_model(self):
+        for key in KEYS:
+            has_i, holders = self.table.leases_on(key)
+            assert has_i == (key in self.model_i)
+            model_holders = (
+                self.model_q[key][1] if key in self.model_q else set()
+            )
+            assert holders == frozenset(model_holders)
+
+    @invariant()
+    def i_and_q_never_coexist(self):
+        """A granted Q always voids the I lease (core paper invariant)."""
+        for key in KEYS:
+            has_i, holders = self.table.leases_on(key)
+            assert not (has_i and holders)
+
+    @invariant()
+    def exclusive_q_is_single_holder(self):
+        for key, (mode, holders) in self.model_q.items():
+            if mode is QMode.EXCLUSIVE:
+                assert len(holders) <= 1
+
+
+LeaseMachineTest = LeaseMachine.TestCase
+LeaseMachineTest.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

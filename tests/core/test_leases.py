@@ -1,0 +1,168 @@
+"""Lease table semantics: the compatibility matrices of Figure 5."""
+
+import pytest
+
+from repro.config import LeaseConfig
+from repro.core.leases import LeaseTable, QMode, QRequestOutcome
+from repro.util.clock import LogicalClock
+
+
+@pytest.fixture
+def table(clock):
+    return LeaseTable(LeaseConfig(i_lease_ttl=10, q_lease_ttl=10), clock)
+
+
+class TestILeases:
+    def test_single_i_lease_per_key(self, table):
+        first = table.request_i("k")
+        assert first is not None
+        assert table.request_i("k") is None  # Figure 5a: back off
+
+    def test_i_leases_on_distinct_keys_independent(self, table):
+        assert table.request_i("a") is not None
+        assert table.request_i("b") is not None
+
+    def test_i_valid_checks_token(self, table):
+        token = table.request_i("k")
+        assert table.i_valid("k", token)
+        assert not table.i_valid("k", token + 1)
+        assert not table.i_valid("other", token)
+
+    def test_redeem_consumes(self, table):
+        token = table.request_i("k")
+        assert table.redeem_i("k", token)
+        assert not table.i_valid("k", token)
+        assert not table.redeem_i("k", token)
+        # A new reader may now acquire.
+        assert table.request_i("k") is not None
+
+    def test_void_i(self, table):
+        token = table.request_i("k")
+        table.void_i("k")
+        assert not table.i_valid("k", token)
+
+
+class TestQOverI:
+    def test_q_voids_i_always(self, table):
+        token = table.request_i("k")
+        for mode in (QMode.SHARED_INVALIDATE, QMode.EXCLUSIVE):
+            table_mode = LeaseTable(clock=LogicalClock())
+            tok = table_mode.request_i("k")
+            assert table_mode.request_q("k", 1, mode) is QRequestOutcome.GRANTED
+            assert not table_mode.i_valid("k", tok)
+        assert table.request_q("k", 1, QMode.EXCLUSIVE) is QRequestOutcome.GRANTED
+        assert not table.i_valid("k", token)
+
+    def test_i_request_backs_off_under_q(self, table):
+        table.request_q("k", 1, QMode.SHARED_INVALIDATE)
+        assert table.request_i("k") is None
+
+    def test_i_available_after_q_release(self, table):
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        table.release_q("k", 1)
+        assert table.request_i("k") is not None
+
+
+class TestQQCompatibility:
+    def test_invalidate_q_compatible(self, table):
+        """Figure 5a: multiple invalidate Q leases coexist."""
+        assert table.request_q(
+            "k", 1, QMode.SHARED_INVALIDATE
+        ) is QRequestOutcome.GRANTED
+        assert table.request_q(
+            "k", 2, QMode.SHARED_INVALIDATE
+        ) is QRequestOutcome.GRANTED
+        _has_i, holders = table.leases_on("k")
+        assert holders == {1, 2}
+
+    def test_exclusive_q_rejects_second(self, table):
+        """Figure 5b: reject and abort requester."""
+        assert table.request_q(
+            "k", 1, QMode.EXCLUSIVE
+        ) is QRequestOutcome.GRANTED
+        assert table.request_q(
+            "k", 2, QMode.EXCLUSIVE
+        ) is QRequestOutcome.REJECTED
+
+    def test_same_session_reacquire_granted(self, table):
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        assert table.request_q(
+            "k", 1, QMode.EXCLUSIVE
+        ) is QRequestOutcome.GRANTED
+
+    def test_mixed_modes_rejected(self, table):
+        table.request_q("k", 1, QMode.SHARED_INVALIDATE)
+        assert table.request_q(
+            "k", 2, QMode.EXCLUSIVE
+        ) is QRequestOutcome.REJECTED
+        table2 = LeaseTable(clock=LogicalClock())
+        table2.request_q("k", 1, QMode.EXCLUSIVE)
+        assert table2.request_q(
+            "k", 2, QMode.SHARED_INVALIDATE
+        ) is QRequestOutcome.REJECTED
+
+    def test_release_unknown_is_false(self, table):
+        assert table.release_q("k", 99) is False
+
+    def test_exclusive_available_after_release(self, table):
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        table.release_q("k", 1)
+        assert table.request_q(
+            "k", 2, QMode.EXCLUSIVE
+        ) is QRequestOutcome.GRANTED
+
+
+class TestExpiry:
+    def test_i_lease_expires(self, table, clock):
+        table.request_i("k")
+        clock.advance(11)
+        assert table.request_i("k") is not None
+
+    def test_expired_i_token_invalid(self, table, clock):
+        token = table.request_i("k")
+        clock.advance(11)
+        assert not table.i_valid("k", token)
+
+    def test_q_expiry_fires_callback(self, table, clock):
+        expired = []
+        table.on_q_expired = lambda key, sid: expired.append((key, sid))
+        table.request_q("k", 7, QMode.EXCLUSIVE)
+        clock.advance(11)
+        table.sweep_expired()
+        assert expired == [("k", 7)]
+        assert not table.q_held_by("k", 7)
+
+    def test_reacquire_refreshes_expiry(self, table, clock):
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        clock.advance(8)
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        clock.advance(8)
+        assert table.q_held_by("k", 1)
+
+    def test_expired_q_frees_key_for_new_q(self, table, clock):
+        table.request_q("k", 1, QMode.EXCLUSIVE)
+        clock.advance(11)
+        assert table.request_q(
+            "k", 2, QMode.EXCLUSIVE
+        ) is QRequestOutcome.GRANTED
+
+    def test_outstanding_counts_live_keys(self, table, clock):
+        table.request_i("a")
+        table.request_q("b", 1, QMode.EXCLUSIVE)
+        assert table.outstanding() == 2
+        clock.advance(11)
+        assert table.outstanding() == 0
+
+
+class TestStats:
+    def test_counters(self, table):
+        table.request_i("k")
+        table.request_i("k")  # backoff
+        table.request_q("k", 1, QMode.EXCLUSIVE)  # grant + void
+        table.request_q("k", 2, QMode.EXCLUSIVE)  # reject
+        snapshot = table.stats.snapshot()
+        assert snapshot["i_lease_grants"] == 1
+        assert snapshot["lease_backoffs"] == 1
+        assert snapshot["i_lease_voids"] == 1
+        assert snapshot["q_lease_grants"] == 1
+        assert snapshot["q_lease_rejects"] == 1

@@ -1,0 +1,171 @@
+"""Write sessions and the SessionRunner retry machinery."""
+
+import pytest
+
+from repro.core.iq_client import IQClient
+from repro.core.session import SessionRunner, WriteSession
+from repro.errors import (
+    QuarantinedError,
+    SessionAbortedError,
+    StarvationError,
+    TransactionAbortedError,
+)
+from repro.util.backoff import NoBackoff
+
+
+@pytest.fixture
+def client(iq):
+    return IQClient(iq, backoff=NoBackoff())
+
+
+@pytest.fixture
+def runner(client, users_db, clock):
+    return SessionRunner(
+        client, users_db.connect, backoff=NoBackoff(max_attempts=100),
+        clock=clock,
+    )
+
+
+class TestWriteSession:
+    def test_full_invalidate_session(self, client, users_db, iq):
+        iq.store.set("Profile1", b"cached")
+        session = WriteSession(client, users_db.connect())
+        session.qar("Profile1")
+        session.begin_sql()
+        session.execute("UPDATE users SET score = 0 WHERE id = 1")
+        session.commit_sql()
+        session.dar()
+        assert iq.store.get("Profile1") is None
+
+    def test_full_refresh_session(self, client, users_db, iq):
+        iq.store.set("Profile1", b"10")
+        session = WriteSession(client, users_db.connect())
+        old = session.qaread("Profile1").value
+        session.begin_sql()
+        session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+        session.commit_sql()
+        session.sar("Profile1", str(int(old) + 1).encode())
+        assert iq.store.get("Profile1") == (b"11", 0)
+
+    def test_abandon_releases_everything(self, client, users_db, iq):
+        session = WriteSession(client, users_db.connect())
+        session.qaread("k")
+        session.begin_sql()
+        session.execute("UPDATE users SET score = 0 WHERE id = 1")
+        session.abandon()
+        # Q lease released:
+        iq.qaread("k", iq.gen_id())
+        # RDBMS change rolled back:
+        fresh = users_db.connect()
+        assert fresh.query_scalar("SELECT score FROM users WHERE id = 1") == 10
+
+    def test_own_update_visibility(self, client, users_db, iq):
+        iq.store.set("k", b"old")
+        session = WriteSession(client, users_db.connect())
+        session.qaread("k")
+        session.propose_refresh("k", b"new")
+        assert session.iq_get("k").value == b"new"
+        assert iq.iq_get("k").value == b"old"
+
+
+class TestSessionRunner:
+    def test_success_first_try(self, runner):
+        def body(session):
+            session.begin_sql()
+            session.execute("UPDATE users SET score = 1 WHERE id = 1")
+            session.commit_sql()
+            session.commit_kvs()
+            return "done"
+
+        outcome = runner.run(body)
+        assert outcome.result == "done"
+        assert outcome.restarts == 0
+
+    def test_retries_on_quarantine(self, runner, iq):
+        blocker = iq.gen_id()
+        iq.qaread("hot", blocker)
+        attempts = []
+
+        def body(session):
+            attempts.append(1)
+            if len(attempts) == 3:
+                iq.sar("hot", None, blocker)  # blocker finishes
+            session.qaread("hot")
+            session.sar("hot", b"v")
+            return "ok"
+
+        outcome = runner.run(body)
+        assert outcome.result == "ok"
+        assert outcome.restarts == 2
+
+    def test_retries_on_rdbms_conflict(self, runner, users_db):
+        competitor = users_db.connect()
+        competitor.begin()
+        competitor.execute("UPDATE users SET score = 5 WHERE id = 1")
+        attempts = []
+
+        def body(session):
+            attempts.append(1)
+            if len(attempts) == 2:
+                competitor.commit()
+            session.begin_sql()
+            session.execute("UPDATE users SET score = 9 WHERE id = 1")
+            session.commit_sql()
+            session.commit_kvs()
+            return "ok"
+
+        outcome = runner.run(body)
+        assert outcome.result == "ok"
+        assert outcome.restarts >= 1
+
+    def test_starvation_after_max_attempts(self, client, users_db, iq, clock):
+        runner = SessionRunner(
+            client, users_db.connect, backoff=NoBackoff(max_attempts=3),
+            clock=clock,
+        )
+        iq.qaread("hot", iq.gen_id())  # never released
+
+        def body(session):
+            session.qaread("hot")
+            return "unreachable"
+
+        with pytest.raises(StarvationError):
+            runner.run(body)
+
+    def test_cleanup_on_retry(self, runner, users_db, iq):
+        """Each failed attempt must release its leases and roll back."""
+        attempts = []
+
+        def body(session):
+            attempts.append(session.tid)
+            session.qaread("a")
+            session.begin_sql()
+            session.execute("UPDATE users SET score = 99 WHERE id = 1")
+            if len(attempts) < 3:
+                raise QuarantinedError("b")
+            session.commit_sql()
+            session.sar("a", b"done")
+            return "ok"
+
+        outcome = runner.run(body)
+        assert outcome.restarts == 2
+        assert len(set(attempts)) == 3  # fresh TID per attempt
+        fresh = users_db.connect()
+        assert fresh.query_scalar("SELECT score FROM users WHERE id = 1") == 99
+
+    def test_non_retriable_error_propagates(self, runner, iq):
+        def body(session):
+            session.qaread("k")
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            runner.run(body)
+        # Lease still released by cleanup:
+        iq.qaread("k", iq.gen_id())
+
+    def test_session_aborted_error_propagates(self, runner):
+        def body(session):
+            raise SessionAbortedError("fatal", retriable=False)
+
+        with pytest.raises(SessionAbortedError):
+            runner.run(body)

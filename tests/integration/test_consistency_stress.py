@@ -1,0 +1,104 @@
+"""Concurrent stress: the paper's headline claim, end to end.
+
+Under real thread concurrency with contended hot keys and widened race
+windows, every IQ configuration must report exactly zero unpredictable
+reads, while the unleased baselines demonstrably produce stale data.
+"""
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import HIGH_WRITE_MIX
+from repro.core.session import AcquisitionMode
+
+THREADS = 8
+OPS = 120
+
+
+def stress(technique, leased, mode=AcquisitionMode.DURING, **kwargs):
+    system = build_bg_system(
+        members=80, friends_per_member=6, resources_per_member=2,
+        technique=technique, leased=leased, mode=mode,
+        mix=HIGH_WRITE_MIX, compute_delay=0.001, write_delay=0.001,
+        **kwargs,
+    )
+    result = system.runner.run(threads=THREADS, ops_per_thread=OPS)
+    return system, result
+
+
+@pytest.mark.parametrize(
+    "technique", [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+)
+@pytest.mark.parametrize(
+    "mode", [AcquisitionMode.PRIOR, AcquisitionMode.DURING]
+)
+def test_iq_zero_unpredictable_reads(technique, mode):
+    system, result = stress(technique, leased=True, mode=mode)
+    assert result.actions == THREADS * OPS
+    assert result.errors == 0
+    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+
+
+@pytest.mark.parametrize(
+    "technique", [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+)
+def test_baseline_produces_stale_reads(technique):
+    """The races are real: across a few attempts the unleased baseline
+    must produce at least one unpredictable read."""
+    total_stale = 0
+    for _seed in range(3):
+        system, _result = stress(technique, leased=False, seed=_seed)
+        total_stale += system.log.unpredictable_reads()
+        if total_stale:
+            break
+    assert total_stale > 0
+
+
+def test_iq_zero_with_eager_delete_variant():
+    system, result = stress(
+        Technique.INVALIDATE, leased=True, serve_pending_versions=False
+    )
+    assert system.log.unpredictable_reads() == 0
+
+
+def test_iq_cache_agrees_with_database_after_quiescence():
+    """After all sessions drain, every cached value must equal a fresh
+    RDBMS recomputation (session equilibrium)."""
+    from repro.bg.actions import decode_id_set
+    from repro.bg.schema import STATUS_PENDING
+
+    system, _result = stress(Technique.REFRESH, leased=True)
+    connection = system.db.connect()
+    checked = 0
+    for member in range(80):
+        raw = system.cache.store.get("PendingFriends{}".format(member))
+        if raw is None:
+            continue
+        cached = decode_id_set(raw[0])
+        rows = connection.execute(
+            "SELECT inviterid FROM friendship"
+            " WHERE inviteeid = ? AND status = ?",
+            (member, STATUS_PENDING),
+        )
+        truth = frozenset(r[0] for r in rows)
+        assert cached == truth, member
+        checked += 1
+    assert checked > 0
+
+
+def test_restart_counts_lower_when_acquired_during_transaction():
+    """Table 6's qualitative claim: acquiring Q leases inside the RDBMS
+    transaction bounds the maximum number of restarts."""
+    _sys_prior, prior = stress(
+        Technique.REFRESH, leased=True, mode=AcquisitionMode.PRIOR
+    )
+    _sys_during, during = stress(
+        Technique.REFRESH, leased=True, mode=AcquisitionMode.DURING
+    )
+    # Both complete; the DURING variant should not show a dramatically
+    # worse maximum than PRIOR (the paper finds it strictly better; a
+    # slack factor keeps the assertion robust to scheduling noise).
+    assert during.restart_stats.maximum <= max(
+        prior.restart_stats.maximum * 2, 10
+    )

@@ -1,0 +1,250 @@
+"""Engine-level concurrency: invariants under real thread contention."""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import TransactionAbortedError
+from repro.sql.engine import Database
+
+ACCOUNTS = 10
+INITIAL = 100
+
+
+@pytest.fixture
+def bank():
+    db = Database()
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE accounts (id INTEGER PRIMARY KEY, balance INTEGER)"
+    )
+    for account in range(ACCOUNTS):
+        connection.execute(
+            "INSERT INTO accounts (id, balance) VALUES (?, ?)",
+            (account, INITIAL),
+        )
+    connection.close()
+    return db
+
+
+def total_balance(db):
+    connection = db.connect()
+    try:
+        return connection.query_scalar("SELECT SUM(balance) FROM accounts")
+    finally:
+        connection.close()
+
+
+class TestBankTransfers:
+    def test_money_is_conserved(self, bank):
+        """Concurrent transfers with retries: SUM(balance) is invariant."""
+        transfers_done = []
+        failures = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            done = 0
+            try:
+                for _ in range(40):
+                    src = rng.randrange(ACCOUNTS)
+                    dst = (src + rng.randrange(1, ACCOUNTS)) % ACCOUNTS
+                    amount = rng.randrange(1, 10)
+                    for _attempt in range(50):
+                        connection = bank.connect()
+                        try:
+                            connection.begin()
+                            balance = connection.query_scalar(
+                                "SELECT balance FROM accounts WHERE id = ?",
+                                (src,),
+                            )
+                            if balance < amount:
+                                connection.rollback()
+                                break
+                            connection.execute(
+                                "UPDATE accounts SET balance = balance - ?"
+                                " WHERE id = ?",
+                                (amount, src),
+                            )
+                            connection.execute(
+                                "UPDATE accounts SET balance = balance + ?"
+                                " WHERE id = ?",
+                                (amount, dst),
+                            )
+                            connection.commit()
+                            done += 1
+                            break
+                        except TransactionAbortedError:
+                            continue
+                        finally:
+                            connection.close()
+            except Exception as exc:  # pragma: no cover
+                failures.append(exc)
+            finally:
+                transfers_done.append(done)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        assert sum(transfers_done) > 0
+        assert total_balance(bank) == ACCOUNTS * INITIAL
+
+    def test_no_negative_balances_with_guard(self, bank):
+        """The read-check-write pattern holds under SI (no lost checks on
+        the same row thanks to first-updater-wins)."""
+        def drainer():
+            for _ in range(60):
+                connection = bank.connect()
+                try:
+                    connection.begin()
+                    balance = connection.query_scalar(
+                        "SELECT balance FROM accounts WHERE id = 0"
+                    )
+                    if balance <= 0:
+                        connection.rollback()
+                        return
+                    connection.execute(
+                        "UPDATE accounts SET balance = balance - 1"
+                        " WHERE id = 0"
+                    )
+                    connection.commit()
+                except TransactionAbortedError:
+                    pass
+                finally:
+                    connection.close()
+
+        threads = [threading.Thread(target=drainer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        connection = bank.connect()
+        assert connection.query_scalar(
+            "SELECT balance FROM accounts WHERE id = 0"
+        ) >= 0
+
+    def test_vacuum_during_traffic(self, bank):
+        """Vacuum concurrent with transactions never corrupts reads."""
+        stop = threading.Event()
+        failures = []
+
+        def churn():
+            rng = random.Random(7)
+            while not stop.is_set():
+                connection = bank.connect()
+                try:
+                    connection.execute(
+                        "UPDATE accounts SET balance = balance + 0"
+                        " WHERE id = ?",
+                        (rng.randrange(ACCOUNTS),),
+                    )
+                except TransactionAbortedError:
+                    pass
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+                finally:
+                    connection.close()
+
+        def vacuumer():
+            while not stop.is_set():
+                try:
+                    bank.vacuum()
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+
+        pool = [threading.Thread(target=churn) for _ in range(4)]
+        pool.append(threading.Thread(target=vacuumer))
+        for t in pool:
+            t.start()
+        for _ in range(50):
+            assert total_balance(bank) == ACCOUNTS * INITIAL
+        stop.set()
+        for t in pool:
+            t.join()
+        assert not failures
+
+
+class TestThunderingHerd:
+    def test_i_lease_collapses_concurrent_misses(self):
+        """N threads read-through one missing key: exactly one RDBMS
+        computation happens (the Facebook-lease behaviour the I lease
+        subsumes)."""
+        from repro.core.iq_client import IQClient
+        from repro.core.iq_server import IQServer
+
+        server = IQServer()
+        computations = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(12)
+
+        def compute():
+            with lock:
+                computations.append(1)
+            import time
+
+            time.sleep(0.01)
+            return b"expensive"
+
+        results = []
+
+        def reader():
+            client = IQClient(server)
+            barrier.wait()
+            results.append(client.read_through("hot", compute))
+
+        threads = [threading.Thread(target=reader) for _ in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(computations) == 1
+        assert results == [b"expensive"] * 12
+
+
+class TestIQServerLeaseStress:
+    def test_exclusive_q_is_exclusive_under_threads(self):
+        """Hammer QaRead on few keys from many threads: at any moment at
+        most one session holds each key, and every granted lease is
+        eventually released."""
+        from repro.core.iq_server import IQServer
+        from repro.errors import QuarantinedError
+
+        server = IQServer()
+        holders = {}
+        holder_lock = threading.Lock()
+        violations = []
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(100):
+                key = "k{}".format(rng.randrange(3))
+                tid = server.gen_id()
+                try:
+                    server.qaread(key, tid)
+                except QuarantinedError:
+                    server.abort(tid)
+                    continue
+                with holder_lock:
+                    if key in holders:
+                        violations.append((key, holders[key], tid))
+                    holders[key] = tid
+                with holder_lock:
+                    del holders[key]
+                server.sar(key, None, tid)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not violations
+        assert server.leases.outstanding() == 0

@@ -1,0 +1,154 @@
+"""Fault tolerance: crashed clients, lease expiry, and abort paths.
+
+Section 2: "The finite life time enables the KVS to release the lease and
+continue processing operations in the presence of node failures hosting
+the application."  Section 4.2 condition 3: an expired Q lease deletes its
+key-value pair.
+"""
+
+import pytest
+
+from repro.config import LeaseConfig
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import IQRefreshClient, KeyChange
+from repro.errors import QuarantinedError
+from repro.util.backoff import NoBackoff
+from repro.util.clock import LogicalClock
+
+
+@pytest.fixture
+def clock():
+    return LogicalClock()
+
+
+@pytest.fixture
+def iq(clock):
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=5, q_lease_ttl=5), clock=clock
+    )
+
+
+class TestCrashedReader:
+    def test_abandoned_i_lease_expires_and_unblocks(self, iq, clock):
+        iq.iq_get("k")  # reader crashes holding the I lease
+        assert iq.iq_get("k").backoff
+        clock.advance(6)
+        assert iq.iq_get("k").has_lease
+
+    def test_crashed_readers_set_after_expiry_ignored(self, iq, clock):
+        result = iq.iq_get("k")
+        clock.advance(6)
+        successor = iq.iq_get("k")
+        assert successor.has_lease
+        assert not iq.iq_set("k", b"zombie", result.token)
+        assert iq.iq_set("k", b"fresh", successor.token)
+        assert iq.store.get("k") == (b"fresh", 0)
+
+
+class TestCrashedWriter:
+    def test_q_expiry_deletes_key_for_safety(self, iq, clock):
+        iq.store.set("k", b"possibly-stale-soon")
+        tid = iq.gen_id()
+        iq.qaread("k", tid)  # writer crashes mid-session
+        clock.advance(6)
+        # The next reader triggers lazy expiry via the lease table sweep.
+        iq.leases.sweep_expired()
+        assert iq.store.get("k") is None
+
+    def test_crashed_invalidate_session(self, iq, clock):
+        iq.store.set("k", b"old")
+        tid = iq.gen_id()
+        iq.qar(tid, "k")  # crashes before DaR
+        clock.advance(6)
+        iq.leases.sweep_expired()
+        assert iq.store.get("k") is None
+        assert iq.iq_get("k").has_lease
+
+    def test_crashed_delta_session_drops_proposals(self, iq, clock):
+        iq.store.set("k", b"ab")
+        tid = iq.gen_id()
+        iq.iq_delta(tid, "k", "append", b"cd")
+        clock.advance(6)
+        iq.leases.sweep_expired()
+        iq.commit(tid)  # zombie commit arrives after expiry
+        assert iq.store.get("k") is None
+
+    def test_new_writer_can_proceed_after_expiry(self, iq, clock):
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        clock.advance(6)
+        successor = iq.gen_id()
+        iq.qaread("k", successor)  # no QuarantinedError
+        iq.sar("k", b"v", successor)
+        assert iq.store.get("k") == (b"v", 0)
+
+
+class TestAbortPaths:
+    def test_rdbms_abort_leaves_no_kvs_effect(self, iq, clock, users_db):
+        """Atomicity: a session whose RDBMS transaction aborts must leave
+        the KVS unchanged (Figure 6 family)."""
+        client = IQRefreshClient(
+            IQClient(iq, backoff=NoBackoff(), clock=clock),
+            users_db.connect,
+            backoff=NoBackoff(max_attempts=3),
+            clock=clock,
+        )
+        iq.store.set("Score1", b"10")
+
+        competitor = users_db.connect()
+        competitor.begin()
+        competitor.execute("UPDATE users SET score = 77 WHERE id = 1")
+
+        def refresher(old):
+            return str(int(old) + 1).encode()
+
+        def body(session):
+            # Conflicts with the competitor -> TransactionAbortedError on
+            # every attempt until max_attempts starve.
+            session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+
+        from repro.errors import StarvationError
+
+        with pytest.raises(StarvationError):
+            client.write(body, [KeyChange("Score1", refresher=refresher)])
+        competitor.commit()
+        assert iq.store.get("Score1") == (b"10", 0)  # untouched
+        # And the lease was cleaned up:
+        iq.qaread("Score1", iq.gen_id())
+
+    def test_quarantine_conflict_rolls_back_rdbms(self, iq, clock, users_db):
+        client = IQRefreshClient(
+            IQClient(iq, backoff=NoBackoff(), clock=clock),
+            users_db.connect,
+            backoff=NoBackoff(max_attempts=2),
+            clock=clock,
+        )
+        blocker = iq.gen_id()
+        iq.qaread("Hot", blocker)
+
+        def body(session):
+            session.execute("UPDATE users SET score = 0 WHERE id = 1")
+
+        from repro.errors import StarvationError
+
+        with pytest.raises(StarvationError):
+            client.write(
+                body, [KeyChange("Hot", refresher=lambda old: old)]
+            )
+        fresh = users_db.connect()
+        assert fresh.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+
+class TestQuarantinedErrorSemantics:
+    def test_conflict_does_not_leak_partial_leases(self, iq):
+        tid_blocker = iq.gen_id()
+        iq.qaread("b", tid_blocker)
+        victim = iq.gen_id()
+        iq.qaread("a", victim)
+        with pytest.raises(QuarantinedError):
+            iq.qaread("b", victim)
+        iq.abort(victim)  # releases "a"
+        iq.qaread("a", iq.gen_id())

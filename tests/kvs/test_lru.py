@@ -1,0 +1,74 @@
+from repro.kvs.entry import CacheEntry
+from repro.kvs.lru import LRUList
+
+
+def entry(key):
+    return CacheEntry(key, b"v")
+
+
+def keys_lru_first(lru):
+    return [e.key for e in lru.items_lru_first()]
+
+
+def test_push_front_orders_mru_first():
+    lru = LRUList()
+    a, b, c = entry("a"), entry("b"), entry("c")
+    for e in (a, b, c):
+        lru.push_front(e)
+    assert keys_lru_first(lru) == ["a", "b", "c"]
+    assert lru.lru_victim() is a
+    assert len(lru) == 3
+
+
+def test_remove_middle():
+    lru = LRUList()
+    a, b, c = entry("a"), entry("b"), entry("c")
+    for e in (a, b, c):
+        lru.push_front(e)
+    lru.remove(b)
+    assert keys_lru_first(lru) == ["a", "c"]
+    assert len(lru) == 2
+
+
+def test_remove_head_and_tail():
+    lru = LRUList()
+    a, b = entry("a"), entry("b")
+    lru.push_front(a)
+    lru.push_front(b)
+    lru.remove(b)  # head
+    assert keys_lru_first(lru) == ["a"]
+    lru.remove(a)  # tail (also head)
+    assert keys_lru_first(lru) == []
+    assert lru.lru_victim() is None
+
+
+def test_touch_moves_to_mru():
+    lru = LRUList()
+    a, b, c = entry("a"), entry("b"), entry("c")
+    for e in (a, b, c):
+        lru.push_front(e)
+    lru.touch(a)
+    assert lru.lru_victim() is b
+    assert keys_lru_first(lru) == ["b", "c", "a"]
+
+
+def test_touch_head_is_noop():
+    lru = LRUList()
+    a, b = entry("a"), entry("b")
+    lru.push_front(a)
+    lru.push_front(b)
+    lru.touch(b)
+    assert keys_lru_first(lru) == ["a", "b"]
+
+
+def test_iteration_survives_unlinking_current():
+    lru = LRUList()
+    entries = [entry(str(i)) for i in range(5)]
+    for e in entries:
+        lru.push_front(e)
+    seen = []
+    for e in lru.items_lru_first():
+        seen.append(e.key)
+        lru.remove(e)
+    assert seen == ["0", "1", "2", "3", "4"]
+    assert len(lru) == 0

@@ -1,0 +1,115 @@
+"""Facebook read-lease semantics (the paper's baseline Twemcache)."""
+
+from repro.config import LeaseConfig
+from repro.kvs.read_lease import ReadLeaseStore
+from repro.util.clock import LogicalClock
+
+
+def make_store(ttl=10.0):
+    clock = LogicalClock()
+    return ReadLeaseStore(
+        lease_config=LeaseConfig(i_lease_ttl=ttl), clock=clock
+    ), clock
+
+
+class TestLeaseGet:
+    def test_hit_returns_value(self):
+        store, _clock = make_store()
+        store.set("k", b"v")
+        result = store.lease_get("k")
+        assert result.is_hit
+        assert result.value == b"v"
+        assert not result.has_lease
+
+    def test_miss_grants_token(self):
+        store, _clock = make_store()
+        result = store.lease_get("k")
+        assert not result.is_hit
+        assert result.has_lease
+
+    def test_second_miss_is_hot_miss(self):
+        store, _clock = make_store()
+        store.lease_get("k")
+        second = store.lease_get("k")
+        assert not second.is_hit and not second.has_lease
+        assert second.backoff
+
+    def test_distinct_keys_get_distinct_tokens(self):
+        store, _clock = make_store()
+        first = store.lease_get("a")
+        second = store.lease_get("b")
+        assert first.token != second.token
+
+
+class TestLeaseSet:
+    def test_set_with_live_token_stores(self):
+        store, _clock = make_store()
+        result = store.lease_get("k")
+        assert store.lease_set("k", b"v", result.token)
+        assert store.get("k") == (b"v", 0)
+
+    def test_set_with_wrong_token_ignored(self):
+        store, _clock = make_store()
+        store.lease_get("k")
+        assert not store.lease_set("k", b"v", 999999)
+        assert store.get("k") is None
+
+    def test_set_consumes_the_lease(self):
+        store, _clock = make_store()
+        result = store.lease_get("k")
+        store.lease_set("k", b"v", result.token)
+        # A new miss cycle can start once the value is deleted.
+        store.delete("k")
+        assert store.lease_get("k").has_lease
+
+    def test_delete_voids_outstanding_token(self):
+        store, _clock = make_store()
+        result = store.lease_get("k")
+        store.delete("k")
+        assert not store.lease_set("k", b"stale", result.token)
+        assert store.get("k") is None
+        assert store.stats.get("i_lease_voids") == 1
+
+    def test_token_granted_after_delete_is_valid(self):
+        """The hole the IQ framework closes (paper Section 7): a token
+        granted *after* an invalidation happily installs stale data."""
+        store, _clock = make_store()
+        store.set("k", b"fresh")
+        store.delete("k")  # writer's invalidation
+        result = store.lease_get("k")  # reader arrives afterwards
+        assert store.lease_set("k", b"stale", result.token)
+        assert store.get("k") == (b"stale", 0)
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_allows_new_grant(self):
+        store, clock = make_store(ttl=5.0)
+        first = store.lease_get("k")
+        clock.advance(6.0)
+        second = store.lease_get("k")
+        assert second.has_lease
+        assert second.token != first.token
+
+    def test_expired_token_cannot_set(self):
+        store, clock = make_store(ttl=5.0)
+        result = store.lease_get("k")
+        clock.advance(6.0)
+        assert not store.lease_set("k", b"late", result.token)
+
+
+class TestPassThrough:
+    def test_flush_all_clears_leases(self):
+        store, _clock = make_store()
+        result = store.lease_get("k")
+        store.flush_all()
+        assert not store.lease_set("k", b"v", result.token)
+        assert store.lease_get("k").has_lease
+
+    def test_basic_commands_work(self):
+        store, _clock = make_store()
+        store.set("n", b"1")
+        assert store.incr("n") == 2
+        assert store.decr("n") == 1
+        store.append("n", b"0")
+        assert store.get("n") == (b"10", 0)
+        assert "n" in store and len(store) == 1

@@ -1,0 +1,51 @@
+import pytest
+
+from repro.kvs.slab import SlabClassTable
+
+
+def test_chunk_sizes_grow_geometrically():
+    table = SlabClassTable(factor=2.0, min_chunk=64, max_chunk=1024)
+    assert table.chunk_sizes[0] == 64
+    assert table.chunk_sizes[-1] == 1024
+    for smaller, larger in zip(table.chunk_sizes, table.chunk_sizes[1:]):
+        assert larger > smaller
+
+
+def test_class_for_picks_smallest_fitting():
+    table = SlabClassTable(factor=2.0, min_chunk=64, max_chunk=1024)
+    assert table.chunk_sizes[table.class_for(1)] == 64
+    assert table.chunk_sizes[table.class_for(64)] == 64
+    assert table.chunk_sizes[table.class_for(65)] == 129
+    assert table.chunk_sizes[table.class_for(1024)] == 1024
+
+
+def test_oversized_item_raises():
+    table = SlabClassTable(max_chunk=1024)
+    with pytest.raises(ValueError):
+        table.class_for(1025)
+
+
+def test_charge_release_balance():
+    table = SlabClassTable()
+    charged = table.charge(100)
+    assert charged == table.chunk_size_for(100)
+    assert sum(table.occupancy()) == 1
+    released = table.release(100)
+    assert released == charged
+    assert sum(table.occupancy()) == 0
+
+
+def test_release_without_charge_raises():
+    table = SlabClassTable()
+    with pytest.raises(RuntimeError):
+        table.release(100)
+
+
+def test_invalid_factor():
+    with pytest.raises(ValueError):
+        SlabClassTable(factor=1.0)
+
+
+def test_internal_fragmentation_is_charged():
+    table = SlabClassTable(factor=2.0, min_chunk=64, max_chunk=1024)
+    assert table.chunk_size_for(65) > 65

@@ -1,0 +1,203 @@
+"""Slab allocator: placement, reassignment, and eviction strategies."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import KVSError, ValueTooLargeError
+from repro.kvs.slab_allocator import (
+    SlabAllocator,
+    SlabCache,
+    SlabStrategy,
+)
+
+
+def allocator(limit=16384, slab=4096, strategy=SlabStrategy.LRA):
+    return SlabAllocator(
+        limit, slab_bytes=slab, strategy=strategy, rng=random.Random(7)
+    )
+
+
+class TestPlacement:
+    def test_items_share_a_slab_within_class(self):
+        alloc = allocator()
+        first = alloc.allocate("a", 80)
+        second = alloc.allocate("b", 80)
+        assert first is second
+        assert alloc.slab_count() == 1
+
+    def test_different_classes_use_different_slabs(self):
+        alloc = allocator()
+        small = alloc.allocate("a", 80)
+        big = alloc.allocate("b", 2000)
+        assert small is not big
+        assert small.chunk_size < big.chunk_size
+
+    def test_full_slab_spills_to_new_slab(self):
+        alloc = allocator()
+        slab = alloc.allocate("k0", 80)
+        for i in range(1, slab.chunk_count):
+            assert alloc.allocate("k{}".format(i), 80) is slab
+        overflow = alloc.allocate("overflow", 80)
+        assert overflow is not slab
+        assert alloc.slab_count() == 2
+
+    def test_free_reopens_chunk(self):
+        alloc = allocator()
+        slab = alloc.allocate("a", 80)
+        for i in range(slab.chunk_count - 1):
+            alloc.allocate("f{}".format(i), 80)
+        assert slab.free_chunks == 0
+        alloc.free("a")
+        assert alloc.allocate("again", 80) is slab
+
+    def test_double_allocate_rejected(self):
+        alloc = allocator()
+        alloc.allocate("a", 80)
+        with pytest.raises(KVSError):
+            alloc.allocate("a", 80)
+
+    def test_oversized_item_rejected(self):
+        alloc = allocator()
+        with pytest.raises(ValueTooLargeError):
+            alloc.allocate("big", 10_000)
+
+    def test_free_unknown_is_false(self):
+        assert allocator().free("ghost") is False
+
+    def test_memory_accounting(self):
+        alloc = allocator(limit=16384, slab=4096)
+        alloc.allocate("a", 80)
+        assert alloc.memory_used() == 4096
+        alloc.allocate("b", 2000)
+        assert alloc.memory_used() == 8192
+
+
+class TestEviction:
+    def _fill(self, alloc, prefix, count, size=80):
+        for i in range(count):
+            alloc.allocate("{}{}".format(prefix, i), size)
+
+    def test_no_eviction_raises_when_full(self):
+        alloc = allocator(limit=4096, strategy=SlabStrategy.NO_EVICTION)
+        slab = alloc.allocate("k0", 80)
+        for i in range(1, slab.chunk_count):
+            alloc.allocate("k{}".format(i), 80)
+        with pytest.raises(KVSError):
+            alloc.allocate("spill", 2000)
+
+    def test_eviction_frees_a_whole_slab(self):
+        alloc = allocator(limit=4096, strategy=SlabStrategy.LRC)
+        slab = alloc.allocate("k0", 80)
+        for i in range(1, slab.chunk_count):
+            alloc.allocate("k{}".format(i), 80)
+        alloc.allocate("spill", 2000)  # forces slab eviction + new class
+        assert alloc.slab_evictions == 1
+        assert set(alloc.drain_evicted()) == {
+            "k{}".format(i) for i in range(slab.chunk_count)
+        }
+        assert alloc.holds("spill")
+
+    def test_lra_prefers_least_recently_accessed(self):
+        alloc = allocator(limit=8192, strategy=SlabStrategy.LRA)
+        alloc.allocate("a0", 80)
+        # Two slabs of two classes exist after the big allocation below.
+        alloc2_key = "bigitem"
+        alloc.allocate(alloc2_key, 2000)
+        alloc.touch("a0")  # slab A recently accessed
+        alloc.allocate("force", 3000)  # needs a third slab: evict LRA
+        assert not alloc.holds(alloc2_key)  # big-item slab was colder
+        assert alloc.holds("a0")
+
+    def test_lrc_prefers_oldest_slab(self):
+        alloc = allocator(limit=8192, strategy=SlabStrategy.LRC)
+        alloc.allocate("old", 80)
+        alloc.allocate("new", 2000)
+        alloc.touch("old")  # access does not protect under LRC
+        alloc.allocate("force", 3000)
+        assert not alloc.holds("old")
+        assert alloc.holds("new")
+
+    def test_random_eviction_evicts_some_slab(self):
+        alloc = allocator(limit=8192, strategy=SlabStrategy.RANDOM)
+        alloc.allocate("a", 80)
+        alloc.allocate("b", 2000)
+        alloc.allocate("force", 3000)
+        assert alloc.slab_evictions == 1
+        assert alloc.slab_count() == 2
+
+    def test_slab_reassigned_across_classes(self):
+        """The Twemcache selling point: memory moves between classes."""
+        alloc = allocator(limit=4096, strategy=SlabStrategy.LRC)
+        slab = alloc.allocate("small0", 80)
+        self._fill(alloc, "x", slab.chunk_count - 1)
+        alloc.allocate("large", 2000)  # the only slab is reassigned
+        assert alloc.slab_count() == 1
+        assert alloc.holds("large")
+        assert not alloc.holds("small0")
+
+
+class TestSlabCache:
+    def test_get_set_delete(self):
+        cache = SlabCache(8192)
+        cache.set("k", b"v")
+        assert cache.get("k") == b"v"
+        assert cache.delete("k")
+        assert cache.get("k") is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_overwrite_replaces(self):
+        cache = SlabCache(8192)
+        cache.set("k", b"v1")
+        cache.set("k", b"v2" * 300)  # different class
+        assert cache.get("k") == b"v2" * 300
+
+    def test_eviction_removes_values(self):
+        cache = SlabCache(4096, strategy=SlabStrategy.LRC)
+        for i in range(200):
+            cache.set("key{}".format(i), b"x" * 100)
+        assert len(cache) < 200
+        # Every surviving key must still be readable.
+        for key in list(cache._values):
+            assert cache.get(key) is not None
+
+    def test_hit_rate_none_before_traffic(self):
+        assert SlabCache(8192).hit_rate() is None
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["set", "get", "delete"]),
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=1, max_value=600),
+        ),
+        max_size=120,
+    ),
+    strategy=st.sampled_from(
+        [SlabStrategy.RANDOM, SlabStrategy.LRA, SlabStrategy.LRC]
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_allocator_invariants_hold_under_random_ops(ops, strategy):
+    cache = SlabCache(8192, strategy=strategy, rng=random.Random(3))
+    for op, key_index, size in ops:
+        key = "key{}".format(key_index)
+        if op == "set":
+            cache.set(key, b"x" * size)
+        elif op == "get":
+            value = cache.get(key)
+            if value is not None:
+                assert len(value) >= 1
+        else:
+            cache.delete(key)
+        allocator_obj = cache.allocator
+        # Invariant 1: memory never exceeds the limit.
+        assert allocator_obj.memory_used() <= 8192
+        # Invariant 2: the value map and the allocator agree on residency.
+        assert set(cache._values) == set(allocator_obj._item_slab)
+        # Invariant 3: every mapped item's slab actually lists it.
+        for mapped_key, slab in allocator_obj._item_slab.items():
+            assert mapped_key in slab.items

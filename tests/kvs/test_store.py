@@ -1,0 +1,280 @@
+"""Memcached command semantics of CacheStore."""
+
+import pytest
+
+from repro.config import KVSConfig
+from repro.errors import BadValueError, KeyFormatError, ValueTooLargeError
+from repro.kvs.store import CacheStore, StoreResult
+from repro.util.clock import LogicalClock
+
+
+class TestGetSet:
+    def test_get_miss_returns_none(self, store):
+        assert store.get("missing") is None
+
+    def test_set_then_get(self, store):
+        assert store.set("k", b"v") is StoreResult.STORED
+        assert store.get("k") == (b"v", 0)
+
+    def test_set_overwrites(self, store):
+        store.set("k", b"v1")
+        store.set("k", b"v2")
+        assert store.get("k") == (b"v2", 0)
+
+    def test_flags_round_trip(self, store):
+        store.set("k", b"v", flags=42)
+        assert store.get("k") == (b"v", 42)
+
+    def test_get_multi(self, store):
+        store.set("a", b"1")
+        store.set("b", b"2")
+        assert store.get_multi(["a", "b", "c"]) == {"a": b"1", "b": b"2"}
+
+    def test_contains_and_len(self, store):
+        store.set("a", b"1")
+        assert "a" in store
+        assert "b" not in store
+        assert len(store) == 1
+
+
+class TestAddReplace:
+    def test_add_only_when_absent(self, store):
+        assert store.add("k", b"v1") is StoreResult.STORED
+        assert store.add("k", b"v2") is StoreResult.NOT_STORED
+        assert store.get("k") == (b"v1", 0)
+
+    def test_replace_only_when_present(self, store):
+        assert store.replace("k", b"v") is StoreResult.NOT_STORED
+        store.set("k", b"v1")
+        assert store.replace("k", b"v2") is StoreResult.STORED
+        assert store.get("k") == (b"v2", 0)
+
+
+class TestAppendPrepend:
+    def test_append(self, store):
+        store.set("k", b"ab")
+        assert store.append("k", b"cd") is StoreResult.STORED
+        assert store.get("k") == (b"abcd", 0)
+
+    def test_prepend(self, store):
+        store.set("k", b"cd")
+        assert store.prepend("k", b"ab") is StoreResult.STORED
+        assert store.get("k") == (b"abcd", 0)
+
+    def test_append_to_missing_is_not_stored(self, store):
+        assert store.append("k", b"x") is StoreResult.NOT_STORED
+        assert store.get("k") is None
+
+    def test_prepend_to_missing_is_not_stored(self, store):
+        assert store.prepend("k", b"x") is StoreResult.NOT_STORED
+
+
+class TestCas:
+    def test_cas_succeeds_with_current_version(self, store):
+        store.set("k", b"v1")
+        _value, _flags, cas_id = store.gets("k")
+        assert store.cas("k", b"v2", cas_id) is StoreResult.STORED
+        assert store.get("k") == (b"v2", 0)
+
+    def test_cas_fails_after_concurrent_change(self, store):
+        store.set("k", b"v1")
+        _value, _flags, cas_id = store.gets("k")
+        store.set("k", b"other")
+        assert store.cas("k", b"v2", cas_id) is StoreResult.EXISTS
+        assert store.get("k") == (b"other", 0)
+
+    def test_cas_on_missing_key(self, store):
+        assert store.cas("k", b"v", 1) is StoreResult.NOT_FOUND
+
+    def test_every_mutation_changes_cas_id(self, store):
+        store.set("k", b"v1")
+        _v, _f, first = store.gets("k")
+        store.append("k", b"2")
+        _v, _f, second = store.gets("k")
+        assert second != first
+
+    def test_cas_fails_after_delete_and_reinsert(self, store):
+        store.set("k", b"v1")
+        _v, _f, cas_id = store.gets("k")
+        store.delete("k")
+        store.set("k", b"v1")
+        assert store.cas("k", b"v2", cas_id) is StoreResult.EXISTS
+
+
+class TestDelete:
+    def test_delete_existing(self, store):
+        store.set("k", b"v")
+        assert store.delete("k") is True
+        assert store.get("k") is None
+
+    def test_delete_missing(self, store):
+        assert store.delete("k") is False
+
+    def test_flush_all(self, store):
+        store.set("a", b"1")
+        store.set("b", b"2")
+        store.flush_all()
+        assert len(store) == 0
+
+
+class TestArithmetic:
+    def test_incr(self, store):
+        store.set("k", b"41")
+        assert store.incr("k") == 42
+        assert store.get("k") == (b"42", 0)
+
+    def test_decr_clamps_at_zero(self, store):
+        store.set("k", b"5")
+        assert store.decr("k", 10) == 0
+
+    def test_incr_wraps_at_uint64(self, store):
+        store.set("k", str(2 ** 64 - 1).encode())
+        assert store.incr("k", 1) == 0
+
+    def test_incr_missing_returns_none(self, store):
+        assert store.incr("k") is None
+
+    def test_incr_non_numeric_raises(self, store):
+        store.set("k", b"hello")
+        with pytest.raises(BadValueError):
+            store.incr("k")
+
+    def test_negative_delta_rejected(self, store):
+        store.set("k", b"1")
+        with pytest.raises(BadValueError):
+            store.incr("k", -1)
+        with pytest.raises(BadValueError):
+            store.decr("k", -1)
+
+
+class TestExpiry:
+    def test_ttl_expires_lazily(self, clock, store):
+        store.set("k", b"v", ttl=10)
+        clock.advance(9)
+        assert store.get("k") == (b"v", 0)
+        clock.advance(2)
+        assert store.get("k") is None
+        assert store.stats.get("expirations") == 1
+
+    def test_zero_ttl_never_expires(self, clock, store):
+        store.set("k", b"v", ttl=0)
+        clock.advance(1e9)
+        assert store.get("k") == (b"v", 0)
+
+    def test_touch_extends_ttl(self, clock, store):
+        store.set("k", b"v", ttl=10)
+        clock.advance(5)
+        assert store.touch("k", 10)
+        clock.advance(6)
+        assert store.get("k") == (b"v", 0)
+
+    def test_touch_missing(self, store):
+        assert store.touch("k", 10) is False
+
+    def test_expired_entry_removed_callback(self, clock, store):
+        removed = []
+        store.on_entry_removed = removed.append
+        store.set("k", b"v", ttl=1)
+        clock.advance(2)
+        store.get("k")
+        assert removed == ["k"]
+
+
+class TestValidation:
+    def test_key_must_be_nonempty_string(self, store):
+        with pytest.raises(KeyFormatError):
+            store.get("")
+        with pytest.raises(KeyFormatError):
+            store.get(b"bytes-key")
+
+    def test_key_length_limit(self, store):
+        with pytest.raises(KeyFormatError):
+            store.set("k" * 251, b"v")
+
+    def test_key_rejects_whitespace(self, store):
+        with pytest.raises(KeyFormatError):
+            store.set("a key", b"v")
+        with pytest.raises(KeyFormatError):
+            store.set("a\nkey", b"v")
+
+    def test_value_must_be_bytes(self, store):
+        with pytest.raises(BadValueError):
+            store.set("k", "string")
+
+    def test_value_size_limit(self):
+        store = CacheStore(KVSConfig(max_item_bytes=10))
+        with pytest.raises(ValueTooLargeError):
+            store.set("k", b"x" * 11)
+
+    def test_append_respects_size_limit(self):
+        store = CacheStore(KVSConfig(max_item_bytes=10))
+        store.set("k", b"x" * 8)
+        with pytest.raises(ValueTooLargeError):
+            store.append("k", b"yyy")
+
+
+class TestEviction:
+    def _small_store(self, limit=2048):
+        return CacheStore(
+            KVSConfig(memory_limit_bytes=limit), clock=LogicalClock()
+        )
+
+    def test_lru_eviction_under_pressure(self):
+        store = self._small_store()
+        for i in range(100):
+            store.set("key{}".format(i), b"x" * 100)
+        assert len(store) < 100
+        assert store.stats.get("evictions") > 0
+        assert store.memory_used() <= 2048
+
+    def test_recently_read_survives(self):
+        store = self._small_store(4096)
+        for i in range(10):
+            store.set("key{}".format(i), b"x" * 100)
+        survivors_before = set(store.keys())
+        assert "key0" in survivors_before
+        store.get("key0")
+        for i in range(10, 25):
+            store.set("key{}".format(i), b"x" * 100)
+        assert "key0" in store
+
+    def test_eviction_fires_removal_callback(self):
+        store = self._small_store()
+        removed = []
+        store.on_entry_removed = removed.append
+        for i in range(100):
+            store.set("key{}".format(i), b"x" * 100)
+        assert removed
+        assert all(key.startswith("key") for key in removed)
+
+    def test_oversized_item_rejected(self):
+        store = self._small_store(512)
+        with pytest.raises(ValueTooLargeError):
+            store.set("big", b"x" * 4096)
+
+    def test_memory_accounting_balances(self):
+        store = self._small_store(100000)
+        for i in range(20):
+            store.set("key{}".format(i), b"x" * 50)
+        used = store.memory_used()
+        assert used > 0
+        for i in range(20):
+            store.delete("key{}".format(i))
+        assert store.memory_used() == 0
+
+
+class TestStatsCounting:
+    def test_hit_miss_counters(self, store):
+        store.set("k", b"v")
+        store.get("k")
+        store.get("absent")
+        assert store.stats.get("get_hits") == 1
+        assert store.stats.get("get_misses") == 1
+        assert store.stats.hit_rate() == pytest.approx(0.5)
+
+    def test_delete_counters(self, store):
+        store.set("k", b"v")
+        store.delete("k")
+        store.delete("k")
+        assert store.stats.get("delete_hits") == 1
+        assert store.stats.get("delete_misses") == 1

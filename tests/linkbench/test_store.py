@@ -1,0 +1,85 @@
+"""LinkBench store operations across techniques."""
+
+import pytest
+
+from repro.linkbench import build_linkbench_system
+
+LINK_TYPE = 1
+
+
+@pytest.fixture(params=["invalidate", "refresh", "delta"])
+def system(request):
+    return build_linkbench_system(
+        nodes=30, initial_degree=3, leased=True, technique=request.param
+    )
+
+
+class TestNodes:
+    def test_get_node(self, system):
+        node = system.store.get_node(5)
+        assert node["id"] == 5
+        assert node["data"] == "node5"
+
+    def test_add_and_get_node(self, system):
+        system.store.add_node(500, 2, data="fresh")
+        node = system.store.get_node(500)
+        assert node["type"] == 2
+        assert node["data"] == "fresh"
+
+    def test_update_node_bumps_version(self, system):
+        system.store.get_node(5)  # warm the cache
+        system.store.update_node(5, "changed")
+        node = system.store.get_node(5)
+        assert node["data"] == "changed"
+        assert node["version"] == 1
+
+    def test_delete_node(self, system):
+        system.store.add_node(501, 1)
+        system.store.delete_node(501)
+        assert system.store.get_node(501) is None
+
+    def test_missing_node(self, system):
+        assert system.store.get_node(12345) is None
+
+
+class TestLinks:
+    def test_initial_link_list_and_count(self, system):
+        assert system.store.get_link_list(5, LINK_TYPE) == frozenset(
+            {6, 7, 8}
+        )
+        assert system.store.count_links(5, LINK_TYPE) == 3
+
+    def test_add_link_updates_list_and_count(self, system):
+        system.store.get_link_list(5, LINK_TYPE)  # warm
+        system.store.count_links(5, LINK_TYPE)
+        system.store.add_link(5, LINK_TYPE, 20)
+        assert 20 in system.store.get_link_list(5, LINK_TYPE)
+        assert system.store.count_links(5, LINK_TYPE) == 4
+
+    def test_delete_link(self, system):
+        system.store.get_link_list(5, LINK_TYPE)
+        system.store.delete_link(5, LINK_TYPE, 6)
+        assert 6 not in system.store.get_link_list(5, LINK_TYPE)
+        assert system.store.count_links(5, LINK_TYPE) == 2
+
+    def test_duplicate_add_is_noop(self, system):
+        assert system.store.add_link(5, LINK_TYPE, 6) is None
+        assert system.store.count_links(5, LINK_TYPE) == 3
+
+    def test_delete_missing_is_noop(self, system):
+        assert system.store.delete_link(5, LINK_TYPE, 29) is None
+        assert system.store.count_links(5, LINK_TYPE) == 3
+
+    def test_get_link_point_lookup(self, system):
+        link = system.store.get_link(5, LINK_TYPE, 6)
+        assert link["id2"] == 6
+        assert system.store.get_link(5, LINK_TYPE, 25) is None
+
+    def test_no_unpredictable_reads_single_threaded(self, system):
+        system.store.get_link_list(5, LINK_TYPE)
+        system.store.add_link(5, LINK_TYPE, 20)
+        system.store.get_link_list(5, LINK_TYPE)
+        system.store.delete_link(5, LINK_TYPE, 20)
+        system.store.get_link_list(5, LINK_TYPE)
+        system.store.count_links(5, LINK_TYPE)
+        assert system.log.unpredictable_reads() == 0

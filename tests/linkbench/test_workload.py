@@ -1,0 +1,101 @@
+"""LinkBench driver: concurrency, validation, and the IQ guarantee."""
+
+import random
+
+import pytest
+
+from repro.linkbench import LinkBenchRunner, build_linkbench_system
+from repro.linkbench.workload import LINKBENCH_MIX, LinkGraphState
+
+
+class TestGraphState:
+    def test_claims_are_exclusive(self):
+        state = LinkGraphState(20, 2)
+        rng = random.Random(1)
+        pair = state.claim_add(rng)
+        assert pair is not None
+        for _ in range(30):
+            other = state.claim_add(rng)
+            if other is not None:
+                assert other != pair
+                state.complete(other, "add", succeeded=False)
+        state.complete(pair, "add", succeeded=True)
+        id1, id2 = pair
+        assert id2 in state._links[id1]
+
+    def test_claim_delete_targets_existing(self):
+        state = LinkGraphState(20, 2)
+        pair = state.claim_delete(random.Random(2))
+        assert pair is not None
+        id1, id2 = pair
+        assert id2 in state._links[id1]
+
+    def test_fresh_node_ids_unique(self):
+        state = LinkGraphState(10, 2)
+        ids = {state.fresh_node_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert min(ids) >= 10
+
+
+class TestMix:
+    def test_mix_covers_core_operations(self):
+        assert set(LINKBENCH_MIX) >= {
+            "get_link_list", "count_links", "add_link", "delete_link",
+            "get_node", "update_node",
+        }
+        assert sum(LINKBENCH_MIX.values()) == pytest.approx(100.0)
+
+
+class TestConcurrentRuns:
+    @pytest.mark.parametrize(
+        "technique", ["invalidate", "refresh", "delta"]
+    )
+    def test_iq_zero_unpredictable(self, technique):
+        system = build_linkbench_system(
+            nodes=50, initial_degree=3, leased=True, technique=technique,
+            compute_delay=0.0005, write_delay=0.0005,
+        )
+        result = LinkBenchRunner(system).run(threads=6, ops_per_thread=60)
+        assert result.actions == 360
+        assert result.errors == 0
+        assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+
+    def test_baseline_produces_stale(self):
+        total = 0
+        for seed in range(3):
+            system = build_linkbench_system(
+                nodes=50, initial_degree=3, leased=False,
+                technique="invalidate",
+                compute_delay=0.001, write_delay=0.001,
+            )
+            result = LinkBenchRunner(system, seed=seed).run(
+                threads=8, ops_per_thread=80
+            )
+            total += system.log.unpredictable_reads()
+            if total:
+                break
+        assert total > 0
+
+    def test_cache_agrees_with_db_after_quiescence(self):
+        from repro.linkbench.store import _decode_members
+
+        system = build_linkbench_system(
+            nodes=50, initial_degree=3, leased=True, technique="refresh",
+        )
+        result = LinkBenchRunner(system).run(threads=6, ops_per_thread=60)
+        assert result.errors == 0
+        connection = system.db.connect()
+        checked = 0
+        for id1 in range(50):
+            raw = system.cache.store.get("LinkList{}:1".format(id1))
+            if raw is None:
+                continue
+            cached = frozenset(_decode_members(raw[0]))
+            rows = connection.execute(
+                "SELECT id2 FROM links WHERE id1 = ? AND link_type = 1"
+                " AND visibility = 1",
+                (id1,),
+            )
+            assert cached == frozenset(r[0] for r in rows), id1
+            checked += 1
+        assert checked > 0

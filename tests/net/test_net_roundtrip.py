@@ -1,0 +1,193 @@
+"""End-to-end wire protocol tests against a live TCP server."""
+
+import threading
+
+import pytest
+
+from repro.core.iq_client import IQClient
+from repro.errors import QuarantinedError
+from repro.kvs.store import StoreResult
+from repro.net import RemoteIQServer, serve_background
+from repro.util.backoff import NoBackoff
+
+
+@pytest.fixture
+def served():
+    server, thread = serve_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture
+def remote(served):
+    client = RemoteIQServer(port=served.port)
+    yield client
+    client.close()
+
+
+class TestStandardCommands:
+    def test_set_get_delete(self, remote):
+        assert remote.set("k", b"v") is StoreResult.STORED
+        assert remote.get("k") == (b"v", 0)
+        assert remote.delete("k")
+        assert remote.get("k") is None
+        assert not remote.delete("k")
+
+    def test_add_replace(self, remote):
+        assert remote.add("k", b"1") is StoreResult.STORED
+        assert remote.add("k", b"2") is StoreResult.NOT_STORED
+        assert remote.replace("k", b"3") is StoreResult.STORED
+
+    def test_append_prepend(self, remote):
+        remote.set("k", b"b")
+        remote.append("k", b"c")
+        remote.prepend("k", b"a")
+        assert remote.get("k") == (b"abc", 0)
+
+    def test_incr_decr(self, remote):
+        remote.set("n", b"10")
+        assert remote.incr("n", 5) == 15
+        assert remote.decr("n", 20) == 0
+        assert remote.incr("ghost") is None
+
+    def test_cas_cycle(self, remote):
+        remote.set("k", b"v1")
+        value, _flags, cas_id = remote.gets("k")
+        assert value == b"v1"
+        assert remote.cas("k", b"v2", cas_id) is StoreResult.STORED
+        assert remote.cas("k", b"v3", cas_id) is StoreResult.EXISTS
+
+    def test_binary_safe_values(self, remote):
+        blob = bytes(range(256)) + b"\r\nEND\r\n"
+        remote.set("bin", blob)
+        assert remote.get("bin") == (blob, 0)
+
+    def test_flags_round_trip(self, remote):
+        remote.set("k", b"v", flags=7)
+        assert remote.get("k") == (b"v", 7)
+
+    def test_stats_and_version(self, remote):
+        remote.set("k", b"v")
+        remote.get("k")
+        stats = remote.stats()
+        assert stats["get_hits"] >= 1
+        assert "iq-twemcached" in remote.version()
+
+    def test_flush_all(self, remote):
+        remote.set("k", b"v")
+        remote.flush_all()
+        assert remote.get("k") is None
+
+
+class TestIQCommands:
+    def test_i_lease_cycle(self, remote):
+        result = remote.iq_get("k")
+        assert result.has_lease
+        assert remote.iq_set("k", b"v", result.token)
+        assert remote.iq_get("k").value == b"v"
+
+    def test_backoff_signalled(self, served, remote):
+        remote.iq_get("k")
+        with RemoteIQServer(port=served.port) as second:
+            assert second.iq_get("k").backoff
+
+    def test_stale_token_ignored(self, remote):
+        result = remote.iq_get("k")
+        tid = remote.gen_id()
+        remote.qar(tid, "k")
+        assert not remote.iq_set("k", b"stale", result.token)
+        remote.dar(tid)
+
+    def test_release_i(self, remote):
+        result = remote.iq_get("k")
+        assert remote.release_i("k", result.token)
+        assert remote.iq_get("k").has_lease
+
+    def test_refresh_cycle(self, remote):
+        remote.set("k", b"10")
+        tid = remote.gen_id()
+        assert remote.qaread("k", tid).value == b"10"
+        assert remote.sar("k", b"20", tid)
+        assert remote.get("k") == (b"20", 0)
+
+    def test_qaread_conflict_aborts(self, remote):
+        tid = remote.gen_id()
+        remote.qaread("k", tid)
+        with pytest.raises(QuarantinedError):
+            remote.qaread("k", remote.gen_id())
+        remote.abort(tid)
+
+    def test_sar_null_releases(self, remote):
+        remote.set("k", b"v")
+        tid = remote.gen_id()
+        remote.qaread("k", tid)
+        assert remote.sar("k", None, tid)
+        assert remote.get("k") == (b"v", 0)
+        remote.qaread("k", remote.gen_id())
+
+    def test_invalidate_cycle(self, remote):
+        remote.set("k", b"v")
+        tid = remote.gen_id()
+        assert remote.qar(tid, "k")
+        assert remote.dar(tid)
+        assert remote.get("k") is None
+
+    def test_delta_cycle(self, remote):
+        remote.set("k", b"5")
+        tid = remote.gen_id()
+        assert remote.iq_delta(tid, "k", "incr", b"3")
+        remote.commit(tid)
+        assert remote.get("k") == (b"8", 0)
+
+    def test_delta_conflict(self, remote):
+        tid = remote.gen_id()
+        remote.iq_delta(tid, "k", "append", b"x")
+        with pytest.raises(QuarantinedError):
+            remote.iq_delta(remote.gen_id(), "k", "append", b"y")
+        remote.abort(tid)
+
+    def test_iqget_with_session_sees_own_state(self, remote):
+        remote.set("k", b"old")
+        tid = remote.gen_id()
+        remote.qar(tid, "k")
+        own = remote.iq_get("k", session=tid)
+        assert not own.is_hit and not own.backoff and not own.has_lease
+        assert remote.iq_get("k").value == b"old"
+        remote.dar(tid)
+
+
+class TestClientIntegration:
+    def test_iq_client_read_through_over_wire(self, remote):
+        client = IQClient(remote, backoff=NoBackoff(max_attempts=100))
+        assert client.read_through("k", lambda: b"computed") == b"computed"
+        assert client.read_through("k", lambda: b"never") == b"computed"
+
+    def test_concurrent_connections(self, served):
+        errors = []
+
+        def worker(index):
+            try:
+                with RemoteIQServer(port=served.port) as conn:
+                    for i in range(30):
+                        key = "w{}k{}".format(index, i)
+                        conn.set(key, str(i).encode())
+                        assert conn.get(key) == (str(i).encode(), 0)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+    def test_unknown_command_is_server_error(self, served):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", served.port)) as sock:
+            sock.sendall(b"frobnicate now\r\n")
+            reply = sock.recv(1024)
+            assert reply.startswith(b"SERVER_ERROR")

@@ -1,0 +1,58 @@
+"""Remaining wire-protocol commands: touch, TTL expiry, stats reset."""
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.net import RemoteIQServer, serve_background
+from repro.util.clock import LogicalClock
+
+
+@pytest.fixture
+def clocked():
+    clock = LogicalClock()
+    server, _thread = serve_background(IQServer(clock=clock))
+    remote = RemoteIQServer(port=server.port)
+    yield remote, clock
+    remote.close()
+    server.shutdown()
+
+
+class TestTouchAndTTL:
+    def test_set_with_ttl_expires(self, clocked):
+        remote, clock = clocked
+        remote.set("k", b"v", ttl=10)
+        assert remote.get("k") == (b"v", 0)
+        clock.advance(11)
+        assert remote.get("k") is None
+
+    def test_touch_extends(self, clocked):
+        remote, clock = clocked
+        remote.set("k", b"v", ttl=10)
+        clock.advance(5)
+        assert remote.touch("k", 20)
+        clock.advance(15)
+        assert remote.get("k") == (b"v", 0)
+
+    def test_touch_missing(self, clocked):
+        remote, _clock = clocked
+        assert not remote.touch("ghost", 10)
+
+
+class TestStatsOverWire:
+    def test_lease_counters_visible(self, clocked):
+        remote, _clock = clocked
+        result = remote.iq_get("k")
+        remote.iq_get("k")  # backoff
+        remote.iq_set("k", b"v", result.token)
+        stats = remote.stats()
+        assert stats["i_lease_grants"] == 1
+        assert stats["lease_backoffs"] == 1
+        assert stats["cmd_set"] >= 1
+
+    def test_flush_resets_data_not_counters(self, clocked):
+        remote, _clock = clocked
+        remote.set("k", b"v")
+        remote.flush_all()
+        stats = remote.stats()
+        assert stats["cmd_set"] >= 1  # counters survive flush
+        assert remote.get("k") is None

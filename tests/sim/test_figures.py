@@ -1,0 +1,119 @@
+"""The paper's figures, replayed deterministically.
+
+Each baseline run must exhibit the race (stale/divergent KVS); each IQ run
+must end consistent.  These are the qualitative claims of Sections 2-4.
+"""
+
+import pytest
+
+from repro.sim import (
+    figure2_cas_insufficient,
+    figure3_snapshot_invalidate,
+    figure4_rearrangement_window,
+    figure6_dirty_read_refresh,
+    figure7_stale_overwrite_delta,
+    figure8_double_delta,
+    run_all_figures,
+)
+
+
+class TestFigure2:
+    def test_baseline_cas_diverges_exactly_as_paper(self):
+        outcome = figure2_cas_insufficient(iq=False)
+        assert outcome.rdbms_value == 1500  # (100 + 50) * 10
+        assert outcome.kvs_value == 1050    # (100 * 10) + 50
+        assert not outcome.consistent
+
+    def test_iq_refresh_converges(self):
+        outcome = figure2_cas_insufficient(iq=True)
+        assert outcome.rdbms_value == 1500
+        assert outcome.kvs_value == 1500
+        assert outcome.consistent
+
+
+class TestFigure3:
+    def test_baseline_inserts_stale_value(self):
+        outcome = figure3_snapshot_invalidate(iq=False)
+        assert outcome.rdbms_value == 1
+        assert outcome.kvs_value == 0  # the stale snapshot value
+        assert not outcome.consistent
+
+    def test_iq_backoff_prevents_stale_insert(self):
+        outcome = figure3_snapshot_invalidate(iq=True)
+        assert outcome.rdbms_value == 1
+        assert outcome.kvs_value == 1
+        assert outcome.consistent
+        assert "backed off" in outcome.notes
+
+
+class TestFigure4:
+    def test_rearrangement_window_serves_old_version(self):
+        outcome = figure4_rearrangement_window()
+        assert outcome.consistent
+        assert "window reads=[0, 0, 0]" in outcome.notes
+        assert "writer-own-read miss=True" in outcome.notes
+
+
+class TestFigure6:
+    def test_baseline_dirty_read(self):
+        outcome = figure6_dirty_read_refresh(iq=False)
+        assert outcome.rdbms_value == 0  # writer aborted
+        assert outcome.kvs_value == 1    # dirty value stuck in the KVS
+        assert not outcome.consistent
+        assert "dirty value [1]" in outcome.notes
+
+    def test_iq_abort_leaves_old_value(self):
+        outcome = figure6_dirty_read_refresh(iq=True)
+        assert outcome.rdbms_value == 0
+        assert outcome.kvs_value == 0
+        assert outcome.consistent
+
+
+class TestFigure7:
+    def test_baseline_stale_overwrite(self):
+        outcome = figure7_stale_overwrite_delta(iq=False)
+        assert outcome.rdbms_value == "xd"
+        assert outcome.kvs_value == "x"  # missing the delta
+        assert not outcome.consistent
+
+    def test_iq_voids_readers_lease(self):
+        outcome = figure7_stale_overwrite_delta(iq=True)
+        assert outcome.rdbms_value == "xd"
+        assert outcome.kvs_value is None  # next reader recomputes
+        assert outcome.consistent
+
+
+class TestFigure8:
+    def test_baseline_double_append(self):
+        outcome = figure8_double_delta(iq=False)
+        assert outcome.rdbms_value == "xd"
+        assert outcome.kvs_value == "xdd"  # the delta applied twice
+        assert not outcome.consistent
+
+    def test_iq_backoff_until_commit(self):
+        outcome = figure8_double_delta(iq=True)
+        assert outcome.rdbms_value == "xd"
+        assert outcome.kvs_value == "xd"
+        assert outcome.consistent
+
+
+class TestRunAll:
+    def test_every_baseline_races_every_iq_holds(self):
+        outcomes = run_all_figures()
+        assert len(outcomes) == 11
+        for outcome in outcomes:
+            if outcome.variant.startswith("baseline"):
+                assert not outcome.consistent, outcome
+            else:
+                assert outcome.consistent, outcome
+
+    def test_outcomes_are_reproducible(self):
+        first = [
+            (o.figure, o.variant, o.rdbms_value, o.kvs_value)
+            for o in run_all_figures()
+        ]
+        second = [
+            (o.figure, o.variant, o.rdbms_value, o.kvs_value)
+            for o in run_all_figures()
+        ]
+        assert first == second

@@ -1,0 +1,81 @@
+import pytest
+
+from repro.sim.scheduler import (
+    Interleaver,
+    Program,
+    ScheduleError,
+    all_interleavings,
+)
+
+
+def make_program(name, log, steps=3):
+    def generator():
+        for i in range(steps):
+            log.append("{}{}".format(name, i))
+            yield i
+        return "{}-done".format(name)
+
+    return Program(name, generator)
+
+
+class TestInterleaver:
+    def test_schedule_order_is_honored(self):
+        log = []
+        interleaver = Interleaver(
+            [make_program("A", log, 2), make_program("B", log, 2)]
+        )
+        interleaver.run(["A", "B", "A", "B"], finish_remaining=False)
+        assert log == ["A0", "B0", "A1", "B1"]
+
+    def test_results_returned(self):
+        log = []
+        interleaver = Interleaver([make_program("A", log, 1)])
+        results = interleaver.run(["A"])
+        assert results["A"] == "A-done"
+
+    def test_finish_remaining(self):
+        log = []
+        interleaver = Interleaver(
+            [make_program("A", log, 3), make_program("B", log, 1)]
+        )
+        interleaver.run(["A"], finish_remaining=True)
+        assert set(log) == {"A0", "A1", "A2", "B0"}
+        assert interleaver.is_finished("A")
+        assert interleaver.is_finished("B")
+
+    def test_unknown_program_rejected(self):
+        interleaver = Interleaver([])
+        with pytest.raises(ScheduleError):
+            interleaver.run(["ghost"])
+
+    def test_advancing_finished_program_rejected(self):
+        log = []
+        interleaver = Interleaver([make_program("A", log, 1)])
+        with pytest.raises(ScheduleError):
+            interleaver.run(["A", "A", "A"], finish_remaining=False)
+
+    def test_duplicate_names_rejected(self):
+        log = []
+        with pytest.raises(ScheduleError):
+            Interleaver([make_program("A", log), make_program("A", log)])
+
+    def test_steps_recorded(self):
+        log = []
+        interleaver = Interleaver([make_program("A", log, 2)])
+        interleaver.run(["A", "A"], finish_remaining=False)
+        assert interleaver.steps_of("A") == [0, 1]
+
+
+class TestAllInterleavings:
+    def test_count_is_multinomial(self):
+        schedules = list(all_interleavings({"A": 2, "B": 2}))
+        assert len(schedules) == 6  # C(4,2)
+
+    def test_each_schedule_has_right_multiplicity(self):
+        for schedule in all_interleavings({"A": 1, "B": 3}):
+            assert schedule.count("A") == 1
+            assert schedule.count("B") == 3
+
+    def test_unique(self):
+        schedules = list(all_interleavings({"A": 2, "B": 1, "C": 1}))
+        assert len(schedules) == len(set(schedules)) == 12

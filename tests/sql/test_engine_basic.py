@@ -1,0 +1,264 @@
+"""CRUD, schema handling, and result plumbing of the Database facade."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    SchemaError,
+    TransactionStateError,
+)
+from repro.sql.engine import Database
+
+
+class TestDDL:
+    def test_create_and_query_empty(self, db):
+        connection = db.connect()
+        connection.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        result = connection.execute("SELECT * FROM t")
+        assert list(result) == []
+        assert db.has_table("t")
+
+    def test_duplicate_table_rejected(self, db):
+        connection = db.connect()
+        connection.execute("CREATE TABLE t (id INTEGER)")
+        with pytest.raises(SchemaError):
+            connection.execute("CREATE TABLE t (id INTEGER)")
+
+    def test_if_not_exists(self, db):
+        connection = db.connect()
+        connection.execute("CREATE TABLE t (id INTEGER)")
+        connection.execute("CREATE TABLE IF NOT EXISTS t (id INTEGER)")
+
+    def test_drop_table(self, db):
+        connection = db.connect()
+        connection.execute("CREATE TABLE t (id INTEGER)")
+        connection.execute("DROP TABLE t")
+        assert not db.has_table("t")
+        with pytest.raises(SchemaError):
+            connection.execute("DROP TABLE t")
+        connection.execute("DROP TABLE IF EXISTS t")
+
+    def test_unknown_table_raises(self, db):
+        connection = db.connect()
+        with pytest.raises(SchemaError):
+            connection.execute("SELECT * FROM nope")
+
+
+class TestInsertSelect:
+    def test_round_trip(self, users_db):
+        connection = users_db.connect()
+        rows = connection.execute("SELECT * FROM users ORDER BY id").rows
+        assert [r["name"] for r in rows] == ["alice", "bob", "carol"]
+
+    def test_where_filters(self, users_db):
+        connection = users_db.connect()
+        rows = connection.execute(
+            "SELECT name FROM users WHERE score >= ?", (20,)
+        ).rows
+        assert sorted(r["name"] for r in rows) == ["bob", "carol"]
+
+    def test_parameter_binding(self, users_db):
+        connection = users_db.connect()
+        row = connection.query_one(
+            "SELECT * FROM users WHERE name = ?", ("bob",)
+        )
+        assert row["id"] == 2
+
+    def test_query_scalar(self, users_db):
+        connection = users_db.connect()
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+    def test_rowcount_on_insert(self, users_db):
+        connection = users_db.connect()
+        result = connection.execute(
+            "INSERT INTO users (id, name, score) VALUES (4, 'd', 1),"
+            " (5, 'e', 2)"
+        )
+        assert result.rowcount == 2
+
+    def test_null_handling(self, users_db):
+        connection = users_db.connect()
+        connection.execute(
+            "INSERT INTO users (id, name) VALUES (9, 'noscore')"
+        )
+        row = connection.query_one("SELECT * FROM users WHERE id = 9")
+        assert row["score"] is None
+        rows = connection.execute(
+            "SELECT name FROM users WHERE score IS NULL"
+        ).rows
+        assert [r["name"] for r in rows] == ["noscore"]
+
+    def test_order_by_direction(self, users_db):
+        connection = users_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM users ORDER BY score DESC"
+        ).rows
+        assert [r["id"] for r in rows] == [3, 2, 1]
+
+    def test_limit(self, users_db):
+        connection = users_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM users ORDER BY id LIMIT 2"
+        ).rows
+        assert [r["id"] for r in rows] == [1, 2]
+
+    def test_limit_param(self, users_db):
+        connection = users_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM users ORDER BY id LIMIT ?", (1,)
+        ).rows
+        assert len(rows) == 1
+
+    def test_expression_select(self, users_db):
+        connection = users_db.connect()
+        row = connection.query_one(
+            "SELECT score * 2 AS double FROM users WHERE id = 1"
+        )
+        assert row["double"] == 20
+
+
+class TestUpdateDelete:
+    def test_update(self, users_db):
+        connection = users_db.connect()
+        result = connection.execute(
+            "UPDATE users SET score = score + 5 WHERE id = 1"
+        )
+        assert result.rowcount == 1
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 15
+
+    def test_update_multiple_rows(self, users_db):
+        connection = users_db.connect()
+        result = connection.execute("UPDATE users SET score = 0")
+        assert result.rowcount == 3
+
+    def test_update_no_match(self, users_db):
+        connection = users_db.connect()
+        assert connection.execute(
+            "UPDATE users SET score = 1 WHERE id = 99"
+        ).rowcount == 0
+
+    def test_delete(self, users_db):
+        connection = users_db.connect()
+        assert connection.execute(
+            "DELETE FROM users WHERE id = 2"
+        ).rowcount == 1
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 2
+
+    def test_delete_all(self, users_db):
+        connection = users_db.connect()
+        connection.execute("DELETE FROM users")
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 0
+
+
+class TestConstraints:
+    def test_primary_key_uniqueness(self, users_db):
+        connection = users_db.connect()
+        with pytest.raises(IntegrityError):
+            connection.execute(
+                "INSERT INTO users (id, name) VALUES (1, 'dup')"
+            )
+
+    def test_not_null_enforced(self, users_db):
+        connection = users_db.connect()
+        with pytest.raises(IntegrityError):
+            connection.execute("INSERT INTO users (id) VALUES (10)")
+
+    def test_pk_update_collision(self, users_db):
+        connection = users_db.connect()
+        with pytest.raises(IntegrityError):
+            connection.execute("UPDATE users SET id = 2 WHERE id = 1")
+
+    def test_pk_can_be_reused_after_delete(self, users_db):
+        connection = users_db.connect()
+        connection.execute("DELETE FROM users WHERE id = 1")
+        connection.execute(
+            "INSERT INTO users (id, name, score) VALUES (1, 'new', 0)"
+        )
+        assert connection.query_scalar(
+            "SELECT name FROM users WHERE id = 1"
+        ) == "new"
+
+    def test_type_coercion_failure(self, users_db):
+        connection = users_db.connect()
+        with pytest.raises(IntegrityError):
+            connection.execute(
+                "INSERT INTO users (id, name, score)"
+                " VALUES (7, 'x', 'not-a-number')"
+            )
+
+
+class TestConnectionLifecycle:
+    def test_closed_connection_rejects_statements(self, users_db):
+        connection = users_db.connect()
+        connection.close()
+        with pytest.raises(TransactionStateError):
+            connection.execute("SELECT * FROM users")
+
+    def test_close_aborts_open_transaction(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        connection.close()
+        fresh = users_db.connect()
+        assert fresh.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+    def test_context_manager_commits_on_success(self, users_db):
+        with users_db.connect() as connection:
+            connection.begin()
+            connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        fresh = users_db.connect()
+        assert fresh.query_scalar("SELECT score FROM users WHERE id = 1") == 0
+
+    def test_context_manager_rolls_back_on_error(self, users_db):
+        with pytest.raises(RuntimeError):
+            with users_db.connect() as connection:
+                connection.begin()
+                connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+                raise RuntimeError("boom")
+        fresh = users_db.connect()
+        assert fresh.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+    def test_double_begin_rejected(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        with pytest.raises(TransactionStateError):
+            connection.begin()
+
+    def test_commit_without_begin_rejected(self, users_db):
+        connection = users_db.connect()
+        with pytest.raises(TransactionStateError):
+            connection.commit()
+
+
+class TestRowAPI:
+    def test_attribute_and_index_access(self, users_db):
+        connection = users_db.connect()
+        row = connection.query_one("SELECT * FROM users WHERE id = 1")
+        assert row.name == "alice"
+        assert row["NAME"] == "alice"
+        assert row[1] == "alice"
+        assert row.get("missing", "dflt") == "dflt"
+
+    def test_row_equality_with_dict(self, users_db):
+        connection = users_db.connect()
+        row = connection.query_one("SELECT id, name FROM users WHERE id = 1")
+        assert row == {"id": 1, "name": "alice"}
+        assert row == (1, "alice")
+
+    def test_result_set_helpers(self, users_db):
+        connection = users_db.connect()
+        result = connection.execute("SELECT id FROM users ORDER BY id")
+        assert result.first()["id"] == 1
+        assert len(result) == 3
+        assert result[2]["id"] == 3
+        empty = connection.execute("SELECT id FROM users WHERE id = 99")
+        assert empty.first() is None
+        assert empty.scalar() is None

@@ -1,0 +1,130 @@
+import pytest
+
+from repro.errors import SchemaError, SQLError
+from repro.sql import expressions as ex
+
+
+def ctx(row=None, params=()):
+    row = row or {}
+    return ex.EvalContext({"t": row}, [row], params)
+
+
+class TestLiteralAndParams:
+    def test_literal(self):
+        assert ex.Literal(42).evaluate(ctx()) == 42
+
+    def test_param_binding(self):
+        assert ex.Param(1).evaluate(ctx(params=("a", "b"))) == "b"
+
+    def test_missing_param_raises(self):
+        with pytest.raises(SQLError):
+            ex.Param(2).evaluate(ctx(params=("only",)))
+
+
+class TestColumnRef:
+    def test_unqualified_lookup(self):
+        assert ex.ColumnRef("x").evaluate(ctx({"x": 5})) == 5
+
+    def test_case_insensitive(self):
+        assert ex.ColumnRef("NAME").evaluate(ctx({"name": "n"})) == "n"
+
+    def test_qualified_lookup(self):
+        context = ex.EvalContext(
+            {"a": {"x": 1}, "b": {"x": 2}}, [{"x": 1}], ()
+        )
+        assert ex.ColumnRef("x", qualifier="b").evaluate(context) == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            ex.ColumnRef("nope").evaluate(ctx({"x": 1}))
+
+    def test_unknown_alias_raises(self):
+        with pytest.raises(SchemaError):
+            ex.ColumnRef("x", qualifier="zz").evaluate(ctx({"x": 1}))
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        expr = ex.Comparison("=", ex.Literal(None), ex.Literal(1))
+        assert expr.evaluate(ctx()) is None
+
+    def test_null_filtered_by_where(self):
+        assert not ex.is_true(None)
+        assert not ex.is_true(False)
+        assert ex.is_true(True)
+
+    def test_and_short_circuit_false(self):
+        expr = ex.And(ex.Literal(False), ex.Literal(None))
+        assert expr.evaluate(ctx()) is False
+
+    def test_and_with_null(self):
+        expr = ex.And(ex.Literal(True), ex.Literal(None))
+        assert expr.evaluate(ctx()) is None
+
+    def test_or_short_circuit_true(self):
+        expr = ex.Or(ex.Literal(True), ex.Literal(None))
+        assert expr.evaluate(ctx()) is True
+
+    def test_or_with_null(self):
+        expr = ex.Or(ex.Literal(False), ex.Literal(None))
+        assert expr.evaluate(ctx()) is None
+
+    def test_not_null_is_null(self):
+        assert ex.Not(ex.Literal(None)).evaluate(ctx()) is None
+
+    def test_is_null(self):
+        assert ex.IsNull(ex.Literal(None)).evaluate(ctx()) is True
+        assert ex.IsNull(ex.Literal(1), negate=True).evaluate(ctx()) is True
+
+    def test_in_list(self):
+        expr = ex.InList(ex.Literal(2), [ex.Literal(1), ex.Literal(2)])
+        assert expr.evaluate(ctx()) is True
+        expr = ex.InList(ex.Literal(None), [ex.Literal(1)])
+        assert expr.evaluate(ctx()) is None
+
+
+class TestArithmetic:
+    def test_operations(self):
+        pairs = {
+            "+": 7, "-": 3, "*": 10, "%": 1,
+        }
+        for op, expected in pairs.items():
+            expr = ex.Arithmetic(op, ex.Literal(5), ex.Literal(2))
+            assert expr.evaluate(ctx()) == expected
+        assert ex.Arithmetic("/", ex.Literal(5), ex.Literal(2)).evaluate(
+            ctx()
+        ) == 2.5
+
+    def test_null_propagates(self):
+        expr = ex.Arithmetic("+", ex.Literal(None), ex.Literal(1))
+        assert expr.evaluate(ctx()) is None
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SQLError):
+            ex.Arithmetic("**", ex.Literal(1), ex.Literal(2))
+
+
+class TestPlanningHelpers:
+    def test_conjuncts_flatten(self):
+        expr = ex.And(
+            ex.And(ex.Literal(True), ex.Literal(True)), ex.Literal(False)
+        )
+        assert len(ex.conjuncts(expr)) == 3
+        assert ex.conjuncts(None) == []
+
+    def test_equality_bindings_extracts_constant_equalities(self):
+        where = ex.And(
+            ex.Comparison("=", ex.ColumnRef("a"), ex.Param(0)),
+            ex.Comparison("=", ex.Literal(5), ex.ColumnRef("b", "t")),
+        )
+        bindings = ex.equality_bindings(where)
+        names = sorted(((q or "", c) for q, c, _ in bindings))
+        assert names == [("", "a"), ("t", "b")]
+
+    def test_column_to_column_equality_not_extracted(self):
+        where = ex.Comparison("=", ex.ColumnRef("a"), ex.ColumnRef("b"))
+        assert ex.equality_bindings(where) == []
+
+    def test_non_equality_not_extracted(self):
+        where = ex.Comparison("<", ex.ColumnRef("a"), ex.Literal(5))
+        assert ex.equality_bindings(where) == []

@@ -1,0 +1,198 @@
+"""Joins, aggregates, and index-assisted plans."""
+
+import pytest
+
+from repro.errors import SQLError
+
+
+@pytest.fixture
+def shop_db(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE customers (id INTEGER PRIMARY KEY, name TEXT)"
+    )
+    connection.execute(
+        "CREATE TABLE orders (oid INTEGER PRIMARY KEY, cid INTEGER,"
+        " total INTEGER)"
+    )
+    connection.execute(
+        "INSERT INTO customers (id, name) VALUES (1, 'ann'), (2, 'ben'),"
+        " (3, 'eve')"
+    )
+    connection.execute(
+        "INSERT INTO orders (oid, cid, total) VALUES"
+        " (10, 1, 100), (11, 1, 50), (12, 2, 75), (13, 9, 5)"
+    )
+    connection.close()
+    return db
+
+
+class TestJoins:
+    def test_inner_join_matches(self, shop_db):
+        connection = shop_db.connect()
+        rows = connection.execute(
+            "SELECT c.name, o.total FROM orders o"
+            " INNER JOIN customers c ON o.cid = c.id"
+            " ORDER BY o.oid"
+        ).rows
+        assert [(r["name"], r["total"]) for r in rows] == [
+            ("ann", 100), ("ann", 50), ("ben", 75),
+        ]
+
+    def test_join_drops_unmatched(self, shop_db):
+        connection = shop_db.connect()
+        rows = connection.execute(
+            "SELECT o.oid FROM orders o"
+            " JOIN customers c ON o.cid = c.id"
+        ).rows
+        assert 13 not in [r["oid"] for r in rows]
+
+    def test_join_with_where(self, shop_db):
+        connection = shop_db.connect()
+        rows = connection.execute(
+            "SELECT c.name FROM orders o"
+            " JOIN customers c ON o.cid = c.id WHERE o.total > ?",
+            (60,),
+        ).rows
+        assert sorted(r["name"] for r in rows) == ["ann", "ben"]
+
+    def test_three_way_join(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute(
+            "CREATE TABLE regions (rid INTEGER, cname TEXT)"
+        )
+        connection.execute(
+            "INSERT INTO regions (rid, cname) VALUES (1, 'ann')"
+        )
+        rows = connection.execute(
+            "SELECT o.oid FROM orders o"
+            " JOIN customers c ON o.cid = c.id"
+            " JOIN regions r ON r.cname = c.name"
+        ).rows
+        assert sorted(row["oid"] for row in rows) == [10, 11]
+
+    def test_join_star_projection(self, shop_db):
+        connection = shop_db.connect()
+        rows = connection.execute(
+            "SELECT * FROM orders o JOIN customers c ON o.cid = c.id"
+            " ORDER BY o.oid LIMIT 1"
+        ).rows
+        assert rows[0]["oid"] == 10
+        assert rows[0]["name"] == "ann"
+
+    def test_non_equi_join_nested_loop(self, shop_db):
+        connection = shop_db.connect()
+        rows = connection.execute(
+            "SELECT o.oid FROM orders o"
+            " JOIN customers c ON o.cid < c.id WHERE c.id = 3"
+        ).rows
+        assert sorted(r["oid"] for r in rows) == [10, 11, 12]
+
+
+class TestAggregates:
+    def test_count_star(self, shop_db):
+        connection = shop_db.connect()
+        assert connection.query_scalar("SELECT COUNT(*) FROM orders") == 4
+
+    def test_count_with_where(self, shop_db):
+        connection = shop_db.connect()
+        assert connection.query_scalar(
+            "SELECT COUNT(*) FROM orders WHERE cid = 1"
+        ) == 2
+
+    def test_sum_min_max_avg(self, shop_db):
+        connection = shop_db.connect()
+        row = connection.query_one(
+            "SELECT SUM(total) AS s, MIN(total) AS lo, MAX(total) AS hi,"
+            " AVG(total) AS mean FROM orders"
+        )
+        assert row["s"] == 230
+        assert row["lo"] == 5
+        assert row["hi"] == 100
+        assert row["mean"] == pytest.approx(57.5)
+
+    def test_aggregates_on_empty_result(self, shop_db):
+        connection = shop_db.connect()
+        row = connection.query_one(
+            "SELECT COUNT(*) AS c, SUM(total) AS s FROM orders"
+            " WHERE cid = 42"
+        )
+        assert row["c"] == 0
+        assert row["s"] is None
+
+    def test_count_expression_skips_nulls(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute(
+            "INSERT INTO orders (oid, cid) VALUES (99, 1)"
+        )
+        assert connection.query_scalar(
+            "SELECT COUNT(total) FROM orders"
+        ) == 4
+
+    def test_mixing_aggregate_and_plain_rejected(self, shop_db):
+        connection = shop_db.connect()
+        with pytest.raises(SQLError):
+            connection.execute("SELECT cid, COUNT(*) FROM orders")
+
+
+class TestIndexedPlans:
+    def test_index_probe_equals_scan_results(self, shop_db):
+        connection = shop_db.connect()
+        before = connection.execute(
+            "SELECT oid FROM orders WHERE cid = 1 ORDER BY oid"
+        ).rows
+        connection.execute("CREATE INDEX orders_by_cid ON orders (cid)")
+        after = connection.execute(
+            "SELECT oid FROM orders WHERE cid = 1 ORDER BY oid"
+        ).rows
+        assert before == after
+
+    def test_index_sees_new_inserts(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute("CREATE INDEX orders_by_cid ON orders (cid)")
+        connection.execute(
+            "INSERT INTO orders (oid, cid, total) VALUES (20, 1, 10)"
+        )
+        rows = connection.execute(
+            "SELECT oid FROM orders WHERE cid = 1"
+        ).rows
+        assert 20 in [r["oid"] for r in rows]
+
+    def test_index_respects_visibility(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute("CREATE INDEX orders_by_cid ON orders (cid)")
+        writer = shop_db.connect()
+        writer.begin()
+        writer.execute("INSERT INTO orders (oid, cid, total) VALUES (30, 1, 1)")
+        rows = connection.execute(
+            "SELECT oid FROM orders WHERE cid = 1"
+        ).rows
+        assert 30 not in [r["oid"] for r in rows]
+        writer.rollback()
+
+    def test_index_after_update_returns_new_value_rows(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute("CREATE INDEX orders_by_cid ON orders (cid)")
+        connection.execute("UPDATE orders SET cid = 3 WHERE oid = 12")
+        assert [
+            r["oid"]
+            for r in connection.execute(
+                "SELECT oid FROM orders WHERE cid = 3"
+            ).rows
+        ] == [12]
+        assert [
+            r["oid"]
+            for r in connection.execute(
+                "SELECT oid FROM orders WHERE cid = 2"
+            ).rows
+        ] == []
+
+    def test_composite_index(self, shop_db):
+        connection = shop_db.connect()
+        connection.execute(
+            "CREATE INDEX orders_pair ON orders (cid, total)"
+        )
+        rows = connection.execute(
+            "SELECT oid FROM orders WHERE cid = 1 AND total = 50"
+        ).rows
+        assert [r["oid"] for r in rows] == [11]

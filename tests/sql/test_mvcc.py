@@ -1,0 +1,322 @@
+"""Snapshot isolation semantics: the heart of the paper's race conditions."""
+
+import pytest
+
+from repro.errors import TransactionAbortedError
+from repro.sql.transactions import IsolationLevel
+
+
+class TestSnapshotReads:
+    def test_reads_see_begin_snapshot(self, users_db):
+        reader = users_db.connect()
+        writer = users_db.connect()
+        reader.begin()
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+        writer.execute("UPDATE users SET score = 99 WHERE id = 1")
+        # The reader's snapshot predates the writer's commit.
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+        reader.commit()
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 99
+
+    def test_snapshot_taken_at_begin_not_first_read(self, users_db):
+        reader = users_db.connect()
+        writer = users_db.connect()
+        reader.begin()
+        writer.execute("UPDATE users SET score = 99 WHERE id = 1")
+        # Even a first read after the writer's commit sees the snapshot.
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+    def test_uncommitted_writes_invisible(self, users_db):
+        writer = users_db.connect()
+        reader = users_db.connect()
+        writer.begin()
+        writer.execute("UPDATE users SET score = 99 WHERE id = 1")
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+        writer.commit()
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 99
+
+    def test_transaction_sees_own_writes(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 42 WHERE id = 1")
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 42
+        connection.rollback()
+
+    def test_inserts_invisible_until_commit(self, users_db):
+        writer = users_db.connect()
+        reader = users_db.connect()
+        writer.begin()
+        writer.execute("INSERT INTO users (id, name) VALUES (50, 'ghost')")
+        assert reader.query_one(
+            "SELECT * FROM users WHERE id = 50"
+        ) is None
+        writer.commit()
+        assert reader.query_one(
+            "SELECT * FROM users WHERE id = 50"
+        ) is not None
+
+    def test_deletes_invisible_until_commit(self, users_db):
+        writer = users_db.connect()
+        reader = users_db.connect()
+        reader.begin()
+        writer.begin()
+        writer.execute("DELETE FROM users WHERE id = 1")
+        assert reader.query_one("SELECT * FROM users WHERE id = 1") is not None
+        writer.commit()
+        # Still visible to the old snapshot.
+        assert reader.query_one("SELECT * FROM users WHERE id = 1") is not None
+        reader.commit()
+        fresh = users_db.connect()
+        assert fresh.query_one("SELECT * FROM users WHERE id = 1") is None
+
+
+class TestRollback:
+    def test_rollback_discards_updates(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 0")
+        connection.rollback()
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+    def test_rollback_discards_inserts(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("INSERT INTO users (id, name) VALUES (7, 'x')")
+        connection.rollback()
+        assert connection.query_one(
+            "SELECT * FROM users WHERE id = 7"
+        ) is None
+
+    def test_rollback_discards_deletes(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("DELETE FROM users")
+        connection.rollback()
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 3
+
+
+class TestWriteWriteConflicts:
+    def test_concurrent_update_same_row_aborts_second(self, users_db):
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first.execute("UPDATE users SET score = 1 WHERE id = 1")
+        with pytest.raises(TransactionAbortedError):
+            second.execute("UPDATE users SET score = 2 WHERE id = 1")
+        assert not second.in_transaction
+        first.commit()
+        fresh = users_db.connect()
+        assert fresh.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 1
+
+    def test_update_after_concurrent_commit_aborts(self, users_db):
+        stale = users_db.connect()
+        fresh = users_db.connect()
+        stale.begin()
+        stale.query_scalar("SELECT score FROM users WHERE id = 1")
+        fresh.execute("UPDATE users SET score = 50 WHERE id = 1")
+        with pytest.raises(TransactionAbortedError):
+            stale.execute("UPDATE users SET score = 60 WHERE id = 1")
+
+    def test_update_after_concurrent_abort_succeeds(self, users_db):
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        first.execute("UPDATE users SET score = 1 WHERE id = 1")
+        first.rollback()
+        second.execute("UPDATE users SET score = 2 WHERE id = 1")
+        assert second.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 2
+
+    def test_delete_delete_conflict(self, users_db):
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first.execute("DELETE FROM users WHERE id = 1")
+        with pytest.raises(TransactionAbortedError):
+            second.execute("DELETE FROM users WHERE id = 1")
+
+    def test_disjoint_rows_do_not_conflict(self, users_db):
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first.execute("UPDATE users SET score = 1 WHERE id = 1")
+        second.execute("UPDATE users SET score = 2 WHERE id = 2")
+        first.commit()
+        second.commit()
+        fresh = users_db.connect()
+        assert fresh.query_scalar("SELECT score FROM users WHERE id = 1") == 1
+        assert fresh.query_scalar("SELECT score FROM users WHERE id = 2") == 2
+
+    def test_concurrent_insert_same_pk_aborts_second(self, users_db):
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first.execute("INSERT INTO users (id, name) VALUES (77, 'a')")
+        with pytest.raises(TransactionAbortedError):
+            second.execute("INSERT INTO users (id, name) VALUES (77, 'b')")
+        first.commit()
+
+    def test_lost_update_prevented(self, users_db):
+        """The classic SI guarantee: two increment transactions cannot
+        both read 10 and both write 11."""
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first_score = first.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        )
+        second_score = second.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        )
+        first.execute(
+            "UPDATE users SET score = ? WHERE id = 1", (first_score + 1,)
+        )
+        first.commit()
+        with pytest.raises(TransactionAbortedError):
+            second.execute(
+                "UPDATE users SET score = ? WHERE id = 1",
+                (second_score + 1,),
+            )
+        fresh = users_db.connect()
+        assert fresh.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 11
+
+
+class TestWriteSkewIsAllowed:
+    def test_si_permits_write_skew(self, users_db):
+        """Snapshot isolation famously permits write skew (disjoint write
+        sets); the engine must NOT be stricter than SI or the paper's
+        premises change."""
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        total_first = first.query_scalar("SELECT SUM(score) FROM users")
+        total_second = second.query_scalar("SELECT SUM(score) FROM users")
+        assert total_first == total_second == 60
+        first.execute("UPDATE users SET score = 0 WHERE id = 1")
+        second.execute("UPDATE users SET score = 0 WHERE id = 2")
+        first.commit()
+        second.commit()  # both commit: write skew admitted
+
+
+class TestReadCommittedMode:
+    def test_read_committed_re_snapshots_each_statement(self, users_db):
+        reader = users_db.connect(isolation=IsolationLevel.READ_COMMITTED)
+        writer = users_db.connect()
+        reader.begin()
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+        writer.execute("UPDATE users SET score = 99 WHERE id = 1")
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 99
+        reader.commit()
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_dead_versions(self, users_db):
+        connection = users_db.connect()
+        for i in range(10):
+            connection.execute(
+                "UPDATE users SET score = ? WHERE id = 1", (i,)
+            )
+        storage = users_db.storage("users")
+        assert storage.version_count() > 3
+        reclaimed = users_db.vacuum()
+        assert reclaimed > 0
+        assert storage.version_count() == 3
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 9
+
+    def test_vacuum_respects_active_snapshots(self, users_db):
+        reader = users_db.connect()
+        writer = users_db.connect()
+        reader.begin()
+        reader.query_scalar("SELECT score FROM users WHERE id = 1")
+        writer.execute("UPDATE users SET score = 99 WHERE id = 1")
+        users_db.vacuum()
+        # The old version must survive: the reader still needs it.
+        assert reader.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+        reader.commit()
+
+    def test_vacuum_removes_fully_deleted_rows(self, users_db):
+        connection = users_db.connect()
+        connection.execute("DELETE FROM users WHERE id = 3")
+        storage = users_db.storage("users")
+        assert storage.row_count() == 3
+        users_db.vacuum()
+        assert storage.row_count() == 2
+
+    def test_vacuum_drops_aborted_versions(self, users_db):
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("INSERT INTO users (id, name) VALUES (42, 'x')")
+        connection.rollback()
+        storage = users_db.storage("users")
+        assert storage.row_count() == 4
+        users_db.vacuum()
+        assert storage.row_count() == 3
+
+
+class TestOnCommitHooks:
+    def test_on_commit_runs_after_commit(self, users_db):
+        events = []
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 1 WHERE id = 1")
+        connection.on_commit(lambda: events.append("committed"))
+        assert events == []
+        connection.commit()
+        assert events == ["committed"]
+
+    def test_on_commit_skipped_on_rollback(self, users_db):
+        events = []
+        connection = users_db.connect()
+        connection.begin()
+        connection.on_commit(lambda: events.append("committed"))
+        connection.rollback()
+        assert events == []
+
+    def test_on_commit_order_matches_commit_order(self, users_db):
+        events = []
+        first = users_db.connect()
+        second = users_db.connect()
+        first.begin()
+        second.begin()
+        first.execute("UPDATE users SET score = 1 WHERE id = 1")
+        second.execute("UPDATE users SET score = 1 WHERE id = 2")
+        first.on_commit(lambda: events.append("first"))
+        second.on_commit(lambda: events.append("second"))
+        second.commit()
+        first.commit()
+        assert events == ["second", "first"]

@@ -1,0 +1,213 @@
+"""DISTINCT, GROUP BY / HAVING, LIKE, BETWEEN."""
+
+import pytest
+
+from repro.errors import ParseError
+
+
+@pytest.fixture
+def sales_db(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE sales (id INTEGER PRIMARY KEY, region TEXT,"
+        " product TEXT, amount INTEGER)"
+    )
+    connection.execute(
+        "INSERT INTO sales (id, region, product, amount) VALUES"
+        " (1, 'east', 'widget', 10),"
+        " (2, 'east', 'gadget', 20),"
+        " (3, 'west', 'widget', 30),"
+        " (4, 'west', 'widget', 40),"
+        " (5, 'east', 'widget', 50)"
+    )
+    connection.close()
+    return db
+
+
+class TestGroupBy:
+    def test_group_counts(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, COUNT(*) AS n FROM sales"
+            " GROUP BY region ORDER BY region"
+        ).rows
+        assert [(r["region"], r["n"]) for r in rows] == [
+            ("east", 3), ("west", 2),
+        ]
+
+    def test_group_sum_and_avg(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, SUM(amount) AS total, AVG(amount) AS mean"
+            " FROM sales GROUP BY region ORDER BY region"
+        ).rows
+        assert rows[0]["total"] == 80
+        assert rows[0]["mean"] == pytest.approx(80 / 3)
+        assert rows[1]["total"] == 70
+
+    def test_group_by_multiple_keys(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, product, COUNT(*) AS n FROM sales"
+            " GROUP BY region, product ORDER BY region, product"
+        ).rows
+        assert len(rows) == 3
+        assert rows[0] == ("east", "gadget", 1)
+
+    def test_having_filters_groups(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, COUNT(*) AS n FROM sales GROUP BY region"
+            " HAVING n > 2"
+        ).rows
+        assert [(r["region"], r["n"]) for r in rows] == [("east", 3)]
+
+    def test_having_with_expression(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT product, SUM(amount) AS total FROM sales"
+            " GROUP BY product HAVING total >= 100"
+        ).rows
+        assert [(r["product"], r["total"]) for r in rows] == [("widget", 130)]
+
+    def test_group_by_with_where(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, COUNT(*) AS n FROM sales WHERE amount > 15"
+            " GROUP BY region ORDER BY region"
+        ).rows
+        assert [(r["region"], r["n"]) for r in rows] == [
+            ("east", 2), ("west", 2),
+        ]
+
+    def test_group_order_by_aggregate(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, SUM(amount) AS total FROM sales"
+            " GROUP BY region ORDER BY total DESC LIMIT 1"
+        ).rows
+        assert rows[0]["region"] == "east"
+
+    def test_empty_group_result(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT region, COUNT(*) AS n FROM sales WHERE amount > 999"
+            " GROUP BY region"
+        ).rows
+        assert rows == []
+
+
+class TestDistinct:
+    def test_distinct_single_column(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT DISTINCT region FROM sales ORDER BY region"
+        ).rows
+        assert [r["region"] for r in rows] == ["east", "west"]
+
+    def test_distinct_pairs(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT DISTINCT region, product FROM sales"
+        ).rows
+        assert len(rows) == 3
+
+    def test_distinct_with_limit(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT DISTINCT region FROM sales ORDER BY region LIMIT 1"
+        ).rows
+        assert [r["region"] for r in rows] == ["east"]
+
+
+class TestLike:
+    def test_percent_wildcard(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM sales WHERE product LIKE 'wid%' ORDER BY id"
+        ).rows
+        assert [r["id"] for r in rows] == [1, 3, 4, 5]
+
+    def test_underscore_wildcard(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT DISTINCT product FROM sales WHERE product LIKE '_adget'"
+        ).rows
+        assert [r["product"] for r in rows] == ["gadget"]
+
+    def test_not_like(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT DISTINCT product FROM sales WHERE product NOT LIKE 'w%'"
+        ).rows
+        assert [r["product"] for r in rows] == ["gadget"]
+
+    def test_like_literal_match(self, sales_db):
+        connection = sales_db.connect()
+        count = connection.query_scalar(
+            "SELECT COUNT(*) FROM sales WHERE region LIKE 'east'"
+        )
+        assert count == 3
+
+    def test_like_escapes_regex_metachars(self, db):
+        connection = db.connect()
+        connection.execute("CREATE TABLE t (s TEXT)")
+        connection.execute("INSERT INTO t (s) VALUES ('a.b'), ('axb')")
+        rows = connection.execute(
+            "SELECT s FROM t WHERE s LIKE 'a.b'"
+        ).rows
+        assert [r["s"] for r in rows] == ["a.b"]
+
+    def test_like_parameter_pattern(self, sales_db):
+        connection = sales_db.connect()
+        count = connection.query_scalar(
+            "SELECT COUNT(*) FROM sales WHERE product LIKE ?", ("ga%",)
+        )
+        assert count == 1
+
+
+class TestBetween:
+    def test_inclusive_bounds(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM sales WHERE amount BETWEEN 20 AND 40 ORDER BY id"
+        ).rows
+        assert [r["id"] for r in rows] == [2, 3, 4]
+
+    def test_not_between(self, sales_db):
+        connection = sales_db.connect()
+        rows = connection.execute(
+            "SELECT id FROM sales WHERE amount NOT BETWEEN 20 AND 40"
+            " ORDER BY id"
+        ).rows
+        assert [r["id"] for r in rows] == [1, 5]
+
+    def test_between_with_params(self, sales_db):
+        connection = sales_db.connect()
+        count = connection.query_scalar(
+            "SELECT COUNT(*) FROM sales WHERE amount BETWEEN ? AND ?",
+            (10, 30),
+        )
+        assert count == 3
+
+    def test_between_combines_with_and(self, sales_db):
+        connection = sales_db.connect()
+        count = connection.query_scalar(
+            "SELECT COUNT(*) FROM sales"
+            " WHERE amount BETWEEN 10 AND 50 AND region = 'west'"
+        )
+        assert count == 2
+
+
+class TestParseErrors:
+    def test_not_without_predicate_rejected(self, sales_db):
+        connection = sales_db.connect()
+        with pytest.raises(ParseError):
+            connection.execute("SELECT id FROM sales WHERE amount NOT 5")
+
+    def test_between_requires_and(self, sales_db):
+        connection = sales_db.connect()
+        with pytest.raises(ParseError):
+            connection.execute(
+                "SELECT id FROM sales WHERE amount BETWEEN 1, 2"
+            )

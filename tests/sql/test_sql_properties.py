@@ -1,0 +1,110 @@
+"""Property-based tests of the SQL engine with hypothesis."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql.engine import Database
+
+ids = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=30,
+    unique=True,
+)
+scores = st.integers(min_value=-1000, max_value=1000)
+
+
+def fresh_db(rows):
+    db = Database()
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, score INTEGER)"
+    )
+    for row_id, score in rows:
+        connection.execute(
+            "INSERT INTO t (id, score) VALUES (?, ?)", (row_id, score)
+        )
+    connection.close()
+    return db
+
+
+@given(row_ids=ids, score=scores)
+@settings(max_examples=30, deadline=None)
+def test_count_matches_inserts(row_ids, score):
+    db = fresh_db([(i, score) for i in row_ids])
+    connection = db.connect()
+    assert connection.query_scalar("SELECT COUNT(*) FROM t") == len(row_ids)
+
+
+@given(row_ids=ids)
+@settings(max_examples=30, deadline=None)
+def test_select_where_equality_finds_each_row(row_ids):
+    db = fresh_db([(i, i * 2) for i in row_ids])
+    connection = db.connect()
+    for row_id in row_ids:
+        row = connection.query_one("SELECT * FROM t WHERE id = ?", (row_id,))
+        assert row["score"] == row_id * 2
+
+
+@given(row_ids=ids, threshold=scores)
+@settings(max_examples=30, deadline=None)
+def test_where_partition_is_exact(row_ids, threshold):
+    db = fresh_db([(i, (i * 37) % 997 - 500) for i in row_ids])
+    connection = db.connect()
+    above = connection.query_scalar(
+        "SELECT COUNT(*) FROM t WHERE score > ?", (threshold,)
+    )
+    at_or_below = connection.query_scalar(
+        "SELECT COUNT(*) FROM t WHERE score <= ?", (threshold,)
+    )
+    assert above + at_or_below == len(row_ids)
+
+
+@given(row_ids=ids)
+@settings(max_examples=30, deadline=None)
+def test_order_by_sorts(row_ids):
+    db = fresh_db([(i, (i * 31) % 101) for i in row_ids])
+    connection = db.connect()
+    rows = connection.execute("SELECT score FROM t ORDER BY score").rows
+    observed = [r["score"] for r in rows]
+    assert observed == sorted(observed)
+
+
+@given(row_ids=ids, delta=st.integers(min_value=-50, max_value=50))
+@settings(max_examples=30, deadline=None)
+def test_update_then_sum_is_consistent(row_ids, delta):
+    db = fresh_db([(i, 10) for i in row_ids])
+    connection = db.connect()
+    connection.execute("UPDATE t SET score = score + ?", (delta,))
+    total = connection.query_scalar("SELECT SUM(score) FROM t")
+    assert total == (10 + delta) * len(row_ids)
+
+
+@given(row_ids=ids)
+@settings(max_examples=30, deadline=None)
+def test_snapshot_sum_is_stable_under_concurrent_updates(row_ids):
+    """A reader's aggregate never changes mid-transaction, whatever a
+    concurrent writer commits (the SI guarantee the paper relies on)."""
+    db = fresh_db([(i, 1) for i in row_ids])
+    reader = db.connect()
+    writer = db.connect()
+    reader.begin()
+    first_sum = reader.query_scalar("SELECT SUM(score) FROM t")
+    writer.execute("UPDATE t SET score = score + 100")
+    second_sum = reader.query_scalar("SELECT SUM(score) FROM t")
+    assert first_sum == second_sum == len(row_ids)
+    reader.commit()
+    assert reader.query_scalar("SELECT SUM(score) FROM t") == 101 * len(
+        row_ids
+    )
+
+
+@given(row_ids=ids)
+@settings(max_examples=20, deadline=None)
+def test_vacuum_preserves_visible_state(row_ids):
+    db = fresh_db([(i, 0) for i in row_ids])
+    connection = db.connect()
+    for _ in range(3):
+        connection.execute("UPDATE t SET score = score + 1")
+    before = connection.execute("SELECT * FROM t ORDER BY id").rows
+    db.vacuum()
+    after = connection.execute("SELECT * FROM t ORDER BY id").rows
+    assert before == after

@@ -1,0 +1,159 @@
+"""Direct version-chain tests of TableStorage (below the SQL surface)."""
+
+import pytest
+
+from repro.errors import IntegrityError, TransactionAbortedError
+from repro.sql.schema import Column, TableSchema
+from repro.sql.storage import TableStorage
+from repro.sql.transactions import TransactionManager
+from repro.sql.types import INTEGER, TEXT
+
+
+@pytest.fixture
+def txm():
+    return TransactionManager()
+
+
+@pytest.fixture
+def storage(txm):
+    schema = TableSchema(
+        "t",
+        [Column("id", INTEGER, nullable=False), Column("v", TEXT)],
+        primary_key=("id",),
+    )
+    return TableStorage(schema, txm)
+
+
+def committed_insert(storage, txm, values):
+    tx = txm.begin()
+    rowid = storage.insert(tx, values)
+    txm.commit(tx)
+    return rowid
+
+
+class TestVersionChains:
+    def test_insert_creates_single_version(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        assert storage.version_count() == 1
+        reader = txm.begin()
+        assert storage.read(reader, rowid) == (1, "a")
+
+    def test_update_appends_version(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        tx = txm.begin()
+        old, new = storage.update(tx, rowid, (1, "b"))
+        assert old == (1, "a") and new == (1, "b")
+        txm.commit(tx)
+        assert storage.version_count() == 2
+        reader = txm.begin()
+        assert storage.read(reader, rowid) == (1, "b")
+
+    def test_old_snapshot_reads_old_version(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        old_reader = txm.begin()
+        tx = txm.begin()
+        storage.update(tx, rowid, (1, "b"))
+        txm.commit(tx)
+        assert storage.read(old_reader, rowid) == (1, "a")
+        new_reader = txm.begin()
+        assert storage.read(new_reader, rowid) == (1, "b")
+
+    def test_delete_hides_row(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        tx = txm.begin()
+        assert storage.delete(tx, rowid) == (1, "a")
+        txm.commit(tx)
+        reader = txm.begin()
+        assert storage.read(reader, rowid) is None
+
+    def test_update_invisible_row_returns_none(self, storage, txm):
+        writer = txm.begin()
+        rowid = storage.insert(writer, (1, "a"))
+        # Another transaction cannot see (or update) the uncommitted row.
+        other = txm.begin()
+        assert storage.update(other, rowid, (1, "b")) is None
+        txm.abort(writer)
+
+    def test_scan_skips_aborted_versions(self, storage, txm):
+        tx = txm.begin()
+        storage.insert(tx, (1, "ghost"))
+        txm.abort(tx)
+        reader = txm.begin()
+        assert list(storage.scan(reader)) == []
+        assert storage.row_count() == 1  # physically present until vacuum
+        storage.vacuum(txm.gc_horizon())
+        assert storage.row_count() == 0
+
+
+class TestConflicts:
+    def test_concurrent_update_conflict(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        first = txm.begin()
+        second = txm.begin()
+        storage.update(first, rowid, (1, "b"))
+        with pytest.raises(TransactionAbortedError):
+            storage.update(second, rowid, (1, "c"))
+
+    def test_update_after_abort_is_allowed(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        first = txm.begin()
+        storage.update(first, rowid, (1, "b"))
+        txm.abort(first)
+        second = txm.begin()
+        assert storage.update(second, rowid, (1, "c")) is not None
+        txm.commit(second)
+
+    def test_stale_snapshot_update_conflicts(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        stale = txm.begin()
+        storage.read(stale, rowid)
+        fresh = txm.begin()
+        storage.update(fresh, rowid, (1, "b"))
+        txm.commit(fresh)
+        with pytest.raises(TransactionAbortedError):
+            storage.update(stale, rowid, (1, "c"))
+
+    def test_pk_conflict_committed(self, storage, txm):
+        committed_insert(storage, txm, (1, "a"))
+        tx = txm.begin()
+        with pytest.raises(IntegrityError):
+            storage.insert(tx, (1, "dup"))
+
+    def test_pk_conflict_with_active_insert(self, storage, txm):
+        first = txm.begin()
+        storage.insert(first, (1, "a"))
+        second = txm.begin()
+        with pytest.raises(TransactionAbortedError):
+            storage.insert(second, (1, "b"))
+        txm.abort(first)
+
+    def test_pk_free_after_committed_delete(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "a"))
+        tx = txm.begin()
+        storage.delete(tx, rowid)
+        txm.commit(tx)
+        committed_insert(storage, txm, (1, "again"))
+
+    def test_pk_change_checks_new_value(self, storage, txm):
+        committed_insert(storage, txm, (1, "a"))
+        rowid2 = committed_insert(storage, txm, (2, "b"))
+        tx = txm.begin()
+        with pytest.raises(IntegrityError):
+            storage.update(tx, rowid2, (1, "clash"))
+
+
+class TestVacuum:
+    def test_vacuum_respects_horizon(self, storage, txm):
+        rowid = committed_insert(storage, txm, (1, "v0"))
+        old_reader = txm.begin()
+        for i in range(3):
+            tx = txm.begin()
+            storage.update(tx, rowid, (1, "v{}".format(i + 1)))
+            txm.commit(tx)
+        reclaimed = storage.vacuum(txm.gc_horizon())
+        # The old reader still pins v0: chain keeps >= 2 versions.
+        assert storage.read(old_reader, rowid) == (1, "v0")
+        txm.commit(old_reader)
+        reclaimed += storage.vacuum(txm.gc_horizon())
+        assert storage.version_count() == 1
+        assert reclaimed == 3

@@ -1,0 +1,149 @@
+"""Row-level triggers, including the after-commit timing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql.triggers import TriggerEvent
+
+
+@pytest.fixture
+def audited_db(users_db):
+    users_db.fired = []
+
+    def record(connection, event, old_row, new_row):
+        users_db.fired.append((event, old_row, new_row))
+
+    users_db.create_trigger(
+        "audit", "users",
+        [TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE],
+        record,
+    )
+    return users_db
+
+
+class TestDuringTriggers:
+    def test_insert_trigger_sees_new_row(self, audited_db):
+        connection = audited_db.connect()
+        connection.execute("INSERT INTO users (id, name) VALUES (9, 'z')")
+        event, old_row, new_row = audited_db.fired[0]
+        assert event is TriggerEvent.INSERT
+        assert old_row is None
+        assert new_row["name"] == "z"
+
+    def test_update_trigger_sees_both_images(self, audited_db):
+        connection = audited_db.connect()
+        connection.execute("UPDATE users SET score = 11 WHERE id = 1")
+        event, old_row, new_row = audited_db.fired[0]
+        assert event is TriggerEvent.UPDATE
+        assert old_row["score"] == 10
+        assert new_row["score"] == 11
+
+    def test_delete_trigger_sees_old_row(self, audited_db):
+        connection = audited_db.connect()
+        connection.execute("DELETE FROM users WHERE id = 2")
+        event, old_row, new_row = audited_db.fired[0]
+        assert event is TriggerEvent.DELETE
+        assert old_row["id"] == 2
+        assert new_row is None
+
+    def test_trigger_fires_per_affected_row(self, audited_db):
+        connection = audited_db.connect()
+        connection.execute("UPDATE users SET score = 0")
+        assert len(audited_db.fired) == 3
+
+    def test_during_trigger_fires_inside_transaction(self, audited_db):
+        connection = audited_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        assert len(audited_db.fired) == 1  # before commit!
+        connection.rollback()
+        # The row change rolled back, but the trigger side effect already
+        # happened -- exactly the Figure 3 hazard the paper describes.
+        assert connection.query_scalar(
+            "SELECT score FROM users WHERE id = 1"
+        ) == 10
+
+
+class TestAfterCommitTriggers:
+    def test_fires_only_after_commit(self, users_db):
+        fired = []
+        users_db.create_trigger(
+            "later", "users", [TriggerEvent.UPDATE],
+            lambda c, e, o, n: fired.append(n["score"]),
+            after_commit=True,
+        )
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 5 WHERE id = 1")
+        assert fired == []
+        connection.commit()
+        assert fired == [5]
+
+    def test_not_fired_on_rollback(self, users_db):
+        fired = []
+        users_db.create_trigger(
+            "later", "users", [TriggerEvent.UPDATE],
+            lambda c, e, o, n: fired.append(1),
+            after_commit=True,
+        )
+        connection = users_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 5 WHERE id = 1")
+        connection.rollback()
+        assert fired == []
+
+
+class TestTriggerRegistry:
+    def test_event_filtering(self, users_db):
+        fired = []
+        users_db.create_trigger(
+            "only_delete", "users", [TriggerEvent.DELETE],
+            lambda c, e, o, n: fired.append(e),
+        )
+        connection = users_db.connect()
+        connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        assert fired == []
+        connection.execute("DELETE FROM users WHERE id = 1")
+        assert fired == [TriggerEvent.DELETE]
+
+    def test_duplicate_name_rejected(self, users_db):
+        users_db.create_trigger(
+            "t", "users", [TriggerEvent.INSERT], lambda *a: None
+        )
+        with pytest.raises(SchemaError):
+            users_db.create_trigger(
+                "t", "users", [TriggerEvent.INSERT], lambda *a: None
+            )
+
+    def test_unknown_table_rejected(self, users_db):
+        with pytest.raises(SchemaError):
+            users_db.create_trigger(
+                "t", "ghosts", [TriggerEvent.INSERT], lambda *a: None
+            )
+
+    def test_drop_trigger(self, users_db):
+        fired = []
+        users_db.create_trigger(
+            "t", "users", [TriggerEvent.INSERT],
+            lambda c, e, o, n: fired.append(1),
+        )
+        users_db.drop_trigger("users", "t")
+        connection = users_db.connect()
+        connection.execute("INSERT INTO users (id, name) VALUES (9, 'x')")
+        assert fired == []
+        with pytest.raises(SchemaError):
+            users_db.drop_trigger("users", "t")
+
+    def test_kvs_invalidation_via_trigger(self, users_db):
+        """The paper's trigger-based invalidation pattern end to end."""
+        from repro.kvs.store import CacheStore
+
+        store = CacheStore()
+        store.set("Profile1", b"cached")
+        users_db.create_trigger(
+            "invalidate", "users", [TriggerEvent.UPDATE],
+            lambda c, e, o, n: store.delete("Profile{}".format(n["id"])),
+        )
+        connection = users_db.connect()
+        connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        assert store.get("Profile1") is None

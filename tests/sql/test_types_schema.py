@@ -1,0 +1,125 @@
+"""Column types and TableSchema validation."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.sql.schema import Column, TableSchema
+from repro.sql.types import (
+    BLOB,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    type_by_name,
+)
+
+
+class TestTypes:
+    def test_integer_coercions(self):
+        assert INTEGER.coerce(5) == 5
+        assert INTEGER.coerce("7") == 7
+        assert INTEGER.coerce(3.0) == 3
+        assert INTEGER.coerce(True) == 1
+        assert INTEGER.coerce(None) is None
+        with pytest.raises(TypeError):
+            INTEGER.coerce(3.5)
+        with pytest.raises(ValueError):
+            INTEGER.coerce("abc")
+
+    def test_float_coercions(self):
+        assert FLOAT.coerce(3) == 3.0
+        assert FLOAT.coerce("2.5") == 2.5
+        with pytest.raises(TypeError):
+            FLOAT.coerce(b"bytes")
+
+    def test_text_coercions(self):
+        assert TEXT.coerce("x") == "x"
+        assert TEXT.coerce(None) is None
+        with pytest.raises(TypeError):
+            TEXT.coerce(5)
+
+    def test_blob_coercions(self):
+        assert BLOB.coerce(b"x") == b"x"
+        assert BLOB.coerce(bytearray(b"y")) == b"y"
+        with pytest.raises(TypeError):
+            BLOB.coerce("str")
+
+    def test_type_by_name_aliases(self):
+        assert type_by_name("int") is INTEGER
+        assert type_by_name("BIGINT") is INTEGER
+        assert type_by_name("varchar") is TEXT
+        assert type_by_name("REAL") is FLOAT
+        with pytest.raises(SchemaError):
+            type_by_name("JSONB")
+
+    def test_type_equality_by_class(self):
+        assert INTEGER == type_by_name("integer")
+        assert INTEGER != TEXT
+
+
+class TestTableSchema:
+    def make(self):
+        return TableSchema(
+            "t",
+            [
+                Column("id", INTEGER, nullable=False),
+                Column("name", TEXT),
+                Column("score", FLOAT),
+            ],
+            primary_key=("id",),
+        )
+
+    def test_column_lookup_case_insensitive(self):
+        schema = self.make()
+        assert schema.column_index("NAME") == 1
+        assert schema.has_column("Score")
+        assert not schema.has_column("ghost")
+        with pytest.raises(SchemaError):
+            schema.column_index("ghost")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", [Column("a", INTEGER), Column("A", TEXT)]
+            )
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INTEGER)], primary_key=("b",))
+
+    def test_pk_columns_become_not_null(self):
+        schema = self.make()
+        assert not schema.column("id").nullable
+
+    def test_coerce_row_defaults_and_checks(self):
+        schema = self.make()
+        row = schema.coerce_row({"id": "5", "score": 1})
+        assert row == (5, None, 1.0)
+        with pytest.raises(IntegrityError):
+            schema.coerce_row({"name": "no-id"})
+        with pytest.raises(SchemaError):
+            schema.coerce_row({"id": 1, "ghost": 2})
+        with pytest.raises(IntegrityError):
+            schema.coerce_row({"id": "not-a-number"})
+
+    def test_pk_value_and_row_dict(self):
+        schema = self.make()
+        row = schema.coerce_row({"id": 9, "name": "n"})
+        assert schema.pk_value(row) == (9,)
+        assert schema.row_dict(row) == {"id": 9, "name": "n", "score": None}
+
+    def test_composite_pk(self):
+        schema = TableSchema(
+            "f",
+            [Column("a", INTEGER), Column("b", INTEGER)],
+            primary_key=("a", "b"),
+        )
+        row = schema.coerce_row({"a": 1, "b": 2})
+        assert schema.pk_value(row) == (1, 2)
+
+    def test_no_pk_returns_none(self):
+        schema = TableSchema("t", [Column("a", INTEGER)])
+        assert schema.pk_value((1,)) is None

@@ -1,0 +1,180 @@
+"""Write-ahead logging and crash recovery."""
+
+import json
+
+import pytest
+
+from repro.sql.engine import Database
+from repro.sql.wal import WriteAheadLog, recover
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "db.wal")
+
+
+@pytest.fixture
+def wal_db(wal_path):
+    db = Database(wal_path=wal_path)
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE users (id INTEGER PRIMARY KEY, name TEXT,"
+        " score INTEGER)"
+    )
+    connection.execute(
+        "INSERT INTO users (id, name, score) VALUES (1, 'alice', 10),"
+        " (2, 'bob', 20)"
+    )
+    connection.close()
+    return db
+
+
+def all_rows(db, sql="SELECT * FROM users ORDER BY id"):
+    connection = db.connect()
+    try:
+        return [row.as_dict() for row in connection.execute(sql)]
+    finally:
+        connection.close()
+
+
+class TestLogging:
+    def test_ddl_and_commits_logged(self, wal_db, wal_path):
+        records = list(WriteAheadLog.read_records(wal_path))
+        assert records[0]["type"] == "ddl"
+        assert "CREATE TABLE users" in records[0]["sql"]
+        assert any(r["type"] == "commit" for r in records)
+
+    def test_aborted_transactions_not_logged(self, wal_db, wal_path):
+        before = len(list(WriteAheadLog.read_records(wal_path)))
+        connection = wal_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = 0 WHERE id = 1")
+        connection.rollback()
+        after = len(list(WriteAheadLog.read_records(wal_path)))
+        assert after == before
+
+    def test_read_only_transactions_not_logged(self, wal_db, wal_path):
+        before = len(list(WriteAheadLog.read_records(wal_path)))
+        connection = wal_db.connect()
+        connection.execute("SELECT * FROM users")
+        after = len(list(WriteAheadLog.read_records(wal_path)))
+        assert after == before
+
+    def test_index_ddl_logged(self, wal_db, wal_path):
+        wal_db.create_index("users_by_name", "users", ["name"])
+        records = list(WriteAheadLog.read_records(wal_path))
+        assert any(
+            r["type"] == "ddl" and "CREATE INDEX users_by_name" in r["sql"]
+            for r in records
+        )
+
+
+class TestRecovery:
+    def test_full_recovery(self, wal_db, wal_path):
+        connection = wal_db.connect()
+        connection.execute("UPDATE users SET score = 99 WHERE id = 1")
+        connection.execute("DELETE FROM users WHERE id = 2")
+        connection.execute(
+            "INSERT INTO users (id, name, score) VALUES (3, 'carol', 30)"
+        )
+        connection.close()
+
+        recovered = recover(wal_path)
+        assert all_rows(recovered) == all_rows(wal_db)
+
+    def test_recovery_restores_indexes(self, wal_db, wal_path):
+        wal_db.create_index("users_by_name", "users", ["name"])
+        recovered = recover(wal_path)
+        rows = all_rows(
+            recovered, "SELECT id FROM users WHERE name = 'alice'"
+        )
+        assert rows == [{"id": 1}]
+
+    def test_recovery_of_multi_statement_transaction(self, wal_db, wal_path):
+        connection = wal_db.connect()
+        connection.begin()
+        connection.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+        connection.execute("UPDATE users SET score = score + 1 WHERE id = 2")
+        connection.commit()
+        connection.close()
+        recovered = recover(wal_path)
+        assert [r["score"] for r in all_rows(recovered)] == [11, 21]
+
+    def test_self_overwriting_transaction_collapses(self, wal_db, wal_path):
+        connection = wal_db.connect()
+        connection.begin()
+        for _ in range(3):
+            connection.execute(
+                "UPDATE users SET score = score + 1 WHERE id = 1"
+            )
+        connection.commit()
+        connection.close()
+        records = list(WriteAheadLog.read_records(wal_path))
+        last = records[-1]
+        update_ops = [op for op in last["ops"] if op["op"] == "update"]
+        assert len(update_ops) == 1  # intermediate versions collapsed
+        recovered = recover(wal_path)
+        assert all_rows(recovered)[0]["score"] == 13
+
+    def test_torn_tail_is_skipped(self, wal_db, wal_path):
+        connection = wal_db.connect()
+        connection.execute("UPDATE users SET score = 99 WHERE id = 1")
+        connection.close()
+        with open(wal_path, "a") as handle:
+            handle.write('{"type": "commit", "txid": 999, "ops": [tor')
+        recovered = recover(wal_path)
+        assert all_rows(recovered)[0]["score"] == 99
+
+    def test_recovery_preserves_bytes_values(self, tmp_path):
+        path = str(tmp_path / "blob.wal")
+        db = Database(wal_path=path)
+        connection = db.connect()
+        connection.execute("CREATE TABLE blobs (id INTEGER PRIMARY KEY, data BLOB)")
+        payload = bytes(range(256))
+        connection.execute(
+            "INSERT INTO blobs (id, data) VALUES (?, ?)", (1, payload)
+        )
+        connection.close()
+        recovered = recover(path)
+        rows = all_rows(recovered, "SELECT data FROM blobs")
+        assert rows[0]["data"] == payload
+
+    def test_drop_table_replayed(self, wal_db, wal_path):
+        wal_db.connect().execute("DROP TABLE users")
+        recovered = recover(wal_path)
+        assert not recovered.has_table("users")
+
+    def test_recovered_db_remains_usable(self, wal_db, wal_path):
+        recovered = recover(wal_path)
+        connection = recovered.connect()
+        connection.execute(
+            "INSERT INTO users (id, name, score) VALUES (9, 'new', 1)"
+        )
+        assert connection.query_scalar("SELECT COUNT(*) FROM users") == 3
+
+
+class TestWALFormat:
+    def test_records_are_json_lines(self, wal_db, wal_path):
+        with open(wal_path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_commit_order_preserved(self, wal_path):
+        db = Database(wal_path=wal_path)
+        setup = db.connect()
+        setup.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        setup.execute("INSERT INTO t (id, v) VALUES (1, 0)")
+        first = db.connect()
+        second = db.connect()
+        first.begin()
+        second.begin()
+        first.execute("UPDATE t SET v = 1 WHERE id = 1")
+        first.commit()
+        # second's snapshot is stale; retry on a fresh transaction.
+        second.rollback()
+        second.begin()
+        second.execute("UPDATE t SET v = 2 WHERE id = 1")
+        second.commit()
+        recovered = recover(wal_path)
+        connection = recovered.connect()
+        assert connection.query_scalar("SELECT v FROM t WHERE id = 1") == 2

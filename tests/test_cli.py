@@ -1,0 +1,47 @@
+"""CLI surface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 11211
+        assert args.i_ttl == 10.0
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(
+            ["bench", "--experiment", "table1"]
+        )
+        assert args.experiment == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--experiment", "nope"])
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(
+            ["demo", "--threads", "2", "--ops", "5", "--members", "40"]
+        )
+        assert (args.threads, args.ops, args.members) == (2, 5, 40)
+
+
+class TestCommands:
+    def test_figures_command_runs_clean(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "STALE" in output        # baselines race
+        assert "consistent" in output   # IQ holds
+
+    def test_demo_command_runs(self, capsys):
+        assert main(
+            ["demo", "--threads", "2", "--ops", "10", "--members", "40"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "IQ-Twemcached" in output
+        assert "Twemcache baseline" in output

@@ -1,0 +1,75 @@
+import random
+
+import pytest
+
+from repro.config import BackoffConfig
+from repro.errors import StarvationError
+from repro.util.backoff import ExponentialBackoff, FixedBackoff, NoBackoff
+
+
+class TestExponentialBackoff:
+    def test_delays_grow_geometrically_without_jitter(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(initial_delay=0.001, multiplier=2.0,
+                          max_delay=1.0, jitter=0.0)
+        )
+        delays = policy.delays()
+        observed = [next(delays) for _ in range(4)]
+        assert observed == [0.001, 0.002, 0.004, 0.008]
+
+    def test_delay_caps_at_max(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(initial_delay=0.5, multiplier=10.0,
+                          max_delay=1.0, jitter=0.0)
+        )
+        delays = policy.delays()
+        observed = [next(delays) for _ in range(4)]
+        assert observed == [0.5, 1.0, 1.0, 1.0]
+
+    def test_jitter_stays_in_bounds(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(initial_delay=0.01, multiplier=1.0,
+                          max_delay=0.01, jitter=0.5),
+            rng=random.Random(7),
+        )
+        delays = policy.delays()
+        for _ in range(50):
+            delay = next(delays)
+            assert 0.01 <= delay <= 0.015
+
+    def test_starves_after_max_attempts(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(max_attempts=3, jitter=0.0)
+        )
+        delays = policy.delays()
+        for _ in range(3):
+            next(delays)
+        with pytest.raises(StarvationError) as info:
+            next(delays)
+        assert info.value.attempts == 3
+        assert not info.value.retriable
+
+
+class TestFixedBackoff:
+    def test_constant_delay(self):
+        delays = FixedBackoff(delay=0.005).delays()
+        assert [next(delays) for _ in range(3)] == [0.005] * 3
+
+    def test_max_attempts(self):
+        delays = FixedBackoff(delay=0, max_attempts=1).delays()
+        next(delays)
+        with pytest.raises(StarvationError):
+            next(delays)
+
+
+class TestNoBackoff:
+    def test_zero_delays(self):
+        delays = NoBackoff().delays()
+        assert [next(delays) for _ in range(5)] == [0.0] * 5
+
+    def test_max_attempts(self):
+        delays = NoBackoff(max_attempts=2).delays()
+        next(delays)
+        next(delays)
+        with pytest.raises(StarvationError):
+            next(delays)

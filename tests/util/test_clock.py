@@ -1,0 +1,67 @@
+import threading
+import time
+
+import pytest
+
+from repro.util.clock import LogicalClock, SystemClock
+
+
+class TestLogicalClock:
+    def test_starts_at_given_time(self):
+        assert LogicalClock(5.0).now() == 5.0
+
+    def test_starts_at_zero_by_default(self):
+        assert LogicalClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = LogicalClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_sleep_advances_instead_of_blocking(self):
+        clock = LogicalClock()
+        started = time.monotonic()
+        clock.sleep(100.0)
+        assert time.monotonic() - started < 1.0
+        assert clock.now() == 100.0
+
+    def test_negative_sleep_is_clamped(self):
+        clock = LogicalClock(1.0)
+        clock.sleep(-5)
+        assert clock.now() == 1.0
+
+    def test_cannot_move_backwards(self):
+        with pytest.raises(ValueError):
+            LogicalClock().advance(-1)
+
+    def test_thread_safe_advancing(self):
+        clock = LogicalClock()
+
+        def bump():
+            for _ in range(1000):
+                clock.advance(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert clock.now() == 4000
+
+
+class TestSystemClock:
+    def test_now_is_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_blocks_approximately(self):
+        clock = SystemClock()
+        started = time.monotonic()
+        clock.sleep(0.02)
+        assert time.monotonic() - started >= 0.015
+
+    def test_zero_sleep_returns_immediately(self):
+        SystemClock().sleep(0)
+        SystemClock().sleep(-1)

@@ -1,0 +1,72 @@
+import threading
+
+import pytest
+
+from repro.util.histogram import LatencyHistogram
+
+
+def test_empty_histogram_has_no_percentiles():
+    hist = LatencyHistogram()
+    assert hist.percentile(0.95) is None
+    assert hist.mean() is None
+    assert hist.max() is None
+    assert len(hist) == 0
+
+
+def test_percentile_nearest_rank():
+    hist = LatencyHistogram()
+    for value in range(1, 101):
+        hist.record(value / 1000.0)
+    assert hist.percentile(0.95) == pytest.approx(0.095)
+    assert hist.percentile(0.50) == pytest.approx(0.050)
+    assert hist.percentile(1.0) == pytest.approx(0.100)
+
+
+def test_percentile_bounds_validation():
+    hist = LatencyHistogram()
+    hist.record(0.1)
+    with pytest.raises(ValueError):
+        hist.percentile(0.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+def test_mean_and_max():
+    hist = LatencyHistogram()
+    for value in (0.010, 0.020, 0.030):
+        hist.record(value)
+    assert hist.mean() == pytest.approx(0.020)
+    assert hist.max() == pytest.approx(0.030)
+
+
+def test_meets_sla():
+    hist = LatencyHistogram()
+    for _ in range(99):
+        hist.record(0.010)
+    hist.record(0.500)
+    assert hist.meets_sla(0.95, 0.100)
+    assert not hist.meets_sla(1.0, 0.100)
+
+
+def test_merge_folds_samples():
+    first, second = LatencyHistogram(), LatencyHistogram()
+    first.record(0.010)
+    second.record(0.020)
+    first.merge(second)
+    assert len(first) == 2
+    assert first.max() == pytest.approx(0.020)
+
+
+def test_concurrent_recording():
+    hist = LatencyHistogram()
+
+    def record():
+        for i in range(1000):
+            hist.record(i / 1e6)
+
+    threads = [threading.Thread(target=record) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(hist) == 4000

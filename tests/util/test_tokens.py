@@ -1,0 +1,33 @@
+import threading
+
+from repro.util.tokens import TokenGenerator
+
+
+def test_tokens_are_unique_and_increasing():
+    gen = TokenGenerator()
+    tokens = [gen.next() for _ in range(100)]
+    assert tokens == sorted(tokens)
+    assert len(set(tokens)) == 100
+
+
+def test_start_value():
+    gen = TokenGenerator(start=1000)
+    assert gen.next() == 1000
+
+
+def test_thread_safe_uniqueness():
+    gen = TokenGenerator()
+    seen = []
+    lock = threading.Lock()
+
+    def pull():
+        local = [gen.next() for _ in range(2000)]
+        with lock:
+            seen.extend(local)
+
+    threads = [threading.Thread(target=pull) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(seen) == len(set(seen)) == 16000
