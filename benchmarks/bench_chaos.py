@@ -1,0 +1,156 @@
+"""Chaos benchmark: BG under an injected fault schedule, zero staleness.
+
+The paper's consistency guarantee is only as strong as its failure
+story: Q-lease TTL expiry deletes the key an interrupted write session
+left behind (Section 4.2 condition 3), so a vanished cache can cause
+misses and deletes but never stale hits.  This benchmark drives the BG
+workload over a real TCP connection to a killable IQ server while a
+fault schedule drops connections at the commit phase, kills and
+cold-restarts the server, and freezes a lease holder -- then asserts
+**zero unpredictable reads** for every technique and reports the
+resilience counters (reconnects, retries, breaker trips, degraded
+operations, reconciled keys).
+"""
+
+import threading
+import time
+
+from _common import emit, format_table
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import HIGH_WRITE_MIX
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_server import IQServer
+from repro.faults import (
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FrozenLeaseHolder,
+    RestartableServer,
+)
+from repro.faults.injector import SITE_CLIENT_AFTER_SEND
+from repro.net import RemoteIQServer, ResilientIQServer
+
+TECHNIQUES = [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+
+HEADERS = [
+    "Technique", "Actions", "Stale", "Kills", "Reconnects", "Retries",
+    "Breaker trips", "Degraded R/W", "Reconciled", "p99 (ms)",
+]
+
+
+def commit_phase_drop_plan():
+    """Drop the connection after every 6th commit-phase send: the server
+    applied the operation, the client never hears back."""
+    return FaultPlan([FaultRule(
+        SITE_CLIENT_AFTER_SEND, FaultAction.DROP_CONNECTION,
+        every=6, count=None,
+        match=lambda ctx: ctx.get("command") in ("dar", "sar", "commit"),
+    )])
+
+
+def run_technique(technique, threads=4, duration=1.5, seed=13):
+    server = RestartableServer(lambda tid_start=1: IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=0.3, q_lease_ttl=0.3),
+        tid_start=tid_start,
+    ))
+    server.start()
+    injector = FaultInjector(commit_phase_drop_plan(), seed=seed)
+    remote = ResilientIQServer(
+        port=server.port,
+        config=NetConfig(
+            connect_timeout=1.0, operation_timeout=2.0, max_retries=2,
+            breaker_failure_threshold=3, breaker_cooldown=0.02,
+        ),
+        backoff_config=BackoffConfig(
+            initial_delay=0.002, max_delay=0.02, jitter=0.0
+        ),
+        injector=injector,
+    )
+    system = build_bg_system(
+        members=60, friends_per_member=6, resources_per_member=2,
+        technique=technique, leased=True, mix=HIGH_WRITE_MIX,
+        iq_server=remote, seed=seed,
+    )
+
+    freezer_conn = RemoteIQServer(port=server.port)
+    freezer = FrozenLeaseHolder(freezer_conn)
+    freezer.freeze(["PendingFriends0", "Friends1"])
+
+    def controller():
+        time.sleep(duration * 0.25)
+        server.kill()
+        time.sleep(duration * 0.1)
+        server.start()
+
+    chaos = threading.Thread(target=controller)
+    chaos.start()
+    result = system.runner.run(threads=threads, duration=duration)
+    chaos.join()
+    freezer.zombie_commit()
+
+    stale = system.log.unpredictable_reads()
+    client = system.consistency_client
+    row = [
+        technique.name.lower(),
+        result.actions,
+        stale,
+        server.kills,
+        remote.reconnects,
+        remote.retries,
+        remote.circuit.times_opened,
+        "{}/{}".format(client.degraded_reads, client.degraded_writes),
+        remote.journal.total_reconciled,
+        "{:.2f}".format(result.latency.percentile(0.99) * 1000),
+    ]
+    summary = {
+        "stale": stale,
+        "errors": result.errors,
+        "actions": result.actions,
+        "kills": server.kills,
+        "faults_fired": injector.fired(),
+    }
+    freezer_conn.close()
+    remote.close()
+    server.kill()
+    return row, summary
+
+
+def run_experiment(threads=4, duration=1.5):
+    rows, summaries = [], []
+    for technique in TECHNIQUES:
+        row, summary = run_technique(technique, threads, duration)
+        rows.append(row)
+        summaries.append(summary)
+    return rows, summaries
+
+
+def test_chaos(benchmark):
+    rows, summaries = benchmark.pedantic(
+        run_experiment, kwargs={"threads": 4, "duration": 1.2},
+        iterations=1, rounds=1,
+    )
+    table = format_table(
+        "Chaos: BG over a faulty network and a killable cache server",
+        HEADERS, rows,
+    )
+    emit("chaos", table)
+
+    for summary in summaries:
+        # The headline assertion: zero stale reads under chaos.
+        assert summary["stale"] == 0
+        assert summary["errors"] == 0
+        assert summary["actions"] > 0
+        # The schedule really did bite.
+        assert summary["kills"] >= 1
+        assert summary["faults_fired"] > 0
+
+
+if __name__ == "__main__":
+    rows, _summaries = run_experiment(threads=8, duration=3.0)
+    emit("chaos", format_table(
+        "Chaos: BG over a faulty network and a killable cache server",
+        HEADERS, rows,
+    ))

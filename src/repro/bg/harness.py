@@ -57,13 +57,19 @@ def build_bg_system(members=200, friends_per_member=10,
                     delete_timing=DeleteTiming.DURING_TRANSACTION,
                     serve_pending_versions=True, validate=True, seed=42,
                     comments_per_resource=1, hotspot=(0.2, 0.7),
-                    backoff=None, hot_writes=False):
+                    backoff=None, hot_writes=False, iq_server=None):
     """Build and load a full BG deployment; returns a :class:`BGSystem`.
 
     ``leased`` selects the IQ framework; otherwise the unleased baseline
     (Twemcache with Facebook read leases) runs the same technique and
     exhibits the paper's races.  Defaults are laptop-scale; the Table 7
     benchmarks pass the paper's 10K/100K-member graph shapes (scaled).
+
+    ``iq_server`` substitutes any object with the IQ command surface for
+    the in-process :class:`IQServer` -- e.g. a
+    :class:`~repro.net.resilient.ResilientIQServer` dialing a remote
+    cache, which is how the chaos benchmark runs BG over a killable
+    server (``leased`` only).
     """
     from repro.bg.workload import LOW_WRITE_MIX
 
@@ -81,7 +87,7 @@ def build_bg_system(members=200, friends_per_member=10,
     lease_config = LeaseConfig(serve_pending_versions=serve_pending_versions)
 
     if leased:
-        server = IQServer(
+        server = iq_server if iq_server is not None else IQServer(
             kvs_config=KVSConfig(), lease_config=lease_config
         )
         iq_client = IQClient(server, backoff=backoff)

@@ -59,6 +59,34 @@ class BackoffConfig:
 
 
 @dataclass
+class NetConfig:
+    """Resilient networked-client behaviour (:mod:`repro.net.resilient`)."""
+
+    #: Seconds allowed for establishing a TCP connection.
+    connect_timeout: float = 2.0
+
+    #: Per-operation deadline, seconds.  A request/response exchange that
+    #: takes longer raises :class:`~repro.errors.OperationTimeout`.
+    operation_timeout: float = 5.0
+
+    #: How many times an *idempotent* operation is retried on a fresh
+    #: connection after a connection loss or timeout.  Non-idempotent
+    #: operations (``qaread``, ``sar``, ``iq_delta``, storage commands)
+    #: are never blindly retried.
+    max_retries: int = 3
+
+    #: Consecutive failures that trip the circuit breaker open.
+    breaker_failure_threshold: int = 3
+
+    #: Seconds the breaker stays open before letting one probe through.
+    breaker_cooldown: float = 0.5
+
+    #: Delete keys journaled during degraded operation when the circuit
+    #: closes again (delete-on-recover reconciliation).
+    reconcile_on_recover: bool = True
+
+
+@dataclass
 class BGConfig:
     """Parameters of the BG benchmark's social graph and SLA.
 
@@ -85,6 +113,7 @@ class ReproConfig:
     kvs: KVSConfig = field(default_factory=KVSConfig)
     lease: LeaseConfig = field(default_factory=LeaseConfig)
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
+    net: NetConfig = field(default_factory=NetConfig)
     bg: BGConfig = field(default_factory=BGConfig)
 
 

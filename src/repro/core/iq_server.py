@@ -137,7 +137,8 @@ def apply_delta(value, op, operand):
 class IQServer:
     """The IQ-Twemcached server."""
 
-    def __init__(self, kvs_config=None, lease_config=None, clock=None):
+    def __init__(self, kvs_config=None, lease_config=None, clock=None,
+                 tid_start=1):
         self.clock = clock or SystemClock()
         self.stats = CacheStats()
         self.store = CacheStore(
@@ -147,7 +148,10 @@ class IQServer:
         self.leases = LeaseTable(
             self.lease_config, clock=self.clock, stats=self.stats
         )
-        self._tids = TokenGenerator(start=1)
+        # ``tid_start`` lets a restarted server incarnation mint TIDs from
+        # a fresh epoch so they cannot collide with sessions that were in
+        # flight against its predecessor (repro.faults.chaos).
+        self._tids = TokenGenerator(start=tid_start)
         self._sessions = {}
         self._lock = threading.RLock()
         self.leases.on_q_expired = self._handle_q_expiry

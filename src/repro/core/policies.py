@@ -25,6 +25,7 @@ import enum
 
 from repro.config import BackoffConfig
 from repro.core.session import AcquisitionMode, SessionOutcome, SessionRunner
+from repro.errors import CacheUnavailableError, DegradedModeActive
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -74,33 +75,126 @@ class DeleteTiming(enum.Enum):
 # ---------------------------------------------------------------------------
 
 class _IQClientBase:
-    """Shared structure of the three IQ consistency clients."""
+    """Shared structure of the three IQ consistency clients.
+
+    **Degraded mode** (``degraded_fallback``, on by default): when the
+    KVS becomes unreachable -- :class:`~repro.errors.CacheUnavailableError`
+    from a lost connection, a timeout, or an open circuit breaker -- the
+    client keeps serving correctly without it:
+
+    * reads bypass the cache and compute straight from the SQL engine
+      (correct but slower: the paper's degradation contract);
+    * writes run their RDBMS transaction against a plain connection and
+      *journal* the impacted keys.  When the cache becomes reachable
+      again the journaled keys are deleted before any regular operation
+      runs (delete-on-recover, see
+      :class:`repro.net.resilient.ResilientIQServer`), so a value cached
+      before the outage can never be served stale after it.
+
+    A cache failure *after* the RDBMS commit of a leased session does not
+    re-run the transaction: the impacted keys are journaled and the
+    session's Q leases are left to expire server-side, which deletes the
+    quarantined keys (Section 4.2 condition 3) and preserves safety even
+    if the journal never reaches the server.
+
+    With ``degraded_fallback=False`` the fallback raises
+    :class:`~repro.errors.DegradedModeActive` instead.
+    """
 
     def __init__(self, client, connection_factory, mode=AcquisitionMode.DURING,
-                 backoff=None, clock=None):
+                 backoff=None, clock=None, degraded_fallback=True):
         self.client = client
         self.connection_factory = connection_factory
         self.mode = mode
         self.runner = SessionRunner(
             client, connection_factory, backoff=backoff, clock=clock
         )
+        self.degraded_fallback = degraded_fallback
+        #: reads served from the SQL engine because the cache was away
+        self.degraded_reads = 0
+        #: write sessions that ran SQL-only
+        self.degraded_writes = 0
+        #: sessions whose post-commit KVS phase was cut short
+        self.detached_sessions = 0
+        #: union of keys journaled for delete-on-recover reconciliation
+        self.degraded_keys = set()
 
     @property
     def is_strongly_consistent(self):
         return True
 
     def read(self, key, compute):
-        """Read session: cache hit, or I-lease-guarded RDBMS computation."""
-        return self.client.read_through(key, compute)
+        """Read session: cache hit, or I-lease-guarded RDBMS computation.
+
+        Falls back to ``compute()`` (the SQL engine) when the cache is
+        unreachable -- always correct, merely slower.
+        """
+        try:
+            return self.client.read_through(key, compute)
+        except CacheUnavailableError as exc:
+            if not self.degraded_fallback:
+                raise DegradedModeActive(
+                    "read of {!r} with cache unavailable: {}".format(key, exc)
+                ) from exc
+            self.degraded_reads += 1
+            return compute()
 
     def write(self, sql_body, changes):
+        """Write session with SQL-only fallback when the cache is away."""
+        try:
+            return self._write_sessions(sql_body, changes)
+        except CacheUnavailableError as exc:
+            return self._write_degraded(sql_body, changes, exc)
+
+    def _write_sessions(self, sql_body, changes):
         raise NotImplementedError
+
+    # -- degraded-mode plumbing ----------------------------------------------
+
+    def _journal(self, changes):
+        """Record keys whose cached value may now be stale."""
+        keys = [change.key for change in changes]
+        journal = getattr(self.client.server, "journal", None)
+        if journal is not None:
+            journal.add(keys)
+        self.degraded_keys.update(keys)
+
+    def _detach_after_commit(self, session, changes):
+        """The cache vanished after ``commit_sql``: journal and let the
+        session's Q leases expire server-side (never re-run the SQL)."""
+        self._journal(changes)
+        session.detach_kvs()
+        self.detached_sessions += 1
+
+    def _write_degraded(self, sql_body, changes, cause):
+        """Run the write's RDBMS transaction with no KVS participation."""
+        if not self.degraded_fallback:
+            raise DegradedModeActive(
+                "write with cache unavailable: {}".format(cause)
+            ) from cause
+        connection = self.connection_factory()
+        try:
+            connection.begin()
+            result = sql_body(_BaselineSession(connection))
+            connection.commit()
+        except Exception:
+            if connection.in_transaction:
+                connection.rollback()
+            raise
+        finally:
+            connection.close()
+        # Journal *after* the commit: a concurrent reconciliation that
+        # deleted the keys pre-commit could let a reader re-cache the
+        # pre-transaction value and leave it stale.
+        self._journal(changes)
+        self.degraded_writes += 1
+        return SessionOutcome(result, restarts=0)
 
 
 class IQInvalidateClient(_IQClientBase):
     """Section 3.2: QaR each key, run the transaction, DaR at commit."""
 
-    def write(self, sql_body, changes):
+    def _write_sessions(self, sql_body, changes):
         def body(session):
             if self.mode == AcquisitionMode.PRIOR:
                 for change in changes:
@@ -113,7 +207,10 @@ class IQInvalidateClient(_IQClientBase):
                 for change in changes:
                     session.qar(change.key)
             session.commit_sql()
-            session.dar()
+            try:
+                session.dar()
+            except CacheUnavailableError:
+                self._detach_after_commit(session, changes)
             return result
 
         return self.runner.run(body)
@@ -132,7 +229,7 @@ class IQRefreshClient(_IQClientBase):
     def _is_invalidation(change):
         return change.invalidate or change.refresher is None
 
-    def write(self, sql_body, changes):
+    def _write_sessions(self, sql_body, changes):
         def body(session):
             new_values = {}
 
@@ -153,12 +250,15 @@ class IQRefreshClient(_IQClientBase):
                 result = sql_body(session)
                 acquire_and_compute()
             session.commit_sql()
-            for change in changes:
-                if not self._is_invalidation(change):
-                    session.sar(change.key, new_values[change.key])
-            # Applies registered invalidations and releases any leases
-            # still held (a no-op when every key went through SaR).
-            session.commit_kvs()
+            try:
+                for change in changes:
+                    if not self._is_invalidation(change):
+                        session.sar(change.key, new_values[change.key])
+                # Applies registered invalidations and releases any leases
+                # still held (a no-op when every key went through SaR).
+                session.commit_kvs()
+            except CacheUnavailableError:
+                self._detach_after_commit(session, changes)
             return result
 
         return self.runner.run(body)
@@ -167,7 +267,7 @@ class IQRefreshClient(_IQClientBase):
 class IQDeltaClient(_IQClientBase):
     """Section 4.2.1: IQ-delta before commit, Commit(TID) after."""
 
-    def write(self, sql_body, changes):
+    def _write_sessions(self, sql_body, changes):
         def body(session):
             def propose():
                 for change in changes:
@@ -186,7 +286,10 @@ class IQDeltaClient(_IQClientBase):
                 result = sql_body(session)
                 propose()
             session.commit_sql()
-            session.commit_kvs()
+            try:
+                session.commit_kvs()
+            except CacheUnavailableError:
+                self._detach_after_commit(session, changes)
             return result
 
         return self.runner.run(body)

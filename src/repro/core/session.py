@@ -23,6 +23,7 @@ import enum
 
 from repro.config import BackoffConfig
 from repro.errors import (
+    CacheUnavailableError,
     QuarantinedError,
     SessionAbortedError,
     StarvationError,
@@ -114,10 +115,25 @@ class WriteSession:
 
     # -- cleanup ----------------------------------------------------------------------
 
+    def detach_kvs(self):
+        """Give up on this session's KVS side without contacting the server.
+
+        Used when the cache became unreachable after the RDBMS commit:
+        the session's Q leases are left to expire server-side, which
+        deletes the quarantined keys (Section 4.2 condition 3) and keeps
+        the cache safe without a reachable connection.
+        """
+        self._finished = True
+
     def abandon(self):
         """Release everything after a failure: KVS leases + RDBMS rollback."""
         if not self._finished:
-            self.kvs.abort(self.tid)
+            try:
+                self.kvs.abort(self.tid)
+            except CacheUnavailableError:
+                # Unreachable cache: the leases expire on their own and
+                # the server discards the session's proposals.
+                pass
             self._finished = True
         self.rollback_sql()
 

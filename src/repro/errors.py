@@ -161,3 +161,50 @@ class TransactionStateError(SQLError):
 
 class ProtocolError(ReproError):
     """Malformed request or response on the memcached wire protocol."""
+
+
+# ---------------------------------------------------------------------------
+# Cache availability errors
+# ---------------------------------------------------------------------------
+
+class CacheUnavailableError(ReproError):
+    """Base class: the KVS could not be reached (or must not be used).
+
+    The consistency clients catch this class to enter *degraded mode*:
+    reads are served straight from the SQL engine and writes skip their
+    KVS operations, journaling the impacted keys for delete-on-recover
+    reconciliation.  Correctness is preserved -- the cache either holds
+    nothing for the key or is repaired before it is consulted again --
+    only performance degrades, which is the paper's failure contract.
+    """
+
+
+class ConnectionLostError(CacheUnavailableError):
+    """The TCP connection to the cache server failed or is poisoned.
+
+    Once a request/response exchange breaks mid-frame the stream can no
+    longer be trusted (a later reader would consume garbage), so the
+    connection is marked dead and every subsequent call fails with this
+    error until a fresh connection is established.
+    """
+
+
+class OperationTimeout(CacheUnavailableError):
+    """A single cache operation exceeded its per-operation deadline."""
+
+
+class CircuitOpenError(CacheUnavailableError):
+    """The circuit breaker is open; the cache is not being contacted.
+
+    Raised without touching the network so callers fail fast into
+    degraded mode instead of stacking timeouts behind a dead server.
+    """
+
+
+class DegradedModeActive(CacheUnavailableError):
+    """A cache-dependent operation was refused while running degraded.
+
+    Raised by consistency clients configured with ``degraded_fallback``
+    disabled: instead of silently serving from the SQL engine they
+    surface the degradation to the application.
+    """

@@ -54,6 +54,11 @@ class CacheStore:
         #: Called with the evicted/expired entry; the IQ server hooks this
         #: to drop leases attached to keys that vanish underneath them.
         self.on_entry_removed = None
+        #: Optional :class:`repro.faults.FaultInjector`; arms the
+        #: ``store.get``/``store.set``/``store.delete`` sites (temporal
+        #: faults: a slow or frozen cache node).  ``None`` costs one
+        #: attribute check per command.
+        self.fault_injector = None
 
     # -- validation --------------------------------------------------------
 
@@ -159,6 +164,8 @@ class CacheStore:
     def get(self, key):
         """``get``: return ``(value, flags)`` or ``None`` on a miss."""
         self._check_key(key)
+        if self.fault_injector is not None:
+            self.fault_injector.perform("store.get", key=key)
         with self._lock:
             self.stats.incr("cmd_get")
             entry = self._lookup_live(key)
@@ -197,6 +204,8 @@ class CacheStore:
         """``set``: unconditionally store the value."""
         self._check_key(key)
         self._check_value(value)
+        if self.fault_injector is not None:
+            self.fault_injector.perform("store.set", key=key)
         with self._lock:
             self.stats.incr("cmd_set")
             entry = self._lookup_live(key)
@@ -292,6 +301,8 @@ class CacheStore:
     def delete(self, key):
         """``delete``: remove the value; returns True when a value existed."""
         self._check_key(key)
+        if self.fault_injector is not None:
+            self.fault_injector.perform("store.delete", key=key)
         with self._lock:
             entry = self._lookup_live(key)
             if entry is None:

@@ -13,10 +13,28 @@ Whalin client.  This package provides the equivalent end-to-end path:
 * :mod:`repro.net.client` -- :class:`RemoteIQServer`, a client with the
   same method surface as the in-process server, so
   :class:`~repro.core.iq_client.IQClient` (and everything built on it)
-  runs unchanged over a real socket.
+  runs unchanged over a real socket;
+* :mod:`repro.net.resilient` -- :class:`ResilientIQServer`, the
+  fault-tolerant wrapper: per-operation timeouts, automatic reconnect,
+  idempotency-aware retry, a circuit breaker, and delete-on-recover
+  reconciliation (see ``docs/FAULTS.md``).
 """
 
 from repro.net.client import RemoteIQServer
+from repro.net.resilient import (
+    CircuitBreaker,
+    CircuitState,
+    ReconciliationJournal,
+    ResilientIQServer,
+)
 from repro.net.server import IQTCPServer, serve_background
 
-__all__ = ["IQTCPServer", "RemoteIQServer", "serve_background"]
+__all__ = [
+    "CircuitBreaker",
+    "CircuitState",
+    "IQTCPServer",
+    "ReconciliationJournal",
+    "RemoteIQServer",
+    "ResilientIQServer",
+    "serve_background",
+]

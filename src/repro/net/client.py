@@ -12,26 +12,63 @@ thread performs better.
 import socket
 import threading
 
-from repro.errors import ProtocolError, QuarantinedError
+from repro.errors import (
+    ConnectionLostError,
+    OperationTimeout,
+    ProtocolError,
+    QuarantinedError,
+)
 from repro.core.iq_server import IQGetResult, QaReadResult
 from repro.kvs.store import StoreResult
 from repro.net.protocol import CRLF, LineReader
 
 
 class RemoteIQServer:
-    """Client-side stub for a networked IQ-Twemcached."""
+    """Client-side stub for a networked IQ-Twemcached.
 
-    def __init__(self, host="127.0.0.1", port=11211, timeout=10.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    A socket error or timeout mid-exchange leaves the framed stream
+    desynchronized -- the bytes a later caller would read could belong to
+    the interrupted reply.  The connection is therefore *poisoned* on the
+    first such failure: the socket is closed, the typed error
+    (:class:`~repro.errors.ConnectionLostError` /
+    :class:`~repro.errors.OperationTimeout`) is raised, and every
+    subsequent call fails immediately with :class:`ConnectionLostError`
+    until the caller builds a fresh connection (see
+    :class:`repro.net.resilient.ResilientIQServer`, which does exactly
+    that automatically).
+    """
+
+    def __init__(self, host="127.0.0.1", port=11211, timeout=10.0,
+                 injector=None):
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except socket.timeout as exc:
+            raise OperationTimeout(
+                "connect to {}:{} timed out".format(host, port)
+            ) from exc
+        except OSError as exc:
+            raise ConnectionLostError(
+                "cannot connect to {}:{}: {}".format(host, port, exc)
+            ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._reader = LineReader(self._sock)
+        self._reader = LineReader(self._sock, injector=injector)
         self._lock = threading.Lock()
+        self._injector = injector
+        self._broken = False
+
+    @property
+    def broken(self):
+        """True once the connection is poisoned and must be replaced."""
+        return self._broken
 
     def close(self):
-        try:
-            self._sock.sendall(b"quit" + CRLF)
-        except OSError:
-            pass
+        if not self._broken:
+            try:
+                self._sock.sendall(b"quit" + CRLF)
+            except OSError:
+                pass
         self._sock.close()
 
     def __enter__(self):
@@ -43,30 +80,107 @@ class RemoteIQServer:
 
     # -- plumbing ------------------------------------------------------------
 
+    def _poison(self, exc, doing):
+        """Mark the connection dead and raise the typed failure."""
+        self._broken = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if isinstance(exc, socket.timeout):
+            raise OperationTimeout(
+                "timed out while {}".format(doing)
+            ) from exc
+        raise ConnectionLostError(
+            "connection lost while {}: {}".format(doing, exc)
+        ) from exc
+
+    def _check_usable(self):
+        if self._broken:
+            raise ConnectionLostError(
+                "connection is poisoned by an earlier failure; reconnect"
+            )
+
+    def _inject_send(self, doing):
+        from repro.faults.injector import (
+            SITE_CLIENT_SEND,
+            FaultAction,
+        )
+
+        rule = self._injector.perform(SITE_CLIENT_SEND, command=doing)
+        if rule is not None and rule.action is FaultAction.DROP_CONNECTION:
+            self._poison(
+                ConnectionResetError("injected drop before send"), "sending"
+            )
+
+    def _inject_after_send(self, doing):
+        from repro.faults.injector import (
+            SITE_CLIENT_AFTER_SEND,
+            FaultAction,
+        )
+
+        rule = self._injector.perform(SITE_CLIENT_AFTER_SEND, command=doing)
+        if rule is not None and rule.action is FaultAction.DROP_CONNECTION:
+            self._poison(
+                ConnectionResetError("injected drop after send"),
+                "awaiting reply",
+            )
+
+    def _exchange(self, payload, doing):
+        """Send the request bytes and return the first reply line."""
+        self._check_usable()
+        if self._injector is not None:
+            self._inject_send(doing)
+        try:
+            self._sock.sendall(payload)
+        except OSError as exc:
+            self._poison(exc, doing)
+        if self._injector is not None:
+            self._inject_after_send(doing)
+        return self._read_line(doing)
+
+    def _read_line(self, doing):
+        try:
+            return self._reader.read_line()
+        except (OSError, ConnectionError) as exc:
+            self._poison(exc, doing)
+
+    def _read_bytes(self, count, doing):
+        try:
+            return self._reader.read_bytes(count)
+        except ProtocolError:
+            # The stream is desynchronized; nobody may read from it again.
+            self._broken = True
+            self._sock.close()
+            raise
+        except (OSError, ConnectionError) as exc:
+            self._poison(exc, doing)
+
     def _roundtrip(self, line, data=None):
         """Send one command (optionally with a data block); read one line."""
         payload = line.encode() + CRLF
         if data is not None:
             payload += data + CRLF
         with self._lock:
-            self._sock.sendall(payload)
-            return self._reader.read_line()
+            return self._exchange(payload, line.split(" ", 1)[0])
 
     def _roundtrip_value(self, line, data=None):
         """Round trip for commands that may reply ``VALUE``...``END``."""
         payload = line.encode() + CRLF
         if data is not None:
             payload += data + CRLF
+        doing = line.split(" ", 1)[0]
         with self._lock:
-            self._sock.sendall(payload)
-            first = self._reader.read_line()
+            first = self._exchange(payload, doing)
             if not first.startswith(b"VALUE "):
                 return first, None
             parts = first.split()
             size = int(parts[3])
-            value = self._reader.read_bytes(size)
-            end = self._reader.read_line()
+            value = self._read_bytes(size, doing)
+            end = self._read_line(doing)
             if end != b"END":
+                self._broken = True
+                self._sock.close()
                 raise ProtocolError("missing END after VALUE block")
             return first, value
 
@@ -137,6 +251,10 @@ class RemoteIQServer:
         return self._roundtrip("dar {}".format(tid)) == b"OK"
 
     def iq_delta(self, tid, key, op, operand):
+        # incr/decr operands arrive as ints from the in-process API; the
+        # wire carries them as an ASCII data block, like memcached does.
+        if not isinstance(operand, bytes):
+            operand = str(operand).encode()
         reply = self._roundtrip(
             "iqdelta {} {} {} {}".format(tid, key, op, len(operand)), operand
         )
@@ -225,14 +343,15 @@ class RemoteIQServer:
 
     def stats(self):
         with self._lock:
-            self._sock.sendall(b"stats" + CRLF)
+            first = self._exchange(b"stats" + CRLF, "stats")
             result = {}
+            line = first
             while True:
-                line = self._reader.read_line()
                 if line == b"END":
                     return result
                 _stat, name, value = line.decode().split()
                 result[name] = int(value)
+                line = self._read_line("stats")
 
     def version(self):
         reply = self._roundtrip("version")

@@ -41,18 +41,49 @@ DATA_COMMANDS = {
 
 
 class LineReader:
-    """Incremental reader over a socket-like object with ``recv``."""
+    """Incremental reader over a socket-like object with ``recv``.
 
-    def __init__(self, sock, chunk_size=65536):
+    ``injector`` is an optional :class:`repro.faults.FaultInjector`; when
+    installed, every refill fires the ``net.recv`` site, which can drop
+    the connection, delay, or corrupt the incoming chunk.  The default
+    path carries only a ``None`` check.
+    """
+
+    def __init__(self, sock, chunk_size=65536, injector=None):
         self._sock = sock
         self._buffer = b""
         self._chunk_size = chunk_size
+        self._injector = injector
 
     def _fill(self):
+        if self._injector is not None:
+            self._inject_recv()
         chunk = self._sock.recv(self._chunk_size)
         if not chunk:
             raise ConnectionError("peer closed the connection")
+        if self._injector is not None and self._corrupt_armed:
+            from repro.faults.injector import corrupt_bytes
+
+            chunk = corrupt_bytes(chunk)
+            self._corrupt_armed = False
         self._buffer += chunk
+
+    _corrupt_armed = False
+
+    def _inject_recv(self):
+        from repro.faults.injector import SITE_NET_RECV, FaultAction
+
+        rule = self._injector.perform(SITE_NET_RECV)
+        if rule is None:
+            return
+        if rule.action is FaultAction.DROP_CONNECTION:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            raise ConnectionError("injected connection drop (net.recv)")
+        if rule.action is FaultAction.CORRUPT:
+            self._corrupt_armed = True
 
     def read_line(self):
         """Read one CRLF-terminated line (returned without the CRLF)."""

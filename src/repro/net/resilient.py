@@ -1,0 +1,388 @@
+"""ResilientIQServer: fault-tolerant networked IQ command surface.
+
+Wraps :class:`~repro.net.client.RemoteIQServer` with the robustness layer
+the paper's degradation contract needs end-to-end over TCP:
+
+* **per-operation timeouts** -- every exchange runs against a socket
+  deadline (``NetConfig.operation_timeout``);
+* **automatic reconnect** -- a poisoned connection is discarded and the
+  next call dials a fresh one, pacing attempts with the existing
+  :mod:`repro.util.backoff` policies;
+* **idempotency-aware retry** -- operations whose duplicate execution is
+  harmless (``iq_get``, ``get``, ``delete``, ``release_i``, ``dar``,
+  ``commit``, ``abort``, ...) are retried on a fresh connection after a
+  connection loss; operations that are *not* idempotent (``qaread``,
+  ``sar``, ``iq_delta``, ``qar``, the storage commands) are never blindly
+  retried -- an ambiguous outcome surfaces as a typed error and safety
+  rests on the server's finite Q-lease lifetime (an interrupted write
+  session's leases expire and the key is deleted, Section 4.2);
+* **circuit breaker** -- after ``breaker_failure_threshold`` consecutive
+  failures the circuit opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` (no network I/O), which the
+  consistency clients translate into *degraded mode*: reads served from
+  the SQL engine, writes applied to SQL only with their keys journaled;
+* **delete-on-recover reconciliation** -- keys written while degraded are
+  recorded in :attr:`journal`; before the first operation of a recovered
+  circuit executes, those keys are deleted from the cache so a stale
+  pre-partition value can never be served again.
+
+The class exposes the full IQ + memcached method surface, so
+``IQClient`` and everything above it run unchanged.
+"""
+
+import threading
+
+from repro.config import BackoffConfig, NetConfig
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    OperationTimeout,
+)
+from repro.net.client import RemoteIQServer
+from repro.util.backoff import ExponentialBackoff
+from repro.util.clock import SystemClock
+
+
+class CircuitState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Classic three-state breaker on consecutive failures.
+
+    CLOSED -> (``failure_threshold`` consecutive failures) -> OPEN ->
+    (``cooldown`` elapses, one probe allowed) -> HALF_OPEN ->
+    success -> CLOSED / failure -> OPEN again.
+    """
+
+    def __init__(self, failure_threshold=3, cooldown=0.5, clock=None):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.clock = clock or SystemClock()
+        self._lock = threading.Lock()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = None
+        #: lifetime counters for reporting
+        self.times_opened = 0
+        self.times_recovered = 0
+
+    @property
+    def state(self):
+        with self._lock:
+            return self._state
+
+    def allow(self):
+        """Gate one call attempt.
+
+        Raises :class:`CircuitOpenError` while the circuit is open and
+        cooling down.  After the cooldown, transitions to HALF_OPEN and
+        lets the caller through as the probe.
+        """
+        with self._lock:
+            if self._state == CircuitState.OPEN:
+                if self.clock.now() - self._opened_at < self.cooldown:
+                    raise CircuitOpenError(
+                        "circuit open after {} consecutive failures".format(
+                            self._consecutive_failures
+                        )
+                    )
+                self._state = CircuitState.HALF_OPEN
+
+    def record_failure(self):
+        with self._lock:
+            self._consecutive_failures += 1
+            tripped = (
+                self._state == CircuitState.HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            )
+            if tripped and self._state != CircuitState.OPEN:
+                self._state = CircuitState.OPEN
+                self.times_opened += 1
+            if self._state == CircuitState.OPEN:
+                self._opened_at = self.clock.now()
+
+    def record_success(self):
+        """Note a successful call; returns True when this closed a
+        previously-open circuit (the recovery moment)."""
+        with self._lock:
+            recovered = self._state != CircuitState.CLOSED
+            self._state = CircuitState.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            if recovered:
+                self.times_recovered += 1
+            return recovered
+
+
+class ReconciliationJournal:
+    """Keys whose cached value may be stale after degraded-mode writes.
+
+    Thread-safe set semantics; :meth:`drain` atomically empties it so the
+    recovery path can delete the keys, re-adding any it fails to reach.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._keys = set()
+        self.total_journaled = 0
+        self.total_reconciled = 0
+
+    def add(self, keys):
+        with self._lock:
+            for key in keys:
+                if key not in self._keys:
+                    self._keys.add(key)
+                    self.total_journaled += 1
+
+    def drain(self):
+        with self._lock:
+            keys = sorted(self._keys)
+            self._keys.clear()
+            return keys
+
+    def peek(self):
+        with self._lock:
+            return sorted(self._keys)
+
+    def mark_reconciled(self, count):
+        with self._lock:
+            self.total_reconciled += count
+
+    def __len__(self):
+        with self._lock:
+            return len(self._keys)
+
+    def __bool__(self):
+        return len(self) > 0
+
+
+#: Operations whose duplicate execution cannot violate consistency.
+#: ``dar``/``commit``/``abort`` are idempotent because the server pops the
+#: session state on first application (a replay is a no-op); ``delete`` is
+#: naturally idempotent; ``iq_get`` re-issues at worst a fresh lease.
+_IDEMPOTENT = frozenset({
+    "gen_id", "iq_get", "release_i", "dar", "commit", "abort",
+    "get", "gets", "delete", "touch", "flush_all", "stats", "version",
+})
+
+#: Never blind-retried: replaying would double-apply a change (``sar``,
+#: ``iq_delta``, storage commands) or re-register work under an outcome
+#: the client cannot see (``qar``, ``qaread``).
+_NON_IDEMPOTENT = frozenset({
+    "qar", "qaread", "sar", "iq_set", "iq_delta", "propose_refresh",
+    "set", "add", "replace", "append", "prepend", "cas", "incr", "decr",
+})
+
+
+class ResilientIQServer:
+    """Self-healing drop-in for :class:`RemoteIQServer`."""
+
+    def __init__(self, host="127.0.0.1", port=11211, config=None,
+                 backoff_config=None, clock=None, injector=None):
+        self.host = host
+        self.port = port
+        self.config = config or NetConfig()
+        self.clock = clock or SystemClock()
+        self._injector = injector
+        self._backoff = ExponentialBackoff(
+            backoff_config or BackoffConfig(
+                initial_delay=0.01, max_delay=0.2, max_attempts=None
+            )
+        )
+        self.circuit = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            cooldown=self.config.breaker_cooldown,
+            clock=self.clock,
+        )
+        self.journal = ReconciliationJournal()
+        self._lock = threading.RLock()
+        self._conn = None
+        #: lifetime counters for reporting
+        self.reconnects = 0
+        self.retries = 0
+        self.failures = 0
+
+    # -- connection management ----------------------------------------------
+
+    def _connect(self):
+        """Return a live connection, dialing a new one if needed."""
+        if self._conn is not None and not self._conn.broken:
+            return self._conn
+        self._conn = None
+        conn = RemoteIQServer(
+            self.host, self.port,
+            timeout=self.config.operation_timeout,
+            injector=self._injector,
+        )
+        self._conn = conn
+        self.reconnects += 1
+        return conn
+
+    def _discard(self):
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self):
+        with self._lock:
+            self._discard()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    # -- the resilient call path ---------------------------------------------
+
+    def _call(self, name, *args):
+        """Run one operation with timeout/reconnect/retry/breaker logic."""
+        retriable = name in _IDEMPOTENT
+        attempts_left = self.config.max_retries if retriable else 0
+        delays = None
+        with self._lock:
+            while True:
+                self.circuit.allow()
+                try:
+                    conn = self._connect()
+                    if self.config.reconcile_on_recover and self.journal:
+                        self._reconcile(conn)
+                    result = getattr(conn, name)(*args)
+                except (ConnectionLostError, OperationTimeout):
+                    self._discard()
+                    self.circuit.record_failure()
+                    self.failures += 1
+                    if attempts_left <= 0:
+                        raise
+                    attempts_left -= 1
+                    self.retries += 1
+                    if delays is None:
+                        delays = self._backoff.delays()
+                    self.clock.sleep(next(delays))
+                    continue
+                self.circuit.record_success()
+                return result
+
+    def _reconcile(self, conn):
+        """Delete-on-recover: purge keys written while the cache was
+        unreachable *before* any regular operation touches it.
+
+        Runs on the raw connection so a reconciliation failure surfaces
+        as the current call's connection failure (breaker accounting
+        included) rather than recursing through :meth:`_call`.
+        """
+        keys = self.journal.drain()
+        done = 0
+        try:
+            for key in keys:
+                conn.delete(key)
+                done += 1
+        except (ConnectionLostError, OperationTimeout):
+            # Put the unfinished tail back for the next recovery.
+            self.journal.add(keys[done:])
+            raise
+        finally:
+            self.journal.mark_reconciled(done)
+
+    # -- IQ command surface ---------------------------------------------------
+
+    def gen_id(self):
+        return self._call("gen_id")
+
+    def iq_get(self, key, session=None):
+        return self._call("iq_get", key, session)
+
+    def iq_set(self, key, value, token):
+        # An unstored IQset is always safe (the server ignores sets whose
+        # lease was voided; the reader still returns its computed value),
+        # so a connection failure degrades to "not cached" instead of
+        # failing the read session.
+        try:
+            return self._call("iq_set", key, value, token)
+        except (ConnectionLostError, OperationTimeout, CircuitOpenError):
+            return False
+
+    def release_i(self, key, token):
+        # Best-effort: an unreleased I lease simply expires server-side.
+        try:
+            return self._call("release_i", key, token)
+        except (ConnectionLostError, OperationTimeout, CircuitOpenError):
+            return False
+
+    def qaread(self, key, tid):
+        return self._call("qaread", key, tid)
+
+    def sar(self, key, value, tid):
+        return self._call("sar", key, value, tid)
+
+    def propose_refresh(self, key, value, tid):
+        return self._call("propose_refresh", key, value, tid)
+
+    def qar(self, tid, key):
+        return self._call("qar", tid, key)
+
+    def dar(self, tid):
+        return self._call("dar", tid)
+
+    def iq_delta(self, tid, key, op, operand):
+        return self._call("iq_delta", tid, key, op, operand)
+
+    def commit(self, tid):
+        return self._call("commit", tid)
+
+    def abort(self, tid):
+        return self._call("abort", tid)
+
+    # -- memcached command surface --------------------------------------------
+
+    def get(self, key):
+        return self._call("get", key)
+
+    def gets(self, key):
+        return self._call("gets", key)
+
+    def set(self, key, value, flags=0, ttl=None):
+        return self._call("set", key, value, flags, ttl)
+
+    def add(self, key, value, flags=0, ttl=None):
+        return self._call("add", key, value, flags, ttl)
+
+    def replace(self, key, value, flags=0, ttl=None):
+        return self._call("replace", key, value, flags, ttl)
+
+    def append(self, key, suffix):
+        return self._call("append", key, suffix)
+
+    def prepend(self, key, prefix):
+        return self._call("prepend", key, prefix)
+
+    def cas(self, key, value, cas_id, flags=0, ttl=None):
+        return self._call("cas", key, value, cas_id, flags, ttl)
+
+    def delete(self, key):
+        return self._call("delete", key)
+
+    def incr(self, key, delta=1):
+        return self._call("incr", key, delta)
+
+    def decr(self, key, delta=1):
+        return self._call("decr", key, delta)
+
+    def touch(self, key, ttl):
+        return self._call("touch", key, ttl)
+
+    def flush_all(self):
+        return self._call("flush_all")
+
+    def stats(self):
+        return self._call("stats")
+
+    def version(self):
+        return self._call("version")

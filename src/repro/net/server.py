@@ -1,5 +1,6 @@
 """Threaded TCP server exposing an IQ-Server over the text protocol."""
 
+import socket
 import socketserver
 import threading
 
@@ -31,22 +32,57 @@ _STORE_REPLIES = {
 
 
 class _Handler(socketserver.BaseRequestHandler):
-    """One connection: a loop of request line -> optional data -> reply."""
+    """One connection: a loop of request line -> optional data -> reply.
+
+    Framing discipline: once a command line announces a data block, those
+    bytes are consumed from the stream *before* the command is validated
+    or dispatched, so one bad command cannot leave its payload behind to
+    be misparsed as the next command line.  Only when the size field
+    itself is unparseable -- the byte count is unknowable and the stream
+    cannot be resynchronized -- does the handler reply with an error and
+    close the connection, exactly as memcached does.
+    """
 
     def handle(self):
-        reader = LineReader(self.request)
+        self.server._track(self.request)
+        try:
+            self._serve()
+        finally:
+            self.server._untrack(self.request)
+
+    def _serve(self):
+        injector = self.server.fault_injector
+        reader = LineReader(self.request, injector=injector)
         iq = self.server.iq_server
         while True:
             try:
                 line = reader.read_line()
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 return
             try:
                 command, args = parse_command_line(line)
                 if command == "quit":
                     return
-                size = data_block_size(command, args)
-                data = reader.read_bytes(size) if size is not None else None
+                try:
+                    size = data_block_size(command, args)
+                except ProtocolError:
+                    # The announced size is unusable: we cannot know how
+                    # many payload bytes follow, so the stream is beyond
+                    # repair.  Report and hang up rather than desync.
+                    self._reply(error_response("bad data block size"))
+                    return
+                if size is not None:
+                    try:
+                        data = reader.read_bytes(size)
+                    except ProtocolError as exc:
+                        # Payload not CRLF-terminated: framing is broken.
+                        self._reply(error_response(str(exc)))
+                        return
+                else:
+                    data = None
+                if injector is not None:
+                    if self._inject_request(injector, command):
+                        return
                 reply = self._dispatch(iq, command, args, data)
             except ProtocolError as exc:
                 reply = error_response(str(exc))
@@ -54,10 +90,63 @@ class _Handler(socketserver.BaseRequestHandler):
                 reply = "CLIENT_ERROR {}".format(exc).encode()
             except ReproError as exc:
                 reply = error_response(str(exc))
-            try:
-                self.request.sendall(reply + CRLF)
-            except OSError:
+            except (ValueError, IndexError) as exc:
+                # Malformed arguments (non-integer token/tid, missing
+                # fields).  Any data block was already consumed above, so
+                # the connection remains usable.
+                reply = "CLIENT_ERROR bad command arguments: {}".format(
+                    exc
+                ).encode()
+            if injector is not None:
+                reply = self._inject_reply(injector, command, reply)
+                if reply is None:
+                    return
+            if not self._reply(reply):
                 return
+
+    def _reply(self, reply):
+        try:
+            self.request.sendall(reply + CRLF)
+            return True
+        except OSError:
+            return False
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def _inject_request(self, injector, command):
+        """Fire ``server.request``; returns True when the connection dies."""
+        from repro.faults.injector import SITE_SERVER_REQUEST, FaultAction
+
+        rule = injector.perform(SITE_SERVER_REQUEST, command=command)
+        if rule is None:
+            return False
+        if rule.action is FaultAction.DROP_CONNECTION:
+            return True
+        if rule.action is FaultAction.KILL_SERVER:
+            self.server.initiate_kill()
+            return True
+        return False
+
+    def _inject_reply(self, injector, command, reply):
+        """Fire ``server.reply``; returns the (possibly doctored) reply,
+        or ``None`` when the connection must be dropped."""
+        from repro.faults.injector import SITE_SERVER_REPLY, FaultAction
+        from repro.faults.injector import corrupt_bytes
+
+        rule = injector.perform(SITE_SERVER_REPLY, command=command)
+        if rule is None:
+            return reply
+        if rule.action is FaultAction.DROP_CONNECTION:
+            return None
+        if rule.action is FaultAction.TRUNCATE:
+            try:
+                self.request.sendall(reply[: max(1, len(reply) // 2)])
+            except OSError:
+                pass
+            return None
+        if rule.action is FaultAction.CORRUPT:
+            return corrupt_bytes(reply)
+        return reply
 
     # -- command dispatch ----------------------------------------------------
 
@@ -174,26 +263,93 @@ class _Handler(socketserver.BaseRequestHandler):
 
 
 class IQTCPServer(socketserver.ThreadingTCPServer):
-    """TCP front end for an :class:`IQServer`."""
+    """TCP front end for an :class:`IQServer`.
+
+    ``fault_injector`` (a :class:`repro.faults.FaultInjector`) arms the
+    ``server.request``, ``server.reply``, and ``net.recv`` hook sites on
+    every connection; leave it ``None`` for the zero-overhead default.
+    ``on_kill`` is called (on a background thread) after a KILL_SERVER
+    fault shuts the listener down -- a chaos controller hooks this to
+    schedule the restart.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address=("127.0.0.1", 0), iq_server=None):
+    def __init__(self, address=("127.0.0.1", 0), iq_server=None,
+                 fault_injector=None):
         super().__init__(address, _Handler)
         self.iq_server = iq_server or IQServer()
+        self.fault_injector = fault_injector
+        self.on_kill = None
+        self._kill_started = False
+        self._kill_lock = threading.Lock()
+        self._active = set()
+        self._active_lock = threading.Lock()
 
     @property
     def port(self):
         return self.server_address[1]
 
+    def _track(self, sock):
+        with self._active_lock:
+            self._active.add(sock)
 
-def serve_background(iq_server=None, address=("127.0.0.1", 0)):
+    def _untrack(self, sock):
+        with self._active_lock:
+            self._active.discard(sock)
+
+    def close_all_connections(self):
+        """Sever every live client connection, as a process death would.
+
+        Handler threads blocked in ``recv`` wake with an ``OSError`` and
+        exit; clients see the peer reset mid-stream.
+        """
+        with self._active_lock:
+            conns = list(self._active)
+            self._active.clear()
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def server_close(self):
+        super().server_close()
+        self.close_all_connections()
+
+    def initiate_kill(self):
+        """Shut the server down from a handler thread (KILL_SERVER fault).
+
+        ``shutdown()`` blocks until ``serve_forever`` exits, so it must
+        not run on the handler thread itself; a helper thread does the
+        teardown and then notifies ``on_kill``.
+        """
+        with self._kill_lock:
+            if self._kill_started:
+                return
+            self._kill_started = True
+
+        def _teardown():
+            self.shutdown()
+            self.server_close()
+            if self.on_kill is not None:
+                self.on_kill()
+
+        threading.Thread(target=_teardown, daemon=True).start()
+
+
+def serve_background(iq_server=None, address=("127.0.0.1", 0),
+                     fault_injector=None):
     """Start an :class:`IQTCPServer` on a daemon thread.
 
     Returns ``(server, thread)``; call ``server.shutdown()`` to stop.
     """
-    server = IQTCPServer(address, iq_server)
+    server = IQTCPServer(address, iq_server, fault_injector=fault_injector)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread

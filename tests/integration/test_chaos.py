@@ -1,0 +1,171 @@
+"""Chaos integration: the BG workload under injected faults.
+
+The acceptance bar for the resilience subsystem: with connections
+dropping, the cache server dying and restarting cold, and lease holders
+freezing past their TTL, every IQ technique must still report exactly
+zero unpredictable reads.  An unreachable cache may only ever cause
+misses or deletes -- never stale hits.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import HIGH_WRITE_MIX
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_server import IQServer
+from repro.faults import (
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FrozenLeaseHolder,
+    RestartableServer,
+)
+from repro.faults.injector import SITE_CLIENT_AFTER_SEND
+from repro.net import RemoteIQServer, ResilientIQServer
+
+THREADS = 4
+
+TECHNIQUES = [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+
+
+def make_iq(tid_start=1):
+    # Short lease TTLs: abandoned leases (dropped replies, frozen
+    # holders) must clear within the test's runtime, exercising the
+    # paper's Section 4.2 condition 3 safety net.
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=0.3, q_lease_ttl=0.3),
+        tid_start=tid_start,
+    )
+
+
+def build_chaos_system(technique, server, injector=None):
+    remote = ResilientIQServer(
+        port=server.port,
+        config=NetConfig(
+            connect_timeout=1.0, operation_timeout=2.0, max_retries=2,
+            breaker_failure_threshold=3, breaker_cooldown=0.02,
+        ),
+        backoff_config=BackoffConfig(
+            initial_delay=0.002, max_delay=0.02, jitter=0.0
+        ),
+        injector=injector,
+    )
+    system = build_bg_system(
+        members=60, friends_per_member=6, resources_per_member=2,
+        technique=technique, leased=True, mix=HIGH_WRITE_MIX,
+        iq_server=remote,
+    )
+    return system, remote
+
+
+@pytest.fixture
+def chaos_server():
+    server = RestartableServer(make_iq)
+    server.start()
+    yield server
+    server.kill()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_zero_stale_across_kill_and_cold_restart(chaos_server, technique):
+    """The server dies mid-workload and comes back cold; clients degrade
+    to SQL during the outage and recover unaided."""
+    system, remote = build_chaos_system(technique, chaos_server)
+
+    def controller():
+        time.sleep(0.2)
+        chaos_server.kill()
+        time.sleep(0.15)
+        chaos_server.start()
+
+    chaos = threading.Thread(target=controller)
+    chaos.start()
+    result = system.runner.run(threads=THREADS, duration=1.2)
+    chaos.join()
+
+    assert result.actions > 0
+    assert result.errors == 0
+    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert chaos_server.kills == 1
+    # The client really did lose and re-dial connections.
+    assert remote.reconnects >= 2
+    remote.close()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_zero_stale_with_commit_phase_connection_drops(
+    chaos_server, technique
+):
+    """Replies to commit-phase commands vanish: the server applied the
+    operation, the client never learns.  Detach-and-journal must resolve
+    the ambiguity with deletes, never with stale hits."""
+    injector = FaultInjector(FaultPlan([
+        FaultRule(
+            SITE_CLIENT_AFTER_SEND, FaultAction.DROP_CONNECTION,
+            every=5, count=None,
+            match=lambda ctx: ctx.get("command") in (
+                "dar", "sar", "commit"
+            ),
+        ),
+    ]), seed=11)
+    system, remote = build_chaos_system(
+        technique, chaos_server, injector=injector
+    )
+    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+
+    assert result.actions == THREADS * 60
+    assert result.errors == 0
+    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert injector.fired() > 0
+    remote.close()
+
+
+def test_zero_stale_with_read_path_drops(chaos_server):
+    """Idempotent read commands lose connections mid-roundtrip and are
+    transparently retried on a fresh dial."""
+    injector = FaultInjector(FaultPlan([
+        FaultRule(
+            SITE_CLIENT_AFTER_SEND, FaultAction.DROP_CONNECTION,
+            every=25, count=None,
+            match=lambda ctx: ctx.get("command") in ("iqget", "get"),
+        ),
+    ]), seed=5)
+    system, remote = build_chaos_system(
+        Technique.INVALIDATE, chaos_server, injector=injector
+    )
+    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+
+    assert result.errors == 0
+    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert injector.fired() > 0
+    assert remote.retries > 0
+    remote.close()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_zero_stale_with_frozen_lease_holder(chaos_server, technique):
+    """A client freezes holding Q leases on hot keys; the server's TTL
+    expiry (paper Section 4.2 condition 3) must unblock the workload
+    with zero staleness."""
+    system, remote = build_chaos_system(technique, chaos_server)
+    freezer_conn = RemoteIQServer(port=chaos_server.port)
+    freezer = FrozenLeaseHolder(freezer_conn)
+    # Hot keys under the default hotspot live at low member ids.
+    frozen = freezer.freeze(["PendingFriends0", "Friends1", "Profile2"])
+    assert len(frozen) == 3
+
+    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+
+    assert result.actions == THREADS * 60
+    assert result.errors == 0
+    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    # The frozen node waking up long after expiry must be a no-op.
+    freezer.zombie_commit()
+    assert system.log.unpredictable_reads() == 0
+    freezer_conn.close()
+    remote.close()

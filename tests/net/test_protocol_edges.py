@@ -1,0 +1,177 @@
+"""Wire-protocol edge cases: torn frames, desync, restart concurrency.
+
+These tests speak raw bytes to a live server to pin down the framing
+discipline: a malformed command must never leave its data block behind
+to be misparsed as the next request (frame desync), and a frame whose
+length is unknowable must close the connection rather than guess.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_server import IQServer
+from repro.errors import CacheUnavailableError
+from repro.faults import RestartableServer
+from repro.net import ResilientIQServer, serve_background
+from repro.net.protocol import CRLF
+
+
+@pytest.fixture
+def served():
+    server, _thread = serve_background()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+def connect(port):
+    return socket.create_connection(("127.0.0.1", port), timeout=5)
+
+
+def recv_all_closed(sock):
+    """Read until the peer closes; returns everything received."""
+    chunks = []
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return b"".join(chunks)
+        chunks.append(chunk)
+
+
+class TestFrameDesync:
+    """Satellite regression: data blocks are consumed before validation."""
+
+    def test_bad_args_with_data_block_keeps_connection_usable(self, served):
+        # "sar k notanumber 3" announces a 3-byte block; the tid is junk.
+        # The server must consume the block, report CLIENT_ERROR, and keep
+        # the stream aligned so the next command parses cleanly.
+        with connect(served.port) as sock:
+            sock.sendall(b"sar k notanumber 3" + CRLF + b"abc" + CRLF)
+            assert sock.recv(4096).startswith(b"CLIENT_ERROR")
+            sock.sendall(b"version" + CRLF)
+            assert sock.recv(4096).startswith(b"VERSION")
+
+    def test_payload_never_parsed_as_command(self, served):
+        # Before the desync fix, the 11-byte payload "flush_all\r\n" of a
+        # rejected command would be read back as the *next* command line.
+        payload = b"flush_all" + CRLF
+        with ResilientIQServer(port=served.port) as probe:
+            probe.set("canary", b"alive")
+        with connect(served.port) as sock:
+            sock.sendall(
+                "cas canary 0 0 {} notanumber".format(len(payload)).encode()
+                + CRLF + payload + CRLF
+            )
+            assert sock.recv(4096).startswith(b"CLIENT_ERROR")
+            sock.sendall(b"get canary" + CRLF)
+            reply = sock.recv(4096)
+        # The canary survives: the embedded flush_all never executed.
+        assert b"VALUE canary 0 5" in reply
+
+    def test_unparseable_size_closes_connection(self, served):
+        # "set k 0 0 zzz": the byte count is unknowable, the stream is
+        # beyond repair.  Error reply, then hang up (memcached behavior).
+        with connect(served.port) as sock:
+            sock.sendall(b"set k 0 0 zzz" + CRLF + b"junk that follows")
+            reply = recv_all_closed(sock)
+        assert reply.startswith(b"SERVER_ERROR")
+
+
+class TestTornFrames:
+    def test_partial_command_line_then_disconnect(self, served):
+        with connect(served.port) as sock:
+            sock.sendall(b"get half-a-comma")  # no CRLF ever comes
+        # The handler sees EOF mid-line and exits quietly; the server
+        # keeps serving other clients.
+        with connect(served.port) as sock:
+            sock.sendall(b"version" + CRLF)
+            assert sock.recv(4096).startswith(b"VERSION")
+
+    def test_partial_data_block_then_disconnect(self, served):
+        with connect(served.port) as sock:
+            sock.sendall(b"set k 0 0 10" + CRLF + b"only4")
+        with ResilientIQServer(port=served.port) as probe:
+            assert probe.get("k") is None  # the torn set never landed
+            probe.set("k2", b"ok")
+            assert probe.get("k2") == (b"ok", 0)
+
+    def test_data_block_missing_trailing_crlf(self, served):
+        # Announced 3 bytes arrive but the terminator is wrong: framing
+        # is broken and the connection must close after the error.
+        with connect(served.port) as sock:
+            sock.sendall(b"set k 0 0 3" + CRLF + b"abcXY")
+            reply = recv_all_closed(sock)
+        assert reply.startswith(b"SERVER_ERROR")
+        with ResilientIQServer(port=served.port) as probe:
+            assert probe.get("k") is None
+
+    def test_body_larger_than_announced(self, served):
+        # Six bytes follow a 3-byte announcement; the overflow cannot be
+        # resynchronized, so the connection closes after the error.
+        with connect(served.port) as sock:
+            sock.sendall(b"set k 0 0 3" + CRLF + b"abcdef" + CRLF)
+            reply = recv_all_closed(sock)
+        assert reply.startswith(b"SERVER_ERROR")
+        with ResilientIQServer(port=served.port) as probe:
+            assert probe.get("k") is None
+
+
+class TestConcurrentClientsAcrossRestart:
+    def test_clients_survive_server_restart(self):
+        server = RestartableServer(lambda tid_start=1: IQServer(
+            lease_config=LeaseConfig(i_lease_ttl=5, q_lease_ttl=5),
+            tid_start=tid_start,
+        ))
+        server.start()
+        config = NetConfig(
+            connect_timeout=1.0, operation_timeout=2.0, max_retries=2,
+            breaker_failure_threshold=3, breaker_cooldown=0.02,
+        )
+        backoff = BackoffConfig(
+            initial_delay=0.005, max_delay=0.02, jitter=0.0
+        )
+        errors = []
+        anomalies = []
+
+        def worker(idx):
+            key = "w{}".format(idx)
+            written = set()
+            client = ResilientIQServer(
+                port=server.port, config=config, backoff_config=backoff
+            )
+            try:
+                for i in range(40):
+                    value = "v{}".format(i).encode()
+                    try:
+                        client.set(key, value)
+                        written.add(value)
+                        hit = client.get(key)
+                    except CacheUnavailableError:
+                        time.sleep(0.005)
+                        continue
+                    # A hit must be a value this worker wrote -- a miss is
+                    # fine (cold cache after restart), cross-talk is not.
+                    if hit is not None and hit[0] not in written:
+                        anomalies.append((key, hit))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.1)
+        server.restart()
+        for thread in threads:
+            thread.join(timeout=30)
+        server.kill()
+        assert not errors
+        assert not anomalies
+        assert server.kills == 2  # the restart plus the final teardown

@@ -1,0 +1,261 @@
+"""ResilientIQServer: reconnect, retry, circuit breaker, reconciliation."""
+
+import socket
+import time
+
+import pytest
+
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_server import IQServer
+from repro.errors import (
+    CircuitOpenError,
+    ConnectionLostError,
+    OperationTimeout,
+)
+from repro.faults import FaultInjector, FaultPlan, RestartableServer
+from repro.net import ResilientIQServer, serve_background
+from repro.net.client import RemoteIQServer
+from repro.net.resilient import CircuitState
+
+
+def fast_config(**overrides):
+    base = dict(
+        connect_timeout=1.0,
+        operation_timeout=1.0,
+        max_retries=2,
+        breaker_failure_threshold=2,
+        breaker_cooldown=0.05,
+    )
+    base.update(overrides)
+    return NetConfig(**base)
+
+
+def fast_backoff():
+    return BackoffConfig(initial_delay=0.005, max_delay=0.02, jitter=0.0)
+
+
+def make_iq(tid_start=1):
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=5, q_lease_ttl=5),
+        tid_start=tid_start,
+    )
+
+
+@pytest.fixture
+def restartable():
+    server = RestartableServer(make_iq)
+    server.start()
+    yield server
+    server.kill()
+
+
+def resilient_for(server, **config_overrides):
+    return ResilientIQServer(
+        port=server.port,
+        config=fast_config(**config_overrides),
+        backoff_config=fast_backoff(),
+    )
+
+
+class TestPoisonedConnection:
+    """Satellite regression: a dead socket may never serve another reply."""
+
+    def test_midstream_failure_poisons_connection(self):
+        server, _ = serve_background()
+        remote = RemoteIQServer(port=server.port)
+        assert remote.version().startswith("repro")
+        server.shutdown()
+        server.server_close()
+        with pytest.raises(ConnectionLostError):
+            remote.version()
+        assert remote.broken
+        # Later calls fail fast with the typed error -- no garbage reads.
+        with pytest.raises(ConnectionLostError):
+            remote.get("k")
+
+    def test_connect_refused_is_typed(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(ConnectionLostError):
+            RemoteIQServer(port=port, timeout=0.5)
+
+
+class TestReconnect:
+    def test_transparent_operation(self, restartable):
+        client = resilient_for(restartable)
+        client.set("k", b"v")
+        assert client.get("k") == (b"v", 0)
+        result = client.iq_get("missing")
+        assert result.has_lease
+        assert client.iq_set("missing", b"filled", result.token)
+        assert client.get("missing") == (b"filled", 0)
+        client.close()
+
+    def test_reconnects_after_server_restart(self, restartable):
+        client = resilient_for(restartable)
+        client.set("k", b"v")
+        restartable.restart()
+        # The old connection is dead; an idempotent call heals itself.
+        assert client.get("k") is None  # cold cache after restart
+        assert client.reconnects == 2
+        assert client.retries >= 1
+        client.close()
+
+    def test_operation_timeout(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        try:
+            client = ResilientIQServer(
+                port=listener.getsockname()[1],
+                config=fast_config(operation_timeout=0.2, max_retries=0),
+                backoff_config=fast_backoff(),
+            )
+            with pytest.raises(OperationTimeout):
+                client.version()
+        finally:
+            listener.close()
+
+
+class TestIdempotencyAwareRetry:
+    def _client(self, server, injector):
+        return ResilientIQServer(
+            port=server.port,
+            config=fast_config(breaker_failure_threshold=10),
+            backoff_config=fast_backoff(),
+            injector=injector,
+        )
+
+    def test_idempotent_op_retried_after_injected_drop(self, restartable):
+        from repro.faults import FaultAction, FaultRule
+        from repro.faults.injector import SITE_CLIENT_AFTER_SEND
+
+        injector = FaultInjector(FaultPlan([FaultRule(
+            SITE_CLIENT_AFTER_SEND, FaultAction.DROP_CONNECTION, nth=1,
+            match=lambda ctx: ctx.get("command") == "get",
+        )]))
+        client = self._client(restartable, injector)
+        client.set("k", b"v")
+        # The drop fires on the first get; the client heals transparently.
+        assert client.get("k") == (b"v", 0)
+        assert client.retries == 1
+        assert injector.fired() == 1
+        client.close()
+
+    def test_non_idempotent_op_never_blind_retried(self, restartable):
+        # Dropping after a sar is sent leaves the outcome ambiguous: the
+        # server may or may not have applied it.  The client must surface
+        # the failure rather than replay the mutation.
+        from repro.faults import FaultAction, FaultRule
+        from repro.faults.injector import SITE_CLIENT_AFTER_SEND
+
+        injector = FaultInjector(FaultPlan([FaultRule(
+            SITE_CLIENT_AFTER_SEND, FaultAction.DROP_CONNECTION, nth=1,
+            match=lambda ctx: ctx.get("command") == "sar",
+        )]))
+        client = self._client(restartable, injector)
+        tid = client.gen_id()
+        client.qar(tid, "k")
+        with pytest.raises(ConnectionLostError):
+            client.sar("k", b"refreshed", tid)
+        assert client.retries == 0
+        assert injector.fired() == 1
+        client.close()
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_fails_fast(self, restartable):
+        client = resilient_for(restartable, max_retries=0)
+        client.set("k", b"v")
+        restartable.kill()
+        for _ in range(2):
+            with pytest.raises((ConnectionLostError, OperationTimeout)):
+                client.get("k")
+        assert client.circuit.state == CircuitState.OPEN
+        reconnects_before = client.reconnects
+        with pytest.raises(CircuitOpenError):
+            client.get("k")
+        # Fail-fast: the open circuit performed no network I/O.
+        assert client.reconnects == reconnects_before
+        client.close()
+
+    def test_half_open_probe_recovers(self, restartable):
+        client = resilient_for(restartable, max_retries=0)
+        client.set("k", b"v")
+        restartable.kill()
+        for _ in range(2):
+            with pytest.raises((ConnectionLostError, OperationTimeout)):
+                client.get("k")
+        assert client.circuit.state == CircuitState.OPEN
+        restartable.start()
+        time.sleep(0.06)  # past the cooldown
+        assert client.get("k") is None  # cold cache; but served
+        assert client.circuit.state == CircuitState.CLOSED
+        assert client.circuit.times_recovered == 1
+        client.close()
+
+    def test_half_open_failure_reopens(self, restartable):
+        client = resilient_for(restartable, max_retries=0)
+        client.set("k", b"v")
+        restartable.kill()
+        for _ in range(2):
+            with pytest.raises((ConnectionLostError, OperationTimeout)):
+                client.get("k")
+        time.sleep(0.06)
+        with pytest.raises((ConnectionLostError, OperationTimeout)):
+            client.get("k")  # the probe fails; circuit reopens
+        assert client.circuit.state == CircuitState.OPEN
+        assert client.circuit.times_opened == 2
+        client.close()
+
+    def test_iq_set_degrades_to_not_stored_when_open(self, restartable):
+        client = resilient_for(restartable, max_retries=0)
+        result = client.iq_get("k")
+        token = result.token
+        restartable.kill()
+        for _ in range(2):
+            with pytest.raises((ConnectionLostError, OperationTimeout)):
+                client.get("k")
+        # IQset over an open circuit is safely "ignored", not an error.
+        assert client.iq_set("k", b"v", token) is False
+        client.close()
+
+
+class TestReconciliation:
+    def test_journaled_keys_deleted_before_next_operation(self, restartable):
+        client = resilient_for(restartable)
+        client.set("stale-key", b"pre-partition-value")
+        client.set("other", b"untouched")
+        # A degraded-mode write journals the key it changed in SQL only.
+        client.journal.add(["stale-key"])
+        # The very next cache operation reconciles first.
+        assert client.get("stale-key") is None
+        assert client.get("other") == (b"untouched", 0)
+        assert len(client.journal) == 0
+        assert client.journal.total_reconciled == 1
+        client.close()
+
+    def test_reconcile_failure_requeues_keys(self, restartable):
+        client = resilient_for(restartable, max_retries=0)
+        client.set("a", b"1")
+        client.journal.add(["a", "b"])
+        restartable.kill()
+        with pytest.raises((ConnectionLostError, OperationTimeout)):
+            client.get("a")
+        # Nothing was reconciled; both keys remain journaled.
+        assert set(client.journal.peek()) == {"a", "b"}
+        restartable.start()
+        time.sleep(0.06)
+        assert client.get("a") is None
+        assert len(client.journal) == 0
+        client.close()
+
+    def test_reconcile_disabled_by_config(self, restartable):
+        client = resilient_for(restartable, reconcile_on_recover=False)
+        client.set("stale-key", b"old")
+        client.journal.add(["stale-key"])
+        assert client.get("stale-key") == (b"old", 0)
+        assert len(client.journal) == 1
+        client.close()

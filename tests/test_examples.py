@@ -40,6 +40,11 @@ class TestExamples:
         output = run_example("networked_cache.py", monkeypatch, capsys)
         assert "KVS agrees with RDBMS: 16" in output
 
+    def test_chaos_demo(self, monkeypatch, capsys):
+        output = run_example("chaos_demo.py", monkeypatch, capsys)
+        assert "killing the cache server" in output
+        assert "unpredictable (stale) reads: 0" in output
+
     @pytest.mark.slow
     def test_social_network(self, monkeypatch, capsys):
         output = run_example("social_network.py", monkeypatch, capsys)
