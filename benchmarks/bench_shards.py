@@ -1,0 +1,146 @@
+"""Shard scaling: BG throughput against 1/2/4/8 cache shards.
+
+The paper's deployments run their CMTs against a fleet of cache
+servers; this benchmark measures what the consistent-hash router adds
+and costs.  The BG workload runs unchanged while the cache tier grows
+from one to eight in-process IQ servers behind
+:class:`~repro.sharding.ShardedIQServer`, reporting throughput, lease
+traffic distribution across the ring, and -- the invariant that must
+not move -- zero unpredictable reads at every shard count.
+
+Results land in ``benchmarks/out/BENCH_shards.txt`` (table) and
+``benchmarks/out/BENCH_shards.json`` (machine-readable, one entry per
+shard count).  Standalone::
+
+    python benchmarks/bench_shards.py [--smoke]
+
+``--smoke`` is the CI entry: two shards, a short run, same assertions.
+"""
+
+import argparse
+import json
+import os
+
+from _common import OUT_DIR, emit, format_table
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import HIGH_WRITE_MIX
+
+SHARD_COUNTS = [1, 2, 4, 8]
+
+HEADERS = [
+    "Shards", "Actions", "Actions/s", "Stale", "Hit rate",
+    "p95 (ms)", "Ring spread (gets)",
+]
+
+
+def run_shard_count(shards, technique=Technique.INVALIDATE, threads=4,
+                    duration=1.0, members=100, seed=29):
+    """One BG run against ``shards`` in-process IQ servers; returns stats."""
+    system = build_bg_system(
+        members=members, friends_per_member=6, resources_per_member=2,
+        technique=technique, leased=True, mix=HIGH_WRITE_MIX,
+        shards=shards, seed=seed,
+    )
+    result = system.runner.run(threads=threads, duration=duration)
+    merged = system.cache.stats
+    per_shard_gets = {
+        name: counters["cmd_get"]
+        for name, counters in system.cache.shard_stats().items()
+    }
+    hit_rate = merged.hit_rate()
+    p95 = result.latency.percentile(0.95)
+    return {
+        "shards": shards,
+        "technique": technique.name.lower(),
+        "threads": threads,
+        "duration": duration,
+        "actions": result.actions,
+        "throughput": result.actions / duration if duration else 0.0,
+        "errors": result.errors,
+        "stale": system.log.unpredictable_reads(),
+        "hit_rate": hit_rate,
+        "p95_ms": p95 * 1000 if p95 is not None else None,
+        "per_shard_gets": per_shard_gets,
+    }
+
+
+def run_experiment(shard_counts=SHARD_COUNTS, threads=4, duration=1.0):
+    return [
+        run_shard_count(count, threads=threads, duration=duration)
+        for count in shard_counts
+    ]
+
+
+def render(results):
+    rows = []
+    for entry in results:
+        spread = "/".join(
+            str(entry["per_shard_gets"][name])
+            for name in sorted(entry["per_shard_gets"])
+        )
+        rows.append([
+            entry["shards"],
+            entry["actions"],
+            "{:.0f}".format(entry["throughput"]),
+            entry["stale"],
+            "{:.2f}".format(entry["hit_rate"] or 0.0),
+            "{:.2f}".format(entry["p95_ms"] or 0.0),
+            spread,
+        ])
+    return format_table(
+        "Shard scaling: BG over a consistent-hash routed cache tier",
+        HEADERS, rows,
+    )
+
+
+def emit_json(results):
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, "BENCH_shards.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def check(results):
+    for entry in results:
+        # The headline invariant: sharding never buys throughput with
+        # staleness -- zero unpredictable reads at every shard count.
+        assert entry["stale"] == 0, entry
+        assert entry["errors"] == 0, entry
+        assert entry["actions"] > 0, entry
+        if entry["shards"] > 1:
+            # Every shard took part of the load.
+            gets = entry["per_shard_gets"]
+            assert len(gets) == entry["shards"]
+            assert all(count > 0 for count in gets.values()), entry
+
+
+def test_shard_scaling(benchmark):
+    results = benchmark.pedantic(
+        run_experiment,
+        kwargs={"shard_counts": [1, 2, 4], "threads": 4, "duration": 0.8},
+        iterations=1, rounds=1,
+    )
+    check(results)
+    emit("BENCH_shards", render(results))
+    emit_json(results)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI entry: two shards, a short run, same zero-stale bar",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        results = run_experiment(shard_counts=[2], threads=2, duration=0.6)
+    else:
+        results = run_experiment(shard_counts=SHARD_COUNTS, threads=8,
+                                 duration=2.0)
+    check(results)
+    emit("BENCH_shards", render(results))
+    print("wrote", emit_json(results))

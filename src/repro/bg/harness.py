@@ -28,6 +28,7 @@ from repro.core.policies import (
 )
 from repro.core.session import AcquisitionMode
 from repro.kvs.read_lease import ReadLeaseStore
+from repro.sharding import ShardedIQServer
 
 
 class BGSystem:
@@ -36,7 +37,8 @@ class BGSystem:
     def __init__(self, db, cache, consistency_client, actions, registry,
                  runner, log, graph):
         self.db = db
-        #: the IQServer (leased) or ReadLeaseStore (baseline)
+        #: the lease backend (IQServer or ShardedIQServer router, leased)
+        #: or ReadLeaseStore (baseline)
         self.cache = cache
         self.consistency_client = consistency_client
         self.actions = actions
@@ -57,7 +59,8 @@ def build_bg_system(members=200, friends_per_member=10,
                     delete_timing=DeleteTiming.DURING_TRANSACTION,
                     serve_pending_versions=True, validate=True, seed=42,
                     comments_per_resource=1, hotspot=(0.2, 0.7),
-                    backoff=None, hot_writes=False, iq_server=None):
+                    backoff=None, hot_writes=False, iq_server=None,
+                    shards=None, shard_vnodes=64):
     """Build and load a full BG deployment; returns a :class:`BGSystem`.
 
     ``leased`` selects the IQ framework; otherwise the unleased baseline
@@ -65,11 +68,18 @@ def build_bg_system(members=200, friends_per_member=10,
     exhibits the paper's races.  Defaults are laptop-scale; the Table 7
     benchmarks pass the paper's 10K/100K-member graph shapes (scaled).
 
-    ``iq_server`` substitutes any object with the IQ command surface for
-    the in-process :class:`IQServer` -- e.g. a
+    ``iq_server`` substitutes any :class:`~repro.core.backend.
+    LeaseBackend` for the in-process :class:`IQServer` -- e.g. a
     :class:`~repro.net.resilient.ResilientIQServer` dialing a remote
     cache, which is how the chaos benchmark runs BG over a killable
-    server (``leased`` only).
+    server (``leased`` only).  A *sequence* of backends is wrapped in a
+    :class:`~repro.sharding.ShardedIQServer` (one shard per element).
+
+    ``shards=N`` builds the cache tier as N in-process IQ servers
+    behind a consistent-hash router (``shard_vnodes`` virtual nodes per
+    shard).  ``shards=None`` (default) keeps the direct single-server
+    path; ``shards=1`` routes through a one-shard router, which behaves
+    identically to the direct path.
     """
     from repro.bg.workload import LOW_WRITE_MIX
 
@@ -87,9 +97,21 @@ def build_bg_system(members=200, friends_per_member=10,
     lease_config = LeaseConfig(serve_pending_versions=serve_pending_versions)
 
     if leased:
-        server = iq_server if iq_server is not None else IQServer(
-            kvs_config=KVSConfig(), lease_config=lease_config
-        )
+        if iq_server is not None:
+            if isinstance(iq_server, (list, tuple)):
+                server = ShardedIQServer(iq_server, vnodes=shard_vnodes)
+            else:
+                server = iq_server
+        elif shards is not None:
+            backends = [
+                IQServer(kvs_config=KVSConfig(), lease_config=lease_config)
+                for _ in range(shards)
+            ]
+            server = ShardedIQServer(backends, vnodes=shard_vnodes)
+        else:
+            server = IQServer(
+                kvs_config=KVSConfig(), lease_config=lease_config
+            )
         iq_client = IQClient(server, backoff=backoff)
         client_class = {
             Technique.INVALIDATE: IQInvalidateClient,

@@ -18,6 +18,7 @@ This package is the paper's primary contribution:
   baseline) variants.
 """
 
+from repro.core.backend import LeaseBackend
 from repro.core.iq_client import IQClient
 from repro.core.iq_server import IQGetResult, IQServer, QaReadResult
 from repro.core.leases import LeaseTable, QMode
@@ -26,6 +27,7 @@ from repro.core.session import AcquisitionMode, SessionRunner
 __all__ = [
     "AcquisitionMode",
     "IQClient",
+    "LeaseBackend",
     "IQGetResult",
     "IQServer",
     "LeaseTable",

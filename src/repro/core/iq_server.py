@@ -40,6 +40,7 @@ from repro.config import KVSConfig, LeaseConfig
 from repro.errors import BadValueError, QuarantinedError
 from repro.kvs.stats import CacheStats
 from repro.kvs.store import CacheStore
+from repro.core.backend import LeaseBackend
 from repro.core.leases import LeaseTable, QMode, QRequestOutcome
 from repro.util.clock import SystemClock
 from repro.util.tokens import TokenGenerator
@@ -134,7 +135,7 @@ def apply_delta(value, op, operand):
     raise BadValueError("unknown delta operation {!r}".format(op))
 
 
-class IQServer:
+class IQServer(LeaseBackend):
     """The IQ-Twemcached server."""
 
     def __init__(self, kvs_config=None, lease_config=None, clock=None,
@@ -153,6 +154,10 @@ class IQServer:
         # flight against its predecessor (repro.faults.chaos).
         self._tids = TokenGenerator(start=tid_start)
         self._sessions = {}
+        # TIDs at or below the watermark were retired by a flush_all; a
+        # lease request quoting one is a zombie of a pre-flush session
+        # and is aborted instead of silently resurrecting session state.
+        self._tid_watermark = tid_start - 1
         self._lock = threading.RLock()
         self.leases.on_q_expired = self._handle_q_expiry
         self.store.on_entry_removed = self.leases.void_i
@@ -172,6 +177,19 @@ class IQServer:
             state = _SessionState(tid)
             self._sessions[tid] = state
         return state
+
+    def _check_tid_live(self, tid, key):
+        """Abort lease requests from sessions retired by a flush_all.
+
+        Without this, a session minted before a flush could re-acquire
+        leases afterwards and recreate server-side state that no test
+        (or restarted deployment) knows to clean up -- the TID would
+        leak across the flush.  The zombie gets the same treatment as a
+        lease conflict: abort, restart with a fresh (post-flush) TID.
+        """
+        if tid <= self._tid_watermark:
+            self.stats.incr("lease_aborts")
+            raise QuarantinedError(key)
 
     def _handle_q_expiry(self, key, tid):
         """Section 4.2 condition 3: an expired Q lease deletes its key."""
@@ -242,6 +260,7 @@ class IQServer:
         lease on ``key`` (Figure 5b: reject and abort requester).
         """
         with self._lock:
+            self._check_tid_live(tid, key)
             outcome = self.leases.request_q(key, tid, QMode.EXCLUSIVE)
             if outcome is QRequestOutcome.REJECTED:
                 self.stats.incr("lease_aborts")
@@ -299,6 +318,7 @@ class IQServer:
         the key is exclusively quarantined by a refresh/delta session.
         """
         with self._lock:
+            self._check_tid_live(tid, key)
             outcome = self.leases.request_q(key, tid, QMode.SHARED_INVALIDATE)
             if outcome is QRequestOutcome.REJECTED:
                 self.stats.incr("lease_aborts")
@@ -329,6 +349,7 @@ class IQServer:
         if op not in _DELTA_OPS:
             raise BadValueError("unknown delta operation {!r}".format(op))
         with self._lock:
+            self._check_tid_live(tid, key)
             outcome = self.leases.request_q(key, tid, QMode.EXCLUSIVE)
             if outcome is QRequestOutcome.REJECTED:
                 self.stats.incr("lease_aborts")
@@ -384,11 +405,20 @@ class IQServer:
     # -- plumbing ---------------------------------------------------------------
 
     def flush_all(self):
-        """Drop every value, lease, and session (test isolation helper)."""
+        """Drop every value, lease, and session (test isolation helper).
+
+        In-flight session state is retired too: the TID watermark
+        advances to the last identifier minted before the flush, so a
+        pre-flush session that resurfaces afterwards (``qar``/``qaread``/
+        ``iq_delta`` with its old TID) aborts instead of recreating
+        server-side state -- TIDs cannot leak across flushes.  Its
+        terminators (``commit``/``abort``/``dar``) remain safe no-ops.
+        """
         with self._lock:
             self.store.flush_all()
             self._sessions.clear()
             self.leases.clear()
+            self._tid_watermark = self._tids.last
 
     def session_count(self):
         with self._lock:

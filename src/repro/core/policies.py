@@ -97,6 +97,16 @@ class _IQClientBase:
     quarantined keys (Section 4.2 condition 3) and preserves safety even
     if the journal never reaches the server.
 
+    **Per-shard degradation**: against a sharded cache tier
+    (:class:`~repro.sharding.ShardedIQServer`) unavailability is usually
+    partial -- one shard's circuit breaker is open while the rest of the
+    fleet is healthy.  Each key's lease acquisition and post-commit
+    apply is therefore guarded individually: an unreachable shard costs
+    only its own keys (journaled for delete-on-recover, leases left to
+    expire), and the session proceeds normally on every other shard.
+    The whole-session fallback below remains for the case where the
+    backend cannot even mint a session identifier.
+
     With ``degraded_fallback=False`` the fallback raises
     :class:`~repro.errors.DegradedModeActive` instead.
     """
@@ -118,6 +128,8 @@ class _IQClientBase:
         self.detached_sessions = 0
         #: union of keys journaled for delete-on-recover reconciliation
         self.degraded_keys = set()
+        #: single keys skipped because only their shard was unreachable
+        self.degraded_key_changes = 0
 
     @property
     def is_strongly_consistent(self):
@@ -166,6 +178,25 @@ class _IQClientBase:
         session.detach_kvs()
         self.detached_sessions += 1
 
+    def _guard_key(self, change, operation):
+        """Run one key's cache operation, degrading only that key's shard.
+
+        Returns True when the operation ran; on
+        :class:`~repro.errors.CacheUnavailableError` the key is journaled
+        and skipped -- the rest of the session keeps using the cache.
+        Lease conflicts (:class:`~repro.errors.QuarantinedError`) are not
+        availability failures and propagate to the session retry loop.
+        """
+        try:
+            operation()
+            return True
+        except CacheUnavailableError:
+            if not self.degraded_fallback:
+                raise
+            self._journal([change])
+            self.degraded_key_changes += 1
+            return False
+
     def _write_degraded(self, sql_body, changes, cause):
         """Run the write's RDBMS transaction with no KVS participation."""
         if not self.degraded_fallback:
@@ -196,16 +227,20 @@ class IQInvalidateClient(_IQClientBase):
 
     def _write_sessions(self, sql_body, changes):
         def body(session):
-            if self.mode == AcquisitionMode.PRIOR:
+            def acquire():
                 for change in changes:
-                    session.qar(change.key)
+                    self._guard_key(
+                        change, lambda c=change: session.qar(c.key)
+                    )
+
+            if self.mode == AcquisitionMode.PRIOR:
+                acquire()
                 session.begin_sql()
                 result = sql_body(session)
             else:
                 session.begin_sql()
                 result = sql_body(session)
-                for change in changes:
-                    session.qar(change.key)
+                acquire()
             session.commit_sql()
             try:
                 session.dar()
@@ -236,10 +271,16 @@ class IQRefreshClient(_IQClientBase):
             def acquire_and_compute():
                 for change in changes:
                     if self._is_invalidation(change):
-                        session.qar(change.key)
-                    else:
-                        old = session.qaread(change.key).value
-                        new_values[change.key] = change.refresher(old)
+                        self._guard_key(
+                            change, lambda c=change: session.qar(c.key)
+                        )
+                        continue
+
+                    def read_modify(c=change):
+                        old = session.qaread(c.key).value
+                        new_values[c.key] = c.refresher(old)
+
+                    self._guard_key(change, read_modify)
 
             if self.mode == AcquisitionMode.PRIOR:
                 acquire_and_compute()
@@ -252,8 +293,16 @@ class IQRefreshClient(_IQClientBase):
             session.commit_sql()
             try:
                 for change in changes:
-                    if not self._is_invalidation(change):
-                        session.sar(change.key, new_values[change.key])
+                    # A key whose shard degraded during the growing phase
+                    # has no lease and no computed value: skip its SaR.
+                    if self._is_invalidation(change):
+                        continue
+                    if change.key not in new_values:
+                        continue
+                    self._guard_key(
+                        change,
+                        lambda c=change: session.sar(c.key, new_values[c.key]),
+                    )
                 # Applies registered invalidations and releases any leases
                 # still held (a no-op when every key went through SaR).
                 session.commit_kvs()
@@ -272,10 +321,20 @@ class IQDeltaClient(_IQClientBase):
             def propose():
                 for change in changes:
                     if change.invalidate:
-                        session.qar(change.key)
+                        self._guard_key(
+                            change, lambda c=change: session.qar(c.key)
+                        )
                         continue
-                    for op, operand in change.deltas:
-                        session.delta(change.key, op, operand)
+
+                    def propose_deltas(c=change):
+                        for op, operand in c.deltas:
+                            session.delta(c.key, op, operand)
+
+                    # All of a key's deltas land on one shard; if the
+                    # shard fails mid-proposal the key is journaled and
+                    # the shard-side reconciliation deletes it before
+                    # any partial proposal could be committed.
+                    self._guard_key(change, propose_deltas)
 
             if self.mode == AcquisitionMode.PRIOR:
                 propose()

@@ -60,7 +60,7 @@ class WriteSession:
 
     def iq_get(self, key):
         """Read ``key`` with this session's read-your-own-update view."""
-        return self.kvs.server.iq_get(key, session=self.tid)
+        return self.kvs.iq_get(key, session=self.tid)
 
     def qar(self, key):
         return self.kvs.qar(self.tid, key)

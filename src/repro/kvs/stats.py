@@ -72,3 +72,41 @@ class CacheStats:
             if total == 0:
                 return None
             return self._counts["get_hits"] / total
+
+
+class MergedCacheStats:
+    """Read-only aggregate view over several shards' counters.
+
+    ``sources`` may mix :class:`CacheStats` instances (in-process
+    shards) and zero-argument callables returning counter dicts (the
+    ``stats()`` method of a networked backend).  Counters are summed at
+    read time, so the view is always live; a source that is currently
+    unreachable contributes nothing rather than failing the whole view.
+    """
+
+    def __init__(self, sources):
+        self._sources = list(sources)
+
+    def snapshot(self):
+        """Point-in-time sum of every reachable source's counters."""
+        from repro.errors import CacheUnavailableError
+
+        merged = {name: 0 for name in CacheStats.COUNTERS}
+        for source in self._sources:
+            try:
+                counts = source() if callable(source) else source.snapshot()
+            except CacheUnavailableError:
+                continue
+            for name, value in counts.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def get(self, name):
+        return self.snapshot().get(name, 0)
+
+    def hit_rate(self):
+        snapshot = self.snapshot()
+        total = snapshot.get("cmd_get", 0)
+        if total == 0:
+            return None
+        return snapshot.get("get_hits", 0) / total

@@ -18,12 +18,13 @@ from repro.errors import (
     ProtocolError,
     QuarantinedError,
 )
+from repro.core.backend import LeaseBackend
 from repro.core.iq_server import IQGetResult, QaReadResult
 from repro.kvs.store import StoreResult
 from repro.net.protocol import CRLF, LineReader
 
 
-class RemoteIQServer:
+class RemoteIQServer(LeaseBackend):
     """Client-side stub for a networked IQ-Twemcached.
 
     A socket error or timeout mid-exchange leaves the framed stream

@@ -38,6 +38,7 @@ from repro.errors import (
     ConnectionLostError,
     OperationTimeout,
 )
+from repro.core.backend import LeaseBackend
 from repro.net.client import RemoteIQServer
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
@@ -177,7 +178,7 @@ _NON_IDEMPOTENT = frozenset({
 })
 
 
-class ResilientIQServer:
+class ResilientIQServer(LeaseBackend):
     """Self-healing drop-in for :class:`RemoteIQServer`."""
 
     def __init__(self, host="127.0.0.1", port=11211, config=None,

@@ -1,0 +1,19 @@
+"""Sharded cache tier: consistent-hash routing over N lease backends.
+
+* :mod:`repro.sharding.ring` -- :class:`ConsistentHashRing`, virtual-node
+  consistent hashing from keys to shard names;
+* :mod:`repro.sharding.router` -- :class:`ShardedIQServer`, a
+  :class:`~repro.core.backend.LeaseBackend` that fans composite write
+  sessions out across shards with per-shard TIDs and per-shard
+  degraded-mode semantics, and :class:`ShardedJournal`, the key-routed
+  delete-on-recover journal.
+"""
+
+from repro.sharding.ring import ConsistentHashRing
+from repro.sharding.router import ShardedIQServer, ShardedJournal
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardedIQServer",
+    "ShardedJournal",
+]

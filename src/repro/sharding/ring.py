@@ -1,0 +1,103 @@
+"""Consistent-hash ring with virtual nodes.
+
+The IQ framework's CMT deployments (and the memcached fleets they model,
+Nishtala et al. NSDI'13) partition the key space across cache servers
+with consistent hashing: each physical node is hashed onto a ring at
+many *virtual* points, and a key is owned by the first node clockwise
+from the key's hash.  Virtual nodes smooth the load split (with ``V``
+points per node the expected imbalance shrinks as ``1/sqrt(V)``) and
+make adding or removing one node remap only ``~1/N`` of the keys.
+
+The ring is deliberately independent of what a "node" is -- it maps keys
+to opaque node identifiers.  :class:`~repro.sharding.router.
+ShardedIQServer` resolves identifiers to :class:`~repro.core.backend.
+LeaseBackend` instances.
+"""
+
+import bisect
+import hashlib
+import threading
+
+
+def _hash(data):
+    """64-bit ring position for ``data`` (bytes)."""
+    return int.from_bytes(hashlib.md5(data).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps keys to node identifiers with virtual-node consistent hashing.
+
+    ``vnodes`` is the number of ring points per node.  Node identifiers
+    may be any strings; keys may be ``str`` or ``bytes``.
+    """
+
+    def __init__(self, nodes=(), vnodes=64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._lock = threading.Lock()
+        #: sorted virtual-point positions and their parallel owner list
+        self._points = []
+        self._owners = []
+        self._nodes = set()
+        for node in nodes:
+            self.add_node(node)
+
+    def _vnode_points(self, node):
+        encoded = node.encode("utf-8") if isinstance(node, str) else node
+        return [
+            _hash(encoded + b"#" + str(i).encode("ascii"))
+            for i in range(self.vnodes)
+        ]
+
+    def add_node(self, node):
+        """Place ``node`` on the ring at ``vnodes`` points."""
+        with self._lock:
+            if node in self._nodes:
+                raise ValueError("node {!r} already on the ring".format(node))
+            self._nodes.add(node)
+            for point in self._vnode_points(node):
+                index = bisect.bisect(self._points, point)
+                self._points.insert(index, point)
+                self._owners.insert(index, node)
+
+    def remove_node(self, node):
+        """Take ``node`` off the ring; its key ranges fall to successors."""
+        with self._lock:
+            if node not in self._nodes:
+                raise ValueError("node {!r} is not on the ring".format(node))
+            self._nodes.discard(node)
+            keep = [
+                (point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != node
+            ]
+            self._points = [point for point, _owner in keep]
+            self._owners = [owner for _point, owner in keep]
+
+    @property
+    def nodes(self):
+        with self._lock:
+            return sorted(self._nodes)
+
+    def __len__(self):
+        return len(self.nodes)
+
+    def node_for(self, key):
+        """The node identifier owning ``key``."""
+        if isinstance(key, str):
+            key = key.encode("utf-8")
+        with self._lock:
+            if not self._points:
+                raise ValueError("ring has no nodes")
+            index = bisect.bisect(self._points, _hash(key))
+            if index == len(self._points):
+                index = 0  # wrap past the highest point
+            return self._owners[index]
+
+    def spread(self, keys):
+        """Map each node to how many of ``keys`` it owns (load check)."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

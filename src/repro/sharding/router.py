@@ -1,0 +1,388 @@
+"""ShardedIQServer: N lease backends behind a consistent-hash router.
+
+The paper deploys its CMTs against a *fleet* of IQ-Twemcached servers;
+this module supplies the missing tier.  A :class:`ShardedIQServer` is
+itself a :class:`~repro.core.backend.LeaseBackend`, so the IQ client,
+the write-session model, the consistency clients, and the BG harness
+run unchanged over any number of shards.
+
+**Routing.**  Every key is owned by exactly one shard, resolved through
+a :class:`~repro.sharding.ring.ConsistentHashRing` with virtual nodes.
+All lease state for a key (I token, Q holders, buffered proposals)
+therefore lives on a single shard, and the per-key protocol of the
+paper is untouched -- the lease compatibility matrices never span
+shards.
+
+**Composite sessions.**  ``gen_id`` mints a router-local composite TID
+without touching any shard; per-shard TIDs are minted lazily on the
+first command that lands on a shard.  A session writing three keys that
+hash to three shards holds three independent server-side sessions under
+one application-visible identifier.  The paper's 2PL-like discipline is
+preserved *per shard*: the growing phase (``qar``/``qaread``/
+``iq_delta``) routes each acquisition to the owning shard before the
+RDBMS commit, and the shrinking phase (``commit``/``dar``/``abort``)
+fans out to every touched shard afterwards.
+
+**Partial failure.**  A shard that cannot be reached during the
+shrinking phase does not poison the others: its commit leg is skipped,
+its keys are journaled for delete-on-recover reconciliation (through
+the shard's own :class:`~repro.net.resilient.ReconciliationJournal`
+when it has one), and its Q leases are left to expire server-side --
+which deletes the quarantined keys (Section 4.2 condition 3).  The
+healthy shards apply normally.  Degradation is therefore confined to
+one shard's key range, never the whole cache.
+"""
+
+import threading
+
+from repro.core.backend import LeaseBackend
+from repro.errors import CacheUnavailableError
+from repro.kvs.stats import MergedCacheStats
+from repro.sharding.ring import ConsistentHashRing
+from repro.util.tokens import TokenGenerator
+
+
+class ShardedJournal:
+    """Routes journaled keys to the owning shard's recovery journal.
+
+    The consistency clients journal keys whose cached value may be
+    stale after degraded writes.  Under sharding each key must reach
+    the journal of the backend that owns it -- that is the journal
+    whose delete-on-recover pass runs against the right shard.  Keys
+    owned by a backend with no journal of its own (e.g. an in-process
+    :class:`~repro.core.iq_server.IQServer`) are held in a local set,
+    reconciled by :meth:`ShardedIQServer.reconcile_local`.
+    """
+
+    def __init__(self, router):
+        self._router = router
+        self._lock = threading.Lock()
+        self._local = set()
+        self._local_journaled = 0
+
+    def _shard_journals(self):
+        seen = []
+        for name in self._router.shard_names:
+            journal = getattr(self._router.backend(name), "journal", None)
+            if journal is not None:
+                seen.append(journal)
+        return seen
+
+    def add(self, keys):
+        for key in keys:
+            journal = getattr(self._router.shard_for(key), "journal", None)
+            if journal is not None:
+                journal.add([key])
+            else:
+                with self._lock:
+                    if key not in self._local:
+                        self._local.add(key)
+                        self._local_journaled += 1
+
+    def peek(self):
+        """Every key currently awaiting reconciliation, across shards."""
+        with self._lock:
+            keys = set(self._local)
+        for journal in self._shard_journals():
+            keys.update(journal.peek())
+        return sorted(keys)
+
+    def drain_local(self):
+        """Atomically empty the local (journal-less backend) set."""
+        with self._lock:
+            keys = sorted(self._local)
+            self._local.clear()
+            return keys
+
+    @property
+    def total_journaled(self):
+        with self._lock:
+            total = self._local_journaled
+        return total + sum(j.total_journaled for j in self._shard_journals())
+
+    def __len__(self):
+        return len(self.peek())
+
+    def __bool__(self):
+        return len(self) > 0
+
+
+class _ShardSession:
+    """Router-side bookkeeping for one composite session."""
+
+    __slots__ = ("tid", "shard_tids", "keys_by_shard", "lock")
+
+    def __init__(self, tid):
+        self.tid = tid
+        #: shard name -> TID minted on that shard
+        self.shard_tids = {}
+        #: shard name -> keys this session touched there
+        self.keys_by_shard = {}
+        self.lock = threading.Lock()
+
+
+class ShardedIQServer(LeaseBackend):
+    """A consistent-hash router over N :class:`LeaseBackend` shards.
+
+    ``shards`` is a sequence of backends; ``names`` optionally labels
+    them (defaults to ``shard0..shardN-1``).  With one shard the router
+    degenerates to pure pass-through plus TID indirection -- behaviour
+    is identical to driving the backend directly.
+    """
+
+    def __init__(self, shards, names=None, vnodes=64):
+        shards = list(shards)
+        if not shards:
+            raise ValueError("at least one shard is required")
+        if names is None:
+            names = ["shard{}".format(i) for i in range(len(shards))]
+        if len(names) != len(shards) or len(set(names)) != len(names):
+            raise ValueError("names must be unique, one per shard")
+        self._backends = dict(zip(names, shards))
+        self.ring = ConsistentHashRing(names, vnodes=vnodes)
+        self._tids = TokenGenerator(start=1)
+        self._sessions = {}
+        self._lock = threading.Lock()
+        self.journal = ShardedJournal(self)
+        #: commit/abort legs that found their shard unreachable
+        self.degraded_shard_commits = 0
+        self.degraded_shard_aborts = 0
+        #: keys journaled because their shard failed mid-shrinking-phase
+        self.journaled_commit_keys = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def shard_names(self):
+        return sorted(self._backends)
+
+    @property
+    def shard_count(self):
+        return len(self._backends)
+
+    def backend(self, name):
+        return self._backends[name]
+
+    def shard_name_for(self, key):
+        return self.ring.node_for(key)
+
+    def shard_for(self, key):
+        """The backend owning ``key``."""
+        return self._backends[self.ring.node_for(key)]
+
+    # -- composite-session plumbing -------------------------------------------
+
+    def _composite(self, tid):
+        with self._lock:
+            session = self._sessions.get(tid)
+            if session is None:
+                session = _ShardSession(tid)
+                self._sessions[tid] = session
+            return session
+
+    def _shard_tid(self, session, name):
+        """The session's TID on shard ``name``, minted on first touch."""
+        with session.lock:
+            tid = session.shard_tids.get(name)
+            if tid is None:
+                tid = self._backends[name].gen_id()
+                session.shard_tids[name] = tid
+            return tid
+
+    def _record_key(self, session, name, key):
+        with session.lock:
+            session.keys_by_shard.setdefault(name, set()).add(key)
+
+    def _translate(self, session_tid, name):
+        """Existing shard TID for read-your-own-update, or ``None``.
+
+        A read only needs the shard-local TID when the session already
+        holds state on that shard; minting one eagerly would waste a
+        server-side session per read.
+        """
+        if session_tid is None:
+            return None
+        with self._lock:
+            session = self._sessions.get(session_tid)
+        if session is None:
+            return None
+        with session.lock:
+            return session.shard_tids.get(name)
+
+    # -- session identity -----------------------------------------------------
+
+    def gen_id(self):
+        """Mint a composite TID locally; shard TIDs follow lazily."""
+        tid = self._tids.next()
+        with self._lock:
+            self._sessions[tid] = _ShardSession(tid)
+        return tid
+
+    def session_count(self):
+        with self._lock:
+            return len(self._sessions)
+
+    # -- reads ---------------------------------------------------------------
+
+    def iq_get(self, key, session=None):
+        name = self.ring.node_for(key)
+        shard_session = self._translate(session, name)
+        return self._backends[name].iq_get(key, session=shard_session)
+
+    def iq_set(self, key, value, token):
+        # The token was minted by the owning shard's iq_get, so routing
+        # by key always lands it back where it is valid.
+        return self.shard_for(key).iq_set(key, value, token)
+
+    def release_i(self, key, token):
+        return self.shard_for(key).release_i(key, token)
+
+    # -- growing phase: per-key lease acquisition ------------------------------
+
+    def qaread(self, key, tid):
+        name = self.ring.node_for(key)
+        session = self._composite(tid)
+        result = self._backends[name].qaread(key, self._shard_tid(session, name))
+        self._record_key(session, name, key)
+        return result
+
+    def qar(self, tid, key):
+        name = self.ring.node_for(key)
+        session = self._composite(tid)
+        result = self._backends[name].qar(self._shard_tid(session, name), key)
+        self._record_key(session, name, key)
+        return result
+
+    def iq_delta(self, tid, key, op, operand):
+        name = self.ring.node_for(key)
+        session = self._composite(tid)
+        result = self._backends[name].iq_delta(
+            self._shard_tid(session, name), key, op, operand
+        )
+        self._record_key(session, name, key)
+        return result
+
+    def sar(self, key, value, tid):
+        name = self.ring.node_for(key)
+        session = self._composite(tid)
+        result = self._backends[name].sar(key, value, self._shard_tid(session, name))
+        self._record_key(session, name, key)
+        return result
+
+    def propose_refresh(self, key, value, tid):
+        name = self.ring.node_for(key)
+        session = self._composite(tid)
+        result = self._backends[name].propose_refresh(
+            key, value, self._shard_tid(session, name)
+        )
+        self._record_key(session, name, key)
+        return result
+
+    # -- shrinking phase: fan-out across touched shards ------------------------
+
+    def _pop_composite(self, tid):
+        with self._lock:
+            return self._sessions.pop(tid, None)
+
+    def _detach_shard(self, session, name):
+        """One shard failed mid-shrinking-phase: journal only its keys.
+
+        The shard's Q leases expire server-side and delete the keys
+        (Section 4.2 condition 3); the journal repairs the alive-but-
+        unreachable case once the shard is reachable again.
+        """
+        with session.lock:
+            keys = sorted(session.keys_by_shard.get(name, ()))
+        self.journal.add(keys)
+        self.journaled_commit_keys += len(keys)
+
+    def commit(self, tid):
+        session = self._pop_composite(tid)
+        if session is None:
+            return True
+        with session.lock:
+            touched = sorted(session.shard_tids.items())
+        all_applied = True
+        for name, shard_tid in touched:
+            try:
+                self._backends[name].commit(shard_tid)
+            except CacheUnavailableError:
+                self.degraded_shard_commits += 1
+                self._detach_shard(session, name)
+                all_applied = False
+        return all_applied
+
+    def abort(self, tid):
+        session = self._pop_composite(tid)
+        if session is None:
+            return True
+        all_released = True
+        with session.lock:
+            touched = sorted(session.shard_tids.items())
+        for name, shard_tid in touched:
+            try:
+                self._backends[name].abort(shard_tid)
+            except CacheUnavailableError:
+                # The shard's leases expire on their own; nothing is
+                # applied either way, so no journaling is needed.
+                self.degraded_shard_aborts += 1
+                all_released = False
+        return all_released
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """A merged read-only view over every shard's counters."""
+        sources = []
+        for name in self.shard_names:
+            stats = getattr(self._backends[name], "stats", None)
+            if stats is not None:
+                sources.append(stats)
+        return MergedCacheStats(sources)
+
+    def shard_stats(self):
+        """Per-shard counter snapshots, keyed by shard name."""
+        view = {}
+        for name in self.shard_names:
+            stats = getattr(self._backends[name], "stats", None)
+            if stats is None:
+                continue
+            view[name] = MergedCacheStats([stats]).snapshot()
+        return view
+
+    def reconcile_local(self):
+        """Delete locally-journaled keys (journal-less backends) by routing.
+
+        Returns the number of keys deleted; keys whose shard is still
+        unreachable are re-journaled for the next pass.
+        """
+        keys = self.journal.drain_local()
+        done = 0
+        for index, key in enumerate(keys):
+            backend = self.shard_for(key)
+            delete = getattr(backend, "delete", None)
+            if delete is None:
+                delete = backend.store.delete
+            try:
+                delete(key)
+            except CacheUnavailableError:
+                self.journal.add(keys[index:])
+                break
+            done += 1
+        return done
+
+    def flush_all(self):
+        """Flush every shard and retire every composite session."""
+        with self._lock:
+            self._sessions.clear()
+        for name in self.shard_names:
+            self._backends[name].flush_all()
+        return True
+
+    def close(self):
+        """Close any shard backends that hold connections."""
+        for name in self.shard_names:
+            close = getattr(self._backends[name], "close", None)
+            if close is not None:
+                close()

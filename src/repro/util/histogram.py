@@ -26,11 +26,41 @@ class LatencyHistogram:
             self._samples.append(seconds)
 
     def merge(self, other):
-        """Fold another histogram's samples into this one."""
-        with other._lock:
-            samples = list(other._samples)
+        """Fold another histogram's samples into this one; returns self.
+
+        The two locks are never held simultaneously (the source is
+        snapshotted first), so concurrent cross-merges cannot deadlock
+        and ``h.merge(h)`` is a no-op rather than a duplication.
+        """
+        if other is self:
+            return self
+        samples = other.snapshot()
         with self._lock:
             self._samples.extend(samples)
+        return self
+
+    @classmethod
+    def merged(cls, histograms):
+        """A new histogram holding every sample of ``histograms``.
+
+        The per-shard aggregation primitive: each shard (or worker)
+        records into its own histogram and the harness folds them into
+        one distribution for percentile/SLA evaluation.
+        """
+        result = cls()
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
+
+    def snapshot(self):
+        """A point-in-time copy of the raw samples."""
+        with self._lock:
+            return list(self._samples)
+
+    def clear(self):
+        """Drop every sample (reuse between measurement windows)."""
+        with self._lock:
+            self._samples.clear()
 
     def __len__(self):
         with self._lock:

@@ -297,3 +297,39 @@ class TestFlush:
         assert iq.store.get("k") is None
         assert iq.session_count() == 0
         assert iq.iq_get("k").has_lease
+
+    def test_flush_all_retires_inflight_tids(self, iq):
+        """A pre-flush TID cannot re-acquire leases after the flush: the
+        zombie session is rejected (retriably) instead of silently
+        resurrected under a stale identifier."""
+        tid = iq.gen_id()
+        iq.qar(tid, "k")
+        iq.flush_all()
+        with pytest.raises(QuarantinedError):
+            iq.qar(tid, "other")
+        with pytest.raises(QuarantinedError):
+            iq.qaread("other", tid)
+        with pytest.raises(QuarantinedError):
+            iq.iq_delta(tid, "other", "incr", 1)
+        assert iq.session_count() == 0
+
+    def test_fresh_tids_after_flush_work_normally(self, iq):
+        stale = iq.gen_id()
+        iq.flush_all()
+        fresh = iq.gen_id()
+        assert fresh > stale
+        iq.store.set("k", b"v")
+        iq.qar(fresh, "k")
+        iq.commit(fresh)
+        assert iq.store.get("k") is None
+
+    def test_zombie_terminators_after_flush_are_noops(self, iq):
+        tid = iq.gen_id()
+        iq.qaread("k", tid)
+        iq.flush_all()
+        # The flushed session is gone; commit/abort find nothing to do
+        # and must not fail or touch post-flush state.
+        iq.store.set("k", b"after-flush")
+        iq.commit(tid)
+        iq.abort(tid)
+        assert iq.store.get("k")[0] == b"after-flush"

@@ -1,0 +1,86 @@
+"""Consistent-hash ring: determinism, balance, minimal remapping."""
+
+import pytest
+
+from repro.sharding import ConsistentHashRing
+
+KEYS = ["user:{}".format(i) for i in range(2000)]
+
+
+def test_same_inputs_produce_same_owners():
+    a = ConsistentHashRing(["x", "y", "z"])
+    b = ConsistentHashRing(["z", "x", "y"])  # insertion order is irrelevant
+    assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+
+def test_every_key_maps_to_a_member_node():
+    ring = ConsistentHashRing(["x", "y", "z"])
+    owners = {ring.node_for(k) for k in KEYS}
+    assert owners <= {"x", "y", "z"}
+    assert len(owners) == 3
+
+
+def test_str_and_bytes_keys_agree():
+    ring = ConsistentHashRing(["x", "y", "z"])
+    assert ring.node_for("user:7") == ring.node_for(b"user:7")
+
+
+def test_spread_is_roughly_even():
+    ring = ConsistentHashRing(["x", "y", "z"], vnodes=64)
+    counts = ring.spread(KEYS)
+    # With 64 virtual nodes per shard the imbalance stays far from
+    # degenerate: no shard owns less than 10% or more than 60%.
+    for node, count in counts.items():
+        assert count > len(KEYS) * 0.10, counts
+        assert count < len(KEYS) * 0.60, counts
+
+
+def test_adding_a_node_only_moves_keys_to_it():
+    ring = ConsistentHashRing(["x", "y", "z"])
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.add_node("w")
+    moved = 0
+    for key in KEYS:
+        owner = ring.node_for(key)
+        if owner != before[key]:
+            # Consistent hashing: a key may only move *to* the new node.
+            assert owner == "w"
+            moved += 1
+    # Roughly 1/N of the keys move -- never none, never a majority.
+    assert 0 < moved < len(KEYS) * 0.5
+
+
+def test_removing_a_node_preserves_surviving_owners():
+    ring = ConsistentHashRing(["x", "y", "z"])
+    before = {k: ring.node_for(k) for k in KEYS}
+    ring.remove_node("y")
+    for key in KEYS:
+        if before[key] != "y":
+            assert ring.node_for(key) == before[key]
+        else:
+            assert ring.node_for(key) in ("x", "z")
+
+
+def test_duplicate_and_unknown_nodes_are_rejected():
+    ring = ConsistentHashRing(["x"])
+    with pytest.raises(ValueError):
+        ring.add_node("x")
+    with pytest.raises(ValueError):
+        ring.remove_node("nope")
+
+
+def test_empty_ring_cannot_route():
+    ring = ConsistentHashRing()
+    with pytest.raises(ValueError):
+        ring.node_for("k")
+
+
+def test_vnodes_must_be_positive():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(["x"], vnodes=0)
+
+
+def test_len_counts_physical_nodes():
+    ring = ConsistentHashRing(["x", "y"], vnodes=32)
+    assert len(ring) == 2
+    assert ring.nodes == ["x", "y"]

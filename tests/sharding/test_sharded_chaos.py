@@ -1,0 +1,213 @@
+"""Partial failure of a sharded cache tier: one shard dies, the rest serve.
+
+The sharded degradation contract under test: killing one shard
+mid-commit may cost *only that shard's keys* -- they are journaled for
+delete-on-recover and their Q leases expire server-side -- while every
+other shard applies normally and keeps serving.  And at four shards
+under the full BG workload with a kill + cold restart, every technique
+still reports exactly zero unpredictable reads.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.bg.workload import HIGH_WRITE_MIX
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+    KeyChange,
+)
+from repro.core.session import AcquisitionMode
+from repro.faults import RestartableServer
+from repro.net import ResilientIQServer
+from repro.sharding import ShardedIQServer
+from repro.util.backoff import NoBackoff
+
+from tests.sharding.test_sharded_server import keys_on_distinct_shards
+
+TECHNIQUES = [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+
+POLICIES = {
+    Technique.INVALIDATE: IQInvalidateClient,
+    Technique.REFRESH: IQRefreshClient,
+    Technique.DELTA: IQDeltaClient,
+}
+
+
+def make_iq(tid_start=1):
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=0.3, q_lease_ttl=0.3),
+        tid_start=tid_start,
+    )
+
+
+def make_iq_long_leases(tid_start=1):
+    # The deterministic mid-commit test asserts on the *journal* path;
+    # long TTLs keep the healthy shards' Q leases from expiring while
+    # the victim's kill (a blocking server shutdown) is in progress.
+    return IQServer(
+        lease_config=LeaseConfig(i_lease_ttl=5.0, q_lease_ttl=5.0),
+        tid_start=tid_start,
+    )
+
+
+def resilient(server):
+    return ResilientIQServer(
+        port=server.port,
+        config=NetConfig(
+            connect_timeout=1.0, operation_timeout=2.0, max_retries=2,
+            breaker_failure_threshold=3, breaker_cooldown=0.02,
+        ),
+        backoff_config=BackoffConfig(
+            initial_delay=0.002, max_delay=0.02, jitter=0.0
+        ),
+    )
+
+
+@pytest.fixture
+def shard_servers():
+    servers = [RestartableServer(make_iq_long_leases) for _ in range(3)]
+    for server in servers:
+        server.start()
+    yield servers
+    for server in servers:
+        server.kill()
+
+
+def changes_for(technique, keys):
+    if technique is Technique.INVALIDATE:
+        return [KeyChange(k) for k in keys]
+    if technique is Technique.REFRESH:
+        return [KeyChange(k, refresher=lambda old: b"new") for k in keys]
+    return [KeyChange(k, deltas=[("incr", 5)]) for k in keys]
+
+
+def read_score(users_db):
+    fresh = users_db.connect()
+    try:
+        return fresh.query_scalar("SELECT score FROM users WHERE id = 1")
+    finally:
+        fresh.close()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_mid_commit_shard_kill_degrades_only_that_shard(
+    shard_servers, users_db, technique
+):
+    """A 3-shard write loses one shard between the SQL commit and the
+    KVS apply.  The victim's key is journaled, the other two shards
+    apply normally, and the SQL transaction is never re-run."""
+    backends = [resilient(server) for server in shard_servers]
+    router = ShardedIQServer(backends)
+    iq_client = IQClient(router, backoff=NoBackoff(max_attempts=50))
+    policy = POLICIES[technique](
+        iq_client, users_db.connect,
+        mode=AcquisitionMode.PRIOR, backoff=NoBackoff(),
+    )
+    keys = keys_on_distinct_shards(router, 3)
+    initial = b"10" if technique is Technique.DELTA else b"old"
+    for key in keys:
+        assert policy.read(key, lambda: initial) == initial
+
+    victim_key = keys[0]
+    victim_index = int(router.shard_name_for(victim_key)[len("shard"):])
+    victim_server = shard_servers[victim_index]
+    victim_backend = backends[victim_index]
+
+    def body(session):
+        # PRIOR mode: every Q lease (and proposal) is already placed on
+        # all three shards.  Killing the victim here lands the failure
+        # between commit_sql and the shrinking-phase fan-out.
+        session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+        victim_server.kill()
+        return "done"
+
+    outcome = policy.write(body, changes_for(technique, keys))
+
+    assert outcome.result == "done"
+    assert outcome.restarts == 0          # the SQL transaction ran once
+    assert read_score(users_db) == 11
+
+    # Only the victim's key is journaled, on the victim's own journal.
+    assert router.degraded_shard_commits >= 1
+    assert victim_key in victim_backend.journal.peek()
+    for index, backend in enumerate(backends):
+        if index != victim_index:
+            assert len(backend.journal) == 0
+
+    # The healthy shards applied their legs of the session.
+    expected = {
+        Technique.INVALIDATE: None,
+        Technique.REFRESH: b"new",
+        Technique.DELTA: b"15",
+    }[technique]
+    for key in keys[1:]:
+        hit = router.shard_for(key).get(key)
+        if expected is None:
+            assert hit is None
+        else:
+            assert hit[0] == expected
+
+    # The victim restarts cold; the first operation through its backend
+    # reconciles the journal, so the key can only miss -- never serve
+    # the pre-kill value.
+    victim_server.start()
+    time.sleep(0.05)  # let the breaker cooldown elapse
+    assert victim_backend.get(victim_key) is None
+    assert len(victim_backend.journal) == 0
+    assert policy.read(victim_key, lambda: b"fresh") == b"fresh"
+
+    for backend in backends:
+        backend.close()
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_zero_stale_at_four_shards_with_kill_and_restart(technique):
+    """BG over four networked shards; one shard dies mid-workload and
+    comes back cold.  Zero unpredictable reads, zero errors."""
+    servers = [RestartableServer(make_iq) for _ in range(4)]
+    for server in servers:
+        server.start()
+    backends = [resilient(server) for server in servers]
+    try:
+        system = build_bg_system(
+            members=60, friends_per_member=6, resources_per_member=2,
+            technique=technique, leased=True, mix=HIGH_WRITE_MIX,
+            iq_server=backends,
+        )
+        assert isinstance(system.cache, ShardedIQServer)
+        assert system.cache.shard_count == 4
+        victim = servers[1]
+
+        def controller():
+            time.sleep(0.2)
+            victim.kill()
+            time.sleep(0.15)
+            victim.start()
+
+        chaos = threading.Thread(target=controller)
+        chaos.start()
+        result = system.runner.run(threads=4, duration=1.2)
+        chaos.join()
+
+        assert result.actions > 0
+        assert result.errors == 0
+        assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+        assert victim.kills == 1
+        # The fleet as a whole kept serving: the merged view shows cache
+        # traffic, and the victim's client really did lose connections.
+        assert system.cache.stats.get("cmd_get") > 0
+        assert backends[1].reconnects >= 2
+    finally:
+        for backend in backends:
+            backend.close()
+        for server in servers:
+            server.kill()

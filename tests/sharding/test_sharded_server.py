@@ -1,0 +1,296 @@
+"""ShardedIQServer: routing, composite sessions, parity with one server.
+
+The acceptance bar for the router: with ``shards=1`` it is
+indistinguishable from driving the :class:`IQServer` directly (same
+results, byte-identical store contents), and with several shards each
+key's lease protocol runs entirely on its owning shard.
+"""
+
+import pytest
+
+from repro.bg.actions import Technique
+from repro.bg.harness import build_bg_system
+from repro.casql.keys import KeySpace
+from repro.core.backend import LeaseBackend
+from repro.core.iq_server import IQServer
+from repro.errors import QuarantinedError
+from repro.sharding import ShardedIQServer
+
+TECHNIQUES = [Technique.INVALIDATE, Technique.REFRESH, Technique.DELTA]
+
+
+def make_router(count):
+    backends = [IQServer() for _ in range(count)]
+    return ShardedIQServer(backends), backends
+
+
+def keys_on_distinct_shards(router, count, prefix="key"):
+    """One key per shard, for ``count`` distinct shards, sorted by shard."""
+    chosen = {}
+    for i in range(100_000):
+        key = "{}{}".format(prefix, i)
+        name = router.shard_name_for(key)
+        if name not in chosen:
+            chosen[name] = key
+            if len(chosen) == count:
+                return [chosen[name] for name in sorted(chosen)]
+    raise AssertionError("could not find keys on {} shards".format(count))
+
+
+# ---------------------------------------------------------------------------
+# Construction and protocol compliance
+# ---------------------------------------------------------------------------
+
+def test_router_is_a_lease_backend():
+    router, _ = make_router(2)
+    assert isinstance(router, LeaseBackend)
+
+
+def test_requires_at_least_one_shard():
+    with pytest.raises(ValueError):
+        ShardedIQServer([])
+
+
+def test_names_must_be_unique_and_match():
+    with pytest.raises(ValueError):
+        ShardedIQServer([IQServer(), IQServer()], names=["a", "a"])
+    with pytest.raises(ValueError):
+        ShardedIQServer([IQServer(), IQServer()], names=["a"])
+
+
+# ---------------------------------------------------------------------------
+# shards=1 parity: the router is pure pass-through plus TID indirection
+# ---------------------------------------------------------------------------
+
+def drive_protocol(backend):
+    """One scripted pass over all three techniques; returns observations."""
+    observed = []
+
+    # Read-through population under an I lease.
+    miss = backend.iq_get("k")
+    assert miss.has_lease
+    observed.append(miss.value)
+    backend.iq_set("k", b"v1", miss.token)
+    observed.append(backend.iq_get("k").value)
+
+    # Invalidate session: QaR then commit deletes.
+    tid = backend.gen_id()
+    backend.qar(tid, "k")
+    backend.commit(tid)
+    after = backend.iq_get("k")
+    observed.append(after.value)
+    backend.iq_set("k", b"v2", after.token)
+
+    # Refresh session: QaRead then SaR.
+    tid = backend.gen_id()
+    old = backend.qaread("k", tid).value
+    observed.append(old)
+    backend.sar("k", old + b"+r", tid)
+    backend.commit(tid)
+    observed.append(backend.iq_get("k").value)
+
+    # Incremental-update session: buffered delta applied at commit.
+    counter = backend.iq_get("c")
+    backend.iq_set("c", b"10", counter.token)
+    tid = backend.gen_id()
+    backend.iq_delta(tid, "c", "incr", 5)
+    backend.commit(tid)
+    observed.append(backend.iq_get("c").value)
+
+    # Abort releases without applying.
+    tid = backend.gen_id()
+    backend.qar(tid, "c")
+    backend.abort(tid)
+    observed.append(backend.iq_get("c").value)
+    return observed
+
+
+def test_single_shard_router_matches_direct_server():
+    direct = IQServer()
+    router, backends = make_router(1)
+    assert drive_protocol(direct) == drive_protocol(router)
+    for key in ("k", "c"):
+        assert direct.store.get(key) == backends[0].store.get(key)
+
+
+@pytest.mark.parametrize("technique", TECHNIQUES)
+def test_single_shard_bg_run_is_byte_identical(technique):
+    """A deterministic single-threaded BG run leaves byte-identical
+    cache contents behind ``shards=1`` and the direct server path."""
+    build = dict(
+        members=40, friends_per_member=6, resources_per_member=2,
+        technique=technique, seed=7,
+    )
+    direct = build_bg_system(**build)
+    sharded = build_bg_system(shards=1, **build)
+    assert isinstance(sharded.cache, ShardedIQServer)
+
+    r1 = direct.runner.run(threads=1, ops_per_thread=150)
+    r2 = sharded.runner.run(threads=1, ops_per_thread=150)
+    assert r1.actions == r2.actions == 150
+    assert r1.errors == r2.errors == 0
+    assert direct.log.unpredictable_reads() == 0
+    assert sharded.log.unpredictable_reads() == 0
+
+    def cache_contents(store):
+        keyspace = KeySpace()
+        state = {}
+        members = build["members"]
+        resources = members * build["resources_per_member"] + 1
+        kinds = [
+            keyspace.profile, keyspace.friends, keyspace.pending_friends,
+            keyspace.top_resources, keyspace.pending_count,
+            keyspace.friend_count,
+        ]
+        for member in range(members):
+            for kind in kinds:
+                key = kind(member)
+                hit = store.get(key)
+                state[key] = None if hit is None else hit[0]
+        for resource in range(resources):
+            key = keyspace.resource_comments(resource)
+            hit = store.get(key)
+            state[key] = None if hit is None else hit[0]
+        return state
+
+    assert cache_contents(direct.cache.store) == cache_contents(
+        sharded.cache.backend("shard0").store
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-shard routing
+# ---------------------------------------------------------------------------
+
+def test_keys_live_only_on_their_owning_shard():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    for key in keys:
+        miss = router.iq_get(key)
+        router.iq_set(key, key.encode(), miss.token)
+    for key in keys:
+        owner = router.shard_for(key)
+        assert owner.store.get(key)[0] == key.encode()
+        for backend in backends:
+            if backend is not owner:
+                assert backend.store.get(key) is None
+
+
+def test_shard_tids_are_minted_lazily():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    tid = router.gen_id()
+    assert all(backend.session_count() == 0 for backend in backends)
+    router.qar(tid, keys[0])
+    assert router.shard_for(keys[0]).session_count() == 1
+    assert sum(backend.session_count() for backend in backends) == 1
+    router.commit(tid)
+    assert all(backend.session_count() == 0 for backend in backends)
+    assert router.session_count() == 0
+
+
+def test_commit_fans_out_to_every_touched_shard():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    for key in keys:
+        miss = router.iq_get(key)
+        router.iq_set(key, b"cached", miss.token)
+    tid = router.gen_id()
+    for key in keys:
+        router.qar(tid, key)
+    router.commit(tid)
+    for key in keys:
+        assert router.shard_for(key).store.get(key) is None
+    assert all(backend.session_count() == 0 for backend in backends)
+
+
+def test_abort_releases_across_shards_without_applying():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    for key in keys:
+        miss = router.iq_get(key)
+        router.iq_set(key, b"cached", miss.token)
+    tid = router.gen_id()
+    for key in keys:
+        router.qar(tid, key)
+    router.abort(tid)
+    for key in keys:
+        assert router.shard_for(key).store.get(key)[0] == b"cached"
+    assert all(backend.session_count() == 0 for backend in backends)
+
+
+def test_terminators_are_idempotent_for_unknown_tids():
+    router, _ = make_router(2)
+    assert router.commit(424242) is True
+    assert router.abort(424242) is True
+
+
+def test_read_your_own_update_routes_to_the_touched_shard():
+    router, _ = make_router(3)
+    key = keys_on_distinct_shards(router, 3)[0]
+    miss = router.iq_get(key)
+    router.iq_set(key, b"10", miss.token)
+    tid = router.gen_id()
+    router.iq_delta(tid, key, "incr", 5)
+    # The writing session sees its pending version through the router...
+    assert router.iq_get(key, session=tid).value == b"15"
+    router.commit(tid)
+    assert router.iq_get(key).value == b"15"
+
+
+def test_merged_stats_sum_every_shard():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    for key in keys:
+        miss = router.iq_get(key)
+        router.iq_set(key, b"v", miss.token)
+        router.iq_get(key)
+    merged = router.stats.snapshot()
+    per_shard = router.shard_stats()
+    assert set(per_shard) == {"shard0", "shard1", "shard2"}
+    for name in ("cmd_get", "get_hits", "i_lease_grants"):
+        assert merged[name] == sum(s[name] for s in per_shard.values())
+    assert merged["get_hits"] == 3
+    assert router.stats.hit_rate() == pytest.approx(0.5)
+
+
+def test_local_journal_reconciles_by_routing():
+    # In-process IQServer shards have no recovery journal of their own,
+    # so journaled keys collect locally and reconcile by routed delete.
+    router, _ = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    for key in keys:
+        miss = router.iq_get(key)
+        router.iq_set(key, b"stale?", miss.token)
+    router.journal.add(keys)
+    assert router.journal.peek() == sorted(keys)
+    assert router.journal.total_journaled == 3
+    assert router.reconcile_local() == 3
+    assert not router.journal
+    for key in keys:
+        assert router.shard_for(key).store.get(key) is None
+
+
+def test_flush_all_clears_shards_and_composite_sessions():
+    router, backends = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    miss = router.iq_get(keys[0])
+    router.iq_set(keys[0], b"v", miss.token)
+    tid = router.gen_id()
+    router.qar(tid, keys[0])
+    router.flush_all()
+    assert router.session_count() == 0
+    assert all(backend.session_count() == 0 for backend in backends)
+    assert router.shard_for(keys[0]).store.get(keys[0]) is None
+    # A zombie terminator for a pre-flush composite session is a no-op.
+    assert router.commit(tid) is True
+    # A zombie *acquisition* reaches the shard with a retired shard TID
+    # and is rejected there (the flush watermark), never silently
+    # resurrected under a stale identifier.
+    stale_shard_tid = None
+    for backend in backends:
+        if backend._tid_watermark >= 1:
+            stale_shard_tid = backend
+    assert stale_shard_tid is not None
+    with pytest.raises(QuarantinedError):
+        stale_shard_tid.qar(1, "some-key")

@@ -1,0 +1,171 @@
+"""Write sessions whose KeyChange set spans several shards.
+
+One application-level session, three keys, three shards: the growing
+phase must acquire Q leases on every owning shard before the RDBMS
+commit, the shrinking phase must apply on every touched shard after it,
+and nothing may leak (sessions, leases, buffered proposals) once the
+session terminates -- under all three consistency techniques.
+"""
+
+import pytest
+
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+    KeyChange,
+)
+from repro.core.session import AcquisitionMode
+from repro.sharding import ShardedIQServer
+from repro.util.backoff import NoBackoff
+
+from tests.sharding.test_sharded_server import keys_on_distinct_shards
+
+
+@pytest.fixture
+def router():
+    return ShardedIQServer([IQServer() for _ in range(3)])
+
+
+def make_policy(cls, router, users_db, mode=AcquisitionMode.DURING):
+    client = IQClient(router, backoff=NoBackoff(max_attempts=50))
+    return cls(client, users_db.connect, mode=mode, backoff=NoBackoff())
+
+
+def score_body(session):
+    session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+    return "done"
+
+
+def read_score(users_db):
+    fresh = users_db.connect()
+    try:
+        return fresh.query_scalar("SELECT score FROM users WHERE id = 1")
+    finally:
+        fresh.close()
+
+
+def populate(policy, keys, value):
+    for key in keys:
+        assert policy.read(key, lambda: value) == value
+
+
+def assert_no_leaked_sessions(router):
+    assert router.session_count() == 0
+    for name in router.shard_names:
+        assert router.backend(name).session_count() == 0
+
+
+@pytest.mark.parametrize(
+    "mode", [AcquisitionMode.PRIOR, AcquisitionMode.DURING]
+)
+def test_invalidate_write_spanning_three_shards(router, users_db, mode):
+    policy = make_policy(IQInvalidateClient, router, users_db, mode=mode)
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"cached")
+
+    outcome = policy.write(score_body, [KeyChange(k) for k in keys])
+
+    assert outcome.result == "done"
+    assert read_score(users_db) == 11
+    for key in keys:
+        assert router.shard_for(key).store.get(key) is None
+    assert_no_leaked_sessions(router)
+    assert policy.degraded_key_changes == 0
+
+
+def test_refresh_write_spanning_three_shards(router, users_db):
+    policy = make_policy(
+        IQRefreshClient, router, users_db, mode=AcquisitionMode.PRIOR
+    )
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"old")
+    changes = [
+        KeyChange(k, refresher=lambda old: b"new:" + (old or b"?"))
+        for k in keys
+    ]
+
+    def body(session):
+        # PRIOR mode: every shard's Q lease is already held and the new
+        # values are computed, yet nothing is applied anywhere until the
+        # shrinking phase -- the stores still serve the old version.
+        for key in keys:
+            assert router.shard_for(key).store.get(key)[0] == b"old"
+        return score_body(session)
+
+    outcome = policy.write(body, changes)
+
+    assert outcome.result == "done"
+    assert read_score(users_db) == 11
+    for key in keys:
+        assert router.shard_for(key).store.get(key)[0] == b"new:old"
+    assert_no_leaked_sessions(router)
+
+
+def test_delta_write_spanning_three_shards(router, users_db):
+    policy = make_policy(
+        IQDeltaClient, router, users_db, mode=AcquisitionMode.PRIOR
+    )
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"10")
+    changes = [KeyChange(k, deltas=[("incr", 5)]) for k in keys]
+
+    def body(session):
+        # The deltas are proposed (buffered on each owning shard) but
+        # not applied until the session commits.
+        for key in keys:
+            assert router.shard_for(key).store.get(key)[0] == b"10"
+        return score_body(session)
+
+    outcome = policy.write(body, changes)
+
+    assert outcome.result == "done"
+    assert read_score(users_db) == 11
+    for key in keys:
+        assert router.shard_for(key).store.get(key)[0] == b"15"
+    assert_no_leaked_sessions(router)
+
+
+def test_quarantined_keys_block_readers_on_every_shard(router, users_db):
+    """During the multi-shard growing phase, a concurrent reader gets
+    back-off (not a stale hit, not an I lease) on each quarantined key."""
+    policy = make_policy(
+        IQDeltaClient, router, users_db, mode=AcquisitionMode.PRIOR
+    )
+    keys = keys_on_distinct_shards(router, 3)
+    changes = [KeyChange(k, deltas=[("append", b"+x")]) for k in keys]
+    populate(policy, keys, b"base")
+
+    def body(session):
+        for key in keys:
+            probe = router.iq_get(key)
+            assert probe.value == b"base" or probe.backoff
+        return score_body(session)
+
+    policy.write(body, changes)
+    for key in keys:
+        assert router.shard_for(key).store.get(key)[0] == b"base+x"
+
+
+def test_mixed_change_set_routes_each_kind(router, users_db):
+    """One session mixing an invalidation, a refresh, and keys that all
+    live on different shards applies each treatment on the right shard."""
+    policy = make_policy(
+        IQRefreshClient, router, users_db, mode=AcquisitionMode.DURING
+    )
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"old")
+    changes = [
+        KeyChange(keys[0], invalidate=True),
+        KeyChange(keys[1], refresher=lambda old: b"refreshed"),
+        KeyChange(keys[2]),  # no refresher: treated as an invalidation
+    ]
+
+    policy.write(score_body, changes)
+
+    assert router.shard_for(keys[0]).store.get(keys[0]) is None
+    assert router.shard_for(keys[1]).store.get(keys[1])[0] == b"refreshed"
+    assert router.shard_for(keys[2]).store.get(keys[2]) is None
+    assert_no_leaked_sessions(router)

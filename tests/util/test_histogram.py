@@ -70,3 +70,63 @@ def test_concurrent_recording():
     for t in threads:
         t.join()
     assert len(hist) == 4000
+
+
+def test_merge_returns_self_for_chaining():
+    first, second = LatencyHistogram(), LatencyHistogram()
+    second.record(0.030)
+    assert first.merge(second) is first
+    assert len(first) == 1
+    # The source is snapshotted, not drained.
+    assert len(second) == 1
+
+
+def test_merge_with_self_is_a_noop():
+    hist = LatencyHistogram()
+    hist.record(0.010)
+    hist.merge(hist)
+    assert len(hist) == 1
+
+
+def test_merged_classmethod_aggregates_shards():
+    shards = [LatencyHistogram() for _ in range(4)]
+    for index, shard in enumerate(shards):
+        for _ in range(10):
+            shard.record((index + 1) / 1000.0)
+    combined = LatencyHistogram.merged(shards)
+    assert len(combined) == 40
+    assert combined.max() == pytest.approx(0.004)
+    assert combined.percentile(0.25) == pytest.approx(0.001)
+    # The sources are untouched.
+    assert all(len(shard) == 10 for shard in shards)
+
+
+def test_snapshot_and_clear():
+    hist = LatencyHistogram()
+    hist.record(0.010)
+    hist.record(0.020)
+    assert hist.snapshot() == [0.010, 0.020]
+    hist.clear()
+    assert len(hist) == 0
+    assert hist.snapshot() == []
+
+
+def test_concurrent_cross_merges_do_not_deadlock():
+    first, second = LatencyHistogram(), LatencyHistogram()
+    for i in range(100):
+        first.record(i / 1e6)
+        second.record(i / 1e6)
+
+    def churn(target, source):
+        for _ in range(200):
+            target.merge(source)
+
+    threads = [
+        threading.Thread(target=churn, args=(first, second)),
+        threading.Thread(target=churn, args=(second, first)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert not any(t.is_alive() for t in threads)
