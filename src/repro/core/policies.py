@@ -102,8 +102,9 @@ class _IQClientBase:
     partial -- one shard's circuit breaker is open while the rest of the
     fleet is healthy.  Each key's lease acquisition and post-commit
     apply is therefore guarded individually: an unreachable shard costs
-    only its own keys (journaled for delete-on-recover, leases left to
-    expire), and the session proceeds normally on every other shard.
+    only its own keys (journaled for delete-on-recover once the RDBMS
+    transaction has committed, leases left to expire), and the session
+    proceeds normally on every other shard.
     The whole-session fallback below remains for the case where the
     backend cannot even mint a session identifier.
 
@@ -178,13 +179,21 @@ class _IQClientBase:
         session.detach_kvs()
         self.detached_sessions += 1
 
-    def _guard_key(self, change, operation):
+    def _guard_key(self, change, operation, pending=None):
         """Run one key's cache operation, degrading only that key's shard.
 
         Returns True when the operation ran; on
-        :class:`~repro.errors.CacheUnavailableError` the key is journaled
-        and skipped -- the rest of the session keeps using the cache.
-        Lease conflicts (:class:`~repro.errors.QuarantinedError`) are not
+        :class:`~repro.errors.CacheUnavailableError` the key is skipped
+        and the rest of the session keeps using the cache.  Growing-phase
+        callers pass ``pending``: the change is queued there and journaled
+        only after ``commit_sql`` (see :meth:`_journal_pending`).
+        Journaling it at failure time would be unsafe -- if the shard
+        recovers mid-session, a delete-on-recover pass consumes the entry
+        and deletes the key *before* the commit, after which a concurrent
+        reader re-caches the pre-transaction value from SQL and no
+        invalidation ever arrives to displace it.  Post-commit callers
+        omit ``pending`` and the key is journaled immediately.  Lease
+        conflicts (:class:`~repro.errors.QuarantinedError`) are not
         availability failures and propagate to the session retry loop.
         """
         try:
@@ -193,9 +202,21 @@ class _IQClientBase:
         except CacheUnavailableError:
             if not self.degraded_fallback:
                 raise
-            self._journal([change])
+            if pending is None:
+                self._journal([change])
+            else:
+                pending.append(change)
             self.degraded_key_changes += 1
             return False
+
+    def _journal_pending(self, pending):
+        """Journal growing-phase casualties, now that the SQL committed.
+
+        Before the commit their cached values were still correct, so the
+        journal entries must not exist yet; a session that aborts simply
+        discards ``pending``."""
+        if pending:
+            self._journal(pending)
 
     def _write_degraded(self, sql_body, changes, cause):
         """Run the write's RDBMS transaction with no KVS participation."""
@@ -227,10 +248,13 @@ class IQInvalidateClient(_IQClientBase):
 
     def _write_sessions(self, sql_body, changes):
         def body(session):
+            degraded = []
+
             def acquire():
                 for change in changes:
                     self._guard_key(
-                        change, lambda c=change: session.qar(c.key)
+                        change, lambda c=change: session.qar(c.key),
+                        pending=degraded,
                     )
 
             if self.mode == AcquisitionMode.PRIOR:
@@ -242,6 +266,7 @@ class IQInvalidateClient(_IQClientBase):
                 result = sql_body(session)
                 acquire()
             session.commit_sql()
+            self._journal_pending(degraded)
             try:
                 session.dar()
             except CacheUnavailableError:
@@ -267,12 +292,14 @@ class IQRefreshClient(_IQClientBase):
     def _write_sessions(self, sql_body, changes):
         def body(session):
             new_values = {}
+            degraded = []
 
             def acquire_and_compute():
                 for change in changes:
                     if self._is_invalidation(change):
                         self._guard_key(
-                            change, lambda c=change: session.qar(c.key)
+                            change, lambda c=change: session.qar(c.key),
+                            pending=degraded,
                         )
                         continue
 
@@ -280,7 +307,7 @@ class IQRefreshClient(_IQClientBase):
                         old = session.qaread(c.key).value
                         new_values[c.key] = c.refresher(old)
 
-                    self._guard_key(change, read_modify)
+                    self._guard_key(change, read_modify, pending=degraded)
 
             if self.mode == AcquisitionMode.PRIOR:
                 acquire_and_compute()
@@ -291,6 +318,7 @@ class IQRefreshClient(_IQClientBase):
                 result = sql_body(session)
                 acquire_and_compute()
             session.commit_sql()
+            self._journal_pending(degraded)
             try:
                 for change in changes:
                     # A key whose shard degraded during the growing phase
@@ -316,13 +344,29 @@ class IQRefreshClient(_IQClientBase):
 class IQDeltaClient(_IQClientBase):
     """Section 4.2.1: IQ-delta before commit, Commit(TID) after."""
 
+    def _poison_shard(self, session, key):
+        """A key's multi-delta proposal failed partway: the owning shard
+        may hold only *some* of the deltas, and committing its leg would
+        surface a value with a partial proposal applied.  A sharded
+        backend is told to poison the leg -- the router deletes the
+        shard's keys and aborts (never commits) its TID in the shrinking
+        phase.  Single-server backends need no marker: their journal is
+        reconciled (key deleted) before any command -- including the
+        commit -- runs on a recovered connection."""
+        poison = getattr(self.client.server, "poison", None)
+        if poison is not None:
+            poison(session.tid, key)
+
     def _write_sessions(self, sql_body, changes):
         def body(session):
+            degraded = []
+
             def propose():
                 for change in changes:
                     if change.invalidate:
                         self._guard_key(
-                            change, lambda c=change: session.qar(c.key)
+                            change, lambda c=change: session.qar(c.key),
+                            pending=degraded,
                         )
                         continue
 
@@ -330,11 +374,11 @@ class IQDeltaClient(_IQClientBase):
                         for op, operand in c.deltas:
                             session.delta(c.key, op, operand)
 
-                    # All of a key's deltas land on one shard; if the
-                    # shard fails mid-proposal the key is journaled and
-                    # the shard-side reconciliation deletes it before
-                    # any partial proposal could be committed.
-                    self._guard_key(change, propose_deltas)
+                    # All of a key's deltas land on one shard.
+                    if not self._guard_key(
+                        change, propose_deltas, pending=degraded
+                    ):
+                        self._poison_shard(session, change.key)
 
             if self.mode == AcquisitionMode.PRIOR:
                 propose()
@@ -345,6 +389,7 @@ class IQDeltaClient(_IQClientBase):
                 result = sql_body(session)
                 propose()
             session.commit_sql()
+            self._journal_pending(degraded)
             try:
                 session.commit_kvs()
             except CacheUnavailableError:

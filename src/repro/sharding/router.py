@@ -31,12 +31,18 @@ when it has one), and its Q leases are left to expire server-side --
 which deletes the quarantined keys (Section 4.2 condition 3).  The
 healthy shards apply normally.  Degradation is therefore confined to
 one shard's key range, never the whole cache.
+
+A shard that failed *during* the growing phase of an incremental-update
+session may hold a partial delta proposal; the client marks the leg via
+:meth:`ShardedIQServer.poison` and the shrinking phase deletes that
+shard's keys and aborts its TID instead of committing it, so a partial
+proposal can never surface as a cached value.
 """
 
 import threading
 
 from repro.core.backend import LeaseBackend
-from repro.errors import CacheUnavailableError
+from repro.errors import CacheUnavailableError, QuarantinedError
 from repro.kvs.stats import MergedCacheStats
 from repro.sharding.ring import ConsistentHashRing
 from repro.util.tokens import TokenGenerator
@@ -58,7 +64,11 @@ class ShardedJournal:
         self._router = router
         self._lock = threading.Lock()
         self._local = set()
-        self._local_journaled = 0
+        #: every key ever journaled locally.  Counting off this set --
+        #: rather than on each insertion -- keeps a key that was drained
+        #: by :meth:`drain_local` and re-added by a failed
+        #: ``reconcile_local`` pass from inflating ``total_journaled``.
+        self._local_seen = set()
 
     def _shard_journals(self):
         seen = []
@@ -75,9 +85,8 @@ class ShardedJournal:
                 journal.add([key])
             else:
                 with self._lock:
-                    if key not in self._local:
-                        self._local.add(key)
-                        self._local_journaled += 1
+                    self._local.add(key)
+                    self._local_seen.add(key)
 
     def peek(self):
         """Every key currently awaiting reconciliation, across shards."""
@@ -97,7 +106,7 @@ class ShardedJournal:
     @property
     def total_journaled(self):
         with self._lock:
-            total = self._local_journaled
+            total = len(self._local_seen)
         return total + sum(j.total_journaled for j in self._shard_journals())
 
     def __len__(self):
@@ -110,7 +119,7 @@ class ShardedJournal:
 class _ShardSession:
     """Router-side bookkeeping for one composite session."""
 
-    __slots__ = ("tid", "shard_tids", "keys_by_shard", "lock")
+    __slots__ = ("tid", "shard_tids", "keys_by_shard", "poisoned", "lock")
 
     def __init__(self, tid):
         self.tid = tid
@@ -118,6 +127,9 @@ class _ShardSession:
         self.shard_tids = {}
         #: shard name -> keys this session touched there
         self.keys_by_shard = {}
+        #: shards holding a possibly-partial proposal for this session;
+        #: their legs are deleted-and-aborted at commit, never committed
+        self.poisoned = set()
         self.lock = threading.Lock()
 
 
@@ -142,6 +154,11 @@ class ShardedIQServer(LeaseBackend):
         self.ring = ConsistentHashRing(names, vnodes=vnodes)
         self._tids = TokenGenerator(start=1)
         self._sessions = {}
+        # Composite TIDs at or below the watermark were retired by a
+        # flush_all; growing-phase commands quoting one are zombies of
+        # pre-flush sessions and abort instead of minting fresh
+        # post-flush shard TIDs (mirrors IQServer._check_tid_live).
+        self._tid_watermark = 0
         self._lock = threading.Lock()
         self.journal = ShardedJournal(self)
         #: commit/abort legs that found their shard unreachable
@@ -149,6 +166,8 @@ class ShardedIQServer(LeaseBackend):
         self.degraded_shard_aborts = 0
         #: keys journaled because their shard failed mid-shrinking-phase
         self.journaled_commit_keys = 0
+        #: shard legs aborted because a partial delta proposal poisoned them
+        self.poisoned_shard_aborts = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -172,13 +191,27 @@ class ShardedIQServer(LeaseBackend):
 
     # -- composite-session plumbing -------------------------------------------
 
-    def _composite(self, tid):
+    def _composite(self, tid, key):
+        """The live composite session for ``tid`` (growing phase only).
+
+        A TID at or below the flush watermark belongs to a session
+        retired by :meth:`flush_all`; silently recreating it would mint
+        fresh post-flush shard TIDs and resurrect server-side state, so
+        the zombie is aborted like a lease conflict instead -- the same
+        treatment ``IQServer._check_tid_live`` gives its own zombies.
+        """
         with self._lock:
             session = self._sessions.get(tid)
             if session is None:
+                if tid <= self._tid_watermark:
+                    raise QuarantinedError(key)
                 session = _ShardSession(tid)
                 self._sessions[tid] = session
             return session
+
+    def _lookup(self, tid):
+        with self._lock:
+            return self._sessions.get(tid)
 
     def _shard_tid(self, session, name):
         """The session's TID on shard ``name``, minted on first touch."""
@@ -241,21 +274,21 @@ class ShardedIQServer(LeaseBackend):
 
     def qaread(self, key, tid):
         name = self.ring.node_for(key)
-        session = self._composite(tid)
+        session = self._composite(tid, key)
         result = self._backends[name].qaread(key, self._shard_tid(session, name))
         self._record_key(session, name, key)
         return result
 
     def qar(self, tid, key):
         name = self.ring.node_for(key)
-        session = self._composite(tid)
+        session = self._composite(tid, key)
         result = self._backends[name].qar(self._shard_tid(session, name), key)
         self._record_key(session, name, key)
         return result
 
     def iq_delta(self, tid, key, op, operand):
         name = self.ring.node_for(key)
-        session = self._composite(tid)
+        session = self._composite(tid, key)
         result = self._backends[name].iq_delta(
             self._shard_tid(session, name), key, op, operand
         )
@@ -264,19 +297,48 @@ class ShardedIQServer(LeaseBackend):
 
     def sar(self, key, value, tid):
         name = self.ring.node_for(key)
-        session = self._composite(tid)
+        session = self._lookup(tid)
+        if session is None:
+            # Parity with IQServer.sar: an unknown or retired session
+            # holds no lease anywhere -- the write is ignored, and no
+            # shard TID is minted on its behalf.
+            return False
         result = self._backends[name].sar(key, value, self._shard_tid(session, name))
         self._record_key(session, name, key)
         return result
 
     def propose_refresh(self, key, value, tid):
         name = self.ring.node_for(key)
-        session = self._composite(tid)
+        session = self._lookup(tid)
+        if session is None:
+            return False
         result = self._backends[name].propose_refresh(
             key, value, self._shard_tid(session, name)
         )
         self._record_key(session, name, key)
         return result
+
+    def poison(self, tid, key):
+        """Mark ``key``'s shard so this session's leg there aborts.
+
+        Called by the incremental-update client when a shard fails
+        partway through a key's multi-delta proposal: the shard may hold
+        only some of the deltas, and committing its TID would surface a
+        value with the partial proposal applied.  The shrinking phase
+        deletes the poisoned leg's keys and aborts its TID instead (see
+        :meth:`_abort_poisoned`).  Returns False for an unknown session.
+        """
+        name = self.ring.node_for(key)
+        session = self._lookup(tid)
+        if session is None:
+            return False
+        with session.lock:
+            session.poisoned.add(name)
+            # Recorded even when the failing command never reached the
+            # shard: the key's cached value is stale once the SQL
+            # commits, so the poisoned leg must delete it.
+            session.keys_by_shard.setdefault(name, set()).add(key)
+        return True
 
     # -- shrinking phase: fan-out across touched shards ------------------------
 
@@ -294,7 +356,41 @@ class ShardedIQServer(LeaseBackend):
         with session.lock:
             keys = sorted(session.keys_by_shard.get(name, ()))
         self.journal.add(keys)
-        self.journaled_commit_keys += len(keys)
+        with self._lock:
+            self.journaled_commit_keys += len(keys)
+
+    def _shard_delete(self, name, key):
+        backend = self._backends[name]
+        delete = getattr(backend, "delete", None)
+        if delete is None:
+            delete = backend.store.delete
+        delete(key)
+
+    def _abort_poisoned(self, session, name, shard_tid):
+        """Delete-and-abort one poisoned shard leg.
+
+        The shard may hold a partial delta proposal for this session,
+        so its TID must never commit.  The keys are deleted first --
+        while the Q leases are still held, so no reader can slip in
+        between and observe the pre-commit value after the leases are
+        gone -- then the abort releases the leases without applying
+        anything.  If the shard is unreachable the keys are journaled
+        instead: the leases expire server-side and delete the
+        quarantined keys (Section 4.2 condition 3).
+        """
+        with session.lock:
+            keys = sorted(session.keys_by_shard.get(name, ()))
+        try:
+            for key in keys:
+                self._shard_delete(name, key)
+            if shard_tid is not None:
+                self._backends[name].abort(shard_tid)
+        except CacheUnavailableError:
+            self.journal.add(keys)
+            with self._lock:
+                self.journaled_commit_keys += len(keys)
+        with self._lock:
+            self.poisoned_shard_aborts += 1
 
     def commit(self, tid):
         session = self._pop_composite(tid)
@@ -302,14 +398,26 @@ class ShardedIQServer(LeaseBackend):
             return True
         with session.lock:
             touched = sorted(session.shard_tids.items())
+            poisoned = set(session.poisoned)
         all_applied = True
         for name, shard_tid in touched:
+            if name in poisoned:
+                self._abort_poisoned(session, name, shard_tid)
+                all_applied = False
+                continue
             try:
                 self._backends[name].commit(shard_tid)
             except CacheUnavailableError:
-                self.degraded_shard_commits += 1
+                with self._lock:
+                    self.degraded_shard_commits += 1
                 self._detach_shard(session, name)
                 all_applied = False
+        for name in sorted(poisoned.difference(n for n, _ in touched)):
+            # The shard failed before its TID was even minted; it holds
+            # no leases or proposals, but its cached keys are stale now
+            # that the SQL has committed.
+            self._abort_poisoned(session, name, None)
+            all_applied = False
         return all_applied
 
     def abort(self, tid):
@@ -325,7 +433,8 @@ class ShardedIQServer(LeaseBackend):
             except CacheUnavailableError:
                 # The shard's leases expire on their own; nothing is
                 # applied either way, so no journaling is needed.
-                self.degraded_shard_aborts += 1
+                with self._lock:
+                    self.degraded_shard_aborts += 1
                 all_released = False
         return all_released
 
@@ -360,12 +469,8 @@ class ShardedIQServer(LeaseBackend):
         keys = self.journal.drain_local()
         done = 0
         for index, key in enumerate(keys):
-            backend = self.shard_for(key)
-            delete = getattr(backend, "delete", None)
-            if delete is None:
-                delete = backend.store.delete
             try:
-                delete(key)
+                self._shard_delete(self.ring.node_for(key), key)
             except CacheUnavailableError:
                 self.journal.add(keys[index:])
                 break
@@ -373,9 +478,17 @@ class ShardedIQServer(LeaseBackend):
         return done
 
     def flush_all(self):
-        """Flush every shard and retire every composite session."""
+        """Flush every shard and retire every composite session.
+
+        The watermark advances to the last composite TID minted before
+        the flush, so a pre-flush session resurfacing afterwards with a
+        growing-phase command aborts instead of minting fresh post-flush
+        shard TIDs -- composite TIDs cannot leak across flushes any more
+        than direct-server TIDs can.
+        """
         with self._lock:
             self._sessions.clear()
+            self._tid_watermark = self._tids.last
         for name in self.shard_names:
             self._backends[name].flush_all()
         return True

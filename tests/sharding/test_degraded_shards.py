@@ -1,0 +1,267 @@
+"""Per-key degradation against in-process shards that fail on command.
+
+Two safety properties of the per-shard degradation contract:
+
+* a growing-phase shard failure journals its key only *after* the RDBMS
+  commit -- a journal entry that exists pre-commit can be consumed by a
+  delete-on-recover pass, after which a concurrent reader re-caches the
+  pre-transaction value and no invalidation ever displaces it;
+* a shard that fails partway through a key's multi-delta proposal is
+  poisoned: its leg is deleted-and-aborted at the shrinking phase, so a
+  partial proposal can never surface as a cached value.
+"""
+
+import pytest
+
+from repro.core.backend import LeaseBackend
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import (
+    IQDeltaClient,
+    IQInvalidateClient,
+    IQRefreshClient,
+    KeyChange,
+)
+from repro.core.session import AcquisitionMode
+from repro.errors import CacheUnavailableError
+from repro.sharding import ShardedIQServer
+from repro.util.backoff import NoBackoff
+
+from tests.sharding.test_sharded_server import keys_on_distinct_shards
+
+
+class FlakyShard(LeaseBackend):
+    """An in-process shard whose chosen commands become unreachable.
+
+    ``fail_after[name] = k`` lets the first ``k`` calls of command
+    ``name`` through and raises :class:`CacheUnavailableError` from
+    every later one; :meth:`heal` makes the shard healthy again.
+    Everything else (``store``, ``session_count``, ...) passes through
+    to the wrapped :class:`IQServer`.
+    """
+
+    def __init__(self, server):
+        self.server = server
+        self.fail_after = {}
+        self._calls = {}
+
+    def heal(self):
+        self.fail_after.clear()
+
+    def _gate(self, name):
+        limit = self.fail_after.get(name)
+        if limit is not None and self._calls.get(name, 0) >= limit:
+            raise CacheUnavailableError("{} unreachable".format(name))
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def __getattr__(self, name):
+        return getattr(self.server, name)
+
+    def gen_id(self):
+        self._gate("gen_id")
+        return self.server.gen_id()
+
+    def iq_get(self, key, session=None):
+        self._gate("iq_get")
+        return self.server.iq_get(key, session=session)
+
+    def iq_set(self, key, value, token):
+        self._gate("iq_set")
+        return self.server.iq_set(key, value, token)
+
+    def release_i(self, key, token):
+        self._gate("release_i")
+        return self.server.release_i(key, token)
+
+    def qaread(self, key, tid):
+        self._gate("qaread")
+        return self.server.qaread(key, tid)
+
+    def sar(self, key, value, tid):
+        self._gate("sar")
+        return self.server.sar(key, value, tid)
+
+    def propose_refresh(self, key, value, tid):
+        self._gate("propose_refresh")
+        return self.server.propose_refresh(key, value, tid)
+
+    def qar(self, tid, key):
+        self._gate("qar")
+        return self.server.qar(tid, key)
+
+    def iq_delta(self, tid, key, op, operand):
+        self._gate("iq_delta")
+        return self.server.iq_delta(tid, key, op, operand)
+
+    def commit(self, tid):
+        self._gate("commit")
+        return self.server.commit(tid)
+
+    def abort(self, tid):
+        self._gate("abort")
+        return self.server.abort(tid)
+
+    def flush_all(self):
+        self._gate("flush_all")
+        return self.server.flush_all()
+
+
+@pytest.fixture
+def fleet():
+    shards = [FlakyShard(IQServer()) for _ in range(3)]
+    return ShardedIQServer(shards), shards
+
+
+def make_policy(cls, router, users_db, mode=AcquisitionMode.PRIOR):
+    client = IQClient(router, backoff=NoBackoff(max_attempts=50))
+    return cls(client, users_db.connect, mode=mode, backoff=NoBackoff())
+
+
+def score_body(session):
+    session.execute("UPDATE users SET score = score + 1 WHERE id = 1")
+    return "done"
+
+
+def read_score(users_db):
+    fresh = users_db.connect()
+    try:
+        return fresh.query_scalar("SELECT score FROM users WHERE id = 1")
+    finally:
+        fresh.close()
+
+
+def populate(policy, keys, value):
+    for key in keys:
+        assert policy.read(key, lambda: value) == value
+
+
+POLICIES = {
+    "invalidate": (IQInvalidateClient, "qar"),
+    "refresh": (IQRefreshClient, "qaread"),
+    "delta": (IQDeltaClient, "iq_delta"),
+}
+
+
+@pytest.mark.parametrize("technique", sorted(POLICIES))
+def test_growing_phase_failure_journals_only_after_commit(
+    fleet, users_db, technique
+):
+    """The victim key's journal entry must not exist before commit_sql:
+    a mid-session recovery pass that ran pre-commit would consume it,
+    delete the key, and let a reader re-cache the pre-transaction value
+    that the (failed) lease acquisition can no longer invalidate."""
+    router, _ = fleet
+    cls, command = POLICIES[technique]
+    policy = make_policy(cls, router, users_db)
+    keys = keys_on_distinct_shards(router, 3)
+    initial = b"10" if technique == "delta" else b"old"
+    populate(policy, keys, initial)
+    victim = keys[0]
+    router.shard_for(victim).fail_after[command] = 0
+    changes = {
+        "invalidate": [KeyChange(k) for k in keys],
+        "refresh": [KeyChange(k, refresher=lambda old: b"new") for k in keys],
+        "delta": [KeyChange(k, deltas=[("incr", 5)]) for k in keys],
+    }[technique]
+
+    observed = {}
+
+    def body(session):
+        # PRIOR mode: the growing phase is over and the victim's shard
+        # has already failed, yet nothing is journaled -- a recovery
+        # pass right now must find nothing to consume, and the victim's
+        # cached value (still correct: the SQL has not committed) stays.
+        observed["journal_during_sql"] = router.journal.peek()
+        observed["reconciled_during_sql"] = router.reconcile_local()
+        observed["victim_during_sql"] = router.shard_for(victim).store.get(
+            victim
+        )
+        return score_body(session)
+
+    outcome = policy.write(body, changes)
+
+    assert outcome.result == "done"
+    assert outcome.restarts == 0
+    assert read_score(users_db) == 11
+    assert observed["journal_during_sql"] == []
+    assert observed["reconciled_during_sql"] == 0
+    assert observed["victim_during_sql"][0] == initial
+    # After the commit the victim key is journaled and the stale value
+    # is reconciled away; the healthy shards applied normally.
+    assert victim in router.journal.peek()
+    assert policy.degraded_key_changes == 1
+    expected = {
+        "invalidate": None, "refresh": b"new", "delta": b"15",
+    }[technique]
+    for key in keys[1:]:
+        hit = router.shard_for(key).store.get(key)
+        if expected is None:
+            assert hit is None
+        else:
+            assert hit[0] == expected
+    router.shard_for(victim).heal()
+    assert router.reconcile_local() == 1
+    assert router.shard_for(victim).store.get(victim) is None
+    assert policy.read(victim, lambda: b"fresh") == b"fresh"
+
+
+def test_partial_delta_proposal_never_commits(fleet, users_db):
+    """One key's proposal is two deltas; the shard takes the first and
+    fails on the second.  Committing that shard's TID would surface
+    10+1=11 -- a value no RDBMS state ever had.  The poisoned leg is
+    deleted-and-aborted instead, the other shards apply fully."""
+    router, shards = fleet
+    policy = make_policy(IQDeltaClient, router, users_db)
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"10")
+    victim = keys[0]
+    victim_shard = router.shard_for(victim)
+    # populate() ran no deltas yet, so the first iq_delta is this write's.
+    victim_shard.fail_after["iq_delta"] = 1
+    changes = [
+        KeyChange(k, deltas=[("incr", 1), ("incr", 2)]) for k in keys
+    ]
+
+    outcome = policy.write(score_body, changes)
+
+    assert outcome.result == "done"
+    assert outcome.restarts == 0
+    assert read_score(users_db) == 11
+    # Never 11 (partial) and never 10 (stale): the poisoned leg deleted.
+    assert victim_shard.store.get(victim) is None
+    for key in keys[1:]:
+        assert router.shard_for(key).store.get(key)[0] == b"13"
+    assert router.poisoned_shard_aborts == 1
+    # The abort released the victim's server-side session and leases.
+    assert all(shard.server.session_count() == 0 for shard in shards)
+    assert router.session_count() == 0
+    # The key is also journaled (post-commit) for delete-on-recover.
+    assert victim in router.journal.peek()
+    victim_shard.heal()
+    assert router.reconcile_local() == 1
+    assert policy.read(victim, lambda: b"fresh") == b"fresh"
+
+
+def test_poisoned_leg_with_no_shard_tid_still_deletes_stale_keys(
+    fleet, users_db
+):
+    """If the shard fails before its per-shard TID is even minted, the
+    poisoned leg holds no leases -- but its cached key is stale once the
+    SQL commits, so the shrinking phase still deletes it."""
+    router, _ = fleet
+    policy = make_policy(IQDeltaClient, router, users_db)
+    keys = keys_on_distinct_shards(router, 3)
+    populate(policy, keys, b"10")
+    victim = keys[0]
+    victim_shard = router.shard_for(victim)
+    victim_shard.fail_after["gen_id"] = 0
+    changes = [KeyChange(k, deltas=[("incr", 5)]) for k in keys]
+
+    outcome = policy.write(score_body, changes)
+
+    assert outcome.result == "done"
+    assert read_score(users_db) == 11
+    assert victim_shard.store.get(victim) is None
+    for key in keys[1:]:
+        assert router.shard_for(key).store.get(key)[0] == b"15"
+    assert router.poisoned_shard_aborts == 1

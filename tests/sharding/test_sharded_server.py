@@ -271,6 +271,21 @@ def test_local_journal_reconciles_by_routing():
         assert router.shard_for(key).store.get(key) is None
 
 
+def test_local_journal_counts_a_requeued_key_once():
+    # A failed reconcile pass re-adds the keys it could not delete; the
+    # re-add must not inflate total_journaled (the key was never
+    # successfully reconciled, so it is the *same* journaling event).
+    router, _ = make_router(3)
+    keys = keys_on_distinct_shards(router, 3)
+    router.journal.add(keys)
+    assert router.journal.total_journaled == 3
+    requeued = router.journal.drain_local()
+    assert sorted(requeued) == sorted(keys)
+    router.journal.add(requeued)
+    assert router.journal.total_journaled == 3
+    assert router.journal.peek() == sorted(keys)
+
+
 def test_flush_all_clears_shards_and_composite_sessions():
     router, backends = make_router(3)
     keys = keys_on_distinct_shards(router, 3)
@@ -284,9 +299,22 @@ def test_flush_all_clears_shards_and_composite_sessions():
     assert router.shard_for(keys[0]).store.get(keys[0]) is None
     # A zombie terminator for a pre-flush composite session is a no-op.
     assert router.commit(tid) is True
-    # A zombie *acquisition* reaches the shard with a retired shard TID
-    # and is rejected there (the flush watermark), never silently
-    # resurrected under a stale identifier.
+    # A zombie *acquisition* is rejected at the router's own watermark:
+    # recreating the composite session would mint fresh post-flush shard
+    # TIDs and resurrect server-side state under a stale identifier.
+    with pytest.raises(QuarantinedError):
+        router.qar(tid, keys[0])
+    with pytest.raises(QuarantinedError):
+        router.qaread(keys[0], tid)
+    with pytest.raises(QuarantinedError):
+        router.iq_delta(tid, keys[0], "incr", 1)
+    # sar/propose_refresh from a retired session are lease-less no-ops
+    # on the direct server, so the router ignores them the same way.
+    assert router.sar(keys[0], b"zombie", tid) is False
+    assert router.propose_refresh(keys[0], b"zombie", tid) is False
+    assert router.session_count() == 0
+    assert all(backend.session_count() == 0 for backend in backends)
+    # The shards' own watermarks still guard direct zombie shard TIDs.
     stale_shard_tid = None
     for backend in backends:
         if backend._tid_watermark >= 1:
@@ -294,3 +322,8 @@ def test_flush_all_clears_shards_and_composite_sessions():
     assert stale_shard_tid is not None
     with pytest.raises(QuarantinedError):
         stale_shard_tid.qar(1, "some-key")
+    # Post-flush sessions mint fresh TIDs above the watermark and work.
+    fresh = router.gen_id()
+    assert fresh > tid
+    router.qar(fresh, keys[0])
+    router.commit(fresh)
