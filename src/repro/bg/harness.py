@@ -35,7 +35,7 @@ class BGSystem:
     """The assembled components of one benchmark configuration."""
 
     def __init__(self, db, cache, consistency_client, actions, registry,
-                 runner, log, graph):
+                 runner, log, graph, recorder=None, auditor=None):
         self.db = db
         #: the lease backend (IQServer or ShardedIQServer router, leased)
         #: or ReadLeaseStore (baseline)
@@ -46,10 +46,36 @@ class BGSystem:
         self.runner = runner
         self.log = log
         self.graph = graph
+        #: ring-buffer trace recorder when built with ``trace=True``
+        self.recorder = recorder
+        #: online IQ-invariant auditor when built with ``audit=True``
+        self.auditor = auditor
 
     @property
     def stats(self):
         return self.cache.stats
+
+    def trace_events(self):
+        """Buffered trace events (empty when built without ``trace=True``)."""
+        return self.recorder.events() if self.recorder is not None else []
+
+    def audit_report(self):
+        """The auditor's report so far, or ``None`` without ``audit=True``."""
+        return self.auditor.report() if self.auditor is not None else None
+
+    def stop_observability(self):
+        """Detach this system's recorder/auditor from the global tracer.
+
+        Only the hooks *this* builder installed are removed; a recorder
+        installed by someone else is left in place.
+        """
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if self.auditor is not None:
+            self.auditor.detach(tracer)
+        if self.recorder is not None and tracer.recorder is self.recorder:
+            tracer.set_recorder(None)
 
 
 def build_bg_system(members=200, friends_per_member=10,
@@ -60,7 +86,8 @@ def build_bg_system(members=200, friends_per_member=10,
                     serve_pending_versions=True, validate=True, seed=42,
                     comments_per_resource=1, hotspot=(0.2, 0.7),
                     backoff=None, hot_writes=False, iq_server=None,
-                    shards=None, shard_vnodes=64):
+                    shards=None, shard_vnodes=64, trace=False,
+                    trace_capacity=8192, audit=False):
     """Build and load a full BG deployment; returns a :class:`BGSystem`.
 
     ``leased`` selects the IQ framework; otherwise the unleased baseline
@@ -80,8 +107,31 @@ def build_bg_system(members=200, friends_per_member=10,
     shard).  ``shards=None`` (default) keeps the direct single-server
     path; ``shards=1`` routes through a one-shard router, which behaves
     identically to the direct path.
+
+    ``trace=True`` activates the process-global tracer with a
+    ``trace_capacity``-event ring buffer (the tracer is a process-wide
+    singleton, so tracing covers every system in the process while the
+    recorder is installed; ``BGSystem.stop_observability`` removes it).
+    ``audit=True`` additionally attaches an online
+    :class:`~repro.obs.audit.IQAuditor` checking the IQ lease-protocol
+    invariants as the workload runs -- query it any time through
+    ``BGSystem.audit_report()``.
     """
     from repro.bg.workload import LOW_WRITE_MIX
+
+    recorder = None
+    auditor = None
+    if trace or audit:
+        from repro.obs import IQAuditor, RingBufferRecorder
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if trace:
+            recorder = RingBufferRecorder(capacity=trace_capacity)
+            tracer.set_recorder(recorder)
+        if audit:
+            auditor = IQAuditor()
+            auditor.attach(tracer)
 
     config = BGConfig(
         members=members,
@@ -150,5 +200,6 @@ def build_bg_system(members=200, friends_per_member=10,
         hotspot=hotspot, hot_writes=hot_writes,
     )
     return BGSystem(
-        db, cache, consistency_client, actions, registry, runner, log, graph
+        db, cache, consistency_client, actions, registry, runner, log, graph,
+        recorder=recorder, auditor=auditor,
     )

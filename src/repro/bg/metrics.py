@@ -1,5 +1,7 @@
 """Aggregated results of a benchmark run."""
 
+from repro.obs.registry import Histogram
+
 
 class RestartStats:
     """Average/maximum restart counts of sessions that restarted.
@@ -7,11 +9,25 @@ class RestartStats:
     Table 6 reports "the average and maximum number of times a restarted
     session attempts to obtain its Q lease": sessions with zero restarts
     are excluded from the average.
+
+    The per-session counts live in a registry histogram
+    (``session_restarts`` of ``registry`` when one is given, a private
+    metric otherwise); this class is the Table-6-shaped view over it.
     """
 
-    def __init__(self, restarts):
-        self.all_sessions = list(restarts)
+    def __init__(self, restarts, registry=None):
+        if registry is not None:
+            self._metric = registry.histogram("session_restarts")
+        else:
+            self._metric = Histogram("session_restarts")
+        self._metric.observe_many(restarts)
+        self.all_sessions = self._metric.samples()
         self.restarted = [r for r in self.all_sessions if r > 0]
+
+    @property
+    def metric(self):
+        """The backing registry histogram (for exporters)."""
+        return self._metric
 
     @property
     def sessions(self):

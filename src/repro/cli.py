@@ -13,6 +13,14 @@
 
     python -m repro demo [--threads N] [--ops N]
         Run the BG workload baseline-vs-IQ comparison.
+
+    python -m repro metrics [--threads N] [--ops N]
+        Run a short BG workload and print the metrics registries in
+        Prometheus text format.
+
+    python -m repro trace [--out F] [--threads N] [--ops N]
+        Run a short audited BG workload, export its trace as JSONL, and
+        print the IQ-invariant audit summary.
 """
 
 import argparse
@@ -77,6 +85,52 @@ def _cmd_demo(args):
     return 0
 
 
+def _cmd_metrics(args):
+    from repro.bg.actions import Technique
+    from repro.bg.harness import build_bg_system
+    from repro.bg.workload import HIGH_WRITE_MIX
+
+    system = build_bg_system(
+        members=args.members, friends_per_member=6, resources_per_member=2,
+        technique=Technique.INVALIDATE, mix=HIGH_WRITE_MIX,
+    )
+    system.runner.run(threads=args.threads, ops_per_thread=args.ops)
+    # The server's cache counters and the consistency client's degraded
+    # counters live in separate registries (one stats domain per server,
+    # like a memcached process); render both.
+    print(system.cache.stats.registry.render_prometheus(), end="")
+    print(system.consistency_client.metrics.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_trace(args):
+    from repro.bg.actions import Technique
+    from repro.bg.harness import build_bg_system
+    from repro.bg.workload import HIGH_WRITE_MIX
+    from repro.obs import IQAuditor, JSONLRecorder
+    from repro.obs.trace import get_tracer
+
+    tracer = get_tracer()
+    recorder = JSONLRecorder(args.out)
+    previous = tracer.set_recorder(recorder)
+    auditor = IQAuditor().attach(tracer)
+    try:
+        system = build_bg_system(
+            members=args.members, friends_per_member=6,
+            resources_per_member=2, technique=Technique.INVALIDATE,
+            mix=HIGH_WRITE_MIX,
+        )
+        system.runner.run(threads=args.threads, ops_per_thread=args.ops)
+    finally:
+        auditor.detach(tracer)
+        tracer.set_recorder(previous)
+        recorder.close()
+    report = auditor.report()
+    print("{} events -> {}".format(recorder.seen, args.out))
+    print(report.summary())
+    return 0 if report.clean else 1
+
+
 def _cmd_bench(args):
     import importlib
     import os
@@ -139,6 +193,24 @@ def build_parser():
     demo.add_argument("--ops", type=int, default=100)
     demo.add_argument("--members", type=int, default=100)
     demo.set_defaults(func=_cmd_demo)
+
+    metrics = sub.add_parser(
+        "metrics", help="run a short workload; print Prometheus metrics"
+    )
+    metrics.add_argument("--threads", type=int, default=4)
+    metrics.add_argument("--ops", type=int, default=50)
+    metrics.add_argument("--members", type=int, default=100)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="run a short audited workload; export JSONL trace"
+    )
+    trace.add_argument("--out", default="trace.jsonl",
+                       help="JSONL output path (default trace.jsonl)")
+    trace.add_argument("--threads", type=int, default=4)
+    trace.add_argument("--ops", type=int, default=50)
+    trace.add_argument("--members", type=int, default=100)
+    trace.set_defaults(func=_cmd_trace)
 
     bench = sub.add_parser("bench", help="run one evaluation experiment")
     bench.add_argument(

@@ -34,6 +34,7 @@ key-value pair and discards the session's proposals for it (Section 4.2,
 condition 3), so a crashed application node cannot leave stale data behind.
 """
 
+import itertools
 import threading
 
 from repro.config import KVSConfig, LeaseConfig
@@ -42,8 +43,14 @@ from repro.kvs.stats import CacheStats
 from repro.kvs.store import CacheStore
 from repro.core.backend import LeaseBackend
 from repro.core.leases import LeaseTable, QMode, QRequestOutcome
+from repro.obs.trace import get_tracer
 from repro.util.clock import SystemClock
 from repro.util.tokens import TokenGenerator
+
+#: Process-wide numbering for server incarnations; the ``srv`` field on
+#: trace events, so shards and restarted servers cannot alias each other
+#: in the auditor even when their TID spaces overlap.
+_SERVER_IDS = itertools.count(1)
 
 
 class IQGetResult:
@@ -159,6 +166,9 @@ class IQServer(LeaseBackend):
         # and is aborted instead of silently resurrecting session state.
         self._tid_watermark = tid_start - 1
         self._lock = threading.RLock()
+        self.obs_name = "iq{}".format(next(_SERVER_IDS))
+        self._tracer = get_tracer()
+        self.leases.owner = self.obs_name
         self.leases.on_q_expired = self._handle_q_expiry
         self.store.on_entry_removed = self.leases.void_i
 
@@ -242,8 +252,14 @@ class IQServer(LeaseBackend):
         with self._lock:
             if not self.leases.redeem_i(key, token):
                 self.stats.incr("ignored_sets")
+                if self._tracer.active:
+                    self._tracer.emit("iq.set", key=key, applied=False,
+                                      srv=self.obs_name)
                 return False
             self.store.set(key, value)
+            if self._tracer.active:
+                self._tracer.emit("iq.set", key=key, applied=True,
+                                  srv=self.obs_name)
             return True
 
     def release_i(self, key, token):
@@ -289,6 +305,11 @@ class IQServer(LeaseBackend):
             if value is not None:
                 self.store.set(key, value)
                 stored = True
+            if self._tracer.active:
+                # Emitted before the release so the auditor knows the
+                # imminent lease.q.release is SaR's legitimate per-key one.
+                self._tracer.emit("iq.sar", key=key, tid=tid, stored=stored,
+                                  srv=self.obs_name)
             self.leases.release_q(key, tid)
             if state is not None:
                 state.q_keys.discard(key)
@@ -372,9 +393,16 @@ class IQServer(LeaseBackend):
             state = self._sessions.pop(tid, None)
             if state is None:
                 return
+            tracing = self._tracer.active
+            if tracing:
+                self._tracer.emit("iq.commit.begin", tid=tid,
+                                  srv=self.obs_name)
             for key in state.invalidated:
                 if self.leases.q_held_by(key, tid):
                     self.store.delete(key)
+                    if tracing:
+                        self._tracer.emit("kvs.apply", key=key, tid=tid,
+                                          op="delete", srv=self.obs_name)
             for key, ops in state.deltas.items():
                 if not self.leases.q_held_by(key, tid):
                     continue
@@ -387,11 +415,20 @@ class IQServer(LeaseBackend):
                 for op, operand in ops:
                     value = apply_delta(value, op, operand)
                 self.store.set(key, value)
+                if tracing:
+                    self._tracer.emit("kvs.apply", key=key, tid=tid,
+                                      op="delta", srv=self.obs_name)
             for key, value in state.refreshed.items():
                 if self.leases.q_held_by(key, tid):
                     self.store.set(key, value)
+                    if tracing:
+                        self._tracer.emit("kvs.apply", key=key, tid=tid,
+                                          op="refresh", srv=self.obs_name)
             for key in state.q_keys:
                 self.leases.release_q(key, tid)
+            if tracing:
+                self._tracer.emit("iq.commit.end", tid=tid,
+                                  srv=self.obs_name)
 
     def abort(self, tid):
         """Command 10: discard proposals, release leases, keep values."""
@@ -399,8 +436,15 @@ class IQServer(LeaseBackend):
             state = self._sessions.pop(tid, None)
             if state is None:
                 return
+            tracing = self._tracer.active
+            if tracing:
+                self._tracer.emit("iq.abort.begin", tid=tid,
+                                  srv=self.obs_name)
             for key in state.q_keys:
                 self.leases.release_q(key, tid)
+            if tracing:
+                self._tracer.emit("iq.abort.end", tid=tid,
+                                  srv=self.obs_name)
 
     # -- plumbing ---------------------------------------------------------------
 

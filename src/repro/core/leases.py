@@ -34,6 +34,7 @@ import threading
 
 from repro.config import LeaseConfig
 from repro.kvs.stats import CacheStats
+from repro.obs.trace import get_tracer
 from repro.util.clock import SystemClock
 from repro.util.tokens import TokenGenerator
 
@@ -88,6 +89,15 @@ class LeaseTable:
         #: Callback ``fn(key, session_id)`` invoked when a Q lease expires;
         #: the IQ-Server deletes the key-value pair here.
         self.on_q_expired = None
+        #: Name of the owning server, stamped on trace events so the
+        #: auditor can tell shards / incarnations apart.
+        self.owner = None
+        #: Optional :class:`repro.faults.FaultInjector`; arms the
+        #: ``server.lease.void`` site (a SUPPRESS rule there skips the
+        #: I-lease void on Q grant -- deliberately breaking the protocol
+        #: so the online auditor can be shown to catch it).
+        self.fault_injector = None
+        self._tracer = get_tracer()
 
     # -- internal ------------------------------------------------------------
 
@@ -110,12 +120,17 @@ class LeaseTable:
         if state.i_lease is not None and now >= state.i_lease.expires_at:
             state.i_lease = None
             self.stats.incr("lease_expirations")
+            if self._tracer.active:
+                self._tracer.emit("lease.i.expire", key=key, srv=self.owner)
         expired_q = [
             sid for sid, expiry in state.q_holders.items() if now >= expiry
         ]
         for sid in expired_q:
             del state.q_holders[sid]
             self.stats.incr("lease_expirations")
+            if self._tracer.active:
+                self._tracer.emit("lease.q.expire", key=key, tid=sid,
+                                  srv=self.owner)
             if self.on_q_expired is not None:
                 self.on_q_expired(key, sid)
         if not state.q_holders:
@@ -137,12 +152,18 @@ class LeaseTable:
             if state.i_lease is not None or state.q_holders:
                 self._gc(key, state)
                 self.stats.incr("lease_backoffs")
+                if self._tracer.active:
+                    self._tracer.emit("lease.i.backoff", key=key,
+                                      srv=self.owner)
                 return None
             token = self._tokens.next()
             state.i_lease = _ILease(
                 token, self.clock.now() + self.config.i_lease_ttl
             )
             self.stats.incr("i_lease_grants")
+            if self._tracer.active:
+                self._tracer.emit("lease.i.grant", key=key, token=token,
+                                  srv=self.owner)
             return token
 
     def i_valid(self, key, token):
@@ -168,6 +189,9 @@ class LeaseTable:
             state = self._state(key)
             state.i_lease = None
             self._gc(key, state)
+            if self._tracer.active:
+                self._tracer.emit("lease.i.redeem", key=key, token=token,
+                                  srv=self.owner)
             return True
 
     def void_i(self, key):
@@ -178,6 +202,9 @@ class LeaseTable:
                 state.i_lease = None
                 self.stats.incr("i_lease_voids")
                 self._gc(key, state)
+                if self._tracer.active:
+                    self._tracer.emit("lease.i.void", key=key,
+                                      srv=self.owner)
 
     # -- Q leases ---------------------------------------------------------------
 
@@ -196,6 +223,10 @@ class LeaseTable:
             granted_expiry = self.clock.now() + self.config.q_lease_ttl
             if session_id in state.q_holders:
                 state.q_holders[session_id] = granted_expiry
+                if self._tracer.active:
+                    self._tracer.emit("lease.q.grant", key=key,
+                                      tid=session_id, mode=mode.value,
+                                      renewed=True, srv=self.owner)
                 return QRequestOutcome.GRANTED
             if state.q_holders:
                 incompatible = (
@@ -205,14 +236,41 @@ class LeaseTable:
                 if incompatible:
                     self._gc(key, state)
                     self.stats.incr("q_lease_rejects")
+                    if self._tracer.active:
+                        self._tracer.emit("lease.q.reject", key=key,
+                                          tid=session_id, mode=mode.value,
+                                          srv=self.owner)
                     return QRequestOutcome.REJECTED
             if state.i_lease is not None:
-                state.i_lease = None
-                self.stats.incr("i_lease_voids")
+                if self._i_void_suppressed(key, session_id):
+                    # A seeded fault: leave the reader's I lease live.  The
+                    # doomed IQset will now be honoured -- exactly the
+                    # protocol hole the online auditor must flag.
+                    pass
+                else:
+                    state.i_lease = None
+                    self.stats.incr("i_lease_voids")
+                    if self._tracer.active:
+                        self._tracer.emit("lease.i.void", key=key,
+                                          srv=self.owner)
             state.q_mode = mode if not state.q_holders else state.q_mode
             state.q_holders[session_id] = granted_expiry
             self.stats.incr("q_lease_grants")
+            if self._tracer.active:
+                self._tracer.emit("lease.q.grant", key=key, tid=session_id,
+                                  mode=mode.value, srv=self.owner)
             return QRequestOutcome.GRANTED
+
+    def _i_void_suppressed(self, key, session_id):
+        """True when a SUPPRESS fault rule skips the I-void on Q grant."""
+        if self.fault_injector is None:
+            return False
+        from repro.faults.injector import SITE_LEASE_VOID, FaultAction
+
+        rule = self.fault_injector.decide(
+            SITE_LEASE_VOID, key=key, tid=session_id
+        )
+        return rule is not None and rule.action is FaultAction.SUPPRESS
 
     def q_held_by(self, key, session_id):
         """True when ``session_id`` holds a live Q lease on ``key``."""
@@ -232,6 +290,9 @@ class LeaseTable:
             if not state.q_holders:
                 state.q_mode = None
             self._gc(key, state)
+            if removed and self._tracer.active:
+                self._tracer.emit("lease.q.release", key=key, tid=session_id,
+                                  srv=self.owner)
             return removed
 
     # -- introspection / maintenance ------------------------------------------------

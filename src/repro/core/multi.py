@@ -33,6 +33,7 @@ from repro.errors import (
     SessionAbortedError,
     TransactionAbortedError,
 )
+from repro.obs.trace import get_tracer, trace_context
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -75,7 +76,14 @@ class MultiTransactionSession:
     def __init__(self, client, connection_factory):
         self.kvs = client
         self.connection_factory = connection_factory
-        self.tid = client.gen_id()
+        self._tracer = get_tracer()
+        #: One trace id spans every constituent transaction and KVS call.
+        self.trace_id = self._tracer.new_trace() if self._tracer.active else None
+        with trace_context(self.trace_id):
+            self.tid = client.gen_id()
+        if self.trace_id is not None:
+            self._tracer.emit("session.begin", tid=self.tid,
+                              trace_id=self.trace_id, multi=True)
         #: (description, undo) for each committed constituent transaction
         self._completed = []
         #: staged (key, value) pairs applied at commit via SaR
@@ -93,7 +101,8 @@ class MultiTransactionSession:
         """Quarantine ``key`` for invalidation at session commit."""
         self._check_open()
         try:
-            self.kvs.qar(self.tid, key)
+            with trace_context(self.trace_id):
+                self.kvs.qar(self.tid, key)
         except QuarantinedError:
             self.abort()
             raise
@@ -103,7 +112,8 @@ class MultiTransactionSession:
         """Quarantine ``key`` exclusively and read its current value."""
         self._check_open()
         try:
-            result = self.kvs.qaread(key, self.tid)
+            with trace_context(self.trace_id):
+                result = self.kvs.qaread(key, self.tid)
         except QuarantinedError:
             self.abort()
             raise
@@ -114,7 +124,8 @@ class MultiTransactionSession:
         """Propose an incremental change, applied at session commit."""
         self._check_open()
         try:
-            self.kvs.iq_delta(self.tid, key, op, operand)
+            with trace_context(self.trace_id):
+                self.kvs.iq_delta(self.tid, key, op, operand)
         except QuarantinedError:
             self.abort()
             raise
@@ -146,11 +157,15 @@ class MultiTransactionSession:
     def commit(self):
         """Apply every staged KVS change and release all leases."""
         self._check_open()
-        for key, value in self._staged_sar:
-            self.kvs.sar(key, value, self.tid)
-        # Registered invalidations and deltas apply inside Commit(TID).
-        self.kvs.commit(self.tid)
+        with trace_context(self.trace_id):
+            for key, value in self._staged_sar:
+                self.kvs.sar(key, value, self.tid)
+            # Registered invalidations and deltas apply inside Commit(TID).
+            self.kvs.commit(self.tid)
         self._finished = True
+        if self.trace_id is not None:
+            self._tracer.emit("session.end", tid=self.tid,
+                              trace_id=self.trace_id, how="commit")
 
     def abort(self):
         """Undo committed constituent transactions; release all leases.
@@ -183,11 +198,19 @@ class MultiTransactionSession:
         if failures:
             # Safety via deletion: purge the keys whose database state is
             # now uncertain, then release the leases.
-            for key in self._quarantined:
-                self.kvs.server.store.delete(key)
-            self.kvs.abort(self.tid)
+            with trace_context(self.trace_id):
+                for key in self._quarantined:
+                    self.kvs.server.store.delete(key)
+                self.kvs.abort(self.tid)
+            if self.trace_id is not None:
+                self._tracer.emit("session.end", tid=self.tid,
+                                  trace_id=self.trace_id, how="compensation")
             raise CompensationError("abort", failures)
-        self.kvs.abort(self.tid)
+        with trace_context(self.trace_id):
+            self.kvs.abort(self.tid)
+        if self.trace_id is not None:
+            self._tracer.emit("session.end", tid=self.tid,
+                              trace_id=self.trace_id, how="abort")
 
 
 class _ConstituentTransaction:
@@ -220,6 +243,12 @@ class _ConstituentTransaction:
             if exc_type is None:
                 self.connection.commit()
                 self.session._completed.append((self.description, self.undo))
+                if self.session.trace_id is not None:
+                    self.session._tracer.emit(
+                        "session.sql_commit", tid=self.session.tid,
+                        trace_id=self.session.trace_id,
+                        step=self.description,
+                    )
                 return False
             if self.connection.in_transaction:
                 self.connection.rollback()

@@ -22,10 +22,13 @@ Two families are provided:
 """
 
 import enum
+import threading
 
 from repro.config import BackoffConfig
 from repro.core.session import AcquisitionMode, SessionOutcome, SessionRunner
 from repro.errors import CacheUnavailableError, DegradedModeActive
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import get_tracer
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -121,16 +124,50 @@ class _IQClientBase:
             client, connection_factory, backoff=backoff, clock=clock
         )
         self.degraded_fallback = degraded_fallback
-        #: reads served from the SQL engine because the cache was away
-        self.degraded_reads = 0
-        #: write sessions that ran SQL-only
-        self.degraded_writes = 0
-        #: sessions whose post-commit KVS phase was cut short
-        self.detached_sessions = 0
+        # Degraded-mode accounting.  These counters are hit from every BG
+        # worker thread, so they live in a metrics registry (whose
+        # counters carry their own locks) rather than as bare attributes
+        # -- ``self.x += 1`` is not atomic in Python and the historical
+        # bare increments could lose updates under contention.
+        self.metrics = MetricsRegistry()
+        self._degraded_reads = self.metrics.counter(
+            "client_degraded_reads",
+            "reads served from the SQL engine because the cache was away")
+        self._degraded_writes = self.metrics.counter(
+            "client_degraded_writes", "write sessions that ran SQL-only")
+        self._detached_sessions = self.metrics.counter(
+            "client_detached_sessions",
+            "sessions whose post-commit KVS phase was cut short")
+        self._degraded_key_changes = self.metrics.counter(
+            "client_degraded_key_changes",
+            "single keys skipped because only their shard was unreachable")
         #: union of keys journaled for delete-on-recover reconciliation
-        self.degraded_keys = set()
-        #: single keys skipped because only their shard was unreachable
-        self.degraded_key_changes = 0
+        self._degraded_keys = set()
+        self._keys_lock = threading.Lock()
+        self._tracer = get_tracer()
+
+    # Historical attribute API, now read-only views over the registry.
+
+    @property
+    def degraded_reads(self):
+        return self._degraded_reads.value
+
+    @property
+    def degraded_writes(self):
+        return self._degraded_writes.value
+
+    @property
+    def detached_sessions(self):
+        return self._detached_sessions.value
+
+    @property
+    def degraded_key_changes(self):
+        return self._degraded_key_changes.value
+
+    @property
+    def degraded_keys(self):
+        with self._keys_lock:
+            return set(self._degraded_keys)
 
     @property
     def is_strongly_consistent(self):
@@ -149,7 +186,9 @@ class _IQClientBase:
                 raise DegradedModeActive(
                     "read of {!r} with cache unavailable: {}".format(key, exc)
                 ) from exc
-            self.degraded_reads += 1
+            self._degraded_reads.inc()
+            if self._tracer.active:
+                self._tracer.emit("client.degraded.read", key=key)
             return compute()
 
     def write(self, sql_body, changes):
@@ -170,14 +209,18 @@ class _IQClientBase:
         journal = getattr(self.client.server, "journal", None)
         if journal is not None:
             journal.add(keys)
-        self.degraded_keys.update(keys)
+        with self._keys_lock:
+            self._degraded_keys.update(keys)
 
     def _detach_after_commit(self, session, changes):
         """The cache vanished after ``commit_sql``: journal and let the
         session's Q leases expire server-side (never re-run the SQL)."""
         self._journal(changes)
         session.detach_kvs()
-        self.detached_sessions += 1
+        self._detached_sessions.inc()
+        if self._tracer.active:
+            self._tracer.emit("client.detach", tid=session.tid,
+                              trace_id=session.trace_id)
 
     def _guard_key(self, change, operation, pending=None):
         """Run one key's cache operation, degrading only that key's shard.
@@ -206,7 +249,9 @@ class _IQClientBase:
                 self._journal([change])
             else:
                 pending.append(change)
-            self.degraded_key_changes += 1
+            self._degraded_key_changes.inc()
+            if self._tracer.active:
+                self._tracer.emit("client.degraded.key", key=change.key)
             return False
 
     def _journal_pending(self, pending):
@@ -239,7 +284,10 @@ class _IQClientBase:
         # deleted the keys pre-commit could let a reader re-cache the
         # pre-transaction value and leave it stale.
         self._journal(changes)
-        self.degraded_writes += 1
+        self._degraded_writes.inc()
+        if self._tracer.active:
+            self._tracer.emit("client.degraded.write",
+                              keys=len(changes))
         return SessionOutcome(result, restarts=0)
 
 

@@ -29,6 +29,7 @@ from repro.errors import (
     StarvationError,
     TransactionAbortedError,
 )
+from repro.obs.trace import get_tracer, trace_context
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -53,41 +54,67 @@ class WriteSession:
     def __init__(self, client, connection):
         self.kvs = client
         self.sql = connection
-        self.tid = client.gen_id()
+        self._tracer = get_tracer()
+        #: Trace id propagated through every KVS command of this session
+        #: (and, via the wire token / shard fan-out, to the servers it
+        #: touches).  ``None`` when tracing is disabled -- the no-op path.
+        self.trace_id = self._tracer.new_trace() if self._tracer.active else None
+        with trace_context(self.trace_id):
+            self.tid = client.gen_id()
         self._finished = False
+        if self.trace_id is not None:
+            self._tracer.emit("session.begin", tid=self.tid,
+                              trace_id=self.trace_id)
+
+    def _end(self, how):
+        if self.trace_id is not None:
+            self._tracer.emit("session.end", tid=self.tid,
+                              trace_id=self.trace_id, how=how)
 
     # -- KVS commands bound to this session's TID --------------------------------
 
     def iq_get(self, key):
         """Read ``key`` with this session's read-your-own-update view."""
-        return self.kvs.iq_get(key, session=self.tid)
+        with trace_context(self.trace_id):
+            return self.kvs.iq_get(key, session=self.tid)
 
     def qar(self, key):
-        return self.kvs.qar(self.tid, key)
+        with trace_context(self.trace_id):
+            return self.kvs.qar(self.tid, key)
 
     def qaread(self, key):
-        return self.kvs.qaread(key, self.tid)
+        with trace_context(self.trace_id):
+            return self.kvs.qaread(key, self.tid)
 
     def sar(self, key, value):
-        return self.kvs.sar(key, value, self.tid)
+        with trace_context(self.trace_id):
+            return self.kvs.sar(key, value, self.tid)
 
     def propose_refresh(self, key, value):
-        return self.kvs.propose_refresh(key, value, self.tid)
+        with trace_context(self.trace_id):
+            return self.kvs.propose_refresh(key, value, self.tid)
 
     def delta(self, key, op, operand):
-        return self.kvs.iq_delta(self.tid, key, op, operand)
+        with trace_context(self.trace_id):
+            return self.kvs.iq_delta(self.tid, key, op, operand)
 
     def dar(self):
-        self.kvs.dar(self.tid)
+        with trace_context(self.trace_id):
+            self.kvs.dar(self.tid)
         self._finished = True
+        self._end("dar")
 
     def commit_kvs(self):
-        self.kvs.commit(self.tid)
+        with trace_context(self.trace_id):
+            self.kvs.commit(self.tid)
         self._finished = True
+        self._end("commit")
 
     def abort_kvs(self):
-        self.kvs.abort(self.tid)
+        with trace_context(self.trace_id):
+            self.kvs.abort(self.tid)
         self._finished = True
+        self._end("abort")
 
     # -- RDBMS operations ------------------------------------------------------------
 
@@ -108,6 +135,11 @@ class WriteSession:
 
     def commit_sql(self):
         self.sql.commit()
+        if self.trace_id is not None:
+            # Emitted only after a successful commit: the auditor's 2PL
+            # check treats KVS applies before this event as violations.
+            self._tracer.emit("session.sql_commit", tid=self.tid,
+                              trace_id=self.trace_id)
 
     def rollback_sql(self):
         if self.sql.in_transaction:
@@ -124,17 +156,20 @@ class WriteSession:
         the cache safe without a reachable connection.
         """
         self._finished = True
+        self._end("detach")
 
     def abandon(self):
         """Release everything after a failure: KVS leases + RDBMS rollback."""
         if not self._finished:
             try:
-                self.kvs.abort(self.tid)
+                with trace_context(self.trace_id):
+                    self.kvs.abort(self.tid)
             except CacheUnavailableError:
                 # Unreachable cache: the leases expire on their own and
                 # the server discards the session's proposals.
                 pass
             self._finished = True
+            self._end("abandon")
         self.rollback_sql()
 
 
@@ -185,6 +220,10 @@ class SessionRunner:
             except self.RETRIABLE:
                 session.abandon()
                 restarts += 1
+                tracer = get_tracer()
+                if tracer.active:
+                    tracer.emit("session.restart", tid=session.tid,
+                                trace_id=session.trace_id, restarts=restarts)
                 try:
                     delay = next(delays)
                 except StarvationError:

@@ -13,6 +13,7 @@ from repro.faults.injector import (
     ALL_SITES,
     SITE_CLIENT_AFTER_SEND,
     SITE_CLIENT_SEND,
+    SITE_LEASE_VOID,
     SITE_NET_RECV,
     SITE_SERVER_REPLY,
     SITE_SERVER_REQUEST,
@@ -32,6 +33,7 @@ __all__ = [
     "ALL_SITES",
     "SITE_CLIENT_AFTER_SEND",
     "SITE_CLIENT_SEND",
+    "SITE_LEASE_VOID",
     "SITE_NET_RECV",
     "SITE_SERVER_REPLY",
     "SITE_SERVER_REQUEST",

@@ -34,6 +34,11 @@ site                    where the hook fires
 ``store.get``           :meth:`repro.kvs.store.CacheStore.get`
 ``store.set``           :meth:`repro.kvs.store.CacheStore.set`
 ``store.delete``        :meth:`repro.kvs.store.CacheStore.delete`
+``server.lease.void``   :meth:`repro.core.leases.LeaseTable.request_q`,
+                        at the point where a Q grant voids the key's I
+                        lease; a ``SUPPRESS`` rule skips the void,
+                        deliberately breaking the lease protocol so the
+                        :mod:`repro.obs` auditor can be shown to catch it
 ======================  ====================================================
 """
 
@@ -51,6 +56,7 @@ SITE_SERVER_REPLY = "server.reply"
 SITE_STORE_GET = "store.get"
 SITE_STORE_SET = "store.set"
 SITE_STORE_DELETE = "store.delete"
+SITE_LEASE_VOID = "server.lease.void"
 
 ALL_SITES = (
     SITE_CLIENT_SEND,
@@ -61,6 +67,7 @@ ALL_SITES = (
     SITE_STORE_GET,
     SITE_STORE_SET,
     SITE_STORE_DELETE,
+    SITE_LEASE_VOID,
 )
 
 
@@ -84,6 +91,10 @@ class FaultAction(enum.Enum):
     #: Sleep for ``rule.delay`` seconds -- semantically "the lease holder
     #: froze"; pair with a lease TTL shorter than the delay.
     FREEZE = "freeze"
+    #: Skip the protected protocol step instead of performing it
+    #: (``server.lease.void`` site only): the injected equivalent of a
+    #: lease-manager bug, used to demonstrate the online auditor.
+    SUPPRESS = "suppress"
 
 
 class FaultRule:
@@ -174,6 +185,12 @@ class FaultPlan:
     @classmethod
     def kill_server(cls, nth=1, **kw):
         return cls([FaultRule(SITE_SERVER_REQUEST, FaultAction.KILL_SERVER,
+                              nth=nth, **kw)])
+
+    @classmethod
+    def suppress_i_void(cls, nth=1, **kw):
+        """Skip the I-lease void on the nth Q grant (auditor demo)."""
+        return cls([FaultRule(SITE_LEASE_VOID, FaultAction.SUPPRESS,
                               nth=nth, **kw)])
 
 

@@ -1,6 +1,14 @@
-"""Cache statistics, mirroring the counters memcached exposes via ``stats``."""
+"""Cache statistics, mirroring the counters memcached exposes via ``stats``.
 
-import threading
+Since the observability refactor these classes are *views* over
+:class:`repro.obs.registry.MetricsRegistry` counters: the registry owns
+the values (and their locks), the views keep the historical ``incr`` /
+``get`` / ``snapshot`` / ``hit_rate`` API every caller already uses, and
+the same numbers become exportable via
+:meth:`~repro.obs.registry.MetricsRegistry.render_prometheus`.
+"""
+
+from repro.obs.registry import MetricsRegistry
 
 
 class CacheStats:
@@ -10,6 +18,12 @@ class CacheStats:
     equivalent exists (``get_hits``, ``get_misses``, ``evictions`` ...) and
     add lease-protocol counters used by the evaluation (``lease_backoffs``,
     ``lease_aborts``).
+
+    Each instance defaults to a private registry (one server = one stats
+    domain, matching a memcached process); pass a shared ``registry`` to
+    co-locate several components' metrics in one exporter.  Registry
+    metric names are prefixed (default ``cache_``) so they are valid
+    Prometheus identifiers and cannot collide with other subsystems.
     """
 
     COUNTERS = (
@@ -40,38 +54,36 @@ class CacheStats:
         "ignored_sets",
     )
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._counts = {name: 0 for name in self.COUNTERS}
+    def __init__(self, registry=None, prefix="cache"):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter("{}_{}".format(prefix, name))
+            for name in self.COUNTERS
+        }
 
     def incr(self, name, amount=1):
         """Increment counter ``name`` by ``amount``."""
-        with self._lock:
-            self._counts[name] += amount
+        self._counters[name].inc(amount)
 
     def get(self, name):
         """Read a single counter."""
-        with self._lock:
-            return self._counts[name]
+        return self._counters[name].value
 
     def snapshot(self):
         """Return a point-in-time copy of all counters."""
-        with self._lock:
-            return dict(self._counts)
+        return {name: counter.value for name, counter in self._counters.items()}
 
     def reset(self):
         """Zero every counter."""
-        with self._lock:
-            for name in self._counts:
-                self._counts[name] = 0
+        for counter in self._counters.values():
+            counter.reset()
 
     def hit_rate(self):
         """Fraction of ``get`` commands that hit, or ``None`` if no gets."""
-        with self._lock:
-            total = self._counts["cmd_get"]
-            if total == 0:
-                return None
-            return self._counts["get_hits"] / total
+        total = self._counters["cmd_get"].value
+        if total == 0:
+            return None
+        return self._counters["get_hits"].value / total
 
 
 class MergedCacheStats:

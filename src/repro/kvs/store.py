@@ -16,6 +16,7 @@ from repro.kvs.entry import CacheEntry
 from repro.kvs.lru import LRUList
 from repro.kvs.slab import SlabClassTable
 from repro.kvs.stats import CacheStats
+from repro.obs.trace import get_tracer
 from repro.util.clock import SystemClock
 
 #: memcached caps incr/decr values at 2**64 - 1 and wraps increments.
@@ -59,6 +60,7 @@ class CacheStore:
         #: faults: a slow or frozen cache node).  ``None`` costs one
         #: attribute check per command.
         self.fault_injector = None
+        self._tracer = get_tracer()
 
     # -- validation --------------------------------------------------------
 
@@ -104,6 +106,8 @@ class CacheStore:
         if entry.is_expired(self.clock.now()):
             self._unlink(entry)
             self.stats.incr("expirations")
+            if self._tracer.active:
+                self._tracer.emit("store.expire", key=entry.key)
             self._notify_removed(entry)
             return None
         return entry
@@ -157,6 +161,8 @@ class CacheStore:
                 )
             self._unlink(victim)
             self.stats.incr("evictions")
+            if self._tracer.active:
+                self._tracer.emit("store.evict", key=victim.key)
             self._notify_removed(victim)
 
     # -- retrieval ----------------------------------------------------------
@@ -217,6 +223,8 @@ class CacheStore:
                 self._insert(new_entry)
             else:
                 self._replace_value(entry, value, flags, expires_at)
+            if self._tracer.active:
+                self._tracer.emit("store.set", key=key, bytes=len(value))
             return StoreResult.STORED
 
     def add(self, key, value, flags=0, ttl=None):
@@ -310,6 +318,8 @@ class CacheStore:
                 return False
             self._unlink(entry)
             self.stats.incr("delete_hits")
+            if self._tracer.active:
+                self._tracer.emit("store.delete", key=key)
             self._notify_removed(entry)
             return True
 

@@ -21,7 +21,8 @@ from repro.errors import (
 from repro.core.backend import LeaseBackend
 from repro.core.iq_server import IQGetResult, QaReadResult
 from repro.kvs.store import StoreResult
-from repro.net.protocol import CRLF, LineReader
+from repro.net.protocol import CRLF, TRACE_TOKEN_PREFIX, LineReader
+from repro.obs.trace import current_trace_id, get_tracer
 
 
 class RemoteIQServer(LeaseBackend):
@@ -58,6 +59,7 @@ class RemoteIQServer(LeaseBackend):
         self._lock = threading.Lock()
         self._injector = injector
         self._broken = False
+        self._tracer = get_tracer()
 
     @property
     def broken(self):
@@ -88,6 +90,9 @@ class RemoteIQServer(LeaseBackend):
             self._sock.close()
         except OSError:
             pass
+        if self._tracer.active:
+            self._tracer.emit("net.poison", command=doing,
+                              error=type(exc).__name__)
         if isinstance(exc, socket.timeout):
             raise OperationTimeout(
                 "timed out while {}".format(doing)
@@ -157,9 +162,22 @@ class RemoteIQServer(LeaseBackend):
         except (OSError, ConnectionError) as exc:
             self._poison(exc, doing)
 
+    def _trace_suffix(self):
+        """Trailing ``@t<id>`` token, or ``""`` outside any trace.
+
+        Appended after every positional field so the server's data-block
+        size indices (counted from the front) keep working untouched.
+        """
+        if not self._tracer.active:
+            return ""
+        trace_id = current_trace_id()
+        if trace_id is None:
+            return ""
+        return " {}{}".format(TRACE_TOKEN_PREFIX, trace_id)
+
     def _roundtrip(self, line, data=None):
         """Send one command (optionally with a data block); read one line."""
-        payload = line.encode() + CRLF
+        payload = (line + self._trace_suffix()).encode() + CRLF
         if data is not None:
             payload += data + CRLF
         with self._lock:
@@ -167,7 +185,7 @@ class RemoteIQServer(LeaseBackend):
 
     def _roundtrip_value(self, line, data=None):
         """Round trip for commands that may reply ``VALUE``...``END``."""
-        payload = line.encode() + CRLF
+        payload = (line + self._trace_suffix()).encode() + CRLF
         if data is not None:
             payload += data + CRLF
         doing = line.split(" ", 1)[0]

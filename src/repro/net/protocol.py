@@ -19,6 +19,14 @@ Extension command grammar (server replies in parentheses)::
     iqdelta <tid> <key> <op> <nbytes> + data (GRANTED | ABORT)
     commit <tid>                             (OK)
     abort <tid>                              (OK)
+
+Any request line may carry a trailing ``@t<trace-id>`` token
+(``qar 7 user:1 @t42``).  It propagates the caller's trace id so
+server-side events join the client's trace; servers strip it before
+dispatch and ignore unparseable tokens.  The token rides at the *end* of
+the line, after every positional field, so the ``<nbytes>`` indices in
+:data:`DATA_COMMANDS` (counted from the front) are unaffected.  Keys
+never start with ``@`` in this codebase, so the token is unambiguous.
 """
 
 from repro.errors import ProtocolError
@@ -102,6 +110,26 @@ class LineReader:
             raise ProtocolError("data block not terminated by CRLF")
         self._buffer = self._buffer[needed:]
         return data
+
+
+#: Prefix of the optional trailing trace token on a request line.
+TRACE_TOKEN_PREFIX = "@t"
+
+
+def split_trace_token(args):
+    """Pop a trailing ``@t<id>`` trace token from parsed ``args``.
+
+    Returns ``(args, trace_id)`` where ``trace_id`` is ``None`` when no
+    (well-formed) token is present.  A malformed token is left in place
+    for the dispatcher to reject as a bad argument.
+    """
+    if args and args[-1].startswith(TRACE_TOKEN_PREFIX):
+        try:
+            trace_id = int(args[-1][len(TRACE_TOKEN_PREFIX):])
+        except ValueError:
+            return args, None
+        return args[:-1], trace_id
+    return args, None
 
 
 def parse_command_line(line):

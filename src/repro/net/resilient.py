@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.core.backend import LeaseBackend
 from repro.net.client import RemoteIQServer
+from repro.obs.trace import get_tracer
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -66,6 +67,7 @@ class CircuitBreaker:
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = None
+        self._tracer = get_tracer()
         #: lifetime counters for reporting
         self.times_opened = 0
         self.times_recovered = 0
@@ -91,6 +93,8 @@ class CircuitBreaker:
                         )
                     )
                 self._state = CircuitState.HALF_OPEN
+                if self._tracer.active:
+                    self._tracer.emit("net.breaker.halfopen")
 
     def record_failure(self):
         with self._lock:
@@ -102,6 +106,11 @@ class CircuitBreaker:
             if tripped and self._state != CircuitState.OPEN:
                 self._state = CircuitState.OPEN
                 self.times_opened += 1
+                if self._tracer.active:
+                    self._tracer.emit(
+                        "net.breaker.open",
+                        failures=self._consecutive_failures,
+                    )
             if self._state == CircuitState.OPEN:
                 self._opened_at = self.clock.now()
 
@@ -115,6 +124,8 @@ class CircuitBreaker:
             self._opened_at = None
             if recovered:
                 self.times_recovered += 1
+                if self._tracer.active:
+                    self._tracer.emit("net.breaker.close")
             return recovered
 
 
@@ -201,6 +212,7 @@ class ResilientIQServer(LeaseBackend):
         self.journal = ReconciliationJournal()
         self._lock = threading.RLock()
         self._conn = None
+        self._tracer = get_tracer()
         #: lifetime counters for reporting
         self.reconnects = 0
         self.retries = 0
@@ -220,6 +232,8 @@ class ResilientIQServer(LeaseBackend):
         )
         self._conn = conn
         self.reconnects += 1
+        if self._tracer.active:
+            self._tracer.emit("net.reconnect", count=self.reconnects)
         return conn
 
     def _discard(self):
@@ -264,6 +278,9 @@ class ResilientIQServer(LeaseBackend):
                         raise
                     attempts_left -= 1
                     self.retries += 1
+                    if self._tracer.active:
+                        self._tracer.emit("net.retry", op=name,
+                                          attempts_left=attempts_left)
                     if delays is None:
                         delays = self._backoff.delays()
                     self.clock.sleep(next(delays))
@@ -280,6 +297,8 @@ class ResilientIQServer(LeaseBackend):
         included) rather than recursing through :meth:`_call`.
         """
         keys = self.journal.drain()
+        if self._tracer.active:
+            self._tracer.emit("net.reconcile", keys=len(keys))
         done = 0
         try:
             for key in keys:

@@ -20,8 +20,10 @@ from repro.net.protocol import (
     data_block_size,
     error_response,
     parse_command_line,
+    split_trace_token,
     value_response,
 )
+from repro.obs.trace import trace_context
 
 _STORE_REPLIES = {
     StoreResult.STORED: b"STORED",
@@ -61,6 +63,10 @@ class _Handler(socketserver.BaseRequestHandler):
                 return
             try:
                 command, args = parse_command_line(line)
+                # A trailing @t<id> token joins this request to the
+                # caller's trace; strip it before the arg-count-sensitive
+                # dispatch below.
+                args, trace_id = split_trace_token(args)
                 if command == "quit":
                     return
                 try:
@@ -83,7 +89,11 @@ class _Handler(socketserver.BaseRequestHandler):
                 if injector is not None:
                     if self._inject_request(injector, command):
                         return
-                reply = self._dispatch(iq, command, args, data)
+                if trace_id is not None:
+                    with trace_context(trace_id):
+                        reply = self._dispatch(iq, command, args, data)
+                else:
+                    reply = self._dispatch(iq, command, args, data)
             except ProtocolError as exc:
                 reply = error_response(str(exc))
             except (BadValueError, KeyFormatError, ValueTooLargeError) as exc:

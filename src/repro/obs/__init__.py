@@ -1,0 +1,63 @@
+"""repro.obs: tracing, metrics, and the online IQ-invariant auditor.
+
+The observability subsystem (third alongside :mod:`repro.faults` and
+:mod:`repro.sharding`):
+
+* :mod:`repro.obs.trace` -- end-to-end trace events with propagated
+  trace ids, a ring-buffer recorder with a zero-cost no-op mode, and
+  JSONL export;
+* :mod:`repro.obs.registry` -- the unified metrics registry (counters,
+  gauges, histograms) behind every stats class, with a Prometheus-style
+  text exporter;
+* :mod:`repro.obs.audit` -- the online lease-lifecycle state machine
+  that flags IQ protocol violations as they happen.
+"""
+
+from repro.obs.audit import (
+    ALL_CATEGORIES,
+    CATEGORY_DOUBLE_I,
+    CATEGORY_EARLY_APPLY,
+    CATEGORY_EXCLUSIVE_COGRANT,
+    CATEGORY_ORPHAN_RELEASE,
+    CATEGORY_UNVOIDED_I,
+    AuditReport,
+    IQAuditor,
+    Violation,
+    audited,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    JSONLRecorder,
+    RingBufferRecorder,
+    TraceEvent,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    recording,
+    trace_context,
+)
+
+__all__ = [
+    "ALL_CATEGORIES",
+    "CATEGORY_DOUBLE_I",
+    "CATEGORY_EARLY_APPLY",
+    "CATEGORY_EXCLUSIVE_COGRANT",
+    "CATEGORY_ORPHAN_RELEASE",
+    "CATEGORY_UNVOIDED_I",
+    "AuditReport",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IQAuditor",
+    "JSONLRecorder",
+    "MetricsRegistry",
+    "RingBufferRecorder",
+    "TraceEvent",
+    "Tracer",
+    "Violation",
+    "audited",
+    "current_trace_id",
+    "get_tracer",
+    "recording",
+    "trace_context",
+]

@@ -1,0 +1,319 @@
+"""End-to-end tracing: events, trace-ID propagation, recorders.
+
+The tracer is deliberately small.  A :class:`TraceEvent` is a timestamped
+named record (monotonic clock) tagged with the *trace id* of the session
+or read operation it belongs to; instrumented layers emit events through
+one process-global :class:`Tracer` obtained via :func:`get_tracer`.
+
+**Zero-cost no-op mode.**  The tracer ships disabled: :attr:`Tracer.active`
+is ``False`` until a recorder or listener is installed, and every
+instrumented call site guards with ``if tracer.active:`` before building
+an event, so the disabled path costs one attribute read per hook -- the
+same discipline :mod:`repro.faults` uses for its injector hooks.
+
+**Propagation.**  Trace ids travel in a :mod:`contextvars` context
+variable, so they follow the thread of control without threading an
+argument through every call: a :class:`~repro.core.session.WriteSession`
+mints one id and enters :func:`trace_context` around each of its KVS
+commands, the consistency clients do the same per read, and everything
+underneath -- lease table, store, shard fan-out -- stamps its events with
+:func:`current_trace_id`.  Across the wire, ``RemoteIQServer`` appends a
+``@t<id>`` token to each command line and the server re-enters the
+context before dispatch (see :mod:`repro.net.protocol`).
+
+Recorders:
+
+* :class:`RingBufferRecorder` -- bounded deque; the default for tests and
+  the BG harness (``build_bg_system(trace=True)``).
+* :class:`JSONLRecorder` -- streams every event as one JSON object per
+  line; the export format of ``repro trace``.
+"""
+
+import contextvars
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "RingBufferRecorder",
+    "JSONLRecorder",
+    "get_tracer",
+    "current_trace_id",
+    "trace_context",
+    "recording",
+]
+
+#: Current trace id for this thread of control (None = untraced).
+_CURRENT_TRACE = contextvars.ContextVar("repro_trace_id", default=None)
+
+
+def current_trace_id():
+    """The trace id propagated to this point, or ``None``."""
+    return _CURRENT_TRACE.get()
+
+
+class _TraceContext:
+    """Reentrant-friendly context manager binding a trace id.
+
+    A ``None`` trace id leaves the ambient context untouched, so call
+    sites can wrap unconditionally without a branch.
+    """
+
+    __slots__ = ("trace_id", "_token")
+
+    def __init__(self, trace_id):
+        self.trace_id = trace_id
+        self._token = None
+
+    def __enter__(self):
+        if self.trace_id is not None:
+            self._token = _CURRENT_TRACE.set(self.trace_id)
+        return self
+
+    def __exit__(self, *exc):
+        if self._token is not None:
+            _CURRENT_TRACE.reset(self._token)
+            self._token = None
+        return False
+
+
+def trace_context(trace_id):
+    """Bind ``trace_id`` as the current trace for the ``with`` body."""
+    return _TraceContext(trace_id)
+
+
+class TraceEvent:
+    """One timestamped event.
+
+    ``ts`` comes from ``time.monotonic()`` so cross-tier ordering within a
+    process is meaningful; ``trace_id`` groups the events of one session
+    or read operation; ``tid`` is the IQ session identifier where one is
+    in play; ``fields`` carries event-specific detail (lease mode, delta
+    op, retry attempt, ...).
+    """
+
+    __slots__ = ("ts", "name", "trace_id", "key", "tid", "fields")
+
+    def __init__(self, ts, name, trace_id=None, key=None, tid=None,
+                 fields=None):
+        self.ts = ts
+        self.name = name
+        self.trace_id = trace_id
+        self.key = key
+        self.tid = tid
+        self.fields = fields
+
+    def to_dict(self):
+        record = {"ts": self.ts, "name": self.name}
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.key is not None:
+            record["key"] = self.key
+        if self.tid is not None:
+            record["tid"] = self.tid
+        if self.fields:
+            record.update(self.fields)
+        return record
+
+    def get(self, field, default=None):
+        if self.fields is None:
+            return default
+        return self.fields.get(field, default)
+
+    def __repr__(self):
+        return "TraceEvent({} trace={} key={} tid={})".format(
+            self.name, self.trace_id, self.key, self.tid
+        )
+
+
+class RingBufferRecorder:
+    """Keep the last ``capacity`` events; count what fell off the end."""
+
+    def __init__(self, capacity=8192):
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self._seen = 0
+        self._lock = threading.Lock()
+
+    def record(self, event):
+        with self._lock:
+            self._events.append(event)
+            self._seen += 1
+
+    def events(self):
+        """Point-in-time copy of the buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def seen(self):
+        """Total events recorded, including any the ring discarded."""
+        with self._lock:
+            return self._seen
+
+    @property
+    def dropped(self):
+        with self._lock:
+            return max(0, self._seen - len(self._events))
+
+    def clear(self):
+        with self._lock:
+            self._events.clear()
+            self._seen = 0
+
+
+class JSONLRecorder:
+    """Stream events to a file, one JSON object per line."""
+
+    def __init__(self, path):
+        self.path = path
+        self._handle = open(path, "w")
+        self._lock = threading.Lock()
+        self._seen = 0
+
+    def record(self, event):
+        line = json.dumps(event.to_dict(), separators=(",", ":"))
+        with self._lock:
+            self._handle.write(line)
+            self._handle.write("\n")
+            self._seen += 1
+
+    @property
+    def seen(self):
+        with self._lock:
+            return self._seen
+
+    def close(self):
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class Tracer:
+    """Event fan-out point: one recorder plus any number of listeners.
+
+    ``active`` is a plain attribute recomputed whenever the recorder or
+    listener set changes; instrumented code reads it before building an
+    event, which is the entire cost of the disabled path.  Listeners
+    (the :class:`~repro.obs.audit.IQAuditor`) are invoked synchronously
+    from :meth:`emit`, so events produced under a subsystem lock arrive
+    at the listener in that lock's serialization order.
+    """
+
+    def __init__(self, clock=None):
+        #: True when at least one recorder or listener wants events.
+        self.active = False
+        self._recorder = None
+        self._listeners = []
+        self._now = clock.now if clock is not None else time.monotonic
+        self._trace_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- wiring --------------------------------------------------------------
+
+    def _refresh_active(self):
+        self.active = self._recorder is not None or bool(self._listeners)
+
+    def set_recorder(self, recorder):
+        """Install (or with ``None`` remove) the recorder; returns the old one."""
+        with self._lock:
+            previous, self._recorder = self._recorder, recorder
+            self._refresh_active()
+            return previous
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    def add_listener(self, listener):
+        """Subscribe ``listener(event)`` to every emitted event."""
+        with self._lock:
+            self._listeners.append(listener)
+            self._refresh_active()
+
+    def remove_listener(self, listener):
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+            self._refresh_active()
+
+    # -- emission ------------------------------------------------------------
+
+    def new_trace(self):
+        """Mint a fresh trace id (process-unique, monotonically increasing)."""
+        return next(self._trace_ids)
+
+    def emit(self, name, key=None, tid=None, trace_id=None, **fields):
+        """Record one event; ``trace_id`` defaults to the ambient context."""
+        if not self.active:
+            return None
+        if trace_id is None:
+            trace_id = _CURRENT_TRACE.get()
+        event = TraceEvent(self._now(), name, trace_id=trace_id, key=key,
+                           tid=tid, fields=fields or None)
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.record(event)
+        for listener in self._listeners:
+            listener(event)
+        return event
+
+    @contextmanager
+    def span(self, name, key=None, tid=None, **fields):
+        """Emit ``<name>.begin`` / ``<name>.end`` around the body.
+
+        The end event carries the elapsed monotonic duration in a
+        ``duration`` field.
+        """
+        if not self.active:
+            yield None
+            return
+        start = self._now()
+        self.emit(name + ".begin", key=key, tid=tid, **fields)
+        try:
+            yield None
+        finally:
+            self.emit(name + ".end", key=key, tid=tid,
+                      duration=self._now() - start, **fields)
+
+
+#: The process-global tracer.  Its identity never changes, so components
+#: may capture it at construction time; enabling tracing later still
+#: reaches them.
+_GLOBAL = Tracer()
+
+
+def get_tracer():
+    """The process-global :class:`Tracer`."""
+    return _GLOBAL
+
+
+@contextmanager
+def recording(recorder=None, capacity=8192):
+    """Install a recorder on the global tracer for the ``with`` body.
+
+    Yields the recorder (a fresh :class:`RingBufferRecorder` by default)
+    and restores the previous recorder afterwards::
+
+        with recording() as events:
+            system.runner.run(threads=2, duration=0.5)
+        assert events.seen > 0
+    """
+    if recorder is None:
+        recorder = RingBufferRecorder(capacity=capacity)
+    tracer = get_tracer()
+    previous = tracer.set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        tracer.set_recorder(previous)

@@ -44,6 +44,7 @@ import threading
 from repro.core.backend import LeaseBackend
 from repro.errors import CacheUnavailableError, QuarantinedError
 from repro.kvs.stats import MergedCacheStats
+from repro.obs.trace import get_tracer
 from repro.sharding.ring import ConsistentHashRing
 from repro.util.tokens import TokenGenerator
 
@@ -161,6 +162,7 @@ class ShardedIQServer(LeaseBackend):
         self._tid_watermark = 0
         self._lock = threading.Lock()
         self.journal = ShardedJournal(self)
+        self._tracer = get_tracer()
         #: commit/abort legs that found their shard unreachable
         self.degraded_shard_commits = 0
         self.degraded_shard_aborts = 0
@@ -225,6 +227,12 @@ class ShardedIQServer(LeaseBackend):
     def _record_key(self, session, name, key):
         with session.lock:
             session.keys_by_shard.setdefault(name, set()).add(key)
+        if self._tracer.active:
+            # Emitted in the caller's ambient trace context, so each
+            # per-shard leg of a composite session carries the router
+            # session's trace id.
+            self._tracer.emit("shard.route", key=key, tid=session.tid,
+                              shard=name)
 
     def _translate(self, session_tid, name):
         """Existing shard TID for read-your-own-update, or ``None``.
@@ -338,6 +346,8 @@ class ShardedIQServer(LeaseBackend):
             # shard: the key's cached value is stale once the SQL
             # commits, so the poisoned leg must delete it.
             session.keys_by_shard.setdefault(name, set()).add(key)
+        if self._tracer.active:
+            self._tracer.emit("shard.poison", key=key, tid=tid, shard=name)
         return True
 
     # -- shrinking phase: fan-out across touched shards ------------------------
@@ -400,22 +410,35 @@ class ShardedIQServer(LeaseBackend):
             touched = sorted(session.shard_tids.items())
             poisoned = set(session.poisoned)
         all_applied = True
+        tracing = self._tracer.active
         for name, shard_tid in touched:
             if name in poisoned:
+                if tracing:
+                    self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
+                                      outcome="poisoned")
                 self._abort_poisoned(session, name, shard_tid)
                 all_applied = False
                 continue
             try:
                 self._backends[name].commit(shard_tid)
+                if tracing:
+                    self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
+                                      outcome="applied")
             except CacheUnavailableError:
                 with self._lock:
                     self.degraded_shard_commits += 1
+                if tracing:
+                    self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
+                                      outcome="degraded")
                 self._detach_shard(session, name)
                 all_applied = False
         for name in sorted(poisoned.difference(n for n, _ in touched)):
             # The shard failed before its TID was even minted; it holds
             # no leases or proposals, but its cached keys are stale now
             # that the SQL has committed.
+            if tracing:
+                self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
+                                  outcome="poisoned")
             self._abort_poisoned(session, name, None)
             all_applied = False
         return all_applied
@@ -425,16 +448,23 @@ class ShardedIQServer(LeaseBackend):
         if session is None:
             return True
         all_released = True
+        tracing = self._tracer.active
         with session.lock:
             touched = sorted(session.shard_tids.items())
         for name, shard_tid in touched:
             try:
                 self._backends[name].abort(shard_tid)
+                if tracing:
+                    self._tracer.emit("shard.abort.leg", tid=tid, shard=name,
+                                      outcome="released")
             except CacheUnavailableError:
                 # The shard's leases expire on their own; nothing is
                 # applied either way, so no journaling is needed.
                 with self._lock:
                     self.degraded_shard_aborts += 1
+                if tracing:
+                    self._tracer.emit("shard.abort.leg", tid=tid, shard=name,
+                                      outcome="degraded")
                 all_released = False
         return all_released
 

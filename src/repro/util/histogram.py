@@ -3,10 +3,14 @@
 BG's Social Action Rating requires checking that a given percentile of
 action response times falls under the SLA latency (the paper uses
 "95% of actions ... faster than 100 milliseconds").
+
+:class:`LatencyHistogram` keeps its historical API but is now a view
+over a :class:`repro.obs.registry.Histogram` -- the same samples render
+through the metrics exporter and through this class's percentile
+queries.
 """
 
-import math
-import threading
+from repro.obs.registry import Histogram
 
 
 class LatencyHistogram:
@@ -16,14 +20,17 @@ class LatencyHistogram:
     which keeps percentile computation simple and precise.
     """
 
-    def __init__(self):
-        self._samples = []
-        self._lock = threading.Lock()
+    def __init__(self, metric=None, name="latency_seconds"):
+        self._metric = metric if metric is not None else Histogram(name)
+
+    @property
+    def metric(self):
+        """The backing registry histogram (for exporters)."""
+        return self._metric
 
     def record(self, seconds):
         """Record one latency sample."""
-        with self._lock:
-            self._samples.append(seconds)
+        self._metric.observe(seconds)
 
     def merge(self, other):
         """Fold another histogram's samples into this one; returns self.
@@ -32,11 +39,9 @@ class LatencyHistogram:
         snapshotted first), so concurrent cross-merges cannot deadlock
         and ``h.merge(h)`` is a no-op rather than a duplication.
         """
-        if other is self:
+        if other is self or other.metric is self._metric:
             return self
-        samples = other.snapshot()
-        with self._lock:
-            self._samples.extend(samples)
+        self._metric.observe_many(other.snapshot())
         return self
 
     @classmethod
@@ -54,42 +59,27 @@ class LatencyHistogram:
 
     def snapshot(self):
         """A point-in-time copy of the raw samples."""
-        with self._lock:
-            return list(self._samples)
+        return self._metric.samples()
 
     def clear(self):
         """Drop every sample (reuse between measurement windows)."""
-        with self._lock:
-            self._samples.clear()
+        self._metric.reset()
 
     def __len__(self):
-        with self._lock:
-            return len(self._samples)
+        return len(self._metric)
 
     def percentile(self, fraction):
         """Return the latency at ``fraction`` (e.g. ``0.95``) or ``None``.
 
         Uses the nearest-rank method on the sorted samples.
         """
-        if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
-        with self._lock:
-            if not self._samples:
-                return None
-            ordered = sorted(self._samples)
-        rank = math.ceil(fraction * len(ordered)) - 1
-        rank = min(max(rank, 0), len(ordered) - 1)
-        return ordered[rank]
+        return self._metric.percentile(fraction)
 
     def mean(self):
-        with self._lock:
-            if not self._samples:
-                return None
-            return sum(self._samples) / len(self._samples)
+        return self._metric.mean()
 
     def max(self):
-        with self._lock:
-            return max(self._samples) if self._samples else None
+        return self._metric.max()
 
     def meets_sla(self, percentile, latency):
         """True when the given percentile of samples is under ``latency``."""

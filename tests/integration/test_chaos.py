@@ -5,6 +5,11 @@ dropping, the cache server dying and restarting cold, and lease holders
 freezing past their TTL, every IQ technique must still report exactly
 zero unpredictable reads.  An unreachable cache may only ever cause
 misses or deletes -- never stale hits.
+
+Every workload here also runs under the online IQ-invariant auditor
+(:class:`repro.obs.audit.IQAuditor`) as a second, independent oracle:
+BG's validation log checks *values*, the auditor checks *protocol
+steps*, and chaos must leave both clean.
 """
 
 import threading
@@ -27,6 +32,7 @@ from repro.faults import (
 )
 from repro.faults.injector import SITE_CLIENT_AFTER_SEND
 from repro.net import RemoteIQServer, ResilientIQServer
+from repro.obs.audit import audited
 
 THREADS = 4
 
@@ -84,13 +90,15 @@ def test_zero_stale_across_kill_and_cold_restart(chaos_server, technique):
         chaos_server.start()
 
     chaos = threading.Thread(target=controller)
-    chaos.start()
-    result = system.runner.run(threads=THREADS, duration=1.2)
-    chaos.join()
+    with audited() as auditor:
+        chaos.start()
+        result = system.runner.run(threads=THREADS, duration=1.2)
+        chaos.join()
 
     assert result.actions > 0
     assert result.errors == 0
     assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert auditor.report().clean, auditor.report().summary()
     assert chaos_server.kills == 1
     # The client really did lose and re-dial connections.
     assert remote.reconnects >= 2
@@ -116,11 +124,13 @@ def test_zero_stale_with_commit_phase_connection_drops(
     system, remote = build_chaos_system(
         technique, chaos_server, injector=injector
     )
-    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+    with audited() as auditor:
+        result = system.runner.run(threads=THREADS, ops_per_thread=60)
 
     assert result.actions == THREADS * 60
     assert result.errors == 0
     assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert auditor.report().clean, auditor.report().summary()
     assert injector.fired() > 0
     remote.close()
 
@@ -138,10 +148,12 @@ def test_zero_stale_with_read_path_drops(chaos_server):
     system, remote = build_chaos_system(
         Technique.INVALIDATE, chaos_server, injector=injector
     )
-    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+    with audited() as auditor:
+        result = system.runner.run(threads=THREADS, ops_per_thread=60)
 
     assert result.errors == 0
     assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+    assert auditor.report().clean, auditor.report().summary()
     assert injector.fired() > 0
     assert remote.retries > 0
     remote.close()
@@ -159,13 +171,17 @@ def test_zero_stale_with_frozen_lease_holder(chaos_server, technique):
     frozen = freezer.freeze(["PendingFriends0", "Friends1", "Profile2"])
     assert len(frozen) == 3
 
-    result = system.runner.run(threads=THREADS, ops_per_thread=60)
+    with audited() as auditor:
+        result = system.runner.run(threads=THREADS, ops_per_thread=60)
 
-    assert result.actions == THREADS * 60
-    assert result.errors == 0
-    assert system.log.unpredictable_reads() == 0, system.log.breakdown()
-    # The frozen node waking up long after expiry must be a no-op.
-    freezer.zombie_commit()
-    assert system.log.unpredictable_reads() == 0
+        assert result.actions == THREADS * 60
+        assert result.errors == 0
+        assert (
+            system.log.unpredictable_reads() == 0
+        ), system.log.breakdown()
+        # The frozen node waking up long after expiry must be a no-op.
+        freezer.zombie_commit()
+        assert system.log.unpredictable_reads() == 0
+    assert auditor.report().clean, auditor.report().summary()
     freezer_conn.close()
     remote.close()

@@ -1,0 +1,17 @@
+"""Guard the process-global tracer: every test leaves it as it found it."""
+
+import pytest
+
+from repro.obs.trace import get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    tracer = get_tracer()
+    recorder_before = tracer.recorder
+    listeners_before = list(tracer._listeners)
+    yield
+    tracer.set_recorder(recorder_before)
+    with tracer._lock:
+        tracer._listeners[:] = listeners_before
+        tracer._refresh_active()

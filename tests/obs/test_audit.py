@@ -1,0 +1,297 @@
+"""Auditor unit tests: synthetic event streams for every violation category.
+
+Each test feeds a hand-built stream of :class:`TraceEvent` objects into a
+fresh :class:`IQAuditor` -- no server involved -- so every invariant is
+exercised both ways: the well-formed protocol sequence stays clean, the
+minimally-broken variant is flagged with exactly the expected category.
+"""
+
+import itertools
+
+from repro.obs.audit import (
+    ALL_CATEGORIES,
+    CATEGORY_DOUBLE_I,
+    CATEGORY_EARLY_APPLY,
+    CATEGORY_EXCLUSIVE_COGRANT,
+    CATEGORY_ORPHAN_RELEASE,
+    CATEGORY_UNVOIDED_I,
+    IQAuditor,
+    audited,
+)
+from repro.obs.trace import TraceEvent, get_tracer
+
+_TS = itertools.count(1)
+
+
+def ev(name, key=None, tid=None, trace=None, **fields):
+    return TraceEvent(next(_TS), name, trace_id=trace, key=key, tid=tid,
+                      fields=fields or None)
+
+
+def run(events):
+    auditor = IQAuditor()
+    for event in events:
+        auditor.observe(event)
+    return auditor.report()
+
+
+class TestDoubleIGrant:
+    def test_flags_second_grant_while_live(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.i.grant", key="k", token=2, srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_DOUBLE_I: 1}
+
+    def test_clean_after_redeem_void_or_expire(self):
+        for retire in ("lease.i.redeem", "lease.i.void", "lease.i.expire"):
+            report = run([
+                ev("lease.i.grant", key="k", token=1, srv="iq1"),
+                ev(retire, key="k", token=1, srv="iq1"),
+                ev("lease.i.grant", key="k", token=2, srv="iq1"),
+            ])
+            assert report.clean, retire
+
+    def test_same_key_on_different_servers_is_clean(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.i.grant", key="k", token=1, srv="iq2"),
+        ])
+        assert report.clean
+
+    def test_different_keys_are_independent(self):
+        report = run([
+            ev("lease.i.grant", key="a", token=1, srv="iq1"),
+            ev("lease.i.grant", key="b", token=2, srv="iq1"),
+        ])
+        assert report.clean
+
+
+class TestQGrantLeftIAlive:
+    def test_flags_grant_over_live_i(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.q.grant", key="k", tid=7, mode="shared-invalidate",
+               srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_UNVOIDED_I: 1}
+
+    def test_clean_when_void_precedes_grant(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.i.void", key="k", srv="iq1"),
+            ev("lease.q.grant", key="k", tid=7, mode="shared-invalidate",
+               srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_flagged_once_not_repeatedly(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.q.grant", key="k", tid=7, mode="shared-invalidate",
+               srv="iq1"),
+            ev("lease.q.grant", key="k", tid=8, mode="shared-invalidate",
+               srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_UNVOIDED_I: 1}
+
+
+class TestExclusiveCoGrant:
+    def test_two_exclusive_holders_flagged(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive", srv="iq1"),
+            ev("lease.q.grant", key="k", tid=2, mode="exclusive", srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_EXCLUSIVE_COGRANT: 1}
+
+    def test_mixed_mode_flagged_either_order(self):
+        for first, second in (("exclusive", "shared-invalidate"),
+                              ("shared-invalidate", "exclusive")):
+            report = run([
+                ev("lease.q.grant", key="k", tid=1, mode=first, srv="iq1"),
+                ev("lease.q.grant", key="k", tid=2, mode=second, srv="iq1"),
+            ])
+            assert report.categories() == {CATEGORY_EXCLUSIVE_COGRANT}
+
+    def test_shared_invalidate_cogrant_is_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="shared-invalidate",
+               srv="iq1"),
+            ev("lease.q.grant", key="k", tid=2, mode="shared-invalidate",
+               srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_renewal_by_same_session_is_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive", srv="iq1"),
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive",
+               renewed=True, srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_sequential_exclusive_holders_are_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive", srv="iq1"),
+            ev("iq.commit.begin", tid=1, srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+            ev("iq.commit.end", tid=1, srv="iq1"),
+            ev("lease.q.grant", key="k", tid=2, mode="exclusive", srv="iq1"),
+        ])
+        assert report.clean
+
+
+class TestOrphanRelease:
+    def test_release_outside_any_window_flagged(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="shared-invalidate",
+               srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_ORPHAN_RELEASE: 1}
+
+    def test_release_inside_commit_window_is_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="shared-invalidate",
+               srv="iq1"),
+            ev("iq.commit.begin", tid=1, srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+            ev("iq.commit.end", tid=1, srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_release_inside_abort_window_is_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive", srv="iq1"),
+            ev("iq.abort.begin", tid=1, srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+            ev("iq.abort.end", tid=1, srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_release_after_sar_is_legal(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="exclusive", srv="iq1"),
+            ev("iq.sar", key="k", tid=1, stored=True, srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_sar_window_is_per_key(self):
+        report = run([
+            ev("lease.q.grant", key="a", tid=1, mode="exclusive", srv="iq1"),
+            ev("lease.q.grant", key="b", tid=1, mode="exclusive", srv="iq1"),
+            ev("iq.sar", key="a", tid=1, stored=True, srv="iq1"),
+            ev("lease.q.release", key="b", tid=1, srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_ORPHAN_RELEASE: 1}
+
+    def test_window_closes_with_terminator(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="shared-invalidate",
+               srv="iq1"),
+            ev("iq.commit.begin", tid=1, srv="iq1"),
+            ev("iq.commit.end", tid=1, srv="iq1"),
+            ev("lease.q.release", key="k", tid=1, srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_ORPHAN_RELEASE: 1}
+
+    def test_expiry_is_not_a_release(self):
+        report = run([
+            ev("lease.q.grant", key="k", tid=1, mode="shared-invalidate",
+               srv="iq1"),
+            ev("lease.q.expire", key="k", tid=1, srv="iq1"),
+        ])
+        assert report.clean
+
+
+class TestEarlyApply:
+    def test_apply_before_sql_commit_flagged(self):
+        report = run([
+            ev("session.begin", tid=1, trace=10),
+            ev("kvs.apply", key="k", tid=1, trace=10, op="delete",
+               srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_EARLY_APPLY: 1}
+
+    def test_apply_after_sql_commit_is_legal(self):
+        report = run([
+            ev("session.begin", tid=1, trace=10),
+            ev("session.sql_commit", tid=1, trace=10),
+            ev("kvs.apply", key="k", tid=1, trace=10, op="delete",
+               srv="iq1"),
+            ev("session.end", tid=1, trace=10, how="commit"),
+        ])
+        assert report.clean
+
+    def test_stored_sar_before_sql_commit_flagged(self):
+        report = run([
+            ev("session.begin", tid=1, trace=10),
+            ev("iq.sar", key="k", tid=1, trace=10, stored=True, srv="iq1"),
+        ])
+        assert report.by_category() == {CATEGORY_EARLY_APPLY: 1}
+
+    def test_untraced_apply_not_checked(self):
+        report = run([
+            ev("kvs.apply", key="k", tid=1, op="delete", srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_foreign_trace_apply_not_checked(self):
+        # A trace the auditor never saw begin (attached mid-run) carries
+        # no session context; skipping avoids false positives.
+        report = run([
+            ev("kvs.apply", key="k", tid=1, trace=99, op="delta",
+               srv="iq1"),
+        ])
+        assert report.clean
+
+    def test_state_dropped_on_session_end(self):
+        auditor = IQAuditor()
+        for event in [
+            ev("session.begin", tid=1, trace=10),
+            ev("session.sql_commit", tid=1, trace=10),
+            ev("session.end", tid=1, trace=10, how="commit"),
+        ]:
+            auditor.observe(event)
+        assert auditor._traces_begun == set()
+        assert auditor._traces_committed == set()
+
+
+class TestReporting:
+    def test_summary_and_categories(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("lease.i.grant", key="k", token=2, srv="iq1"),
+        ])
+        assert not report.clean
+        assert CATEGORY_DOUBLE_I in report.summary()
+        assert "FAILED" in report.summary()
+        assert set(report.by_category()) <= set(ALL_CATEGORIES)
+
+    def test_clean_summary(self):
+        report = run([ev("lease.i.grant", key="k", token=1, srv="iq1")])
+        assert report.clean
+        assert "0 violations" in report.summary()
+
+    def test_events_seen_counts_handled_events_only(self):
+        report = run([
+            ev("lease.i.grant", key="k", token=1, srv="iq1"),
+            ev("store.set", key="k"),  # unhandled: not counted
+        ])
+        assert report.events_seen == 1
+
+
+class TestAuditedContextManager:
+    def test_attach_detach_global_tracer(self):
+        tracer = get_tracer()
+        with audited() as auditor:
+            assert tracer.active
+            tracer.emit("lease.i.grant", key="k", token=1, srv="x")
+            tracer.emit("lease.i.grant", key="k", token=2, srv="x")
+        assert not tracer.active
+        report = auditor.report()
+        assert report.by_category() == {CATEGORY_DOUBLE_I: 1}
+        # Detached: further events are not observed.
+        tracer.emit("lease.i.grant", key="k", token=3, srv="x")
+        assert auditor.report().events_seen == report.events_seen

@@ -1,0 +1,146 @@
+"""Trace-ID propagation: over the wire protocol and across shard fan-out.
+
+The client mints one trace id for a session; the test asserts that
+events emitted by *other* layers -- a TCP server's lease table, each
+shard of a router -- carry the same id, i.e. the ``@t`` wire token and
+the contextvar propagation stitch one end-to-end trace together.
+"""
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.net import RemoteIQServer, serve_background
+from repro.net.protocol import split_trace_token
+from repro.obs.trace import get_tracer, recording, trace_context
+from repro.sharding import ShardedIQServer
+
+
+def named(events, name):
+    return [event for event in events if event.name == name]
+
+
+class TestSplitTraceToken:
+    def test_strips_well_formed_token(self):
+        assert split_trace_token(["7", "k", "@t42"]) == (["7", "k"], 42)
+
+    def test_no_token(self):
+        assert split_trace_token(["7", "k"]) == (["7", "k"], None)
+        assert split_trace_token([]) == ([], None)
+
+    def test_malformed_token_left_in_place(self):
+        args = ["7", "k", "@txyz"]
+        assert split_trace_token(args) == (args, None)
+
+
+@pytest.fixture
+def remote():
+    server, _thread = serve_background()
+    client = RemoteIQServer(port=server.port)
+    yield client
+    client.close()
+    server.shutdown()
+
+
+class TestWirePropagation:
+    def test_server_side_events_carry_client_trace_id(self, remote):
+        tracer = get_tracer()
+        with recording() as recorder:
+            trace_id = tracer.new_trace()
+            with trace_context(trace_id):
+                tid = remote.gen_id()
+                remote.qar(tid, "wirekey")
+                remote.commit(tid)
+        events = recorder.events()
+        # The lease events are emitted inside the server's handler
+        # thread; only the @t token can have carried the id across.
+        grants = [event for event in named(events, "lease.q.grant")
+                  if event.key == "wirekey"]
+        releases = [event for event in named(events, "lease.q.release")
+                    if event.key == "wirekey"]
+        assert grants and releases
+        assert all(event.trace_id == trace_id for event in grants + releases)
+
+    def test_untraced_commands_have_no_trace_id(self, remote):
+        with recording() as recorder:
+            tid = remote.gen_id()
+            remote.qar(tid, "plainkey")
+            remote.commit(tid)
+        grants = [event for event in named(recorder.events(), "lease.q.grant")
+                  if event.key == "plainkey"]
+        assert grants
+        assert all(event.trace_id is None for event in grants)
+
+    def test_data_block_commands_unaffected_by_token(self, remote):
+        tracer = get_tracer()
+        with recording():
+            with trace_context(tracer.new_trace()):
+                tid = remote.gen_id()
+                assert remote.qaread("dkey", tid) is not None or True
+                assert remote.sar("dkey", b"payload", tid)
+                remote.commit(tid)
+        assert remote.get("dkey") == (b"payload", 0)
+
+    def test_wire_still_works_with_tracing_disabled(self, remote):
+        tid = remote.gen_id()
+        remote.qar(tid, "offkey")
+        assert remote.commit(tid)
+
+
+class TestShardFanOutPropagation:
+    def _spanning_keys(self, router, count=24):
+        keys = ["user:{}".format(index) for index in range(count)]
+        names = {router.shard_name_for(key) for key in keys}
+        assert len(names) >= 2, "keys did not span shards"
+        return keys
+
+    def test_per_shard_legs_carry_router_session_trace(self):
+        shards = [IQServer(), IQServer(), IQServer()]
+        router = ShardedIQServer(shards)
+        tracer = get_tracer()
+        with recording() as recorder:
+            trace_id = tracer.new_trace()
+            with trace_context(trace_id):
+                tid = router.gen_id()
+                for key in self._spanning_keys(router):
+                    router.qar(tid, key)
+                assert router.commit(tid)
+        events = recorder.events()
+        grants = named(events, "lease.q.grant")
+        servers = {event.get("srv") for event in grants}
+        assert len(servers) >= 2
+        assert all(event.trace_id == trace_id for event in grants)
+        routes = named(events, "shard.route")
+        assert len({event.get("shard") for event in routes}) >= 2
+        assert all(event.trace_id == trace_id for event in routes)
+        legs = named(events, "shard.commit.leg")
+        assert legs
+        assert all(event.get("outcome") == "applied" for event in legs)
+        assert all(event.trace_id == trace_id for event in legs)
+
+    def test_networked_shards_carry_trace_end_to_end(self):
+        backends = []
+        servers = []
+        for _ in range(2):
+            server, _thread = serve_background()
+            servers.append(server)
+            backends.append(RemoteIQServer(port=server.port))
+        router = ShardedIQServer(backends)
+        tracer = get_tracer()
+        try:
+            with recording() as recorder:
+                trace_id = tracer.new_trace()
+                with trace_context(trace_id):
+                    tid = router.gen_id()
+                    for key in self._spanning_keys(router):
+                        router.qar(tid, key)
+                    assert router.commit(tid)
+            grants = named(recorder.events(), "lease.q.grant")
+            srv_names = {event.get("srv") for event in grants}
+            # Both TCP servers' in-process lease tables saw the trace.
+            assert len(srv_names) >= 2
+            assert all(event.trace_id == trace_id for event in grants)
+        finally:
+            for backend in backends:
+                backend.close()
+            for server in servers:
+                server.shutdown()

@@ -1,0 +1,155 @@
+"""Unit tests for the metrics registry and its Prometheus exporter."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_thread_safety(self):
+        counter = Counter("c")
+
+        def spin():
+            for _ in range(10000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40000
+
+
+class TestGauge:
+    def test_up_and_down(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7
+        gauge.reset()
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_nearest_rank_percentiles(self):
+        histogram = Histogram("h")
+        histogram.observe_many(range(1, 101))
+        assert histogram.percentile(0.5) == 50
+        assert histogram.percentile(0.95) == 95
+        assert histogram.percentile(1.0) == 100
+        assert histogram.mean() == 50.5
+        assert histogram.max() == 100
+        assert histogram.count == 100
+        assert histogram.total == 5050
+
+    def test_empty(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(0.5) is None
+        assert histogram.mean() is None
+        assert histogram.max() is None
+        assert len(histogram) == 0
+
+    def test_bad_fraction(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_collect_shape(self):
+        histogram = Histogram("h")
+        histogram.observe(3)
+        collected = histogram.collect()
+        assert collected["count"] == 1
+        assert collected["sum"] == 3
+        assert collected["quantiles"]["0.5"] == 3
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", help="cache hits")
+        second = registry.counter("hits")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_names_and_get(self):
+        registry = MetricsRegistry()
+        registry.gauge("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert registry.get("a").kind == "counter"
+        assert registry.get("nope") is None
+
+    def test_reset_all(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(1)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h").count == 0
+
+    def test_collect(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(3)
+        collected = {item["name"]: item for item in registry.collect()}
+        assert collected["c"]["value"] == 2
+        assert collected["g"]["value"] == 3
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", help="total requests").inc(7)
+        registry.gauge("depth").set(2)
+        text = registry.render_prometheus()
+        assert "# HELP requests_total total requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 7" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds")
+        histogram.observe_many([1, 2, 3, 4])
+        text = registry.render_prometheus()
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 2' in text
+        assert "latency_seconds_count 4" in text
+        assert "latency_seconds_sum 10" in text
+
+    def test_empty_histogram_renders_count_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("h")
+        text = registry.render_prometheus()
+        assert "quantile" not in text
+        assert "h_count 0" in text

@@ -1,0 +1,202 @@
+"""Unit tests for the tracer: no-op mode, recorders, context propagation."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    JSONLRecorder,
+    RingBufferRecorder,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    recording,
+    trace_context,
+)
+
+
+class TestNoOpMode:
+    def test_inactive_by_default(self):
+        tracer = Tracer()
+        assert tracer.active is False
+        assert tracer.emit("anything", key="k") is None
+
+    def test_recorder_activates(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        assert tracer.set_recorder(recorder) is None
+        assert tracer.active is True
+        assert tracer.set_recorder(None) is recorder
+        assert tracer.active is False
+
+    def test_listener_activates(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_listener(seen.append)
+        assert tracer.active is True
+        tracer.emit("ping")
+        tracer.remove_listener(seen.append)
+        assert tracer.active is False
+        assert [event.name for event in seen] == ["ping"]
+
+    def test_disabled_emit_records_nothing(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        tracer.set_recorder(None)
+        tracer.emit("dropped")
+        assert recorder.seen == 0
+
+
+class TestEmission:
+    def test_event_shape(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        tracer.emit("lease.i.grant", key="k", tid=7, token=3, srv="iq1")
+        (event,) = recorder.events()
+        assert event.name == "lease.i.grant"
+        assert event.key == "k"
+        assert event.tid == 7
+        assert event.get("token") == 3
+        assert event.get("srv") == "iq1"
+        assert event.get("missing", "d") == "d"
+        assert event.ts >= 0
+
+    def test_timestamps_monotonic(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        for _ in range(5):
+            tracer.emit("tick")
+        stamps = [event.ts for event in recorder.events()]
+        assert stamps == sorted(stamps)
+
+    def test_new_trace_ids_unique(self):
+        tracer = Tracer()
+        ids = [tracer.new_trace() for _ in range(10)]
+        assert len(set(ids)) == 10
+        assert ids == sorted(ids)
+
+    def test_trace_id_from_ambient_context(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        with trace_context(42):
+            tracer.emit("inner")
+        tracer.emit("outer")
+        inner, outer = recorder.events()
+        assert inner.trace_id == 42
+        assert outer.trace_id is None
+
+    def test_explicit_trace_id_wins(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        with trace_context(1):
+            tracer.emit("event", trace_id=99)
+        (event,) = recorder.events()
+        assert event.trace_id == 99
+
+    def test_span_emits_begin_end_with_duration(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        with tracer.span("op", key="k"):
+            pass
+        begin, end = recorder.events()
+        assert begin.name == "op.begin"
+        assert end.name == "op.end"
+        assert end.get("duration") >= 0
+
+    def test_to_dict_omits_empty_fields(self):
+        tracer = Tracer()
+        recorder = RingBufferRecorder()
+        tracer.set_recorder(recorder)
+        tracer.emit("bare")
+        (event,) = recorder.events()
+        record = event.to_dict()
+        assert set(record) == {"ts", "name"}
+
+
+class TestContextPropagation:
+    def test_nested_contexts_restore(self):
+        with trace_context(1):
+            assert current_trace_id() == 1
+            with trace_context(2):
+                assert current_trace_id() == 2
+            assert current_trace_id() == 1
+        assert current_trace_id() is None
+
+    def test_none_context_is_transparent(self):
+        with trace_context(5):
+            with trace_context(None):
+                assert current_trace_id() == 5
+            assert current_trace_id() == 5
+
+    def test_context_is_per_thread(self):
+        observed = {}
+
+        def worker():
+            observed["child"] = current_trace_id()
+
+        with trace_context(7):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert observed["child"] is None
+
+
+class TestRingBufferRecorder:
+    def test_bounded_with_drop_accounting(self):
+        recorder = RingBufferRecorder(capacity=4)
+        tracer = Tracer()
+        tracer.set_recorder(recorder)
+        for index in range(10):
+            tracer.emit("e{}".format(index))
+        assert len(recorder) == 4
+        assert recorder.seen == 10
+        assert recorder.dropped == 6
+        assert [event.name for event in recorder.events()] == [
+            "e6", "e7", "e8", "e9",
+        ]
+
+    def test_clear(self):
+        recorder = RingBufferRecorder()
+        tracer = Tracer()
+        tracer.set_recorder(recorder)
+        tracer.emit("x")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.seen == 0
+
+
+class TestJSONLRecorder:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        recorder = JSONLRecorder(path)
+        tracer = Tracer()
+        tracer.set_recorder(recorder)
+        with trace_context(3):
+            tracer.emit("lease.q.grant", key="k", tid=9, mode="exclusive")
+        tracer.emit("store.set", key="k")
+        recorder.close()
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 2
+        assert lines[0]["name"] == "lease.q.grant"
+        assert lines[0]["trace"] == 3
+        assert lines[0]["tid"] == 9
+        assert lines[0]["mode"] == "exclusive"
+        assert lines[1]["name"] == "store.set"
+        assert recorder.seen == 2
+
+
+class TestRecordingContextManager:
+    def test_installs_and_restores_on_global_tracer(self):
+        tracer = get_tracer()
+        before = tracer.recorder
+        with recording() as recorder:
+            assert tracer.recorder is recorder
+            tracer.emit("during")
+        assert tracer.recorder is before
+        assert [event.name for event in recorder.events()] == ["during"]

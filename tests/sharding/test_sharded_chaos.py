@@ -28,6 +28,7 @@ from repro.core.policies import (
 from repro.core.session import AcquisitionMode
 from repro.faults import RestartableServer
 from repro.net import ResilientIQServer
+from repro.obs.audit import audited
 from repro.sharding import ShardedIQServer
 from repro.util.backoff import NoBackoff
 
@@ -194,13 +195,17 @@ def test_zero_stale_at_four_shards_with_kill_and_restart(technique):
             victim.start()
 
         chaos = threading.Thread(target=controller)
-        chaos.start()
-        result = system.runner.run(threads=4, duration=1.2)
-        chaos.join()
+        # Second oracle: the lease-protocol auditor rides along the
+        # whole chaos window (values via BG log, steps via auditor).
+        with audited() as auditor:
+            chaos.start()
+            result = system.runner.run(threads=4, duration=1.2)
+            chaos.join()
 
         assert result.actions > 0
         assert result.errors == 0
         assert system.log.unpredictable_reads() == 0, system.log.breakdown()
+        assert auditor.report().clean, auditor.report().summary()
         assert victim.kills == 1
         # The fleet as a whole kept serving: the merged view shows cache
         # traffic, and the victim's client really did lose connections.
