@@ -21,6 +21,12 @@
     python -m repro trace [--out F] [--threads N] [--ops N]
         Run a short audited BG workload, export its trace as JSONL, and
         print the IQ-invariant audit summary.
+
+    python -m repro mc [--scenario NAME] [--list] [--fuzz N] [--seed S]
+        Run the schedule-exploring model checker.  With no arguments it
+        runs the acceptance sweep over the six figure pairs: every
+        unleased baseline scenario must race (the minimal shrunk
+        schedule is printed) and every IQ scenario must explore clean.
 """
 
 import argparse
@@ -131,6 +137,65 @@ def _cmd_trace(args):
     return 0 if report.clean else 1
 
 
+def _run_mc_scenario(scenario, max_states, shrink_violations=True):
+    from repro.mc import emit_script, explore, shrink
+
+    report = explore(scenario, max_states=max_states)
+    print(report.summary())
+    expected = scenario.expect_violation
+    if report.truncated:
+        print("  state budget exhausted; raise --max-states")
+        return False
+    if report.violation_count == 0:
+        if expected:
+            print("  EXPECTED a violation (rejected/buggy semantics) but "
+                  "the space explored clean")
+        return not expected
+    if not expected:
+        for violation in report.violations[:3]:
+            for message in violation.messages:
+                print("  {}".format(message))
+        return False
+    if shrink_violations:
+        result = shrink(scenario, report.violations[0].schedule)
+        print(emit_script(result))
+    return True
+
+
+def _cmd_mc(args):
+    from repro.mc import FIGURE_PAIRS, fuzz, get_scenario, scenario_names
+
+    if args.list:
+        from repro.mc import SCENARIOS
+
+        for name in scenario_names():
+            scenario = SCENARIOS[name]
+            marker = "races" if scenario.expect_violation else "clean"
+            print("{:<24} [{}] {}".format(name, marker,
+                                          scenario.description))
+        return 0
+
+    ok = True
+    if args.scenario:
+        names = [args.scenario]
+    else:
+        names = [name for pair in FIGURE_PAIRS for name in pair]
+    for name in names:
+        if not _run_mc_scenario(get_scenario(name), args.max_states):
+            ok = False
+
+    if args.fuzz:
+        target = get_scenario(args.fuzz_scenario)
+        report = fuzz(target, runs=args.fuzz, seed=args.seed)
+        print(report.summary())
+        if not report.ok:
+            print(report.artifact())
+            ok = False
+
+    print("model checker: {}".format("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _cmd_bench(args):
     import importlib
     import os
@@ -211,6 +276,23 @@ def build_parser():
     trace.add_argument("--ops", type=int, default=50)
     trace.add_argument("--members", type=int, default=100)
     trace.set_defaults(func=_cmd_trace)
+
+    mc = sub.add_parser(
+        "mc", help="run the schedule-exploring model checker"
+    )
+    mc.add_argument("--scenario", default=None,
+                    help="explore one scenario instead of the figure sweep")
+    mc.add_argument("--list", action="store_true",
+                    help="list the scenario catalogue and exit")
+    mc.add_argument("--max-states", type=int, default=500000,
+                    help="cap on explored states per scenario")
+    mc.add_argument("--fuzz", type=int, default=0, metavar="N",
+                    help="additionally fuzz N random schedules")
+    mc.add_argument("--fuzz-scenario", default="fuzz-sharded-fault",
+                    help="scenario the fuzzer samples")
+    mc.add_argument("--seed", type=int, default=0,
+                    help="fuzzer base seed")
+    mc.set_defaults(func=_cmd_mc)
 
     bench = sub.add_parser("bench", help="run one evaluation experiment")
     bench.add_argument(

@@ -1,0 +1,70 @@
+"""repro.mc: a stateless model checker for IQ sessions.
+
+Layered on :mod:`repro.sim.scheduler`, the checker turns the scripted
+figure reproductions into *systematic* evidence: it enumerates every
+interleaving of a bounded scenario (N announce-then-perform session
+programs, optionally including fault-delivery pseudo-programs), prunes
+commuting orders with sleep sets (DPOR-lite) and state-fingerprint
+deduplication, and checks two oracles at every terminal state -- the
+no-stale/no-dirty value checks and the :class:`~repro.obs.audit.
+IQAuditor` protocol state machine.  Any violating schedule is
+delta-debugged down to a 1-minimal replayable script.
+
+Entry points::
+
+    from repro.mc import explore, get_scenario, shrink, fuzz, replay
+
+    report = explore(get_scenario("fig3-baseline"))
+    report.summary()        # schedules/states/pruned/deduped counts
+    report.violations[0]    # a violating schedule
+    shrink(get_scenario("fig3-baseline"),
+           report.violations[0].schedule)   # -> minimal script
+
+or ``python -m repro mc`` on the command line.
+"""
+
+from repro.mc.explorer import (
+    ExplorationReport,
+    MCViolation,
+    ReplayResult,
+    explore,
+    replay,
+)
+from repro.mc.fuzz import FuzzFailure, FuzzReport, fuzz
+from repro.mc.program import MCProgram, MCRun, Op, independent
+from repro.mc.scenarios import (
+    FIGURE_PAIRS,
+    SCENARIOS,
+    Scenario,
+    default_final_checks,
+    get_scenario,
+    scenario_names,
+)
+from repro.mc.shrink import ShrinkResult, emit_script, shrink
+from repro.mc.world import GatedShard, World
+
+__all__ = [
+    "ExplorationReport",
+    "MCViolation",
+    "ReplayResult",
+    "explore",
+    "replay",
+    "FuzzFailure",
+    "FuzzReport",
+    "fuzz",
+    "MCProgram",
+    "MCRun",
+    "Op",
+    "independent",
+    "FIGURE_PAIRS",
+    "SCENARIOS",
+    "Scenario",
+    "default_final_checks",
+    "get_scenario",
+    "scenario_names",
+    "ShrinkResult",
+    "emit_script",
+    "shrink",
+    "GatedShard",
+    "World",
+]

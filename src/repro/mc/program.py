@@ -1,0 +1,167 @@
+"""Session programs for the model checker: announce-then-perform steps.
+
+:mod:`repro.sim.scheduler` programs perform an operation and *then*
+yield its label, which is fine for replaying a fixed schedule but
+useless for partial-order reduction: by the time the scheduler learns
+what a step touched, the step has already run.  The model checker
+therefore drives programs written in **announce-then-perform** style::
+
+    def session(world):
+        yield Op("w:qar", kvs=[KEY])      # announce the next operation
+        world.backend.qar(tid, KEY)       # ...then perform it
+        yield Op("w:commit", sql=True)    # announce the next one
+        ...
+
+Each ``yield`` hands the scheduler an :class:`Op` describing the
+operation the code *after* the yield will perform -- its label and the
+shared resources it reads and writes.  At every explored state the
+scheduler thus knows each unfinished program's *pending* operation
+without running it, which is exactly what sleep-set (DPOR-lite) pruning
+needs to decide which interleavings commute.
+
+An :class:`MCRun` wraps the scheduler's :class:`~repro.sim.scheduler.
+ProgramRun`; advancing it executes the previously announced operation
+and captures the next announcement.  Program exceptions surface as
+:class:`~repro.sim.scheduler.ProgramCrash` with the schedule prefix
+attached, so a crashing schedule is as replayable as a violating one.
+"""
+
+from repro.sim.scheduler import Program, ProgramCrash, ProgramRun
+
+__all__ = ["Op", "MCProgram", "MCRun", "independent"]
+
+
+class Op:
+    """One announced operation: a label plus its shared-resource footprint.
+
+    ``reads``/``writes`` are collections of opaque resource names.  Two
+    operations are *dependent* when one writes a resource the other
+    touches; dependent operations do not commute, so their orders must
+    both be explored.  Convenience keywords:
+
+    * ``kvs=[key, ...]`` -- touches the cache/lease state of those keys
+      (always a write: lease tables mutate even on reads);
+    * ``sql=True`` -- touches the shared RDBMS (snapshots, row locks,
+      commit order);
+    * ``local=True`` (implied by an empty footprint) -- a purely
+      program-local step that commutes with everything.
+    """
+
+    __slots__ = ("label", "reads", "writes")
+
+    def __init__(self, label, reads=(), writes=(), kvs=(), sql=False,
+                 local=False):
+        self.label = label
+        reads = set(reads)
+        writes = set(writes)
+        for key in kvs:
+            writes.add("kvs:{}".format(key))
+        if sql:
+            writes.add("sql")
+        if local:
+            reads.clear()
+            writes.clear()
+        self.reads = frozenset(reads)
+        self.writes = frozenset(writes)
+
+    @property
+    def footprint(self):
+        return self.reads | self.writes
+
+    def __repr__(self):
+        return "Op({!r})".format(self.label)
+
+    def __str__(self):
+        return self.label
+
+
+def independent(op_a, op_b):
+    """True when the two operations commute (disjoint conflict footprint)."""
+    if op_a is None or op_b is None:
+        return True
+    if op_a.writes & (op_b.reads | op_b.writes):
+        return False
+    if op_b.writes & (op_a.reads | op_a.writes):
+        return False
+    return True
+
+
+class MCProgram:
+    """A named announce-then-perform session program factory.
+
+    ``factory(world)`` must return a generator yielding :class:`Op`
+    announcements.  ``trace_id`` tags every step the program executes
+    with one trace, so the :class:`~repro.obs.audit.IQAuditor` can
+    correlate its lease events into sessions.
+    """
+
+    def __init__(self, name, factory):
+        self.name = name
+        self.factory = factory
+
+    def __repr__(self):
+        return "MCProgram({!r})".format(self.name)
+
+
+class MCRun:
+    """Execution state of one announce-then-perform program.
+
+    Construction advances the generator to its first announcement; the
+    code before the first ``yield`` must therefore be free of shared
+    side effects (bind locals, nothing more).
+    """
+
+    def __init__(self, mc_program, world):
+        self.name = mc_program.name
+        self.trace_id = world.new_trace_id(self.name)
+        self._world = world
+        self._run = ProgramRun(Program(
+            self.name, lambda: mc_program.factory(world)
+        ))
+        #: labels of every executed (performed) operation, in order
+        self.history = []
+        self.pending = self._advance_locked([])
+
+    @property
+    def finished(self):
+        return self._run.finished
+
+    @property
+    def result(self):
+        return self._run.result
+
+    def _advance_locked(self, executed_prefix):
+        from repro.obs.trace import trace_context
+
+        try:
+            with trace_context(self.trace_id):
+                label = self._run.advance()
+        except Exception as exc:
+            raise ProgramCrash(
+                self.name, self.pending.label if self.pending else None,
+                executed_prefix, exc,
+            ) from exc
+        if label is None:
+            return None
+        if not isinstance(label, Op):
+            raise TypeError(
+                "mc program {!r} must yield Op announcements, got {!r}"
+                .format(self.name, label)
+            )
+        return label
+
+    def step(self, executed_prefix):
+        """Perform the announced operation; capture the next announcement.
+
+        Returns the label of the operation that was executed.
+        """
+        if self.finished:
+            raise ProgramCrash(
+                self.name, self.pending.label if self.pending else None,
+                executed_prefix,
+                RuntimeError("stepping a finished program"),
+            )
+        performed = self.pending
+        self.pending = self._advance_locked(executed_prefix)
+        self.history.append(performed.label)
+        return performed.label

@@ -1,0 +1,651 @@
+"""The model checker's scenario catalogue.
+
+A :class:`Scenario` bundles a world factory with its oracles:
+
+* ``check_state(world, runs)`` runs after *every* explored step -- for
+  invariants that must hold in every reachable state (e.g. "nothing is
+  journaled before the writer's SQL commit");
+* ``check_final(world, runs)`` runs at every terminal state (all
+  programs finished).  The default combines the paper's two read
+  guarantees: **no stale final value** (every cached value equals the
+  committed row, or the key is absent / pending reconciliation) and
+  **no dirty read** (every value a program was served from the cache
+  was committed at *some* point -- an uncommitted value in a response
+  is Figure 6's bug).  The explorer adds the
+  :class:`~repro.obs.audit.IQAuditor` as an independent second opinion.
+
+The catalogue covers the six figure races (each as an unleased-baseline
+scenario the checker must find violations in, and an IQ scenario it must
+prove clean over the same bounded space), 3-session technique mixes,
+2-shard configurations, fault-delivery scenarios, and the PR 2
+regression semantics (post-commit journaling, ``poison`` partial-
+proposal abort) -- each of those paired with its rejected "buggy"
+variant so the suite demonstrates the checker *would have caught* the
+original bug.
+"""
+
+from repro.mc.sessions import (
+    baseline_cas_writer,
+    baseline_delta_writer,
+    baseline_dirty_refresher,
+    baseline_reader,
+    baseline_trigger_invalidator,
+    fault_program,
+    iq_abort_refresh_writer,
+    iq_delta_writer,
+    iq_invalidate_writer,
+    iq_reader,
+    iq_refresh_writer,
+    reconciler,
+    sharded_delta_writer,
+    sharded_invalidate_writer,
+)
+from repro.mc.world import World
+from repro.sharding.ring import ConsistentHashRing
+
+__all__ = [
+    "Scenario",
+    "default_final_checks",
+    "get_scenario",
+    "scenario_names",
+    "SCENARIOS",
+    "FIGURE_PAIRS",
+]
+
+
+def default_final_checks(world, runs, allow_journaled_stale=False):
+    """The two value oracles over a terminal state."""
+    messages = []
+    kvs = world.kvs_contents()
+    sql = world.sql_contents()
+    journaled = world.journaled_keys() if allow_journaled_stale else set()
+    for key in world.keys:
+        cached = kvs[key]
+        if cached is None:
+            continue
+        committed = sql[key]
+        if str(cached) != str(committed):
+            if key in journaled:
+                continue
+            messages.append(
+                "stale-final: kvs[{}]={!r} but rdbms committed {!r}".format(
+                    key, cached, committed
+                )
+            )
+    for program, key, value in world.cache_reads():
+        history = {
+            str(v) for v in world.committed_history.get(key, ())
+        }
+        if str(value) not in history:
+            messages.append(
+                "dirty-read: {} was served {!r} for {}, which was never "
+                "committed (history: {})".format(
+                    program, value, key, sorted(history)
+                )
+            )
+    return messages
+
+
+class Scenario:
+    """One model-checking problem: programs, world, oracles."""
+
+    def __init__(self, name, build, description="", check_state=None,
+                 check_final=None, allow_journaled_stale=False,
+                 expect_violation=False, audit=True, tags=()):
+        self.name = name
+        self._build = build
+        self.description = description
+        self._check_state = check_state
+        self._check_final = check_final
+        self.allow_journaled_stale = allow_journaled_stale
+        #: True when the *point* of the scenario is that the checker must
+        #: find violations (baseline races, rejected buggy semantics).
+        self.expect_violation = expect_violation
+        #: feed the auditor's verdict into the terminal oracle
+        self.audit = audit
+        self.tags = tuple(tags)
+
+    def build(self):
+        """Fresh ``(world, [MCProgram])`` for one execution."""
+        return self._build()
+
+    def check_state(self, world, runs):
+        if self._check_state is None:
+            return []
+        return list(self._check_state(world, runs))
+
+    def check_final(self, world, runs):
+        if self._check_final is not None:
+            return list(self._check_final(world, runs))
+        return default_final_checks(
+            world, runs, allow_journaled_stale=self.allow_journaled_stale
+        )
+
+    def __repr__(self):
+        return "Scenario({!r})".format(self.name)
+
+
+# ---------------------------------------------------------------------------
+# figure scenarios: baseline (must race) and IQ (must prove clean)
+# ---------------------------------------------------------------------------
+
+def _fig2_baseline():
+    world = World(keys=("k0",), backend="baseline")
+    world.seed("k0", 100)
+    return world, [
+        baseline_cas_writer("S1", "k0", "val + 50",
+                            lambda old: int(old) + 50, attempts=2),
+        baseline_cas_writer("S2", "k0", "val * 10",
+                            lambda old: int(old) * 10, attempts=2),
+    ]
+
+
+def _fig2_iq():
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 100)
+    return world, [
+        iq_refresh_writer("S1", "k0", "val + 50",
+                          lambda old: int(old) + 50, attempts=3),
+        iq_refresh_writer("S2", "k0", "val * 10",
+                          lambda old: int(old) * 10, attempts=3),
+    ]
+
+
+def _fig3_baseline():
+    world = World(keys=("k0",), backend="baseline")
+    world.seed("k0", 0)
+    return world, [
+        baseline_trigger_invalidator("S1", {"k0": "1"}),
+        baseline_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig3_iq():
+    # Eager-delete variant (optimization off): exercises back-off.
+    world = World(keys=("k0",), backend="iq", serve_pending=False)
+    world.seed("k0", 0)
+    return world, [
+        iq_invalidate_writer("S1", {"k0": "1"}, attempts=2),
+        iq_reader("S2", "k0", attempts=4),
+    ]
+
+
+def _fig4_baseline():
+    # The rearrangement window as a 3-session race: while S1's delete
+    # and commit are in flight, filler R1 can install the pre-commit
+    # value, which observer R2 then consumes after S1 committed.
+    world = World(keys=("k0",), backend="baseline")
+    world.seed("k0", 0)
+    return world, [
+        baseline_trigger_invalidator("S1", {"k0": "1"}),
+        baseline_reader("R1", "k0", attempts=2),
+        baseline_reader("R2", "k0", attempts=2),
+    ]
+
+
+def _fig4_iq():
+    # Deferred-delete optimization on: readers inside the window serve
+    # the pending (old) version -- they serialize before the writer --
+    # and no interleaving may leave a stale value behind.
+    world = World(keys=("k0",), backend="iq", serve_pending=True)
+    world.seed("k0", 0)
+    return world, [
+        iq_invalidate_writer("S1", {"k0": "1"}, attempts=2),
+        iq_reader("R1", "k0", attempts=4),
+        iq_reader("R2", "k0", attempts=4),
+    ]
+
+
+def _fig6_baseline():
+    world = World(keys=("k0",), backend="baseline")
+    world.seed("k0", 0)
+    return world, [
+        baseline_dirty_refresher("S1", "k0", "val + 1", 1),
+        baseline_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig6_iq():
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 0)
+    return world, [
+        iq_abort_refresh_writer("S1", "k0", "val + 1"),
+        iq_reader("S2", "k0", attempts=4),
+    ]
+
+
+def _fig7_baseline():
+    world = World(keys=("k0",), backend="baseline", text_values=True)
+    world.seed_db_only("k0", "x")  # cold cache: the figure starts on a miss
+    return world, [
+        baseline_delta_writer("S1", "k0", "append", b"d", precommit=True),
+        baseline_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig7_iq():
+    world = World(keys=("k0",), backend="iq", text_values=True)
+    world.seed_db_only("k0", "x")
+    return world, [
+        iq_delta_writer("S1", [("k0", "append", b"d")], attempts=2),
+        iq_reader("S2", "k0", attempts=4),
+    ]
+
+
+def _fig8_baseline():
+    world = World(keys=("k0",), backend="baseline", text_values=True)
+    world.seed_db_only("k0", "x")
+    return world, [
+        baseline_delta_writer("S1", "k0", "append", b"d", precommit=False),
+        baseline_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig8_iq():
+    # Same programs as Figure 7 under IQ; the bounded space includes the
+    # Figure 8 order (fill after commit, delta applied once via the Q
+    # lease fencing) -- no interleaving doubles the delta.
+    world = World(keys=("k0",), backend="iq", text_values=True)
+    world.seed_db_only("k0", "x")
+    return world, [
+        iq_delta_writer("S1", [("k0", "append", b"d")], attempts=2),
+        iq_reader("S2", "k0", attempts=4),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# 3-session technique mixes under IQ (exhaustive, must be clean)
+# ---------------------------------------------------------------------------
+
+def _mix3_inv_refresh_read():
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 10)
+    return world, [
+        iq_invalidate_writer("inv", {"k0": "val + 100"}, attempts=2),
+        iq_refresh_writer("ref", "k0", "val + 7",
+                          lambda old: int(old) + 7, attempts=2),
+        iq_reader("r", "k0", attempts=3),
+    ]
+
+
+def _mix3_inv_delta_read():
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 10)
+    return world, [
+        iq_invalidate_writer("inv", {"k0": "val + 100"}, attempts=2),
+        iq_delta_writer("d", [("k0", "incr", 3)], attempts=2),
+        iq_reader("r", "k0", attempts=3),
+    ]
+
+
+def _mix3_refresh_delta_read():
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 10)
+    return world, [
+        iq_refresh_writer("ref", "k0", "val + 7",
+                          lambda old: int(old) + 7, attempts=2),
+        iq_delta_writer("d", [("k0", "incr", 3)], attempts=2),
+        iq_reader("r", "k0", attempts=3),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# 2-shard configurations
+# ---------------------------------------------------------------------------
+
+def _two_keys_on_distinct_shards(count=2):
+    """Deterministic key names that land on different shards of a 2-ring."""
+    ring = ConsistentHashRing(["shard0", "shard1"], vnodes=64)
+    chosen = []
+    owners = set()
+    index = 0
+    while len(chosen) < count and index < 256:
+        key = "k{}".format(index)
+        owner = ring.node_for(key)
+        if owner not in owners:
+            owners.add(owner)
+            chosen.append(key)
+        index += 1
+    return tuple(chosen)
+
+
+def _sharded_mix():
+    key_a, key_b = _two_keys_on_distinct_shards()
+    world = World(keys=(key_a, key_b), backend="sharded", shards=2)
+    world.seed(key_a, 10)
+    world.seed(key_b, 20)
+    return world, [
+        iq_invalidate_writer("inv", {key_a: "val + 100",
+                                     key_b: "val + 100"}, attempts=2),
+        iq_delta_writer("d", [(key_b, "incr", 3)], attempts=2),
+        iq_reader("r", key_a, attempts=3),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# fault delivery as an explored schedule step
+# ---------------------------------------------------------------------------
+
+def _fault_suppressed_void():
+    # The repro.faults injector suppresses the I-lease void at the
+    # server.lease.void hook site once the fault program's step has
+    # armed it.  From that point a doomed reader's token stays live, so
+    # its stale fill is accepted after the writer's delete -- the
+    # checker must find the interleaving, and the auditor must flag the
+    # q-grant-left-i-alive protocol breach.
+    world = World(keys=("k0",), backend="iq", suppressible_void=True)
+    world.seed_db_only("k0", 0)
+    return world, [
+        fault_program("F", "arm-suppress-i-void",
+                      lambda w: w.arm_fault("suppress-i-void"), ("k0",)),
+        iq_invalidate_writer("S1", {"k0": "1"}, attempts=2),
+        iq_reader("S2", "k0", attempts=3),
+    ]
+
+
+def _fault_expired_leases():
+    # A refresh writer's leases expire mid-session (clock jump delivered
+    # as a schedule step).  Section 4.2 condition 3 deletes the key and
+    # ignores the writer's late SaR -- but the writer's *RDBMS*
+    # transaction is outside the KVS's reach.  The checker finds the
+    # consequence: once the Q lease is gone, a reader can I-lease the
+    # deleted key, fill the pre-commit value, and the writer's commit no
+    # longer invalidates anything -- the Figure 3 window reopens.  This
+    # is the paper's lease-duration assumption (leases must outlive
+    # sessions) surfaced as a concrete interleaving.
+    world = World(keys=("k0",), backend="iq")
+    world.seed("k0", 10)
+    return world, [
+        fault_program("F", "expire-leases",
+                      lambda w: w.expire_leases(), ("k0",)),
+        iq_refresh_writer("S1", "k0", "val + 7",
+                          lambda old: int(old) + 7, attempts=2),
+        iq_reader("S2", "k0", attempts=3),
+    ]
+
+
+def _fuzz_sharded_fault():
+    # The fuzz target: too many programs to exhaust (4 sessions across 2
+    # shards plus kill/heal/reconcile steps), so the random-schedule
+    # fuzzer samples it with the auditor as the oracle.  Under the
+    # reviewed semantics (post-commit journaling, poison) every sampled
+    # schedule must be clean.
+    key_healthy, key_victim = _two_keys_on_distinct_shards()
+    world = World(keys=(key_healthy, key_victim), backend="sharded",
+                  shards=2)
+    world.seed(key_healthy, 10)
+    world.seed(key_victim, 20)
+    victim = world.backend.shard_name_for(key_victim)
+    return world, [
+        sharded_invalidate_writer(
+            "W", {key_healthy: "val + 100", key_victim: "val + 100"},
+            journal_timing="post", attempts=2,
+        ),
+        sharded_delta_writer(
+            "D", [(key_victim, "incr", 3)], poison=True, attempts=2,
+        ),
+        iq_reader("R1", key_victim, attempts=3),
+        iq_reader("R2", key_healthy, attempts=3),
+        fault_program("F", "kill:{}".format(victim),
+                      lambda w: w.kill_shard(victim), (key_victim,)),
+        fault_program("H", "heal:{}".format(victim),
+                      lambda w: w.heal_shard(victim), (key_victim,)),
+        reconciler("Rec"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# PR 2 regression semantics, explored exhaustively
+# ---------------------------------------------------------------------------
+
+def _journal_invariant(world, runs):
+    """Post-commit journaling: nothing may be journaled pre-commit."""
+    journaled = world.journaled_keys()
+    if journaled and not world.flags.get("sql_committed:W"):
+        return [
+            "journal-before-commit: {} journaled while W's RDBMS "
+            "transaction is still uncommitted".format(sorted(journaled))
+        ]
+    return []
+
+
+def _pr2_journal(journal_timing):
+    def build():
+        key_healthy, key_victim = _two_keys_on_distinct_shards()
+        world = World(keys=(key_healthy, key_victim), backend="sharded",
+                      shards=2)
+        world.seed(key_healthy, 0)
+        world.seed(key_victim, 0)
+        victim = world.backend.shard_name_for(key_victim)
+        world.kill_shard(victim, label="setup-kill:{}".format(victim))
+        world._fault_log.clear()  # setup, not an explored fault step
+        return world, [
+            sharded_invalidate_writer(
+                "W", {key_healthy: "1", key_victim: "1"},
+                journal_timing=journal_timing, attempts=2,
+            ),
+            fault_program("H", "heal",
+                          lambda w: w.heal_shard(victim), (key_victim,)),
+            reconciler("Rec"),
+            iq_reader("R", key_victim, attempts=3),
+        ]
+    return build
+
+
+def _pr2_poison(poison):
+    def build():
+        key_healthy, key_victim = _two_keys_on_distinct_shards()
+        world = World(keys=(key_healthy, key_victim), backend="sharded",
+                      shards=2)
+        world.seed(key_healthy, 0)
+        world.seed(key_victim, 10)
+        victim = world.backend.shard_name_for(key_victim)
+        # The victim shard accepts one delta proposal, then fails: the
+        # partial-proposal shape poison() exists for.
+        world.shard_gates[victim].fail_after["iq_delta"] = 1
+        return world, [
+            sharded_delta_writer(
+                "W",
+                [(key_victim, "incr", 1), (key_victim, "incr", 2),
+                 (key_healthy, "incr", 5)],
+                poison=poison, attempts=1,
+            ),
+            iq_reader("R", key_victim, attempts=3),
+        ]
+    return build
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+SCENARIOS = {}
+
+
+def _register(scenario):
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+_register(Scenario(
+    "fig2-baseline", _fig2_baseline, expect_violation=True,
+    description="Figure 2: R-M-W with gets/cas; KVS order can diverge "
+                "from RDBMS serialization order",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig2-iq", _fig2_iq,
+    description="Figure 2 under IQ refresh: QaRead/SaR serialize the "
+                "two writers",
+    tags=("figure", "iq"),
+))
+_register(Scenario(
+    "fig3-baseline", _fig3_baseline, expect_violation=True,
+    description="Figure 3: trigger invalidate + snapshot read; a read "
+                "lease granted after the delete fills a stale snapshot",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig3-iq", _fig3_iq,
+    description="Figure 3 under IQ invalidate (eager delete): readers "
+                "back off against the Q lease",
+    tags=("figure", "iq"),
+))
+_register(Scenario(
+    "fig4-baseline", _fig4_baseline, expect_violation=True,
+    description="Figure 4's window, unleased: a filler installs the "
+                "pre-commit value mid-invalidation and it survives",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig4-iq", _fig4_iq,
+    description="Figure 4: the deferred-delete rearrangement window "
+                "serves pending versions yet never leaks a stale final "
+                "state",
+    tags=("figure", "iq"),
+))
+_register(Scenario(
+    "fig6-baseline", _fig6_baseline, expect_violation=True,
+    description="Figure 6: pre-commit refresh + RDBMS abort = dirty read",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig6-iq", _fig6_iq,
+    description="Figure 6 under IQ: Abort(TID) releases the Q lease "
+                "without installing the uncommitted value",
+    tags=("figure", "iq"),
+))
+_register(Scenario(
+    "fig7-baseline", _fig7_baseline, expect_violation=True,
+    description="Figure 7: unleased delta lost on a miss, then "
+                "overwritten by a stale fill",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig7-iq", _fig7_iq,
+    description="Figure 7 under IQ-delta: the Q lease voids the "
+                "doomed fill's I lease",
+    tags=("figure", "iq"),
+))
+_register(Scenario(
+    "fig8-baseline", _fig8_baseline, expect_violation=True,
+    description="Figure 8: post-commit unleased delta applied on top of "
+                "a fresh fill that already contains it",
+    tags=("figure", "baseline"),
+))
+_register(Scenario(
+    "fig8-iq", _fig8_iq,
+    description="Figure 8 under IQ-delta: commit applies the delta "
+                "exactly once",
+    tags=("figure", "iq"),
+))
+
+_register(Scenario(
+    "mix3-inv-refresh-read", _mix3_inv_refresh_read,
+    description="3 sessions: invalidate writer + refresh writer + "
+                "reader on one key, exhaustively under IQ",
+    tags=("mix", "iq"),
+))
+_register(Scenario(
+    "mix3-inv-delta-read", _mix3_inv_delta_read,
+    description="3 sessions: invalidate writer + delta writer + reader",
+    tags=("mix", "iq"),
+))
+_register(Scenario(
+    "mix3-refresh-delta-read", _mix3_refresh_delta_read,
+    description="3 sessions: refresh writer + delta writer + reader",
+    tags=("mix", "iq"),
+))
+
+_register(Scenario(
+    "sharded-mix", _sharded_mix,
+    description="2-shard router: multi-shard invalidate + delta + reader",
+    tags=("mix", "iq", "sharded"),
+))
+
+_register(Scenario(
+    "fault-suppressed-i-void", _fault_suppressed_void,
+    expect_violation=True,
+    description="Fault step arms a SUPPRESS rule at server.lease.void; "
+                "the un-voided I lease admits a stale fill (auditor "
+                "flags q-grant-left-i-alive)",
+    tags=("fault", "iq"),
+))
+_register(Scenario(
+    "fault-expired-leases", _fault_expired_leases,
+    expect_violation=True,
+    description="Fault step expires a live writer's leases mid-session: "
+                "the late SaR is correctly ignored, but a reader can "
+                "re-fill the pre-commit value -- the lease-duration "
+                "assumption, found as a concrete schedule",
+    tags=("fault", "iq"),
+))
+
+_register(Scenario(
+    "fuzz-sharded-fault", _fuzz_sharded_fault,
+    allow_journaled_stale=True,
+    description="Fuzz target: 4 sessions across 2 shards with a "
+                "kill/heal/reconcile fault sequence as schedule steps; "
+                "sampled randomly, auditor as oracle",
+    tags=("fuzz", "fault", "sharded"),
+))
+
+_register(Scenario(
+    "pr2-journal-post", _pr2_journal("post"),
+    check_state=_journal_invariant, allow_journaled_stale=True,
+    description="PR 2 semantics: growing-phase shard failures journal "
+                "only after the SQL commit (explored with kill/heal/"
+                "reconcile as schedule steps)",
+    tags=("pr2", "sharded"),
+))
+_register(Scenario(
+    "pr2-journal-pre", _pr2_journal("pre"),
+    check_state=_journal_invariant, allow_journaled_stale=True,
+    expect_violation=True,
+    description="Rejected PR 2 behaviour: journaling at failure time "
+                "lets a reconcile pass consume the entry pre-commit",
+    tags=("pr2", "sharded"),
+))
+_register(Scenario(
+    "pr2-poison", _pr2_poison(True),
+    description="PR 2 semantics: a shard failing partway through a "
+                "multi-delta proposal is poisoned; its commit leg "
+                "aborts instead of applying a partial delta list",
+    tags=("pr2", "sharded"),
+))
+_register(Scenario(
+    "pr2-poison-missing", _pr2_poison(False), expect_violation=True,
+    description="Rejected PR 2 behaviour: without poison() the victim "
+                "leg commits a partial proposal",
+    tags=("pr2", "sharded"),
+))
+
+#: (baseline scenario, iq scenario) per figure -- the acceptance sweep.
+FIGURE_PAIRS = (
+    ("fig2-baseline", "fig2-iq"),
+    ("fig3-baseline", "fig3-iq"),
+    ("fig4-baseline", "fig4-iq"),
+    ("fig6-baseline", "fig6-iq"),
+    ("fig7-baseline", "fig7-iq"),
+    ("fig8-baseline", "fig8-iq"),
+)
+
+
+def get_scenario(name):
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown scenario {!r}; known: {}".format(
+                name, ", ".join(sorted(SCENARIOS))
+            )
+        )
+
+
+def scenario_names(tag=None):
+    if tag is None:
+        return sorted(SCENARIOS)
+    return sorted(
+        name for name, scenario in SCENARIOS.items()
+        if tag in scenario.tags
+    )

@@ -1,0 +1,653 @@
+"""Announce-then-perform session programs for the model checker.
+
+Each builder returns an :class:`~repro.mc.program.MCProgram` whose
+generator mirrors one of the paper's session shapes -- read-and-fill,
+refresh (R-M-W), invalidate (trigger-style), incremental update (delta)
+-- against either the unleased baseline store or an IQ backend.  The
+builders differ from the scripted figures of :mod:`repro.sim.scripts` in
+three ways:
+
+* every shared-state operation is *announced* (an :class:`Op` with its
+  resource footprint) before it runs, so the explorer can reason about
+  commutativity;
+* conflict outcomes the scripts never reach -- ``QuarantinedError`` from
+  a competing Q lease, :class:`TransactionAbortedError` from the RDBMS's
+  first-updater-wins rule, ``CacheUnavailableError`` from a gated shard
+  -- are handled with *bounded* retries so every program terminates in
+  every interleaving;
+* observations and commits are reported to the :class:`~repro.mc.world.
+  World` (``observe`` / ``record_commit`` / ``bind_tid``) for the
+  oracles and fingerprints, and write sessions emit ``session.begin`` /
+  ``session.sql_commit`` / ``session.end`` trace events so the
+  :class:`~repro.obs.audit.IQAuditor` can apply its 2PL check.
+
+Step labels are deliberately attempt-independent ("w:qaread", not
+"w:qaread#2"): two prefixes that reach the same state through a
+different number of rejected attempts still produce distinguishable
+*histories* (the labels repeat), while the labels themselves stay small
+and stable for shrinker output.
+"""
+
+from repro.errors import (
+    CacheUnavailableError,
+    QuarantinedError,
+    TransactionAbortedError,
+)
+from repro.mc.program import MCProgram, Op
+
+__all__ = [
+    "iq_reader",
+    "iq_refresh_writer",
+    "iq_invalidate_writer",
+    "iq_delta_writer",
+    "iq_abort_refresh_writer",
+    "baseline_reader",
+    "baseline_cas_writer",
+    "baseline_trigger_invalidator",
+    "baseline_dirty_refresher",
+    "baseline_delta_writer",
+    "fault_program",
+    "sharded_invalidate_writer",
+    "sharded_delta_writer",
+    "reconciler",
+]
+
+
+def _encode(value):
+    return str(value).encode()
+
+
+def _sql_update(world, assignments):
+    """Open a transaction and apply ``{key: set_expr}`` row updates.
+
+    Returns the open connection, or ``None`` when the RDBMS aborted the
+    transaction (first-updater-wins conflict with a concurrent session).
+    """
+    connection = world.connect()
+    connection.begin()
+    try:
+        for key, expr in assignments.items():
+            connection.execute(
+                "UPDATE items SET val = {} WHERE id = ?".format(expr),
+                (world.row_id(key),),
+            )
+    except TransactionAbortedError:
+        connection.close()
+        return None
+    return connection
+
+
+# ---------------------------------------------------------------------------
+# read sessions
+# ---------------------------------------------------------------------------
+
+def iq_reader(name, key, attempts=3):
+    """Read ``key``; on a miss, fill from the RDBMS under an I lease.
+
+    On a gated-shard failure the reader degrades to a direct RDBMS read
+    (the resilient client's fallback policy) -- still a committed value,
+    recorded as a ``db`` observation rather than a ``cache`` one.
+    """
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(attempts):
+            yield Op("{}:get".format(name), kvs=[key])
+            try:
+                result = backend.iq_get(key)
+            except CacheUnavailableError:
+                yield Op("{}:db-read".format(name), sql=True)
+                world.observe(name, "db", key, world.query_committed(key))
+                return "degraded"
+            if result.is_hit:
+                world.observe(name, "cache", key, result.value)
+                return "hit"
+            if result.backoff:
+                continue
+            token = result.token
+            yield Op("{}:fill-query".format(name), sql=True)
+            value = world.query_committed(key)
+            # The queried value lives in this generator until fill-set;
+            # surfacing it as an observation keeps the explorer's state
+            # fingerprint sound (two states that differ only in a pending
+            # fill value must not dedup).
+            world.observe(name, "query", key, value)
+            yield Op("{}:fill-set".format(name), kvs=[key])
+            try:
+                installed = backend.iq_set(key, _encode(value), token)
+            except CacheUnavailableError:
+                return "degraded"
+            if installed:
+                world.observe(name, "fill", key, value)
+            return "filled" if installed else "fill-ignored"
+        return "starved"
+
+    return MCProgram(name, factory)
+
+
+def baseline_reader(name, key, attempts=3):
+    """The Facebook read-lease reader against the unleased baseline."""
+
+    def factory(world):
+        store = world.backend
+        for _ in range(attempts):
+            yield Op("{}:get".format(name), kvs=[key])
+            result = store.lease_get(key)
+            if result.is_hit:
+                world.observe(name, "cache", key, result.value)
+                return "hit"
+            if not result.has_lease:
+                continue
+            token = result.token
+            yield Op("{}:fill-query".format(name), sql=True)
+            value = world.query_committed(key)
+            world.observe(name, "query", key, value)
+            yield Op("{}:fill-set".format(name), kvs=[key])
+            installed = store.lease_set(key, _encode(value), token)
+            if installed:
+                world.observe(name, "fill", key, value)
+            return "filled" if installed else "fill-ignored"
+        return "starved"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# refresh (R-M-W) write sessions
+# ---------------------------------------------------------------------------
+
+def iq_refresh_writer(name, key, expr, compute, attempts=3):
+    """Figure 2's R-M-W session under IQ: QaRead, SQL, commit, SaR.
+
+    ``expr`` is the SQL set-expression (``"val + 50"``); ``compute``
+    maps the QaRead'd old value (a ``str``) to the new one.  A rejected
+    QaRead or an RDBMS write-write abort releases everything and
+    retries, up to ``attempts`` times.
+    """
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(attempts):
+            yield Op("{}:qaread".format(name), kvs=[key])
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            try:
+                old = backend.qaread(key, tid).value
+                world.observe(name, "qaread", key, old)
+            except QuarantinedError:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-update".format(name), sql=True)
+            connection = _sql_update(world, {key: expr})
+            if connection is None:
+                yield Op("{}:abort".format(name), kvs=[key])
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.emit("session.sql_commit", tid=tid)
+            if old is None:
+                yield Op("{}:reread".format(name), sql=True)
+                new_value = str(world.query_committed(key))
+                world.observe(name, "query", key, new_value)
+            else:
+                new_value = compute(old.decode())
+            yield Op("{}:sar".format(name), kvs=[key])
+            backend.sar(key, _encode(new_value), tid)
+            world.emit("session.end", tid=tid)
+            return "refreshed"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def iq_abort_refresh_writer(name, key, expr):
+    """Figure 6's aborting refresh session under IQ.
+
+    The RDBMS transaction rolls back before commit; ``Abort(TID)``
+    releases the Q lease without ever touching the cached value.
+    """
+
+    def factory(world):
+        backend = world.backend
+        yield Op("{}:qaread".format(name), kvs=[key])
+        tid = backend.gen_id()
+        world.bind_tid(name, tid)
+        world.emit("session.begin", tid=tid)
+        try:
+            backend.qaread(key, tid)
+        except QuarantinedError:
+            backend.abort(tid)
+            world.emit("session.end", tid=tid)
+            return "rejected"
+        yield Op("{}:sql-update".format(name), sql=True)
+        connection = _sql_update(world, {key: expr})
+        yield Op("{}:rollback".format(name), sql=True)
+        if connection is not None:
+            connection.rollback()
+            connection.close()
+        yield Op("{}:abort".format(name), kvs=[key])
+        backend.abort(tid)
+        world.emit("session.end", tid=tid)
+        return "aborted"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# invalidate write sessions
+# ---------------------------------------------------------------------------
+
+def iq_invalidate_writer(name, assignments, attempts=3):
+    """Figure 3's trigger-invalidate session under IQ.
+
+    ``assignments`` maps key -> SQL set-expression, all updated in one
+    transaction with one QaR per key fired trigger-style inside it,
+    then committed and DaR'd.
+    """
+    keys = tuple(assignments)
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            rejected = False
+            for key in keys:
+                yield Op("{}:qar:{}".format(name, key), kvs=[key])
+                try:
+                    backend.qar(tid, key)
+                except QuarantinedError:
+                    rejected = True
+                    break
+            if rejected:
+                yield Op("{}:rollback".format(name), sql=True)
+                connection.rollback()
+                connection.close()
+                yield Op("{}:abort".format(name), kvs=keys)
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            world.emit("session.sql_commit", tid=tid)
+            yield Op("{}:dar".format(name), kvs=keys)
+            backend.dar(tid)
+            world.emit("session.end", tid=tid)
+            return "invalidated"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# incremental-update (delta) write sessions
+# ---------------------------------------------------------------------------
+
+def _delta_sql_expr(op, operand):
+    if op in ("append", "prepend"):
+        text = operand.decode() if isinstance(operand, bytes) else operand
+        if op == "append":
+            return "val + '{}'".format(text)
+        return "'{}' + val".format(text)
+    amount = int(operand)
+    return "val + {}".format(amount) if op == "incr" else (
+        "val - {}".format(amount)
+    )
+
+
+def iq_delta_writer(name, deltas, attempts=3):
+    """Figures 7/8's incremental-update session under IQ.
+
+    ``deltas`` is a list of ``(key, op, operand)`` -- e.g. ``("k0",
+    "append", b"d")`` or ``("k0", "incr", 1)``.  Each delta's SQL
+    mirror runs in one transaction; ``IQ-delta`` buffers the cache-side
+    change under an exclusive Q lease and ``Commit(TID)`` applies it.
+    """
+    keys = tuple(dict.fromkeys(key for key, _, _ in deltas))
+
+    def factory(world):
+        backend = world.backend
+        assignments = {}
+        for key, op, operand in deltas:
+            expr = assignments.get(key, "val")
+            assignments[key] = _delta_sql_expr(op, operand).replace(
+                "val", expr, 1
+            )
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            rejected = False
+            for key, op, operand in deltas:
+                yield Op("{}:delta:{}".format(name, key), kvs=[key])
+                try:
+                    backend.iq_delta(tid, key, op, operand)
+                except QuarantinedError:
+                    rejected = True
+                    break
+            if rejected:
+                yield Op("{}:rollback".format(name), sql=True)
+                connection.rollback()
+                connection.close()
+                yield Op("{}:abort".format(name), kvs=keys)
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            world.emit("session.sql_commit", tid=tid)
+            yield Op("{}:commit".format(name), kvs=keys)
+            backend.commit(tid)
+            world.emit("session.end", tid=tid)
+            return "committed"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# baseline (unleased) write sessions -- the racy shapes of the figures
+# ---------------------------------------------------------------------------
+
+def baseline_cas_writer(name, key, expr, compute, attempts=3):
+    """Figure 2's R-M-W with gets/cas instead of leases."""
+
+    def factory(world):
+        store = world.backend
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            connection = _sql_update(world, {key: expr})
+            if connection is None:
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            yield Op("{}:kvs-read".format(name), kvs=[key])
+            hit = store.gets(key)
+            if hit is None:
+                return "lost-key"
+            value, _flags, cas_id = hit
+            world.observe(name, "gets", key, value)
+            yield Op("{}:kvs-cas".format(name), kvs=[key])
+            swapped = store.cas(key, _encode(compute(value.decode())), cas_id)
+            return "swapped" if swapped else "cas-failed"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def baseline_trigger_invalidator(name, assignments):
+    """Figure 3: delete fired by a trigger *inside* the transaction."""
+    keys = tuple(assignments)
+
+    def factory(world):
+        store = world.backend
+        yield Op("{}:sql-update".format(name), sql=True)
+        connection = _sql_update(world, assignments)
+        if connection is None:
+            return "sql-aborted"
+        for key in keys:
+            yield Op("{}:delete:{}".format(name, key), kvs=[key])
+            store.delete(key)
+        yield Op("{}:sql-commit".format(name), sql=True)
+        connection.commit()
+        connection.close()
+        world.record_commit()
+        return "invalidated"
+
+    return MCProgram(name, factory)
+
+
+def baseline_dirty_refresher(name, key, expr, value):
+    """Figure 6: refresh the cache pre-commit, then abort the transaction."""
+
+    def factory(world):
+        store = world.backend
+        yield Op("{}:sql-update".format(name), sql=True)
+        connection = _sql_update(world, {key: expr})
+        yield Op("{}:kvs-set".format(name), kvs=[key])
+        store.set(key, _encode(value))
+        yield Op("{}:rollback".format(name), sql=True)
+        if connection is not None:
+            connection.rollback()
+            connection.close()
+        return "aborted"
+
+    return MCProgram(name, factory)
+
+
+def baseline_delta_writer(name, key, op, operand, precommit=True):
+    """Figures 7 (``precommit=True``) and 8 (``False``): unleased delta.
+
+    The KVS-side append/incr either runs inside the transaction (lost on
+    a concurrent miss, Figure 7) or after commit (applied twice on a
+    fresh fill, Figure 8).
+    """
+
+    def factory(world):
+        store = world.backend
+        operand_bytes = (
+            operand if isinstance(operand, bytes) else _encode(operand)
+        )
+        yield Op("{}:sql-update".format(name), sql=True)
+        connection = _sql_update(world, {key: _delta_sql_expr(op, operand)})
+        if connection is None:
+            return "sql-aborted"
+        if precommit:
+            yield Op("{}:kvs-delta".format(name), kvs=[key])
+            _apply_store_delta(store, key, op, operand_bytes)
+        yield Op("{}:sql-commit".format(name), sql=True)
+        connection.commit()
+        connection.close()
+        world.record_commit()
+        if not precommit:
+            yield Op("{}:kvs-delta".format(name), kvs=[key])
+            _apply_store_delta(store, key, op, operand_bytes)
+        return "committed"
+
+    return MCProgram(name, factory)
+
+
+def _apply_store_delta(store, key, op, operand_bytes):
+    if op == "append":
+        return store.append(key, operand_bytes)
+    if op == "prepend":
+        return store.prepend(key, operand_bytes)
+    if op == "incr":
+        return store.incr(key, int(operand_bytes))
+    return store.decr(key, int(operand_bytes))
+
+
+# ---------------------------------------------------------------------------
+# fault delivery as a schedule step
+# ---------------------------------------------------------------------------
+
+def fault_program(name, label, action, keys):
+    """A one-step pseudo-program that delivers a fault.
+
+    ``action(world)`` flips a world-level fault control (arm an injector
+    rule, gate a shard, expire leases); ``keys`` is the set of keys whose
+    cache state the fault can affect, i.e. the op's write footprint --
+    that is what lets DPOR treat fault delivery like any other
+    conflicting operation.
+    """
+
+    def factory(world):
+        yield Op("{}:{}".format(name, label), kvs=keys)
+        action(world)
+        return "delivered"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# sharded sessions with degraded-mode client policies (PR 2 semantics)
+# ---------------------------------------------------------------------------
+
+def sharded_invalidate_writer(name, assignments, journal_timing="post",
+                              attempts=3):
+    """Invalidate across shards, journaling keys whose shard is down.
+
+    With ``journal_timing="post"`` (the reviewed PR 2 semantics) a key
+    whose growing-phase ``QaR`` found its shard unreachable is journaled
+    only *after* the RDBMS commit; ``"pre"`` reproduces the rejected
+    behaviour -- journaling at failure time, before the transaction
+    commits -- which the checker must flag (a reconciler can consume the
+    entry and delete the key while the transaction can still abort or,
+    worse, before readers can even observe the new value, reopening the
+    Figure 3 window).
+    """
+    keys = tuple(assignments)
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            rejected = False
+            degraded = []
+            for key in keys:
+                yield Op("{}:qar:{}".format(name, key), kvs=[key])
+                try:
+                    backend.qar(tid, key)
+                except QuarantinedError:
+                    rejected = True
+                    break
+                except CacheUnavailableError:
+                    degraded.append(key)
+                    if journal_timing == "pre":
+                        backend.journal.add([key])
+            if rejected:
+                yield Op("{}:rollback".format(name), sql=True)
+                connection.rollback()
+                connection.close()
+                yield Op("{}:abort".format(name), kvs=keys)
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            world.emit("session.sql_commit", tid=tid)
+            if degraded and journal_timing == "post":
+                yield Op("{}:journal".format(name), kvs=degraded)
+                backend.journal.add(degraded)
+            yield Op("{}:dar".format(name), kvs=keys)
+            backend.dar(tid)
+            world.emit("session.end", tid=tid)
+            return "invalidated"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def sharded_delta_writer(name, deltas, poison=True, attempts=3):
+    """Delta across shards; a failed proposal poisons its key's leg.
+
+    With ``poison=True`` (the reviewed PR 2 semantics) an ``iq_delta``
+    that found its shard unreachable marks the key poisoned, so
+    ``Commit(TID)`` aborts that shard leg -- deleting the key instead of
+    applying a *partial* delta list.  ``poison=False`` reproduces the
+    rejected behaviour: the leg commits whatever subset of deltas made
+    it through, which the checker must flag as a stale final value.
+    """
+    keys = tuple(dict.fromkeys(key for key, _, _ in deltas))
+
+    def factory(world):
+        backend = world.backend
+        assignments = {}
+        for key, op, operand in deltas:
+            expr = assignments.get(key, "val")
+            assignments[key] = _delta_sql_expr(op, operand).replace(
+                "val", expr, 1
+            )
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            rejected = False
+            for key, op, operand in deltas:
+                yield Op("{}:delta:{}".format(name, key), kvs=[key])
+                try:
+                    backend.iq_delta(tid, key, op, operand)
+                except QuarantinedError:
+                    rejected = True
+                    break
+                except CacheUnavailableError:
+                    if poison:
+                        backend.poison(tid, key)
+            if rejected:
+                yield Op("{}:rollback".format(name), sql=True)
+                connection.rollback()
+                connection.close()
+                yield Op("{}:abort".format(name), kvs=keys)
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            world.emit("session.sql_commit", tid=tid)
+            yield Op("{}:commit".format(name), kvs=keys)
+            backend.commit(tid)
+            world.emit("session.end", tid=tid)
+            return "committed"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def reconciler(name, rounds=1):
+    """Drain the sharded router's local journal (one pass per step)."""
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(rounds):
+            yield Op("{}:reconcile".format(name), kvs=world.keys)
+            backend.reconcile_local()
+        return "reconciled"
+
+    return MCProgram(name, factory)

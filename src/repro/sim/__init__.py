@@ -8,7 +8,12 @@ scenario per figure, each runnable with the unleased baseline (exhibiting
 the race) and with the IQ framework (race prevented).
 """
 
-from repro.sim.scheduler import Interleaver, Program
+from repro.sim.scheduler import (
+    Interleaver,
+    Program,
+    ProgramCrash,
+    ScheduleError,
+)
 from repro.sim.scripts import (
     ScenarioOutcome,
     figure2_cas_insufficient,
@@ -23,6 +28,8 @@ from repro.sim.scripts import (
 __all__ = [
     "Interleaver",
     "Program",
+    "ProgramCrash",
+    "ScheduleError",
     "ScenarioOutcome",
     "figure2_cas_insufficient",
     "figure3_snapshot_invalidate",

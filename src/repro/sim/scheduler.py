@@ -18,6 +18,31 @@ class ScheduleError(ReproError):
     """The schedule referenced a finished or unknown program."""
 
 
+class ProgramCrash(ScheduleError):
+    """A program raised mid-step while being driven by a schedule.
+
+    The bare exception is useless to a shrinker or fuzzer -- by the time
+    it propagates, the interleaving that provoked it is gone.  This
+    wrapper carries the program name, the label of the last completed
+    step, and the schedule prefix executed so far, so the failure is
+    replayable: re-running ``schedule_prefix`` and advancing ``program``
+    once more reproduces it deterministically.
+    """
+
+    def __init__(self, program, step_label, schedule_prefix, original):
+        self.program = program
+        self.step_label = step_label
+        self.schedule_prefix = tuple(schedule_prefix)
+        self.original = original
+        super().__init__(
+            "program {!r} crashed after step {!r} under schedule prefix "
+            "{!r}: {}: {}".format(
+                program, step_label, list(self.schedule_prefix),
+                type(original).__name__, original,
+            )
+        )
+
+
 class Program:
     """A named session program."""
 
@@ -41,7 +66,12 @@ class ProgramRun:
         self.steps = []
 
     def advance(self):
-        """Run the program up to its next yield (or completion)."""
+        """Run the program up to its next yield (or completion).
+
+        A mid-step exception is recorded in :attr:`error` (the program
+        counts as finished -- its generator is dead) before propagating,
+        so drivers can wrap it with schedule context.
+        """
         if self.finished:
             raise ScheduleError(
                 "program {!r} already finished".format(self.program.name)
@@ -54,6 +84,15 @@ class ProgramRun:
             self.finished = True
             self.result = stop.value
             return None
+        except Exception as exc:
+            self.finished = True
+            self.error = exc
+            raise
+
+    @property
+    def last_label(self):
+        """Label of the most recently completed step, or ``None``."""
+        return self.steps[-1] if self.steps else None
 
     def run_to_completion(self):
         """Drain the remaining steps of this program."""
@@ -84,21 +123,35 @@ class Interleaver:
         whose exact step counts vary (retry loops).  Returns
         ``{name: result}``.
         """
+        executed = []
         for name in schedule:
             run = self._runs.get(name)
             if run is None:
                 raise ScheduleError("unknown program {!r}".format(name))
             if run.finished and not strict:
                 continue
-            run.advance()
+            self._advance(run, executed)
+            executed.append(name)
         if finish_remaining:
             # Drain stragglers fairly (round-robin): a program spinning on
             # a lease held by another must let the holder make progress.
             while any(not run.finished for run in self._runs.values()):
                 for run in self._runs.values():
                     if not run.finished:
-                        run.advance()
+                        self._advance(run, executed)
+                        executed.append(run.program.name)
         return {name: run.result for name, run in self._runs.items()}
+
+    def _advance(self, run, executed):
+        """Advance ``run``; wrap program exceptions with schedule context."""
+        try:
+            run.advance()
+        except ScheduleError:
+            raise
+        except Exception as exc:
+            raise ProgramCrash(
+                run.program.name, run.last_label, executed, exc
+            ) from exc
 
     def steps_of(self, name):
         return list(self._runs[name].steps)

@@ -3,6 +3,7 @@ import pytest
 from repro.sim.scheduler import (
     Interleaver,
     Program,
+    ProgramCrash,
     ScheduleError,
     all_interleavings,
 )
@@ -64,6 +65,67 @@ class TestInterleaver:
         interleaver = Interleaver([make_program("A", log, 2)])
         interleaver.run(["A", "A"], finish_remaining=False)
         assert interleaver.steps_of("A") == [0, 1]
+
+
+def make_crashing_program(name, log, crash_after):
+    def generator():
+        for i in range(crash_after):
+            log.append("{}{}".format(name, i))
+            yield "{}-step{}".format(name, i)
+        raise RuntimeError("boom in {}".format(name))
+
+    return Program(name, generator)
+
+
+class TestProgramCrash:
+    def test_crash_carries_schedule_context(self):
+        log = []
+        interleaver = Interleaver([
+            make_program("A", log, 3),
+            make_crashing_program("B", log, 1),
+        ])
+        with pytest.raises(ProgramCrash) as exc_info:
+            interleaver.run(["A", "B", "A", "B"], finish_remaining=False)
+        crash = exc_info.value
+        assert crash.program == "B"
+        assert crash.step_label == "B-step0"
+        assert crash.schedule_prefix == ("A", "B", "A")
+        assert isinstance(crash.original, RuntimeError)
+        assert crash.__cause__ is crash.original
+
+    def test_crash_message_is_replayable_context(self):
+        interleaver = Interleaver([make_crashing_program("X", [], 0)])
+        with pytest.raises(ProgramCrash) as exc_info:
+            interleaver.run(["X"], finish_remaining=False)
+        message = str(exc_info.value)
+        assert "'X'" in message
+        assert "RuntimeError" in message
+        assert "boom in X" in message
+
+    def test_crash_during_drain_includes_scheduled_prefix(self):
+        log = []
+        interleaver = Interleaver([make_crashing_program("B", log, 2)])
+        with pytest.raises(ProgramCrash) as exc_info:
+            interleaver.run(["B"], finish_remaining=True)
+        assert exc_info.value.schedule_prefix == ("B", "B")
+
+    def test_crash_is_a_schedule_error(self):
+        # Callers that already catch ScheduleError keep working.
+        assert issubclass(ProgramCrash, ScheduleError)
+
+    def test_schedule_errors_not_double_wrapped(self):
+        log = []
+        interleaver = Interleaver([make_program("A", log, 1)])
+        with pytest.raises(ScheduleError) as exc_info:
+            interleaver.run(["A", "A", "A"], finish_remaining=False)
+        assert not isinstance(exc_info.value, ProgramCrash)
+
+    def test_crashed_program_is_finished(self):
+        log = []
+        interleaver = Interleaver([make_crashing_program("B", log, 1)])
+        with pytest.raises(ProgramCrash):
+            interleaver.run(["B", "B"], finish_remaining=False)
+        assert interleaver.is_finished("B")
 
 
 class TestAllInterleavings:

@@ -29,6 +29,13 @@ class TestParser:
         )
         assert (args.threads, args.ops, args.members) == (2, 5, 40)
 
+    def test_mc_defaults(self):
+        args = build_parser().parse_args(["mc"])
+        assert args.scenario is None
+        assert args.fuzz == 0
+        assert args.fuzz_scenario == "fuzz-sharded-fault"
+        assert args.max_states == 500000
+
 
 class TestCommands:
     def test_figures_command_runs_clean(self, capsys):
@@ -45,3 +52,31 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "IQ-Twemcached" in output
         assert "Twemcache baseline" in output
+
+    def test_mc_list(self, capsys):
+        assert main(["mc", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3-baseline" in output
+        assert "[races]" in output
+        assert "[clean]" in output
+
+    def test_mc_single_scenario(self, capsys):
+        assert main(["mc", "--scenario", "fig3-iq"]) == 0
+        output = capsys.readouterr().out
+        assert "fig3-iq" in output
+        assert "clean" in output
+        assert "model checker: OK" in output
+
+    def test_mc_baseline_scenario_prints_shrunk_script(self, capsys):
+        assert main(["mc", "--scenario", "fig3-baseline"]) == 0
+        output = capsys.readouterr().out
+        assert "Minimal violating schedule" in output
+        assert "[forced]" in output
+
+    def test_mc_unexpectedly_clean_expected_race_fails(self, capsys):
+        # A clean result on an expect_violation scenario is a failure:
+        # the checker lost its ability to find the race.
+        assert main(["mc", "--scenario", "fig2-iq"]) == 0
+        assert main(["mc", "--scenario", "fig2-iq", "--max-states", "1"]) == 1
+        output = capsys.readouterr().out
+        assert "state budget exhausted" in output
