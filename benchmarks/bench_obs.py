@@ -34,12 +34,15 @@ import argparse
 import json
 import os
 import tempfile
+import time
 
 from _common import emit, format_table
 
 from repro.bg.actions import Technique
 from repro.bg.harness import build_bg_system
 from repro.bg.workload import HIGH_WRITE_MIX
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
 from repro.obs.trace import JSONLRecorder, RingBufferRecorder, get_tracer
 
 ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -128,6 +131,36 @@ def _warmup(threads, ops_per_thread):
     system.runner.run(threads=threads, ops_per_thread=ops_per_thread)
 
 
+def _pipeline_run(rounds, batch=10):
+    """Pipelined-op throughput with the tracer disabled (ops/s).
+
+    PR 5 instrumented the batch path too (per-command queue-time trace
+    capture, fan-out re-binding), so the no-op budget must also cover
+    pipelined operations: a full write-session batch -- bulk lease
+    acquisition, multi-key read, commit -- per round through
+    ``IQClient.pipeline()``.
+    """
+    client = IQClient(IQServer())
+    keys = ["pipe-%d" % i for i in range(batch)]
+    count = 0
+    start = time.perf_counter()
+    for _ in range(rounds):
+        tid = client.gen_id()
+        pipe = client.pipeline()
+        pipe.qar_many(tid, keys).iq_mget(keys).commit(tid)
+        pipe.execute()
+        count += 2 * batch + 2
+    return count / (time.perf_counter() - start)
+
+
+def _collect_pipeline_pairs(pairs, rounds, pipeline_rounds):
+    """Same-round (untraced, noop) pipelined-op throughput pairs."""
+    for _ in range(rounds):
+        untraced = _pipeline_run(pipeline_rounds)
+        noop = _pipeline_run(pipeline_rounds)
+        pairs.append((untraced, noop))
+
+
 def _paired_overhead_pct(pairs):
     """Min over rounds of the same-round (untraced - noop) gap, in %.
 
@@ -143,7 +176,8 @@ def _paired_overhead_pct(pairs):
 
 
 def run_experiment(threads=4, ops_per_thread=300, repeats=3,
-                   members=100, seed=31, max_extra_rounds=4):
+                   members=100, seed=31, max_extra_rounds=4,
+                   pipeline_rounds=400):
     _warmup(threads, ops_per_thread)
     best = {}
     pairs = []
@@ -159,6 +193,16 @@ def run_experiment(threads=4, ops_per_thread=300, repeats=3,
         extra_rounds += 1
         _collect(best, pairs, ["untraced", "noop"], 1, threads,
                  ops_per_thread, members, seed)
+    # The same budget over the batch path (PR 5): pipelined ops with
+    # the disabled tracer, paired untraced/noop, min same-round delta.
+    _pipeline_run(pipeline_rounds // 4 or 1)  # warm the path
+    pipeline_pairs = []
+    _collect_pipeline_pairs(pipeline_pairs, repeats, pipeline_rounds)
+    extra_rounds = 0
+    while (_paired_overhead_pct(pipeline_pairs) > NOOP_BUDGET_PCT
+           and extra_rounds < max_extra_rounds):
+        extra_rounds += 1
+        _collect_pipeline_pairs(pipeline_pairs, 1, pipeline_rounds)
     baseline = best["untraced"]["throughput"]
     results = []
     for mode in MODES:
@@ -176,6 +220,10 @@ def run_experiment(threads=4, ops_per_thread=300, repeats=3,
         if mode == "noop":
             entry["paired_overhead_pct"] = _paired_overhead_pct(pairs)
             entry["paired_rounds"] = len(pairs)
+            entry["pipeline_paired_overhead_pct"] = _paired_overhead_pct(
+                pipeline_pairs
+            )
+            entry["pipeline_paired_rounds"] = len(pipeline_pairs)
         results.append(entry)
     return results
 
@@ -217,6 +265,12 @@ def emit_json(results):
         "noop_within_budget": (
             noop["paired_overhead_pct"] <= NOOP_BUDGET_PCT
         ),
+        "pipeline_noop_paired_overhead_pct": (
+            noop["pipeline_paired_overhead_pct"]
+        ),
+        "pipeline_noop_within_budget": (
+            noop["pipeline_paired_overhead_pct"] <= NOOP_BUDGET_PCT
+        ),
         "note": (
             "untraced and noop both run the instrumented code with the "
             "tracer disabled (the guard IS the no-op path); the "
@@ -252,6 +306,14 @@ def check(results):
     assert noop["paired_overhead_pct"] <= NOOP_BUDGET_PCT, (
         "no-op tracing overhead {:.2f}% exceeds {:.1f}% budget".format(
             noop["paired_overhead_pct"], NOOP_BUDGET_PCT,
+        )
+    )
+    # The batch path holds the same bar: disabled tracing must not tax
+    # pipelined operations either.
+    assert noop["pipeline_paired_overhead_pct"] <= NOOP_BUDGET_PCT, (
+        "no-op tracing overhead {:.2f}% on pipelined ops exceeds "
+        "{:.1f}% budget".format(
+            noop["pipeline_paired_overhead_pct"], NOOP_BUDGET_PCT,
         )
     )
 

@@ -85,6 +85,11 @@ class NetConfig:
     #: closes again (delete-on-recover reconciliation).
     reconcile_on_recover: bool = True
 
+    #: Maximum live connections in the :class:`ResilientIQServer` pool.
+    #: Callers beyond this many concurrent operations wait for a
+    #: connection instead of dialing more sockets.
+    pool_size: int = 4
+
 
 @dataclass
 class BGConfig:

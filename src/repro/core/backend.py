@@ -87,6 +87,45 @@ class LeaseBackend(abc.ABC):
         """
         return self.commit(tid)
 
+    def qar_many(self, tid, keys):
+        """Bulk ``QaR``: acquire invalidation Q leases for ``keys`` in order.
+
+        Returns an ordered dict mapping each *attempted* key to one of
+        ``"granted"``, ``"abort"`` (Q-Q incompatibility -- acquisition
+        stops, exactly like a sequential run of :meth:`qar`), or
+        ``"unavailable"`` (that key's backend was unreachable; the caller
+        degrades it individually and acquisition continues).  Keys after
+        an ``"abort"`` are never attempted and are absent from the result.
+
+        The default implementation loops :meth:`qar`; wire and sharded
+        backends override it with a single round trip per server.
+        """
+        from repro.errors import CacheUnavailableError, QuarantinedError
+
+        results = {}
+        for key in keys:
+            try:
+                self.qar(tid, key)
+            except QuarantinedError:
+                results[key] = "abort"
+                break
+            except CacheUnavailableError:
+                results[key] = "unavailable"
+                continue
+            results[key] = "granted"
+        return results
+
+    def iq_mget(self, keys, session=None):
+        """Bulk ``IQget``: read ``keys`` in order, granting I leases on
+        misses exactly as :meth:`iq_get` would.
+
+        Returns an ordered dict mapping each key to its
+        :class:`~repro.core.iq_server.IQGetResult`.  The default
+        implementation loops :meth:`iq_get`; wire and sharded backends
+        override it with a single round trip per server.
+        """
+        return {key: self.iq_get(key, session=session) for key in keys}
+
     # -- incremental update --------------------------------------------------
 
     @abc.abstractmethod

@@ -357,6 +357,39 @@ class IQServer(LeaseBackend):
         """Command 7, ``DaR``: delete registered keys, release Q leases."""
         self.commit(tid)
 
+    def qar_many(self, tid, keys):
+        """Bulk ``QaR`` under one lock acquisition (wire command ``qareg``).
+
+        Semantically identical to looping :meth:`qar` -- same key order,
+        same stop-at-first-reject -- but atomic with respect to other
+        commands and counted once in ``batched_qar_grants``.
+        """
+        from repro.errors import CacheUnavailableError
+
+        results = {}
+        granted = 0
+        with self._lock:
+            for key in keys:
+                try:
+                    self.qar(tid, key)
+                except QuarantinedError:
+                    results[key] = "abort"
+                    break
+                except CacheUnavailableError:
+                    results[key] = "unavailable"
+                    continue
+                results[key] = "granted"
+                granted += 1
+            if granted:
+                self.stats.incr("batched_qar_grants", granted)
+        return results
+
+    def iq_mget(self, keys, session=None):
+        """Bulk ``IQget`` under one lock acquisition (wire command
+        ``iqmget``): identical to looping :meth:`iq_get` in key order."""
+        with self._lock:
+            return {key: self.iq_get(key, session=session) for key in keys}
+
     # -- incremental update ----------------------------------------------------------
 
     def iq_delta(self, tid, key, op, operand):

@@ -26,7 +26,11 @@ import threading
 
 from repro.config import BackoffConfig
 from repro.core.session import AcquisitionMode, SessionOutcome, SessionRunner
-from repro.errors import CacheUnavailableError, DegradedModeActive
+from repro.errors import (
+    CacheUnavailableError,
+    DegradedModeActive,
+    QuarantinedError,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import get_tracer
 from repro.util.backoff import ExponentialBackoff
@@ -116,7 +120,8 @@ class _IQClientBase:
     """
 
     def __init__(self, client, connection_factory, mode=AcquisitionMode.DURING,
-                 backoff=None, clock=None, degraded_fallback=True):
+                 backoff=None, clock=None, degraded_fallback=True,
+                 batch_leases=True):
         self.client = client
         self.connection_factory = connection_factory
         self.mode = mode
@@ -124,6 +129,11 @@ class _IQClientBase:
             client, connection_factory, backoff=backoff, clock=clock
         )
         self.degraded_fallback = degraded_fallback
+        #: Acquire a session's invalidation Q leases with one batched
+        #: ``qar_many`` instead of per-key round trips (see
+        #: :meth:`_batch_acquire`).  Semantics are identical; turn off to
+        #: force the historical per-key path.
+        self.batch_leases = batch_leases
         # Degraded-mode accounting.  These counters are hit from every BG
         # worker thread, so they live in a metrics registry (whose
         # counters carry their own locks) rather than as bare attributes
@@ -263,6 +273,46 @@ class _IQClientBase:
         if pending:
             self._journal(pending)
 
+    def _batch_acquire(self, session, changes, pending):
+        """Acquire the invalidation Q leases for ``changes`` in one batch.
+
+        Returns True when the batch path handled the whole acquisition;
+        False asks the caller to run its per-key loop instead (batching
+        disabled, fewer than two keys, or the backend could not run the
+        batch at all).  Per-key outcomes map exactly onto the sequential
+        semantics: a grant continues, a Q-Q incompatibility raises
+        :class:`~repro.errors.QuarantinedError` (restart, Figure 5a/5b
+        unchanged -- the server stops at the first reject just like a
+        sequential run), and a key whose shard is unreachable degrades
+        individually (queued on ``pending``, journaled only after
+        ``commit_sql``) while the rest of the batch proceeds.
+        """
+        if not self.batch_leases or len(changes) < 2:
+            return False
+        by_key = {change.key: change for change in changes}
+        try:
+            results = session.qareg([change.key for change in changes])
+        except CacheUnavailableError:
+            # The whole backend is away (e.g. nothing could even route);
+            # fall back so each key gets its individual degradation.
+            return False
+        for key, status in results.items():
+            if status == "granted":
+                continue
+            if status == "abort":
+                raise QuarantinedError(key)
+            # "unavailable": only this key's shard is unreachable.
+            if not self.degraded_fallback:
+                raise CacheUnavailableError(
+                    "shard for {!r} unavailable during batched "
+                    "acquisition".format(key)
+                )
+            pending.append(by_key[key])
+            self._degraded_key_changes.inc()
+            if self._tracer.active:
+                self._tracer.emit("client.degraded.key", key=key)
+        return True
+
     def _write_degraded(self, sql_body, changes, cause):
         """Run the write's RDBMS transaction with no KVS participation."""
         if not self.degraded_fallback:
@@ -292,13 +342,20 @@ class _IQClientBase:
 
 
 class IQInvalidateClient(_IQClientBase):
-    """Section 3.2: QaR each key, run the transaction, DaR at commit."""
+    """Section 3.2: QaR each key, run the transaction, DaR at commit.
+
+    The growing phase acquires the whole write-set's Q leases with one
+    batched ``qareg`` when the backend allows (one pipelined round trip
+    per shard), falling back to per-key ``QaR`` otherwise.
+    """
 
     def _write_sessions(self, sql_body, changes):
         def body(session):
             degraded = []
 
             def acquire():
+                if self._batch_acquire(session, changes, degraded):
+                    return
                 for change in changes:
                     self._guard_key(
                         change, lambda c=change: session.qar(c.key),
@@ -343,12 +400,23 @@ class IQRefreshClient(_IQClientBase):
             degraded = []
 
             def acquire_and_compute():
+                # The invalidation subset shares one batched qareg (the
+                # exclusive qaread legs stay per-key: each needs its old
+                # value back before the refresher can run).
+                invalidations = [
+                    change for change in changes
+                    if self._is_invalidation(change)
+                ]
+                batched = self._batch_acquire(session, invalidations,
+                                              degraded)
                 for change in changes:
                     if self._is_invalidation(change):
-                        self._guard_key(
-                            change, lambda c=change: session.qar(c.key),
-                            pending=degraded,
-                        )
+                        if not batched:
+                            self._guard_key(
+                                change,
+                                lambda c=change: session.qar(c.key),
+                                pending=degraded,
+                            )
                         continue
 
                     def read_modify(c=change):
@@ -410,12 +478,19 @@ class IQDeltaClient(_IQClientBase):
             degraded = []
 
             def propose():
+                invalidations = [
+                    change for change in changes if change.invalidate
+                ]
+                batched = self._batch_acquire(session, invalidations,
+                                              degraded)
                 for change in changes:
                     if change.invalidate:
-                        self._guard_key(
-                            change, lambda c=change: session.qar(c.key),
-                            pending=degraded,
-                        )
+                        if not batched:
+                            self._guard_key(
+                                change,
+                                lambda c=change: session.qar(c.key),
+                                pending=degraded,
+                            )
                         continue
 
                     def propose_deltas(c=change):

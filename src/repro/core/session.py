@@ -82,6 +82,17 @@ class WriteSession:
         with trace_context(self.trace_id):
             return self.kvs.qar(self.tid, key)
 
+    def qareg(self, keys):
+        """Bulk-acquire invalidation Q leases for ``keys`` in one batch.
+
+        Returns the ordered key -> ``"granted"``/``"abort"``/
+        ``"unavailable"`` dict of
+        :meth:`~repro.core.backend.LeaseBackend.qar_many`; acquisition
+        stops at the first reject exactly like sequential :meth:`qar`.
+        """
+        with trace_context(self.trace_id):
+            return self.kvs.qar_many(self.tid, keys)
+
     def qaread(self, key):
         with trace_context(self.trace_id):
             return self.kvs.qaread(key, self.tid)

@@ -52,6 +52,9 @@ class CacheStats:
         "lease_aborts",
         "lease_expirations",
         "ignored_sets",
+        # Batching / pipelining counters (PR 5):
+        "pipelined_commands",
+        "batched_qar_grants",
     )
 
     def __init__(self, registry=None, prefix="cache"):
@@ -94,7 +97,19 @@ class MergedCacheStats:
     ``stats()`` method of a networked backend).  Counters are summed at
     read time, so the view is always live; a source that is currently
     unreachable contributes nothing rather than failing the whole view.
+
+    Besides the per-shard :attr:`CacheStats.COUNTERS`, the snapshot
+    always carries the router-level fan-out counters (parallel
+    commit/abort legs) so batch observability does not depend on which
+    sources happen to be reachable.
     """
+
+    #: Router-level counters always present in a merged snapshot, even
+    #: when no source reports them (single shard, serial fan-out).
+    ROUTER_COUNTERS = (
+        "parallel_commit_legs",
+        "parallel_abort_legs",
+    )
 
     def __init__(self, sources):
         self._sources = list(sources)
@@ -104,6 +119,8 @@ class MergedCacheStats:
         from repro.errors import CacheUnavailableError
 
         merged = {name: 0 for name in CacheStats.COUNTERS}
+        for name in self.ROUTER_COUNTERS:
+            merged[name] = 0
         for source in self._sources:
             try:
                 counts = source() if callable(source) else source.snapshot()

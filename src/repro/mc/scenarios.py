@@ -32,6 +32,7 @@ from repro.mc.sessions import (
     baseline_trigger_invalidator,
     fault_program,
     iq_abort_refresh_writer,
+    iq_batch_invalidate_writer,
     iq_delta_writer,
     iq_invalidate_writer,
     iq_reader,
@@ -395,6 +396,34 @@ def _fuzz_sharded_fault():
 
 
 # ---------------------------------------------------------------------------
+# batched Q-lease acquisition (PR 5): one qareg step vs per-key qar steps
+# ---------------------------------------------------------------------------
+
+def _qareg_invalidate(batched):
+    """Two-key invalidate writer vs a delta writer and a reader.
+
+    The batched variant acquires its whole write-set through one
+    ``qar_many`` schedule step (the wire's ``qareg``); the sequential
+    twin is the classic per-key ``qar`` loop with an interleaving point
+    between the keys.  Both must explore clean, and ``tests/mc``
+    asserts their terminal outcome sets are identical.
+    """
+    writer = iq_batch_invalidate_writer if batched else iq_invalidate_writer
+
+    def build():
+        world = World(keys=("k0", "k1"), backend="iq")
+        world.seed("k0", 10)
+        world.seed("k1", 20)
+        return world, [
+            writer("W", {"k0": "val + 100", "k1": "val + 100"}, attempts=2),
+            iq_delta_writer("d", [("k1", "incr", 3)], attempts=2),
+            iq_reader("r", "k0", attempts=3),
+        ]
+
+    return build
+
+
+# ---------------------------------------------------------------------------
 # PR 2 regression semantics, explored exhaustively
 # ---------------------------------------------------------------------------
 
@@ -588,6 +617,19 @@ _register(Scenario(
                 "kill/heal/reconcile fault sequence as schedule steps; "
                 "sampled randomly, auditor as oracle",
     tags=("fuzz", "fault", "sharded"),
+))
+
+_register(Scenario(
+    "qareg-batched", _qareg_invalidate(True),
+    description="PR 5 semantics: one batched qar_many acquisition for a "
+                "two-key write-set, racing a delta writer and a reader",
+    tags=("pr5", "iq", "batch"),
+))
+_register(Scenario(
+    "qareg-sequential", _qareg_invalidate(False),
+    description="The sequential twin of qareg-batched: per-key qar steps "
+                "with an interleaving point between the keys",
+    tags=("pr5", "iq", "batch"),
 ))
 
 _register(Scenario(

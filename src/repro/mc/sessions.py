@@ -39,6 +39,7 @@ __all__ = [
     "iq_reader",
     "iq_refresh_writer",
     "iq_invalidate_writer",
+    "iq_batch_invalidate_writer",
     "iq_delta_writer",
     "iq_abort_refresh_writer",
     "baseline_reader",
@@ -286,6 +287,71 @@ def iq_invalidate_writer(name, assignments, attempts=3):
             world.record_commit()
             world.flags["sql_committed:{}".format(name)] = True
             world.emit("session.sql_commit", tid=tid)
+            yield Op("{}:dar".format(name), kvs=keys)
+            backend.dar(tid)
+            world.emit("session.end", tid=tid)
+            return "invalidated"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def iq_batch_invalidate_writer(name, assignments, attempts=3):
+    """Figure 3's invalidate session with one *batched* QaR acquisition.
+
+    The growing phase issues a single ``qar_many`` for the whole
+    write-set -- one announced step, mirroring the one pipelined
+    ``qareg`` round trip of the wire protocol -- instead of one ``qar``
+    step per key.  An ``"abort"`` status (or a zombie-TID
+    :class:`~repro.errors.QuarantinedError` from the router) restarts
+    the session exactly like a per-key reject; keys whose shard was
+    unreachable degrade to post-commit journaling like
+    :func:`sharded_invalidate_writer`.  The batched session must be
+    outcome-equivalent to :func:`iq_invalidate_writer` over every
+    explored schedule -- ``tests/mc`` asserts exactly that.
+    """
+    keys = tuple(assignments)
+
+    def factory(world):
+        backend = world.backend
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            tid = backend.gen_id()
+            world.bind_tid(name, tid)
+            world.emit("session.begin", tid=tid)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            yield Op("{}:qareg".format(name), kvs=keys)
+            try:
+                statuses = backend.qar_many(tid, keys)
+            except QuarantinedError:
+                statuses = None
+            except CacheUnavailableError:
+                statuses = {key: "unavailable" for key in keys}
+            if statuses is None or "abort" in statuses.values():
+                yield Op("{}:rollback".format(name), sql=True)
+                connection.rollback()
+                connection.close()
+                yield Op("{}:abort".format(name), kvs=keys)
+                backend.abort(tid)
+                world.emit("session.end", tid=tid)
+                continue
+            degraded = [
+                key for key, status in statuses.items()
+                if status == "unavailable"
+            ]
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit()
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            world.emit("session.sql_commit", tid=tid)
+            if degraded:
+                yield Op("{}:journal".format(name), kvs=degraded)
+                backend.journal.add(degraded)
             yield Op("{}:dar".format(name), kvs=keys)
             backend.dar(tid)
             world.emit("session.end", tid=tid)

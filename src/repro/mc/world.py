@@ -63,9 +63,9 @@ class GatedShard:
     """
 
     _COMMANDS = (
-        "gen_id", "iq_get", "iq_set", "release_i", "qaread", "sar",
-        "propose_refresh", "qar", "iq_delta", "commit", "abort",
-        "flush_all",
+        "gen_id", "iq_get", "iq_mget", "iq_set", "release_i", "qaread",
+        "sar", "propose_refresh", "qar", "qar_many", "iq_delta",
+        "commit", "abort", "flush_all",
     )
 
     def __init__(self, server):
@@ -155,7 +155,9 @@ class World:
             if suppressible_void:
                 self._arm_suppressible_void(servers)
             gates = [GatedShard(server) for server in servers]
-            self.backend = ShardedIQServer(gates)
+            # Serial fan-out: a schedule must replay deterministically,
+            # so the router's shrinking phase may not spawn pool threads.
+            self.backend = ShardedIQServer(gates, fanout_workers=0)
             self.shard_gates = dict(zip(self.backend.shard_names, gates))
             self.servers = dict(zip(
                 self.backend.shard_names, servers

@@ -20,10 +20,11 @@ Whalin client.  This package provides the equivalent end-to-end path:
   reconciliation (see ``docs/FAULTS.md``).
 """
 
-from repro.net.client import RemoteIQServer
+from repro.net.client import Pipeline, RemoteIQServer
 from repro.net.resilient import (
     CircuitBreaker,
     CircuitState,
+    ConnectionPool,
     ReconciliationJournal,
     ResilientIQServer,
 )
@@ -32,7 +33,9 @@ from repro.net.server import IQTCPServer, serve_background
 __all__ = [
     "CircuitBreaker",
     "CircuitState",
+    "ConnectionPool",
     "IQTCPServer",
+    "Pipeline",
     "ReconciliationJournal",
     "RemoteIQServer",
     "ResilientIQServer",

@@ -6,7 +6,15 @@ Implements the exact method surface of the in-process
 actions -- runs unchanged against a networked cache.  One instance wraps
 one socket; it is protected by a lock so several threads may share it
 (each request/response exchange is atomic), though one connection per
-thread performs better.
+thread performs better (see :class:`repro.net.resilient.ResilientIQServer`,
+which pools connections).
+
+Every command is factored into a *builder* (produces the request line,
+optional data block, and a receiver) and a *receiver* (parses exactly one
+reply off the stream).  The single-command path sends one frame and runs
+one receiver; :class:`Pipeline` queues many builders, sends all frames in
+one write, then runs the receivers in request order -- N commands for one
+round trip.
 """
 
 import socket
@@ -21,7 +29,12 @@ from repro.errors import (
 from repro.core.backend import LeaseBackend
 from repro.core.iq_server import IQGetResult, QaReadResult
 from repro.kvs.store import StoreResult
-from repro.net.protocol import CRLF, TRACE_TOKEN_PREFIX, LineReader
+from repro.net.protocol import (
+    CRLF,
+    SESSION_TOKEN_PREFIX,
+    TRACE_TOKEN_PREFIX,
+    LineReader,
+)
 from repro.obs.trace import current_trace_id, get_tracer
 
 
@@ -37,7 +50,9 @@ class RemoteIQServer(LeaseBackend):
     subsequent call fails immediately with :class:`ConnectionLostError`
     until the caller builds a fresh connection (see
     :class:`repro.net.resilient.ResilientIQServer`, which does exactly
-    that automatically).
+    that automatically).  The same discipline covers pipelines: a failure
+    anywhere in a pipelined exchange poisons the whole connection --
+    later commands never resynchronize onto an earlier command's reply.
     """
 
     def __init__(self, host="127.0.0.1", port=11211, timeout=10.0,
@@ -101,6 +116,14 @@ class RemoteIQServer(LeaseBackend):
             "connection lost while {}: {}".format(doing, exc)
         ) from exc
 
+    def _mark_broken(self):
+        """Poison without raising (the caller raises its own error)."""
+        self._broken = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
     def _check_usable(self):
         if self._broken:
             raise ConnectionLostError(
@@ -132,8 +155,8 @@ class RemoteIQServer(LeaseBackend):
                 "awaiting reply",
             )
 
-    def _exchange(self, payload, doing):
-        """Send the request bytes and return the first reply line."""
+    def _send(self, payload, doing):
+        """Send request bytes (fault sites fire around the write)."""
         self._check_usable()
         if self._injector is not None:
             self._inject_send(doing)
@@ -143,7 +166,6 @@ class RemoteIQServer(LeaseBackend):
             self._poison(exc, doing)
         if self._injector is not None:
             self._inject_after_send(doing)
-        return self._read_line(doing)
 
     def _read_line(self, doing):
         try:
@@ -156,8 +178,7 @@ class RemoteIQServer(LeaseBackend):
             return self._reader.read_bytes(count)
         except ProtocolError:
             # The stream is desynchronized; nobody may read from it again.
-            self._broken = True
-            self._sock.close()
+            self._mark_broken()
             raise
         except (OSError, ConnectionError) as exc:
             self._poison(exc, doing)
@@ -175,47 +196,95 @@ class RemoteIQServer(LeaseBackend):
             return ""
         return " {}{}".format(TRACE_TOKEN_PREFIX, trace_id)
 
-    def _roundtrip(self, line, data=None):
-        """Send one command (optionally with a data block); read one line."""
+    def _frame(self, line, data):
+        """Encode one request frame (command line + optional data block)."""
         payload = (line + self._trace_suffix()).encode() + CRLF
         if data is not None:
             payload += data + CRLF
-        with self._lock:
-            return self._exchange(payload, line.split(" ", 1)[0])
+        return payload
 
-    def _roundtrip_value(self, line, data=None):
-        """Round trip for commands that may reply ``VALUE``...``END``."""
-        payload = (line + self._trace_suffix()).encode() + CRLF
-        if data is not None:
-            payload += data + CRLF
+    def _execute(self, line, data, receiver):
+        """Send one command frame and parse its one reply."""
+        payload = self._frame(line, data)
         doing = line.split(" ", 1)[0]
         with self._lock:
-            first = self._exchange(payload, doing)
-            if not first.startswith(b"VALUE "):
-                return first, None
-            parts = first.split()
-            size = int(parts[3])
-            value = self._read_bytes(size, doing)
-            end = self._read_line(doing)
-            if end != b"END":
-                self._broken = True
-                self._sock.close()
-                raise ProtocolError("missing END after VALUE block")
-            return first, value
+            self._send(payload, doing)
+            return receiver(doing)
 
-    # -- IQ command surface ------------------------------------------------------
+    def _execute_pipeline(self, ops):
+        """Send every queued frame in one write, then run the receivers.
 
-    def gen_id(self):
-        reply = self._roundtrip("genid")
+        ``ops`` is a list of ``(payload, doing, receiver)``.  Replies come
+        back in request order (the server guarantees per-connection
+        ordering).  A semantic ``QuarantinedError`` consumes its reply
+        completely, so it is stored in the result slot and reading
+        continues; any transport or framing failure poisons the whole
+        connection and propagates -- the remaining replies are
+        unrecoverable by construction, never resynchronized onto.
+        """
+        with self._lock:
+            self._check_usable()
+            if self._injector is not None:
+                for _payload, doing, _receiver in ops:
+                    self._inject_send(doing)
+            try:
+                self._sock.sendall(b"".join(op[0] for op in ops))
+            except OSError as exc:
+                self._poison(exc, "pipeline")
+            if self._injector is not None:
+                self._inject_after_send("pipeline")
+            results = []
+            for _payload, doing, receiver in ops:
+                try:
+                    results.append(receiver(doing))
+                except QuarantinedError as exc:
+                    results.append(exc)
+                except ProtocolError:
+                    if not self._broken:
+                        self._mark_broken()
+                    raise
+            return results
+
+    def pipeline(self):
+        """Return a :class:`Pipeline` batch context over this connection."""
+        return Pipeline(self)
+
+    # -- reply receivers -----------------------------------------------------
+    #
+    # Each receiver parses exactly one command's reply off the stream.
+    # Closure-returning receivers bind per-command context (the key for a
+    # QuarantinedError, the expected success word).
+
+    def _recv_value_block(self, doing):
+        """First line plus, for ``VALUE`` replies, the data (END-checked)."""
+        first = self._read_line(doing)
+        if not first.startswith(b"VALUE "):
+            return first, None
+        parts = first.split()
+        size = int(parts[3])
+        value = self._read_bytes(size, doing)
+        end = self._read_line(doing)
+        if end != b"END":
+            self._mark_broken()
+            raise ProtocolError("missing END after VALUE block")
+        return first, value
+
+    def _recv_word(self, word):
+        def receive(doing):
+            return self._read_line(doing) == word
+        return receive
+
+    def _recv_store_result(self, doing):
+        return StoreResult(self._read_line(doing).decode())
+
+    def _recv_genid(self, doing):
+        reply = self._read_line(doing)
         if not reply.startswith(b"ID "):
             raise ProtocolError("bad genid reply {!r}".format(reply))
         return int(reply.split()[1])
 
-    def iq_get(self, key, session=None):
-        line = "iqget {}".format(key)
-        if session is not None:
-            line += " {}".format(session)
-        reply, value = self._roundtrip_value(line)
+    def _recv_iq_get(self, doing):
+        reply, value = self._recv_value_block(doing)
         if value is not None:
             return IQGetResult(value=value)
         if reply.startswith(b"LEASE "):
@@ -226,33 +295,202 @@ class RemoteIQServer(LeaseBackend):
             return IQGetResult()
         raise ProtocolError("bad iqget reply {!r}".format(reply))
 
+    def _recv_qaread(self, key):
+        def receive(doing):
+            reply, value = self._recv_value_block(doing)
+            if reply == b"ABORT":
+                raise QuarantinedError(key)
+            if value is not None:
+                return QaReadResult(value)
+            if reply == b"MISS":
+                return QaReadResult(None)
+            raise ProtocolError("bad qaread reply {!r}".format(reply))
+        return receive
+
+    def _recv_lease_grant(self, key):
+        """GRANTED-or-ABORT replies (``qar``, ``iqdelta``)."""
+        def receive(doing):
+            if self._read_line(doing) == b"ABORT":
+                raise QuarantinedError(key)
+            return True
+        return receive
+
+    def _recv_iq_mget(self, doing):
+        results = {}
+        while True:
+            line = self._read_line(doing)
+            if line == b"END":
+                return results
+            parts = line.split()
+            if len(parts) < 2:
+                raise ProtocolError("bad iqmget reply line {!r}".format(line))
+            word, key = parts[0], parts[1].decode()
+            if word == b"VALUE":
+                size = int(parts[3])
+                results[key] = IQGetResult(
+                    value=self._read_bytes(size, doing)
+                )
+            elif word == b"LEASE":
+                results[key] = IQGetResult(token=int(parts[2]))
+            elif word == b"MISS":
+                results[key] = IQGetResult()
+            elif word == b"BACKOFF":
+                results[key] = IQGetResult(backoff=True)
+            else:
+                raise ProtocolError("bad iqmget reply line {!r}".format(line))
+
+    _QAREG_STATUS = {
+        b"GRANTED": "granted",
+        b"ABORT": "abort",
+        b"UNAVAIL": "unavailable",
+    }
+
+    def _recv_qar_many(self, doing):
+        results = {}
+        while True:
+            line = self._read_line(doing)
+            if line == b"END":
+                return results
+            parts = line.split()
+            status = self._QAREG_STATUS.get(parts[0])
+            if status is None or len(parts) != 2:
+                raise ProtocolError("bad qareg reply line {!r}".format(line))
+            results[parts[1].decode()] = status
+
+    def _recv_mdelete(self, doing):
+        reply = self._read_line(doing)
+        if not reply.startswith(b"DELETED "):
+            raise ProtocolError("bad mdelete reply {!r}".format(reply))
+        return int(reply.split()[1])
+
+    def _recv_get(self, doing):
+        reply, value = self._recv_value_block(doing)
+        if value is None:
+            return None
+        flags = int(reply.split()[2])
+        return value, flags
+
+    def _recv_gets(self, doing):
+        reply, value = self._recv_value_block(doing)
+        if value is None:
+            return None
+        parts = reply.split()
+        return value, int(parts[2]), int(parts[4])
+
+    def _recv_numeric(self, doing):
+        reply = self._read_line(doing)
+        return None if reply == b"NOT_FOUND" else int(reply)
+
+    def _recv_stats(self, doing):
+        result = {}
+        while True:
+            line = self._read_line(doing)
+            if line == b"END":
+                return result
+            _stat, name, value = line.decode().split()
+            result[name] = int(value)
+
+    def _recv_version(self, doing):
+        return self._read_line(doing).decode().split(" ", 1)[1]
+
+    # -- command builders ----------------------------------------------------
+    #
+    # Each returns (line, data, receiver); the public methods execute one,
+    # Pipeline queues many.
+
+    def _cmd_gen_id(self):
+        return "genid", None, self._recv_genid
+
+    def _cmd_iq_get(self, key, session=None):
+        line = "iqget {}".format(key)
+        if session is not None:
+            line += " {}".format(session)
+        return line, None, self._recv_iq_get
+
+    def _cmd_iq_set(self, key, value, token):
+        line = "iqset {} {} {}".format(key, token, len(value))
+        return line, value, self._recv_word(b"STORED")
+
+    def _cmd_release_i(self, key, token):
+        line = "releasei {} {}".format(key, token)
+        return line, None, self._recv_word(b"OK")
+
+    def _cmd_qaread(self, key, tid):
+        return "qaread {} {}".format(key, tid), None, self._recv_qaread(key)
+
+    def _cmd_sar(self, key, value, tid):
+        if value is None:
+            line = "sar {} {} -1".format(key, tid)
+            return line, None, self._recv_word(b"RELEASED")
+        line = "sar {} {} {}".format(key, tid, len(value))
+        return line, value, self._recv_word(b"STORED")
+
+    def _cmd_qar(self, tid, key):
+        line = "qar {} {}".format(tid, key)
+        return line, None, self._recv_lease_grant(key)
+
+    def _cmd_dar(self, tid):
+        return "dar {}".format(tid), None, self._recv_word(b"OK")
+
+    def _cmd_iq_delta(self, tid, key, op, operand):
+        # incr/decr operands arrive as ints from the in-process API; the
+        # wire carries them as an ASCII data block, like memcached does.
+        if not isinstance(operand, bytes):
+            operand = str(operand).encode()
+        line = "iqdelta {} {} {} {}".format(tid, key, op, len(operand))
+        return line, operand, self._recv_lease_grant(key)
+
+    def _cmd_commit(self, tid):
+        return "commit {}".format(tid), None, self._recv_word(b"OK")
+
+    def _cmd_abort(self, tid):
+        return "abort {}".format(tid), None, self._recv_word(b"OK")
+
+    def _cmd_iq_mget(self, keys, session=None):
+        line = "iqmget {}".format(" ".join(keys))
+        if session is not None:
+            line += " {}{}".format(SESSION_TOKEN_PREFIX, session)
+        return line, None, self._recv_iq_mget
+
+    def _cmd_qar_many(self, tid, keys):
+        line = "qareg {} {}".format(tid, " ".join(keys))
+        return line, None, self._recv_qar_many
+
+    def _cmd_mdelete(self, keys):
+        return "mdelete {}".format(" ".join(keys)), None, self._recv_mdelete
+
+    def _cmd_get(self, key):
+        return "get {}".format(key), None, self._recv_get
+
+    def _cmd_gets(self, key):
+        return "gets {}".format(key), None, self._recv_gets
+
+    def _cmd_store(self, verb, key, value, flags, ttl):
+        line = "{} {} {} {} {}".format(verb, key, flags, ttl or 0, len(value))
+        return line, value, self._recv_store_result
+
+    def _cmd_delete(self, key):
+        return "delete {}".format(key), None, self._recv_word(b"DELETED")
+
+    # -- IQ command surface ------------------------------------------------------
+
+    def gen_id(self):
+        return self._execute(*self._cmd_gen_id())
+
+    def iq_get(self, key, session=None):
+        return self._execute(*self._cmd_iq_get(key, session))
+
     def iq_set(self, key, value, token):
-        reply = self._roundtrip(
-            "iqset {} {} {}".format(key, token, len(value)), value
-        )
-        return reply == b"STORED"
+        return self._execute(*self._cmd_iq_set(key, value, token))
 
     def release_i(self, key, token):
-        return self._roundtrip("releasei {} {}".format(key, token)) == b"OK"
+        return self._execute(*self._cmd_release_i(key, token))
 
     def qaread(self, key, tid):
-        reply, value = self._roundtrip_value("qaread {} {}".format(key, tid))
-        if reply == b"ABORT":
-            raise QuarantinedError(key)
-        if value is not None:
-            return QaReadResult(value)
-        if reply == b"MISS":
-            return QaReadResult(None)
-        raise ProtocolError("bad qaread reply {!r}".format(reply))
+        return self._execute(*self._cmd_qaread(key, tid))
 
     def sar(self, key, value, tid):
-        if value is None:
-            reply = self._roundtrip("sar {} {} -1".format(key, tid))
-            return reply == b"RELEASED"
-        reply = self._roundtrip(
-            "sar {} {} {}".format(key, tid, len(value)), value
-        )
-        return reply == b"STORED"
+        return self._execute(*self._cmd_sar(key, value, tid))
 
     def propose_refresh(self, key, value, tid):
         raise NotImplementedError(
@@ -261,117 +499,224 @@ class RemoteIQServer(LeaseBackend):
         )
 
     def qar(self, tid, key):
-        reply = self._roundtrip("qar {} {}".format(tid, key))
-        if reply == b"ABORT":
-            raise QuarantinedError(key)
-        return True
+        return self._execute(*self._cmd_qar(tid, key))
 
     def dar(self, tid):
-        return self._roundtrip("dar {}".format(tid)) == b"OK"
+        return self._execute(*self._cmd_dar(tid))
 
     def iq_delta(self, tid, key, op, operand):
-        # incr/decr operands arrive as ints from the in-process API; the
-        # wire carries them as an ASCII data block, like memcached does.
-        if not isinstance(operand, bytes):
-            operand = str(operand).encode()
-        reply = self._roundtrip(
-            "iqdelta {} {} {} {}".format(tid, key, op, len(operand)), operand
-        )
-        if reply == b"ABORT":
-            raise QuarantinedError(key)
-        return True
+        return self._execute(*self._cmd_iq_delta(tid, key, op, operand))
 
     def commit(self, tid):
-        return self._roundtrip("commit {}".format(tid)) == b"OK"
+        return self._execute(*self._cmd_commit(tid))
 
     def abort(self, tid):
-        return self._roundtrip("abort {}".format(tid)) == b"OK"
+        return self._execute(*self._cmd_abort(tid))
+
+    # -- multi-key commands ------------------------------------------------------
+
+    def iq_mget(self, keys, session=None):
+        """Bulk ``iq_get`` in one round trip (wire command ``iqmget``)."""
+        keys = list(keys)
+        if not keys:
+            return {}
+        return self._execute(*self._cmd_iq_mget(keys, session))
+
+    def qar_many(self, tid, keys):
+        """Bulk invalidation ``qar`` in one round trip (``qareg``).
+
+        Returns the ordered key -> ``"granted"``/``"abort"``/
+        ``"unavailable"`` dict of :meth:`LeaseBackend.qar_many`; the
+        server stops at the first reject exactly like sequential ``qar``.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        return self._execute(*self._cmd_qar_many(tid, keys))
+
+    def mdelete(self, keys):
+        """Delete many keys in one round trip; returns the hit count."""
+        keys = list(keys)
+        if not keys:
+            return 0
+        return self._execute(*self._cmd_mdelete(keys))
 
     # -- standard memcached commands ---------------------------------------------
 
     def get(self, key):
-        reply, value = self._roundtrip_value("get {}".format(key))
-        if value is None:
-            return None
-        flags = int(reply.split()[2])
-        return value, flags
+        return self._execute(*self._cmd_get(key))
 
     def gets(self, key):
-        reply, value = self._roundtrip_value("gets {}".format(key))
-        if value is None:
-            return None
-        parts = reply.split()
-        return value, int(parts[2]), int(parts[4])
+        return self._execute(*self._cmd_gets(key))
 
     def set(self, key, value, flags=0, ttl=None):
-        reply = self._roundtrip(
-            "set {} {} {} {}".format(key, flags, ttl or 0, len(value)), value
-        )
-        return StoreResult(reply.decode())
+        return self._execute(*self._cmd_store("set", key, value, flags, ttl))
 
     def add(self, key, value, flags=0, ttl=None):
-        reply = self._roundtrip(
-            "add {} {} {} {}".format(key, flags, ttl or 0, len(value)), value
-        )
-        return StoreResult(reply.decode())
+        return self._execute(*self._cmd_store("add", key, value, flags, ttl))
 
     def replace(self, key, value, flags=0, ttl=None):
-        reply = self._roundtrip(
-            "replace {} {} {} {}".format(key, flags, ttl or 0, len(value)),
-            value,
+        return self._execute(
+            *self._cmd_store("replace", key, value, flags, ttl)
         )
-        return StoreResult(reply.decode())
 
     def append(self, key, suffix):
-        reply = self._roundtrip(
-            "append {} 0 0 {}".format(key, len(suffix)), suffix
+        return self._execute(
+            *self._cmd_store("append", key, suffix, 0, 0)
         )
-        return StoreResult(reply.decode())
 
     def prepend(self, key, prefix):
-        reply = self._roundtrip(
-            "prepend {} 0 0 {}".format(key, len(prefix)), prefix
+        return self._execute(
+            *self._cmd_store("prepend", key, prefix, 0, 0)
         )
-        return StoreResult(reply.decode())
 
     def cas(self, key, value, cas_id, flags=0, ttl=None):
-        reply = self._roundtrip(
-            "cas {} {} {} {} {}".format(
-                key, flags, ttl or 0, len(value), cas_id
-            ),
-            value,
+        line = "cas {} {} {} {} {}".format(
+            key, flags, ttl or 0, len(value), cas_id
         )
-        return StoreResult(reply.decode())
+        return self._execute(line, value, self._recv_store_result)
 
     def delete(self, key):
-        return self._roundtrip("delete {}".format(key)) == b"DELETED"
+        return self._execute(*self._cmd_delete(key))
 
     def incr(self, key, delta=1):
-        reply = self._roundtrip("incr {} {}".format(key, delta))
-        return None if reply == b"NOT_FOUND" else int(reply)
+        return self._execute(
+            "incr {} {}".format(key, delta), None, self._recv_numeric
+        )
 
     def decr(self, key, delta=1):
-        reply = self._roundtrip("decr {} {}".format(key, delta))
-        return None if reply == b"NOT_FOUND" else int(reply)
+        return self._execute(
+            "decr {} {}".format(key, delta), None, self._recv_numeric
+        )
 
     def touch(self, key, ttl):
-        return self._roundtrip("touch {} {}".format(key, ttl)) == b"TOUCHED"
+        return self._execute(
+            "touch {} {}".format(key, ttl), None, self._recv_word(b"TOUCHED")
+        )
 
     def flush_all(self):
-        return self._roundtrip("flush_all") == b"OK"
+        return self._execute("flush_all", None, self._recv_word(b"OK"))
 
     def stats(self):
-        with self._lock:
-            first = self._exchange(b"stats" + CRLF, "stats")
-            result = {}
-            line = first
-            while True:
-                if line == b"END":
-                    return result
-                _stat, name, value = line.decode().split()
-                result[name] = int(value)
-                line = self._read_line("stats")
+        return self._execute("stats", None, self._recv_stats)
 
     def version(self):
-        reply = self._roundtrip("version")
-        return reply.decode().split(" ", 1)[1]
+        return self._execute("version", None, self._recv_version)
+
+
+class Pipeline:
+    """Batch context: queue commands, send them as one write, read all
+    replies in order.
+
+    ::
+
+        with server.pipeline() as pipe:
+            pipe.qar(tid, "k1").qar(tid, "k2").commit(tid)
+        granted_k1, granted_k2, committed = pipe.results
+
+    Queue methods mirror the single-command surface and return ``self``
+    for chaining.  ``execute()`` (called automatically on clean ``with``
+    exit) returns the per-command results in request order.  A command
+    rejected with :class:`~repro.errors.QuarantinedError` places the
+    *exception instance* in its result slot (its reply was fully
+    consumed, so later replies still parse); a transport or framing
+    failure raises and poisons the whole connection -- partial results
+    are never returned and the stream is never resynchronized.
+
+    The trace token for each command is captured when it is queued, so a
+    pipeline built inside a traced session tags every frame.
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._ops = []
+        self._executed = False
+        #: per-command results after :meth:`execute`, in request order
+        self.results = None
+
+    def __len__(self):
+        return len(self._ops)
+
+    def _queue(self, line, data, receiver):
+        if self._executed:
+            raise RuntimeError("pipeline already executed")
+        payload = self._conn._frame(line, data)
+        self._ops.append((payload, line.split(" ", 1)[0], receiver))
+        return self
+
+    def execute(self):
+        """Send all queued frames, return all results in request order."""
+        if self._executed:
+            raise RuntimeError("pipeline already executed")
+        self._executed = True
+        if not self._ops:
+            self.results = []
+            return self.results
+        self.results = self._conn._execute_pipeline(self._ops)
+        return self.results
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None and not self._executed:
+            self.execute()
+        return False
+
+    # -- queueing surface ----------------------------------------------------
+
+    def gen_id(self):
+        return self._queue(*self._conn._cmd_gen_id())
+
+    def iq_get(self, key, session=None):
+        return self._queue(*self._conn._cmd_iq_get(key, session))
+
+    def iq_set(self, key, value, token):
+        return self._queue(*self._conn._cmd_iq_set(key, value, token))
+
+    def release_i(self, key, token):
+        return self._queue(*self._conn._cmd_release_i(key, token))
+
+    def qaread(self, key, tid):
+        return self._queue(*self._conn._cmd_qaread(key, tid))
+
+    def sar(self, key, value, tid):
+        return self._queue(*self._conn._cmd_sar(key, value, tid))
+
+    def qar(self, tid, key):
+        return self._queue(*self._conn._cmd_qar(tid, key))
+
+    def dar(self, tid):
+        return self._queue(*self._conn._cmd_dar(tid))
+
+    def iq_delta(self, tid, key, op, operand):
+        return self._queue(*self._conn._cmd_iq_delta(tid, key, op, operand))
+
+    def commit(self, tid):
+        return self._queue(*self._conn._cmd_commit(tid))
+
+    def abort(self, tid):
+        return self._queue(*self._conn._cmd_abort(tid))
+
+    def iq_mget(self, keys, session=None):
+        return self._queue(*self._conn._cmd_iq_mget(list(keys), session))
+
+    def qar_many(self, tid, keys):
+        return self._queue(*self._conn._cmd_qar_many(tid, list(keys)))
+
+    def mdelete(self, keys):
+        return self._queue(*self._conn._cmd_mdelete(list(keys)))
+
+    def get(self, key):
+        return self._queue(*self._conn._cmd_get(key))
+
+    def gets(self, key):
+        return self._queue(*self._conn._cmd_gets(key))
+
+    def set(self, key, value, flags=0, ttl=None):
+        return self._queue(
+            *self._conn._cmd_store("set", key, value, flags, ttl)
+        )
+
+    def delete(self, key):
+        return self._queue(*self._conn._cmd_delete(key))

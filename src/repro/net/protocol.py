@@ -20,13 +20,40 @@ Extension command grammar (server replies in parentheses)::
     commit <tid>                             (OK)
     abort <tid>                              (OK)
 
+Multi-key commands amortize the per-command round trip (one request
+line, one multi-line reply)::
+
+    iqmget <key>... [@s<tid>]   (per key: VALUE <key> <flags> <nbytes> + data
+                                 | LEASE <key> <token> | MISS <key>
+                                 | BACKOFF <key>; terminated by END)
+    qareg <tid> <key>...        (per key: GRANTED <key> | ABORT <key>
+                                 | UNAVAIL <key>; terminated by END)
+    mdelete <key>...            (DELETED <n-hits>)
+
+``qareg`` acquires invalidation-mode (Fig. 5a shared) Q leases in key
+order and stops at the first reject, exactly like a sequential run of
+``qar`` -- keys after the rejected one are not attempted and are absent
+from the reply.  ``UNAVAIL`` marks a key whose owning shard was
+unreachable (sharded deployments only); the caller degrades that key
+individually.
+
 Any request line may carry a trailing ``@t<trace-id>`` token
 (``qar 7 user:1 @t42``).  It propagates the caller's trace id so
 server-side events join the client's trace; servers strip it before
-dispatch and ignore unparseable tokens.  The token rides at the *end* of
-the line, after every positional field, so the ``<nbytes>`` indices in
+dispatch and ignore unparseable tokens.  ``iqmget`` similarly carries
+its optional session TID as a trailing ``@s<tid>`` token (keys would be
+ambiguous with a positional TID).  Tokens ride at the *end* of the
+line, after every positional field, so the ``<nbytes>`` indices in
 :data:`DATA_COMMANDS` (counted from the front) are unaffected.  Keys
-never start with ``@`` in this codebase, so the token is unambiguous.
+never start with ``@`` in this codebase, so the tokens are unambiguous.
+
+**Pipelining.**  Commands may be pipelined: a client may write N
+request frames back-to-back and then read the N replies, which the
+server produces in request order on each connection.  Framing is
+unchanged -- each request is a complete line (plus announced data
+block), each reply is a complete line or ``END``-terminated block -- so
+a pipelined stream is byte-identical to the same commands issued one at
+a time.
 """
 
 from repro.errors import ProtocolError
@@ -51,15 +78,27 @@ DATA_COMMANDS = {
 class LineReader:
     """Incremental reader over a socket-like object with ``recv``.
 
+    Bytes are received in large chunks into one growing buffer and
+    consumed by advancing a read offset, so draining a pipelined burst
+    of N frames costs one ``recv`` plus N slice-outs -- the historical
+    implementation re-copied the unconsumed remainder on every line,
+    which is quadratic exactly when pipelining makes the buffer deep.
+    The consumed prefix is compacted away only once it is large and
+    dominates the buffer.
+
     ``injector`` is an optional :class:`repro.faults.FaultInjector`; when
     installed, every refill fires the ``net.recv`` site, which can drop
     the connection, delay, or corrupt the incoming chunk.  The default
     path carries only a ``None`` check.
     """
 
+    #: Compact the buffer once this many consumed bytes accumulate.
+    _COMPACT_THRESHOLD = 65536
+
     def __init__(self, sock, chunk_size=65536, injector=None):
         self._sock = sock
-        self._buffer = b""
+        self._buffer = bytearray()
+        self._pos = 0
         self._chunk_size = chunk_size
         self._injector = injector
 
@@ -74,6 +113,10 @@ class LineReader:
 
             chunk = corrupt_bytes(chunk)
             self._corrupt_armed = False
+        if self._pos and self._pos == len(self._buffer):
+            # Everything was consumed: restart the buffer for free.
+            del self._buffer[:]
+            self._pos = 0
         self._buffer += chunk
 
     _corrupt_armed = False
@@ -93,27 +136,66 @@ class LineReader:
         if rule.action is FaultAction.CORRUPT:
             self._corrupt_armed = True
 
+    def _compact(self):
+        if (self._pos >= self._COMPACT_THRESHOLD
+                and self._pos * 2 >= len(self._buffer)):
+            del self._buffer[:self._pos]
+            self._pos = 0
+
+    def pending(self):
+        """True when a complete line is already buffered (no blocking).
+
+        The server's dispatch loop uses this to keep draining pipelined
+        commands before flushing its replies.
+        """
+        return self._buffer.find(CRLF, self._pos) != -1
+
     def read_line(self):
         """Read one CRLF-terminated line (returned without the CRLF)."""
-        while CRLF not in self._buffer:
+        while True:
+            end = self._buffer.find(CRLF, self._pos)
+            if end != -1:
+                break
             self._fill()
-        line, self._buffer = self._buffer.split(CRLF, 1)
+        line = bytes(self._buffer[self._pos:end])
+        self._pos = end + len(CRLF)
+        self._compact()
         return line
 
     def read_bytes(self, count):
         """Read exactly ``count`` bytes plus the trailing CRLF."""
-        needed = count + len(CRLF)
+        needed = self._pos + count + len(CRLF)
         while len(self._buffer) < needed:
             self._fill()
-        data = self._buffer[:count]
-        if self._buffer[count:needed] != CRLF:
+        data = bytes(self._buffer[self._pos:self._pos + count])
+        if self._buffer[self._pos + count:needed] != CRLF:
             raise ProtocolError("data block not terminated by CRLF")
-        self._buffer = self._buffer[needed:]
+        self._pos = needed
+        self._compact()
         return data
 
 
 #: Prefix of the optional trailing trace token on a request line.
 TRACE_TOKEN_PREFIX = "@t"
+
+#: Prefix of the optional trailing session-TID token (``iqmget`` only).
+SESSION_TOKEN_PREFIX = "@s"
+
+
+def split_session_token(args):
+    """Pop a trailing ``@s<tid>`` session token from parsed ``args``.
+
+    Returns ``(args, tid)`` where ``tid`` is ``None`` when no well-formed
+    token is present.  Mirrors :func:`split_trace_token`; when both tokens
+    ride one line the trace token comes last, so strip it first.
+    """
+    if args and args[-1].startswith(SESSION_TOKEN_PREFIX):
+        try:
+            tid = int(args[-1][len(SESSION_TOKEN_PREFIX):])
+        except ValueError:
+            return args, None
+        return args[:-1], tid
+    return args, None
 
 
 def split_trace_token(args):

@@ -23,8 +23,12 @@ the paper's degradation contract needs end-to-end over TCP:
   the SQL engine, writes applied to SQL only with their keys journaled;
 * **delete-on-recover reconciliation** -- keys written while degraded are
   recorded in :attr:`journal`; before the first operation of a recovered
-  circuit executes, those keys are deleted from the cache so a stale
-  pre-partition value can never be served again.
+  circuit executes, those keys are deleted from the cache (one ``mdelete``
+  round trip) so a stale pre-partition value can never be served again;
+* **connection pooling** -- up to ``NetConfig.pool_size`` connections are
+  kept live, so concurrent callers run their exchanges in parallel
+  instead of serializing on one socket; :meth:`pipeline` checks a pooled
+  connection out for a whole batched exchange.
 
 The class exposes the full IQ + memcached method surface, so
 ``IQClient`` and everything above it run unchanged.
@@ -37,9 +41,10 @@ from repro.errors import (
     CircuitOpenError,
     ConnectionLostError,
     OperationTimeout,
+    ProtocolError,
 )
 from repro.core.backend import LeaseBackend
-from repro.net.client import RemoteIQServer
+from repro.net.client import Pipeline, RemoteIQServer
 from repro.obs.trace import get_tracer
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
@@ -163,6 +168,11 @@ class ReconciliationJournal:
         with self._lock:
             self.total_reconciled += count
 
+    def remove(self, keys):
+        """Forget ``keys`` (they were confirmed deleted from the cache)."""
+        with self._lock:
+            self._keys.difference_update(keys)
+
     def __len__(self):
         with self._lock:
             return len(self._keys)
@@ -176,17 +186,105 @@ class ReconciliationJournal:
 #: session state on first application (a replay is a no-op); ``delete`` is
 #: naturally idempotent; ``iq_get`` re-issues at worst a fresh lease.
 _IDEMPOTENT = frozenset({
-    "gen_id", "iq_get", "release_i", "dar", "commit", "abort",
-    "get", "gets", "delete", "touch", "flush_all", "stats", "version",
+    "gen_id", "iq_get", "iq_mget", "release_i", "dar", "commit", "abort",
+    "get", "gets", "delete", "mdelete", "touch", "flush_all", "stats",
+    "version",
 })
 
 #: Never blind-retried: replaying would double-apply a change (``sar``,
 #: ``iq_delta``, storage commands) or re-register work under an outcome
-#: the client cannot see (``qar``, ``qaread``).
+#: the client cannot see (``qar``, ``qar_many``, ``qaread``).
 _NON_IDEMPOTENT = frozenset({
-    "qar", "qaread", "sar", "iq_set", "iq_delta", "propose_refresh",
+    "qar", "qar_many", "qaread", "sar", "iq_set", "iq_delta",
+    "propose_refresh",
     "set", "add", "replace", "append", "prepend", "cas", "incr", "decr",
 })
+
+
+class ConnectionPool:
+    """Bounded, thread-safe pool of :class:`RemoteIQServer` connections.
+
+    ``dial`` is a zero-argument factory; ``max_size`` bounds the number
+    of live connections.  ``acquire`` hands out an idle connection,
+    dials a new one while under the bound, or blocks until a peer
+    releases.  Broken (poisoned) connections are closed and shed on
+    release, so the pool only ever hands out connections that were
+    healthy when last seen.
+    """
+
+    def __init__(self, dial, max_size):
+        self._dial = dial
+        self._max = max(1, max_size)
+        self._cond = threading.Condition()
+        self._idle = []
+        self._total = 0
+        self._closed = False
+
+    def acquire(self):
+        stale = []
+        try:
+            with self._cond:
+                while True:
+                    if self._closed:
+                        raise ConnectionLostError(
+                            "connection pool is closed"
+                        )
+                    if self._idle:
+                        conn = self._idle.pop()
+                        if conn.broken:
+                            self._total -= 1
+                            stale.append(conn)
+                            continue
+                        return conn
+                    if self._total < self._max:
+                        self._total += 1
+                        break
+                    self._cond.wait()
+        finally:
+            for conn in stale:
+                self._close_quietly(conn)
+        try:
+            return self._dial()
+        except BaseException:
+            with self._cond:
+                self._total -= 1
+                self._cond.notify()
+            raise
+
+    def release(self, conn):
+        """Return a connection; a broken one is closed and its slot freed."""
+        with self._cond:
+            if conn.broken or self._closed:
+                self._total -= 1
+            else:
+                self._idle.append(conn)
+                conn = None
+            self._cond.notify()
+        if conn is not None:
+            self._close_quietly(conn)
+
+    def discard(self, conn):
+        """Drop a connection the caller saw fail (frees its slot)."""
+        with self._cond:
+            self._total -= 1
+            self._cond.notify()
+        self._close_quietly(conn)
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._total -= len(idle)
+            self._cond.notify_all()
+        for conn in idle:
+            self._close_quietly(conn)
+
+    @staticmethod
+    def _close_quietly(conn):
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 class ResilientIQServer(LeaseBackend):
@@ -210,8 +308,9 @@ class ResilientIQServer(LeaseBackend):
             clock=self.clock,
         )
         self.journal = ReconciliationJournal()
-        self._lock = threading.RLock()
-        self._conn = None
+        self._pool = ConnectionPool(self._dial, self.config.pool_size)
+        self._reconcile_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
         self._tracer = get_tracer()
         #: lifetime counters for reporting
         self.reconnects = 0
@@ -220,33 +319,22 @@ class ResilientIQServer(LeaseBackend):
 
     # -- connection management ----------------------------------------------
 
-    def _connect(self):
-        """Return a live connection, dialing a new one if needed."""
-        if self._conn is not None and not self._conn.broken:
-            return self._conn
-        self._conn = None
+    def _dial(self):
+        """Connection factory for the pool."""
         conn = RemoteIQServer(
             self.host, self.port,
             timeout=self.config.operation_timeout,
             injector=self._injector,
         )
-        self._conn = conn
-        self.reconnects += 1
+        with self._counter_lock:
+            self.reconnects += 1
+            count = self.reconnects
         if self._tracer.active:
-            self._tracer.emit("net.reconnect", count=self.reconnects)
+            self._tracer.emit("net.reconnect", count=count)
         return conn
 
-    def _discard(self):
-        conn, self._conn = self._conn, None
-        if conn is not None:
-            try:
-                conn.close()
-            except OSError:
-                pass
-
     def close(self):
-        with self._lock:
-            self._discard()
+        self._pool.close()
 
     def __enter__(self):
         return self
@@ -257,59 +345,101 @@ class ResilientIQServer(LeaseBackend):
 
     # -- the resilient call path ---------------------------------------------
 
+    def _note_failure(self):
+        self.circuit.record_failure()
+        with self._counter_lock:
+            self.failures += 1
+
     def _call(self, name, *args):
-        """Run one operation with timeout/reconnect/retry/breaker logic."""
+        """Run one operation with timeout/reconnect/retry/breaker logic.
+
+        Each attempt checks a connection out of the pool, so concurrent
+        callers no longer serialize on one socket; only reconciliation
+        after a recovery is a (brief) global critical section.
+        """
         retriable = name in _IDEMPOTENT
         attempts_left = self.config.max_retries if retriable else 0
         delays = None
-        with self._lock:
-            while True:
-                self.circuit.allow()
-                try:
-                    conn = self._connect()
-                    if self.config.reconcile_on_recover and self.journal:
-                        self._reconcile(conn)
-                    result = getattr(conn, name)(*args)
-                except (ConnectionLostError, OperationTimeout):
-                    self._discard()
-                    self.circuit.record_failure()
-                    self.failures += 1
-                    if attempts_left <= 0:
-                        raise
-                    attempts_left -= 1
+        while True:
+            self.circuit.allow()
+            conn = None
+            try:
+                conn = self._pool.acquire()
+                self._ensure_reconciled(conn)
+                result = getattr(conn, name)(*args)
+            except (ConnectionLostError, OperationTimeout):
+                if conn is not None:
+                    self._pool.discard(conn)
+                self._note_failure()
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                with self._counter_lock:
                     self.retries += 1
-                    if self._tracer.active:
-                        self._tracer.emit("net.retry", op=name,
-                                          attempts_left=attempts_left)
-                    if delays is None:
-                        delays = self._backoff.delays()
-                    self.clock.sleep(next(delays))
-                    continue
-                self.circuit.record_success()
-                return result
+                if self._tracer.active:
+                    self._tracer.emit("net.retry", op=name,
+                                      attempts_left=attempts_left)
+                if delays is None:
+                    delays = self._backoff.delays()
+                self.clock.sleep(next(delays))
+                continue
+            except BaseException:
+                # Semantic errors (QuarantinedError ...) leave the
+                # connection healthy; a framing error poisoned it and
+                # release() sheds it.
+                if conn is not None:
+                    self._pool.release(conn)
+                raise
+            self._pool.release(conn)
+            self.circuit.record_success()
+            return result
 
-    def _reconcile(self, conn):
+    def _ensure_reconciled(self, conn):
         """Delete-on-recover: purge keys written while the cache was
         unreachable *before* any regular operation touches it.
 
-        Runs on the raw connection so a reconciliation failure surfaces
-        as the current call's connection failure (breaker accounting
-        included) rather than recursing through :meth:`_call`.
+        Keys stay journaled until the ``mdelete`` confirms, and every
+        operation that sees a non-empty journal waits on the lock -- so
+        no concurrent caller can read a possibly-stale journaled key
+        while reconciliation is still in flight.  Runs on the raw
+        connection so a reconciliation failure surfaces as the current
+        call's connection failure (breaker accounting included) rather
+        than recursing through :meth:`_call`.
         """
-        keys = self.journal.drain()
-        if self._tracer.active:
-            self._tracer.emit("net.reconcile", keys=len(keys))
-        done = 0
+        if not self.config.reconcile_on_recover or not self.journal:
+            return
+        with self._reconcile_lock:
+            keys = self.journal.peek()
+            if not keys:
+                return
+            if self._tracer.active:
+                self._tracer.emit("net.reconcile", keys=len(keys))
+            # One pipelined round trip; on failure the keys were never
+            # removed from the journal (deletes are idempotent, so the
+            # next recovery simply re-deletes them all).
+            conn.mdelete(keys)
+            self.journal.remove(keys)
+            self.journal.mark_reconciled(len(keys))
+
+    # -- pipelined batches -----------------------------------------------------
+
+    def pipeline(self):
+        """Check a pooled connection out and return a batch context.
+
+        The connection is returned to the pool when the pipeline
+        executes (or its ``with`` block exits); a transport failure
+        anywhere in the batch discards the connection and trips the
+        breaker accounting, exactly like a single failed call.
+        """
+        self.circuit.allow()
+        conn = self._pool.acquire()
         try:
-            for key in keys:
-                conn.delete(key)
-                done += 1
-        except (ConnectionLostError, OperationTimeout):
-            # Put the unfinished tail back for the next recovery.
-            self.journal.add(keys[done:])
+            self._ensure_reconciled(conn)
+        except BaseException:
+            self._pool.discard(conn)
+            self._note_failure()
             raise
-        finally:
-            self.journal.mark_reconciled(done)
+        return _PooledPipeline(self, conn)
 
     # -- IQ command surface ---------------------------------------------------
 
@@ -360,6 +490,17 @@ class ResilientIQServer(LeaseBackend):
     def abort(self, tid):
         return self._call("abort", tid)
 
+    # -- multi-key commands ----------------------------------------------------
+
+    def iq_mget(self, keys, session=None):
+        return self._call("iq_mget", list(keys), session)
+
+    def qar_many(self, tid, keys):
+        return self._call("qar_many", tid, list(keys))
+
+    def mdelete(self, keys):
+        return self._call("mdelete", list(keys))
+
     # -- memcached command surface --------------------------------------------
 
     def get(self, key):
@@ -406,3 +547,47 @@ class ResilientIQServer(LeaseBackend):
 
     def version(self):
         return self._call("version")
+
+
+class _PooledPipeline(Pipeline):
+    """A :class:`~repro.net.client.Pipeline` over a pooled connection.
+
+    Settles the connection back into (or out of) the owner's pool when
+    the batch completes, with the same breaker accounting as
+    ``ResilientIQServer._call``.  Pipelines are never blindly retried:
+    a batch typically mixes idempotent and non-idempotent commands, so
+    an interrupted batch surfaces its typed error and the caller decides.
+    """
+
+    def __init__(self, owner, conn):
+        super().__init__(conn)
+        self._owner = owner
+        self._settled = False
+
+    def _settle(self, failed):
+        if self._settled:
+            return
+        self._settled = True
+        if failed:
+            self._owner._pool.discard(self._conn)
+            self._owner._note_failure()
+        else:
+            self._owner._pool.release(self._conn)
+            self._owner.circuit.record_success()
+
+    def execute(self):
+        try:
+            results = super().execute()
+        except (ConnectionLostError, OperationTimeout, ProtocolError):
+            self._settle(failed=True)
+            raise
+        self._settle(failed=False)
+        return results
+
+    def __exit__(self, exc_type, exc, tb):
+        try:
+            return super().__exit__(exc_type, exc, tb)
+        finally:
+            # Covers the not-executed paths (exception inside the with
+            # body); a clean exit already settled via execute().
+            self._settle(failed=self._conn.broken)

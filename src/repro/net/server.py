@@ -20,6 +20,7 @@ from repro.net.protocol import (
     data_block_size,
     error_response,
     parse_command_line,
+    split_session_token,
     split_trace_token,
     value_response,
 )
@@ -30,6 +31,12 @@ _STORE_REPLIES = {
     StoreResult.NOT_STORED: b"NOT_STORED",
     StoreResult.EXISTS: b"EXISTS",
     StoreResult.NOT_FOUND: b"NOT_FOUND",
+}
+
+_QAREG_WORDS = {
+    "granted": "GRANTED",
+    "abort": "ABORT",
+    "unavailable": "UNAVAIL",
 }
 
 
@@ -43,6 +50,13 @@ class _Handler(socketserver.BaseRequestHandler):
     itself is unparseable -- the byte count is unknowable and the stream
     cannot be resynchronized -- does the handler reply with an error and
     close the connection, exactly as memcached does.
+
+    Pipelining: replies are buffered while more complete request frames
+    are already readable, and flushed in one write just before the
+    handler would block on ``recv`` -- so a client that wrote N frames
+    back-to-back gets N replies in one segment, in request order.  Every
+    early-exit path flushes the buffer first so no acknowledged command's
+    reply is ever lost.
     """
 
     def handle(self):
@@ -56,7 +70,14 @@ class _Handler(socketserver.BaseRequestHandler):
         injector = self.server.fault_injector
         reader = LineReader(self.request, injector=injector)
         iq = self.server.iq_server
+        self._out = bytearray()
+        self._batch = 0
         while True:
+            # Drain every buffered pipelined command before flushing: only
+            # flush when the next read would block.
+            if self._out and not reader.pending():
+                if not self._flush(iq):
+                    return
             try:
                 line = reader.read_line()
             except (ConnectionError, OSError):
@@ -68,6 +89,7 @@ class _Handler(socketserver.BaseRequestHandler):
                 # dispatch below.
                 args, trace_id = split_trace_token(args)
                 if command == "quit":
+                    self._flush(iq)
                     return
                 try:
                     size = data_block_size(command, args)
@@ -75,6 +97,7 @@ class _Handler(socketserver.BaseRequestHandler):
                     # The announced size is unusable: we cannot know how
                     # many payload bytes follow, so the stream is beyond
                     # repair.  Report and hang up rather than desync.
+                    self._flush(iq)
                     self._reply(error_response("bad data block size"))
                     return
                 if size is not None:
@@ -82,6 +105,7 @@ class _Handler(socketserver.BaseRequestHandler):
                         data = reader.read_bytes(size)
                     except ProtocolError as exc:
                         # Payload not CRLF-terminated: framing is broken.
+                        self._flush(iq)
                         self._reply(error_response(str(exc)))
                         return
                 else:
@@ -108,11 +132,32 @@ class _Handler(socketserver.BaseRequestHandler):
                     exc
                 ).encode()
             if injector is not None:
+                # Reply faults must hit the wire in request order, so the
+                # buffer is flushed before this reply is doctored/dropped.
+                if not self._flush(iq):
+                    return
                 reply = self._inject_reply(injector, command, reply)
                 if reply is None:
                     return
-            if not self._reply(reply):
-                return
+            self._out += reply + CRLF
+            self._batch += 1
+
+    def _flush(self, iq):
+        """Write out the buffered replies; count batches of more than one."""
+        if not self._out:
+            return True
+        out, batch = self._out, self._batch
+        self._out = bytearray()
+        self._batch = 0
+        try:
+            self.request.sendall(bytes(out))
+        except OSError:
+            return False
+        if batch > 1:
+            stats = getattr(iq, "stats", None)
+            if stats is not None and callable(getattr(stats, "incr", None)):
+                stats.incr("pipelined_commands", batch)
+        return True
 
     def _reply(self, reply):
         try:
@@ -249,6 +294,36 @@ class _Handler(socketserver.BaseRequestHandler):
         if command == "abort":
             iq.abort(int(args[0]))
             return b"OK"
+
+        # -- multi-key extensions --------------------------------------------
+        if command == "iqmget":
+            keys, session = split_session_token(args)
+            chunks = []
+            for key, result in iq.iq_mget(keys, session=session).items():
+                if result.is_hit:
+                    header = "VALUE {} 0 {}".format(key, len(result.value))
+                    chunks.append(header.encode() + CRLF + result.value)
+                elif result.has_lease:
+                    chunks.append(
+                        "LEASE {} {}".format(key, result.token).encode()
+                    )
+                elif result.backoff:
+                    chunks.append("BACKOFF {}".format(key).encode())
+                else:
+                    chunks.append("MISS {}".format(key).encode())
+            chunks.append(b"END")
+            return CRLF.join(chunks)
+        if command == "qareg":
+            results = iq.qar_many(int(args[0]), args[1:])
+            chunks = [
+                "{} {}".format(_QAREG_WORDS[status], key).encode()
+                for key, status in results.items()
+            ]
+            chunks.append(b"END")
+            return CRLF.join(chunks)
+        if command == "mdelete":
+            hits = sum(1 for key in args if store.delete(key))
+            return "DELETED {}".format(hits).encode()
         raise ProtocolError("unknown command {!r}".format(command))
 
     def _retrieve(self, store, keys, with_cas):

@@ -82,8 +82,37 @@ class _TraceContext:
         return False
 
 
+class _NullTraceContext:
+    """The shared no-op context for untraced calls.
+
+    ``WriteSession`` wraps every KVS command in :func:`trace_context`
+    unconditionally; when tracing is off each of those wraps used to
+    allocate a fresh ``_TraceContext(None)``.  A single stateless
+    instance makes the untraced hot path allocation-free.
+    """
+
+    __slots__ = ()
+
+    trace_id = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullTraceContext()
+
+
 def trace_context(trace_id):
-    """Bind ``trace_id`` as the current trace for the ``with`` body."""
+    """Bind ``trace_id`` as the current trace for the ``with`` body.
+
+    A ``None`` id returns a shared no-op context (no allocation), so
+    call sites can wrap unconditionally without a branch.
+    """
+    if trace_id is None:
+        return _NULL_CONTEXT
     return _TraceContext(trace_id)
 
 

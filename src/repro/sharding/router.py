@@ -37,14 +37,27 @@ session may hold a partial delta proposal; the client marks the leg via
 :meth:`ShardedIQServer.poison` and the shrinking phase deletes that
 shard's keys and aborts its TID instead of committing it, so a partial
 proposal can never surface as a cached value.
+
+**Batching and parallel fan-out.**  The multi-key commands route by
+shard: :meth:`ShardedIQServer.qar_many` groups a session's write-set by
+owning shard and issues one bulk acquisition per shard (stopping at the
+first reject, like the sequential protocol), and
+:meth:`ShardedIQServer.iq_mget` reassembles per-shard bulk reads in the
+caller's key order.  The shrinking phase runs its per-shard commit and
+abort legs through a bounded :class:`_FanoutPool` when more than one
+shard was touched -- the legs are independent by construction (each
+shard holds disjoint key state), so parallelism changes latency, never
+outcomes.  ``fanout_workers=0`` (or 1) forces the serial order, which
+the model checker relies on for determinism.
 """
 
+import queue
 import threading
 
 from repro.core.backend import LeaseBackend
 from repro.errors import CacheUnavailableError, QuarantinedError
 from repro.kvs.stats import MergedCacheStats
-from repro.obs.trace import get_tracer
+from repro.obs.trace import current_trace_id, get_tracer, trace_context
 from repro.sharding.ring import ConsistentHashRing
 from repro.util.tokens import TokenGenerator
 
@@ -134,6 +147,82 @@ class _ShardSession:
         self.lock = threading.Lock()
 
 
+class _FanoutPool:
+    """A bounded pool of daemon workers for parallel shard legs.
+
+    Threads are grown lazily up to ``workers`` on first use, so a
+    router that never commits across shards never spawns any.
+    :meth:`run` executes every closure and returns results in slot
+    order; if any leg raised, the first (by slot) exception is
+    re-raised only after *all* legs have finished -- a commit fan-out
+    must never leave a leg running unobserved.
+    """
+
+    def __init__(self, workers):
+        self._max = max(1, workers)
+        self._jobs = queue.SimpleQueue()
+        self._threads = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _grow(self, wanted):
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("fan-out pool is closed")
+            target = min(wanted, self._max)
+            while len(self._threads) < target:
+                thread = threading.Thread(
+                    target=self._worker,
+                    name="iq-fanout-{}".format(len(self._threads)),
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+
+    def _worker(self):
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            fn, slot, results, errors, done = job
+            try:
+                results[slot] = fn()
+            except BaseException as exc:  # re-raised by run()
+                errors[slot] = exc
+            done.release()
+
+    def run(self, fns):
+        """Run every closure; results come back in submission order."""
+        fns = list(fns)
+        if not fns:
+            return []
+        if len(fns) == 1:
+            return [fns[0]()]
+        self._grow(len(fns))
+        results = [None] * len(fns)
+        errors = [None] * len(fns)
+        done = threading.Semaphore(0)
+        for slot, fn in enumerate(fns):
+            self._jobs.put((fn, slot, results, errors, done))
+        for _ in fns:
+            done.acquire()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+    def close(self):
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._jobs.put(None)
+        for thread in threads:
+            thread.join(timeout=1.0)
+
+
 class ShardedIQServer(LeaseBackend):
     """A consistent-hash router over N :class:`LeaseBackend` shards.
 
@@ -141,9 +230,15 @@ class ShardedIQServer(LeaseBackend):
     them (defaults to ``shard0..shardN-1``).  With one shard the router
     degenerates to pure pass-through plus TID indirection -- behaviour
     is identical to driving the backend directly.
+
+    ``fanout_workers`` bounds the thread pool used to parallelize the
+    shrinking-phase commit/abort legs across shards.  ``None`` picks
+    ``min(8, shard count)`` for multi-shard deployments; ``0`` or ``1``
+    keeps the fan-out strictly serial (shard-name order), which the
+    model checker requires for deterministic replay.
     """
 
-    def __init__(self, shards, names=None, vnodes=64):
+    def __init__(self, shards, names=None, vnodes=64, fanout_workers=None):
         shards = list(shards)
         if not shards:
             raise ValueError("at least one shard is required")
@@ -163,6 +258,10 @@ class ShardedIQServer(LeaseBackend):
         self._lock = threading.Lock()
         self.journal = ShardedJournal(self)
         self._tracer = get_tracer()
+        if fanout_workers is None:
+            fanout_workers = min(8, len(shards)) if len(shards) > 1 else 0
+        self._fanout_workers = fanout_workers
+        self._fanout = None
         #: commit/abort legs that found their shard unreachable
         self.degraded_shard_commits = 0
         self.degraded_shard_aborts = 0
@@ -170,6 +269,9 @@ class ShardedIQServer(LeaseBackend):
         self.journaled_commit_keys = 0
         #: shard legs aborted because a partial delta proposal poisoned them
         self.poisoned_shard_aborts = 0
+        #: shrinking-phase legs that ran through the parallel fan-out pool
+        self.parallel_commit_legs = 0
+        self.parallel_abort_legs = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -270,6 +372,29 @@ class ShardedIQServer(LeaseBackend):
         shard_session = self._translate(session, name)
         return self._backends[name].iq_get(key, session=shard_session)
 
+    def iq_mget(self, keys, session=None):
+        """Bulk ``IQget``: one batched call per owning shard.
+
+        Keys are grouped by shard and fetched with each shard's own
+        ``iq_mget`` (one pipelined round trip for a wire backend), then
+        reassembled in the caller's key order.  Each shard leg carries
+        the session's shard-local TID, preserving the read-your-own-
+        update view exactly as per-key :meth:`iq_get` would.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        by_shard = {}
+        for key in keys:
+            by_shard.setdefault(self.ring.node_for(key), []).append(key)
+        fetched = {}
+        for name, shard_keys in by_shard.items():
+            shard_session = self._translate(session, name)
+            fetched.update(
+                self._backends[name].iq_mget(shard_keys, session=shard_session)
+            )
+        return {key: fetched[key] for key in keys}
+
     def iq_set(self, key, value, token):
         # The token was minted by the owning shard's iq_get, so routing
         # by key always lands it back where it is valid.
@@ -293,6 +418,62 @@ class ShardedIQServer(LeaseBackend):
         result = self._backends[name].qar(self._shard_tid(session, name), key)
         self._record_key(session, name, key)
         return result
+
+    def qar_many(self, tid, keys):
+        """Bulk invalidation ``QaR``: one batched acquisition per shard.
+
+        Keys are grouped by owning shard in first-appearance order and
+        each group goes out as one ``qar_many`` call (one ``qareg``
+        round trip for a wire backend).  The sequential contract is
+        preserved: an ``"abort"`` stops acquisition -- later shards'
+        keys are never attempted and stay absent from the result -- and
+        a shard that cannot be reached (including a failure minting its
+        shard TID) marks all of its keys ``"unavailable"`` without
+        stopping the healthy shards, mirroring per-key :meth:`qar`
+        under degradation.
+        """
+        keys = list(keys)
+        if not keys:
+            return {}
+        session = self._composite(tid, keys[0])
+        by_shard = {}
+        for key in keys:
+            by_shard.setdefault(self.ring.node_for(key), []).append(key)
+        results = {}
+        for name, shard_keys in by_shard.items():
+            backend = self._backends[name]
+            try:
+                shard_tid = self._shard_tid(session, name)
+            except CacheUnavailableError:
+                for key in shard_keys:
+                    results[key] = "unavailable"
+                continue
+            bulk = getattr(backend, "qar_many", None)
+            try:
+                if bulk is not None:
+                    shard_results = bulk(shard_tid, shard_keys)
+                else:
+                    shard_results = LeaseBackend.qar_many(
+                        backend, shard_tid, shard_keys
+                    )
+            except CacheUnavailableError:
+                for key in shard_keys:
+                    results[key] = "unavailable"
+                continue
+            aborted = False
+            for key, status in shard_results.items():
+                results[key] = status
+                if status == "granted":
+                    self._record_key(session, name, key)
+                elif status == "abort":
+                    aborted = True
+            if aborted:
+                # Stop-at-first-reject across shards, like the
+                # sequential loop: the session is about to restart, so
+                # acquiring further shards' leases only to abort them
+                # wastes round trips.
+                break
+        return results
 
     def iq_delta(self, tid, key, op, operand):
         name = self.ring.node_for(key)
@@ -402,28 +583,58 @@ class ShardedIQServer(LeaseBackend):
         with self._lock:
             self.poisoned_shard_aborts += 1
 
-    def commit(self, tid):
-        session = self._pop_composite(tid)
-        if session is None:
-            return True
-        with session.lock:
-            touched = sorted(session.shard_tids.items())
-            poisoned = set(session.poisoned)
-        all_applied = True
-        tracing = self._tracer.active
-        for name, shard_tid in touched:
-            if name in poisoned:
+    def _fan_out(self, legs, counter):
+        """Run shrinking-phase leg closures, in parallel when allowed.
+
+        Shard legs touch disjoint key state, so ordering between them is
+        immaterial; parallelism kicks in only for multi-leg fan-outs
+        under a multi-worker configuration.  The caller's ambient trace
+        id is re-bound inside each pool thread so every leg's events
+        stay attributed to the composite session's trace.  ``counter``
+        names the router statistic credited with the parallel legs.
+        """
+        if len(legs) > 1 and self._fanout_workers > 1:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                legs = [self._bind_trace(leg, trace_id) for leg in legs]
+            results = self._pool().run(legs)
+            with self._lock:
+                setattr(self, counter, getattr(self, counter) + len(legs))
+            return results
+        return [leg() for leg in legs]
+
+    @staticmethod
+    def _bind_trace(leg, trace_id):
+        def bound():
+            with trace_context(trace_id):
+                return leg()
+
+        return bound
+
+    def _pool(self):
+        with self._lock:
+            if self._fanout is None:
+                self._fanout = _FanoutPool(self._fanout_workers)
+            return self._fanout
+
+    def _commit_leg(self, session, tid, name, shard_tid, is_poisoned,
+                    tracing):
+        """One shard's commit leg as a closure for :meth:`_fan_out`.
+
+        Returns True when the shard applied its changes; poisoned and
+        degraded legs return False after their respective cleanup
+        (delete-and-abort, or journal-and-detach).
+        """
+
+        def leg():
+            if is_poisoned:
                 if tracing:
                     self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
                                       outcome="poisoned")
                 self._abort_poisoned(session, name, shard_tid)
-                all_applied = False
-                continue
+                return False
             try:
                 self._backends[name].commit(shard_tid)
-                if tracing:
-                    self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
-                                      outcome="applied")
             except CacheUnavailableError:
                 with self._lock:
                     self.degraded_shard_commits += 1
@@ -431,32 +642,39 @@ class ShardedIQServer(LeaseBackend):
                     self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
                                       outcome="degraded")
                 self._detach_shard(session, name)
-                all_applied = False
+                return False
+            if tracing:
+                self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
+                                  outcome="applied")
+            return True
+
+        return leg
+
+    def commit(self, tid):
+        session = self._pop_composite(tid)
+        if session is None:
+            return True
+        with session.lock:
+            touched = sorted(session.shard_tids.items())
+            poisoned = set(session.poisoned)
+        legs = list(touched)
         for name in sorted(poisoned.difference(n for n, _ in touched)):
             # The shard failed before its TID was even minted; it holds
             # no leases or proposals, but its cached keys are stale now
             # that the SQL has committed.
-            if tracing:
-                self._tracer.emit("shard.commit.leg", tid=tid, shard=name,
-                                  outcome="poisoned")
-            self._abort_poisoned(session, name, None)
-            all_applied = False
-        return all_applied
-
-    def abort(self, tid):
-        session = self._pop_composite(tid)
-        if session is None:
-            return True
-        all_released = True
+            legs.append((name, None))
         tracing = self._tracer.active
-        with session.lock:
-            touched = sorted(session.shard_tids.items())
-        for name, shard_tid in touched:
+        closures = [
+            self._commit_leg(session, tid, name, shard_tid,
+                             name in poisoned, tracing)
+            for name, shard_tid in legs
+        ]
+        return all(self._fan_out(closures, "parallel_commit_legs"))
+
+    def _abort_leg(self, tid, name, shard_tid, tracing):
+        def leg():
             try:
                 self._backends[name].abort(shard_tid)
-                if tracing:
-                    self._tracer.emit("shard.abort.leg", tid=tid, shard=name,
-                                      outcome="released")
             except CacheUnavailableError:
                 # The shard's leases expire on their own; nothing is
                 # applied either way, so no journaling is needed.
@@ -465,19 +683,74 @@ class ShardedIQServer(LeaseBackend):
                 if tracing:
                     self._tracer.emit("shard.abort.leg", tid=tid, shard=name,
                                       outcome="degraded")
-                all_released = False
-        return all_released
+                return False
+            if tracing:
+                self._tracer.emit("shard.abort.leg", tid=tid, shard=name,
+                                  outcome="released")
+            return True
+
+        return leg
+
+    def abort(self, tid):
+        session = self._pop_composite(tid)
+        if session is None:
+            return True
+        tracing = self._tracer.active
+        with session.lock:
+            touched = sorted(session.shard_tids.items())
+        closures = [
+            self._abort_leg(tid, name, shard_tid, tracing)
+            for name, shard_tid in touched
+        ]
+        return all(self._fan_out(closures, "parallel_abort_legs"))
 
     # -- plumbing ---------------------------------------------------------------
 
+    def mdelete(self, keys):
+        """Bulk delete routed by shard; returns the total hit count."""
+        keys = list(keys)
+        if not keys:
+            return 0
+        by_shard = {}
+        for key in keys:
+            by_shard.setdefault(self.ring.node_for(key), []).append(key)
+        hits = 0
+        for name, shard_keys in by_shard.items():
+            backend = self._backends[name]
+            bulk = getattr(backend, "mdelete", None)
+            if bulk is not None:
+                hits += bulk(shard_keys)
+                continue
+            delete = getattr(backend, "delete", None)
+            if delete is None:
+                delete = backend.store.delete
+            for key in shard_keys:
+                if delete(key):
+                    hits += 1
+        return hits
+
+    def _router_counters(self):
+        """Router-level fan-out counters for the merged stats view."""
+        with self._lock:
+            return {
+                "parallel_commit_legs": self.parallel_commit_legs,
+                "parallel_abort_legs": self.parallel_abort_legs,
+            }
+
     @property
     def stats(self):
-        """A merged read-only view over every shard's counters."""
+        """A merged read-only view over every shard's counters.
+
+        Besides the per-shard sums, the view carries the router's own
+        fan-out counters (:attr:`parallel_commit_legs` /
+        :attr:`parallel_abort_legs`) as an extra callable source.
+        """
         sources = []
         for name in self.shard_names:
             stats = getattr(self._backends[name], "stats", None)
             if stats is not None:
                 sources.append(stats)
+        sources.append(self._router_counters)
         return MergedCacheStats(sources)
 
     def shard_stats(self):
@@ -524,7 +797,11 @@ class ShardedIQServer(LeaseBackend):
         return True
 
     def close(self):
-        """Close any shard backends that hold connections."""
+        """Close any shard backends that hold connections + the pool."""
+        with self._lock:
+            pool, self._fanout = self._fanout, None
+        if pool is not None:
+            pool.close()
         for name in self.shard_names:
             close = getattr(self._backends[name], "close", None)
             if close is not None:

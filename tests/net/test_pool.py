@@ -1,0 +1,170 @@
+"""ConnectionPool: concurrency, capacity, and broken-connection shedding."""
+
+import threading
+
+import pytest
+
+from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.core.iq_server import IQServer
+from repro.errors import ConnectionLostError
+from repro.net import ConnectionPool, ResilientIQServer, serve_background
+
+
+class _FakeConn:
+    def __init__(self):
+        self.broken = False
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestConnectionPoolUnit:
+    def test_reuses_released_connections(self):
+        dialed = []
+
+        def dial():
+            conn = _FakeConn()
+            dialed.append(conn)
+            return conn
+
+        pool = ConnectionPool(dial, 4)
+        first = pool.acquire()
+        pool.release(first)
+        assert pool.acquire() is first
+        assert len(dialed) == 1
+        pool.close()
+
+    def test_caps_live_connections_and_blocks(self):
+        pool = ConnectionPool(_FakeConn, 2)
+        a, b = pool.acquire(), pool.acquire()
+        grabbed = []
+
+        def worker():
+            conn = pool.acquire()
+            grabbed.append(conn)
+            pool.release(conn)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert thread.is_alive()  # blocked: both slots are out
+        pool.release(a)
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert grabbed == [a]
+        pool.release(b)
+        pool.close()
+
+    def test_broken_connection_shed_on_release(self):
+        dialed = []
+
+        def dial():
+            conn = _FakeConn()
+            dialed.append(conn)
+            return conn
+
+        pool = ConnectionPool(dial, 1)
+        conn = pool.acquire()
+        conn.broken = True
+        pool.release(conn)
+        assert conn.closed  # shed, not pooled
+        replacement = pool.acquire()
+        assert replacement is not conn
+        assert len(dialed) == 2
+        pool.release(replacement)
+        pool.close()
+
+    def test_discard_frees_capacity(self):
+        pool = ConnectionPool(_FakeConn, 1)
+        conn = pool.acquire()
+        pool.discard(conn)
+        assert conn.closed
+        fresh = pool.acquire()  # would deadlock if capacity leaked
+        assert fresh is not conn
+        pool.release(fresh)
+        pool.close()
+
+    def test_failed_dial_releases_slot_and_raises(self):
+        calls = []
+
+        def flaky_dial():
+            calls.append(1)
+            if len(calls) == 1:
+                raise ConnectionLostError("refused")
+            return _FakeConn()
+
+        pool = ConnectionPool(flaky_dial, 1)
+        with pytest.raises(ConnectionLostError):
+            pool.acquire()
+        conn = pool.acquire()  # the slot was not leaked
+        pool.release(conn)
+        pool.close()
+
+    def test_close_closes_idle_connections(self):
+        pool = ConnectionPool(_FakeConn, 2)
+        conn = pool.acquire()
+        pool.release(conn)
+        pool.close()
+        assert conn.closed
+        with pytest.raises(ConnectionLostError):
+            pool.acquire()
+
+
+class TestResilientConcurrency:
+    """The PR 5 contract: callers no longer serialize on one socket."""
+
+    def _client(self, port, pool_size):
+        return ResilientIQServer(
+            port=port,
+            config=NetConfig(connect_timeout=2.0, operation_timeout=5.0,
+                             pool_size=pool_size),
+            backoff_config=BackoffConfig(initial_delay=0.005,
+                                         max_delay=0.02, jitter=0.0),
+        )
+
+    def test_parallel_callers_all_succeed(self):
+        server, _ = serve_background(IQServer(
+            lease_config=LeaseConfig(i_lease_ttl=5, q_lease_ttl=5)
+        ))
+        client = self._client(server.port, pool_size=3)
+        errors = []
+        done = []
+
+        def worker(index):
+            try:
+                for round_ in range(20):
+                    key = "k{}-{}".format(index, round_)
+                    client.set(key, b"v")
+                    assert client.get(key) == (b"v", 0)
+                done.append(index)
+            except Exception as exc:  # surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(done) == 8
+        # The pool never dialed more than its cap.
+        assert client.reconnects <= 3
+        client.close()
+        server.shutdown()
+
+    def test_concurrent_pipelines_get_distinct_connections(self):
+        server, _ = serve_background()
+        client = self._client(server.port, pool_size=2)
+        first = client.pipeline()
+        second = client.pipeline()
+        assert first._conn is not second._conn
+        first.set("a", b"1")
+        second.set("b", b"2")
+        assert first.execute() is not None
+        assert second.execute() is not None
+        assert client.get("a") == (b"1", 0)
+        assert client.get("b") == (b"2", 0)
+        client.close()
+        server.shutdown()

@@ -40,6 +40,59 @@ class TestLineReader:
         with pytest.raises(ConnectionError):
             reader.read_line()
 
+    def test_many_buffered_frames_read_without_extra_recv(self):
+        # The pipelined path: one recv delivers N frames; every one must
+        # come back intact, in order, without touching the socket again.
+        frames = b"".join(
+            b"line%d\r\n" % i for i in range(100)
+        )
+        sock = FakeSocket(frames + b"")
+        reader = LineReader(sock)
+        for i in range(100):
+            assert reader.read_line() == b"line%d" % i
+        assert sock.payload == b""  # single fill consumed everything
+
+    def test_pending_reports_buffered_complete_lines(self):
+        reader = LineReader(FakeSocket(b"one\r\ntwo\r\npartial"))
+        assert not reader.pending()  # nothing buffered before first read
+        assert reader.read_line() == b"one"
+        assert reader.pending()  # "two" is complete in the buffer
+        assert reader.read_line() == b"two"
+        assert not reader.pending()  # "partial" has no CRLF yet
+
+    def test_interleaved_lines_and_data_blocks_stay_framed(self):
+        # PR 1 framing discipline over the buffered reader: a data block
+        # whose payload contains CRLF (even b"END\r\n") must never be
+        # parsed as a line, and the frame after it must start clean.
+        payload = b"x\r\nEND\r\n"
+        stream = (
+            b"VALUE k 0 %d\r\n" % len(payload) + payload + b"\r\n"
+            + b"END\r\n"
+            + b"STORED\r\n"
+        )
+        reader = LineReader(FakeSocket(stream), chunk_size=5)
+        assert reader.read_line() == b"VALUE k 0 %d" % len(payload)
+        assert reader.read_bytes(len(payload)) == payload
+        assert reader.read_line() == b"END"
+        assert reader.read_line() == b"STORED"
+
+    def test_torn_data_block_missing_crlf_still_rejected(self):
+        # Regression for the PR 1 desync fix: the buffered path must
+        # reject a block whose terminator bytes are data, not CRLF.
+        reader = LineReader(FakeSocket(b"head\r\nabcdeXXtail\r\n"))
+        assert reader.read_line() == b"head"
+        with pytest.raises(ProtocolError):
+            reader.read_bytes(5)
+
+    def test_compaction_preserves_stream_position(self):
+        # Force many small frames past the compaction threshold and make
+        # sure no byte is lost or re-served when the prefix is dropped.
+        count = 20000  # ~180KB of frames, well past _COMPACT_THRESHOLD
+        frames = b"".join(b"n%d\r\n" % i for i in range(count))
+        reader = LineReader(FakeSocket(frames), chunk_size=1 << 20)
+        for i in range(count):
+            assert reader.read_line() == b"n%d" % i
+
 
 class TestCommandParsing:
     def test_lowercases_command(self):

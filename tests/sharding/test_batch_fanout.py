@@ -1,0 +1,394 @@
+"""Batched routing and parallel shard fan-out (PR 5).
+
+Two claims under test.  First, the multi-key commands (``qar_many`` /
+``iq_mget`` / ``mdelete``) route by owning shard while preserving the
+sequential per-key contract exactly -- stop-at-first-reject, per-shard
+degradation, read-your-own-update.  Second, running the shrinking-phase
+legs through the fan-out pool changes *latency only*: a parallel router
+and a serial one driven through identical histories end in identical
+states, including the degraded and poisoned paths.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.errors import CacheUnavailableError
+from repro.kvs.stats import CacheStats, MergedCacheStats
+from repro.obs.trace import get_tracer, recording, trace_context
+from repro.sharding import ShardedIQServer
+from repro.sharding.router import _FanoutPool
+
+from tests.sharding.test_degraded_shards import FlakyShard
+from tests.sharding.test_sharded_server import keys_on_distinct_shards
+
+
+def make_pair(count=4, flaky=False):
+    """Twin fleets behind a serial router and a parallel router."""
+    routers = []
+    for workers in (0, count):
+        shards = [IQServer() for _ in range(count)]
+        if flaky:
+            shards = [FlakyShard(s) for s in shards]
+        routers.append(
+            ShardedIQServer(shards, fanout_workers=workers)
+        )
+    return routers  # [serial, parallel]
+
+
+def populate(router, keys, value=b"base"):
+    for key in keys:
+        got = router.iq_get(key)
+        assert got.has_lease
+        assert router.iq_set(key, value, got.token)
+
+
+def contents(router, keys):
+    return {key: router.shard_for(key).store.get(key) for key in keys}
+
+
+# ---------------------------------------------------------------------------
+# The fan-out pool itself
+# ---------------------------------------------------------------------------
+
+class TestFanoutPool:
+    def test_results_come_back_in_slot_order(self):
+        pool = _FanoutPool(4)
+        try:
+            delays = [0.03, 0.0, 0.02, 0.01]
+
+            def leg(slot):
+                def run():
+                    time.sleep(delays[slot])
+                    return slot
+                return run
+
+            assert pool.run([leg(i) for i in range(4)]) == [0, 1, 2, 3]
+        finally:
+            pool.close()
+
+    def test_single_leg_runs_inline_without_threads(self):
+        pool = _FanoutPool(4)
+        try:
+            assert pool.run([]) == []
+            assert pool.run([lambda: threading.current_thread()]) == [
+                threading.main_thread()
+            ]
+            assert pool._threads == []  # nothing was ever spawned
+        finally:
+            pool.close()
+
+    def test_first_by_slot_error_raised_after_all_legs_finish(self):
+        pool = _FanoutPool(4)
+        finished = []
+        try:
+            def ok(slot):
+                def run():
+                    time.sleep(0.02)
+                    finished.append(slot)
+                return run
+
+            def boom(message):
+                def run():
+                    raise CacheUnavailableError(message)
+                return run
+
+            with pytest.raises(CacheUnavailableError, match="first"):
+                pool.run([boom("first"), ok(1), boom("second"), ok(3)])
+            # The failure was held until every leg completed -- a commit
+            # fan-out must never leave a leg running unobserved.
+            assert sorted(finished) == [1, 3]
+        finally:
+            pool.close()
+
+    def test_closed_pool_refuses_multi_leg_work(self):
+        pool = _FanoutPool(2)
+        assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            pool.run([lambda: 1, lambda: 2])
+
+
+# ---------------------------------------------------------------------------
+# Multi-key commands route by shard, same contract as the per-key loop
+# ---------------------------------------------------------------------------
+
+class TestBatchedRouting:
+    def test_qar_many_grants_across_shards_and_commit_invalidates(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        keys = keys_on_distinct_shards(router, 3)
+        populate(router, keys)
+        tid = router.gen_id()
+        statuses = router.qar_many(tid, keys)
+        assert statuses == {key: "granted" for key in keys}
+        assert router.commit(tid)
+        for key in keys:
+            assert router.shard_for(key).store.get(key) is None
+        assert router.session_count() == 0
+
+    def test_qar_many_abort_stops_later_shards(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        first, conflicted, never = keys_on_distinct_shards(router, 3)
+        holder = router.gen_id()
+        # An exclusive (QaRead) holder: the rival's invalidation QaR on
+        # the same key rejects (Fig. 5a).
+        router.qaread(conflicted, holder)
+        rival = router.gen_id()
+        statuses = router.qar_many(rival, [first, conflicted, never])
+        assert statuses == {first: "granted", conflicted: "abort"}
+        # Stop-at-first-reject across shards: the third shard was never
+        # touched -- no shard TID minted, no server-side session there.
+        assert never not in statuses
+        third = router.backend(router.shard_name_for(never))
+        assert third.session_count() == 0
+        assert router.abort(rival)
+
+    def test_qar_many_unreachable_shard_degrades_only_its_keys(self):
+        shards = [FlakyShard(IQServer()) for _ in range(3)]
+        router = ShardedIQServer(shards)
+        keys = keys_on_distinct_shards(router, 3)
+        down_name = router.shard_name_for(keys[1])
+        router.backend(down_name).fail_after["gen_id"] = 0
+        tid = router.gen_id()
+        statuses = router.qar_many(tid, keys)
+        assert statuses[keys[1]] == "unavailable"
+        assert statuses[keys[0]] == "granted"
+        assert statuses[keys[2]] == "granted"
+        assert router.commit(tid)
+
+    def test_iq_mget_reassembles_in_caller_order(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        keys = keys_on_distinct_shards(router, 3)
+        populate(router, [keys[0]], b"v0")
+        results = router.iq_mget([keys[2], keys[0], keys[1]])
+        assert list(results) == [keys[2], keys[0], keys[1]]
+        assert results[keys[0]].is_hit and results[keys[0]].value == b"v0"
+        assert results[keys[1]].has_lease
+        assert results[keys[2]].has_lease
+        assert router.iq_mget([]) == {}
+
+    def test_iq_mget_carries_shard_local_session(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        mine, other = keys_on_distinct_shards(router, 2)
+        populate(router, [mine], b"v")
+        tid = router.gen_id()
+        assert router.qar(tid, mine)
+        results = router.iq_mget([mine, other], session=tid)
+        # Read-your-own-update on the quarantined key: a miss without
+        # back-off, translated to the owning shard's local TID.
+        assert not results[mine].is_hit
+        assert not results[mine].backoff
+        # A bystander is served the pending version during quarantine.
+        plain = router.iq_mget([mine])
+        assert plain[mine].is_hit and plain[mine].value == b"v"
+        assert router.abort(tid)
+
+    def test_mdelete_routes_and_counts_across_shards(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        keys = keys_on_distinct_shards(router, 3)
+        populate(router, keys[:2])
+        assert router.mdelete(keys) == 2  # third key was never cached
+        for key in keys:
+            assert router.shard_for(key).store.get(key) is None
+        assert router.mdelete([]) == 0
+
+    def test_mdelete_falls_back_to_per_key_delete(self):
+        class NoBulk:
+            """A duck-typed shard with only the per-key surface."""
+
+            def __init__(self):
+                self.server = IQServer()
+                self.store = self.server.store
+
+            def __getattr__(self, name):
+                if name in ("mdelete", "delete"):
+                    raise AttributeError(name)
+                return getattr(self.server, name)
+
+        router = ShardedIQServer([NoBulk(), NoBulk()])
+        keys = keys_on_distinct_shards(router, 2)
+        populate(router, keys)
+        assert router.mdelete(keys) == 2
+        for key in keys:
+            assert router.shard_for(key).store.get(key) is None
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out parity: same outcomes as the serial order
+# ---------------------------------------------------------------------------
+
+class TestParallelFanoutParity:
+    def test_commit_parity_and_counters(self):
+        serial, parallel = make_pair(4)
+        for router in (serial, parallel):
+            keys = keys_on_distinct_shards(router, 4)
+            populate(router, keys)
+            tid = router.gen_id()
+            assert router.qar_many(tid, keys) == {
+                key: "granted" for key in keys
+            }
+            assert router.commit(tid)
+            assert contents(router, keys) == {key: None for key in keys}
+            assert router.session_count() == 0
+        assert serial.parallel_commit_legs == 0
+        assert parallel.parallel_commit_legs == 4
+        serial.close()
+        parallel.close()
+
+    def test_abort_parity_and_counters(self):
+        serial, parallel = make_pair(4)
+        for router in (serial, parallel):
+            keys = keys_on_distinct_shards(router, 2)
+            populate(router, keys, b"kept")
+            tid = router.gen_id()
+            for key in keys:
+                router.qar(tid, key)
+            assert router.abort(tid)
+            # Nothing applied: aborted invalidations leave values alone.
+            assert all(
+                value == (b"kept", 0)
+                for value in contents(router, keys).values()
+            )
+        assert serial.parallel_abort_legs == 0
+        assert parallel.parallel_abort_legs == 2
+        serial.close()
+        parallel.close()
+
+    def test_single_shard_commit_stays_on_the_serial_path(self):
+        _, parallel = make_pair(4)
+        key = keys_on_distinct_shards(parallel, 1)[0]
+        tid = parallel.gen_id()
+        parallel.qar(tid, key)
+        assert parallel.commit(tid)
+        assert parallel.parallel_commit_legs == 0  # one leg: no fan-out
+        parallel.close()
+
+    def test_degraded_leg_parity(self):
+        serial, parallel = make_pair(4, flaky=True)
+        observed = []
+        for router in (serial, parallel):
+            keys = keys_on_distinct_shards(router, 3)
+            populate(router, keys)
+            down = router.shard_name_for(keys[1])
+            tid = router.gen_id()
+            assert router.qar_many(tid, keys) == {
+                key: "granted" for key in keys
+            }
+            router.backend(down).fail_after["commit"] = 0
+            assert not router.commit(tid)
+            observed.append((
+                router.degraded_shard_commits,
+                router.journaled_commit_keys,
+                router.journal.peek(),
+                # Healthy shards invalidated; the degraded shard still
+                # serves the stale value until reconciliation.
+                contents(router, keys),
+            ))
+        serial_view, parallel_view = observed
+        assert serial_view == parallel_view
+        assert serial_view[0] == 1  # one degraded commit leg
+        assert serial_view[3][keys[1]] is not None
+        assert serial_view[3][keys[0]] is None
+        serial.close()
+        parallel.close()
+
+    def test_poisoned_leg_parity(self):
+        serial, parallel = make_pair(4)
+        for router in (serial, parallel):
+            keys = keys_on_distinct_shards(router, 2)
+            populate(router, keys, b"base")
+            tid = router.gen_id()
+            assert router.iq_delta(tid, keys[0], "append", b"+x")
+            assert router.poison(tid, keys[1])
+            assert not router.commit(tid)
+            final = contents(router, keys)
+            assert final[keys[0]] == (b"base+x", 0)  # healthy leg applied
+            assert final[keys[1]] is None  # poisoned leg deleted
+            assert router.poisoned_shard_aborts == 1
+            assert router.session_count() == 0
+        serial.close()
+        parallel.close()
+
+    def test_parallel_legs_keep_the_ambient_trace(self):
+        _, parallel = make_pair(4)
+        tracer = get_tracer()
+        keys = keys_on_distinct_shards(parallel, 3)
+        populate(parallel, keys)
+        tid = parallel.gen_id()
+        for key in keys:
+            parallel.qar(tid, key)
+        trace_id = tracer.new_trace()
+        with recording() as events:
+            with trace_context(trace_id):
+                assert parallel.commit(tid)
+        legs = [e for e in events.events() if e.name == "shard.commit.leg"]
+        assert len(legs) == 3
+        # Every pool thread re-bound the caller's trace before running
+        # its leg, so the whole fan-out stays on one trace.
+        assert {e.trace_id for e in legs} == {trace_id}
+        parallel.close()
+
+
+# ---------------------------------------------------------------------------
+# Merged batch counters
+# ---------------------------------------------------------------------------
+
+class TestMergedBatchCounters:
+    def test_merges_stats_objects_and_callables(self):
+        a, b = CacheStats(), CacheStats()
+        a.incr("pipelined_commands", 3)
+        b.incr("pipelined_commands", 4)
+        a.incr("batched_qar_grants", 2)
+
+        def router_counters():
+            return {"parallel_commit_legs": 5, "parallel_abort_legs": 1}
+
+        merged = MergedCacheStats([a, b, router_counters]).snapshot()
+        assert merged["pipelined_commands"] == 7
+        assert merged["batched_qar_grants"] == 2
+        assert merged["parallel_commit_legs"] == 5
+        assert merged["parallel_abort_legs"] == 1
+
+    def test_router_counters_present_even_without_sources(self):
+        merged = MergedCacheStats([]).snapshot()
+        for name in MergedCacheStats.ROUTER_COUNTERS:
+            assert merged[name] == 0
+        assert merged["pipelined_commands"] == 0
+
+    def test_unreachable_callable_source_contributes_nothing(self):
+        healthy = CacheStats()
+        healthy.incr("batched_qar_grants", 6)
+
+        def down():
+            raise CacheUnavailableError("shard down")
+
+        view = MergedCacheStats([healthy, down])
+        assert view.get("batched_qar_grants") == 6
+
+    def test_router_stats_sum_batch_counters_across_shards(self):
+        router = ShardedIQServer([IQServer() for _ in range(3)])
+        keys = keys_on_distinct_shards(router, 3)
+        tid = router.gen_id()
+        assert router.qar_many(tid, keys) == {
+            key: "granted" for key in keys
+        }
+        # Each shard counted its own bulk grants; the merged view sums
+        # them back to the write-set size.
+        assert router.stats.get("batched_qar_grants") == 3
+        assert router.commit(tid)
+
+    def test_router_stats_carry_fanout_counters(self):
+        serial, parallel = make_pair(3)
+        for router in (serial, parallel):
+            keys = keys_on_distinct_shards(router, 3)
+            tid = router.gen_id()
+            for key in keys:
+                router.qar(tid, key)
+            assert router.commit(tid)
+        assert serial.stats.get("parallel_commit_legs") == 0
+        assert parallel.stats.get("parallel_commit_legs") == 3
+        serial.close()
+        parallel.close()
