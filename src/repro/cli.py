@@ -27,6 +27,12 @@
         runs the acceptance sweep over the six figure pairs: every
         unleased baseline scenario must race (the minimal shrunk
         schedule is printed) and every IQ scenario must explore clean.
+
+    python -m repro ring add|remove|status [--shards N] [--keys K]
+        Online shard rebalancing demo: build a sharded cluster, migrate
+        keys onto a joining shard (or off a leaving one) while reader
+        threads hammer the router, and report stale-read counts (which
+        must be zero) plus the resulting topology.
 """
 
 import argparse
@@ -196,6 +202,105 @@ def _cmd_mc(args):
     return 0 if ok else 1
 
 
+def _build_ring_cluster(shards, keys):
+    from repro.core.iq_server import IQServer
+    from repro.sharding import ShardedIQServer
+
+    router = ShardedIQServer(
+        [IQServer() for _ in range(shards)]
+    )
+    expected = {}
+    for i in range(keys):
+        key = "key{}".format(i)
+        value = "value-{}".format(i).encode()
+        router.shard_for(key).store.set(key, value)
+        expected[key] = value
+    return router, expected
+
+
+def _print_ring_status(router, expected):
+    spread = router.ring.view().spread(expected)
+    print("epoch {}  shards {}".format(
+        router.epoch, ",".join(router.shard_names)
+    ))
+    for name in router.shard_names:
+        print("  {:<8} {:>5} keys".format(name, spread.get(name, 0)))
+
+
+def _migrate_under_load(router, expected, mutate):
+    """Run ``mutate`` while readers hammer the router; count stale reads."""
+    import threading
+
+    from repro.sharding import Rebalancer
+
+    stop = threading.Event()
+    stale = []
+
+    def reader():
+        keys = sorted(expected)
+        index = 0
+        while not stop.is_set():
+            key = keys[index % len(keys)]
+            index += 1
+            result = router.iq_get(key)
+            if result.backoff:
+                continue
+            if result.value is None:
+                if result.token is not None:
+                    # A genuine miss mid-migration: fill the expected
+                    # value, exactly as a cache-augmented app would.
+                    router.iq_set(key, expected[key], result.token)
+            elif result.value != expected[key]:
+                stale.append((key, result.value))
+
+    threads = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        report = mutate(Rebalancer(router))
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    return report, stale
+
+
+def _cmd_ring(args):
+    from repro.core.iq_server import IQServer
+
+    router, expected = _build_ring_cluster(args.shards, args.keys)
+    if args.ring_action == "status":
+        _print_ring_status(router, expected)
+        return 0
+
+    if args.ring_action == "add":
+        name = "shard{}".format(args.shards)
+        report, stale = _migrate_under_load(
+            router, expected,
+            lambda rebalancer: rebalancer.add_shard(name, IQServer()),
+        )
+    else:  # remove
+        name = router.shard_names[-1]
+        report, stale = _migrate_under_load(
+            router, expected,
+            lambda rebalancer: rebalancer.remove_shard(name),
+        )
+        router.detach_shard(name)
+
+    print(report.summary())
+    _print_ring_status(router, expected)
+    wrong = []
+    for key, value in expected.items():
+        hit = router.shard_for(key).store.get(key)
+        if hit is not None and hit[0] != value:
+            wrong.append(key)
+    print("stale reads during migration: {}".format(len(stale)))
+    print("stale cached values after migration: {}".format(len(wrong)))
+    ok = report.completed and not stale and not wrong
+    print("ring {}: {}".format(args.ring_action, "OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def _cmd_bench(args):
     import importlib
     import os
@@ -293,6 +398,22 @@ def build_parser():
     mc.add_argument("--seed", type=int, default=0,
                     help="fuzzer base seed")
     mc.set_defaults(func=_cmd_mc)
+
+    ring = sub.add_parser(
+        "ring", help="online shard rebalancing demo (add/remove/status)"
+    )
+    ring_sub = ring.add_subparsers(dest="ring_action", required=True)
+    for action, text in (
+        ("status", "build a sharded cluster and print its topology"),
+        ("add", "migrate onto a joining shard under live read load"),
+        ("remove", "drain a leaving shard under live read load"),
+    ):
+        ring_action = ring_sub.add_parser(action, help=text)
+        ring_action.add_argument("--shards", type=int, default=2,
+                                 help="initial shard count")
+        ring_action.add_argument("--keys", type=int, default=200,
+                                 help="seeded key population")
+        ring_action.set_defaults(func=_cmd_ring)
 
     bench = sub.add_parser("bench", help="run one evaluation experiment")
     bench.add_argument(

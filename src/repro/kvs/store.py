@@ -55,6 +55,10 @@ class CacheStore:
         #: Called with the evicted/expired entry; the IQ server hooks this
         #: to drop leases attached to keys that vanish underneath them.
         self.on_entry_removed = None
+        #: Called with ``(key, value)`` after every store/replace --
+        #: including arithmetic rewrites.  Warm replicas tail this to
+        #: mirror the owner's values.
+        self.on_entry_stored = None
         #: Optional :class:`repro.faults.FaultInjector`; arms the
         #: ``store.get``/``store.set``/``store.delete`` sites (temporal
         #: faults: a slow or frozen cache node).  ``None`` costs one
@@ -121,6 +125,10 @@ class CacheStore:
         if self.on_entry_removed is not None:
             self.on_entry_removed(entry.key)
 
+    def _notify_stored(self, entry):
+        if self.on_entry_stored is not None:
+            self.on_entry_stored(entry.key, entry.value)
+
     def _insert(self, entry):
         chunk = self._slabs.chunk_size_for(entry.size())
         self._ensure_room(chunk)
@@ -128,6 +136,7 @@ class CacheStore:
         self._lru.push_front(entry)
         self._memory_used += self._slabs.charge(entry.size())
         self.stats.incr("total_items")
+        self._notify_stored(entry)
 
     def _replace_value(self, entry, value, flags=None, expires_at=None):
         """Swap an existing entry's value in place, re-accounting memory."""
@@ -142,6 +151,7 @@ class CacheStore:
         self._ensure_room(chunk, exclude=entry)
         self._memory_used += self._slabs.charge(entry.size())
         self._lru.touch(entry)
+        self._notify_stored(entry)
 
     def _ensure_room(self, chunk_bytes, exclude=None):
         limit = self.config.memory_limit_bytes

@@ -37,11 +37,13 @@ from repro.mc.sessions import (
     iq_invalidate_writer,
     iq_reader,
     iq_refresh_writer,
+    migration_program,
     reconciler,
     sharded_delta_writer,
     sharded_invalidate_writer,
 )
 from repro.mc.world import World
+from repro.sharding import Rebalancer
 from repro.sharding.ring import ConsistentHashRing
 
 __all__ = [
@@ -485,6 +487,123 @@ def _pr2_poison(poison):
 
 
 # ---------------------------------------------------------------------------
+# online rebalancing: topology changes racing live sessions
+# ---------------------------------------------------------------------------
+
+def _rebalance_keys():
+    """Deterministic keys for the 2-shard <-> 3-shard scenarios.
+
+    Returns ``(moving, staying, victim)``: ``moving`` changes owner when
+    ``shard2`` joins the ``{shard0, shard1}`` ring, ``staying`` is owned
+    by ``shard0`` on both rings, and ``victim`` is owned by ``shard1``
+    on both -- the key that migrates to a survivor when ``shard1``
+    leaves.
+    """
+    two = ConsistentHashRing(["shard0", "shard1"], vnodes=64)
+    three = ConsistentHashRing(["shard0", "shard1", "shard2"], vnodes=64)
+    moving = staying = victim = None
+    for index in range(512):
+        key = "k{}".format(index)
+        old, new = two.node_for(key), three.node_for(key)
+        if moving is None and new == "shard2":
+            moving = key
+        elif staying is None and old == new == "shard0":
+            staying = key
+        elif victim is None and old == new == "shard1":
+            victim = key
+        if moving and staying and victim:
+            return moving, staying, victim
+    raise RuntimeError("no suitable rebalance keys among 512 candidates")
+
+
+def _add_plan(world, safe=True):
+    rebalancer = Rebalancer(world.backend, quarantine_attempts=2, safe=safe)
+    return rebalancer, rebalancer.steps_add(
+        "shard2", world.spare_gates["shard2"]
+    )
+
+
+def _rebalance_add():
+    # 2->3 shards while an invalidate writer and a reader race the
+    # migration on the moving key.  Every interleaving -- writer before
+    # the quarantine, between release and flip, across the flip -- must
+    # end with the cache matching the RDBMS and no dirty read.
+    moving, staying, _ = _rebalance_keys()
+    world = World(keys=(moving, staying), backend="sharded", shards=2,
+                  spare_shards=1)
+    world.seed(moving, 10)
+    world.seed(staying, 20)
+    return world, [
+        migration_program("M", _add_plan),
+        iq_invalidate_writer("W", {moving: "val + 100"}, attempts=2),
+        iq_reader("R", moving, attempts=3),
+    ]
+
+
+def _rebalance_add_kill():
+    # Same migration, plus a kill of the moving key's *source* shard
+    # delivered at an explored step.  The writer degrades to post-commit
+    # journaling, the reader to direct RDBMS reads, the migrator to
+    # drop-and-journal -- journaled keys are the only tolerated
+    # divergence (pending delete-on-recover), and nothing served from
+    # the cache may ever be uncommitted.
+    moving, staying, _ = _rebalance_keys()
+    world = World(keys=(moving, staying), backend="sharded", shards=2,
+                  spare_shards=1)
+    world.seed(moving, 10)
+    world.seed(staying, 20)
+    source = world.backend.shard_name_for(moving)
+    return world, [
+        migration_program("M", _add_plan),
+        sharded_invalidate_writer(
+            "W", {moving: "val + 100"}, journal_timing="post", attempts=2,
+        ),
+        iq_reader("R", moving, attempts=2),
+        fault_program("F", "kill:{}".format(source),
+                      lambda w: w.kill_shard(source), (moving, staying)),
+    ]
+
+
+def _rebalance_remove():
+    # 2->1 shards: shard1's keys migrate to the survivor while a refresh
+    # writer R-M-Ws the migrating key.  The writer's dual-legged growing
+    # phase must keep whichever copy ends up routed in lockstep with the
+    # RDBMS across the flip.
+    _, staying, victim = _rebalance_keys()
+    world = World(keys=(victim, staying), backend="sharded", shards=2)
+    world.seed(victim, 10)
+    world.seed(staying, 20)
+
+    def plan(w):
+        rebalancer = Rebalancer(w.backend, quarantine_attempts=2)
+        return rebalancer, rebalancer.steps_remove("shard1")
+
+    return world, [
+        migration_program("M", plan),
+        iq_refresh_writer("W", victim, "val + 7",
+                          lambda old: int(old) + 7, attempts=2),
+        iq_reader("R", victim, attempts=2),
+    ]
+
+
+def _rebalance_unquarantined():
+    # The naive operator move -- copy values, then flip the ring, with
+    # no quarantine and no dual-epoch window.  A writer that commits
+    # between the copy and the flip invalidates only the old owner's
+    # copy; the flip then routes the new owner's pre-write copy -- the
+    # checker must find that stale final state (and thereby show the
+    # safe protocol is not vacuously passing).
+    moving, _, _ = _rebalance_keys()
+    world = World(keys=(moving,), backend="sharded", shards=2,
+                  spare_shards=1)
+    world.seed(moving, 10)
+    return world, [
+        migration_program("M", lambda w: _add_plan(w, safe=False)),
+        iq_invalidate_writer("W", {moving: "val + 100"}, attempts=2),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -660,6 +779,37 @@ _register(Scenario(
     description="Rejected PR 2 behaviour: without poison() the victim "
                 "leg commits a partial proposal",
     tags=("pr2", "sharded"),
+))
+
+_register(Scenario(
+    "rebalance-add", _rebalance_add,
+    description="2->3 shards online: quarantine-copy-flip migration "
+                "racing an invalidate writer and a reader on the moving "
+                "key; every interleaving must end clean",
+    tags=("rebalance", "sharded"),
+))
+_register(Scenario(
+    "rebalance-add-kill", _rebalance_add_kill,
+    allow_journaled_stale=True,
+    description="The same migration with the source shard killed at an "
+                "explored step: drop-and-journal, degraded reads, "
+                "post-commit journaling -- still no stale or dirty read",
+    tags=("rebalance", "sharded", "fault"),
+))
+_register(Scenario(
+    "rebalance-remove", _rebalance_remove,
+    description="2->1 shards online: the leaving shard's key migrates "
+                "to the survivor under quarantine while a refresh "
+                "writer R-M-Ws it",
+    tags=("rebalance", "sharded"),
+))
+_register(Scenario(
+    "rebalance-unquarantined", _rebalance_unquarantined,
+    expect_violation=True,
+    description="Rejected naive move: copy-then-flip without quarantine "
+                "or a dual-epoch window resurrects a pre-write value "
+                "after the flip",
+    tags=("rebalance", "sharded"),
 ))
 
 #: (baseline scenario, iq scenario) per figure -- the acceptance sweep.

@@ -51,6 +51,7 @@ __all__ = [
     "sharded_invalidate_writer",
     "sharded_delta_writer",
     "reconciler",
+    "migration_program",
 ]
 
 
@@ -715,5 +716,43 @@ def reconciler(name, rounds=1):
             yield Op("{}:reconcile".format(name), kvs=world.keys)
             backend.reconcile_local()
         return "reconciled"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# topology migration as announced schedule steps
+# ---------------------------------------------------------------------------
+
+def migration_program(name, plan):
+    """Drive a :class:`~repro.sharding.Rebalancer` step sequence.
+
+    ``plan(world)`` binds the rebalancer to the world and returns
+    ``(rebalancer, step_iterator)``, e.g.::
+
+        def plan(world):
+            reb = Rebalancer(world.backend, quarantine_attempts=2)
+            return reb, reb.steps_add("shard2", world.spare_gates["shard2"])
+
+    Every yielded :class:`~repro.sharding.MigrationStep` becomes one
+    announced :class:`Op` whose footprint is the step's key list; a
+    ``None`` footprint (begin / flip, which re-route *every* key) widens
+    to the scenario's whole key universe.  Migration TIDs are aliased to
+    this program per source shard, so lease fingerprints stay
+    schedule-independent.  The rebalancer's own step functions absorb
+    ``QuarantinedError`` / ``CacheUnavailableError`` (retry, drop,
+    journal), so the program terminates in every interleaving.
+    """
+
+    def factory(world):
+        rebalancer, steps = plan(world)
+        rebalancer.tid_hook = (
+            lambda shard, tid: world.bind_tid(name, tid, server=shard)
+        )
+        for step in steps:
+            keys = world.keys if step.keys is None else tuple(step.keys)
+            yield Op("{}:{}".format(name, step.label), kvs=keys)
+            step.run()
+        return "migrated" if rebalancer.report.completed else "incomplete"
 
     return MCProgram(name, factory)

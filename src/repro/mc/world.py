@@ -118,7 +118,7 @@ class World:
     behind a consistent-hash router).
     """
 
-    def __init__(self, keys=("k0",), backend="iq", shards=2,
+    def __init__(self, keys=("k0",), backend="iq", shards=2, spare_shards=0,
                  serve_pending=True, text_values=False, lease_ttl=1000.0,
                  suppressible_void=False):
         self.keys = tuple(keys)
@@ -129,6 +129,7 @@ class World:
         self.db = Database()
         self._setup_rows = {}
         self.shard_gates = {}
+        self.spare_gates = {}
         self.fault_injector = None
         self._fault_armed = False
         self._fault_log = []
@@ -148,20 +149,26 @@ class World:
             self.backend = server
             self.servers = {"iq": server}
         elif backend == "sharded":
+            total = shards + spare_shards
             servers = [
                 IQServer(lease_config=lease_config, clock=self.clock)
-                for _ in range(shards)
+                for _ in range(total)
             ]
             if suppressible_void:
                 self._arm_suppressible_void(servers)
             gates = [GatedShard(server) for server in servers]
             # Serial fan-out: a schedule must replay deterministically,
             # so the router's shrinking phase may not spawn pool threads.
-            self.backend = ShardedIQServer(gates, fanout_workers=0)
-            self.shard_gates = dict(zip(self.backend.shard_names, gates))
-            self.servers = dict(zip(
-                self.backend.shard_names, servers
-            ))
+            self.backend = ShardedIQServer(gates[:shards], fanout_workers=0)
+            names = list(self.backend.shard_names) + [
+                "shard{}".format(i) for i in range(shards, total)
+            ]
+            self.shard_gates = dict(zip(names, gates))
+            self.servers = dict(zip(names, servers))
+            # Spare gated shards for rebalance scenarios: fully built but
+            # not yet joined to the ring -- a migration program hands one
+            # to Rebalancer.steps_add at an explored schedule point.
+            self.spare_gates = dict(zip(names[shards:], gates[shards:]))
         else:
             raise ValueError("unknown backend {!r}".format(backend))
         #: program name -> ordered (kind, key, value) observations
@@ -383,6 +390,41 @@ class World:
             versions[key] = None if hit is None else hit[2]
         return versions
 
+    def _topology_snapshot(self):
+        """Ring epoch + open rebalance window, part of the shared state.
+
+        Two states that agree on every store but differ in routing --
+        mid-window vs flipped -- must not dedup: every continuation
+        routes differently.
+        """
+        if self.kind != "sharded":
+            return ()
+        window = self.backend._window
+        pending = () if window is None else (
+            window.joining, window.leaving, window.target.epoch,
+        )
+        return (self.backend.epoch, tuple(self.backend.shard_names), pending)
+
+    def _per_shard_contents(self):
+        """Every shard's copy of every key, including unrouted residuals.
+
+        :meth:`kvs_contents` is the *owner's-eye* view the oracles check;
+        during a migration the destination's shadow copy (and any stale
+        residual on a non-owner) is invisible there, yet it decides what
+        a post-flip read returns -- so the fingerprint must carry the
+        whole grid.
+        """
+        if self.kind != "sharded":
+            return ()
+        snapshot = []
+        for name in sorted(self.servers):
+            store = self.servers[name].store
+            for key in self.keys:
+                hit = store.get(key)
+                if hit is not None:
+                    snapshot.append((name, key, bytes(hit[0])))
+        return tuple(snapshot)
+
     def journaled_keys(self):
         if self.kind == "sharded":
             return set(self.backend.journal.peek())
@@ -473,6 +515,8 @@ class World:
             tuple(sorted(self.sql_contents().items())),
             tuple(sorted(self.kvs_contents().items())),
             tuple(sorted(self._kvs_versions().items())),
+            self._per_shard_contents(),
+            self._topology_snapshot(),
             self._lease_snapshot(),
             self._session_snapshot(),
             tuple(sorted(self.journaled_keys())),

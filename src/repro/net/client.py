@@ -363,6 +363,19 @@ class RemoteIQServer(LeaseBackend):
             raise ProtocolError("bad mdelete reply {!r}".format(reply))
         return int(reply.split()[1])
 
+    def _recv_key_snapshot(self, doing):
+        keys = []
+        while True:
+            line = self._read_line(doing)
+            if line == b"END":
+                return keys
+            parts = line.split()
+            if len(parts) != 2 or parts[0] != b"KEY":
+                raise ProtocolError(
+                    "bad keysnap reply line {!r}".format(line)
+                )
+            keys.append(parts[1].decode())
+
     def _recv_get(self, doing):
         reply, value = self._recv_value_block(doing)
         if value is None:
@@ -459,6 +472,9 @@ class RemoteIQServer(LeaseBackend):
     def _cmd_mdelete(self, keys):
         return "mdelete {}".format(" ".join(keys)), None, self._recv_mdelete
 
+    def _cmd_key_snapshot(self):
+        return "keysnap", None, self._recv_key_snapshot
+
     def _cmd_get(self, key):
         return "get {}".format(key), None, self._recv_get
 
@@ -540,6 +556,14 @@ class RemoteIQServer(LeaseBackend):
         if not keys:
             return 0
         return self._execute(*self._cmd_mdelete(keys))
+
+    def key_snapshot(self):
+        """Every key currently cached on the server (``keysnap``).
+
+        A point-in-time listing for migration enumeration -- keys may of
+        course appear or vanish the moment the reply is framed.
+        """
+        return self._execute(*self._cmd_key_snapshot())
 
     # -- standard memcached commands ---------------------------------------------
 
@@ -706,6 +730,9 @@ class Pipeline:
 
     def mdelete(self, keys):
         return self._queue(*self._conn._cmd_mdelete(list(keys)))
+
+    def key_snapshot(self):
+        return self._queue(*self._conn._cmd_key_snapshot())
 
     def get(self, key):
         return self._queue(*self._conn._cmd_get(key))

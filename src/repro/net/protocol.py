@@ -29,6 +29,11 @@ line, one multi-line reply)::
     qareg <tid> <key>...        (per key: GRANTED <key> | ABORT <key>
                                  | UNAVAIL <key>; terminated by END)
     mdelete <key>...            (DELETED <n-hits>)
+    keysnap                     (KEY <key> per cached key; terminated by END)
+
+``keysnap`` is the migration enumerator: a point-in-time listing of
+every cached key, used by the rebalancer to compute which key ranges a
+topology change moves.
 
 ``qareg`` acquires invalidation-mode (Fig. 5a shared) Q leases in key
 order and stops at the first reject, exactly like a sequential run of

@@ -188,7 +188,7 @@ class ReconciliationJournal:
 _IDEMPOTENT = frozenset({
     "gen_id", "iq_get", "iq_mget", "release_i", "dar", "commit", "abort",
     "get", "gets", "delete", "mdelete", "touch", "flush_all", "stats",
-    "version",
+    "version", "key_snapshot",
 })
 
 #: Never blind-retried: replaying would double-apply a change (``sar``,
@@ -210,6 +210,16 @@ class ConnectionPool:
     releases.  Broken (poisoned) connections are closed and shed on
     release, so the pool only ever hands out connections that were
     healthy when last seen.
+
+    Slot accounting is defended against double settlement: every live
+    connection is tracked in ``_known``, and :meth:`release` /
+    :meth:`discard` of a connection the pool no longer owns are no-ops.
+    Without this, a connection settled twice (e.g. discarded by a retry
+    path and again by a pipeline teardown during a shard death) would
+    corrupt ``_total`` -- either leaking slots until every ``acquire``
+    blocks forever on an empty pool, or double-listing a connection so
+    two callers share one socket.  A pool whose every connection was
+    discarded simply re-dials lazily on the next ``acquire``.
     """
 
     def __init__(self, dial, max_size):
@@ -217,8 +227,15 @@ class ConnectionPool:
         self._max = max(1, max_size)
         self._cond = threading.Condition()
         self._idle = []
+        #: every connection the pool currently owns (idle or checked out)
+        self._known = set()
         self._total = 0
         self._closed = False
+
+    @property
+    def live_connections(self):
+        with self._cond:
+            return self._total
 
     def acquire(self):
         stale = []
@@ -233,6 +250,7 @@ class ConnectionPool:
                         conn = self._idle.pop()
                         if conn.broken:
                             self._total -= 1
+                            self._known.discard(conn)
                             stale.append(conn)
                             continue
                         return conn
@@ -244,17 +262,29 @@ class ConnectionPool:
             for conn in stale:
                 self._close_quietly(conn)
         try:
-            return self._dial()
+            conn = self._dial()
         except BaseException:
             with self._cond:
                 self._total -= 1
                 self._cond.notify()
             raise
+        with self._cond:
+            self._known.add(conn)
+        return conn
 
     def release(self, conn):
-        """Return a connection; a broken one is closed and its slot freed."""
+        """Return a connection; a broken one is closed and its slot freed.
+
+        Releasing a connection the pool no longer owns (already
+        discarded, or already sitting idle) is a no-op.
+        """
         with self._cond:
+            if conn not in self._known:
+                return
+            if any(idle is conn for idle in self._idle):
+                return
             if conn.broken or self._closed:
+                self._known.discard(conn)
                 self._total -= 1
             else:
                 self._idle.append(conn)
@@ -264,8 +294,16 @@ class ConnectionPool:
             self._close_quietly(conn)
 
     def discard(self, conn):
-        """Drop a connection the caller saw fail (frees its slot)."""
+        """Drop a connection the caller saw fail (frees its slot).
+
+        Idempotent: a second discard of the same connection leaves the
+        accounting untouched.
+        """
         with self._cond:
+            if conn not in self._known:
+                return
+            self._known.discard(conn)
+            self._idle = [idle for idle in self._idle if idle is not conn]
             self._total -= 1
             self._cond.notify()
         self._close_quietly(conn)
@@ -274,6 +312,8 @@ class ConnectionPool:
         with self._cond:
             self._closed = True
             idle, self._idle = self._idle, []
+            for conn in idle:
+                self._known.discard(conn)
             self._total -= len(idle)
             self._cond.notify_all()
         for conn in idle:
@@ -316,6 +356,7 @@ class ResilientIQServer(LeaseBackend):
         self.reconnects = 0
         self.retries = 0
         self.failures = 0
+        self.promotions = 0
 
     # -- connection management ----------------------------------------------
 
@@ -332,6 +373,30 @@ class ResilientIQServer(LeaseBackend):
         if self._tracer.active:
             self._tracer.emit("net.reconnect", count=count)
         return conn
+
+    def promote_standby(self, host=None, port=None):
+        """Dial over to a warm standby address for this shard.
+
+        Swaps the target endpoint, retires the old connection pool, and
+        resets the breaker so the first call probes the standby
+        immediately.  The reconciliation journal is deliberately kept:
+        the standby may have mirrored values that degraded-mode writes
+        made stale, and :meth:`_ensure_reconciled` replays the
+        delete-on-recover pass against the new address before any
+        regular operation reaches it.
+        """
+        old_pool = self._pool
+        if host is not None:
+            self.host = host
+        if port is not None:
+            self.port = port
+        self._pool = ConnectionPool(self._dial, self.config.pool_size)
+        old_pool.close()
+        self.circuit.record_success()
+        with self._counter_lock:
+            self.promotions += 1
+        if self._tracer.active:
+            self._tracer.emit("net.failover", host=self.host, port=self.port)
 
     def close(self):
         self._pool.close()
@@ -500,6 +565,9 @@ class ResilientIQServer(LeaseBackend):
 
     def mdelete(self, keys):
         return self._call("mdelete", list(keys))
+
+    def key_snapshot(self):
+        return self._call("key_snapshot")
 
     # -- memcached command surface --------------------------------------------
 

@@ -324,6 +324,12 @@ class _Handler(socketserver.BaseRequestHandler):
         if command == "mdelete":
             hits = sum(1 for key in args if store.delete(key))
             return "DELETED {}".format(hits).encode()
+        if command == "keysnap":
+            chunks = [
+                "KEY {}".format(key).encode() for key in sorted(store.keys())
+            ]
+            chunks.append(b"END")
+            return CRLF.join(chunks)
         raise ProtocolError("unknown command {!r}".format(command))
 
     def _retrieve(self, store, keys, with_cas):

@@ -33,6 +33,12 @@ Invariants checked (violation categories):
     exclusively (Figure 5b): two live holders on one key where either
     side is exclusive means the KVS can no longer follow the RDBMS
     serialization order.
+``migration-quarantine-leak``
+    A shard migration quarantines moving keys under migration Q leases
+    (``migrate.quarantine``) and must release every one of them
+    (``migrate.release``) before it ends: keys still quarantined at
+    ``shard.rebalance.end`` are stranded until their lease TTL deletes
+    them, blocking writers and readers alike on the old owner.
 
 Lease and session state is keyed by ``(srv, key)`` / ``(srv, tid)`` --
 ``srv`` names the emitting IQ server -- so shards and restarted server
@@ -52,6 +58,7 @@ __all__ = [
     "CATEGORY_EARLY_APPLY",
     "CATEGORY_ORPHAN_RELEASE",
     "CATEGORY_EXCLUSIVE_COGRANT",
+    "CATEGORY_QUARANTINE_LEAK",
     "audited",
 ]
 
@@ -60,6 +67,7 @@ CATEGORY_UNVOIDED_I = "q-grant-left-i-alive"
 CATEGORY_EARLY_APPLY = "apply-before-sql-commit"
 CATEGORY_ORPHAN_RELEASE = "release-without-terminator"
 CATEGORY_EXCLUSIVE_COGRANT = "exclusive-q-cogrant"
+CATEGORY_QUARANTINE_LEAK = "migration-quarantine-leak"
 
 ALL_CATEGORIES = (
     CATEGORY_DOUBLE_I,
@@ -67,6 +75,7 @@ ALL_CATEGORIES = (
     CATEGORY_EARLY_APPLY,
     CATEGORY_ORPHAN_RELEASE,
     CATEGORY_EXCLUSIVE_COGRANT,
+    CATEGORY_QUARANTINE_LEAK,
 )
 
 #: ``lease.q.grant`` mode field value for exclusive (refresh/delta) leases.
@@ -155,6 +164,9 @@ class IQAuditor:
         self._traces_begun = set()
         #: traces whose RDBMS transaction committed
         self._traces_committed = set()
+        #: (shard, key) -> migration tid, while a migration holds the
+        #: key's quarantine
+        self._migration_quarantined = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -299,6 +311,34 @@ class IQAuditor:
             self._traces_begun.discard(event.trace_id)
             self._traces_committed.discard(event.trace_id)
 
+    # -- migration quarantine tracking ----------------------------------------
+
+    def _on_migrate_quarantine(self, event):
+        slot = (event.get("shard"), event.key)
+        self._migration_quarantined[slot] = event.tid
+
+    def _on_migrate_release(self, event):
+        self._migration_quarantined.pop((event.get("shard"), event.key),
+                                        None)
+
+    def _on_rebalance_end(self, event):
+        shard = event.get("shard")
+        for (held_shard, key), tid in sorted(
+            self._migration_quarantined.items()
+        ):
+            self._violations.append(Violation(
+                event.ts, CATEGORY_QUARANTINE_LEAK, key=key, tid=tid,
+                trace_id=event.trace_id,
+                detail="migration of {!r} ended with {!r} still "
+                       "quarantined on {!r}".format(shard, key, held_shard),
+            ))
+        self._migration_quarantined.clear()
+
+    def quarantined_keys(self):
+        """``{(shard, key): tid}`` currently held by a live migration."""
+        with self._lock:
+            return dict(self._migration_quarantined)
+
     _HANDLERS = {
         "lease.i.grant": _on_i_grant,
         "lease.i.redeem": _on_i_gone,
@@ -317,6 +357,9 @@ class IQAuditor:
         "session.begin": _on_session_begin,
         "session.sql_commit": _on_sql_commit,
         "session.end": _on_session_end,
+        "migrate.quarantine": _on_migrate_quarantine,
+        "migrate.release": _on_migrate_release,
+        "shard.rebalance.end": _on_rebalance_end,
     }
 
 

@@ -1,19 +1,44 @@
 """Sharded cache tier: consistent-hash routing over N lease backends.
 
 * :mod:`repro.sharding.ring` -- :class:`ConsistentHashRing`, virtual-node
-  consistent hashing from keys to shard names;
+  consistent hashing from keys to shard names, with topology epochs,
+  immutable :class:`RingView` snapshots, and :class:`OwnershipChange`
+  arcs reporting exactly which key ranges a mutation moved;
 * :mod:`repro.sharding.router` -- :class:`ShardedIQServer`, a
   :class:`~repro.core.backend.LeaseBackend` that fans composite write
-  sessions out across shards with per-shard TIDs and per-shard
-  degraded-mode semantics, and :class:`ShardedJournal`, the key-routed
-  delete-on-recover journal.
+  sessions out across shards with per-shard TIDs, per-shard
+  degraded-mode semantics, and a dual-epoch routing window for live
+  topology changes, and :class:`ShardedJournal`, the key-routed
+  delete-on-recover journal;
+* :mod:`repro.sharding.rebalance` -- :class:`Rebalancer`, the lease-safe
+  online migration driver (add/remove a shard under Q-lease
+  quarantine), and :class:`WarmReplica`, a hook-tailing standby that
+  promotes in place.
 """
 
-from repro.sharding.ring import ConsistentHashRing
+from repro.sharding.rebalance import (
+    MigrationReport,
+    MigrationStep,
+    Rebalancer,
+    WarmReplica,
+)
+from repro.sharding.ring import (
+    ConsistentHashRing,
+    OwnershipChange,
+    RingView,
+    ownership_diff,
+)
 from repro.sharding.router import ShardedIQServer, ShardedJournal
 
 __all__ = [
     "ConsistentHashRing",
+    "MigrationReport",
+    "MigrationStep",
+    "OwnershipChange",
+    "Rebalancer",
+    "RingView",
     "ShardedIQServer",
     "ShardedJournal",
+    "WarmReplica",
+    "ownership_diff",
 ]

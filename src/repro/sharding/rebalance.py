@@ -1,0 +1,670 @@
+"""Lease-safe online shard rebalancing and warm-replica failover.
+
+The paper's deployments treat the cache fleet as static; production
+CMTs cannot.  This module migrates key ranges between shards of a live
+:class:`~repro.sharding.router.ShardedIQServer` **without ever exposing
+a stale or unpredictable read**, by re-using the paper's own quarantine
+primitive instead of inventing a side channel:
+
+1. :meth:`ShardedIQServer.begin_rebalance` opens a *dual-epoch routing
+   window*.  From this point every growing-phase lease acquisition on a
+   key whose owner differs between the current and the pending epoch is
+   taken on **both** owners, so any write session that overlaps the
+   migration can invalidate (or refresh) whichever copy ends up routed.
+2. For each moving key the :class:`Rebalancer` acquires an **exclusive
+   Q lease** on the current owner (``qaread``).  While it is held no
+   other session can acquire any lease on the key there -- and since the
+   current owner is every writer's *first* dual leg, no overlapping
+   writer can be holding the pending owner's leg either.  The value
+   read under the lease is therefore the committed one, and copying it
+   to the pending owner is safe.  A key whose lease is contended is
+   retried a bounded number of times and then *dropped* instead of
+   copied: the pending owner simply serves a miss (a SQL round trip,
+   never a wrong answer) and the key is journaled for delete-on-recover
+   on the current owner, whose copy may be refreshed by the very
+   session that out-quarantined us.
+3. The Q lease is released immediately after the copy (``abort`` keeps
+   the source value).  Writers that acquire between the release and the
+   epoch flip are dual-legged by the open window, so both copies keep
+   tracking the RDBMS.
+4. :meth:`ShardedIQServer.commit_rebalance` flips the ring in one
+   locked splice; racing readers either routed to the old owner (live
+   copy) or the new one (fresh copy or miss).  A best-effort sweep then
+   deletes the now-unrouted source copies so they cannot come back as
+   stale residuals in a *future* topology change; unreachable sweeps
+   are journaled.
+
+Shard *removal* runs the same protocol with every moving key sourced on
+the leaving shard, plus a **residual sweep**: a key that will route to
+a surviving shard after the flip, but is currently owned by the leaving
+shard, may have a stale leftover copy on the survivor from an older
+epoch -- those are deleted before the flip.  ``dead=True`` removes a
+shard that is already unreachable: no values can be read from it (so
+nothing can be stale -- readers miss to SQL), only the residual sweep
+and the flip run.
+
+:class:`WarmReplica` keeps a standby server synchronized with an
+in-process shard by tailing the owner store's mutation hooks
+(``on_entry_stored`` / ``on_entry_removed``), and promotes it in place
+via :meth:`ShardedIQServer.promote_replica` -- in-flight sessions are
+rebuilt on the standby as invalidation legs, so their commits still
+delete at the right moment.  For wire shards, use
+:meth:`~repro.net.resilient.ResilientIQServer.promote_standby`, which
+re-dials the standby address and replays the client-side journal.
+
+``safe=False`` builds the *naive* operator move -- copy values, then
+flip, with no quarantine and no dual-epoch window -- so the model
+checker can demonstrate the stale read it produces (and that the safe
+protocol is not vacuously passing).
+"""
+
+import time
+
+from repro.errors import CacheUnavailableError, LeaseError, QuarantinedError
+from repro.obs.trace import get_tracer
+from repro.sharding.ring import ownership_diff
+
+__all__ = ["MigrationReport", "MigrationStep", "Rebalancer", "WarmReplica"]
+
+
+class MigrationStep:
+    """One announced unit of migration work.
+
+    ``keys`` is the step's key footprint (``None`` means "conservative:
+    every key" -- the model checker widens it to the scenario's key
+    universe).  :meth:`run` performs the step; the :class:`Rebalancer`
+    generator computes each next step only after the previous one ran.
+    """
+
+    __slots__ = ("label", "keys", "_fn")
+
+    def __init__(self, label, keys, fn):
+        self.label = label
+        self.keys = keys
+        self._fn = fn
+
+    def run(self):
+        return self._fn()
+
+    def __repr__(self):
+        return "MigrationStep({!r})".format(self.label)
+
+
+class MigrationReport:
+    """What one topology migration did, for operators and tests."""
+
+    def __init__(self, kind, shard):
+        self.kind = kind
+        self.shard = shard
+        self.source_epoch = None
+        self.target_epoch = None
+        #: keys whose ownership changed in this migration
+        self.moving = 0
+        #: values copied onto the new owner under quarantine
+        self.copied = 0
+        #: moving keys handled without a copy (source miss, or
+        #: ``copy_values=False``) -- the new owner serves a miss
+        self.uncopied = 0
+        #: contended keys dropped after quarantine retries ran out
+        self.dropped = 0
+        #: stale leftover copies deleted on gaining shards pre-flip
+        self.residuals_deleted = 0
+        #: keys journaled for delete-on-recover (drops + failed sweeps)
+        self.journaled = 0
+        #: qaread rejections observed while quarantining
+        self.quarantine_rejections = 0
+        #: unreachable-shard errors ridden out (copy/sweep legs)
+        self.unavailable_errors = 0
+
+    @property
+    def completed(self):
+        return self.target_epoch is not None
+
+    def summary(self):
+        return (
+            "{kind} {shard}: epoch {src}->{dst}, {moving} moving "
+            "({copied} copied, {uncopied} uncopied, {dropped} dropped), "
+            "{residuals} residuals deleted, {journaled} journaled".format(
+                kind=self.kind, shard=self.shard, src=self.source_epoch,
+                dst=self.target_epoch, moving=self.moving,
+                copied=self.copied, uncopied=self.uncopied,
+                dropped=self.dropped, residuals=self.residuals_deleted,
+                journaled=self.journaled,
+            )
+        )
+
+    def __repr__(self):
+        return "MigrationReport({})".format(self.summary())
+
+
+class Rebalancer:
+    """Drives one topology migration over a :class:`ShardedIQServer`.
+
+    The protocol is exposed two ways: :meth:`add_shard` /
+    :meth:`remove_shard` run it to completion (aborting the window on
+    any error), while :meth:`steps_add` / :meth:`steps_remove` yield the
+    individual :class:`MigrationStep` units so a scheduler -- the model
+    checker -- can interleave other sessions between them.  The
+    generator computes each step from state the previous step's ``run``
+    left behind, so the caller must run every step before requesting
+    the next.
+
+    ``quarantine_attempts`` bounds the per-key qaread retries before a
+    contended key is dropped instead of copied; ``retry_delay`` sleeps
+    between live-mode attempts (keep 0 under the model checker).
+    ``copy_values=False`` skips the value copy entirely -- still safe
+    (the new owner serves misses), just colder.  ``tid_hook(shard,
+    tid)`` is called for every migration TID minted, letting the model
+    checker alias them for fingerprinting.
+    """
+
+    def __init__(self, router, quarantine_attempts=3, copy_values=True,
+                 retry_delay=0.0, safe=True):
+        self.router = router
+        self.quarantine_attempts = max(1, quarantine_attempts)
+        self.copy_values = copy_values
+        self.retry_delay = retry_delay
+        self.safe = safe
+        self.tid_hook = None
+        self.report = None
+        self._tracer = get_tracer()
+        #: key -> (source shard, migration tid, value read under Q)
+        self._held = {}
+        #: key -> (source shard, destination shard)
+        self._moving = {}
+        self._dropped = set()
+        self._target = None
+
+    # -- live API --------------------------------------------------------------
+
+    def add_shard(self, name, backend):
+        """Join ``backend`` to the ring as ``name``; migrate its keys in.
+
+        Returns the :class:`MigrationReport`.  Any failure aborts the
+        window (the backend stays attached but unrouted; detach it with
+        :meth:`ShardedIQServer.detach_shard` once drained).
+        """
+        return self._drive(self.steps_add(name, backend))
+
+    def remove_shard(self, name, dead=False):
+        """Take shard ``name`` off the ring; migrate its keys out.
+
+        ``dead=True`` skips every read of the leaving shard (it is
+        unreachable): survivors' stale residual copies are still swept,
+        then the ring flips -- the dead shard's keys simply miss to SQL.
+        The backend stays attached for in-flight sessions; detach it
+        once drained.
+        """
+        return self._drive(self.steps_remove(name, dead=dead))
+
+    def _drive(self, steps):
+        try:
+            for step in steps:
+                step.run()
+                if self.retry_delay and step.label.startswith("quarantine:") \
+                        and step.keys and step.keys[0] not in self._held:
+                    time.sleep(self.retry_delay)
+        except BaseException:
+            self.abort()
+            raise
+        return self.report
+
+    def abort(self):
+        """Release held quarantines and close the window, best-effort."""
+        for key, (source, tid, _value) in sorted(self._held.items()):
+            try:
+                self.router.backend(source).abort(tid)
+            except (CacheUnavailableError, LeaseError):
+                # The shard is unreachable or the lease already lapsed;
+                # either way the Q lease dies by TTL and deletes the key,
+                # so the hold is relinquished, not leaked.
+                pass
+            self._emit("migrate.release", key=key, tid=tid, shard=source)
+        self._held.clear()
+        if self.router.rebalance_active:
+            self.router.abort_rebalance()
+        if self.report is not None:
+            self._emit("shard.rebalance.end", shard=self.report.shard,
+                       kind=self.report.kind, aborted=True)
+
+    def _emit(self, name, **fields):
+        if self._tracer.active:
+            self._tracer.emit(name, **fields)
+
+    # -- step generators -------------------------------------------------------
+
+    def steps_add(self, name, backend):
+        """Yield the migration steps that join ``name`` to the ring."""
+        self.report = MigrationReport("add", name)
+        if not self.safe:
+            yield from self._steps_add_naive(name, backend)
+            return
+        yield MigrationStep(
+            "begin:add:{}".format(name), None,
+            lambda: self._begin(add=(name, backend)),
+        )
+        yield from self._residual_steps()
+        yield from self._movement_steps()
+        yield MigrationStep("flip:add:{}".format(name), None, self._flip)
+        yield self._sweep_step()
+
+    def steps_remove(self, name, dead=False):
+        """Yield the migration steps that take ``name`` off the ring."""
+        self.report = MigrationReport("remove-dead" if dead else "remove",
+                                      name)
+        yield MigrationStep(
+            "begin:remove:{}".format(name), None,
+            lambda: self._begin(remove=name, dead=dead),
+        )
+        yield from self._residual_steps()
+        if not dead:
+            yield from self._movement_steps()
+        yield MigrationStep("flip:remove:{}".format(name), None, self._flip)
+        yield self._sweep_step()
+
+    # -- phase: begin ----------------------------------------------------------
+
+    def _begin(self, add=None, remove=None, dead=False):
+        current = self.router.ring.view()
+        self._target = self.router.begin_rebalance(add=add, remove=remove)
+        self.report.source_epoch = current.epoch
+        if add is not None:
+            sources = [n for n in current.nodes]
+        elif dead:
+            sources = []  # the leaving shard cannot be read
+        else:
+            sources = [remove]
+        population = set()
+        for source in sources:
+            population.update(self._enumerate(source))
+        self._moving = {
+            key: owners
+            for key, owners in ownership_diff(
+                current, self._target, sorted(population)
+            ).items()
+        }
+        self.report.moving = len(self._moving)
+        self._current_view = current
+
+    def _enumerate(self, name):
+        """The keys currently cached on shard ``name``.
+
+        Wire backends expose :meth:`key_snapshot`; in-process servers
+        fall back to the store's key list.
+        """
+        backend = self.router.backend(name)
+        snapshot = getattr(backend, "key_snapshot", None)
+        if callable(snapshot):
+            return list(snapshot())
+        store = getattr(backend, "store", None)
+        if store is not None:
+            return list(store.keys())
+        raise TypeError(
+            "shard {!r} supports neither key_snapshot nor store "
+            "enumeration; use remove_shard(dead=True)".format(name)
+        )
+
+    # -- phase: residual sweep -------------------------------------------------
+
+    def _residual_steps(self):
+        """Delete stale leftover copies on shards that gain ownership.
+
+        A gaining shard may still hold a copy of a key from an older
+        epoch.  After the flip such a residual would be *routed* --
+        served as a hit -- without anything guaranteeing it matches the
+        RDBMS.  Moving keys are excluded: the movement phase overwrites
+        (or deletes) them under quarantine.
+        """
+        # Gainers are derived from the topology, not the moving set: a
+        # key absent from its *current* owner's cache can still have a
+        # residual on the shard that will own it next.  An add only
+        # moves ownership toward the joiner; a removal only toward the
+        # survivors.
+        if self.report.kind == "add":
+            gainers = [self.report.shard]
+        else:
+            gainers = list(self._target.nodes)
+        for name in gainers:
+            residuals = sorted(
+                key
+                for key in self._enumerate(name)
+                if key not in self._moving
+                and self._target.node_for(key) == name
+                and self._current_view.node_for(key) != name
+            )
+            if not residuals:
+                continue
+            yield MigrationStep(
+                "residual:{}".format(name), residuals,
+                lambda name=name, residuals=residuals:
+                    self._delete_residuals(name, residuals),
+            )
+
+    def _delete_residuals(self, name, keys):
+        for key in keys:
+            try:
+                self._delete_on(name, key)
+            except CacheUnavailableError:
+                self.report.unavailable_errors += 1
+                self._journal([key])
+            else:
+                self.report.residuals_deleted += 1
+
+    # -- phase: per-key movement -----------------------------------------------
+
+    def _movement_steps(self):
+        for key in sorted(self._moving):
+            granted = False
+            for _attempt in range(self.quarantine_attempts):
+                yield MigrationStep(
+                    "quarantine:{}".format(key), [key],
+                    lambda key=key: self._try_quarantine(key),
+                )
+                if key in self._held:
+                    granted = True
+                    break
+            if granted:
+                yield MigrationStep(
+                    "move:{}".format(key), [key],
+                    lambda key=key: self._move(key),
+                )
+            else:
+                yield MigrationStep(
+                    "drop:{}".format(key), [key],
+                    lambda key=key: self._drop(key),
+                )
+
+    def _try_quarantine(self, key):
+        """One qaread attempt on the key's current owner.
+
+        Success parks ``(source, tid, value)`` in ``self._held``;
+        rejection (another session's Q lease) and unreachability both
+        leave the key unheld for the next attempt.
+        """
+        source = self._moving[key][0]
+        backend = self.router.backend(source)
+        tid = None
+        try:
+            tid = backend.gen_id()
+            if self.tid_hook is not None:
+                self.tid_hook(source, tid)
+            result = backend.qaread(key, tid)
+        except QuarantinedError:
+            self.report.quarantine_rejections += 1
+            self._abort_quietly(backend, tid)
+            return False
+        except CacheUnavailableError:
+            self.report.unavailable_errors += 1
+            return False
+        self._held[key] = (source, tid, result.value)
+        self._emit("migrate.quarantine", key=key, tid=tid, shard=source)
+        return True
+
+    def _move(self, key):
+        """Copy the quarantined value to the new owner, then release.
+
+        While the source Q lease is held no overlapping writer holds
+        either dual leg for this key, so the copied value is the
+        committed one.  The release *aborts* the migration TID -- the
+        source keeps serving its copy until the flip, and any writer
+        that acquires after the release is dual-legged by the window.
+        """
+        source, tid, value = self._held.pop(key)
+        dest = self._moving[key][1]
+        if not self.copy_values:
+            value = None
+        try:
+            if self._install(dest, key, value):
+                self.report.copied += 1
+            else:
+                self.report.uncopied += 1
+        except CacheUnavailableError:
+            # The new owner is unreachable: it holds no copy, so after
+            # the flip this key is a miss there -- safe, just cold.
+            self.report.unavailable_errors += 1
+            self.report.uncopied += 1
+        self._abort_quietly(self.router.backend(source), tid)
+        self._emit("migrate.release", key=key, tid=tid, shard=source)
+
+    def _drop(self, key):
+        """Give up on a contended key without copying it.
+
+        The new owner's residual (if any) is deleted so the flip routes
+        a miss, and the key is journaled against the *current* owner:
+        the session that out-quarantined us may still refresh the source
+        copy after the flip, and delete-on-recover erases that unrouted
+        leftover.
+        """
+        _source, dest = self._moving[key]
+        try:
+            self._delete_on(dest, key)
+        except CacheUnavailableError:
+            self.report.unavailable_errors += 1
+        self._dropped.add(key)
+        self.report.dropped += 1
+        self._journal([key])
+
+    # -- phase: flip + sweep ---------------------------------------------------
+
+    def _flip(self):
+        changes = self.router.commit_rebalance()
+        self.report.target_epoch = self.router.epoch
+        return changes
+
+    def _sweep_step(self):
+        # Created after the flip step ran, so the moving set is final.
+        return MigrationStep(
+            "sweep", sorted(self._moving),
+            self._sweep,
+        )
+
+    def _sweep(self):
+        """Best-effort deletion of the now-unrouted source copies.
+
+        A residual left on the old owner is harmless today (nothing
+        routes to it) but poisonous in a future migration that hands the
+        key back; sweeping keeps the fleet clean.  Unreachable shards
+        get the keys journaled instead.
+        """
+        for key in sorted(self._moving):
+            if key in self._dropped:
+                continue  # already journaled against the source
+            source = self._moving[key][0]
+            try:
+                self._delete_on(source, key)
+            except CacheUnavailableError:
+                self.report.unavailable_errors += 1
+                self._journal([key])
+        self._emit("shard.rebalance.end", shard=self.report.shard,
+                   kind=self.report.kind, aborted=False)
+
+    # -- naive (unsafe) variant ------------------------------------------------
+
+    def _steps_add_naive(self, name, backend):
+        """Copy-then-flip with no quarantine and no dual-epoch window.
+
+        This is the move a naive operator script performs.  The model
+        checker's rebalance-unquarantined scenario runs it to exhibit
+        the stale read it admits: a writer that committed between the
+        copy and the flip invalidates only the old owner's copy, and the
+        flip resurrects the pre-write value on the new owner.
+        """
+        yield MigrationStep(
+            "begin:naive:{}".format(name), None,
+            lambda: self._begin_naive(name, backend),
+        )
+        for key in sorted(self._moving):
+            yield MigrationStep(
+                "copy:{}".format(key), [key],
+                lambda key=key: self._copy_naive(key),
+            )
+        yield MigrationStep(
+            "flip:naive:{}".format(name), None,
+            lambda: self._flip_naive(name),
+        )
+
+    def _begin_naive(self, name, backend):
+        current = self.router.ring.view()
+        self.report.source_epoch = current.epoch
+        self.router._backends[name] = backend
+        self._target = current.with_node(name)
+        self._current_view = current
+        population = set()
+        for source in current.nodes:
+            population.update(self._enumerate(source))
+        self._moving = dict(
+            ownership_diff(current, self._target, sorted(population))
+        )
+        self.report.moving = len(self._moving)
+
+    def _copy_naive(self, key):
+        source, dest = self._moving[key]
+        value = self._peek(source, key)
+        if value is not None and self._install(dest, key, value):
+            self.report.copied += 1
+        else:
+            self.report.uncopied += 1
+
+    def _flip_naive(self, name):
+        self.router.ring.add_node(name)
+        self.report.target_epoch = self.router.epoch
+
+    # -- backend plumbing ------------------------------------------------------
+
+    def _install(self, name, key, value):
+        """Place ``value`` on shard ``name`` through the IQ protocol.
+
+        ``None`` deletes any residual instead.  The copy is an ordinary
+        miss-fill -- IQget for an I token, IQset under it -- so a racing
+        invalidation on the destination (a dual-legged writer's commit)
+        voids the token and the stale install is ignored, exactly as for
+        any other reader.  Returns True when the value was stored.
+        """
+        backend = self.router.backend(name)
+        if value is None:
+            self._delete_on(name, key)
+            return False
+        result = backend.iq_get(key)
+        if result.value is not None:
+            # Residual value in the way: clear it, then retry the fill.
+            self._delete_on(name, key)
+            result = backend.iq_get(key)
+        if result.token is None:
+            return False
+        return backend.iq_set(key, value, result.token)
+
+    def _peek(self, name, key):
+        backend = self.router.backend(name)
+        get = getattr(backend, "get", None)
+        if get is None:
+            get = backend.store.get
+        hit = get(key)
+        return None if hit is None else hit[0]
+
+    def _delete_on(self, name, key):
+        backend = self.router.backend(name)
+        delete = getattr(backend, "delete", None)
+        if delete is None:
+            delete = backend.store.delete
+        delete(key)
+
+    def _journal(self, keys):
+        self.router.journal.add(keys)
+        self.report.journaled += len(keys)
+
+    @staticmethod
+    def _abort_quietly(backend, tid):
+        if tid is None:
+            return
+        try:
+            backend.abort(tid)
+        except (CacheUnavailableError, LeaseError):
+            pass
+
+
+class WarmReplica:
+    """A standby server mirroring one in-process shard's store.
+
+    The replica tails the owner's mutation stream synchronously through
+    the store hooks -- every stored value and every delete (including
+    Q-lease-expiry deletes, the paper's Section 4.2 condition 3) is
+    applied to the standby's store in commit order.  Lease state is
+    deliberately *not* mirrored: on :meth:`promote`, in-flight sessions
+    are rebuilt on the standby as invalidation legs by
+    :meth:`ShardedIQServer.promote_replica`, which is the conservative
+    translation (their commits delete, never apply, on the standby).
+
+    Only meaningful for shards whose backend exposes ``.store`` (the
+    in-process deployment and the model checker's gated shards).  Wire
+    deployments promote with :meth:`~repro.net.resilient.
+    ResilientIQServer.promote_standby` instead, where the client-side
+    journal replays delete-on-recover against the new address.
+    """
+
+    def __init__(self, router, name, standby):
+        self.router = router
+        self.name = name
+        self.standby = standby
+        owner = router.backend(name)
+        store = getattr(owner, "store", None)
+        if store is None:
+            raise TypeError(
+                "shard {!r} has no in-process store; use "
+                "ResilientIQServer.promote_standby for wire shards"
+                .format(name)
+            )
+        self._store = store
+        self._attached = False
+        self._prev_removed = None
+        self._prev_stored = None
+        self.mirrored_stores = 0
+        self.mirrored_deletes = 0
+        self._sync()
+        self._attach()
+
+    def _sync(self):
+        """Initial full copy of the owner's current values."""
+        for key in list(self._store.keys()):
+            hit = self._store.get(key)
+            if hit is not None:
+                self.standby.store.set(key, hit[0])
+
+    def _attach(self):
+        self._prev_removed = self._store.on_entry_removed
+        self._prev_stored = self._store.on_entry_stored
+        self._store.on_entry_removed = self._on_removed
+        self._store.on_entry_stored = self._on_stored
+        self._attached = True
+
+    def detach(self):
+        """Stop mirroring (owner declared dead, or replica retired)."""
+        if not self._attached:
+            return
+        self._store.on_entry_removed = self._prev_removed
+        self._store.on_entry_stored = self._prev_stored
+        self._attached = False
+
+    def _on_removed(self, key):
+        if self._prev_removed is not None:
+            self._prev_removed(key)
+        self.standby.store.delete(key)
+        self.mirrored_deletes += 1
+
+    def _on_stored(self, key, value):
+        if self._prev_stored is not None:
+            self._prev_stored(key, value)
+        self.standby.store.set(key, value)
+        self.mirrored_stores += 1
+
+    def promote(self):
+        """Take over for the owner under the same ring name.
+
+        Detaches the mirror, swaps the backend in place (epoch bump for
+        observers), rebuilds in-flight legs as invalidation sessions,
+        and reconciles the router-local journal -- whose deletes now
+        land on the standby.  Returns the number of rebuilt legs.
+        """
+        self.detach()
+        rebuilt = self.router.promote_replica(self.name, self.standby)
+        self.router.reconcile_local()
+        return rebuilt

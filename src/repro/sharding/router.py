@@ -38,6 +38,24 @@ session may hold a partial delta proposal; the client marks the leg via
 shard's keys and aborts its TID instead of committing it, so a partial
 proposal can never surface as a cached value.
 
+**Topology changes.**  The ring is no longer static: a shard can join
+or leave while sessions are in flight.  :meth:`ShardedIQServer.
+begin_rebalance` opens a *dual-epoch routing window* -- the router keeps
+routing reads by the current :class:`~repro.sharding.ring.RingView`
+while every growing-phase lease acquisition on a key whose owner differs
+between the current and the pending epoch takes **both** owners' legs.
+A write session that spans the epoch flip therefore already holds the
+leases it needs to invalidate (or apply) on whichever shard is routed
+when its shrinking phase runs, so the flip can never strand a stale
+value behind a committed transaction.  :meth:`commit_rebalance` flips
+the live ring atomically (one locked splice) and closes the window; the
+actual key movement -- quarantine, copy-or-drop, release -- is driven by
+:class:`~repro.sharding.rebalance.Rebalancer` on top of this surface.
+:meth:`promote_replica` swaps a dead shard's backend for a warm standby
+under the same ring name, rebuilding in-flight composite legs on the
+standby as invalidation sessions so their commits still delete at the
+right time.
+
 **Batching and parallel fan-out.**  The multi-key commands route by
 shard: :meth:`ShardedIQServer.qar_many` groups a session's write-set by
 owning shard and issues one bulk acquisition per shard (stopping at the
@@ -128,6 +146,22 @@ class ShardedJournal:
 
     def __bool__(self):
         return len(self) > 0
+
+
+class _RebalanceWindow:
+    """Dual-epoch routing state while one topology migration is in flight."""
+
+    __slots__ = ("target", "joining", "leaving")
+
+    def __init__(self, target, joining=None, leaving=None):
+        #: the pending :class:`~repro.sharding.ring.RingView`
+        self.target = target
+        self.joining = joining
+        self.leaving = leaving
+
+    @property
+    def subject(self):
+        return self.joining if self.joining is not None else self.leaving
 
 
 class _ShardSession:
@@ -272,6 +306,14 @@ class ShardedIQServer(LeaseBackend):
         #: shrinking-phase legs that ran through the parallel fan-out pool
         self.parallel_commit_legs = 0
         self.parallel_abort_legs = 0
+        #: in-flight dual-epoch routing window (None outside a rebalance)
+        self._window = None
+        #: topology rebalances begun (shard add or remove)
+        self.migrations = 0
+        #: growing-phase acquisitions that took a second (pending-owner) leg
+        self.dual_acquisitions = 0
+        #: warm-standby promotions that replaced a shard backend in place
+        self.replica_promotions = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -292,6 +334,250 @@ class ShardedIQServer(LeaseBackend):
     def shard_for(self, key):
         """The backend owning ``key``."""
         return self._backends[self.ring.node_for(key)]
+
+    # -- topology changes ------------------------------------------------------
+
+    @property
+    def epoch(self):
+        """The current ring topology epoch."""
+        return self.ring.epoch
+
+    @property
+    def rebalance_active(self):
+        return self._window is not None
+
+    def pending_view(self):
+        """The target :class:`RingView` of the in-flight rebalance, or None."""
+        with self._lock:
+            window = self._window
+            return window.target if window is not None else None
+
+    def _route(self, key):
+        """Routed owner names for ``key``: one normally, two in a window.
+
+        Inside a dual-epoch window a key whose owner differs between the
+        current ring and the pending view resolves to ``(current,
+        pending)`` -- in that order, so the current owner stays the
+        authoritative read/primary leg.
+        """
+        current = self.ring.node_for(key)
+        window = self._window
+        if window is None:
+            return (current,)
+        pending = window.target.node_for(key)
+        if pending == current:
+            return (current,)
+        return (current, pending)
+
+    def begin_rebalance(self, add=None, remove=None):
+        """Open a dual-epoch routing window for one topology change.
+
+        ``add=(name, backend)`` attaches a joining backend (kept off the
+        ring until the flip); ``remove=name`` marks a routed shard as
+        leaving.  Exactly one of the two must be given, and only one
+        rebalance may be in flight at a time.  Returns the pending
+        :class:`~repro.sharding.ring.RingView` the window routes against.
+        """
+        if (add is None) == (remove is None):
+            raise ValueError("exactly one of add= or remove= is required")
+        with self._lock:
+            if self._window is not None:
+                raise RuntimeError("a rebalance is already in flight")
+            current = self.ring.view()
+            if add is not None:
+                name, backend = add
+                kind = "add"
+                if name in current:
+                    raise ValueError(
+                        "shard {!r} is already routed".format(name)
+                    )
+                if backend is None:
+                    backend = self._backends.get(name)
+                if backend is None:
+                    raise ValueError(
+                        "shard {!r} has no backend to attach".format(name)
+                    )
+                self._backends[name] = backend
+                target = current.with_node(name)
+                window = _RebalanceWindow(target, joining=name)
+            else:
+                name = remove
+                kind = "remove"
+                if name not in current:
+                    raise ValueError("shard {!r} is not routed".format(name))
+                target = current.without_node(name)
+                if not len(target):
+                    raise ValueError("cannot remove the last shard")
+                window = _RebalanceWindow(target, leaving=name)
+            self._window = window
+            self.migrations += 1
+        self._dual_upgrade_inflight()
+        if self._tracer.active:
+            self._tracer.emit("shard.rebalance.begin", shard=name, kind=kind,
+                              epoch=current.epoch, target_epoch=target.epoch)
+        return target
+
+    def _dual_upgrade_inflight(self):
+        """Extend live in-flight legs onto the window's pending owners.
+
+        A session that quarantined a moving key *before* the window
+        opened holds only the current owner's leg, so its shrinking
+        phase would never touch the pending owner -- after the flip, a
+        reader could fill the pre-commit value there and nothing would
+        ever invalidate it.  Re-quarantining such keys on the pending
+        owner (shared-invalidate mode, like :meth:`promote_replica`'s
+        rebuild) closes the hole: readers back off on the new owner
+        until the session ends, and its commit/DaR deletes there too.
+        No conflicting co-grant can exist on the pending owner, because
+        any competing session's dual acquisition takes the current
+        owner's leg first -- where this session's lease already rejects
+        it.  A pending owner that cannot be acquired poisons the leg
+        instead: delete, never apply.  Keys whose source lease was
+        already released are skipped when the source backend can be
+        asked (``leases.q_held_by``); wire backends without
+        introspection upgrade conservatively, bounded by the lease TTL.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            with session.lock:
+                held = sorted({
+                    key
+                    for keys in session.keys_by_shard.values()
+                    for key in keys
+                })
+            for key in held:
+                route = self._route(key)
+                if len(route) == 1:
+                    continue
+                current, pending = route
+                with session.lock:
+                    source_tid = session.shard_tids.get(current)
+                    already = key in session.keys_by_shard.get(pending, ())
+                if already or source_tid is None:
+                    continue
+                leases = getattr(self._backends[current], "leases", None)
+                if leases is not None and not leases.q_held_by(
+                    key, source_tid
+                ):
+                    continue
+                try:
+                    shard_tid = self._shard_tid(session, pending)
+                    self._backends[pending].qar(shard_tid, key)
+                except (CacheUnavailableError, QuarantinedError):
+                    with session.lock:
+                        session.poisoned.add(pending)
+                        session.keys_by_shard.setdefault(
+                            pending, set()
+                        ).add(key)
+                    continue
+                self._record_key(session, pending, key)
+                self._count_dual(session.tid, key, pending)
+
+    def commit_rebalance(self):
+        """Atomically flip the live ring to the window's target epoch.
+
+        The flip and the window close happen under one lock acquisition,
+        so no concurrent router call can observe the post-flip ring with
+        the window still open.  Returns the list of
+        :class:`~repro.sharding.ring.OwnershipChange` arcs that moved.
+        """
+        with self._lock:
+            window = self._window
+            if window is None:
+                raise RuntimeError("no rebalance in flight")
+            if window.joining is not None:
+                changes = self.ring.add_node(window.joining)
+            else:
+                changes = self.ring.remove_node(window.leaving)
+            self._window = None
+        if self._tracer.active:
+            self._tracer.emit("shard.rebalance.flip", shard=window.subject,
+                              epoch=self.ring.epoch, arcs=len(changes))
+        return changes
+
+    def abort_rebalance(self):
+        """Close the window without flipping (failed/cancelled migration).
+
+        A joining backend stays attached but unrouted (in-flight dual
+        legs must still resolve it); :meth:`detach_shard` drops it once
+        drained.  Returns True when a window was actually open.
+        """
+        with self._lock:
+            window, self._window = self._window, None
+        if window is not None and self._tracer.active:
+            self._tracer.emit("shard.rebalance.abort", shard=window.subject)
+        return window is not None
+
+    def detach_shard(self, name):
+        """Drop an attached-but-unrouted backend; returns the backend.
+
+        Only legal once the shard is off the ring (after a removal flip
+        or an aborted join): in-flight shrinking-phase legs resolve
+        backends by name, so the caller is responsible for draining its
+        sessions first.
+        """
+        if name in self.ring.nodes:
+            raise ValueError("shard {!r} is still routed".format(name))
+        with self._lock:
+            window = self._window
+            if window is not None and name == window.subject:
+                raise ValueError(
+                    "shard {!r} has a rebalance in flight".format(name)
+                )
+            return self._backends.pop(name)
+
+    def promote_replica(self, name, standby):
+        """Swap shard ``name``'s backend for its warm standby, in place.
+
+        The standby keeps the ring name, so key ownership is unchanged
+        (the epoch still advances for observers).  Every in-flight
+        composite session with a leg on the shard is rebuilt on the
+        standby as an *invalidation* session: a fresh TID re-quarantines
+        the leg's keys with shared-invalidate Q leases, so the session's
+        commit deletes them on the standby after its SQL commit -- the
+        conservative translation (deltas and refreshes degrade to
+        delete-then-refill) that can never surface a stale or partial
+        value.  A leg the standby cannot re-quarantine is poisoned and
+        its keys journaled, exactly like a degraded shard.  Returns the
+        number of rebuilt legs.
+        """
+        with self._lock:
+            if name not in self._backends:
+                raise KeyError("unknown shard {!r}".format(name))
+            self._backends[name] = standby
+            sessions = list(self._sessions.values())
+            self.replica_promotions += 1
+        rebuilt = 0
+        for session in sessions:
+            with session.lock:
+                keys = sorted(session.keys_by_shard.get(name, ()))
+                had_leg = keys or name in session.shard_tids
+            if not had_leg:
+                continue
+            try:
+                new_tid = standby.gen_id()
+                for key in keys:
+                    standby.qar(new_tid, key)
+            except (CacheUnavailableError, QuarantinedError):
+                # The standby could not re-quarantine the leg; degrade
+                # it like a failed shard: journal the keys and poison
+                # the leg so the shrinking phase deletes, never applies.
+                self.journal.add(keys)
+                with self._lock:
+                    self.journaled_commit_keys += len(keys)
+                with session.lock:
+                    session.poisoned.add(name)
+                    session.shard_tids.pop(name, None)
+                continue
+            with session.lock:
+                session.shard_tids[name] = new_tid
+            rebuilt += 1
+        epoch = self.ring.bump_epoch()
+        if self._tracer.active:
+            self._tracer.emit("shard.replica.promote", shard=name,
+                              epoch=epoch, rebuilt=rebuilt)
+        return rebuilt
 
     # -- composite-session plumbing -------------------------------------------
 
@@ -405,19 +691,48 @@ class ShardedIQServer(LeaseBackend):
 
     # -- growing phase: per-key lease acquisition ------------------------------
 
-    def qaread(self, key, tid):
-        name = self.ring.node_for(key)
-        session = self._composite(tid, key)
-        result = self._backends[name].qaread(key, self._shard_tid(session, name))
-        self._record_key(session, name, key)
+    def _count_dual(self, tid, key, name):
+        with self._lock:
+            self.dual_acquisitions += 1
+        if self._tracer.active:
+            self._tracer.emit("shard.route.dual", key=key, tid=tid,
+                              shard=name)
+
+    def _fan_acquire(self, session, key, command):
+        """Run one growing-phase acquisition on every routed owner of ``key``.
+
+        ``command(backend, shard_tid)`` issues the actual lease command.
+        Outside a rebalance window there is exactly one owner.  Inside
+        the window a moving key acquires on the current owner *and* the
+        pending owner, in that order, so a session spanning the epoch
+        flip holds the leases needed on whichever shard ends up routed.
+        The current owner's result is returned; a pending-owner
+        rejection or failure propagates -- the client aborts or degrades
+        the key exactly as for a single-owner failure, and both recorded
+        legs are released by the shrinking phase.
+        """
+        result = None
+        for position, name in enumerate(self._route(key)):
+            leg = command(self._backends[name],
+                          self._shard_tid(session, name))
+            self._record_key(session, name, key)
+            if position == 0:
+                result = leg
+            else:
+                self._count_dual(session.tid, key, name)
         return result
 
-    def qar(self, tid, key):
-        name = self.ring.node_for(key)
+    def qaread(self, key, tid):
         session = self._composite(tid, key)
-        result = self._backends[name].qar(self._shard_tid(session, name), key)
-        self._record_key(session, name, key)
-        return result
+        return self._fan_acquire(
+            session, key, lambda backend, st: backend.qaread(key, st)
+        )
+
+    def qar(self, tid, key):
+        session = self._composite(tid, key)
+        return self._fan_acquire(
+            session, key, lambda backend, st: backend.qar(st, key)
+        )
 
     def qar_many(self, tid, keys):
         """Bulk invalidation ``QaR``: one batched acquisition per shard.
@@ -435,6 +750,11 @@ class ShardedIQServer(LeaseBackend):
         keys = list(keys)
         if not keys:
             return {}
+        if self._window is not None:
+            # Dual-epoch window: fall back to the per-key loop so every
+            # moving key acquires both owners' legs.  Costs the batched
+            # round trip for the window's duration only.
+            return LeaseBackend.qar_many(self, tid, keys)
         session = self._composite(tid, keys[0])
         by_shard = {}
         for key in keys:
@@ -476,36 +796,31 @@ class ShardedIQServer(LeaseBackend):
         return results
 
     def iq_delta(self, tid, key, op, operand):
-        name = self.ring.node_for(key)
         session = self._composite(tid, key)
-        result = self._backends[name].iq_delta(
-            self._shard_tid(session, name), key, op, operand
+        return self._fan_acquire(
+            session, key,
+            lambda backend, st: backend.iq_delta(st, key, op, operand),
         )
-        self._record_key(session, name, key)
-        return result
 
     def sar(self, key, value, tid):
-        name = self.ring.node_for(key)
         session = self._lookup(tid)
         if session is None:
             # Parity with IQServer.sar: an unknown or retired session
             # holds no lease anywhere -- the write is ignored, and no
             # shard TID is minted on its behalf.
             return False
-        result = self._backends[name].sar(key, value, self._shard_tid(session, name))
-        self._record_key(session, name, key)
-        return result
+        return self._fan_acquire(
+            session, key, lambda backend, st: backend.sar(key, value, st)
+        )
 
     def propose_refresh(self, key, value, tid):
-        name = self.ring.node_for(key)
         session = self._lookup(tid)
         if session is None:
             return False
-        result = self._backends[name].propose_refresh(
-            key, value, self._shard_tid(session, name)
+        return self._fan_acquire(
+            session, key,
+            lambda backend, st: backend.propose_refresh(key, value, st),
         )
-        self._record_key(session, name, key)
-        return result
 
     def poison(self, tid, key):
         """Mark ``key``'s shard so this session's leg there aborts.
@@ -516,19 +831,24 @@ class ShardedIQServer(LeaseBackend):
         value with the partial proposal applied.  The shrinking phase
         deletes the poisoned leg's keys and aborts its TID instead (see
         :meth:`_abort_poisoned`).  Returns False for an unknown session.
+
+        During a rebalance window a moving key poisons both owners'
+        legs -- either epoch's copy could be routed after the flip, so
+        both must be deleted rather than committed.
         """
-        name = self.ring.node_for(key)
         session = self._lookup(tid)
         if session is None:
             return False
-        with session.lock:
-            session.poisoned.add(name)
-            # Recorded even when the failing command never reached the
-            # shard: the key's cached value is stale once the SQL
-            # commits, so the poisoned leg must delete it.
-            session.keys_by_shard.setdefault(name, set()).add(key)
-        if self._tracer.active:
-            self._tracer.emit("shard.poison", key=key, tid=tid, shard=name)
+        for name in self._route(key):
+            with session.lock:
+                session.poisoned.add(name)
+                # Recorded even when the failing command never reached
+                # the shard: the key's cached value is stale once the
+                # SQL commits, so the poisoned leg must delete it.
+                session.keys_by_shard.setdefault(name, set()).add(key)
+            if self._tracer.active:
+                self._tracer.emit("shard.poison", key=key, tid=tid,
+                                  shard=name)
         return True
 
     # -- shrinking phase: fan-out across touched shards ------------------------
@@ -707,13 +1027,20 @@ class ShardedIQServer(LeaseBackend):
     # -- plumbing ---------------------------------------------------------------
 
     def mdelete(self, keys):
-        """Bulk delete routed by shard; returns the total hit count."""
+        """Bulk delete routed by shard; returns the total hit count.
+
+        During a rebalance window a moving key is deleted on both its
+        current and pending owner (each hit counted), so a reconcile
+        pass that races the flip can never leave the soon-to-be-routed
+        copy standing.
+        """
         keys = list(keys)
         if not keys:
             return 0
         by_shard = {}
         for key in keys:
-            by_shard.setdefault(self.ring.node_for(key), []).append(key)
+            for name in self._route(key):
+                by_shard.setdefault(name, []).append(key)
         hits = 0
         for name, shard_keys in by_shard.items():
             backend = self._backends[name]
@@ -735,6 +1062,10 @@ class ShardedIQServer(LeaseBackend):
             return {
                 "parallel_commit_legs": self.parallel_commit_legs,
                 "parallel_abort_legs": self.parallel_abort_legs,
+                "ring_epoch": self.ring.epoch,
+                "migrations": self.migrations,
+                "dual_acquisitions": self.dual_acquisitions,
+                "replica_promotions": self.replica_promotions,
             }
 
     @property
@@ -773,7 +1104,10 @@ class ShardedIQServer(LeaseBackend):
         done = 0
         for index, key in enumerate(keys):
             try:
-                self._shard_delete(self.ring.node_for(key), key)
+                # Both owners during a rebalance window: the journaled
+                # key may be stale on either epoch's shard.
+                for name in self._route(key):
+                    self._shard_delete(name, key)
             except CacheUnavailableError:
                 self.journal.add(keys[index:])
                 break

@@ -111,6 +111,79 @@ class TestConnectionPoolUnit:
             pool.acquire()
 
 
+class TestDiscardAccounting:
+    """A shard death discards every connection; the pool must re-dial.
+
+    The regression shape: during a dead-shard burst each caller's error
+    path discarded its connection, and double-settlement (discard after
+    release, or two discards of one connection) corrupted ``_total``
+    until the pool believed it was at capacity with no connections --
+    every later acquire blocked forever instead of re-dialing.
+    """
+
+    def test_all_discarded_pool_redials_lazily(self):
+        dialed = []
+
+        def dial():
+            conn = _FakeConn()
+            dialed.append(conn)
+            return conn
+
+        pool = ConnectionPool(dial, 2)
+        a, b = pool.acquire(), pool.acquire()
+        pool.discard(a)
+        pool.discard(b)
+        assert pool.live_connections == 0
+        fresh = pool.acquire()  # must dial, not block on phantom capacity
+        assert fresh not in (a, b)
+        assert len(dialed) == 3
+        pool.release(fresh)
+        pool.close()
+
+    def test_double_discard_settles_once(self):
+        pool = ConnectionPool(_FakeConn, 1)
+        conn = pool.acquire()
+        pool.discard(conn)
+        pool.discard(conn)  # second settlement must be a no-op
+        replacement = pool.acquire()
+        assert replacement is not conn
+        pool.release(replacement)
+        pool.close()
+
+    def test_discard_after_release_settles_once(self):
+        pool = ConnectionPool(_FakeConn, 1)
+        conn = pool.acquire()
+        pool.release(conn)
+        pool.discard(conn)  # removes the idle connection, settling once
+        assert conn.closed
+        replacement = pool.acquire()  # slot freed exactly once: no block
+        assert replacement is not conn
+        pool.release(replacement)
+        pool.close()
+
+    def test_double_release_is_a_noop(self):
+        pool = ConnectionPool(_FakeConn, 2)
+        conn = pool.acquire()
+        pool.release(conn)
+        pool.release(conn)
+        a, b = pool.acquire(), pool.acquire()
+        assert conn in (a, b)
+        assert a is not b  # the double release must not duplicate the idle
+        pool.release(a)
+        pool.release(b)
+        pool.close()
+
+    def test_foreign_connection_is_rejected(self):
+        pool = ConnectionPool(_FakeConn, 1)
+        stranger = _FakeConn()
+        pool.discard(stranger)
+        pool.release(stranger)
+        assert not stranger.closed
+        conn = pool.acquire()  # capacity untouched by the stranger
+        pool.release(conn)
+        pool.close()
+
+
 class TestResilientConcurrency:
     """The PR 5 contract: callers no longer serialize on one socket."""
 

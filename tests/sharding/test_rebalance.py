@@ -1,0 +1,317 @@
+"""Online rebalancing: quarantine-copy-flip migrations and warm replicas.
+
+The model checker (tests/mc/test_rebalance_mc.py) proves the protocol
+over every interleaving of small configurations; these tests pin the
+deterministic mechanics -- reports, routing, journal hand-off, the
+dual-epoch upgrade of in-flight sessions, and replica promotion -- on
+larger key populations.
+"""
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.errors import QuarantinedError
+from repro.obs.audit import CATEGORY_QUARANTINE_LEAK, audited
+from repro.sharding import (
+    ConsistentHashRing,
+    Rebalancer,
+    ShardedIQServer,
+    WarmReplica,
+)
+
+
+def build_router(shards=2, keys=40):
+    router = ShardedIQServer(
+        [IQServer() for _ in range(shards)], fanout_workers=0
+    )
+    seeded = {}
+    for i in range(keys):
+        key = "key{}".format(i)
+        value = "v{}".format(i).encode()
+        router.shard_for(key).store.set(key, value)
+        seeded[key] = value
+    return router, seeded
+
+
+def moving_keys(seeded, joiner="shard2", members=("shard0", "shard1")):
+    old = ConsistentHashRing(list(members), vnodes=64)
+    new = ConsistentHashRing(list(members) + [joiner], vnodes=64)
+    return sorted(
+        key for key in seeded
+        if old.node_for(key) != new.node_for(key)
+    )
+
+
+def cached_value(router, key):
+    hit = router.shard_for(key).store.get(key)
+    return None if hit is None else hit[0]
+
+
+class TestAddShard:
+    def test_values_follow_ownership(self):
+        router, seeded = build_router()
+        moving = moving_keys(seeded)
+        assert moving, "hash layout must move at least one key"
+        report = Rebalancer(router).add_shard("shard2", IQServer())
+        assert report.completed
+        assert report.kind == "add"
+        assert report.moving == len(moving)
+        assert report.copied == len(moving)
+        assert report.dropped == 0
+        for key, value in seeded.items():
+            assert cached_value(router, key) == value
+        for key in moving:
+            assert router.shard_name_for(key) == "shard2"
+
+    def test_epoch_advances_and_window_closes(self):
+        router, _ = build_router()
+        before = router.epoch
+        Rebalancer(router).add_shard("shard2", IQServer())
+        assert router.epoch == before + 1
+        assert not router.rebalance_active
+        counters = router._router_counters()
+        assert counters["migrations"] == 1
+        assert counters["ring_epoch"] == router.epoch
+
+    def test_sources_are_swept_clean(self):
+        router, seeded = build_router()
+        moving = moving_keys(seeded)
+        Rebalancer(router).add_shard("shard2", IQServer())
+        for key in moving:
+            for name in ("shard0", "shard1"):
+                assert router.backend(name).store.get(key) is None
+
+    def test_copy_values_false_serves_misses(self):
+        router, seeded = build_router()
+        moving = moving_keys(seeded)
+        report = Rebalancer(router, copy_values=False).add_shard(
+            "shard2", IQServer()
+        )
+        assert report.copied == 0
+        assert report.uncopied == len(moving)
+        for key in moving:
+            assert cached_value(router, key) is None
+
+    def test_migration_leaves_no_quarantine_leak(self):
+        router, _ = build_router()
+        with audited() as auditor:
+            Rebalancer(router).add_shard("shard2", IQServer())
+        leaks = [
+            v for v in auditor.violations
+            if v.category == CATEGORY_QUARANTINE_LEAK
+        ]
+        assert not leaks
+        assert not auditor.quarantined_keys()
+
+
+class TestRemoveShard:
+    def test_keys_return_to_survivors(self):
+        router, seeded = build_router()
+        Rebalancer(router).add_shard("shard2", IQServer())
+        report = Rebalancer(router).remove_shard("shard2")
+        assert report.completed
+        for key, value in seeded.items():
+            assert router.shard_name_for(key) != "shard2"
+            assert cached_value(router, key) == value
+        router.detach_shard("shard2")
+        assert "shard2" not in router.shard_names
+
+    def test_dead_removal_skips_reads_and_misses(self):
+        router, seeded = build_router()
+        Rebalancer(router).add_shard("shard2", IQServer())
+        moving = [
+            key for key in seeded
+            if router.shard_name_for(key) == "shard2"
+        ]
+        report = Rebalancer(router).remove_shard("shard2", dead=True)
+        assert report.completed
+        assert report.kind == "remove-dead"
+        assert report.copied == 0
+        for key in moving:
+            assert router.shard_name_for(key) != "shard2"
+            assert cached_value(router, key) is None  # miss, never stale
+
+    def test_residuals_on_survivors_are_deleted(self):
+        router, seeded = build_router()
+        Rebalancer(router).add_shard("shard2", IQServer())
+        victim = next(
+            key for key in sorted(seeded)
+            if router.shard_name_for(key) == "shard2"
+        )
+        # Plant a stale leftover on the shard that will regain the key.
+        two_ring = ConsistentHashRing(["shard0", "shard1"], vnodes=64)
+        regainer = two_ring.node_for(victim)
+        router.backend(regainer).store.set(victim, b"stale-residual")
+        report = Rebalancer(
+            router, copy_values=False
+        ).remove_shard("shard2")
+        assert report.completed
+        assert cached_value(router, victim) != b"stale-residual"
+
+    def test_cannot_remove_last_shard(self):
+        router = ShardedIQServer([IQServer()], fanout_workers=0)
+        with pytest.raises(ValueError):
+            Rebalancer(router).remove_shard("shard0")
+
+
+class TestContention:
+    def test_contended_key_is_dropped_and_journaled(self):
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        holder = router.gen_id()
+        router.qar(holder, victim)  # a live writer's Q lease
+        report = Rebalancer(router, quarantine_attempts=2).add_shard(
+            "shard2", IQServer()
+        )
+        assert report.completed
+        assert report.dropped == 1
+        assert report.quarantine_rejections == 2
+        assert victim in router.journal.peek()
+        # The new owner serves a miss for the dropped key, never a copy.
+        assert router.backend("shard2").store.get(victim) is None
+        router.dar(holder)
+
+    def test_inflight_writer_is_dual_legged_at_begin(self):
+        # The schedule the model checker found: a writer quarantines a
+        # moving key *before* the window opens, out-quarantines the
+        # migrator (drop), and commits after the flip.  The begin-time
+        # upgrade must extend its leg to the new owner so readers there
+        # back off until its DaR deletes both copies.
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        writer = router.gen_id()
+        router.qar(writer, victim)
+        joiner = IQServer()
+        rebalancer = Rebalancer(router, quarantine_attempts=1)
+        steps = rebalancer.steps_add("shard2", joiner)
+        for step in steps:
+            step.run()
+        assert rebalancer.report.dropped == 1
+        assert router.shard_name_for(victim) == "shard2"
+        # Post-flip, pre-DaR: the upgraded leg's Q lease fences fills.
+        fill = router.iq_get(victim)
+        assert fill.token is None and fill.backoff
+        router.dar(writer)
+        # After the DaR both copies are gone; a fresh fill is admitted.
+        assert router.backend("shard2").store.get(victim) is None
+        fill = router.iq_get(victim)
+        assert fill.token is not None
+        assert router.iq_set(victim, b"committed", fill.token)
+        assert cached_value(router, victim) == b"committed"
+
+    def test_released_sessions_are_not_upgraded(self):
+        # A refresh session that already SaR'd (no terminal command)
+        # lingers in the router's session map; the upgrade must skip it
+        # or its never-released dest leg would fence the key until TTL.
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        done = router.gen_id()
+        router.qaread(victim, done)
+        router.sar(victim, b"refreshed", done)  # lease released here
+        Rebalancer(router).add_shard("shard2", IQServer())
+        fill = router.iq_get(victim)
+        assert fill.value == b"refreshed"  # copied, served, unfenced
+
+    def test_abort_releases_quarantines_and_window(self):
+        router, seeded = build_router()
+        rebalancer = Rebalancer(router)
+        steps = rebalancer.steps_add("shard2", IQServer())
+        ran = 0
+        for step in steps:
+            step.run()
+            ran += 1
+            if step.label.startswith("move:"):
+                break
+        assert router.rebalance_active
+        rebalancer.abort()
+        assert not router.rebalance_active
+        assert not rebalancer._held
+        # Every key is still readable where the old ring routes it.
+        for key, value in seeded.items():
+            assert router.shard_name_for(key) != "shard2"
+        victim = moving_keys(seeded)[0]
+        tid = router.gen_id()
+        router.qaread(victim, tid)  # would raise if a lease leaked
+        router.abort(tid)
+
+
+class TestNaiveMoveIsUnsafe:
+    def test_copy_then_flip_resurrects_pre_write_value(self):
+        # The control experiment: without quarantine or a window, a
+        # writer committing between copy and flip leaves the new owner's
+        # copy stale -- the exact bug the safe protocol exists to
+        # prevent (the mc scenario explores it; this pins one schedule).
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        rebalancer = Rebalancer(router, safe=False)
+        steps = rebalancer.steps_add("shard2", IQServer())
+        for step in steps:
+            if step.label.startswith("flip:"):
+                writer = router.gen_id()
+                router.qar(writer, victim)
+                router.dar(writer)  # invalidates the old owner only
+            step.run()
+        assert router.shard_name_for(victim) == "shard2"
+        assert cached_value(router, victim) == seeded[victim]  # stale!
+
+
+class TestWarmReplica:
+    def test_mirror_tracks_stores_and_deletes(self):
+        router, seeded = build_router()
+        victim = sorted(seeded)[0]
+        owner = router.shard_name_for(victim)
+        standby = IQServer()
+        replica = WarmReplica(router, owner, standby)
+        assert standby.store.get(victim)[0] == seeded[victim]  # synced
+        router.backend(owner).store.set(victim, b"updated")
+        assert standby.store.get(victim)[0] == b"updated"
+        router.backend(owner).store.delete(victim)
+        assert standby.store.get(victim) is None
+        assert replica.mirrored_stores >= 1
+        assert replica.mirrored_deletes >= 1
+
+    def test_promote_swaps_backend_in_place(self):
+        router, seeded = build_router()
+        victim = sorted(seeded)[0]
+        owner = router.shard_name_for(victim)
+        replica = WarmReplica(router, owner, IQServer())
+        before = router.epoch
+        replica.promote()
+        assert router.epoch == before + 1
+        assert router.backend(owner) is replica.standby
+        assert cached_value(router, victim) == seeded[victim]
+
+    def test_promote_rebuilds_inflight_legs_as_invalidations(self):
+        router, seeded = build_router()
+        victim = sorted(seeded)[0]
+        owner = router.shard_name_for(victim)
+        replica = WarmReplica(router, owner, IQServer())
+        writer = router.gen_id()
+        router.qar(writer, victim)
+        rebuilt = replica.promote()
+        assert rebuilt == 1
+        # The rebuilt leg fences the standby until the writer's DaR.
+        with pytest.raises(QuarantinedError):
+            other = router.gen_id()
+            router.qaread(victim, other)
+        router.dar(writer)
+        assert replica.standby.store.get(victim) is None  # invalidated
+
+    def test_detach_stops_mirroring(self):
+        router, seeded = build_router()
+        victim = sorted(seeded)[0]
+        owner = router.shard_name_for(victim)
+        replica = WarmReplica(router, owner, IQServer())
+        replica.detach()
+        router.backend(owner).store.set(victim, b"after-detach")
+        assert replica.standby.store.get(victim)[0] == seeded[victim]
+
+    def test_wire_backend_without_store_is_rejected(self):
+        router, _ = build_router()
+
+        class Storeless:
+            pass
+
+        router._backends["shard0"] = Storeless()
+        with pytest.raises(TypeError):
+            WarmReplica(router, "shard0", IQServer())

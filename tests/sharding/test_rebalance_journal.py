@@ -1,0 +1,102 @@
+"""ShardedJournal reconciliation racing a ring change.
+
+A key is journaled when a degraded write may have left its cached copy
+stale.  The journal records the *key*, not the shard -- so when a
+rebalance moves the key between journaling and reconciliation, the
+delete-on-recover pass must chase the key to wherever the current (or
+pending) ring routes it, never to the shard that owned it at journal
+time.
+"""
+
+from repro.core.iq_server import IQServer
+from repro.sharding import ConsistentHashRing, Rebalancer, ShardedIQServer
+
+
+def build_router(keys=40):
+    router = ShardedIQServer([IQServer(), IQServer()], fanout_workers=0)
+    seeded = {}
+    for i in range(keys):
+        key = "key{}".format(i)
+        value = "v{}".format(i).encode()
+        router.shard_for(key).store.set(key, value)
+        seeded[key] = value
+    return router, seeded
+
+
+def first_moving_key(seeded):
+    old = ConsistentHashRing(["shard0", "shard1"], vnodes=64)
+    new = ConsistentHashRing(["shard0", "shard1", "shard2"], vnodes=64)
+    return sorted(
+        key for key in seeded if old.node_for(key) != new.node_for(key)
+    )[0]
+
+
+class TestJournalRacingRingChange:
+    def test_key_journaled_pre_flip_is_deleted_on_new_owner(self):
+        # Journal against the old owner, migrate, then reconcile: the
+        # deletion must land on the post-flip owner, where the possibly
+        # stale copy now lives.
+        router, seeded = build_router()
+        victim = first_moving_key(seeded)
+        old_owner = router.shard_name_for(victim)
+        router.journal.add([victim])
+        assert victim in router.journal.peek()
+        Rebalancer(router).add_shard("shard2", IQServer())
+        assert router.shard_name_for(victim) == "shard2"
+        done = router.reconcile_local()
+        assert done >= 1
+        assert victim not in router.journal.peek()
+        assert router.backend("shard2").store.get(victim) is None
+        assert router.backend(old_owner).store.get(victim) is None
+
+    def test_reconcile_mid_window_deletes_both_epochs_copies(self):
+        # While the dual-epoch window is open the journaled key may be
+        # cached on either epoch's owner; reconciliation must delete on
+        # both routes, not just the current one.
+        router, seeded = build_router()
+        victim = first_moving_key(seeded)
+        old_owner = router.shard_name_for(victim)
+        joiner = IQServer()
+        router.begin_rebalance(add=("shard2", joiner))
+        joiner.store.set(victim, b"shadow-copy")
+        router.journal.add([victim])
+        done = router.reconcile_local()
+        assert done >= 1
+        assert router.backend(old_owner).store.get(victim) is None
+        assert joiner.store.get(victim) is None
+        router.abort_rebalance()
+        router.detach_shard("shard2")
+
+    def test_key_dropped_by_migration_reconciles_after_flip(self):
+        # End to end: a contended key the migrator drops is journaled;
+        # the next reconcile pass clears it against the new ring and no
+        # copy survives anywhere.
+        router, seeded = build_router()
+        victim = first_moving_key(seeded)
+        holder = router.gen_id()
+        router.qar(holder, victim)
+        report = Rebalancer(router, quarantine_attempts=1).add_shard(
+            "shard2", IQServer()
+        )
+        assert report.dropped == 1
+        assert victim in router.journal.peek()
+        router.dar(holder)  # writer finishes, deleting its own copies
+        done = router.reconcile_local()
+        assert done >= 1
+        assert victim not in router.journal.peek()
+        for name in router.shard_names:
+            assert router.backend(name).store.get(victim) is None
+
+    def test_journal_counts_survive_the_ring_change(self):
+        router, seeded = build_router()
+        victim = first_moving_key(seeded)
+        router.journal.add([victim])
+        router.journal.add([victim])  # idempotent
+        before = router.journal.total_journaled
+        Rebalancer(router).add_shard("shard2", IQServer())
+        assert router.journal.total_journaled == before
+        router.reconcile_local()
+        # total_journaled is a lifetime counter; reconciling must not
+        # reset it, only empty the pending set.
+        assert router.journal.total_journaled == before
+        assert victim not in router.journal.peek()

@@ -84,3 +84,144 @@ def test_len_counts_physical_nodes():
     ring = ConsistentHashRing(["x", "y"], vnodes=32)
     assert len(ring) == 2
     assert ring.nodes == ["x", "y"]
+
+
+# -- Topology-change introspection (epochs, arcs, views) ----------------
+
+from repro.sharding import RingView, ownership_diff  # noqa: E402
+from repro.sharding.ring import OwnershipChange  # noqa: E402
+
+
+def test_add_node_arcs_cover_exactly_the_moved_keys():
+    ring = ConsistentHashRing(["a", "b"], vnodes=32)
+    before = {key: ring.node_for(key) for key in KEYS}
+    changes = ring.add_node("c")
+    for key in KEYS:
+        moved = before[key] != ring.node_for(key)
+        covered = any(change.covers(key) for change in changes)
+        assert moved == covered, key
+    for change in changes:
+        assert change.new_owner == "c"
+        assert change.old_owner in ("a", "b")
+
+
+def test_remove_node_arcs_cover_exactly_the_moved_keys():
+    ring = ConsistentHashRing(["a", "b", "c"], vnodes=32)
+    before = {key: ring.node_for(key) for key in KEYS}
+    changes = ring.remove_node("c")
+    for key in KEYS:
+        moved = before[key] != ring.node_for(key)
+        covered = any(change.covers(key) for change in changes)
+        assert moved == covered, key
+    for change in changes:
+        assert change.old_owner == "c"
+        assert change.new_owner in ("a", "b")
+
+
+def test_full_circle_arcs_for_first_and_last_node():
+    ring = ConsistentHashRing([], vnodes=8)
+    (arc,) = ring.add_node("only")
+    assert (arc.start, arc.end) == (0, 0)
+    assert arc.old_owner is None and arc.new_owner == "only"
+    assert arc.covers("anything")
+    (arc,) = ring.remove_node("only")
+    assert (arc.start, arc.end) == (0, 0)
+    assert arc.old_owner == "only" and arc.new_owner is None
+
+
+def test_covers_position_handles_wrapping_arcs():
+    wrapping = OwnershipChange(2 ** 63, 5, "a", "b")
+    assert wrapping.covers_position(2 ** 63 + 1)
+    assert wrapping.covers_position(5)
+    assert not wrapping.covers_position(2 ** 63)  # half-open at start
+    assert not wrapping.covers_position(6)
+    plain = OwnershipChange(10, 20, "a", "b")
+    assert plain.covers_position(20)
+    assert not plain.covers_position(10)
+    assert not plain.covers_position(21)
+
+
+def test_mutations_advance_the_epoch():
+    ring = ConsistentHashRing(["a"], vnodes=8)
+    start = ring.epoch
+    ring.add_node("b")
+    assert ring.epoch == start + 1
+    ring.remove_node("b")
+    assert ring.epoch == start + 2
+    ring.bump_epoch()
+    assert ring.epoch == start + 3
+
+
+def test_view_is_immutable_under_live_mutation():
+    ring = ConsistentHashRing(["a", "b"], vnodes=32)
+    view = ring.view()
+    owners = {key: view.node_for(key) for key in KEYS}
+    ring.add_node("c")
+    assert all(view.node_for(key) == owners[key] for key in KEYS)
+    assert "c" not in view
+    assert view.epoch == ring.epoch - 1
+
+
+def test_with_node_matches_a_real_add():
+    ring = ConsistentHashRing(["a", "b"], vnodes=32)
+    derived = ring.view().with_node("c")
+    ring.add_node("c")
+    live = ring.view()
+    assert derived.epoch == live.epoch
+    assert derived.nodes == live.nodes
+    assert all(derived.node_for(key) == live.node_for(key) for key in KEYS)
+    with pytest.raises(ValueError):
+        derived.with_node("c")
+
+
+def test_without_node_matches_a_real_remove():
+    ring = ConsistentHashRing(["a", "b", "c"], vnodes=32)
+    derived = ring.view().without_node("c")
+    ring.remove_node("c")
+    live = ring.view()
+    assert derived.nodes == live.nodes
+    assert all(derived.node_for(key) == live.node_for(key) for key in KEYS)
+    with pytest.raises(ValueError):
+        derived.without_node("c")
+
+
+def test_ownership_diff_reports_each_moved_key_once():
+    ring = ConsistentHashRing(["a", "b"], vnodes=32)
+    old_view = ring.view()
+    new_view = old_view.with_node("c")
+    moves = ownership_diff(old_view, new_view, KEYS)
+    assert moves  # some keys must move
+    for key, (old_owner, new_owner) in moves.items():
+        assert old_view.node_for(key) == old_owner
+        assert new_view.node_for(key) == new_owner
+        assert new_owner == "c"
+    for key in set(KEYS) - set(moves):
+        assert old_view.node_for(key) == new_view.node_for(key)
+
+
+def test_concurrent_mutation_is_thread_safe():
+    import threading
+
+    ring = ConsistentHashRing(["seed"], vnodes=16)
+    errors = []
+
+    def churn(name):
+        try:
+            for _ in range(25):
+                ring.add_node(name)
+                for key in KEYS[:50]:
+                    ring.node_for(key)
+                ring.remove_node(name)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=churn, args=("n{}".format(i),))
+        for i in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert ring.nodes == ["seed"]
