@@ -392,6 +392,16 @@ class CacheStore:
 
     # -- introspection --------------------------------------------------------
 
+    def locked(self):
+        """The store's reentrant mutation lock, for atomic multi-command use.
+
+        Mutation hooks (:attr:`on_entry_stored` / :attr:`on_entry_removed`)
+        fire while this lock is held, so a mirror can install its hooks
+        and copy the current contents under one acquisition with no gap
+        a racing write or delete could slip through.
+        """
+        return self._lock
+
     def __len__(self):
         with self._lock:
             return len(self._table)

@@ -58,6 +58,7 @@ checker can demonstrate the stale read it produces (and that the safe
 protocol is not vacuously passing).
 """
 
+import contextlib
 import time
 
 from repro.errors import CacheUnavailableError, LeaseError, QuarantinedError
@@ -619,8 +620,18 @@ class WarmReplica:
         self._prev_stored = None
         self.mirrored_stores = 0
         self.mirrored_deletes = 0
-        self._sync()
-        self._attach()
+        # Hook installation and the initial copy happen atomically
+        # under the store's (reentrant) mutation lock -- the hooks fire
+        # inside that lock, so no write or delete can land between an
+        # already-copied key and the moment the mirror starts tailing.
+        # Either order alone drops mutations: sync-then-attach loses a
+        # write to a copied key; attach-then-sync without the lock can
+        # resurrect a value deleted between the copy's read and write.
+        locked = getattr(store, "locked", None)
+        guard = locked() if callable(locked) else contextlib.nullcontext()
+        with guard:
+            self._attach()
+            self._sync()
 
     def _sync(self):
         """Initial full copy of the owner's current values."""

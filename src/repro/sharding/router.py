@@ -47,7 +47,12 @@ between the current and the pending epoch takes **both** owners' legs.
 A write session that spans the epoch flip therefore already holds the
 leases it needs to invalidate (or apply) on whichever shard is routed
 when its shrinking phase runs, so the flip can never strand a stale
-value behind a committed transaction.  :meth:`commit_rebalance` flips
+value behind a committed transaction.  Routing snapshots the ring and
+the window together under the router lock -- the same lock the flip
+holds -- and every acquisition re-checks the route once it is recorded,
+retroactively dual-legging a key whose window opened (or flipped) while
+the command was in flight; between the snapshot and the re-check, one
+side is guaranteed to see the other.  :meth:`commit_rebalance` flips
 the live ring atomically (one locked splice) and closes the window; the
 actual key movement -- quarantine, copy-or-drop, release -- is driven by
 :class:`~repro.sharding.rebalance.Rebalancer` on top of this surface.
@@ -73,7 +78,7 @@ import queue
 import threading
 
 from repro.core.backend import LeaseBackend
-from repro.errors import CacheUnavailableError, QuarantinedError
+from repro.errors import CacheUnavailableError, LeaseError, QuarantinedError
 from repro.kvs.stats import MergedCacheStats
 from repro.obs.trace import current_trace_id, get_tracer, trace_context
 from repro.sharding.ring import ConsistentHashRing
@@ -360,14 +365,28 @@ class ShardedIQServer(LeaseBackend):
         pending)`` -- in that order, so the current owner stays the
         authoritative read/primary leg.
         """
-        current = self.ring.node_for(key)
-        window = self._window
-        if window is None:
-            return (current,)
-        pending = window.target.node_for(key)
-        if pending == current:
-            return (current,)
-        return (current, pending)
+        return self._route_snapshot(key)[0]
+
+    def _route_snapshot(self, key):
+        """``(routed names, epoch)`` captured atomically under the lock.
+
+        The ring owner and the window are read under the router lock --
+        the same lock :meth:`commit_rebalance` flips both under -- so a
+        route can never observe the post-flip ring with the window
+        already cleared (which would resolve a moving key to the losing
+        epoch's owner alone).  The epoch lets :meth:`_dual_leg_if_moved`
+        detect a transition that began *after* this snapshot.
+        """
+        with self._lock:
+            current = self.ring.node_for(key)
+            epoch = self.ring.epoch
+            window = self._window
+            if window is None:
+                return (current,), epoch
+            pending = window.target.node_for(key)
+            if pending == current:
+                return (current,), epoch
+            return (current, pending), epoch
 
     def begin_rebalance(self, add=None, remove=None):
         """Open a dual-epoch routing window for one topology change.
@@ -453,26 +472,62 @@ class ShardedIQServer(LeaseBackend):
                 current, pending = route
                 with session.lock:
                     source_tid = session.shard_tids.get(current)
-                    already = key in session.keys_by_shard.get(pending, ())
-                if already or source_tid is None:
+                if source_tid is None:
                     continue
                 leases = getattr(self._backends[current], "leases", None)
                 if leases is not None and not leases.q_held_by(
                     key, source_tid
                 ):
                     continue
-                try:
-                    shard_tid = self._shard_tid(session, pending)
-                    self._backends[pending].qar(shard_tid, key)
-                except (CacheUnavailableError, QuarantinedError):
-                    with session.lock:
-                        session.poisoned.add(pending)
-                        session.keys_by_shard.setdefault(
-                            pending, set()
-                        ).add(key)
-                    continue
-                self._record_key(session, pending, key)
-                self._count_dual(session.tid, key, pending)
+                self._acquire_invalidation_leg(session, pending, key)
+
+    def _acquire_invalidation_leg(self, session, name, key):
+        """Add a shared-invalidate leg for ``key`` on shard ``name``.
+
+        The leg's commit deletes the key there -- always safe, whatever
+        the session's mode on its primary leg.  A shard that rejects or
+        cannot be reached poisons the leg instead: delete, never apply.
+        A leg the session already holds is left alone (re-``qar`` of a
+        held lease would merely refresh it).
+        """
+        with session.lock:
+            if key in session.keys_by_shard.get(name, ()):
+                return
+        try:
+            shard_tid = self._shard_tid(session, name)
+            self._backends[name].qar(shard_tid, key)
+        except (CacheUnavailableError, QuarantinedError):
+            with session.lock:
+                session.poisoned.add(name)
+                session.keys_by_shard.setdefault(name, set()).add(key)
+            return
+        self._record_key(session, name, key)
+        self._count_dual(session.tid, key, name)
+
+    def _dual_leg_if_moved(self, session, key, routed, epoch):
+        """Close the acquisition-vs-transition race, post hoc.
+
+        ``routed`` and ``epoch`` are the :meth:`_route_snapshot` this
+        acquisition ran against.  A rebalance window that opened after
+        the snapshot may have missed the key in
+        :meth:`_dual_upgrade_inflight` (the leg was not recorded yet
+        when the upgrade walked the session), and a window that opened
+        *and flipped* since leaves the key acquired only on the losing
+        epoch's owner.  Re-checking under the router lock after the
+        acquisition is recorded guarantees one side sees the other:
+        either this re-check observes the window/flip and takes the
+        missing owner's leg, or the upgrade observes the recorded leg
+        and dual-legs it itself.
+        """
+        with self._lock:
+            window = self._window
+            if window is None and self.ring.epoch == epoch:
+                return
+            needed = {self.ring.node_for(key)}
+            if window is not None:
+                needed.add(window.target.node_for(key))
+        for name in sorted(needed.difference(routed)):
+            self._acquire_invalidation_leg(session, name, key)
 
     def commit_rebalance(self):
         """Atomically flip the live ring to the window's target epoch.
@@ -555,6 +610,7 @@ class ShardedIQServer(LeaseBackend):
                 had_leg = keys or name in session.shard_tids
             if not had_leg:
                 continue
+            new_tid = None
             try:
                 new_tid = standby.gen_id()
                 for key in keys:
@@ -563,6 +619,14 @@ class ShardedIQServer(LeaseBackend):
                 # The standby could not re-quarantine the leg; degrade
                 # it like a failed shard: journal the keys and poison
                 # the leg so the shrinking phase deletes, never applies.
+                # The partially-built TID is aborted best-effort so the
+                # keys it did re-quarantine don't stay Q-leased --
+                # blocking readers and writers -- until TTL expiry.
+                if new_tid is not None:
+                    try:
+                        standby.abort(new_tid)
+                    except (CacheUnavailableError, LeaseError):
+                        pass
                 self.journal.add(keys)
                 with self._lock:
                     self.journaled_commit_keys += len(keys)
@@ -709,10 +773,14 @@ class ShardedIQServer(LeaseBackend):
         The current owner's result is returned; a pending-owner
         rejection or failure propagates -- the client aborts or degrades
         the key exactly as for a single-owner failure, and both recorded
-        legs are released by the shrinking phase.
+        legs are released by the shrinking phase.  After the acquisition
+        is recorded the route is re-checked: a window or flip that
+        interleaved retroactively dual-legs the key (see
+        :meth:`_dual_leg_if_moved`).
         """
+        route, epoch = self._route_snapshot(key)
         result = None
-        for position, name in enumerate(self._route(key)):
+        for position, name in enumerate(route):
             leg = command(self._backends[name],
                           self._shard_tid(session, name))
             self._record_key(session, name, key)
@@ -720,6 +788,7 @@ class ShardedIQServer(LeaseBackend):
                 result = leg
             else:
                 self._count_dual(session.tid, key, name)
+        self._dual_leg_if_moved(session, key, route, epoch)
         return result
 
     def qaread(self, key, tid):
@@ -750,7 +819,10 @@ class ShardedIQServer(LeaseBackend):
         keys = list(keys)
         if not keys:
             return {}
-        if self._window is not None:
+        with self._lock:
+            window = self._window
+            epoch = self.ring.epoch
+        if window is not None:
             # Dual-epoch window: fall back to the per-key loop so every
             # moving key acquires both owners' legs.  Costs the batched
             # round trip for the window's duration only.
@@ -760,6 +832,7 @@ class ShardedIQServer(LeaseBackend):
         for key in keys:
             by_shard.setdefault(self.ring.node_for(key), []).append(key)
         results = {}
+        granted_legs = []
         for name, shard_keys in by_shard.items():
             backend = self._backends[name]
             try:
@@ -785,6 +858,7 @@ class ShardedIQServer(LeaseBackend):
                 results[key] = status
                 if status == "granted":
                     self._record_key(session, name, key)
+                    granted_legs.append((key, name))
                 elif status == "abort":
                     aborted = True
             if aborted:
@@ -793,6 +867,10 @@ class ShardedIQServer(LeaseBackend):
                 # acquiring further shards' leases only to abort them
                 # wastes round trips.
                 break
+        for key, name in granted_legs:
+            # A window that opened (or flipped) mid-bulk missed these
+            # keys; retroactively dual-leg each granted acquisition.
+            self._dual_leg_if_moved(session, key, (name,), epoch)
         return results
 
     def iq_delta(self, tid, key, op, operand):
@@ -875,7 +953,7 @@ class ShardedIQServer(LeaseBackend):
         delete = getattr(backend, "delete", None)
         if delete is None:
             delete = backend.store.delete
-        delete(key)
+        return delete(key)
 
     def _abort_poisoned(self, session, name, shard_tid):
         """Delete-and-abort one poisoned shard leg.
@@ -1030,17 +1108,22 @@ class ShardedIQServer(LeaseBackend):
         """Bulk delete routed by shard; returns the total hit count.
 
         During a rebalance window a moving key is deleted on both its
-        current and pending owner (each hit counted), so a reconcile
-        pass that races the flip can never leave the soon-to-be-routed
-        copy standing.
+        current and pending owner -- so a reconcile pass that races the
+        flip can never leave the soon-to-be-routed copy standing -- but
+        counted as at most one hit, keeping the count comparable to the
+        number of keys passed.
         """
         keys = list(keys)
         if not keys:
             return 0
         by_shard = {}
+        dual = []
         for key in keys:
-            for name in self._route(key):
-                by_shard.setdefault(name, []).append(key)
+            route = self._route(key)
+            if len(route) == 1:
+                by_shard.setdefault(route[0], []).append(key)
+            else:
+                dual.append((key, route))
         hits = 0
         for name, shard_keys in by_shard.items():
             backend = self._backends[name]
@@ -1048,12 +1131,15 @@ class ShardedIQServer(LeaseBackend):
             if bulk is not None:
                 hits += bulk(shard_keys)
                 continue
-            delete = getattr(backend, "delete", None)
-            if delete is None:
-                delete = backend.store.delete
             for key in shard_keys:
-                if delete(key):
+                if self._shard_delete(name, key):
                     hits += 1
+        for key, route in dual:
+            # Both legs are always deleted; the list keeps any() from
+            # short-circuiting past the second owner.
+            legs = [bool(self._shard_delete(name, key)) for name in route]
+            if any(legs):
+                hits += 1
         return hits
 
     def _router_counters(self):

@@ -235,6 +235,137 @@ class TestContention:
         router.abort(tid)
 
 
+class TestTransitionRaces:
+    """Deterministic replays of the route-vs-transition races.
+
+    Each test interposes on a shard command so the topology transition
+    happens *inside* an acquisition -- after the route was snapshotted,
+    before the leg was recorded.  That is the exact interleaving a
+    thread preemption would produce: the begin-time upgrade cannot see
+    the not-yet-recorded leg, so the post-acquisition re-check must
+    dual-leg the key retroactively.
+    """
+
+    def test_window_opening_mid_acquisition_is_dual_legged(self):
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        old_owner = router.shard_name_for(victim)
+        joiner = IQServer()
+        backend = router.backend(old_owner)
+        orig_qar = backend.qar
+        fired = []
+
+        def racing_qar(tid, key):
+            result = orig_qar(tid, key)
+            if not fired:
+                fired.append(True)
+                router.begin_rebalance(add=("shard2", joiner))
+            return result
+
+        backend.qar = racing_qar
+        writer = router.gen_id()
+        try:
+            router.qar(writer, victim)
+        finally:
+            backend.qar = orig_qar
+        session = router._lookup(writer)
+        assert victim in session.keys_by_shard.get("shard2", set())
+        router.commit_rebalance()
+        assert router.shard_name_for(victim) == "shard2"
+        # Pre-DaR the retro leg's Q lease fences fills on the new owner.
+        fill = router.iq_get(victim)
+        assert fill.token is None and fill.backoff
+        router.dar(writer)
+        # The DaR deleted both epochs' copies; a fresh fill is admitted.
+        assert joiner.store.get(victim) is None
+        fill = router.iq_get(victim)
+        assert fill.token is not None
+
+    def test_flip_mid_acquisition_invalidates_new_owner(self):
+        # Worst case: the whole window opens *and* flips while one
+        # acquisition is in flight, so the session acquired only on the
+        # losing epoch's owner.  Its commit must still invalidate the
+        # copy the post-flip ring routes.
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        old_owner = router.shard_name_for(victim)
+        joiner = IQServer()
+        # The migration already copied the pre-write value across.
+        joiner.store.set(victim, seeded[victim])
+        backend = router.backend(old_owner)
+        orig_qar = backend.qar
+        fired = []
+
+        def racing_qar(tid, key):
+            result = orig_qar(tid, key)
+            if not fired:
+                fired.append(True)
+                router.begin_rebalance(add=("shard2", joiner))
+                router.commit_rebalance()
+            return result
+
+        backend.qar = racing_qar
+        writer = router.gen_id()
+        try:
+            router.qar(writer, victim)
+        finally:
+            backend.qar = orig_qar
+        session = router._lookup(writer)
+        assert victim in session.keys_by_shard.get("shard2", set())
+        router.dar(writer)
+        # The committed write invalidated the routed (new) owner's copy
+        # instead of stranding the pre-write value there.
+        assert joiner.store.get(victim) is None
+        assert cached_value(router, victim) is None
+
+    def test_flip_mid_bulk_acquisition_is_dual_legged(self):
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        old_owner = router.shard_name_for(victim)
+        joiner = IQServer()
+        joiner.store.set(victim, seeded[victim])
+        backend = router.backend(old_owner)
+        orig_bulk = backend.qar_many
+        fired = []
+
+        def racing_bulk(tid, shard_keys):
+            result = orig_bulk(tid, shard_keys)
+            if not fired:
+                fired.append(True)
+                router.begin_rebalance(add=("shard2", joiner))
+                router.commit_rebalance()
+            return result
+
+        backend.qar_many = racing_bulk
+        writer = router.gen_id()
+        try:
+            results = router.qar_many(writer, [victim])
+        finally:
+            backend.qar_many = orig_bulk
+        assert results[victim] == "granted"
+        session = router._lookup(writer)
+        assert victim in session.keys_by_shard.get("shard2", set())
+        router.dar(writer)
+        assert joiner.store.get(victim) is None
+
+    def test_mdelete_counts_moving_key_once(self):
+        # Inside a window a moving key is deleted on both owners but
+        # must count as one hit -- callers compare hits against
+        # len(keys) for reconcile accounting.
+        router, seeded = build_router()
+        victim = moving_keys(seeded)[0]
+        old_owner = router.shard_name_for(victim)
+        joiner = IQServer()
+        joiner.store.set(victim, b"migration-copy")
+        router.begin_rebalance(add=("shard2", joiner))
+        try:
+            assert router.mdelete([victim]) == 1
+        finally:
+            router.abort_rebalance()
+        assert router.backend(old_owner).store.get(victim) is None
+        assert joiner.store.get(victim) is None
+
+
 class TestNaiveMoveIsUnsafe:
     def test_copy_then_flip_resurrects_pre_write_value(self):
         # The control experiment: without quarantine or a window, a
@@ -297,6 +428,39 @@ class TestWarmReplica:
         router.dar(writer)
         assert replica.standby.store.get(victim) is None  # invalidated
 
+    def test_write_during_initial_sync_is_not_lost(self):
+        # A write landing on an *already-copied* key while the initial
+        # sync is still running must reach the standby: hooks attach
+        # and the copy runs under one store-lock acquisition (copying
+        # first and attaching after would silently drop such writes,
+        # leaving the standby permanently diverged after promote).
+        router, seeded = build_router()
+        owner = router.shard_name_for(sorted(seeded)[0])
+        standby = IQServer()
+        real_set = standby.store.set
+        copied = []
+        fired = []
+
+        def racing_set(key, value, *args, **kwargs):
+            if copied and not fired:
+                # The first key is fully copied; overwrite it on the
+                # owner while the sync is still walking later keys.
+                fired.append(True)
+                router.backend(owner).store.set(
+                    copied[0], b"written-during-sync"
+                )
+            result = real_set(key, value, *args, **kwargs)
+            copied.append(key)
+            return result
+
+        standby.store.set = racing_set
+        try:
+            WarmReplica(router, owner, standby)
+        finally:
+            standby.store.set = real_set
+        assert fired, "owner must cache >= 2 keys to stage the race"
+        assert standby.store.get(copied[0])[0] == b"written-during-sync"
+
     def test_detach_stops_mirroring(self):
         router, seeded = build_router()
         victim = sorted(seeded)[0]
@@ -305,6 +469,36 @@ class TestWarmReplica:
         replica.detach()
         router.backend(owner).store.set(victim, b"after-detach")
         assert replica.standby.store.get(victim)[0] == seeded[victim]
+
+    def test_failed_rebuild_aborts_partial_standby_tid(self):
+        # A standby that rejects one key's re-quarantine must not leave
+        # the keys it *did* re-quarantine Q-leased until TTL expiry --
+        # the partially-built rebuild TID is aborted before the leg is
+        # poisoned, so readers and writers of those keys are unblocked.
+        router, seeded = build_router()
+        owner = "shard0"
+        owner_keys = sorted(
+            key for key in seeded if router.shard_name_for(key) == owner
+        )
+        assert len(owner_keys) >= 2
+        first, blocked = owner_keys[0], owner_keys[1]
+        writer = router.gen_id()
+        router.qar(writer, first)
+        router.qar(writer, blocked)
+        standby = IQServer()
+        # A foreign exclusive lease makes the second key's rebuild fail
+        # after the first key was already re-quarantined.
+        foreign = standby.gen_id()
+        standby.qaread(blocked, foreign)
+        assert router.promote_replica(owner, standby) == 0
+        standby.abort(foreign)
+        # The first key's re-quarantine was rolled back: a fresh
+        # session acquires it instead of backing off until TTL.
+        probe = standby.gen_id()
+        standby.qaread(first, probe)
+        standby.abort(probe)
+        assert first in router.journal.peek()
+        router.dar(writer)
 
     def test_wire_backend_without_store_is_rejected(self):
         router, _ = build_router()
