@@ -115,14 +115,14 @@ def _run_wire_qareg(remote, keys, rounds, batched):
 
 
 _SERVER_SCRIPT = """\
-from repro.net.server import IQTCPServer
-server = IQTCPServer(("127.0.0.1", 0))
+from repro.net.server import server_class
+server = server_class({transport!r})(("127.0.0.1", 0))
 print(server.port, flush=True)
 server.serve_forever()
 """
 
 
-def _spawn_server():
+def _spawn_server(transport="threaded"):
     """Run the TCP server in its own process.
 
     The paper's deployment has the CMT and the cache server on separate
@@ -135,15 +135,15 @@ def _spawn_server():
     src = os.path.join(ROOT_DIR, "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [sys.executable, "-c", _SERVER_SCRIPT],
+        [sys.executable, "-c", _SERVER_SCRIPT.format(transport=transport)],
         stdout=subprocess.PIPE, env=env,
     )
     port = int(proc.stdout.readline())
     return proc, port
 
 
-def _wire_experiment(rounds, repeats):
-    proc, port = _spawn_server()
+def _wire_experiment(rounds, repeats, transport="threaded"):
+    proc, port = _spawn_server(transport)
     remote = RemoteIQServer(port=port)
     try:
         keys = ["pipe-key-%d" % i for i in range(BATCH_KEYS)]
@@ -255,9 +255,9 @@ def _fanout_experiment(trials, delay):
 # ---------------------------------------------------------------------------
 
 def run_experiment(rounds=400, repeats=3, fanout_trials=30,
-                   fanout_delay=FANOUT_DELAY):
+                   fanout_delay=FANOUT_DELAY, transport="threaded"):
     read, qareg, matched, pipelined_commands = _wire_experiment(
-        rounds, repeats
+        rounds, repeats, transport=transport
     )
     fanout = _fanout_experiment(fanout_trials, fanout_delay)
     return {
@@ -279,6 +279,7 @@ def run_experiment(rounds=400, repeats=3, fanout_trials=30,
         },
         "shard_fanout": fanout,
         "server_pipelined_commands": pipelined_commands,
+        "transport": transport,
     }
 
 
@@ -371,11 +372,16 @@ if __name__ == "__main__":
         "--smoke", action="store_true",
         help="CI entry: scaled down, pipelined must beat sequential",
     )
+    parser.add_argument(
+        "--transport", default="threaded", choices=["threaded", "async"],
+        help="wire transport the benchmarked server runs on",
+    )
     args = parser.parse_args()
     if args.smoke:
-        results = run_experiment(rounds=120, repeats=2, fanout_trials=10)
+        results = run_experiment(rounds=120, repeats=2, fanout_trials=10,
+                                 transport=args.transport)
     else:
-        results = run_experiment()
+        results = run_experiment(transport=args.transport)
     check(results, smoke=args.smoke)
     emit("BENCH_pipeline", render(results))
     print("wrote", emit_json(results))

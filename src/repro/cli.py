@@ -3,7 +3,15 @@
 ::
 
     python -m repro serve [--port P] [--i-ttl S] [--q-ttl S]
-        Run an IQ-Twemcached server on a TCP port.
+                          [--async | --threaded] [--shards N]
+        Run an IQ-Twemcached server on a TCP port.  ``--async`` (the
+        default) serves every connection from one event loop;
+        ``--threaded`` uses the thread-per-connection reference
+        transport.  ``--shards N`` (N > 1) instead launches a
+        process-per-shard cluster: N supervised worker processes, each
+        serving one shard of the consistent-hash ring, restarted on
+        crash.  SIGINT/SIGTERM drain gracefully -- buffered replies are
+        flushed before the listening sockets close.
 
     python -m repro figures
         Replay the paper's race-condition figures and print the outcomes.
@@ -40,23 +48,94 @@ import sys
 
 
 def _cmd_serve(args):
-    from repro.config import LeaseConfig
-    from repro.core.iq_server import IQServer
-    from repro.net.server import IQTCPServer
+    if args.shards > 1:
+        return _serve_cluster(args)
+    return _serve_single(args)
 
-    server = IQTCPServer(
+
+def _serve_single(args):
+    import signal
+    import threading
+
+    from repro.config import LeaseConfig, NetConfig
+    from repro.core.iq_server import IQServer
+    from repro.net.server import server_class
+
+    net_config = NetConfig()
+    if args.max_pipeline_buffer is not None:
+        net_config.max_pipeline_buffer = args.max_pipeline_buffer
+    server = server_class(args.transport)(
         ("127.0.0.1", args.port),
         IQServer(lease_config=LeaseConfig(
             i_lease_ttl=args.i_ttl, q_lease_ttl=args.q_ttl,
         )),
+        net_config=net_config,
     )
-    print("IQ-Twemcached listening on 127.0.0.1:{}".format(server.port))
+    print("IQ-Twemcached ({}) listening on 127.0.0.1:{}".format(
+        args.transport, server.port
+    ))
     print("Protocol: memcached ASCII + IQ extensions (see repro.net)")
+
+    draining = threading.Event()
+
+    def _drain(_signum=None, _frame=None):
+        if draining.is_set():
+            return
+        draining.set()
+        print("\ndraining connections and shutting down")
+        # shutdown() blocks until serve_forever exits; it must not run
+        # on the thread serve_forever occupies.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        _drain()
         server.shutdown()
+    finally:
+        server.server_close()
+    return 0
+
+
+def _serve_cluster(args):
+    import signal
+    import threading
+
+    from repro.config import NetConfig
+    from repro.net.cluster import IQCluster
+
+    net_config = NetConfig()
+    if args.max_pipeline_buffer is not None:
+        net_config.max_pipeline_buffer = args.max_pipeline_buffer
+    cluster = IQCluster(
+        shards=args.shards, transport=args.transport,
+        net_config=net_config, i_ttl=args.i_ttl, q_ttl=args.q_ttl,
+    )
+    cluster.start()
+    print("IQ-Twemcached cluster: {} shard processes ({})".format(
+        args.shards, args.transport
+    ))
+    for proc in cluster.processes:
+        print("  {:<8} pid {:<8} 127.0.0.1:{}".format(
+            proc.name, proc.proc.pid, proc.port
+        ))
+    print("crashed shards are restarted on the same port; "
+          "SIGINT/SIGTERM drains gracefully")
+
+    stop = threading.Event()
+
+    def _drain(_signum=None, _frame=None):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _drain)
+    try:
+        while not stop.wait(0.5):
+            pass
+    except KeyboardInterrupt:
+        pass
+    print("\ndraining shard processes")
+    cluster.stop(graceful=True)
     return 0
 
 
@@ -349,7 +428,25 @@ def build_parser():
                        help="I lease lifetime, seconds")
     serve.add_argument("--q-ttl", type=float, default=10.0,
                        help="Q lease lifetime, seconds")
-    serve.set_defaults(func=_cmd_serve)
+    transport = serve.add_mutually_exclusive_group()
+    transport.add_argument(
+        "--async", dest="transport", action="store_const", const="async",
+        help="event-loop transport: one thread, every connection (default)",
+    )
+    transport.add_argument(
+        "--threaded", dest="transport", action="store_const",
+        const="threaded",
+        help="thread-per-connection reference transport",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="N > 1 launches a process-per-shard cluster (default 1)",
+    )
+    serve.add_argument(
+        "--max-pipeline-buffer", type=int, default=None,
+        help="per-connection cap on buffered pipelined bytes",
+    )
+    serve.set_defaults(func=_cmd_serve, transport="async")
 
     figures = sub.add_parser(
         "figures", help="replay the paper's race-condition figures"

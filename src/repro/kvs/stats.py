@@ -55,6 +55,10 @@ class CacheStats:
         # Batching / pipelining counters (PR 5):
         "pipelined_commands",
         "batched_qar_grants",
+        # Event-loop transport counters (PR 7):
+        "evloop_connections",
+        "evloop_flushes",
+        "evloop_overflow_closes",
     )
 
     def __init__(self, registry=None, prefix="cache"):

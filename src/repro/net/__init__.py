@@ -9,7 +9,15 @@ Whalin client.  This package provides the equivalent end-to-end path:
   ``qaread``, ``sar``, ``genid``, ``qar``, ``dar``, ``iqdelta``,
   ``commit``, ``abort``);
 * :mod:`repro.net.server` -- a threaded TCP server exposing an
-  :class:`~repro.core.iq_server.IQServer`;
+  :class:`~repro.core.iq_server.IQServer` (the reference transport);
+* :mod:`repro.net.async_server` -- the event-loop transport: one thread
+  multiplexing every connection over non-blocking sockets, byte-for-byte
+  compatible with the threaded server (the transport parity contract);
+* :mod:`repro.net.dispatch` -- the shared command dispatcher both
+  transports funnel through;
+* :mod:`repro.net.cluster` -- process-per-shard deployment: each shard
+  of a consistent-hash ring runs in its own OS process with health
+  checks, graceful drain, and restart-on-crash supervision;
 * :mod:`repro.net.client` -- :class:`RemoteIQServer`, a client with the
   same method surface as the in-process server, so
   :class:`~repro.core.iq_client.IQClient` (and everything built on it)
@@ -28,9 +36,11 @@ from repro.net.resilient import (
     ReconciliationJournal,
     ResilientIQServer,
 )
-from repro.net.server import IQTCPServer, serve_background
+from repro.net.async_server import AsyncIQServer
+from repro.net.server import IQTCPServer, serve_background, server_class
 
 __all__ = [
+    "AsyncIQServer",
     "CircuitBreaker",
     "CircuitState",
     "ConnectionPool",
@@ -40,4 +50,5 @@ __all__ = [
     "RemoteIQServer",
     "ResilientIQServer",
     "serve_background",
+    "server_class",
 ]

@@ -1,0 +1,233 @@
+"""Transport-independent command dispatch for the wire servers.
+
+Both wire transports -- the thread-per-connection
+:class:`~repro.net.server.IQTCPServer` and the event-loop
+:class:`~repro.net.async_server.AsyncIQServer` -- serve the same
+protocol against the same :class:`~repro.core.iq_server.IQServer`.  The
+*transport parity contract* (docs/ARCHITECTURE.md §12) demands that the
+two produce byte-identical replies for any request stream; the only way
+to keep that true as commands are added is for exactly one dispatcher
+to exist.  This module is that dispatcher: a pure function from
+``(iq, command, args, data)`` to reply bytes, plus the error-to-reply
+mapping both transports share.
+
+Nothing here touches a socket; framing (reading the command line,
+consuming the announced data block) stays in each transport, because
+that is where the transports legitimately differ.
+"""
+
+from repro.errors import (
+    BadValueError,
+    KeyFormatError,
+    ProtocolError,
+    QuarantinedError,
+    ReproError,
+    ValueTooLargeError,
+)
+from repro.kvs.store import StoreResult
+from repro.net.protocol import CRLF, error_response, value_response
+
+STORE_REPLIES = {
+    StoreResult.STORED: b"STORED",
+    StoreResult.NOT_STORED: b"NOT_STORED",
+    StoreResult.EXISTS: b"EXISTS",
+    StoreResult.NOT_FOUND: b"NOT_FOUND",
+}
+
+QAREG_WORDS = {
+    "granted": "GRANTED",
+    "abort": "ABORT",
+    "unavailable": "UNAVAIL",
+}
+
+
+def exception_reply(exc):
+    """Map a dispatch-time exception to its reply bytes, or re-raise.
+
+    The classification mirrors memcached: protocol violations and
+    malformed arguments keep the connection usable (any data block was
+    consumed before dispatch), server-side errors are reported as
+    ``SERVER_ERROR``.  Exceptions outside the taxonomy propagate.
+    """
+    if isinstance(exc, ProtocolError):
+        return error_response(str(exc))
+    if isinstance(exc, (BadValueError, KeyFormatError, ValueTooLargeError)):
+        return "CLIENT_ERROR {}".format(exc).encode()
+    if isinstance(exc, ReproError):
+        return error_response(str(exc))
+    if isinstance(exc, (ValueError, IndexError)):
+        # Malformed arguments (non-integer token/tid, missing fields).
+        return "CLIENT_ERROR bad command arguments: {}".format(exc).encode()
+    raise exc
+
+
+def dispatch(iq, command, args, data):
+    """Execute one parsed command against ``iq``; return the reply bytes.
+
+    ``args`` must already have its trailing ``@t``/``@s`` tokens intact
+    except the trace token (stripped by the caller, which owns the trace
+    context).  Raises the dispatch-time exceptions listed in
+    :func:`exception_reply`; the transports funnel them through it so
+    both reply identically.
+    """
+    store = iq.store
+    if command == "get" or command == "gets":
+        return _retrieve(store, args, with_cas=command == "gets")
+    if command in ("set", "add", "replace"):
+        key, flags, exptime = args[0], int(args[1]), float(args[2])
+        ttl = exptime if exptime > 0 else None
+        result = getattr(store, command)(key, data, int(flags), ttl)
+        return STORE_REPLIES[result]
+    if command in ("append", "prepend"):
+        result = getattr(store, command)(args[0], data)
+        return STORE_REPLIES[result]
+    if command == "cas":
+        key, flags, exptime, _size, cas_id = args[:5]
+        ttl = float(exptime) if float(exptime) > 0 else None
+        result = store.cas(key, data, int(cas_id), int(flags), ttl)
+        return STORE_REPLIES[result]
+    if command == "delete":
+        return b"DELETED" if store.delete(args[0]) else b"NOT_FOUND"
+    if command in ("incr", "decr"):
+        new = getattr(store, command)(args[0], int(args[1]))
+        if new is None:
+            return b"NOT_FOUND"
+        return str(new).encode()
+    if command == "touch":
+        return b"TOUCHED" if store.touch(args[0], float(args[1])) else b"NOT_FOUND"
+    if command == "flush_all":
+        iq.flush_all()
+        return b"OK"
+    if command == "stats":
+        lines = [
+            "STAT {} {}".format(name, value).encode()
+            for name, value in sorted(iq.stats.snapshot().items())
+        ]
+        return CRLF.join(lines + [b"END"])
+    if command == "version":
+        return b"VERSION repro-iq-twemcached 1.0"
+
+    # -- IQ extensions ---------------------------------------------------
+    if command == "genid":
+        return "ID {}".format(iq.gen_id()).encode()
+    if command == "iqget":
+        session = int(args[1]) if len(args) > 1 else None
+        result = iq.iq_get(args[0], session=session)
+        if result.is_hit:
+            return value_response(args[0], result.value)[:-2]
+        if result.has_lease:
+            return "LEASE {}".format(result.token).encode()
+        return b"BACKOFF" if result.backoff else b"MISS"
+    if command == "iqset":
+        stored = iq.iq_set(args[0], data, int(args[1]))
+        return b"STORED" if stored else b"IGNORED"
+    if command == "releasei":
+        iq.release_i(args[0], int(args[1]))
+        return b"OK"
+    if command == "qaread":
+        try:
+            result = iq.qaread(args[0], int(args[1]))
+        except QuarantinedError:
+            return b"ABORT"
+        if result.value is None:
+            return b"MISS"
+        return value_response(args[0], result.value)[:-2]
+    if command == "sar":
+        stored = iq.sar(args[0], data, int(args[1]))
+        if data is None:
+            return b"RELEASED"
+        return b"STORED" if stored else b"IGNORED"
+    if command == "qar":
+        try:
+            iq.qar(int(args[0]), args[1])
+        except QuarantinedError:
+            return b"ABORT"
+        return b"GRANTED"
+    if command == "dar":
+        iq.dar(int(args[0]))
+        return b"OK"
+    if command == "iqdelta":
+        try:
+            iq.iq_delta(int(args[0]), args[1], args[2], data)
+        except QuarantinedError:
+            return b"ABORT"
+        return b"GRANTED"
+    if command == "commit":
+        iq.commit(int(args[0]))
+        return b"OK"
+    if command == "abort":
+        iq.abort(int(args[0]))
+        return b"OK"
+
+    # -- multi-key extensions --------------------------------------------
+    if command == "iqmget":
+        from repro.net.protocol import split_session_token
+
+        keys, session = split_session_token(args)
+        chunks = []
+        for key, result in iq.iq_mget(keys, session=session).items():
+            if result.is_hit:
+                header = "VALUE {} 0 {}".format(key, len(result.value))
+                chunks.append(header.encode() + CRLF + result.value)
+            elif result.has_lease:
+                chunks.append(
+                    "LEASE {} {}".format(key, result.token).encode()
+                )
+            elif result.backoff:
+                chunks.append("BACKOFF {}".format(key).encode())
+            else:
+                chunks.append("MISS {}".format(key).encode())
+        chunks.append(b"END")
+        return CRLF.join(chunks)
+    if command == "qareg":
+        results = iq.qar_many(int(args[0]), args[1:])
+        chunks = [
+            "{} {}".format(QAREG_WORDS[status], key).encode()
+            for key, status in results.items()
+        ]
+        chunks.append(b"END")
+        return CRLF.join(chunks)
+    if command == "mdelete":
+        hits = sum(1 for key in args if store.delete(key))
+        return "DELETED {}".format(hits).encode()
+    if command == "keysnap":
+        chunks = [
+            "KEY {}".format(key).encode() for key in sorted(store.keys())
+        ]
+        chunks.append(b"END")
+        return CRLF.join(chunks)
+    raise ProtocolError("unknown command {!r}".format(command))
+
+
+def _retrieve(store, keys, with_cas):
+    chunks = []
+    for key in keys:
+        if with_cas:
+            hit = store.gets(key)
+            if hit is not None:
+                value, flags, cas_id = hit
+                header = "VALUE {} {} {} {}".format(
+                    key, flags, len(value), cas_id
+                )
+                chunks.append(header.encode() + CRLF + value)
+        else:
+            hit = store.get(key)
+            if hit is not None:
+                value, flags = hit
+                header = "VALUE {} {} {}".format(key, flags, len(value))
+                chunks.append(header.encode() + CRLF + value)
+    chunks.append(b"END")
+    return CRLF.join(chunks)
+
+
+def bump_stat(iq, name, amount=1):
+    """Increment a server-side counter if the stats object supports it.
+
+    Both transports report serving-layer counters (``pipelined_commands``,
+    the event loop's per-loop metrics) through the IQ server's stats
+    registry so ``stats`` exposes them over the wire; shards wrapping a
+    stats-less backend simply skip the count.
+    """
+    stats = getattr(iq, "stats", None)
+    if stats is not None and callable(getattr(stats, "incr", None)):
+        stats.incr(name, amount)

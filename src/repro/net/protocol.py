@@ -61,7 +61,7 @@ a pipelined stream is byte-identical to the same commands issued one at
 a time.
 """
 
-from repro.errors import ProtocolError
+from repro.errors import PipelineOverflowError, ProtocolError
 
 CRLF = b"\r\n"
 
@@ -95,17 +95,27 @@ class LineReader:
     installed, every refill fires the ``net.recv`` site, which can drop
     the connection, delay, or corrupt the incoming chunk.  The default
     path carries only a ``None`` check.
+
+    ``max_buffer`` bounds the *unconsumed* bytes the reader will hold
+    (``NetConfig.max_pipeline_buffer`` on the servers; ``None`` = no
+    limit, the client default).  A line that never terminates, or a data
+    block whose announced size exceeds the bound, raises
+    :class:`~repro.errors.PipelineOverflowError` before the flooding
+    bytes are buffered -- the server replies with an error and closes
+    instead of growing without limit.
     """
 
     #: Compact the buffer once this many consumed bytes accumulate.
     _COMPACT_THRESHOLD = 65536
 
-    def __init__(self, sock, chunk_size=65536, injector=None):
+    def __init__(self, sock, chunk_size=65536, injector=None,
+                 max_buffer=None):
         self._sock = sock
         self._buffer = bytearray()
         self._pos = 0
         self._chunk_size = chunk_size
         self._injector = injector
+        self._max_buffer = max_buffer
 
     def _fill(self):
         if self._injector is not None:
@@ -155,12 +165,21 @@ class LineReader:
         """
         return self._buffer.find(CRLF, self._pos) != -1
 
+    def _check_limit(self, pending):
+        if self._max_buffer is not None and pending > self._max_buffer:
+            raise PipelineOverflowError(
+                "connection buffered {} bytes, limit {}".format(
+                    pending, self._max_buffer
+                )
+            )
+
     def read_line(self):
         """Read one CRLF-terminated line (returned without the CRLF)."""
         while True:
             end = self._buffer.find(CRLF, self._pos)
             if end != -1:
                 break
+            self._check_limit(len(self._buffer) - self._pos)
             self._fill()
         line = bytes(self._buffer[self._pos:end])
         self._pos = end + len(CRLF)
@@ -169,13 +188,17 @@ class LineReader:
 
     def read_bytes(self, count):
         """Read exactly ``count`` bytes plus the trailing CRLF."""
-        needed = self._pos + count + len(CRLF)
-        while len(self._buffer) < needed:
+        self._check_limit(count + len(CRLF))
+        # Compare *available* bytes, not absolute buffer length: _fill()
+        # may compact the consumed prefix away (resetting _pos), so any
+        # absolute index computed before the loop would go stale.
+        while len(self._buffer) - self._pos < count + len(CRLF):
             self._fill()
-        data = bytes(self._buffer[self._pos:self._pos + count])
-        if self._buffer[self._pos + count:needed] != CRLF:
+        start = self._pos
+        data = bytes(self._buffer[start:start + count])
+        if self._buffer[start + count:start + count + len(CRLF)] != CRLF:
             raise ProtocolError("data block not terminated by CRLF")
-        self._pos = needed
+        self._pos = start + count + len(CRLF)
         self._compact()
         return data
 

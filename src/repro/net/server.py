@@ -1,43 +1,32 @@
-"""Threaded TCP server exposing an IQ-Server over the text protocol."""
+"""Threaded TCP server exposing an IQ-Server over the text protocol.
+
+This is the *reference* transport: one OS thread per connection,
+blocking sockets, the obvious control flow.  The event-loop transport
+(:mod:`repro.net.async_server`) multiplexes thousands of connections on
+one thread and must behave byte-identically; both funnel every parsed
+command through :mod:`repro.net.dispatch`, and the transport-parity
+suite (``tests/net/test_transport_parity.py``) runs the adversarial
+client corpus against each.  Pick the transport with
+``serve_background(transport=...)`` or ``repro serve
+--threaded/--async``.
+"""
 
 import socket
 import socketserver
 import threading
 
 from repro.core.iq_server import IQServer
-from repro.errors import (
-    BadValueError,
-    KeyFormatError,
-    ProtocolError,
-    QuarantinedError,
-    ReproError,
-    ValueTooLargeError,
-)
-from repro.kvs.store import StoreResult
+from repro.errors import PipelineOverflowError, ProtocolError
+from repro.net.dispatch import bump_stat, dispatch, exception_reply
 from repro.net.protocol import (
     CRLF,
     LineReader,
     data_block_size,
     error_response,
     parse_command_line,
-    split_session_token,
     split_trace_token,
-    value_response,
 )
 from repro.obs.trace import trace_context
-
-_STORE_REPLIES = {
-    StoreResult.STORED: b"STORED",
-    StoreResult.NOT_STORED: b"NOT_STORED",
-    StoreResult.EXISTS: b"EXISTS",
-    StoreResult.NOT_FOUND: b"NOT_FOUND",
-}
-
-_QAREG_WORDS = {
-    "granted": "GRANTED",
-    "abort": "ABORT",
-    "unavailable": "UNAVAIL",
-}
 
 
 class _Handler(socketserver.BaseRequestHandler):
@@ -57,6 +46,12 @@ class _Handler(socketserver.BaseRequestHandler):
     back-to-back gets N replies in one segment, in request order.  Every
     early-exit path flushes the buffer first so no acknowledged command's
     reply is ever lost.
+
+    Buffering is bounded by ``max_pipeline_buffer``: a frame that never
+    terminates (or announces a data block beyond the cap) draws an error
+    reply and a close instead of growing the read buffer without limit,
+    and a reply backlog past the cap forces a (blocking) flush so a
+    flooding client exerts backpressure instead of exhausting memory.
     """
 
     def handle(self):
@@ -68,18 +63,31 @@ class _Handler(socketserver.BaseRequestHandler):
 
     def _serve(self):
         injector = self.server.fault_injector
-        reader = LineReader(self.request, injector=injector)
+        reader = LineReader(
+            self.request, injector=injector,
+            max_buffer=self.server.max_pipeline_buffer,
+        )
         iq = self.server.iq_server
         self._out = bytearray()
         self._batch = 0
         while True:
             # Drain every buffered pipelined command before flushing: only
-            # flush when the next read would block.
-            if self._out and not reader.pending():
+            # flush when the next read would block, or the reply backlog
+            # hit the buffering cap (backpressure on a flooding client).
+            if self._out and (
+                not reader.pending()
+                or len(self._out) >= self.server.max_pipeline_buffer
+            ):
                 if not self._flush(iq):
                     return
             try:
                 line = reader.read_line()
+            except PipelineOverflowError as exc:
+                # The peer flooded an unterminated frame past the cap;
+                # the stream cannot be resynchronized.
+                self._flush(iq)
+                self._reply(error_response(str(exc)))
+                return
             except (ConnectionError, OSError):
                 return
             try:
@@ -104,7 +112,8 @@ class _Handler(socketserver.BaseRequestHandler):
                     try:
                         data = reader.read_bytes(size)
                     except ProtocolError as exc:
-                        # Payload not CRLF-terminated: framing is broken.
+                        # Payload not CRLF-terminated (or beyond the
+                        # buffering cap): framing is broken.
                         self._flush(iq)
                         self._reply(error_response(str(exc)))
                         return
@@ -115,22 +124,11 @@ class _Handler(socketserver.BaseRequestHandler):
                         return
                 if trace_id is not None:
                     with trace_context(trace_id):
-                        reply = self._dispatch(iq, command, args, data)
+                        reply = dispatch(iq, command, args, data)
                 else:
-                    reply = self._dispatch(iq, command, args, data)
-            except ProtocolError as exc:
-                reply = error_response(str(exc))
-            except (BadValueError, KeyFormatError, ValueTooLargeError) as exc:
-                reply = "CLIENT_ERROR {}".format(exc).encode()
-            except ReproError as exc:
-                reply = error_response(str(exc))
-            except (ValueError, IndexError) as exc:
-                # Malformed arguments (non-integer token/tid, missing
-                # fields).  Any data block was already consumed above, so
-                # the connection remains usable.
-                reply = "CLIENT_ERROR bad command arguments: {}".format(
-                    exc
-                ).encode()
+                    reply = dispatch(iq, command, args, data)
+            except Exception as exc:
+                reply = exception_reply(exc)
             if injector is not None:
                 # Reply faults must hit the wire in request order, so the
                 # buffer is flushed before this reply is doctored/dropped.
@@ -154,9 +152,7 @@ class _Handler(socketserver.BaseRequestHandler):
         except OSError:
             return False
         if batch > 1:
-            stats = getattr(iq, "stats", None)
-            if stats is not None and callable(getattr(stats, "incr", None)):
-                stats.incr("pipelined_commands", batch)
+            bump_stat(iq, "pipelined_commands", batch)
         return True
 
     def _reply(self, reply):
@@ -203,155 +199,6 @@ class _Handler(socketserver.BaseRequestHandler):
             return corrupt_bytes(reply)
         return reply
 
-    # -- command dispatch ----------------------------------------------------
-
-    def _dispatch(self, iq, command, args, data):
-        store = iq.store
-        if command == "get" or command == "gets":
-            return self._retrieve(store, args, with_cas=command == "gets")
-        if command in ("set", "add", "replace"):
-            key, flags, exptime = args[0], int(args[1]), float(args[2])
-            ttl = exptime if exptime > 0 else None
-            result = getattr(store, command)(key, data, int(flags), ttl)
-            return _STORE_REPLIES[result]
-        if command in ("append", "prepend"):
-            result = getattr(store, command)(args[0], data)
-            return _STORE_REPLIES[result]
-        if command == "cas":
-            key, flags, exptime, _size, cas_id = args[:5]
-            ttl = float(exptime) if float(exptime) > 0 else None
-            result = store.cas(key, data, int(cas_id), int(flags), ttl)
-            return _STORE_REPLIES[result]
-        if command == "delete":
-            return b"DELETED" if store.delete(args[0]) else b"NOT_FOUND"
-        if command in ("incr", "decr"):
-            new = getattr(store, command)(args[0], int(args[1]))
-            if new is None:
-                return b"NOT_FOUND"
-            return str(new).encode()
-        if command == "touch":
-            return b"TOUCHED" if store.touch(args[0], float(args[1])) else b"NOT_FOUND"
-        if command == "flush_all":
-            iq.flush_all()
-            return b"OK"
-        if command == "stats":
-            lines = [
-                "STAT {} {}".format(name, value).encode()
-                for name, value in sorted(iq.stats.snapshot().items())
-            ]
-            return CRLF.join(lines + [b"END"])
-        if command == "version":
-            return b"VERSION repro-iq-twemcached 1.0"
-
-        # -- IQ extensions ---------------------------------------------------
-        if command == "genid":
-            return "ID {}".format(iq.gen_id()).encode()
-        if command == "iqget":
-            session = int(args[1]) if len(args) > 1 else None
-            result = iq.iq_get(args[0], session=session)
-            if result.is_hit:
-                return value_response(args[0], result.value)[:-2]
-            if result.has_lease:
-                return "LEASE {}".format(result.token).encode()
-            return b"BACKOFF" if result.backoff else b"MISS"
-        if command == "iqset":
-            stored = iq.iq_set(args[0], data, int(args[1]))
-            return b"STORED" if stored else b"IGNORED"
-        if command == "releasei":
-            iq.release_i(args[0], int(args[1]))
-            return b"OK"
-        if command == "qaread":
-            try:
-                result = iq.qaread(args[0], int(args[1]))
-            except QuarantinedError:
-                return b"ABORT"
-            if result.value is None:
-                return b"MISS"
-            return value_response(args[0], result.value)[:-2]
-        if command == "sar":
-            stored = iq.sar(args[0], data, int(args[1]))
-            if data is None:
-                return b"RELEASED"
-            return b"STORED" if stored else b"IGNORED"
-        if command == "qar":
-            try:
-                iq.qar(int(args[0]), args[1])
-            except QuarantinedError:
-                return b"ABORT"
-            return b"GRANTED"
-        if command == "dar":
-            iq.dar(int(args[0]))
-            return b"OK"
-        if command == "iqdelta":
-            try:
-                iq.iq_delta(int(args[0]), args[1], args[2], data)
-            except QuarantinedError:
-                return b"ABORT"
-            return b"GRANTED"
-        if command == "commit":
-            iq.commit(int(args[0]))
-            return b"OK"
-        if command == "abort":
-            iq.abort(int(args[0]))
-            return b"OK"
-
-        # -- multi-key extensions --------------------------------------------
-        if command == "iqmget":
-            keys, session = split_session_token(args)
-            chunks = []
-            for key, result in iq.iq_mget(keys, session=session).items():
-                if result.is_hit:
-                    header = "VALUE {} 0 {}".format(key, len(result.value))
-                    chunks.append(header.encode() + CRLF + result.value)
-                elif result.has_lease:
-                    chunks.append(
-                        "LEASE {} {}".format(key, result.token).encode()
-                    )
-                elif result.backoff:
-                    chunks.append("BACKOFF {}".format(key).encode())
-                else:
-                    chunks.append("MISS {}".format(key).encode())
-            chunks.append(b"END")
-            return CRLF.join(chunks)
-        if command == "qareg":
-            results = iq.qar_many(int(args[0]), args[1:])
-            chunks = [
-                "{} {}".format(_QAREG_WORDS[status], key).encode()
-                for key, status in results.items()
-            ]
-            chunks.append(b"END")
-            return CRLF.join(chunks)
-        if command == "mdelete":
-            hits = sum(1 for key in args if store.delete(key))
-            return "DELETED {}".format(hits).encode()
-        if command == "keysnap":
-            chunks = [
-                "KEY {}".format(key).encode() for key in sorted(store.keys())
-            ]
-            chunks.append(b"END")
-            return CRLF.join(chunks)
-        raise ProtocolError("unknown command {!r}".format(command))
-
-    def _retrieve(self, store, keys, with_cas):
-        chunks = []
-        for key in keys:
-            if with_cas:
-                hit = store.gets(key)
-                if hit is not None:
-                    value, flags, cas_id = hit
-                    header = "VALUE {} {} {} {}".format(
-                        key, flags, len(value), cas_id
-                    )
-                    chunks.append(header.encode() + CRLF + value)
-            else:
-                hit = store.get(key)
-                if hit is not None:
-                    value, flags = hit
-                    header = "VALUE {} {} {}".format(key, flags, len(value))
-                    chunks.append(header.encode() + CRLF + value)
-        chunks.append(b"END")
-        return CRLF.join(chunks)
-
 
 class IQTCPServer(socketserver.ThreadingTCPServer):
     """TCP front end for an :class:`IQServer`.
@@ -361,17 +208,27 @@ class IQTCPServer(socketserver.ThreadingTCPServer):
     every connection; leave it ``None`` for the zero-overhead default.
     ``on_kill`` is called (on a background thread) after a KILL_SERVER
     fault shuts the listener down -- a chaos controller hooks this to
-    schedule the restart.
+    schedule the restart.  ``net_config`` supplies the per-connection
+    ``max_pipeline_buffer`` cap (``None`` uses the NetConfig default).
     """
 
     allow_reuse_address = True
     daemon_threads = True
+    # socketserver's default backlog of 5 drops SYNs when hundreds of
+    # clients connect at once; match the event-loop listener so both
+    # transports accept high-connection-count sweeps.
+    request_queue_size = 1024
 
     def __init__(self, address=("127.0.0.1", 0), iq_server=None,
-                 fault_injector=None):
+                 fault_injector=None, net_config=None):
         super().__init__(address, _Handler)
+        from repro.config import NetConfig
+
         self.iq_server = iq_server or IQServer()
         self.fault_injector = fault_injector
+        self.max_pipeline_buffer = (
+            net_config or NetConfig()
+        ).max_pipeline_buffer
         self.on_kill = None
         self._kill_started = False
         self._kill_lock = threading.Lock()
@@ -434,13 +291,31 @@ class IQTCPServer(socketserver.ThreadingTCPServer):
         threading.Thread(target=_teardown, daemon=True).start()
 
 
+#: Transport name -> server class; resolved lazily for ``async`` to keep
+#: the reference transport importable on its own.
+def server_class(transport):
+    """Resolve a transport name (``"threaded"``/``"async"``) to its class."""
+    if transport == "threaded":
+        return IQTCPServer
+    if transport == "async":
+        from repro.net.async_server import AsyncIQServer
+
+        return AsyncIQServer
+    raise ValueError("unknown transport {!r}".format(transport))
+
+
 def serve_background(iq_server=None, address=("127.0.0.1", 0),
-                     fault_injector=None):
-    """Start an :class:`IQTCPServer` on a daemon thread.
+                     fault_injector=None, transport="threaded",
+                     net_config=None):
+    """Start a wire server on a daemon thread.
 
     Returns ``(server, thread)``; call ``server.shutdown()`` to stop.
+    ``transport`` selects the serving stack: ``"threaded"`` (reference,
+    thread-per-connection) or ``"async"`` (event loop).
     """
-    server = IQTCPServer(address, iq_server, fault_injector=fault_injector)
+    cls = server_class(transport)
+    server = cls(address, iq_server, fault_injector=fault_injector,
+                 net_config=net_config)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread

@@ -1,0 +1,103 @@
+"""One cache shard as an OS process: ``python -m repro.net.shard_worker``.
+
+A :class:`~repro.sharding.router.ShardedIQServer` ring escapes the GIL
+only if each shard's serving loop runs in its own process.  This module
+is that process: it hosts one :class:`~repro.core.iq_server.IQServer`
+behind the requested wire transport (event loop by default) and speaks a
+tiny supervision contract with its parent
+(:class:`repro.net.cluster.ShardProcess`):
+
+* on startup it prints ``PORT <n>`` on stdout (and flushes) once the
+  listening socket is bound, so the parent can dial it without racing
+  the bind -- passing ``--port 0`` lets the OS pick;
+* ``SIGTERM`` / ``SIGINT`` trigger a *graceful drain*: the serving loop
+  stops accepting, flushes every connection's buffered replies, closes
+  the listening socket, then exits 0.  Replies already earned by
+  executed commands are never dropped by an orderly shutdown;
+* any other exit (crash, ``SIGKILL``) is the supervisor's cue to
+  restart the shard -- clients experience it as
+  :class:`~repro.errors.ConnectionLostError` and degrade per the PR 1
+  fault taxonomy until the replacement binds.
+
+The worker is deliberately stateless across restarts (the paper's
+Section 4.2 failure contract: a restarted cache comes back *empty* and
+correctness never depends on cache contents), so the supervisor only
+has to re-bind the port, never to recover state.
+"""
+
+import argparse
+import signal
+import sys
+import threading
+
+
+def build_worker(args):
+    """Construct the (server, iq) pair for parsed ``args``."""
+    from repro.config import LeaseConfig, NetConfig
+    from repro.core.iq_server import IQServer
+    from repro.net.server import server_class
+
+    iq = IQServer(lease_config=LeaseConfig(
+        i_lease_ttl=args.i_ttl, q_lease_ttl=args.q_ttl,
+    ))
+    net_config = NetConfig()
+    if args.max_pipeline_buffer is not None:
+        net_config.max_pipeline_buffer = args.max_pipeline_buffer
+    server = server_class(args.transport)(
+        (args.host, args.port), iq, net_config=net_config,
+    )
+    return server, iq
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-shard-worker",
+        description="Serve one IQ cache shard in this process.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = let the OS pick)")
+    parser.add_argument("--transport", choices=("async", "threaded"),
+                        default="async")
+    parser.add_argument("--i-ttl", type=float, default=10.0)
+    parser.add_argument("--q-ttl", type=float, default=10.0)
+    parser.add_argument("--max-pipeline-buffer", type=int, default=None,
+                        help="per-connection buffered-bytes cap")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    server, _iq = build_worker(args)
+
+    draining = threading.Event()
+
+    def _drain(_signum, _frame):
+        if draining.is_set():
+            return
+        draining.set()
+        # shutdown() must not run on the signal-handling (main) thread
+        # for the threaded transport -- it blocks until serve_forever
+        # exits, and serve_forever is running on this very thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    # Handlers go in BEFORE the port handshake: the parent may SIGTERM
+    # the instant it learns the address, and a drain signal must never
+    # hit the default (abrupt-kill) disposition.
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+
+    # The parent reads this exact line to learn where to dial; anything
+    # else the worker prints must go to stderr.
+    sys.stdout.write("PORT {}\n".format(server.port))
+    sys.stdout.flush()
+
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Event-loop server lifecycle: multiplexing, drain, kill, restart."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.iq_server import IQServer
+from repro.net import AsyncIQServer, RemoteIQServer, serve_background
+from repro.net.protocol import CRLF
+
+
+@pytest.fixture
+def served():
+    iq = IQServer()
+    server, thread = serve_background(iq_server=iq, transport="async")
+    yield server, iq
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestMultiplexing:
+    def test_many_interleaved_connections_one_thread(self, served):
+        server, iq = served
+        sockets = [
+            socket.create_connection(("127.0.0.1", server.port), timeout=5)
+            for _ in range(64)
+        ]
+        try:
+            # Interleave: every connection writes its own key, then every
+            # connection reads every other's -- all multiplexed on the
+            # single event-loop thread.
+            for i, sock in enumerate(sockets):
+                sock.sendall(
+                    "set conn{} 0 0 2".format(i).encode() + CRLF
+                    + "{:02d}".format(i).encode() + CRLF
+                )
+            for sock in sockets:
+                assert sock.recv(4096) == b"STORED" + CRLF
+            for i, sock in enumerate(sockets):
+                peer = (i + 1) % len(sockets)
+                sock.sendall("get conn{}".format(peer).encode() + CRLF)
+            for i, sock in enumerate(sockets):
+                peer = (i + 1) % len(sockets)
+                reply = sock.recv(4096)
+                assert reply.startswith(
+                    "VALUE conn{} 0 2".format(peer).encode()
+                )
+        finally:
+            for sock in sockets:
+                sock.close()
+        assert iq.stats.get("evloop_connections") >= 64
+
+    def test_pipelined_batch_counted_and_flushed_together(self, served):
+        server, iq = served
+        with RemoteIQServer(port=server.port) as remote:
+            remote.set("k", b"v")
+            pipe = remote.pipeline()
+            for _ in range(30):
+                pipe.get("k")
+            values = pipe.execute()
+        assert len(values) == 30
+        assert iq.stats.get("pipelined_commands") >= 30
+
+    def test_lease_protocol_over_event_loop(self, served):
+        server, _iq = served
+        with RemoteIQServer(port=server.port) as remote:
+            result = remote.iq_get("user:1")
+            assert result.has_lease
+            assert remote.iq_get("user:1").backoff
+            assert remote.iq_set("user:1", b"alice", result.token)
+            assert remote.iq_get("user:1").value == b"alice"
+            tid = remote.gen_id()
+            remote.qar(tid, "user:1")
+            remote.sar("user:1", b"bob", tid)
+            remote.commit(tid)
+            assert remote.iq_get("user:1").value == b"bob"
+
+
+class TestLifecycle:
+    def test_shutdown_unblocks_and_joins(self):
+        server, thread = serve_background(transport="async")
+        server.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.server_close()  # idempotent
+        server.server_close()
+
+    def test_shutdown_drains_buffered_replies(self, served):
+        server, iq = served
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=5
+        ) as sock:
+            batch = b"".join(
+                b"set k 0 0 1" + CRLF + b"x" + CRLF for _ in range(20)
+            )
+            sock.sendall(batch)
+            # Shut down while replies may still be queued: every command
+            # the server *executed* must still get its reply out before
+            # the close (the graceful-drain guarantee).
+            threading.Thread(target=server.shutdown).start()
+            received = b""
+            sock.settimeout(5)
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                received += data
+            executed = iq.stats.get("cmd_set")
+            assert received.count(b"STORED") == executed
+
+    def test_close_all_connections_severs_clients(self, served):
+        server, _iq = served
+        sock = socket.create_connection(("127.0.0.1", server.port))
+        sock.sendall(b"version" + CRLF)
+        assert sock.recv(4096).startswith(b"VERSION")
+        server.close_all_connections()
+        sock.settimeout(2)
+        try:
+            assert sock.recv(4096) == b""
+        except OSError:
+            pass  # reset is also an acceptable severing
+        finally:
+            sock.close()
+
+    def test_initiate_kill_notifies_on_kill(self):
+        server, thread = serve_background(transport="async")
+        killed = threading.Event()
+        server.on_kill = killed.set
+        server.initiate_kill()
+        assert killed.wait(timeout=5)
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.server_close()
+
+    def test_restartable_server_async_transport(self):
+        from repro.errors import CacheUnavailableError
+        from repro.faults.chaos import RestartableServer
+
+        from repro.net.resilient import ResilientIQServer
+
+        restartable = RestartableServer(
+            lambda tid_start=1: IQServer(tid_start=tid_start),
+            transport="async",
+        )
+        restartable.start()
+        client = ResilientIQServer(port=restartable.port)
+        try:
+            client.set("k", b"v")
+            assert client.get("k")[0] == b"v"
+            restartable.kill()
+            with pytest.raises(CacheUnavailableError):
+                client.get("k")
+            restartable.start()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                try:
+                    assert client.get("k") is None  # cold restart: empty
+                    break
+                except CacheUnavailableError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("client never reconnected after restart")
+            assert restartable.kills == 1
+        finally:
+            client.close()
+            restartable.kill()
+
+    def test_constructor_surface_matches_threaded(self):
+        # RestartableServer, serve_background, and the CLI construct
+        # either class through one call shape.
+        server = AsyncIQServer(("127.0.0.1", 0), IQServer())
+        assert server.port > 0
+        server.server_close()

@@ -1,0 +1,425 @@
+"""Transport parity: the event-loop server must match the threaded one.
+
+The contract (docs/ARCHITECTURE.md §12): for any request byte stream, the
+two transports produce the same reply byte stream -- same framing
+recovery, same pipelined flush contents, same error wording, same
+connection-close decisions -- and a seeded :class:`FaultPlan` observes
+the same per-command hook activations on either stack.  These tests
+drive both servers with raw sockets (adversarial clients included) and
+compare the transcripts byte for byte.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.config import NetConfig
+from repro.core.iq_server import IQServer
+from repro.net import serve_background
+from repro.net.protocol import CRLF
+
+TRANSPORTS = ("threaded", "async")
+
+
+def start(transport, net_config=None, injector=None):
+    server, _thread = serve_background(
+        iq_server=IQServer(), transport=transport,
+        fault_injector=injector, net_config=net_config,
+    )
+    return server
+
+
+def transcript(port, payload, chunks=None, timeout=5.0):
+    """Send ``payload`` (optionally pre-chunked), half-close, read it all."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as sock:
+        if chunks is None:
+            sock.sendall(payload)
+        else:
+            for chunk in chunks:
+                sock.sendall(chunk)
+                time.sleep(0.001)
+        sock.shutdown(socket.SHUT_WR)
+        received = []
+        while True:
+            try:
+                data = sock.recv(65536)
+            except OSError:
+                break
+            if not data:
+                break
+            received.append(data)
+        return b"".join(received)
+
+
+def run_on_both(payload, net_config=None, chunks=None):
+    """One fresh server per transport; returns both reply transcripts."""
+    replies = {}
+    for transport in TRANSPORTS:
+        server = start(transport, net_config=net_config)
+        try:
+            replies[transport] = transcript(
+                server.port, payload, chunks=chunks
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+    return replies
+
+
+def lines(*parts):
+    return b"".join(p + CRLF for p in parts)
+
+
+# A corpus of whole-connection request streams.  Every scenario runs on
+# a FRESH server per transport (token/TID/cas counters restart at the
+# same values), so the two reply transcripts must be byte-identical.
+CORPUS = {
+    "storage-and-retrieval": lines(
+        b"set k1 0 0 5", b"hello",
+        b"add k1 0 0 3", b"nah",
+        b"add k2 7 0 2", b"hi",
+        b"replace k2 7 0 3", b"hey",
+        b"append k2 0 0 1", b"!",
+        b"prepend k2 0 0 1", b"~",
+        b"get k1 k2 missing",
+        b"gets k2",
+        b"set n 0 0 1", b"7",
+        b"incr n 3",
+        b"decr n 100",
+        b"touch k1 60",
+        b"touch missing 60",
+        b"delete k1",
+        b"delete k1",
+        b"version",
+    ),
+    "iq-session": lines(
+        b"genid",                       # ID 1 on a fresh server
+        b"iqget user:1",                # LEASE (deterministic token)
+        b"iqget user:1",                # BACKOFF (I lease held)
+        b"iqset user:1 2 5", b"alice",  # token minted above
+        b"iqget user:1",
+        b"qaread user:1 1",
+        b"sar user:1 1 3", b"bob",
+        b"commit 1",
+        b"iqget user:1",
+        b"genid",
+        b"qar 4 user:2",
+        b"sar user:2 4 -1",             # null-value form, no data block
+        b"abort 4",
+    ),
+    "multi-key-and-keysnap": lines(
+        b"set a 0 0 1", b"A",
+        b"set b 0 0 1", b"B",
+        b"iqmget a b c",
+        b"keysnap",
+        b"genid",
+        b"qareg 1 a b",
+        b"commit 1",
+        b"mdelete a b missing",
+        b"keysnap",
+    ),
+    "trace-tokens": lines(
+        b"set t 0 0 2 @t42", b"ok",
+        b"get t @t42",
+        b"iqget t @t43",
+        b"genid @t44",
+    ),
+    "recoverable-errors": lines(
+        b"warp 9",                      # unknown command
+        b"get ok",                      # connection stays usable
+        b"incr missing 1",
+        b"set k 0 0 1", b"x",
+        b"incr k 1",                    # CLIENT_ERROR non-numeric
+        b"iqset k notanint 1", b"y",    # CLIENT_ERROR bad arguments
+        b"get k",                       # data block was still consumed
+        b"version",
+    ),
+    "unparseable-size-closes": lines(
+        b"get before",
+        b"set k 0 0 notanumber",        # size unknowable: error + close
+        b"version",                     # never answered
+    ),
+    "broken-terminator-closes": (
+        lines(b"get before")
+        + b"set k 0 0 4" + CRLF + b"12345678" + CRLF
+        + lines(b"version")
+    ),
+    "quit-discards-pipeline": lines(
+        b"set k 0 0 1", b"q",
+        b"get k",
+        b"quit",
+        b"get k",                       # after quit: never answered
+    ),
+    "pipelined-burst": lines(
+        *([b"set burst 0 0 2", b"hi"]
+          + [b"get burst"] * 40
+          + [b"stats pipelined"] * 0    # stats excluded: values differ
+          + [b"delete burst"])
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_reply_streams_identical(name):
+    replies = run_on_both(CORPUS[name])
+    assert replies["async"] == replies["threaded"], name
+    assert replies["async"]  # every scenario elicits at least one reply
+
+
+def test_byte_at_a_time_frames():
+    """One-byte TCP segments must not break framing on either transport."""
+    payload = lines(b"set slow 0 0 5", b"hello", b"get slow", b"quit")
+    chunks = [payload[i:i + 1] for i in range(len(payload))]
+    replies = run_on_both(payload, chunks=chunks)
+    assert replies["async"] == replies["threaded"]
+    assert b"STORED" in replies["async"]
+    assert b"VALUE slow 0 5" + CRLF + b"hello" in replies["async"]
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+@pytest.mark.parametrize("cut", [
+    b"get half",                 # mid command line, no CRLF
+    b"set k 0 0 10" + CRLF,      # announced block, no payload
+    b"set k 0 0 10" + CRLF + b"12345",  # partial payload
+])
+def test_mid_frame_disconnect_leaves_server_serving(transport, cut):
+    server = start(transport)
+    try:
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(cut)
+        # The abandoned frame dies with its connection; a fresh client
+        # gets normal service.
+        reply = transcript(server.port, lines(b"version"))
+        assert reply.startswith(b"VERSION")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestPipelineBufferCap:
+    """Satellite: NetConfig.max_pipeline_buffer bounds both transports."""
+
+    CAP = 4096
+
+    def config(self):
+        return NetConfig(max_pipeline_buffer=self.CAP)
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_unterminated_flood_gets_error_and_close(self, transport):
+        server = start(transport, net_config=self.config())
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                sock.settimeout(5)
+                # A "line" that never terminates, far past the cap.
+                flood = b"x" * (self.CAP * 4)
+                try:
+                    sock.sendall(flood)
+                except OSError:
+                    pass  # server may already have closed on us
+                received = b""
+                while True:
+                    try:
+                        data = sock.recv(65536)
+                    except OSError:
+                        break
+                    if not data:
+                        break
+                    received += data
+                assert b"SERVER_ERROR connection buffered" in received
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_oversized_announced_block_identical_refusal(self):
+        # Announcing a block bigger than the cap is refused up front --
+        # before any flooding bytes are buffered -- with identical
+        # wording on both transports.
+        payload = lines(
+            b"version",
+            "set big 0 0 {}".format(self.CAP * 10).encode(),
+        )
+        replies = run_on_both(payload, net_config=self.config())
+        assert replies["async"] == replies["threaded"]
+        assert b"SERVER_ERROR connection buffered" in replies["async"]
+
+    def test_async_half_open_reader_is_disconnected(self):
+        # A peer that pipelines requests but never reads replies cannot
+        # pin unbounded reply memory: the event loop cuts it off once
+        # the backlog passes the cap (the threaded transport instead
+        # blocks in sendall -- kernel backpressure -- so this behavior
+        # is event-loop-specific).
+        iq = IQServer()
+        iq.store.set("big", b"v" * 1024)
+        server, _thread = serve_background(
+            iq_server=iq, transport="async", net_config=self.config(),
+        )
+        try:
+            with socket.create_connection(
+                ("127.0.0.1", server.port)
+            ) as sock:
+                sock.settimeout(10)
+                burst = lines(*[b"get big"] * 500)
+                try:
+                    sock.sendall(burst)
+                    # Never read.  The server must close on us; detect it
+                    # by the read side reaching EOF/reset.
+                    while sock.recv(0) is not None:
+                        data = sock.recv(65536)
+                        if not data:
+                            break
+                except OSError:
+                    pass
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if iq.stats.get("evloop_overflow_closes") > 0:
+                    break
+                time.sleep(0.01)
+            assert iq.stats.get("evloop_overflow_closes") > 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def test_keysnap_under_pipelining():
+    """keysnap inside a pipelined burst: point-in-time snapshot, in-order
+    reply, identical on both transports."""
+    payload = lines(
+        b"set k1 0 0 1", b"1",
+        b"set k2 0 0 1", b"2",
+        b"keysnap",
+        b"set k3 0 0 1", b"3",
+        b"keysnap",
+        b"mdelete k1 k2 k3",
+        b"keysnap",
+    )
+    replies = run_on_both(payload)
+    assert replies["async"] == replies["threaded"]
+    text = replies["async"]
+    first = text.find(b"KEY k1" + CRLF + b"KEY k2" + CRLF + b"END")
+    assert first != -1, text
+    assert b"KEY k1" + CRLF + b"KEY k2" + CRLF + b"KEY k3" + CRLF + b"END" \
+        in text[first:]
+    assert text.rstrip().endswith(b"END")  # final keysnap: empty store
+
+
+class TestFaultHookParity:
+    """A seeded FaultPlan observes the same activations on both stacks."""
+
+    PAYLOAD = lines(
+        b"set k 0 0 5", b"hello",
+        *([b"get k"] * 6
+          + [b"delete k", b"get k", b"set k 0 0 2", b"vv"]
+          + [b"get k"] * 4
+          + [b"version"])
+    )
+
+    def plan(self):
+        from repro.faults import FaultPlan, FaultRule
+        from repro.faults.injector import (
+            FaultAction,
+            SITE_NET_RECV,
+            SITE_SERVER_REPLY,
+            SITE_SERVER_REQUEST,
+        )
+
+        return FaultPlan([
+            FaultRule(SITE_SERVER_REQUEST, FaultAction.DELAY,
+                      every=3, count=None, delay=0.0, label="req-delay"),
+            FaultRule(SITE_SERVER_REPLY, FaultAction.CORRUPT,
+                      every=4, count=None, label="reply-corrupt",
+                      match=lambda ctx: ctx.get("command") == "get"),
+            FaultRule(SITE_NET_RECV, FaultAction.DELAY,
+                      every=2, count=None, delay=0.0, label="recv-delay"),
+        ])
+
+    def run(self, transport):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(self.plan(), seed=7)
+        server = start(transport, injector=injector)
+        try:
+            transcript(server.port, self.PAYLOAD)
+        finally:
+            server.shutdown()
+            server.server_close()
+        return injector
+
+    @staticmethod
+    def activations(injector, site):
+        # Drop the global seq: net.recv interleaves differently (chunk
+        # boundaries are the one place the transports legitimately
+        # differ), which shifts global numbering without changing the
+        # per-site, per-command activation history.
+        return [
+            (sig[1], sig[2], sig[3], sig[4])
+            for sig in injector.signatures() if sig[1] == site
+        ]
+
+    def test_same_request_and_reply_activations(self):
+        from repro.faults.injector import (
+            SITE_NET_RECV,
+            SITE_SERVER_REPLY,
+            SITE_SERVER_REQUEST,
+        )
+
+        threaded = self.run("threaded")
+        evented = self.run("async")
+        for site in (SITE_SERVER_REQUEST, SITE_SERVER_REPLY):
+            assert self.activations(threaded, site) == \
+                self.activations(evented, site), site
+        # Command dispatch counts must agree exactly.
+        assert threaded.events_at(SITE_SERVER_REQUEST) == \
+            evented.events_at(SITE_SERVER_REQUEST)
+        # net.recv fires on both, but per-chunk counts may differ.
+        assert threaded.fired(SITE_NET_RECV) >= 1
+        assert evented.fired(SITE_NET_RECV) >= 1
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_drop_and_kill_faults(transport):
+    """DROP_CONNECTION and KILL_SERVER behave alike on both transports."""
+    from repro.faults import FaultInjector, FaultPlan, FaultRule
+    from repro.faults.injector import FaultAction, SITE_SERVER_REQUEST
+
+    # First connection: the 3rd command's request hook drops the
+    # connection.  The dropped command and everything pipelined behind
+    # it never get replies (whether replies 1-2 were already flushed
+    # depends only on TCP arrival timing, on either transport).
+    injector = FaultInjector(FaultPlan([
+        FaultRule(SITE_SERVER_REQUEST, FaultAction.DROP_CONNECTION, nth=3),
+    ]))
+    server = start(transport, injector=injector)
+    try:
+        reply = transcript(server.port, lines(*[b"version"] * 5))
+        assert reply.count(b"VERSION") <= 2, reply
+        assert transcript(server.port, lines(b"version")).startswith(
+            b"VERSION"
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    # KILL_SERVER takes the whole listener down.
+    injector = FaultInjector(FaultPlan([
+        FaultRule(SITE_SERVER_REQUEST, FaultAction.KILL_SERVER, nth=2),
+    ]))
+    server = start(transport, injector=injector)
+    try:
+        transcript(server.port, lines(b"version", b"version"))
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            try:
+                socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=0.2
+                ).close()
+            except OSError:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("listener still accepting after KILL_SERVER")
+    finally:
+        server.shutdown()
+        server.server_close()
