@@ -39,6 +39,11 @@ class Technique(enum.Enum):
     INVALIDATE = "invalidate"
     REFRESH = "refresh"
     DELTA = "incremental update"
+    #: Precise-clock self-invalidation (repro.clock): writes only *name*
+    #: the impacted keys (the commit jumps the clock past their promised
+    #: horizons), so the change lists are the invalidate-shaped plain
+    #: key lists and values use the JSON encodings.
+    CLOCK = "precise clock"
 
 
 def encode_id_list(ids):
@@ -419,7 +424,7 @@ class BGActions:
             return "invite"
 
         technique = self.technique
-        if technique is Technique.INVALIDATE:
+        if technique is Technique.INVALIDATE or technique is Technique.CLOCK:
             changes = [
                 KeyChange(self.keys.profile(invitee)),
                 KeyChange(self.keys.pending_friends(invitee)),
@@ -493,7 +498,7 @@ class BGActions:
             return "accept"
 
         technique = self.technique
-        if technique is Technique.INVALIDATE:
+        if technique is Technique.INVALIDATE or technique is Technique.CLOCK:
             changes = [
                 KeyChange(self.keys.profile(inviter)),
                 KeyChange(self.keys.profile(invitee)),
@@ -575,7 +580,7 @@ class BGActions:
             return "reject"
 
         technique = self.technique
-        if technique is Technique.INVALIDATE:
+        if technique is Technique.INVALIDATE or technique is Technique.CLOCK:
             changes = [
                 KeyChange(self.keys.profile(invitee)),
                 KeyChange(self.keys.pending_friends(invitee)),
@@ -642,7 +647,7 @@ class BGActions:
             return "thaw"
 
         technique = self.technique
-        if technique is Technique.INVALIDATE:
+        if technique is Technique.INVALIDATE or technique is Technique.CLOCK:
             changes = [
                 KeyChange(self.keys.profile(member_a)),
                 KeyChange(self.keys.profile(member_b)),
@@ -713,7 +718,7 @@ class BGActions:
 
     def _comment_changes(self, resource_id, refresher):
         key = self.keys.resource_comments(resource_id)
-        if self.technique is Technique.INVALIDATE:
+        if self.technique in (Technique.INVALIDATE, Technique.CLOCK):
             return [KeyChange(key)]
         if self.technique is Technique.REFRESH:
             return [KeyChange(key, refresher=refresher)]

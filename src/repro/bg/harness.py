@@ -21,6 +21,7 @@ from repro.core.policies import (
     BaselineDeltaClient,
     BaselineInvalidateClient,
     BaselineRefreshClient,
+    ClockClient,
     DeleteTiming,
     IQDeltaClient,
     IQInvalidateClient,
@@ -87,7 +88,7 @@ def build_bg_system(members=200, friends_per_member=10,
                     comments_per_resource=1, hotspot=(0.2, 0.7),
                     backoff=None, hot_writes=False, iq_server=None,
                     shards=None, shard_vnodes=64, trace=False,
-                    trace_capacity=8192, audit=False):
+                    trace_capacity=8192, audit=False, clock_config=None):
     """Build and load a full BG deployment; returns a :class:`BGSystem`.
 
     ``leased`` selects the IQ framework; otherwise the unleased baseline
@@ -167,9 +168,15 @@ def build_bg_system(members=200, friends_per_member=10,
             Technique.INVALIDATE: IQInvalidateClient,
             Technique.REFRESH: IQRefreshClient,
             Technique.DELTA: IQDeltaClient,
+            Technique.CLOCK: ClockClient,
         }[technique]
+        extra = {}
+        if technique is Technique.CLOCK and clock_config is not None:
+            # Interval sizing is workload tuning (a longer interval
+            # survives more unrelated commits before re-promising).
+            extra["config"] = clock_config
         consistency_client = client_class(
-            iq_client, db.connect, mode=mode, backoff=backoff
+            iq_client, db.connect, mode=mode, backoff=backoff, **extra
         )
         cache = server
     else:

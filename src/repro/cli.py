@@ -256,8 +256,11 @@ def _cmd_mc(args):
         for name in scenario_names():
             scenario = SCENARIOS[name]
             marker = "races" if scenario.expect_violation else "clean"
-            print("{:<24} [{}] {}".format(name, marker,
-                                          scenario.description))
+            print("{:<24} [{}] {:<21} {}".format(
+                name, marker,
+                "technique:{}".format(scenario.technique),
+                scenario.description,
+            ))
         return 0
 
     ok = True

@@ -1,0 +1,37 @@
+"""``repro.clock``: precise-clock self-invalidation, the fourth technique.
+
+One import surface for the lease-free consistency technique after Misra
+et al. ("Lightweight Inter-transaction Caching with Precise Clocks and
+Dynamic Self-invalidation", see PAPERS.md).  The implementation lives
+where each piece architecturally belongs -- the clock with the MVCC
+engine, the interval store with the KVS, the client beside the other
+techniques -- and this package re-exports the four public pieces:
+
+* :class:`~repro.sql.clock.CommitClock` -- the database's commit
+  sequence read as a logical clock, plus write-horizon promises and the
+  conservative earliest-next-write interval sizing;
+* :class:`~repro.kvs.store.ClockGetResult` -- the outcome of a ``cget``
+  interval read (hit inside a valid interval / plain miss / lazy expiry);
+* :class:`~repro.core.policies.ClockClient` -- the consistency client:
+  reads promise + ``cget`` (+ ``cset`` on a miss), writes commit with
+  ``clock_keys`` and never contact the cache;
+* :class:`~repro.config.ClockConfig` -- interval sizing and
+  dynamic-extension knobs.
+
+The technique's wire commands (``cget``/``cset``) ride the normal
+:mod:`repro.net` stack; every :class:`~repro.core.backend.LeaseBackend`
+in the repository implements them, so ``ClockClient`` runs unchanged
+against in-process, remote, resilient, and sharded cache tiers.
+"""
+
+from repro.config import ClockConfig
+from repro.core.policies import ClockClient
+from repro.kvs.store import ClockGetResult
+from repro.sql.clock import CommitClock
+
+__all__ = [
+    "ClockClient",
+    "ClockConfig",
+    "ClockGetResult",
+    "CommitClock",
+]

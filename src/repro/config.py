@@ -100,6 +100,44 @@ class NetConfig:
 
 
 @dataclass
+class ClockConfig:
+    """Precise-clock self-invalidation (:mod:`repro.clock`).
+
+    Intervals are in commit-clock *ticks* (commits), not seconds: the
+    clock only moves when transactions commit, so a quiescent system
+    serves cached intervals forever and a write-hot key ages the tier
+    exactly as fast as it changes.
+    """
+
+    #: Promise length for a key with no observed write history.
+    default_interval_ticks: int = 8
+
+    #: Floor on any promise (a zero-length interval could never serve).
+    min_interval_ticks: int = 1
+
+    #: Cap on any promise.  A promise is a pledge the committer must
+    #: honour -- a clock-keyed commit jumps the key's clock past its
+    #: highest live horizon -- so over-promising a write-hot key makes
+    #: its writes look artificially old to interval sizing; the cap
+    #: bounds how far any single promise can reach.
+    max_interval_ticks: int = 64
+
+    #: Re-promise on every read and ask the server to extend a hit's
+    #: expiry to the fresh horizon (Misra et al.'s dynamic
+    #: self-invalidation); ``False`` serves only the fill-time interval.
+    dynamic_extension: bool = True
+
+    #: Client-side inter-transaction cache (Misra et al.'s headline
+    #: trick): each client retains up to this many interval-stamped
+    #: values and serves a read with **zero** round trips while the
+    #: promised clock reading stays inside the local copy's interval.
+    #: No cross-client purge exists or is needed -- a write jumps the
+    #: key's clock, expiring every copy anywhere by arithmetic.  ``0``
+    #: disables the local tier (every read consults the cache server).
+    local_cache_entries: int = 1024
+
+
+@dataclass
 class BGConfig:
     """Parameters of the BG benchmark's social graph and SLA.
 
@@ -128,6 +166,7 @@ class ReproConfig:
     backoff: BackoffConfig = field(default_factory=BackoffConfig)
     net: NetConfig = field(default_factory=NetConfig)
     bg: BGConfig = field(default_factory=BGConfig)
+    clock: ClockConfig = field(default_factory=ClockConfig)
 
 
 DEFAULT_CONFIG = ReproConfig()

@@ -126,6 +126,27 @@ class LeaseBackend(abc.ABC):
         """
         return {key: self.iq_get(key, session=session) for key in keys}
 
+    # -- precise-clock reads (lease-free; repro.clock) -------------------------
+
+    def cget(self, key, clock_now, extend=None):
+        """Interval read at commit-clock reading ``clock_now``.
+
+        Serves a cached value only while its validity interval covers
+        ``clock_now`` -- the lease-free read path of the precise-clock
+        technique.  Every backend in this repository implements it; the
+        default raises so a third-party backend that predates the
+        command fails loudly rather than serving unvalidated data.
+        """
+        raise NotImplementedError(
+            "{} does not implement cget".format(type(self).__name__)
+        )
+
+    def cset(self, key, value, valid_from, valid_until):
+        """Install ``value`` stamped with ``[valid_from, valid_until)``."""
+        raise NotImplementedError(
+            "{} does not implement cset".format(type(self).__name__)
+        )
+
     # -- incremental update --------------------------------------------------
 
     @abc.abstractmethod

@@ -40,7 +40,7 @@ import threading
 from repro.config import KVSConfig, LeaseConfig
 from repro.errors import BadValueError, QuarantinedError
 from repro.kvs.stats import CacheStats
-from repro.kvs.store import CacheStore
+from repro.kvs.store import CacheStore, StoreResult
 from repro.core.backend import LeaseBackend
 from repro.core.leases import LeaseTable, QMode, QRequestOutcome
 from repro.obs.trace import get_tracer
@@ -266,6 +266,54 @@ class IQServer(LeaseBackend):
         """Relinquish an unredeemed I lease (reader found nothing to cache)."""
         with self._lock:
             return self.leases.redeem_i(key, token)
+
+    # -- precise-clock reads (lease-free; repro.clock) -------------------------
+
+    def cget(self, key, clock_now, extend=None):
+        """Interval read at commit-clock reading ``clock_now``.
+
+        The lease-free read path: serves the cached value only while its
+        validity interval covers ``clock_now``, never consulting the
+        lease table.  ``extend`` carries a freshly promised horizon for
+        dynamic self-invalidation.  Returns a
+        :class:`~repro.kvs.store.ClockGetResult`.
+        """
+        with self._lock:
+            result = self.store.cget(key, clock_now, extend=extend)
+            if self._tracer.active:
+                if result.is_hit:
+                    self._tracer.emit(
+                        "clock.serve", key=key, clock=clock_now,
+                        start=result.valid_from, expiry=result.valid_until,
+                        srv=self.obs_name,
+                    )
+                    if result.extended:
+                        self._tracer.emit(
+                            "clock.extend", key=key, clock=clock_now,
+                            expiry=result.valid_until, srv=self.obs_name,
+                        )
+                elif result.expired:
+                    self._tracer.emit("clock.expire", key=key,
+                                      clock=clock_now, srv=self.obs_name)
+            return result
+
+    def cset(self, key, value, valid_from, valid_until):
+        """Interval fill: install ``value`` valid over
+        ``[valid_from, valid_until)`` commit-clock ticks.
+
+        No token: the caller's *promise* (registered with the commit
+        clock before computing the value) is what makes the fill safe,
+        so the server only arbitrates between competing intervals --
+        the longer-lived one wins.  Returns True when stored.
+        """
+        with self._lock:
+            outcome = self.store.cset(key, value, valid_from, valid_until)
+            stored = outcome is StoreResult.STORED
+            if self._tracer.active:
+                self._tracer.emit("clock.fill", key=key, start=valid_from,
+                                  expiry=valid_until, applied=stored,
+                                  srv=self.obs_name)
+            return stored
 
     # -- refresh (R-M-W) ---------------------------------------------------------
 

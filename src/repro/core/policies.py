@@ -8,11 +8,16 @@ surface to application code (the BG actions):
   is ``sql_body(session)`` and whose KVS impact is described by
   :class:`KeyChange` objects.
 
-Two families are provided:
+Three families are provided:
 
 * **IQ clients** (``IQInvalidateClient``, ``IQRefreshClient``,
   ``IQDeltaClient``) follow the paper's Section 3/4 protocols and are
   strongly consistent;
+* **the precise-clock client** (:class:`ClockClient`) is the lease-free
+  fourth technique (``repro.clock``): cached values carry a validity
+  interval on the database's commit clock and self-invalidate on expiry,
+  so reads inside a valid interval never touch the lease table and
+  writes never contact the cache at all;
 * **Unleased baseline clients** (``BaselineInvalidateClient``,
   ``BaselineRefreshClient``, ``BaselineDeltaClient``) implement the naive
   sessions of Figures 3/10 against Twemcache-with-read-leases and exhibit
@@ -24,12 +29,14 @@ Two families are provided:
 import enum
 import threading
 
-from repro.config import BackoffConfig
+from repro.config import BackoffConfig, ClockConfig
 from repro.core.session import AcquisitionMode, SessionOutcome, SessionRunner
 from repro.errors import (
     CacheUnavailableError,
     DegradedModeActive,
     QuarantinedError,
+    StarvationError,
+    TransactionAbortedError,
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import get_tracer
@@ -520,6 +527,211 @@ class IQDeltaClient(_IQClientBase):
             return result
 
         return self.runner.run(body)
+
+
+# ---------------------------------------------------------------------------
+# Precise-clock client (lease-free, repro.clock)
+# ---------------------------------------------------------------------------
+
+class ClockClient:
+    """Precise-clock self-invalidation: the lease-free fourth technique.
+
+    After Misra et al. (PAPERS.md): cached values carry a validity
+    interval ``[start, expiry)`` on the database's commit clock and
+    self-invalidate once the clock reaches ``expiry``.  The division of
+    labour is inverted relative to the IQ clients:
+
+    * a **read** registers a write-horizon *promise* with the
+      :class:`~repro.sql.clock.CommitClock` (one mutex acquisition, no
+      I/O) and first consults a client-local interval cache -- a copy
+      whose validity interval covers the promised reading is served
+      with **zero round trips** (Misra et al.'s inter-transaction
+      caching; no lease protocol can do this, because a lease-based
+      local copy cannot be revalidated without contacting the lease
+      table).  Otherwise a single ``cget`` at the promised start either
+      hits the shared cache or computes from SQL and installs the value
+      with ``cset`` stamped by the promise;
+    * a **write** runs its RDBMS transaction and commits with
+      ``clock_keys`` naming the impacted cache keys -- each key's clock
+      jumps past its promised horizon, which expires all covered
+      intervals *by arithmetic*, wherever they live: the shared cache
+      server and every client's local tier self-invalidate without a
+      single purge message.  The write session performs **no cache
+      round trips at all**: no QaR, no DaR, no delete, no journal.
+
+    Strong consistency follows from the promise/commit serialization on
+    the transaction manager's commit mutex (see :mod:`repro.sql.clock`):
+    a value computed after ``promise`` returned ``(p, e)`` is exactly
+    current for every clock reading in ``[p, e)``, and ``cget`` refuses
+    to serve outside the stored interval.  An unreachable cache needs no
+    reconciliation -- writes never depended on it, and every interval a
+    dead cache holds expires on its own as the clock advances -- so
+    degraded mode for this client is just "reads compute from SQL".
+
+    The constructor signature mirrors the IQ clients so the BG harness
+    can build it interchangeably; ``mode`` is accepted and ignored (the
+    technique has no lease-acquisition phases).
+    """
+
+    def __init__(self, client, connection_factory, mode=AcquisitionMode.DURING,
+                 backoff=None, clock=None, config=None,
+                 degraded_fallback=True):
+        from repro.sql.clock import CommitClock
+
+        self.client = client
+        #: the LeaseBackend (``client`` may be an IQClient wrapper or the
+        #: backend itself; only ``cget``/``cset`` are ever used)
+        self.server = getattr(client, "server", client)
+        self.connection_factory = connection_factory
+        self.mode = mode
+        self.config = config or ClockConfig()
+        self.backoff = backoff or ExponentialBackoff(BackoffConfig())
+        self.clock = clock or SystemClock()
+        self.degraded_fallback = degraded_fallback
+        connection = connection_factory()
+        try:
+            self.commit_clock = CommitClock(connection.db, self.config)
+        finally:
+            connection.close()
+        #: key -> (value, valid_from, valid_until): the inter-transaction
+        #: tier.  FIFO-bounded by ``config.local_cache_entries``; guarded
+        #: by its own lock (BG drives one client from many threads).
+        self._local = {}
+        self._local_lock = threading.Lock()
+        self.metrics = MetricsRegistry()
+        self._interval_reads = self.metrics.counter(
+            "clock_interval_reads", "reads served inside a validity interval")
+        self._local_hits = self.metrics.counter(
+            "clock_local_hits",
+            "interval reads served from the client tier with zero I/O")
+        self._interval_misses = self.metrics.counter(
+            "clock_interval_misses",
+            "reads that computed from SQL (miss or expired interval)")
+        self._clock_commits = self.metrics.counter(
+            "clock_commits", "write commits that jumped the commit clock")
+        self._degraded_reads = self.metrics.counter(
+            "clock_degraded_reads",
+            "reads served from the SQL engine because the cache was away")
+        self._tracer = get_tracer()
+
+    @property
+    def is_strongly_consistent(self):
+        return True
+
+    @property
+    def degraded_reads(self):
+        return self._degraded_reads.value
+
+    def _local_get(self, key, now):
+        """Serve ``key`` from the client tier iff its interval covers
+        ``now``; expired copies are unlinked on the way."""
+        if not self.config.local_cache_entries:
+            return None
+        with self._local_lock:
+            entry = self._local.get(key)
+            if entry is None:
+                return None
+            if entry[2] <= now:
+                del self._local[key]
+                return None
+            return entry
+
+    def _local_put(self, key, value, start, until):
+        if not self.config.local_cache_entries:
+            return
+        with self._local_lock:
+            self._local[key] = (value, start, until)
+            while len(self._local) > self.config.local_cache_entries:
+                self._local.pop(next(iter(self._local)))
+
+    def read(self, key, compute):
+        """Promise, local interval check, then ``cget``/compute."""
+        start, until = self.commit_clock.promise(key)
+        entry = self._local_get(key, start)
+        if entry is not None:
+            self._interval_reads.inc()
+            self._local_hits.inc()
+            if self._tracer.active:
+                # Same event shape as the server's serve, so the
+                # auditor's past-bound rule covers the client tier too.
+                self._tracer.emit("clock.serve", key=key, clock=start,
+                                  start=entry[1], expiry=entry[2],
+                                  srv="local")
+            return entry[0]
+        extend = until if self.config.dynamic_extension else None
+        try:
+            result = self.server.cget(key, start, extend=extend)
+        except CacheUnavailableError as exc:
+            if not self.degraded_fallback:
+                raise DegradedModeActive(
+                    "read of {!r} with cache unavailable: {}".format(key, exc)
+                ) from exc
+            self._degraded_reads.inc()
+            if self._tracer.active:
+                self._tracer.emit("client.degraded.read", key=key)
+            value = compute()
+            if value is not None:
+                # The promise -- not the server -- is what makes the
+                # interval valid, so the client tier keeps absorbing
+                # re-reads even while the shared cache is away.
+                self._local_put(key, value, start, until)
+            return value
+        if result.is_hit:
+            self._interval_reads.inc()
+            self._local_put(key, result.value, result.valid_from,
+                            result.valid_until)
+            return result.value
+        value = compute()
+        self._interval_misses.inc()
+        if value is not None:
+            # The local copy never depends on the shared fill landing:
+            # its validity comes from the promise, not the server.
+            self._local_put(key, value, start, until)
+            try:
+                self.server.cset(key, value, start, until)
+            except CacheUnavailableError:
+                # An uninstalled cset is always safe: the reader still
+                # returns its freshly computed value and the next reader
+                # simply recomputes.  No journal entry is needed -- clock
+                # writes never depend on the cache being reachable.
+                if self._tracer.active:
+                    self._tracer.emit("client.degraded.read", key=key)
+        return value
+
+    def write(self, sql_body, changes):
+        """RDBMS transaction + clock-jumping commit; zero cache I/O."""
+        keys = [change.key for change in changes]
+        restarts = 0
+        delays = self.backoff.delays()
+        while True:
+            connection = self.connection_factory()
+            try:
+                connection.begin()
+                result = sql_body(_BaselineSession(connection))
+                connection.commit(clock_keys=keys)
+                self._clock_commits.inc()
+                if self._tracer.active:
+                    self._tracer.emit("clock.commit", keys=len(keys),
+                                      restarts=restarts)
+                return SessionOutcome(result, restarts)
+            except TransactionAbortedError:
+                # First-updater-wins conflict; the engine already aborted
+                # the transaction.  Back off and restart, exactly like
+                # the IQ session runner -- but with no leases to release.
+                restarts += 1
+                if self._tracer.active:
+                    self._tracer.emit("session.restart", restarts=restarts)
+                try:
+                    delay = next(delays)
+                except StarvationError:
+                    raise StarvationError(restarts)
+                self.clock.sleep(delay)
+            except Exception:
+                if connection.in_transaction:
+                    connection.rollback()
+                raise
+            finally:
+                connection.close()
 
 
 # ---------------------------------------------------------------------------

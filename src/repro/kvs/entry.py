@@ -21,6 +21,8 @@ class CacheEntry:
         "cas_id",
         "lru_prev",
         "lru_next",
+        "valid_from",
+        "valid_until",
     )
 
     def __init__(self, key, value, flags=0, expires_at=0.0, cas_id=0):
@@ -31,6 +33,11 @@ class CacheEntry:
         self.cas_id = cas_id
         self.lru_prev = None
         self.lru_next = None
+        # Validity interval [valid_from, valid_until) in commit-clock
+        # ticks (precise-clock self-invalidation, repro.clock); ``None``
+        # marks an unstamped entry, which ``cget`` treats as a miss.
+        self.valid_from = None
+        self.valid_until = None
 
     def size(self):
         """Approximate memory footprint charged against the budget."""
@@ -39,6 +46,14 @@ class CacheEntry:
     def is_expired(self, now):
         """True when the entry carries a TTL that has elapsed."""
         return self.expires_at != 0.0 and now >= self.expires_at
+
+    def interval_expired(self, clock_now):
+        """True when the validity interval has elapsed on the commit clock.
+
+        Unstamped entries (``valid_until is None``) never *expire* on the
+        clock -- they are simply unservable via ``cget``.
+        """
+        return self.valid_until is not None and clock_now >= self.valid_until
 
     def __repr__(self):
         return "CacheEntry(key={!r}, value={!r}, cas_id={})".format(

@@ -59,6 +59,16 @@ class CacheStats:
         "evloop_connections",
         "evloop_flushes",
         "evloop_overflow_closes",
+        # Precise-clock self-invalidation counters (PR 8): hits served
+        # inside a validity interval vs entries lazily dropped because
+        # the commit clock passed their bound, plus dynamic extensions
+        # and fills refused in favour of a longer-lived interval.
+        "cmd_cget",
+        "cmd_cset",
+        "interval_hits",
+        "interval_expiries",
+        "interval_extensions",
+        "interval_ignored_sets",
     )
 
     def __init__(self, registry=None, prefix="cache"):

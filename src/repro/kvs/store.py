@@ -32,6 +32,39 @@ class StoreResult(enum.Enum):
     NOT_FOUND = "NOT_FOUND"
 
 
+class ClockGetResult:
+    """Outcome of a ``cget`` (interval read, precise-clock technique).
+
+    ``expired`` distinguishes a self-invalidation (the entry existed but
+    the commit clock passed its validity bound, so it was dropped) from
+    a plain miss; ``extended`` reports that a dynamic-extension request
+    pushed the stored expiry forward.
+    """
+
+    __slots__ = ("value", "flags", "valid_from", "valid_until", "expired",
+                 "extended")
+
+    def __init__(self, value=None, flags=0, valid_from=None,
+                 valid_until=None, expired=False, extended=False):
+        self.value = value
+        self.flags = flags
+        self.valid_from = valid_from
+        self.valid_until = valid_until
+        self.expired = expired
+        self.extended = extended
+
+    @property
+    def is_hit(self):
+        return self.value is not None
+
+    def __repr__(self):
+        return ("ClockGetResult(value={!r}, interval=[{}, {}), expired={}"
+                ", extended={})").format(
+            self.value, self.valid_from, self.valid_until, self.expired,
+            self.extended,
+        )
+
+
 class CacheStore:
     """Thread-safe in-memory cache with Twemcache semantics.
 
@@ -146,6 +179,10 @@ class CacheStore:
             entry.flags = flags
         if expires_at is not None:
             entry.expires_at = expires_at
+        # Any mutation voids a validity interval: the stamped promise
+        # described the *old* value.  ``cset`` re-stamps after this.
+        entry.valid_from = None
+        entry.valid_until = None
         entry.cas_id = self._next_cas()
         chunk = self._slabs.chunk_size_for(entry.size())
         self._ensure_room(chunk, exclude=entry)
@@ -205,6 +242,47 @@ class CacheStore:
             self.stats.incr("get_hits")
             return entry.value, entry.flags, entry.cas_id
 
+    def cget(self, key, clock_now, extend=None):
+        """Interval read (precise-clock technique): serve only while the
+        commit clock reads below the entry's validity bound.
+
+        ``clock_now`` is the caller's commit-clock reading.  An entry
+        whose bound has passed is dropped here -- lazy self-invalidation,
+        mirroring TTL expiry in :meth:`_lookup_live` -- and reported as
+        ``expired``.  ``extend`` (a freshly *promised* horizon) pushes a
+        hit's stored expiry forward: Misra et al.'s dynamic
+        self-invalidation.  Unstamped entries are misses; ``cget`` never
+        serves a value no promise covers.
+        """
+        self._check_key(key)
+        if self.fault_injector is not None:
+            self.fault_injector.perform("store.get", key=key)
+        with self._lock:
+            self.stats.incr("cmd_cget")
+            entry = self._lookup_live(key)
+            if entry is None or entry.valid_until is None:
+                return ClockGetResult()
+            if entry.interval_expired(clock_now):
+                self._unlink(entry)
+                self.stats.incr("interval_expiries")
+                if self._tracer.active:
+                    self._tracer.emit("store.interval_expire", key=key,
+                                      expiry=entry.valid_until,
+                                      clock=clock_now)
+                self._notify_removed(entry)
+                return ClockGetResult(expired=True)
+            extended = False
+            if extend is not None and extend > entry.valid_until:
+                entry.valid_until = extend
+                self.stats.incr("interval_extensions")
+                extended = True
+            self._lru.touch(entry)
+            self.stats.incr("interval_hits")
+            return ClockGetResult(
+                entry.value, entry.flags, entry.valid_from,
+                entry.valid_until, extended=extended,
+            )
+
     def get_multi(self, keys):
         """Fetch several keys at once; returns ``{key: value}`` for hits."""
         result = {}
@@ -235,6 +313,45 @@ class CacheStore:
                 self._replace_value(entry, value, flags, expires_at)
             if self._tracer.active:
                 self._tracer.emit("store.set", key=key, bytes=len(value))
+            return StoreResult.STORED
+
+    def cset(self, key, value, valid_from, valid_until, flags=0, ttl=None):
+        """Interval fill: store ``value`` stamped ``[valid_from, valid_until)``.
+
+        Refused (``NOT_STORED``, wire ``IGNORED``) when the existing
+        entry's interval already lasts at least as long -- both values
+        are provably current over their intervals, so keeping the
+        longer-lived one is safe and strictly better -- or when the
+        proposed interval is empty.  A plain (unstamped or lease-filled)
+        entry is overwritten: the cset carries a promise, the old entry
+        carries none.
+        """
+        self._check_key(key)
+        self._check_value(value)
+        if self.fault_injector is not None:
+            self.fault_injector.perform("store.set", key=key)
+        with self._lock:
+            self.stats.incr("cmd_cset")
+            if valid_until <= valid_from:
+                self.stats.incr("interval_ignored_sets")
+                return StoreResult.NOT_STORED
+            entry = self._lookup_live(key)
+            if (entry is not None and entry.valid_until is not None
+                    and entry.valid_until >= valid_until):
+                self.stats.incr("interval_ignored_sets")
+                return StoreResult.NOT_STORED
+            expires_at = self._expiry_for(ttl)
+            if entry is None:
+                entry = CacheEntry(key, value, flags, expires_at,
+                                   self._next_cas())
+                self._insert(entry)
+            else:
+                self._replace_value(entry, value, flags, expires_at)
+            entry.valid_from = valid_from
+            entry.valid_until = valid_until
+            if self._tracer.active:
+                self._tracer.emit("store.cset", key=key, bytes=len(value),
+                                  start=valid_from, expiry=valid_until)
             return StoreResult.STORED
 
     def add(self, key, value, flags=0, ttl=None):
@@ -420,3 +537,20 @@ class CacheStore:
         with self._lock:
             now = self.clock.now()
             return [k for k, e in self._table.items() if not e.is_expired(now)]
+
+    def interval_of(self, key):
+        """The live entry's ``(valid_from, valid_until)`` stamp, or ``None``.
+
+        ``None`` covers absent, TTL-expired, and unstamped entries alike
+        -- every case where a ``cget`` cannot serve.  Pure introspection
+        (model-checker fingerprints, oracles): no LRU touch, no stats,
+        no lazy expiry.
+        """
+        self._check_key(key)
+        with self._lock:
+            entry = self._table.get(key)
+            if entry is None or entry.is_expired(self.clock.now()):
+                return None
+            if entry.valid_until is None:
+                return None
+            return entry.valid_from, entry.valid_until

@@ -36,6 +36,7 @@ from repro.mc.scenarios import (
     FIGURE_PAIRS,
     SCENARIOS,
     Scenario,
+    clock_final_checks,
     default_final_checks,
     get_scenario,
     scenario_names,
@@ -59,6 +60,7 @@ __all__ = [
     "FIGURE_PAIRS",
     "SCENARIOS",
     "Scenario",
+    "clock_final_checks",
     "default_final_checks",
     "get_scenario",
     "scenario_names",

@@ -30,6 +30,9 @@ from repro.mc.sessions import (
     baseline_dirty_refresher,
     baseline_reader,
     baseline_trigger_invalidator,
+    clock_abort_writer,
+    clock_reader,
+    clock_writer,
     fault_program,
     iq_abort_refresh_writer,
     iq_batch_invalidate_writer,
@@ -38,6 +41,7 @@ from repro.mc.sessions import (
     iq_reader,
     iq_refresh_writer,
     migration_program,
+    naive_clock_reader,
     reconciler,
     sharded_delta_writer,
     sharded_invalidate_writer,
@@ -49,6 +53,7 @@ from repro.sharding.ring import ConsistentHashRing
 __all__ = [
     "Scenario",
     "default_final_checks",
+    "clock_final_checks",
     "get_scenario",
     "scenario_names",
     "SCENARIOS",
@@ -89,12 +94,64 @@ def default_final_checks(world, runs, allow_journaled_stale=False):
     return messages
 
 
+def clock_final_checks(world, runs):
+    """The terminal oracle for precise-clock scenarios.
+
+    Self-invalidation is *lazy*: after a clock-keyed commit a stale value
+    may linger in the store, but its validity interval has expired, so no
+    ``cget`` can ever serve it again -- the plain stale-final check would
+    false-positive on exactly the technique's safe divergence.  A cached
+    value is therefore only held against the RDBMS while its interval is
+    still live at the key's final validity-clock reading; a live-interval
+    mismatch is a real violation (the value would be served to the next
+    reader).  Unstamped entries never serve through ``cget`` and are
+    ignored.  The dirty-read oracle applies unchanged.
+    """
+    messages = []
+    txmanager = world.db.txmanager
+    kvs = world.kvs_contents()
+    sql = world.sql_contents()
+    stamps = world.interval_stamps()
+    for key in world.keys:
+        cached = kvs[key]
+        if cached is None:
+            continue
+        stamp = stamps.get(key)
+        if stamp is None:
+            continue
+        until = stamp[1]
+        now = txmanager.key_clock(key)
+        if until <= now:
+            continue
+        committed = sql[key]
+        if str(cached) != str(committed):
+            messages.append(
+                "clock-stale: kvs[{}]={!r} is valid until clock {} "
+                "(clock now {}) but the rdbms committed {!r}".format(
+                    key, cached, until, now, committed
+                )
+            )
+    for program, key, value in world.cache_reads():
+        history = {
+            str(v) for v in world.committed_history.get(key, ())
+        }
+        if str(value) not in history:
+            messages.append(
+                "dirty-read: {} was served {!r} for {}, which was never "
+                "committed (history: {})".format(
+                    program, value, key, sorted(history)
+                )
+            )
+    return messages
+
+
 class Scenario:
     """One model-checking problem: programs, world, oracles."""
 
     def __init__(self, name, build, description="", check_state=None,
                  check_final=None, allow_journaled_stale=False,
-                 expect_violation=False, audit=True, tags=()):
+                 expect_violation=False, audit=True, tags=(),
+                 technique="invalidate"):
         self.name = name
         self._build = build
         self.description = description
@@ -107,6 +164,8 @@ class Scenario:
         #: feed the auditor's verdict into the terminal oracle
         self.audit = audit
         self.tags = tuple(tags)
+        #: the consistency technique under test (``repro mc --list``)
+        self.technique = technique
 
     def build(self):
         """Fresh ``(world, [MCProgram])`` for one execution."""
@@ -604,6 +663,87 @@ def _rebalance_unquarantined():
 
 
 # ---------------------------------------------------------------------------
+# precise-clock scenarios (repro.clock): the figure races, lease-free
+# ---------------------------------------------------------------------------
+
+def _fig2_clock():
+    # Two R-M-W writers under precise clocks: the RDBMS alone serializes
+    # them (clock writes take no leases, touch no cache); the reader's
+    # promise/cget pair brackets their commits in every explored order.
+    world = World(keys=("k0",), backend="iq")
+    world.seed_db_only("k0", 100)
+    return world, [
+        clock_writer("S1", {"k0": "val + 50"}, attempts=3),
+        clock_writer("S2", {"k0": "val * 10"}, attempts=3),
+        clock_reader("R", "k0", attempts=2),
+    ]
+
+
+def _fig3_clock():
+    # Figure 3's invalidate+read race: the commit's clock jump past the
+    # reader's promised horizon replaces the trigger-delete -- a fill
+    # stamped before the commit is expired the moment the commit lands.
+    world = World(keys=("k0",), backend="iq")
+    world.seed_db_only("k0", 0)
+    return world, [
+        clock_writer("S1", {"k0": "1"}, attempts=2),
+        clock_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig4_clock():
+    # Figure 4's rearrangement window with two readers: one reader's
+    # pre-commit fill may be served to the other *at a pre-commit clock
+    # reading* (both serialize before the writer) but never after the
+    # commit's jump.
+    world = World(keys=("k0",), backend="iq")
+    world.seed_db_only("k0", 0)
+    return world, [
+        clock_writer("S1", {"k0": "1"}, attempts=2),
+        clock_reader("R1", "k0", attempts=2),
+        clock_reader("R2", "k0", attempts=2),
+    ]
+
+
+def _fig6_clock():
+    # Figure 6's aborting writer: nothing to undo -- no lease, no cache
+    # write, no clock movement; the uncommitted value never escapes the
+    # aborted snapshot.
+    world = World(keys=("k0",), backend="iq")
+    world.seed_db_only("k0", 0)
+    return world, [
+        clock_abort_writer("S1", {"k0": "val + 1"}),
+        clock_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _fig7_clock():
+    # The delta figures degrade to plain writes: precise clocks carry no
+    # incremental updates, the append is a clock-keyed SQL write whose
+    # commit self-invalidates any interval covering the key.
+    world = World(keys=("k0",), backend="iq", text_values=True)
+    world.seed_db_only("k0", "x")
+    return world, [
+        clock_writer("S1", {"k0": "val + 'd'"}, attempts=2),
+        clock_reader("S2", "k0", attempts=2),
+    ]
+
+
+def _clock_missized():
+    # The rejected variant: the reader guesses its interval instead of
+    # registering a promise, so the writer's commit advances the clock a
+    # single tick instead of jumping the guessed bound -- the stale fill
+    # stays servable inside the guessed window, and the checker must
+    # find that state (the precise-clock rebalance-unquarantined).
+    world = World(keys=("k0",), backend="iq")
+    world.seed_db_only("k0", 0)
+    return world, [
+        clock_writer("W", {"k0": "1"}, attempts=2),
+        naive_clock_reader("R", "k0", guess=8, attempts=2),
+    ]
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -617,12 +757,13 @@ def _register(scenario):
 
 _register(Scenario(
     "fig2-baseline", _fig2_baseline, expect_violation=True,
+    technique="refresh",
     description="Figure 2: R-M-W with gets/cas; KVS order can diverge "
                 "from RDBMS serialization order",
     tags=("figure", "baseline"),
 ))
 _register(Scenario(
-    "fig2-iq", _fig2_iq,
+    "fig2-iq", _fig2_iq, technique="refresh",
     description="Figure 2 under IQ refresh: QaRead/SaR serialize the "
                 "two writers",
     tags=("figure", "iq"),
@@ -654,59 +795,62 @@ _register(Scenario(
 ))
 _register(Scenario(
     "fig6-baseline", _fig6_baseline, expect_violation=True,
+    technique="refresh",
     description="Figure 6: pre-commit refresh + RDBMS abort = dirty read",
     tags=("figure", "baseline"),
 ))
 _register(Scenario(
-    "fig6-iq", _fig6_iq,
+    "fig6-iq", _fig6_iq, technique="refresh",
     description="Figure 6 under IQ: Abort(TID) releases the Q lease "
                 "without installing the uncommitted value",
     tags=("figure", "iq"),
 ))
 _register(Scenario(
     "fig7-baseline", _fig7_baseline, expect_violation=True,
+    technique="delta",
     description="Figure 7: unleased delta lost on a miss, then "
                 "overwritten by a stale fill",
     tags=("figure", "baseline"),
 ))
 _register(Scenario(
-    "fig7-iq", _fig7_iq,
+    "fig7-iq", _fig7_iq, technique="delta",
     description="Figure 7 under IQ-delta: the Q lease voids the "
                 "doomed fill's I lease",
     tags=("figure", "iq"),
 ))
 _register(Scenario(
     "fig8-baseline", _fig8_baseline, expect_violation=True,
+    technique="delta",
     description="Figure 8: post-commit unleased delta applied on top of "
                 "a fresh fill that already contains it",
     tags=("figure", "baseline"),
 ))
 _register(Scenario(
-    "fig8-iq", _fig8_iq,
+    "fig8-iq", _fig8_iq, technique="delta",
     description="Figure 8 under IQ-delta: commit applies the delta "
                 "exactly once",
     tags=("figure", "iq"),
 ))
 
 _register(Scenario(
-    "mix3-inv-refresh-read", _mix3_inv_refresh_read,
+    "mix3-inv-refresh-read", _mix3_inv_refresh_read, technique="mixed",
     description="3 sessions: invalidate writer + refresh writer + "
                 "reader on one key, exhaustively under IQ",
     tags=("mix", "iq"),
 ))
 _register(Scenario(
-    "mix3-inv-delta-read", _mix3_inv_delta_read,
+    "mix3-inv-delta-read", _mix3_inv_delta_read, technique="mixed",
     description="3 sessions: invalidate writer + delta writer + reader",
     tags=("mix", "iq"),
 ))
 _register(Scenario(
-    "mix3-refresh-delta-read", _mix3_refresh_delta_read,
+    "mix3-refresh-delta-read", _mix3_refresh_delta_read, technique="mixed",
     description="3 sessions: refresh writer + delta writer + reader",
     tags=("mix", "iq"),
 ))
 
 _register(Scenario(
-    "sharded-mix", _sharded_mix,
+    "sharded-mix", _sharded_mix, technique="mixed",
     description="2-shard router: multi-shard invalidate + delta + reader",
     tags=("mix", "iq", "sharded"),
 ))
@@ -721,7 +865,7 @@ _register(Scenario(
 ))
 _register(Scenario(
     "fault-expired-leases", _fault_expired_leases,
-    expect_violation=True,
+    expect_violation=True, technique="refresh",
     description="Fault step expires a live writer's leases mid-session: "
                 "the late SaR is correctly ignored, but a reader can "
                 "re-fill the pre-commit value -- the lease-duration "
@@ -731,7 +875,7 @@ _register(Scenario(
 
 _register(Scenario(
     "fuzz-sharded-fault", _fuzz_sharded_fault,
-    allow_journaled_stale=True,
+    allow_journaled_stale=True, technique="mixed",
     description="Fuzz target: 4 sessions across 2 shards with a "
                 "kill/heal/reconcile fault sequence as schedule steps; "
                 "sampled randomly, auditor as oracle",
@@ -768,7 +912,7 @@ _register(Scenario(
     tags=("pr2", "sharded"),
 ))
 _register(Scenario(
-    "pr2-poison", _pr2_poison(True),
+    "pr2-poison", _pr2_poison(True), technique="delta",
     description="PR 2 semantics: a shard failing partway through a "
                 "multi-delta proposal is poisoned; its commit leg "
                 "aborts instead of applying a partial delta list",
@@ -776,6 +920,7 @@ _register(Scenario(
 ))
 _register(Scenario(
     "pr2-poison-missing", _pr2_poison(False), expect_violation=True,
+    technique="delta",
     description="Rejected PR 2 behaviour: without poison() the victim "
                 "leg commits a partial proposal",
     tags=("pr2", "sharded"),
@@ -797,7 +942,7 @@ _register(Scenario(
     tags=("rebalance", "sharded", "fault"),
 ))
 _register(Scenario(
-    "rebalance-remove", _rebalance_remove,
+    "rebalance-remove", _rebalance_remove, technique="refresh",
     description="2->1 shards online: the leaving shard's key migrates "
                 "to the survivor under quarantine while a refresh "
                 "writer R-M-Ws it",
@@ -810,6 +955,53 @@ _register(Scenario(
                 "or a dual-epoch window resurrects a pre-write value "
                 "after the flip",
     tags=("rebalance", "sharded"),
+))
+
+_register(Scenario(
+    "fig2-clock", _fig2_clock, check_final=clock_final_checks,
+    technique="clock",
+    description="Figure 2 under precise clocks: the RDBMS serializes "
+                "both R-M-W writers; the reader's interval never "
+                "outlives their commits",
+    tags=("clock",),
+))
+_register(Scenario(
+    "fig3-clock", _fig3_clock, check_final=clock_final_checks,
+    technique="clock",
+    description="Figure 3 under precise clocks: the commit's clock jump "
+                "past the promised horizon expires any pre-commit fill",
+    tags=("clock",),
+))
+_register(Scenario(
+    "fig4-clock", _fig4_clock, check_final=clock_final_checks,
+    technique="clock",
+    description="Figure 4's window with two readers: a pre-commit fill "
+                "serves only at pre-commit clock readings, never after "
+                "the jump",
+    tags=("clock",),
+))
+_register(Scenario(
+    "fig6-clock", _fig6_clock, check_final=clock_final_checks,
+    technique="clock",
+    description="Figure 6 under precise clocks: an aborting writer has "
+                "nothing to undo -- no lease, no cache write, no clock "
+                "movement",
+    tags=("clock",),
+))
+_register(Scenario(
+    "fig7-clock", _fig7_clock, check_final=clock_final_checks,
+    technique="clock",
+    description="Figures 7/8 degraded to a clock-keyed append: the "
+                "commit self-invalidates any interval covering the key",
+    tags=("clock",),
+))
+_register(Scenario(
+    "clock-missized", _clock_missized, check_final=clock_final_checks,
+    expect_violation=True, technique="clock",
+    description="Rejected variant: intervals guessed without a promise; "
+                "the commit cannot jump the bound, so a stale fill "
+                "stays servable inside the guessed window",
+    tags=("clock",),
 ))
 
 #: (baseline scenario, iq scenario) per figure -- the acceptance sweep.

@@ -52,6 +52,10 @@ __all__ = [
     "sharded_delta_writer",
     "reconciler",
     "migration_program",
+    "clock_reader",
+    "clock_writer",
+    "clock_abort_writer",
+    "naive_clock_reader",
 ]
 
 
@@ -754,5 +758,142 @@ def migration_program(name, plan):
             yield Op("{}:{}".format(name, step.label), kvs=keys)
             step.run()
         return "migrated" if rebalancer.report.completed else "incomplete"
+
+    return MCProgram(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# precise-clock sessions (repro.clock; lease-free)
+# ---------------------------------------------------------------------------
+
+def clock_reader(name, key, attempts=2, ticks=None):
+    """Precise-clock read: promise a write horizon, then ``cget``.
+
+    The promise is announced as a *SQL-side* step (it reads and mutates
+    the commit clock under the transaction-manager mutex) and the
+    ``cget`` as a KVS step, so the explorer interleaves a writer's
+    commit in between -- exactly the window the commit's clock jump must
+    cover.  A hit serves without ever touching the lease table; a miss
+    fills with a ``cset`` stamped by the promise; an interval expiry
+    (self-invalidation) retries, re-promising for the fresh value.
+    """
+
+    def factory(world):
+        backend = world.backend
+        commit_clock = world.db.commit_clock
+        for _ in range(attempts):
+            yield Op("{}:promise".format(name), sql=True)
+            start, until = commit_clock.promise(key, ticks=ticks)
+            yield Op("{}:cget".format(name), kvs=[key])
+            try:
+                result = backend.cget(key, start, extend=until)
+            except CacheUnavailableError:
+                yield Op("{}:db-read".format(name), sql=True)
+                world.observe(name, "db", key, world.query_committed(key))
+                return "degraded"
+            if result.is_hit:
+                world.observe(name, "cache", key, result.value)
+                return "hit"
+            if result.expired:
+                continue  # self-invalidated: re-promise for the new value
+            yield Op("{}:fill-query".format(name), sql=True)
+            value = world.query_committed(key)
+            world.observe(name, "query", key, value)
+            yield Op("{}:cset".format(name), kvs=[key])
+            try:
+                stored = backend.cset(key, _encode(value), start, until)
+            except CacheUnavailableError:
+                return "degraded"
+            if stored:
+                world.observe(name, "fill", key, value)
+            return "filled" if stored else "fill-ignored"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def clock_writer(name, assignments, attempts=3):
+    """Precise-clock write: the SQL body, then commit with ``clock_keys``.
+
+    Zero cache steps -- the commit's clock jump past every promised
+    horizon for the written keys is the invalidation: any cached
+    interval covering those keys has expired by the time the new value
+    is visible.  First-updater-wins aborts retry like every other
+    writer.
+    """
+    keys = tuple(assignments)
+
+    def factory(world):
+        for _ in range(attempts):
+            yield Op("{}:sql-update".format(name), sql=True)
+            connection = _sql_update(world, assignments)
+            if connection is None:
+                continue
+            yield Op("{}:sql-commit".format(name), sql=True)
+            connection.commit(clock_keys=keys)
+            connection.close()
+            world.record_commit()
+            world.flags["sql_committed:{}".format(name)] = True
+            return "committed"
+        return "gave-up"
+
+    return MCProgram(name, factory)
+
+
+def clock_abort_writer(name, assignments):
+    """Figure 6's aborting writer under precise clocks.
+
+    Rolls the RDBMS transaction back before commit.  There is nothing
+    else to undo: no lease was taken, no cache value touched, and the
+    clock never moved -- the uncommitted value simply never existed
+    outside the aborted snapshot.
+    """
+
+    def factory(world):
+        yield Op("{}:sql-update".format(name), sql=True)
+        connection = _sql_update(world, assignments)
+        yield Op("{}:rollback".format(name), sql=True)
+        if connection is not None:
+            connection.rollback()
+            connection.close()
+        return "aborted"
+
+    return MCProgram(name, factory)
+
+
+def naive_clock_reader(name, key, guess=8, attempts=2):
+    """The rejected mis-sized variant: a guessed interval, no promise.
+
+    Reads the key's clock and stamps ``[now, now + guess)`` without
+    registering a write horizon, so a concurrent clock-keyed commit
+    advances the key's clock by a single tick instead of jumping past
+    the bound -- and a later read inside the guessed window is served
+    the stale value.  ``tests/mc`` proves the checker finds that
+    schedule (the precise-clock analogue of ``rebalance-unquarantined``).
+    """
+
+    def factory(world):
+        backend = world.backend
+        txmanager = world.db.txmanager
+        for _ in range(attempts):
+            yield Op("{}:clock-read".format(name), sql=True)
+            start = txmanager.key_clock(key)
+            until = start + guess
+            yield Op("{}:cget".format(name), kvs=[key])
+            result = backend.cget(key, start)
+            if result.is_hit:
+                world.observe(name, "cache", key, result.value)
+                return "hit"
+            if result.expired:
+                continue
+            yield Op("{}:fill-query".format(name), sql=True)
+            value = world.query_committed(key)
+            world.observe(name, "query", key, value)
+            yield Op("{}:cset".format(name), kvs=[key])
+            stored = backend.cset(key, _encode(value), start, until)
+            if stored:
+                world.observe(name, "fill", key, value)
+            return "filled" if stored else "fill-ignored"
+        return "gave-up"
 
     return MCProgram(name, factory)

@@ -65,7 +65,7 @@ class GatedShard:
     _COMMANDS = (
         "gen_id", "iq_get", "iq_mget", "iq_set", "release_i", "qaread",
         "sar", "propose_refresh", "qar", "qar_many", "iq_delta",
-        "commit", "abort", "flush_all",
+        "commit", "abort", "flush_all", "cget", "cset",
     )
 
     def __init__(self, server):
@@ -376,6 +376,37 @@ class World:
         """{key: committed value} over the key universe."""
         return {key: self.query_committed(key) for key in self.keys}
 
+    def interval_stamps(self):
+        """{key: (valid_from, valid_until) or None} on the owner store.
+
+        The precise-clock validity stamps (:meth:`~repro.kvs.store.
+        CacheStore.interval_of`): what a future ``cget`` would consult.
+        """
+        stamps = {}
+        for key in self.keys:
+            if self.kind == "sharded":
+                store = self.servers[self.backend.shard_name_for(key)].store
+            else:
+                store = self.backend.store
+            stamps[key] = store.interval_of(key)
+        return stamps
+
+    def _clock_snapshot(self):
+        """Clock state: sequence, key clocks, horizons, interval stamps.
+
+        All three decide future behaviour -- a validity interval decides
+        whether a later ``cget`` serves or self-invalidates, a live
+        horizon decides where the next clock-keyed commit's sequence
+        lands -- so equivalent prefixes must agree on them.
+        """
+        txmanager = self.db.txmanager
+        return (
+            txmanager.current_commit_seq(),
+            txmanager.key_clock_snapshot(),
+            txmanager.horizon_snapshot(),
+            tuple(sorted(self.interval_stamps().items())),
+        )
+
     def _kvs_versions(self):
         """{key: cas id or None} -- a held ``gets`` token's validity is
         part of the shared state (it decides a future ``cas``), so the
@@ -525,4 +556,5 @@ class World:
             tuple(sorted(self.flags.items())),
             fault_state,
             round(self.clock.now(), 6),
+            self._clock_snapshot(),
         )

@@ -28,7 +28,7 @@ from repro.errors import (
 )
 from repro.core.backend import LeaseBackend
 from repro.core.iq_server import IQGetResult, QaReadResult
-from repro.kvs.store import StoreResult
+from repro.kvs.store import ClockGetResult, StoreResult
 from repro.net.protocol import (
     CRLF,
     SESSION_TOKEN_PREFIX,
@@ -339,6 +339,28 @@ class RemoteIQServer(LeaseBackend):
             else:
                 raise ProtocolError("bad iqmget reply line {!r}".format(line))
 
+    def _recv_cget(self, doing):
+        first = self._read_line(doing)
+        if first.startswith(b"CVALUE "):
+            parts = first.split()
+            size = int(parts[5])
+            value = self._read_bytes(size, doing)
+            end = self._read_line(doing)
+            if end != b"END":
+                self._mark_broken()
+                raise ProtocolError("missing END after CVALUE block")
+            return ClockGetResult(
+                value=value,
+                flags=int(parts[2]),
+                valid_from=int(parts[3]),
+                valid_until=int(parts[4]),
+            )
+        if first == b"EXPIRED":
+            return ClockGetResult(expired=True)
+        if first == b"MISS":
+            return ClockGetResult()
+        raise ProtocolError("bad cget reply {!r}".format(first))
+
     _QAREG_STATUS = {
         b"GRANTED": "granted",
         b"ABORT": "abort",
@@ -459,6 +481,18 @@ class RemoteIQServer(LeaseBackend):
     def _cmd_abort(self, tid):
         return "abort {}".format(tid), None, self._recv_word(b"OK")
 
+    def _cmd_cget(self, key, clock_now, extend=None):
+        line = "cget {} {}".format(key, clock_now)
+        if extend is not None:
+            line += " {}".format(extend)
+        return line, None, self._recv_cget
+
+    def _cmd_cset(self, key, value, valid_from, valid_until):
+        line = "cset {} {} {} {}".format(
+            key, valid_from, valid_until, len(value)
+        )
+        return line, value, self._recv_word(b"STORED")
+
     def _cmd_iq_mget(self, keys, session=None):
         line = "iqmget {}".format(" ".join(keys))
         if session is not None:
@@ -528,6 +562,18 @@ class RemoteIQServer(LeaseBackend):
 
     def abort(self, tid):
         return self._execute(*self._cmd_abort(tid))
+
+    # -- precise-clock commands --------------------------------------------------
+
+    def cget(self, key, clock_now, extend=None):
+        """Interval read at commit-clock value ``clock_now`` (``cget``)."""
+        return self._execute(*self._cmd_cget(key, clock_now, extend))
+
+    def cset(self, key, value, valid_from, valid_until):
+        """Install ``value`` stamped ``[valid_from, valid_until)`` (``cset``)."""
+        return self._execute(
+            *self._cmd_cset(key, value, valid_from, valid_until)
+        )
 
     # -- multi-key commands ------------------------------------------------------
 
@@ -721,6 +767,14 @@ class Pipeline:
 
     def abort(self, tid):
         return self._queue(*self._conn._cmd_abort(tid))
+
+    def cget(self, key, clock_now, extend=None):
+        return self._queue(*self._conn._cmd_cget(key, clock_now, extend))
+
+    def cset(self, key, value, valid_from, valid_until):
+        return self._queue(
+            *self._conn._cmd_cset(key, value, valid_from, valid_until)
+        )
 
     def iq_mget(self, keys, session=None):
         return self._queue(*self._conn._cmd_iq_mget(list(keys), session))

@@ -159,6 +159,24 @@ def dispatch(iq, command, args, data):
         iq.abort(int(args[0]))
         return b"OK"
 
+    # -- precise-clock extensions (repro.clock) --------------------------
+    if command == "cget":
+        extend = int(args[2]) if len(args) > 2 else None
+        result = iq.cget(args[0], int(args[1]), extend=extend)
+        if result.is_hit:
+            header = "CVALUE {} {} {} {} {}".format(
+                args[0],
+                result.flags,
+                result.valid_from,
+                result.valid_until,
+                len(result.value),
+            )
+            return header.encode() + CRLF + result.value + CRLF + b"END"
+        return b"EXPIRED" if result.expired else b"MISS"
+    if command == "cset":
+        stored = iq.cset(args[0], data, int(args[1]), int(args[2]))
+        return b"STORED" if stored else b"IGNORED"
+
     # -- multi-key extensions --------------------------------------------
     if command == "iqmget":
         from repro.net.protocol import split_session_token

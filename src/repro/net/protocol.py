@@ -20,6 +20,23 @@ Extension command grammar (server replies in parentheses)::
     commit <tid>                             (OK)
     abort <tid>                              (OK)
 
+Precise-clock commands (lease-free reads, ``repro.clock``)::
+
+    cget <key> <now> [<extend>]        (CVALUE <key> <flags> <start> <until>
+                                        <nbytes> + data, terminated by END
+                                        | MISS | EXPIRED)
+    cset <key> <start> <until> <nbytes> + data   (STORED | IGNORED)
+
+``cget`` reads at commit-clock value ``<now>``: a hit is served only
+while the entry's validity interval ``[<start>, <until>)`` covers
+``<now>``; an interval the clock has passed answers ``EXPIRED`` (and the
+entry is dropped), an absent or unstamped entry answers ``MISS``.  The
+optional ``<extend>`` carries the reader's freshly promised bound so a
+re-read can lengthen the stored interval in the same round trip.
+``cset`` installs a value stamped with its validity interval; the server
+answers ``IGNORED`` when it already holds an interval at least as
+long-lived (or the proposed interval is empty).
+
 Multi-key commands amortize the per-command round trip (one request
 line, one multi-line reply)::
 
@@ -77,6 +94,7 @@ DATA_COMMANDS = {
     "iqset": 3,
     "sar": 3,
     "iqdelta": 4,
+    "cset": 4,
 }
 
 

@@ -185,10 +185,13 @@ class ReconciliationJournal:
 #: ``dar``/``commit``/``abort`` are idempotent because the server pops the
 #: session state on first application (a replay is a no-op); ``delete`` is
 #: naturally idempotent; ``iq_get`` re-issues at worst a fresh lease.
+#: ``cget`` is a pure read; a replayed ``cset`` re-proposes the same
+#: validity interval, which the server arbitrates identically (keep the
+#: longer-lived interval), so both precise-clock commands retry safely.
 _IDEMPOTENT = frozenset({
     "gen_id", "iq_get", "iq_mget", "release_i", "dar", "commit", "abort",
     "get", "gets", "delete", "mdelete", "touch", "flush_all", "stats",
-    "version", "key_snapshot",
+    "version", "key_snapshot", "cget", "cset",
 })
 
 #: Never blind-retried: replaying would double-apply a change (``sar``,
@@ -554,6 +557,20 @@ class ResilientIQServer(LeaseBackend):
 
     def abort(self, tid):
         return self._call("abort", tid)
+
+    # -- precise-clock commands ------------------------------------------------
+
+    def cget(self, key, clock_now, extend=None):
+        return self._call("cget", key, clock_now, extend)
+
+    def cset(self, key, value, valid_from, valid_until):
+        # Like iq_set: an uninstalled cset is always safe (the reader
+        # still returns its computed value), so a connection failure
+        # degrades to "not cached" instead of failing the read.
+        try:
+            return self._call("cset", key, value, valid_from, valid_until)
+        except (ConnectionLostError, OperationTimeout, CircuitOpenError):
+            return False
 
     # -- multi-key commands ----------------------------------------------------
 

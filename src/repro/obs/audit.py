@@ -39,6 +39,13 @@ Invariants checked (violation categories):
     (``migrate.release``) before it ends: keys still quarantined at
     ``shard.rebalance.end`` are stranded until their lease TTL deletes
     them, blocking writers and readers alike on the old owner.
+``clock-serve-past-bound``
+    The precise-clock technique's one safety rule (:mod:`repro.clock`):
+    a ``cget`` may serve a value only while the caller's commit-clock
+    reading is below the entry's validity bound.  A ``clock.serve``
+    whose ``clock`` is at or past its ``expiry`` -- or a ``clock.fill``
+    that installed an empty interval -- means self-invalidation broke
+    and a stale value can outlive the write it missed.
 
 Lease and session state is keyed by ``(srv, key)`` / ``(srv, tid)`` --
 ``srv`` names the emitting IQ server -- so shards and restarted server
@@ -59,6 +66,7 @@ __all__ = [
     "CATEGORY_ORPHAN_RELEASE",
     "CATEGORY_EXCLUSIVE_COGRANT",
     "CATEGORY_QUARANTINE_LEAK",
+    "CATEGORY_CLOCK_PAST_BOUND",
     "audited",
 ]
 
@@ -68,6 +76,7 @@ CATEGORY_EARLY_APPLY = "apply-before-sql-commit"
 CATEGORY_ORPHAN_RELEASE = "release-without-terminator"
 CATEGORY_EXCLUSIVE_COGRANT = "exclusive-q-cogrant"
 CATEGORY_QUARANTINE_LEAK = "migration-quarantine-leak"
+CATEGORY_CLOCK_PAST_BOUND = "clock-serve-past-bound"
 
 ALL_CATEGORIES = (
     CATEGORY_DOUBLE_I,
@@ -76,6 +85,7 @@ ALL_CATEGORIES = (
     CATEGORY_ORPHAN_RELEASE,
     CATEGORY_EXCLUSIVE_COGRANT,
     CATEGORY_QUARANTINE_LEAK,
+    CATEGORY_CLOCK_PAST_BOUND,
 )
 
 #: ``lease.q.grant`` mode field value for exclusive (refresh/delta) leases.
@@ -311,6 +321,35 @@ class IQAuditor:
             self._traces_begun.discard(event.trace_id)
             self._traces_committed.discard(event.trace_id)
 
+    # -- precise-clock validity bounds -----------------------------------------
+
+    def _on_clock_serve(self, event):
+        clock = event.get("clock")
+        expiry = event.get("expiry")
+        if clock is None or expiry is None:
+            return
+        if clock >= expiry:
+            self._flag(event, CATEGORY_CLOCK_PAST_BOUND,
+                       "served at clock {} past validity bound {}".format(
+                           clock, expiry))
+
+    def _on_clock_extend(self, event):
+        # An extension must still land ahead of the caller's reading;
+        # the store only ever grows the bound, so the same check applies.
+        self._on_clock_serve(event)
+
+    def _on_clock_fill(self, event):
+        if not event.get("applied"):
+            return
+        start = event.get("start")
+        expiry = event.get("expiry")
+        if start is None or expiry is None:
+            return
+        if expiry <= start:
+            self._flag(event, CATEGORY_CLOCK_PAST_BOUND,
+                       "empty validity interval [{}, {}) installed".format(
+                           start, expiry))
+
     # -- migration quarantine tracking ----------------------------------------
 
     def _on_migrate_quarantine(self, event):
@@ -360,6 +399,9 @@ class IQAuditor:
         "migrate.quarantine": _on_migrate_quarantine,
         "migrate.release": _on_migrate_release,
         "shard.rebalance.end": _on_rebalance_end,
+        "clock.serve": _on_clock_serve,
+        "clock.extend": _on_clock_extend,
+        "clock.fill": _on_clock_fill,
     }
 
 

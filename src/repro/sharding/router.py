@@ -753,6 +753,14 @@ class ShardedIQServer(LeaseBackend):
     def release_i(self, key, token):
         return self.shard_for(key).release_i(key, token)
 
+    # -- precise-clock commands (sessionless, pure per-key routing) ------------
+
+    def cget(self, key, clock_now, extend=None):
+        return self.shard_for(key).cget(key, clock_now, extend=extend)
+
+    def cset(self, key, value, valid_from, valid_until):
+        return self.shard_for(key).cset(key, value, valid_from, valid_until)
+
     # -- growing phase: per-key lease acquisition ------------------------------
 
     def _count_dual(self, tid, key, name):

@@ -21,6 +21,7 @@ KVS (Figure 3).  This package provides exactly those semantics:
 Entry point: :class:`repro.sql.engine.Database`.
 """
 
+from repro.sql.clock import CommitClock
 from repro.sql.engine import Connection, Database
 from repro.sql.schema import Column, TableSchema
 from repro.sql.transactions import IsolationLevel, TransactionStatus
@@ -28,6 +29,7 @@ from repro.sql.triggers import TriggerEvent
 
 __all__ = [
     "Column",
+    "CommitClock",
     "Connection",
     "Database",
     "IsolationLevel",

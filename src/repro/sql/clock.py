@@ -1,0 +1,103 @@
+"""The commit clock: ``repro.sql``'s timebase for lease-free caching.
+
+Misra et al. (PAPERS.md, "Lightweight Inter-transaction Caching with
+Precise Clocks and Dynamic Self-invalidation") replace read leases with
+*validity intervals*: a cached value carries ``[start, expiry)`` in
+commit-clock ticks and self-invalidates once the clock reaches
+``expiry``, so a read that lands inside a valid interval never touches
+the lease table at all.  Misra et al.'s "earliest next write" is a
+*per-item* bound, and the timebase here follows suit: each key carries
+its own validity clock, derived from the engine's commit order -- it
+advances only when a transaction commits with that key in its
+``clock_keys``.  A write to one key therefore never ages another key's
+interval.  Two ingredients sit on top:
+
+* **Write horizons (promises).**  ``promise(key)`` registers, under the
+  :class:`~repro.sql.transactions.TransactionManager`'s own commit
+  mutex, the horizon ``expiry = now + interval`` (``now`` being the
+  key's clock) and returns ``(now, expiry)``.  Any later commit that
+  declares ``key`` in its ``clock_keys`` jumps the key's clock to
+  ``max(clock + 1, expiry)`` -- a free logical-clock jump, never a
+  wait.  Because promise and commit serialize on the same mutex, there
+  is no race: either the promise lands first (the commit jumps past the
+  horizon, so every interval promised for ``key`` has already expired
+  by the time the new value is visible) or the commit lands first (the
+  promising reader's snapshot already sees the new value).  A value
+  computed after ``promise`` returned ``(p, e)`` is therefore *exactly
+  current* for every reading of the key's clock in ``[p, e)`` -- the
+  strong-consistency argument in one sentence.  (A fill computed while
+  a write is in flight may carry the *newer* value inside the older
+  stamp; the only readers who can hit it hold promises overlapping that
+  write, for whom either serialization order is correct.)
+
+* **An earliest-next-write bound.**  The manager tracks, per
+  clock-keyed key, the smallest observed gap between consecutive
+  commits naming it; the :class:`CommitClock` sizes each promise
+  conservatively from that bound, clamped to the
+  :class:`~repro.config.ClockConfig` window.
+
+Everything stateful lives inside the transaction manager (it must share
+the commit mutex); :class:`CommitClock` is a thin facade binding a
+:class:`~repro.sql.engine.Database` to a sizing policy.
+"""
+
+from repro.config import ClockConfig
+
+__all__ = ["CommitClock"]
+
+
+class CommitClock:
+    """Read the commit clock and register write-horizon promises.
+
+    One ``CommitClock`` per consistency client is the expected shape --
+    the facade carries only its :class:`~repro.config.ClockConfig`; all
+    shared state (the sequence, the horizons, the write-gap estimates)
+    belongs to the database's transaction manager.
+    """
+
+    def __init__(self, db, config=None):
+        self.db = db
+        self.config = config or ClockConfig()
+        self._txm = db.txmanager
+
+    def now(self):
+        """The global commit-seq reading (observability; intervals use
+        the per-key clocks below)."""
+        return self._txm.current_commit_seq()
+
+    def now_of(self, key):
+        """``key``'s validity-clock reading (what ``cget`` compares)."""
+        return self._txm.key_clock(key)
+
+    def interval_for(self, key):
+        """Promise length for ``key``: its observed write gap, clamped.
+
+        A key never written under ``clock_keys`` gets the configured
+        default; a key with history gets its smallest observed
+        inter-write gap -- the conservative earliest-next-write bound --
+        clamped into ``[min_interval_ticks, max_interval_ticks]``.
+        """
+        config = self.config
+        gap = self._txm.clock_write_gap(key)
+        if gap is None:
+            ticks = config.default_interval_ticks
+        else:
+            ticks = gap
+        return max(config.min_interval_ticks,
+                   min(config.max_interval_ticks, ticks))
+
+    def promise(self, key, ticks=None):
+        """Register "no commit to ``key`` before ``now + ticks``".
+
+        Returns ``(now, expiry)``: the clock reading at registration and
+        the promised horizon.  A value computed from any snapshot taken
+        at or after ``now`` is current for every reading in
+        ``[now, expiry)``.
+        """
+        if ticks is None:
+            ticks = self.interval_for(key)
+        return self._txm.promise_no_write_before(key, ticks)
+
+    def horizon_of(self, key):
+        """The currently promised horizon for ``key`` (0 when none)."""
+        return self._txm.promised_horizon(key)

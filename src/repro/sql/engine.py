@@ -135,6 +135,16 @@ class Database:
         """Open a new connection (one concurrent transaction at most)."""
         return Connection(self, isolation or self.default_isolation)
 
+    @property
+    def commit_clock(self):
+        """This database's :class:`~repro.sql.clock.CommitClock` facade."""
+        clock = getattr(self, "_commit_clock", None)
+        if clock is None:
+            from repro.sql.clock import CommitClock
+
+            clock = self._commit_clock = CommitClock(self)
+        return clock
+
     # -- maintenance -------------------------------------------------------------
 
     def vacuum(self):
@@ -184,7 +194,14 @@ class Connection:
         self._tx = self.db.txmanager.begin(isolation or self.isolation)
         return self._tx
 
-    def commit(self):
+    def commit(self, clock_keys=None):
+        """Commit the open transaction.
+
+        ``clock_keys`` declares cache keys invalidated under the
+        precise-clock technique: the commit clock jumps past their
+        promised horizons (see :mod:`repro.sql.clock`), which is the
+        whole write-side cache protocol -- no round trip.
+        """
         self._check_open()
         if not self.in_transaction:
             raise TransactionStateError("no transaction in progress")
@@ -194,7 +211,7 @@ class Connection:
 
                 ops = ops_from_transaction(self._tx, self.db.schema_of)
                 self.db.wal.log_commit(self._tx.txid, ops)
-            self.db.txmanager.commit(self._tx)
+            self.db.txmanager.commit(self._tx, clock_keys=clock_keys)
         self._tx = None
 
     def rollback(self):
@@ -233,6 +250,17 @@ class Connection:
             raise TransactionStateError("statement executed outside transaction")
         self._tx.ensure_active()
         return self._tx
+
+    def snapshot_ts(self):
+        """The commit-clock reading this connection's reads see.
+
+        Inside a transaction: its snapshot (fixed at ``begin`` under
+        snapshot isolation).  Outside one: the current commit seq, which
+        is the snapshot the next autocommit statement would take.
+        """
+        if self.in_transaction:
+            return self._tx.snapshot
+        return self.db.txmanager.current_commit_seq()
 
     def on_commit(self, callback):
         """Run ``callback`` immediately after this transaction commits.

@@ -96,6 +96,20 @@ class TransactionManager:
         self._commit_seq = 0
         self._transactions = {}
         self._active = set()
+        #: key -> highest promised "no commit before this tick" horizon
+        #: (see repro.sql.clock; registered and consumed under _lock so
+        #: promises serialize with commit ordering).
+        self._write_horizons = {}
+        #: key -> per-key validity clock: advances only on clock-keyed
+        #: commits naming the key, jumping past its promised horizon.
+        #: Validity intervals live on this clock, not the global commit
+        #: seq, so a write to one key never ages another key's interval
+        #: (Misra et al.'s earliest *next write* is a per-item bound).
+        self._key_clocks = {}
+        #: key -> commit seq of its last clock-keyed commit.
+        self._last_clock_write = {}
+        #: key -> smallest observed gap between clock-keyed commits.
+        self._clock_write_gap = {}
 
     def begin(self, isolation=IsolationLevel.SNAPSHOT):
         """Start a transaction with a snapshot of the current commit seq."""
@@ -112,14 +126,49 @@ class TransactionManager:
         with self._lock:
             tx.snapshot = self._commit_seq
 
-    def commit(self, tx):
-        """Commit ``tx``, assigning it the next commit sequence number."""
+    def commit(self, tx, clock_keys=None):
+        """Commit ``tx``, assigning it the next commit sequence number.
+
+        ``clock_keys`` declares the cache keys this transaction
+        invalidates under the precise-clock technique (see
+        :mod:`repro.sql.clock`): each named key's validity clock jumps
+        to at least its promised horizon, so every interval covering
+        that key has expired by the time the new value is visible.  The
+        jump is a per-key logical-clock advance -- no waiting, no cache
+        round trip, and no aging of any *other* key's interval.
+        """
         tx.ensure_active()
         with self._lock:
-            self._commit_seq += 1
-            tx.commit_ts = self._commit_seq
+            if not clock_keys and not tx.write_set \
+                    and not tx.created_versions and not tx.deleted_versions:
+                # Read-only commit: nothing became visible, so the clock
+                # does not advance.  Besides matching what real MVCC
+                # engines do, this keeps autocommit SELECT bursts from
+                # aging the precise-clock validity intervals (each tick
+                # of the clock brings every cached interval one step
+                # closer to self-invalidation).
+                tx.commit_ts = self._commit_seq
+            else:
+                next_seq = self._commit_seq + 1
+                self._commit_seq = next_seq
+                tx.commit_ts = next_seq
+                if clock_keys:
+                    for key in clock_keys:
+                        horizon = self._write_horizons.pop(key, 0)
+                        self._key_clocks[key] = max(
+                            self._key_clocks.get(key, 0) + 1, horizon
+                        )
             tx.status = TransactionStatus.COMMITTED
             self._active.discard(tx.txid)
+            if clock_keys:
+                for key in clock_keys:
+                    previous = self._last_clock_write.get(key)
+                    if previous is not None:
+                        gap = next_seq - previous
+                        best = self._clock_write_gap.get(key)
+                        if best is None or gap < best:
+                            self._clock_write_gap[key] = gap
+                    self._last_clock_write[key] = next_seq
         for action in tx.on_commit:
             action()
         tx.on_commit = []
@@ -154,6 +203,55 @@ class TransactionManager:
     def current_commit_seq(self):
         with self._lock:
             return self._commit_seq
+
+    # -- write horizons (precise-clock self-invalidation) ----------------------
+
+    def promise_no_write_before(self, key, ticks):
+        """Register a write horizon for ``key``; returns ``(now, expiry)``.
+
+        Serialized with :meth:`commit` on the same mutex, so a promise
+        either precedes a clock-keyed commit (which then jumps the key's
+        clock past the horizon) or follows it (and reads the post-commit
+        clock).  ``now`` is the *key's* validity clock, not the global
+        commit seq.  Horizons only ever grow; a shorter concurrent
+        promise reuses the existing one.
+        """
+        ticks = max(1, int(ticks))
+        with self._lock:
+            now = self._key_clocks.get(key, 0)
+            horizon = max(self._write_horizons.get(key, 0), now + ticks)
+            self._write_horizons[key] = horizon
+            return now, horizon
+
+    def promised_horizon(self, key):
+        """The outstanding horizon for ``key`` (0 when none is live)."""
+        with self._lock:
+            return self._write_horizons.get(key, 0)
+
+    def key_clock(self, key):
+        """``key``'s validity-clock reading (0 before its first write)."""
+        with self._lock:
+            return self._key_clocks.get(key, 0)
+
+    def key_clock_snapshot(self):
+        """Sorted per-key clocks -- model-checker fingerprint material."""
+        with self._lock:
+            return tuple(sorted(self._key_clocks.items()))
+
+    def clock_write_gap(self, key):
+        """Smallest observed gap between clock-keyed commits of ``key``.
+
+        ``None`` until two such commits have happened -- the conservative
+        earliest-next-write bound :class:`repro.sql.clock.CommitClock`
+        sizes promises from.
+        """
+        with self._lock:
+            return self._clock_write_gap.get(key)
+
+    def horizon_snapshot(self):
+        """Sorted live horizons -- model-checker fingerprint material."""
+        with self._lock:
+            return tuple(sorted(self._write_horizons.items()))
 
     def active_count(self):
         with self._lock:

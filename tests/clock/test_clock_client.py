@@ -1,0 +1,237 @@
+"""ClockClient: the lease-free read/write paths end to end."""
+
+import pytest
+
+from repro.config import ClockConfig
+from repro.core.policies import ClockClient, KeyChange
+from repro.errors import (
+    CacheUnavailableError,
+    DegradedModeActive,
+    TransactionAbortedError,
+)
+
+
+@pytest.fixture
+def items_db(db):
+    connection = db.connect()
+    connection.execute(
+        "CREATE TABLE items (id INTEGER PRIMARY KEY, val INTEGER)")
+    connection.execute("INSERT INTO items (id, val) VALUES (1, 10)")
+    connection.close()
+    return db
+
+
+@pytest.fixture
+def client(iq, items_db):
+    return ClockClient(iq, items_db.connect)
+
+
+def read_val(client, db, key="items:1"):
+    calls = []
+
+    def compute():
+        connection = db.connect()
+        try:
+            value = connection.query_scalar(
+                "SELECT val FROM items WHERE id = 1")
+        finally:
+            connection.close()
+        calls.append(value)
+        return str(value).encode()
+
+    return client.read(key, compute), calls
+
+
+def write_val(client, value, key="items:1"):
+    def body(session):
+        session.execute("UPDATE items SET val = ? WHERE id = 1", (value,))
+
+    return client.write(body, [KeyChange(key)])
+
+
+class TestReadPath:
+    def test_miss_computes_and_fills(self, client, items_db):
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == [10]
+        assert client.metrics.get("clock_interval_misses").value == 1
+
+    def test_hit_serves_without_sql(self, client, items_db):
+        read_val(client, items_db)
+        value, calls = read_val(client, items_db)
+        assert value == b"10"
+        assert calls == []  # served from the interval, compute never ran
+        assert client.metrics.get("clock_interval_reads").value == 1
+
+    def test_write_self_invalidates_the_interval(self, client, items_db):
+        read_val(client, items_db)
+        outcome = write_val(client, 99)
+        assert outcome.result is None and outcome.restarts == 0
+        value, calls = read_val(client, items_db)
+        assert value == b"99"
+        assert calls == [99]  # the old interval expired by arithmetic
+        assert client.metrics.get("clock_commits").value == 1
+
+    def test_none_values_are_not_cached(self, client, items_db):
+        assert client.read("items:1", lambda: None) is None
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == [10]
+
+
+class TestWritePath:
+    def test_write_performs_no_cache_io(self, client, iq, items_db):
+        cmds_before = iq.store.stats.get("cmd_set")
+        write_val(client, 50)
+        assert iq.store.stats.get("cmd_set") == cmds_before
+        assert iq.store.stats.get("cmd_cset") == 0
+
+    def test_write_jumps_key_clock_past_promised_horizon(self, client,
+                                                         items_db):
+        _, until = client.commit_clock.promise("items:1")
+        write_val(client, 50)
+        assert items_db.txmanager.key_clock("items:1") >= until
+
+    def test_conflict_restarts_and_succeeds(self, client, items_db):
+        attempts = []
+
+        def body(session):
+            if not attempts:
+                attempts.append("conflict")
+                raise TransactionAbortedError("first-updater-wins")
+            attempts.append("retry")
+            session.execute("UPDATE items SET val = 77 WHERE id = 1")
+
+        outcome = client.write(body, [KeyChange("items:1")])
+        assert outcome.restarts == 1
+        assert attempts == ["conflict", "retry"]
+        value, _ = read_val(client, items_db)
+        assert value == b"77"
+
+
+class _DeadCache:
+    """A backend whose clock commands always fail."""
+
+    def cget(self, key, clock_now, extend=None):
+        raise CacheUnavailableError("down")
+
+    def cset(self, key, value, valid_from, valid_until):
+        raise CacheUnavailableError("down")
+
+
+class _FillDropper:
+    """cget works, cset is lost -- the half-dead cache."""
+
+    def __init__(self, server):
+        self.server = server
+
+    def cget(self, key, clock_now, extend=None):
+        return self.server.cget(key, clock_now, extend=extend)
+
+    def cset(self, key, value, valid_from, valid_until):
+        raise CacheUnavailableError("fill dropped")
+
+
+class TestDegradedMode:
+    def test_fallback_serves_from_sql(self, items_db):
+        client = ClockClient(_DeadCache(), items_db.connect)
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == [10]
+        assert client.degraded_reads == 1
+
+    def test_no_fallback_raises(self, items_db):
+        client = ClockClient(
+            _DeadCache(), items_db.connect, degraded_fallback=False)
+        with pytest.raises(DegradedModeActive):
+            read_val(client, items_db)
+
+    def test_lost_fill_is_safe(self, iq, items_db):
+        client = ClockClient(_FillDropper(iq), items_db.connect)
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == [10]  # reader still answers
+        # Writes never depend on the cache, so nothing to reconcile.
+        write_val(client, 20)
+        value, calls = read_val(client, items_db)
+        assert value == b"20"
+
+    def test_writes_succeed_with_cache_down(self, items_db):
+        client = ClockClient(_DeadCache(), items_db.connect)
+        outcome = write_val(client, 30)
+        assert outcome.restarts == 0
+
+
+class TestLocalTier:
+    def test_re_read_skips_the_wire(self, client, iq, items_db):
+        read_val(client, items_db)
+        cgets = iq.store.stats.get("cmd_cget")
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == []
+        assert iq.store.stats.get("cmd_cget") == cgets  # zero round trips
+        assert client.metrics.get("clock_local_hits").value == 1
+
+    def test_write_expires_local_copies_by_arithmetic(self, client,
+                                                      items_db):
+        read_val(client, items_db)
+        read_val(client, items_db)  # now held locally
+        write_val(client, 99)  # no purge message anywhere
+        value, calls = read_val(client, items_db)
+        assert value == b"99" and calls == [99]
+
+    def test_other_clients_copies_expire_too(self, iq, items_db):
+        reader = ClockClient(iq, items_db.connect)
+        writer = ClockClient(iq, items_db.connect)
+        read_val(reader, items_db)
+        read_val(reader, items_db)
+        write_val(writer, 55)
+        value, calls = read_val(reader, items_db)
+        assert value == b"55" and calls == [55]
+
+    def test_degraded_reads_keep_serving_locally(self, items_db):
+        client = ClockClient(_DeadCache(), items_db.connect)
+        read_val(client, items_db)
+        value, calls = read_val(client, items_db)
+        assert value == b"10" and calls == []
+        assert client.degraded_reads == 1  # only the first read computed
+
+    def test_disabled_tier_always_consults_the_server(self, iq, items_db):
+        client = ClockClient(
+            iq, items_db.connect,
+            config=ClockConfig(local_cache_entries=0))
+        read_val(client, items_db)
+        read_val(client, items_db)
+        assert iq.store.stats.get("cmd_cget") == 2
+        assert client.metrics.get("clock_local_hits").value == 0
+
+    def test_tier_is_fifo_bounded(self, iq, items_db):
+        client = ClockClient(
+            iq, items_db.connect,
+            config=ClockConfig(local_cache_entries=2))
+        for key in ("items:a", "items:b", "items:c"):
+            client.read(key, lambda: b"x")
+        assert len(client._local) == 2
+        assert "items:a" not in client._local
+
+
+class TestConfig:
+    def test_is_strongly_consistent(self, client):
+        assert client.is_strongly_consistent
+
+    def test_dynamic_extension_can_be_disabled(self, iq, items_db):
+        config = ClockConfig(dynamic_extension=False)
+        client = ClockClient(iq, items_db.connect, config=config)
+        read_val(client, items_db)
+        read_val(client, items_db)
+        assert iq.store.stats.get("interval_extensions") == 0
+
+    def test_dynamic_extension_extends_on_hit(self, iq, items_db):
+        # Heterogeneous sizing: a short-interval client fills, a
+        # longer-interval client's re-promise pushes the bound forward.
+        short = ClockClient(
+            iq, items_db.connect,
+            config=ClockConfig(default_interval_ticks=4))
+        long = ClockClient(
+            iq, items_db.connect,
+            config=ClockConfig(default_interval_ticks=12))
+        read_val(short, items_db)
+        value, calls = read_val(long, items_db)
+        assert value == b"10" and calls == []
+        assert iq.store.stats.get("interval_extensions") == 1
+        assert iq.store.interval_of("items:1") == (0, 12)

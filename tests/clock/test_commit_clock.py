@@ -1,0 +1,141 @@
+"""The commit clock: per-key clocks, horizons, the jump, interval sizing."""
+
+import pytest
+
+from repro.config import ClockConfig
+from repro.sql.clock import CommitClock
+from repro.sql.engine import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    connection = database.connect()
+    connection.execute("CREATE TABLE items (id INTEGER PRIMARY KEY, val INTEGER)")
+    connection.execute("INSERT INTO items (id, val) VALUES (1, 10)")
+    connection.close()
+    return database
+
+
+def write(db, value, clock_keys=None):
+    connection = db.connect()
+    connection.begin()
+    connection.execute("UPDATE items SET val = ? WHERE id = 1", (value,))
+    connection.commit(clock_keys=clock_keys)
+    connection.close()
+
+
+class TestPromises:
+    def test_promise_returns_key_clock_and_horizon(self, db):
+        clock = CommitClock(db, ClockConfig(default_interval_ticks=8))
+        now, expiry = clock.promise("k")
+        assert now == clock.now_of("k") == 0
+        assert expiry == now + 8
+        assert clock.horizon_of("k") == expiry
+
+    def test_horizons_only_grow(self, db):
+        clock = CommitClock(db)
+        _, first = clock.promise("k", ticks=10)
+        _, second = clock.promise("k", ticks=3)
+        assert second == first  # the shorter promise reuses the horizon
+        _, third = clock.promise("k", ticks=50)
+        assert third > first
+
+    def test_commit_jumps_key_clock_past_promised_horizon(self, db):
+        clock = CommitClock(db)
+        _, expiry = clock.promise("k", ticks=20)
+        global_before = clock.now()
+        write(db, 11, clock_keys=["k"])
+        assert clock.now_of("k") >= expiry
+        # The jump is per-key: the global seq advanced by exactly one.
+        assert clock.now() == global_before + 1
+        # The horizon was consumed: a fresh promise starts from now.
+        assert clock.horizon_of("k") == 0
+
+    def test_commit_without_clock_keys_does_not_touch_key_clocks(self, db):
+        clock = CommitClock(db)
+        clock.promise("k", ticks=20)
+        write(db, 11)  # plain commit: global +1, key clocks untouched
+        assert clock.now_of("k") == 0
+        assert clock.horizon_of("k") == 20
+
+    def test_unrelated_key_is_never_aged(self, db):
+        clock = CommitClock(db)
+        _, expiry = clock.promise("k", ticks=20)
+        for value in range(5):
+            write(db, value, clock_keys=["other"])
+        assert clock.horizon_of("k") == expiry
+        assert clock.now_of("k") == 0  # "k"'s intervals outlive it all
+
+    def test_unpromised_write_advances_one_tick(self, db):
+        clock = CommitClock(db)
+        write(db, 11, clock_keys=["k"])
+        write(db, 12, clock_keys=["k"])
+        assert clock.now_of("k") == 2
+
+
+class TestReadOnlyCommits:
+    def test_read_only_commit_does_not_advance_the_clock(self, db):
+        before = db.txmanager.current_commit_seq()
+        connection = db.connect()
+        assert connection.query_scalar(
+            "SELECT val FROM items WHERE id = 1") == 10
+        connection.close()
+        assert db.txmanager.current_commit_seq() == before
+
+    def test_writing_commit_advances_the_clock(self, db):
+        before = db.txmanager.current_commit_seq()
+        write(db, 11)
+        assert db.txmanager.current_commit_seq() == before + 1
+
+
+class TestIntervalSizing:
+    def test_default_until_a_gap_is_observed(self, db):
+        clock = CommitClock(db, ClockConfig(default_interval_ticks=8))
+        assert clock.interval_for("k") == 8
+
+    def test_sized_from_smallest_observed_write_gap(self, db):
+        config = ClockConfig(default_interval_ticks=8,
+                             min_interval_ticks=1, max_interval_ticks=64)
+        clock = CommitClock(db, config)
+        write(db, 1, clock_keys=["k"])
+        for value in (2, 3, 4):
+            write(db, value, clock_keys=["k"])
+        gap = db.txmanager.clock_write_gap(key="k")
+        assert gap is not None
+        assert clock.interval_for("k") == max(1, min(64, gap))
+
+    def test_clamped_to_config_window(self, db):
+        config = ClockConfig(default_interval_ticks=8,
+                             min_interval_ticks=4, max_interval_ticks=6)
+        clock = CommitClock(db, config)
+        write(db, 1, clock_keys=["k"])
+        write(db, 2, clock_keys=["k"])  # gap of 1 < min: floor applies
+        assert clock.interval_for("k") == 4
+        # A key written rarely relative to global traffic observes a
+        # gap above the cap.
+        write(db, 3, clock_keys=["slow"])
+        for value in range(10):
+            write(db, value)  # unrelated commits advance the global seq
+        write(db, 4, clock_keys=["slow"])
+        assert db.txmanager.clock_write_gap("slow") > 6
+        assert clock.interval_for("slow") == 6
+
+    def test_promise_uses_sizing_when_ticks_omitted(self, db):
+        clock = CommitClock(db, ClockConfig(default_interval_ticks=5))
+        now, expiry = clock.promise("fresh-key")
+        assert expiry - now == 5
+
+
+class TestFingerprintHelpers:
+    def test_horizon_snapshot_sorted(self, db):
+        clock = CommitClock(db)
+        clock.promise("b", ticks=3)
+        clock.promise("a", ticks=4)
+        snapshot = db.txmanager.horizon_snapshot()
+        assert [key for key, _ in snapshot] == ["a", "b"]
+
+    def test_key_clock_snapshot_sorted(self, db):
+        write(db, 1, clock_keys=["b"])
+        write(db, 2, clock_keys=["a"])
+        assert db.txmanager.key_clock_snapshot() == (("a", 1), ("b", 1))

@@ -1,0 +1,101 @@
+"""Interval-stamped entries in the cache store: cget/cset semantics."""
+
+from repro.kvs.store import StoreResult
+
+
+def cset(store, key, value, start, until):
+    return store.cset(key, value, start, until)
+
+
+class TestCget:
+    def test_unstamped_entries_never_serve(self, store):
+        store.set("k", b"plain")
+        result = store.cget("k", 0)
+        assert not result.is_hit
+        assert not result.expired
+
+    def test_hit_inside_interval(self, store):
+        assert cset(store, "k", b"v", 2, 9) is StoreResult.STORED
+        result = store.cget("k", 5)
+        assert result.is_hit
+        assert result.value == b"v"
+        assert (result.valid_from, result.valid_until) == (2, 9)
+
+    def test_lazy_expiry_drops_the_entry(self, store):
+        cset(store, "k", b"v", 0, 4)
+        result = store.cget("k", 4)
+        assert result.expired and not result.is_hit
+        # The expiry removed it: the next read is a plain miss.
+        follow_up = store.cget("k", 4)
+        assert not follow_up.expired and not follow_up.is_hit
+        assert store.get("k") is None
+
+    def test_dynamic_extension_grows_the_bound(self, store):
+        cset(store, "k", b"v", 0, 4)
+        result = store.cget("k", 2, extend=10)
+        assert result.extended
+        assert result.valid_until == 10
+        assert store.cget("k", 8).is_hit
+
+    def test_extension_never_shrinks(self, store):
+        cset(store, "k", b"v", 0, 10)
+        result = store.cget("k", 2, extend=5)
+        assert not result.extended
+        assert result.valid_until == 10
+
+    def test_stats_split(self, store):
+        cset(store, "k", b"v", 0, 4)
+        store.cget("k", 1)
+        store.cget("k", 1, extend=6)
+        store.cget("k", 6)
+        assert store.stats.get("cmd_cget") == 3
+        assert store.stats.get("interval_hits") == 2
+        assert store.stats.get("interval_expiries") == 1
+        assert store.stats.get("interval_extensions") == 1
+
+
+class TestCsetArbitration:
+    def test_longer_lived_interval_wins(self, store):
+        cset(store, "k", b"long", 0, 10)
+        assert cset(store, "k", b"short", 0, 5) is StoreResult.NOT_STORED
+        assert store.cget("k", 1).value == b"long"
+        assert store.stats.get("interval_ignored_sets") == 1
+
+    def test_equal_bound_is_ignored(self, store):
+        cset(store, "k", b"first", 0, 10)
+        assert cset(store, "k", b"again", 2, 10) is StoreResult.NOT_STORED
+
+    def test_later_bound_replaces(self, store):
+        cset(store, "k", b"old", 0, 5)
+        assert cset(store, "k", b"new", 3, 12) is StoreResult.STORED
+        result = store.cget("k", 4)
+        assert result.value == b"new"
+        assert result.valid_until == 12
+
+    def test_empty_interval_refused(self, store):
+        assert cset(store, "k", b"v", 5, 5) is StoreResult.NOT_STORED
+        assert cset(store, "k", b"v", 6, 5) is StoreResult.NOT_STORED
+        assert store.get("k") is None
+
+    def test_unstamped_entry_is_overwritten(self, store):
+        store.set("k", b"plain")
+        assert cset(store, "k", b"stamped", 0, 8) is StoreResult.STORED
+        assert store.cget("k", 1).value == b"stamped"
+
+
+class TestMutationsVoidIntervals:
+    def test_plain_set_voids_the_stamp(self, store):
+        cset(store, "k", b"v", 0, 10)
+        store.set("k", b"other")
+        assert not store.cget("k", 1).is_hit
+        assert store.interval_of("k") is None
+
+    def test_arithmetic_voids_the_stamp(self, store):
+        cset(store, "n", b"7", 0, 10)
+        store.incr("n", 1)
+        assert not store.cget("n", 1).is_hit
+
+    def test_interval_of_reports_live_stamp(self, store):
+        assert store.interval_of("missing") is None
+        cset(store, "k", b"v", 3, 9)
+        assert store.interval_of("k") == (3, 9)

@@ -157,6 +157,28 @@ CORPUS = {
           + [b"stats pipelined"] * 0    # stats excluded: values differ
           + [b"delete burst"])
     ),
+    "precise-clock": lines(
+        b"cget cool 0",                 # miss: nothing cached
+        b"cset cool 0 8 5", b"fresh",   # STORED, valid over [0, 8)
+        b"cget cool 3",                 # hit inside the interval
+        b"cget cool 3 12",              # hit + dynamic extension to 12
+        b"cset cool 0 9 5", b"worse",   # IGNORED: shorter-lived interval
+        b"cset cool 5 5 4", b"void",    # IGNORED: empty interval
+        b"cget cool 12",                # EXPIRED: past the extended bound
+        b"cget cool 12",                # plain MISS: expiry dropped it
+        b"set cool 0 0 4", b"zzzz",     # plain set leaves it unstamped
+        b"cget cool 1",                 # MISS: unstamped entries never serve
+        b"cget",                        # CLIENT_ERROR bad arguments
+        b"cset cool 1 2 notanumber",    # size unknowable: error + close
+    ),
+    "precise-clock-pipelined": lines(
+        *([b"cset hot 0 64 2", b"hi"]
+          + [b"cget hot 1"] * 20
+          + [b"cget hot 64"]            # EXPIRED mid-burst
+          + [b"cget hot 64"] * 3        # then plain misses
+          + [b"cset hot 64 65 2", b"yo",
+             b"cget hot 64"])
+    ),
 }
 
 
@@ -175,6 +197,23 @@ def test_byte_at_a_time_frames():
     assert replies["async"] == replies["threaded"]
     assert b"STORED" in replies["async"]
     assert b"VALUE slow 0 5" + CRLF + b"hello" in replies["async"]
+
+
+def test_clock_commands_byte_at_a_time():
+    """cget/cset framing (data block + CVALUE reply) survives 1-byte
+    segments identically on both transports."""
+    payload = lines(
+        b"cset ck 2 9 5", b"hello",
+        b"cget ck 3",
+        b"cget ck 9",
+        b"quit",
+    )
+    chunks = [payload[i:i + 1] for i in range(len(payload))]
+    replies = run_on_both(payload, chunks=chunks)
+    assert replies["async"] == replies["threaded"]
+    assert b"CVALUE ck 0 2 9 5" + CRLF + b"hello" + CRLF + b"END" \
+        in replies["async"]
+    assert b"EXPIRED" in replies["async"]
 
 
 @pytest.mark.parametrize("transport", TRANSPORTS)
