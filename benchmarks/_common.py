@@ -13,9 +13,11 @@ Results are also written to ``benchmarks/out/*.txt`` so EXPERIMENTS.md can
 reference a stable artifact.
 """
 
+import json
 import os
 
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+ROOT_DIR = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def format_table(title, headers, rows):
@@ -44,3 +46,21 @@ def emit(name, text):
 
 def pct(value):
     return "{:.2f}%".format(value)
+
+
+def write_bench_json(name, results, note):
+    """Write a committed ``BENCH_<name>.json`` baseline at the repo root.
+
+    These files are the committed headline baselines the scenario
+    catalogue diffs against (``repro scenarios --diff-baselines``); the
+    stable shape is ``results`` plus a ``benchmark`` tag and a
+    free-text ``note`` describing the measurement conditions.
+    """
+    path = os.path.join(ROOT_DIR, "BENCH_{}.json".format(name))
+    payload = dict(results)
+    payload["benchmark"] = "bench_{}".format(name)
+    payload["note"] = note
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path

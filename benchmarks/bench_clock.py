@@ -50,7 +50,7 @@ import os
 import subprocess
 import sys
 
-from _common import emit, format_table
+from _common import emit, format_table, write_bench_json
 
 from repro.bg.actions import Technique
 from repro.bg.harness import build_bg_system
@@ -201,19 +201,12 @@ def render(results):
 
 
 def emit_json(results):
-    path = os.path.join(ROOT_DIR, "BENCH_clock.json")
-    payload = dict(results)
-    payload["benchmark"] = "bench_clock"
-    payload["note"] = (
+    return write_bench_json("clock", results, (
         "BG social-network workload over a real TCP cache server in its "
         "own process; identical graph, seed, and action mix per "
         "technique; write_delay models the RDBMS update the IQ Q leases "
         "are held across, which the clock technique never blocks reads on"
-    )
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return path
+    ))
 
 
 def check(results, smoke=False):

@@ -34,7 +34,7 @@ import subprocess
 import sys
 import time
 
-from _common import emit, format_table
+from _common import emit, format_table, write_bench_json
 
 from repro.core.iq_server import IQServer
 from repro.net import RemoteIQServer
@@ -317,19 +317,12 @@ def render(results):
 
 
 def emit_json(results):
-    path = os.path.join(ROOT_DIR, "BENCH_pipeline.json")
-    payload = dict(results)
-    payload["benchmark"] = "bench_pipeline"
-    payload["note"] = (
+    return write_bench_json("pipeline", results, (
         "wire experiments run against a real TCP server over loopback; "
         "the fan-out experiment models the per-command cache round trip "
         "with a fixed delay so the serial/parallel latency ratio is "
         "deterministic"
-    )
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return path
+    ))
 
 
 def check(results, smoke=False):

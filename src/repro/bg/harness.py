@@ -88,7 +88,8 @@ def build_bg_system(members=200, friends_per_member=10,
                     comments_per_resource=1, hotspot=(0.2, 0.7),
                     backoff=None, hot_writes=False, iq_server=None,
                     shards=None, shard_vnodes=64, trace=False,
-                    trace_capacity=8192, audit=False, clock_config=None):
+                    trace_capacity=8192, audit=False, clock_config=None,
+                    member_sampler=None):
     """Build and load a full BG deployment; returns a :class:`BGSystem`.
 
     ``leased`` selects the IQ framework; otherwise the unleased baseline
@@ -117,6 +118,12 @@ def build_bg_system(members=200, friends_per_member=10,
     :class:`~repro.obs.audit.IQAuditor` checking the IQ lease-protocol
     invariants as the workload runs -- query it any time through
     ``BGSystem.audit_report()``.
+
+    ``member_sampler`` -- ``factory(seed, members) -> callable() ->
+    member id`` -- replaces the runner's default Zipfian popularity
+    model; the scenario catalogue's workload families (flash crowds,
+    thundering herds, multi-tenant skew, zipf-theta sweeps) plug in
+    through it.
     """
     from repro.bg.workload import LOW_WRITE_MIX
 
@@ -205,6 +212,7 @@ def build_bg_system(members=200, friends_per_member=10,
     runner = WorkloadRunner(
         actions, mix or LOW_WRITE_MIX, registry=registry, seed=seed,
         hotspot=hotspot, hot_writes=hot_writes,
+        member_sampler=member_sampler,
     )
     return BGSystem(
         db, cache, consistency_client, actions, registry, runner, log, graph,

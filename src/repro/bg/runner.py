@@ -38,15 +38,22 @@ BASELINE_RETRIES = 20
 class _ThreadState:
     """Per-thread sampling state."""
 
-    def __init__(self, seed, members, resources, hot_exponent):
+    def __init__(self, seed, members, resources, hot_exponent,
+                 sampler_factory=None):
         self.rng = random.Random(seed)
         self.member_zipf = ZipfianGenerator(
             members, exponent=hot_exponent,
             rng=random.Random(seed ^ 0x5EED), scramble=True,
         )
         self.resources = resources
+        #: substitute member popularity model (scenario workload families)
+        self._sampler = (
+            sampler_factory(seed, members) if sampler_factory else None
+        )
 
     def popular_member(self):
+        if self._sampler is not None:
+            return self._sampler()
         return self.member_zipf.next()
 
 
@@ -54,7 +61,7 @@ class WorkloadRunner:
     """Drives one :class:`~repro.bg.actions.BGActions` instance."""
 
     def __init__(self, actions, mix, registry=None, seed=42,
-                 hotspot=(0.2, 0.7), hot_writes=False):
+                 hotspot=(0.2, 0.7), hot_writes=False, member_sampler=None):
         self.actions = actions
         self.mix = mix
         self.graph = actions.graph
@@ -63,6 +70,11 @@ class WorkloadRunner:
         #: bias Invite Friend invitees with the Zipfian sampler, so write
         #: sessions contend on popular members' keys
         self.hot_writes = hot_writes
+        #: ``factory(seed, members) -> callable() -> member id``:
+        #: replaces the default Zipfian popularity model per thread
+        #: (the scenario catalogue's flash-crowd / multi-tenant /
+        #: zipf-theta workload families plug in here)
+        self.member_sampler = member_sampler
         members = self.graph.config.members
         data_fraction, access_fraction = hotspot
         self.hot_exponent = exponent_for_hotspot(
@@ -214,6 +226,7 @@ class WorkloadRunner:
                 self.graph.config.members,
                 self.graph.config.resources_per_member,
                 self.hot_exponent,
+                sampler_factory=self.member_sampler,
             )
             local = {
                 "restarts": [],

@@ -144,6 +144,27 @@ MIXES = {
 }
 
 
+def mix_by_name(name):
+    """Resolve a mix by its short key (``"1%"``) or full name
+    (``"low_1pct"``); the scenario catalogue references mixes by name."""
+    if name in MIXES:
+        return MIXES[name]
+    for mix in (VERY_LOW_WRITE_MIX, LOW_WRITE_MIX, HIGH_WRITE_MIX,
+                EXTENDED_MIX):
+        if mix.name == name:
+            return mix
+    raise KeyError(
+        "unknown mix {!r}; known: {}".format(
+            name,
+            ", ".join(sorted(
+                list(MIXES)
+                + [m.name for m in (VERY_LOW_WRITE_MIX, LOW_WRITE_MIX,
+                                    HIGH_WRITE_MIX, EXTENDED_MIX)]
+            )),
+        )
+    )
+
+
 def mix_with_write_fraction(write_pct):
     """Build a mix with an arbitrary write percentage.
 

@@ -4,43 +4,70 @@
 
     python -m repro serve [--port P] [--i-ttl S] [--q-ttl S]
                           [--async | --threaded] [--shards N]
+                          [--max-pipeline-buffer BYTES]
         Run an IQ-Twemcached server on a TCP port.  ``--async`` (the
         default) serves every connection from one event loop;
         ``--threaded`` uses the thread-per-connection reference
         transport.  ``--shards N`` (N > 1) instead launches a
         process-per-shard cluster: N supervised worker processes, each
         serving one shard of the consistent-hash ring, restarted on
-        crash.  SIGINT/SIGTERM drain gracefully -- buffered replies are
-        flushed before the listening sockets close.
+        crash.  ``--max-pipeline-buffer`` caps the bytes of pipelined
+        replies buffered per connection.  SIGINT/SIGTERM drain
+        gracefully -- buffered replies are flushed before the listening
+        sockets close.
 
     python -m repro figures
         Replay the paper's race-condition figures and print the outcomes.
 
-    python -m repro bench --experiment table1|table6|table7|table8
+    python -m repro bench --experiment table1|table6|table7|table8|
+                                       figures|ablations|linkbench
         Run a scaled evaluation experiment and print its table.
 
-    python -m repro demo [--threads N] [--ops N]
+    python -m repro demo [--threads N] [--ops N] [--members M]
         Run the BG workload baseline-vs-IQ comparison.
 
-    python -m repro metrics [--threads N] [--ops N]
+    python -m repro metrics [--threads N] [--ops N] [--members M]
         Run a short BG workload and print the metrics registries in
         Prometheus text format.
 
-    python -m repro trace [--out F] [--threads N] [--ops N]
+    python -m repro trace [--out F] [--threads N] [--ops N] [--members M]
         Run a short audited BG workload, export its trace as JSONL, and
         print the IQ-invariant audit summary.
 
-    python -m repro mc [--scenario NAME] [--list] [--fuzz N] [--seed S]
+    python -m repro mc [--scenario NAME] [--list] [--max-states N]
+                       [--fuzz N] [--fuzz-scenario NAME] [--seed S]
         Run the schedule-exploring model checker.  With no arguments it
         runs the acceptance sweep over the six figure pairs: every
         unleased baseline scenario must race (the minimal shrunk
         schedule is printed) and every IQ scenario must explore clean.
+        ``--max-states`` caps explored states per scenario; ``--fuzz N``
+        additionally samples N random schedules of ``--fuzz-scenario``.
 
     python -m repro ring add|remove|status [--shards N] [--keys K]
-        Online shard rebalancing demo: build a sharded cluster, migrate
-        keys onto a joining shard (or off a leaving one) while reader
-        threads hammer the router, and report stale-read counts (which
-        must be zero) plus the resulting topology.
+        Online shard rebalancing demo: build a sharded cluster (``N``
+        initial shards, ``K`` seeded keys), migrate keys onto a joining
+        shard (or off a leaving one) while reader threads hammer the
+        router, and report stale-read counts (which must be zero) plus
+        the resulting topology.
+
+    python -m repro scenarios [--list] [--run NAME] [--sweep] [--smoke]
+                              [--mode live|mc|both] [--technique T]
+                              [--transport T] [--tag T] [--family F]
+                              [--seed S] [--out F] [--diff-baselines]
+                              [--headline NAME] [--strict-env]
+        The declarative scenario catalogue.  ``--list`` prints the
+        committed entries (honouring the filter flags); ``--run NAME``
+        executes one entry through the live system and/or the model
+        checker; ``--sweep`` executes the filtered catalogue, and
+        ``--smoke`` selects the smoke tier (smaller sizing *and* only
+        smoke-tier entries) -- CI runs ``--sweep --smoke``.  Entries
+        declaring both modes also get a live/mc parity check.  ``--out``
+        writes the machine-readable reports as JSON.
+        ``--diff-baselines`` instead re-measures the committed
+        ``BENCH_*.json`` headline numbers (``--headline`` selects one)
+        and diffs them inside explicit tolerance bands;
+        ``--strict-env`` forces absolute-throughput comparisons on
+        hosts that do not look like the baseline's hardware class.
 """
 
 import argparse
@@ -417,6 +444,95 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_scenarios(args):
+    import json
+
+    from repro.scenarios import (
+        by_name,
+        diff_baselines,
+        filter_catalogue,
+        run_live,
+        run_mc,
+    )
+
+    if args.diff_baselines:
+        tier = "smoke" if args.smoke else "sweep"
+        names = (args.headline,) if args.headline else None
+        results = diff_baselines(
+            names=names, tier=tier, strict_env=args.strict_env
+        )
+        regressions = 0
+        for name in sorted(results):
+            print("baseline {} ({} tier re-measurement):".format(name, tier))
+            for entry in results[name]:
+                print("  " + entry.summary())
+                if not entry.ok:
+                    regressions += 1
+        print("baseline diff: {}".format(
+            "OK" if regressions == 0 else
+            "{} regression(s)".format(regressions)
+        ))
+        return 0 if regressions == 0 else 1
+
+    filters = dict(
+        technique=args.technique, transport=args.transport, tag=args.tag,
+        family=args.family,
+    )
+    if args.list:
+        for spec in filter_catalogue(**filters):
+            print("{:<30} {:<10} {:<8} {:<24} [{}] {}".format(
+                spec.name, spec.technique, spec.transport,
+                spec.workload_label(), ",".join(spec.modes),
+                spec.description.split("\n")[0],
+            ))
+        return 0
+
+    if args.run:
+        specs = [by_name(args.run)]
+        tier = "smoke" if args.smoke else "sweep"
+    elif args.sweep or args.smoke:
+        tier = "smoke" if args.smoke else "sweep"
+        specs = filter_catalogue(tier=tier, **filters)
+    else:
+        print("give one of --list, --run NAME, --sweep, or "
+              "--diff-baselines (see repro scenarios --help)")
+        return 2
+
+    reports = []
+    failures = 0
+    for spec in specs:
+        by_mode = {}
+        for mode in spec.modes:
+            if args.mode != "both" and mode != args.mode:
+                continue
+            run = run_live if mode == "live" else run_mc
+            report = run(spec, sizing=tier, seed=args.seed)
+            print(report.summary())
+            reports.append(report)
+            by_mode[mode] = report
+            if not report.ok:
+                failures += 1
+        # A spec executing through both paths must reach one verdict.
+        if len(by_mode) == 2:
+            agree = by_mode["live"].ok == by_mode["mc"].ok
+            print("  parity: live/mc verdicts {}".format(
+                "agree" if agree else "DISAGREE"
+            ))
+            if not agree:
+                failures += 1
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump([r.to_dict() for r in reports], handle, indent=2,
+                      sort_keys=True)
+        print("wrote {} report(s) -> {}".format(len(reports), args.out))
+    print("scenarios: {} report(s), {}".format(
+        len(reports),
+        "all clean" if failures == 0 else "{} FAILED".format(failures),
+    ))
+    return 0 if failures == 0 else 1
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -522,6 +638,60 @@ def build_parser():
                  "ablations", "linkbench"],
     )
     bench.set_defaults(func=_cmd_bench)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="declarative scenario catalogue: list, run, sweep, diff",
+    )
+    scenarios.add_argument("--list", action="store_true",
+                           help="print the (filtered) catalogue and exit")
+    scenarios.add_argument("--run", metavar="NAME", default=None,
+                           help="execute one catalogue entry")
+    scenarios.add_argument("--sweep", action="store_true",
+                           help="execute the filtered catalogue")
+    scenarios.add_argument(
+        "--smoke", action="store_true",
+        help="smoke tier: smaller sizing and smoke-tier entries only",
+    )
+    scenarios.add_argument("--mode", choices=["live", "mc", "both"],
+                           default="both",
+                           help="execution path(s) (default both)")
+    scenarios.add_argument(
+        "--technique", default=None,
+        choices=["invalidate", "refresh", "delta", "clock"],
+        help="only entries using this consistency technique",
+    )
+    scenarios.add_argument(
+        "--transport", default=None,
+        choices=["inproc", "threaded", "async"],
+        help="only entries on this transport",
+    )
+    scenarios.add_argument("--tag", default=None,
+                           help="only entries carrying this tag")
+    scenarios.add_argument(
+        "--family", default=None,
+        choices=["flash-crowd", "thundering-herd", "multi-tenant",
+                 "zipf-sweep"],
+        help="only entries of this workload family",
+    )
+    scenarios.add_argument("--seed", type=int, default=13,
+                           help="workload seed (default 13)")
+    scenarios.add_argument("--out", default=None, metavar="F",
+                           help="write the reports as JSON to F")
+    scenarios.add_argument(
+        "--diff-baselines", action="store_true",
+        help="re-measure committed BENCH_*.json headlines and diff them",
+    )
+    scenarios.add_argument(
+        "--headline", default=None, choices=["pipeline", "clock"],
+        help="diff only this baseline file",
+    )
+    scenarios.add_argument(
+        "--strict-env", action="store_true",
+        help="compare absolute throughput even off the baseline's "
+             "hardware class",
+    )
+    scenarios.set_defaults(func=_cmd_scenarios)
     return parser
 
 

@@ -1,0 +1,176 @@
+"""Re-measure the committed ``BENCH_*.json`` headline numbers.
+
+The repo commits two baseline files whose headline claims the docs
+quote: ``BENCH_pipeline.json`` (wire-read pipelining and parallel
+commit fan-out speedups) and ``BENCH_clock.json`` (the precise-clock
+read speedup over invalidate).  ``diff_baselines`` re-runs the same
+experiments *scaled down*, then compares every headline through an
+explicit :class:`~repro.scenarios.report.Band`:
+
+* **ratio** bands (speedups) are hardware-class independent and are
+  always compared, with a generous tolerance because the smoke-scale
+  re-measurement is noisier than the committed full runs;
+* **absolute** bands (ops/s) are only comparable on hardware like the
+  baseline's; on any other host they land in ``env-skipped`` with the
+  reason spelled out -- never silently dropped (pass ``strict_env=True``
+  to force the comparison anyway).
+
+The experiment code itself is imported from ``benchmarks/`` -- the
+scenario layer re-executes the committed benchmarks, it does not
+re-implement them.
+"""
+
+import json
+import os
+
+from repro.scenarios.report import Band, diff_metrics, resolve_path
+
+__all__ = [
+    "HEADLINES",
+    "Headline",
+    "benchmarks_dir",
+    "repo_root",
+    "measure",
+    "diff_baselines",
+    "environment_comparable",
+]
+
+#: CPU count below which absolute throughput numbers are meaningless
+#: relative to the committed baselines (measured on a multi-core host).
+MIN_CPUS = 2
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )))
+
+
+def benchmarks_dir():
+    return os.path.join(repo_root(), "benchmarks")
+
+
+def _import_bench(name):
+    import importlib
+    import sys
+
+    path = benchmarks_dir()
+    if path not in sys.path:
+        sys.path.insert(0, path)
+    return importlib.import_module(name)
+
+
+def environment_comparable():
+    """(comparable, reason) for absolute-throughput comparisons."""
+    cpus = os.cpu_count() or 1
+    if cpus < MIN_CPUS:
+        return False, "host has {} CPU(s); baseline needs >= {}".format(
+            cpus, MIN_CPUS
+        )
+    return True, ""
+
+
+# ---------------------------------------------------------------------------
+# measurements (scaled-down re-runs of the committed experiments)
+# ---------------------------------------------------------------------------
+
+#: per-tier sizing for the re-measurements
+_PIPELINE_SCALE = {
+    "smoke": dict(rounds=120, repeats=2, fanout_trials=8),
+    "sweep": dict(rounds=250, repeats=3, fanout_trials=16),
+}
+_CLOCK_SCALE = {
+    "smoke": dict(threads=4, ops_per_thread=120, warmup_ops=10, members=60),
+    "sweep": dict(threads=6, ops_per_thread=250, warmup_ops=15, members=90),
+}
+
+
+def _measure_pipeline(tier):
+    bench = _import_bench("bench_pipeline")
+    return bench.run_experiment(**_PIPELINE_SCALE[tier])
+
+
+def _measure_clock(tier):
+    bench = _import_bench("bench_clock")
+    return bench.run_experiment(
+        transports=("threaded",), **_CLOCK_SCALE[tier]
+    )
+
+
+class Headline:
+    """One committed baseline file and its comparable metrics."""
+
+    def __init__(self, name, baseline_file, bands, measure):
+        self.name = name
+        self.baseline_file = baseline_file
+        self.bands = list(bands)
+        self._measure = measure
+
+    def load_baseline(self):
+        """The parsed committed json, or None when not committed."""
+        path = os.path.join(repo_root(), self.baseline_file)
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def measure(self, tier="smoke"):
+        """Re-run the experiment scaled; returns {band metric: value}."""
+        result = self._measure(tier)
+        return {
+            band.metric: resolve_path(result, band.path)
+            for band in self.bands
+        }
+
+
+HEADLINES = (
+    Headline(
+        "pipeline", "BENCH_pipeline.json",
+        bands=(
+            # Ratios survive hardware changes; smoke-scale reruns are
+            # noisier than the committed full runs, hence the slack.
+            Band("wire_read.speedup", kind="ratio", tolerance=0.45),
+            # Deterministic by construction (fixed DelayShard sleeps).
+            Band("shard_fanout.speedup", kind="ratio", tolerance=0.40),
+            Band("wire_read.pipelined_ops_s", kind="absolute",
+                 tolerance=0.60),
+        ),
+        measure=_measure_pipeline,
+    ),
+    Headline(
+        "clock", "BENCH_clock.json",
+        bands=(
+            Band("best_read_speedup", kind="ratio", tolerance=0.50),
+            Band("transports.threaded.clock.reads_per_s", kind="absolute",
+                 tolerance=0.60),
+        ),
+        measure=_measure_clock,
+    ),
+)
+
+
+def measure(names=None, tier="smoke"):
+    """Measure the named headlines; returns {headline: metrics dict}."""
+    selected = [h for h in HEADLINES if names is None or h.name in names]
+    return {headline.name: headline.measure(tier) for headline in selected}
+
+
+def diff_baselines(names=None, tier="smoke", strict_env=False):
+    """Re-measure and diff every (selected) headline.
+
+    Returns ``{headline name: [DiffEntry, ...]}``.  ``strict_env``
+    forces absolute-throughput comparisons even on a host that does not
+    look like the baseline's hardware class.
+    """
+    comparable, reason = environment_comparable()
+    if strict_env:
+        comparable, reason = True, ""
+    results = {}
+    selected = [h for h in HEADLINES if names is None or h.name in names]
+    for headline in selected:
+        measured = headline.measure(tier)
+        results[headline.name] = diff_metrics(
+            measured, headline.load_baseline(), headline.bands,
+            comparable_env=comparable, env_reason=reason,
+        )
+    return results

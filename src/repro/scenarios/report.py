@@ -1,0 +1,284 @@
+"""Machine-readable scenario verdicts and baseline diffing.
+
+A :class:`ScenarioReport` is the one output shape both execution paths
+produce: verdict, per-oracle verdicts with counts, and a flat metrics
+dict (throughput, actions, explored states ...).  It round-trips
+through JSON so a sweep can be committed, diffed, and re-checked.
+
+Baseline diffing compares measured metrics against committed
+``BENCH_*.json`` numbers with explicit tolerance bands.  Every
+comparison lands in exactly one of four statuses -- ``ok``,
+``regression``, ``new`` (no committed baseline), ``env-skipped``
+(not comparable on this host, with the reason) -- so a result is never
+silently dropped: a number that cannot be honestly compared says so.
+"""
+
+import json
+
+__all__ = [
+    "OracleVerdict",
+    "ScenarioReport",
+    "Band",
+    "DiffEntry",
+    "diff_metrics",
+    "resolve_path",
+]
+
+SCHEMA_VERSION = 1
+
+#: diff statuses (DiffEntry.status)
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_NEW = "new"
+STATUS_ENV_SKIPPED = "env-skipped"
+
+
+class OracleVerdict:
+    """One oracle's outcome: name, pass/fail, observed count, detail."""
+
+    def __init__(self, name, ok, count=0, detail=""):
+        self.name = name
+        self.ok = bool(ok)
+        #: the violation/occurrence count the oracle observed
+        self.count = count
+        self.detail = detail
+
+    def to_dict(self):
+        return {"name": self.name, "ok": self.ok, "count": self.count,
+                "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["name"], data["ok"], data.get("count", 0),
+                   data.get("detail", ""))
+
+    def __repr__(self):
+        return "OracleVerdict({!r}, {})".format(
+            self.name, "ok" if self.ok else "FAIL"
+        )
+
+
+class ScenarioReport:
+    """The outcome of executing one catalogue entry through one path."""
+
+    def __init__(self, name, mode, tier="smoke", verdict="pass",
+                 oracles=(), metrics=None, duration=0.0, seed=0,
+                 skipped_reason=None):
+        self.name = name
+        #: "live" or "mc"
+        self.mode = mode
+        self.tier = tier
+        #: "pass" | "fail" | "skipped"
+        self.verdict = verdict
+        self.oracles = list(oracles)
+        self.metrics = dict(metrics or {})
+        self.duration = duration
+        self.seed = seed
+        self.skipped_reason = skipped_reason
+
+    @property
+    def ok(self):
+        return self.verdict != "fail"
+
+    @property
+    def skipped(self):
+        return self.verdict == "skipped"
+
+    def oracle(self, name):
+        for verdict in self.oracles:
+            if verdict.name == name:
+                return verdict
+        return None
+
+    def failures(self):
+        return [v for v in self.oracles if not v.ok]
+
+    def summary(self):
+        if self.skipped:
+            return "{:<32} [{}] skipped: {}".format(
+                self.name, self.mode, self.skipped_reason
+            )
+        oracle_bits = ",".join(
+            "{}{}".format("" if v.ok else "!", v.name) for v in self.oracles
+        )
+        return "{:<32} [{}] {:<4} {:.2f}s oracles: {}".format(
+            self.name, self.mode, self.verdict.upper(), self.duration,
+            oracle_bits or "-",
+        )
+
+    def to_dict(self):
+        return {
+            "schema": SCHEMA_VERSION,
+            "name": self.name,
+            "mode": self.mode,
+            "tier": self.tier,
+            "verdict": self.verdict,
+            "oracles": [v.to_dict() for v in self.oracles],
+            "metrics": dict(self.metrics),
+            "duration": self.duration,
+            "seed": self.seed,
+            "skipped_reason": self.skipped_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("schema", SCHEMA_VERSION) > SCHEMA_VERSION:
+            raise ValueError(
+                "report schema {} is newer than supported {}".format(
+                    data.get("schema"), SCHEMA_VERSION
+                )
+            )
+        return cls(
+            data["name"], data["mode"], tier=data.get("tier", "smoke"),
+            verdict=data.get("verdict", "pass"),
+            oracles=[OracleVerdict.from_dict(o)
+                     for o in data.get("oracles", ())],
+            metrics=data.get("metrics", {}),
+            duration=data.get("duration", 0.0),
+            seed=data.get("seed", 0),
+            skipped_reason=data.get("skipped_reason"),
+        )
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self):
+        return "ScenarioReport({!r}, {}, {})".format(
+            self.name, self.mode, self.verdict
+        )
+
+
+# ---------------------------------------------------------------------------
+# baseline diffing
+# ---------------------------------------------------------------------------
+
+class Band:
+    """One comparable metric: where it lives and how far it may drop.
+
+    ``kind`` is ``"ratio"`` (hardware-class independent speedups --
+    comparable anywhere) or ``"absolute"`` (ops/s, ms -- only
+    comparable on the baseline's hardware class).  ``tolerance`` is the
+    allowed *relative shortfall*: measured >= baseline * (1 -
+    tolerance) passes; a measured value above baseline is always ok
+    (for lower-is-better metrics pass ``direction="lower"``).
+    """
+
+    def __init__(self, metric, path=None, kind="ratio", tolerance=0.25,
+                 direction="higher"):
+        self.metric = metric
+        #: dot path into the committed BENCH json (defaults to metric)
+        self.path = path or metric
+        if kind not in ("ratio", "absolute"):
+            raise ValueError("kind must be 'ratio' or 'absolute'")
+        if direction not in ("higher", "lower"):
+            raise ValueError("direction must be 'higher' or 'lower'")
+        self.kind = kind
+        self.tolerance = tolerance
+        self.direction = direction
+
+    def within(self, measured, baseline):
+        if self.direction == "higher":
+            return measured >= baseline * (1.0 - self.tolerance)
+        return measured <= baseline * (1.0 + self.tolerance)
+
+    def __repr__(self):
+        return "Band({!r}, kind={}, tol={})".format(
+            self.metric, self.kind, self.tolerance
+        )
+
+
+class DiffEntry:
+    """One metric's comparison outcome."""
+
+    def __init__(self, metric, status, measured=None, baseline=None,
+                 reason=""):
+        self.metric = metric
+        self.status = status
+        self.measured = measured
+        self.baseline = baseline
+        self.reason = reason
+
+    @property
+    def ok(self):
+        return self.status != STATUS_REGRESSION
+
+    def summary(self):
+        def fmt(value):
+            return "-" if value is None else "{:.4g}".format(value)
+
+        line = "{:<36} {:<12} measured={:<10} baseline={:<10}".format(
+            self.metric, self.status, fmt(self.measured), fmt(self.baseline)
+        )
+        return line + (" ({})".format(self.reason) if self.reason else "")
+
+    def to_dict(self):
+        return {
+            "metric": self.metric, "status": self.status,
+            "measured": self.measured, "baseline": self.baseline,
+            "reason": self.reason,
+        }
+
+    def __repr__(self):
+        return "DiffEntry({!r}, {})".format(self.metric, self.status)
+
+
+def resolve_path(data, path):
+    """Walk ``a.b.c`` through nested dicts; None when any hop misses."""
+    node = data
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def diff_metrics(measured, baseline, bands, comparable_env=True,
+                 env_reason=""):
+    """Compare a measured metrics dict against a committed baseline dict.
+
+    ``measured`` maps band metric names to numbers (None/missing =
+    not measured on this host).  ``baseline`` is the parsed committed
+    ``BENCH_*.json`` (or None when the file is absent -> every band is
+    ``new``).  ``comparable_env=False`` downgrades *absolute* bands to
+    ``env-skipped`` with ``env_reason`` -- ratios stay comparable.
+    """
+    entries = []
+    for band in bands:
+        base = (resolve_path(baseline, band.path)
+                if baseline is not None else None)
+        value = measured.get(band.metric)
+        if base is None:
+            entries.append(DiffEntry(
+                band.metric, STATUS_NEW, measured=value,
+                reason="no committed baseline",
+            ))
+            continue
+        if band.kind == "absolute" and not comparable_env:
+            entries.append(DiffEntry(
+                band.metric, STATUS_ENV_SKIPPED, measured=value,
+                baseline=base,
+                reason=env_reason or "hardware class differs from baseline",
+            ))
+            continue
+        if value is None:
+            entries.append(DiffEntry(
+                band.metric, STATUS_ENV_SKIPPED, baseline=base,
+                reason=env_reason or "not measured on this host",
+            ))
+            continue
+        if band.within(value, base):
+            entries.append(DiffEntry(
+                band.metric, STATUS_OK, measured=value, baseline=base,
+                reason="within {:.0%} of baseline".format(band.tolerance),
+            ))
+        else:
+            entries.append(DiffEntry(
+                band.metric, STATUS_REGRESSION, measured=value,
+                baseline=base,
+                reason="beyond {:.0%} tolerance".format(band.tolerance),
+            ))
+    return entries

@@ -1,0 +1,261 @@
+"""Workload families the pre-catalogue suites never exercised.
+
+Each family is a deterministic, seedable *member popularity model* that
+plugs into :class:`~repro.bg.runner.WorkloadRunner` through the
+``member_sampler`` seam: ``family.sampler_factory()`` returns a
+``factory(seed, members)`` producing one sampler per worker thread.
+Everything else -- action mix, validation log, friendship registry,
+latency accounting -- is the standard BG machinery, so a family run is
+oracle-checked exactly like a Table 5 mix run.
+
+The four families (motivated by the Bailis-style cross-technique
+comparison in *Cache Serializability*, PAPERS.md -- skewed and
+multi-tenant edge workloads are where consistency techniques diverge):
+
+* :class:`FlashCrowd` -- a small hot set absorbs most accesses (a
+  celebrity profile going viral).  Stresses per-key lease convoys and
+  the clock technique's client-local tier.
+* :class:`ThunderingHerd` -- every thread hammers *one* member while
+  the scenario runner periodically calls ``flush_all``: each flush
+  turns the whole population into concurrent misses on the same key,
+  the regime I leases exist to collapse.
+* :class:`MultiTenantSkew` -- the member space is split into tenants
+  whose traffic shares follow a power law; traffic inside a tenant is
+  uniform.  Models a multi-tenant cache where one tenant dominates.
+* :class:`ZipfSweep` -- the classic Zipfian model with an *explicit*
+  theta, so a catalogue sweep can walk the skew axis instead of the
+  single solved-for 70/20 hotspot the BG runner defaults to.
+"""
+
+import random
+
+from repro.bg.workload import LOW_WRITE_MIX, mix_by_name
+from repro.bg.zipfian import ZipfianGenerator
+
+__all__ = [
+    "WorkloadFamily",
+    "FlashCrowd",
+    "ThunderingHerd",
+    "MultiTenantSkew",
+    "ZipfSweep",
+    "family_by_name",
+    "FAMILY_CLASSES",
+]
+
+
+class WorkloadFamily:
+    """Base class: a named, seedable member popularity model."""
+
+    #: family tag used by catalogue filters (``repro scenarios --family``)
+    family = "base"
+
+    def __init__(self, name, mix="1%"):
+        self.name = name
+        self._mix_name = mix
+
+    def mix(self):
+        """The action mix the family runs under (defaults to Low 1%)."""
+        if self._mix_name is None:
+            return LOW_WRITE_MIX
+        return mix_by_name(self._mix_name)
+
+    def sampler_factory(self):
+        """``factory(seed, members) -> callable() -> member id``."""
+        raise NotImplementedError
+
+    def describe(self):
+        return self.name
+
+    def __repr__(self):
+        return "{}({!r})".format(type(self).__name__, self.name)
+
+
+class FlashCrowd(WorkloadFamily):
+    """``hot_fraction`` of accesses land on ``hot_members`` member ids.
+
+    The hot set is the lowest ids -- deterministic, so a test (or an
+    oracle) knows exactly which keys the crowd floods.
+    """
+
+    family = "flash-crowd"
+
+    def __init__(self, name="flash-crowd", hot_members=1, hot_fraction=0.9,
+                 mix="1%"):
+        super().__init__(name, mix=mix)
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if hot_members < 1:
+            raise ValueError("hot_members must be >= 1")
+        self.hot_members = hot_members
+        self.hot_fraction = hot_fraction
+
+    def hot_set(self, members):
+        return tuple(range(min(self.hot_members, members)))
+
+    def sampler_factory(self):
+        hot_members = self.hot_members
+        hot_fraction = self.hot_fraction
+
+        def factory(seed, members):
+            rng = random.Random(seed)
+            hot = min(hot_members, members)
+
+            def sample():
+                if rng.random() < hot_fraction:
+                    return rng.randrange(hot)
+                return rng.randrange(members)
+
+            return sample
+
+        return factory
+
+    def describe(self):
+        return "{:.0%} of accesses on {} hot member(s)".format(
+            self.hot_fraction, self.hot_members
+        )
+
+
+class ThunderingHerd(WorkloadFamily):
+    """Everyone reads one member; the runner flushes the cache mid-run.
+
+    ``herd_fraction`` of samples return ``herd_member``; the remainder
+    are uniform background noise so writes still find operands.  The
+    scenario runner pairs this family with a ``flush_all`` controller
+    (``flush_interval``): every flush turns the herd into concurrent
+    misses on the herd member's profile key -- exactly one I lease may
+    win the fill, and nobody may observe a stale value afterwards.
+    """
+
+    family = "thundering-herd"
+
+    def __init__(self, name="thundering-herd", herd_member=0,
+                 herd_fraction=0.95, flush_interval=0.25, mix="1%"):
+        super().__init__(name, mix=mix)
+        if not 0.0 < herd_fraction <= 1.0:
+            raise ValueError("herd_fraction must be in (0, 1]")
+        self.herd_member = herd_member
+        self.herd_fraction = herd_fraction
+        #: seconds between ``flush_all`` calls the scenario runner issues
+        self.flush_interval = flush_interval
+
+    def sampler_factory(self):
+        herd_member = self.herd_member
+        herd_fraction = self.herd_fraction
+
+        def factory(seed, members):
+            rng = random.Random(seed)
+            target = herd_member % members
+
+            def sample():
+                if rng.random() < herd_fraction:
+                    return target
+                return rng.randrange(members)
+
+            return sample
+
+        return factory
+
+    def describe(self):
+        return ("{:.0%} of accesses on member {} with flush_all every "
+                "{:.2f}s".format(self.herd_fraction, self.herd_member,
+                                 self.flush_interval))
+
+
+class MultiTenantSkew(WorkloadFamily):
+    """Tenants share the member space; traffic shares follow a power law.
+
+    Tenant ``i`` (of ``tenants``) owns the contiguous member range
+    ``[i*members//tenants, (i+1)*members//tenants)`` and receives a
+    traffic share proportional to ``1 / (i+1)**share_exponent`` --
+    tenant 0 is the noisy neighbour.  Within a tenant, members are
+    uniform: skew lives *between* tenants, not inside them, which is the
+    shape per-key hotspot models cannot express.
+    """
+
+    family = "multi-tenant"
+
+    def __init__(self, name="multi-tenant", tenants=4, share_exponent=1.0,
+                 mix="1%"):
+        super().__init__(name, mix=mix)
+        if tenants < 2:
+            raise ValueError("need at least 2 tenants")
+        self.tenants = tenants
+        self.share_exponent = share_exponent
+
+    def tenant_weights(self):
+        return [
+            1.0 / ((i + 1) ** self.share_exponent)
+            for i in range(self.tenants)
+        ]
+
+    def tenant_of(self, member, members):
+        span = max(1, members // self.tenants)
+        return min(member // span, self.tenants - 1)
+
+    def sampler_factory(self):
+        tenants = self.tenants
+        weights = self.tenant_weights()
+
+        def factory(seed, members):
+            rng = random.Random(seed)
+            span = max(1, members // tenants)
+            ranges = []
+            for i in range(tenants):
+                lo = i * span
+                hi = members if i == tenants - 1 else (i + 1) * span
+                ranges.append((lo, max(lo + 1, hi)))
+
+            def sample():
+                lo, hi = rng.choices(ranges, weights=weights, k=1)[0]
+                return rng.randrange(lo, hi)
+
+            return sample
+
+        return factory
+
+    def describe(self):
+        return "{} tenants, share exponent {:.2g}".format(
+            self.tenants, self.share_exponent
+        )
+
+
+class ZipfSweep(WorkloadFamily):
+    """Zipfian popularity with an explicit theta (sweepable skew axis)."""
+
+    family = "zipf-sweep"
+
+    def __init__(self, theta, name=None, mix="1%", scramble=True):
+        super().__init__(name or "zipf-theta-{:.2g}".format(theta), mix=mix)
+        self.theta = theta
+        self.scramble = scramble
+
+    def sampler_factory(self):
+        theta = self.theta
+        scramble = self.scramble
+
+        def factory(seed, members):
+            zipf = ZipfianGenerator(
+                members, exponent=theta, rng=random.Random(seed),
+                scramble=scramble,
+            )
+            return zipf.next
+
+        return factory
+
+    def describe(self):
+        return "Zipfian member popularity, theta={:.2g}".format(self.theta)
+
+
+FAMILY_CLASSES = {
+    cls.family: cls
+    for cls in (FlashCrowd, ThunderingHerd, MultiTenantSkew, ZipfSweep)
+}
+
+
+def family_by_name(catalogue, name):
+    """Find the (unique) family instance named ``name`` in a catalogue."""
+    for spec in catalogue:
+        if spec.family is not None and spec.family.name == name:
+            return spec.family
+    raise KeyError("no catalogue entry carries a family named "
+                   "{!r}".format(name))

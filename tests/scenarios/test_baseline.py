@@ -1,0 +1,80 @@
+"""Baseline headline registry against the committed BENCH files."""
+
+import pytest
+
+from repro.scenarios import HEADLINES, diff_baselines
+from repro.scenarios.baseline import environment_comparable
+from repro.scenarios.report import (
+    STATUS_ENV_SKIPPED,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    diff_metrics,
+    resolve_path,
+)
+
+pytestmark = pytest.mark.scenario
+
+VALID_STATUSES = {STATUS_OK, STATUS_REGRESSION, STATUS_NEW,
+                  STATUS_ENV_SKIPPED}
+
+
+class TestRegistry:
+    def test_headlines_cover_both_committed_files(self):
+        assert {h.name for h in HEADLINES} == {"pipeline", "clock"}
+
+    def test_every_band_path_resolves_in_committed_baseline(self):
+        for headline in HEADLINES:
+            baseline = headline.load_baseline()
+            assert baseline is not None, headline.baseline_file
+            for band in headline.bands:
+                value = resolve_path(baseline, band.path)
+                assert isinstance(value, (int, float)), (
+                    "{}: {} missing from {}".format(
+                        headline.name, band.path, headline.baseline_file
+                    )
+                )
+
+    def test_headline_ratios_match_the_docs_claims(self):
+        pipeline = next(h for h in HEADLINES if h.name == "pipeline")
+        baseline = pipeline.load_baseline()
+        assert resolve_path(baseline, "wire_read.speedup") \
+            == pytest.approx(2.22, abs=0.01)
+        assert resolve_path(baseline, "shard_fanout.speedup") \
+            == pytest.approx(3.74, abs=0.01)
+        clock = next(h for h in HEADLINES if h.name == "clock")
+        assert resolve_path(clock.load_baseline(), "best_read_speedup") \
+            == pytest.approx(1.615, abs=0.01)
+
+    def test_identity_measurement_diffs_clean(self):
+        # Measuring exactly the committed values must be all-ok.
+        for headline in HEADLINES:
+            baseline = headline.load_baseline()
+            measured = {
+                band.metric: resolve_path(baseline, band.path)
+                for band in headline.bands
+            }
+            for entry in diff_metrics(measured, baseline, headline.bands):
+                assert entry.status == STATUS_OK
+
+    def test_environment_gate_reports_a_reason(self):
+        comparable, reason = environment_comparable()
+        assert comparable or reason
+
+
+@pytest.mark.slow
+class TestLiveDiff:
+    def test_clock_headline_reproduces_or_is_env_skipped(self):
+        """The committed clock speedup must re-measure inside its band.
+
+        Never silent: every band lands in an explicit status, and the
+        hardware-independent ratio must not regress.
+        """
+        results = diff_baselines(names=("clock",), tier="smoke")
+        entries = results["clock"]
+        assert entries
+        for entry in entries:
+            assert entry.status in VALID_STATUSES
+            assert entry.status != STATUS_NEW  # the baseline is committed
+        ratio = next(e for e in entries if e.metric == "best_read_speedup")
+        assert ratio.status == STATUS_OK, ratio.summary()

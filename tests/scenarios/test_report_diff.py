@@ -1,0 +1,139 @@
+"""Report schema round-trips and baseline diffing semantics."""
+
+import pytest
+
+from repro.scenarios.report import (
+    STATUS_ENV_SKIPPED,
+    STATUS_NEW,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    Band,
+    OracleVerdict,
+    ScenarioReport,
+    diff_metrics,
+    resolve_path,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+class TestReportRoundTrip:
+    def make_report(self):
+        return ScenarioReport(
+            "wire-threaded-invalidate", "live", tier="smoke",
+            verdict="fail",
+            oracles=[
+                OracleVerdict("zero-stale", True),
+                OracleVerdict("zero-errors", False, count=3,
+                              detail="3 failed actions"),
+            ],
+            metrics={"actions": 120, "throughput": 512.5},
+            duration=1.25, seed=13,
+        )
+
+    def test_json_round_trip_preserves_everything(self):
+        report = self.make_report()
+        back = ScenarioReport.from_json(report.to_json())
+        assert back.to_dict() == report.to_dict()
+        assert back.verdict == "fail"
+        assert not back.ok
+        assert back.oracle("zero-errors").count == 3
+        assert [v.name for v in back.failures()] == ["zero-errors"]
+        assert back.metrics["throughput"] == 512.5
+
+    def test_skipped_report(self):
+        report = ScenarioReport("x", "mc", verdict="skipped",
+                                skipped_reason="entry has no mc mode")
+        assert report.skipped
+        assert report.ok  # skipped is not a failure
+        assert "skipped" in report.summary()
+        assert ScenarioReport.from_json(report.to_json()).skipped_reason \
+            == "entry has no mc mode"
+
+    def test_newer_schema_rejected(self):
+        data = self.make_report().to_dict()
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="newer"):
+            ScenarioReport.from_dict(data)
+
+
+class TestResolvePath:
+    def test_walks_nested_dicts(self):
+        data = {"a": {"b": {"c": 7}}}
+        assert resolve_path(data, "a.b.c") == 7
+        assert resolve_path(data, "a.b") == {"c": 7}
+
+    def test_missing_hop_is_none(self):
+        assert resolve_path({"a": {}}, "a.b.c") is None
+        assert resolve_path({}, "x") is None
+
+
+class TestDiffMetrics:
+    BASELINE = {"wire_read": {"speedup": 2.0, "pipelined_ops_s": 50000.0}}
+
+    def band(self, **kw):
+        defaults = dict(metric="speedup", path="wire_read.speedup",
+                        kind="ratio", tolerance=0.25)
+        defaults.update(kw)
+        return Band(**defaults)
+
+    def test_within_tolerance_is_ok(self):
+        entries = diff_metrics({"speedup": 1.6}, self.BASELINE,
+                               [self.band()])
+        assert [e.status for e in entries] == [STATUS_OK]
+        assert entries[0].ok
+
+    def test_above_baseline_is_always_ok(self):
+        (entry,) = diff_metrics({"speedup": 3.9}, self.BASELINE,
+                                [self.band()])
+        assert entry.status == STATUS_OK
+
+    def test_regression_beyond_tolerance_fails(self):
+        (entry,) = diff_metrics({"speedup": 1.4}, self.BASELINE,
+                                [self.band()])
+        assert entry.status == STATUS_REGRESSION
+        assert not entry.ok
+        assert "tolerance" in entry.reason
+
+    def test_lower_is_better_direction(self):
+        band = Band("p99_ms", kind="absolute", tolerance=0.25,
+                    direction="lower")
+        (ok,) = diff_metrics({"p99_ms": 11.0}, {"p99_ms": 10.0}, [band])
+        (bad,) = diff_metrics({"p99_ms": 14.0}, {"p99_ms": 10.0}, [band])
+        assert ok.status == STATUS_OK
+        assert bad.status == STATUS_REGRESSION
+
+    def test_missing_baseline_is_new(self):
+        (entry,) = diff_metrics({"speedup": 1.6}, None, [self.band()])
+        assert entry.status == STATUS_NEW
+        assert entry.ok  # "new" never fails a diff
+        (entry,) = diff_metrics(
+            {"speedup": 1.6}, {"unrelated": 1}, [self.band()]
+        )
+        assert entry.status == STATUS_NEW
+
+    def test_absolute_band_env_skipped_off_baseline_hardware(self):
+        band = self.band(metric="pipelined_ops_s",
+                         path="wire_read.pipelined_ops_s", kind="absolute")
+        (entry,) = diff_metrics(
+            {"pipelined_ops_s": 100.0}, self.BASELINE, [band],
+            comparable_env=False, env_reason="1 CPU host",
+        )
+        assert entry.status == STATUS_ENV_SKIPPED
+        assert entry.ok
+        assert "1 CPU host" in entry.reason
+        # ratio bands still compare on the same host
+        (ratio,) = diff_metrics({"speedup": 1.9}, self.BASELINE,
+                                [self.band()], comparable_env=False)
+        assert ratio.status == STATUS_OK
+
+    def test_unmeasured_value_env_skipped_not_silent(self):
+        (entry,) = diff_metrics({}, self.BASELINE, [self.band()])
+        assert entry.status == STATUS_ENV_SKIPPED
+        assert "not measured" in entry.reason
+
+    def test_band_validates_kind_and_direction(self):
+        with pytest.raises(ValueError):
+            Band("x", kind="nope")
+        with pytest.raises(ValueError):
+            Band("x", direction="sideways")

@@ -1,0 +1,136 @@
+"""Deterministic-seed tests for the scenario workload families.
+
+Every family's sampler is a pure function of ``(seed, members)``: the
+same seed must reproduce the same member stream, and the stream's
+*shape* (hot-key concentration, tenant shares, zipf skew ordering) must
+match what the family declares.
+"""
+
+import collections
+
+import pytest
+
+from repro.scenarios.workloads import (
+    FAMILY_CLASSES,
+    FlashCrowd,
+    MultiTenantSkew,
+    ThunderingHerd,
+    ZipfSweep,
+)
+
+pytestmark = pytest.mark.scenario
+
+MEMBERS = 200
+DRAWS = 4000
+
+
+def draw(family, seed=7, members=MEMBERS, draws=DRAWS):
+    sample = family.sampler_factory()(seed, members)
+    return [sample() for _ in range(draws)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("family", [
+        FlashCrowd("fc", hot_members=2, hot_fraction=0.8),
+        ThunderingHerd("th"),
+        MultiTenantSkew("mt", tenants=4),
+        ZipfSweep(0.6),
+    ], ids=lambda f: type(f).__name__)
+    def test_same_seed_same_stream(self, family):
+        assert draw(family, seed=11) == draw(family, seed=11)
+
+    @pytest.mark.parametrize("family", [
+        FlashCrowd("fc", hot_members=2, hot_fraction=0.8),
+        MultiTenantSkew("mt", tenants=4),
+        ZipfSweep(0.6),
+    ], ids=lambda f: type(f).__name__)
+    def test_different_seeds_diverge(self, family):
+        assert draw(family, seed=11) != draw(family, seed=12)
+
+    def test_samples_stay_in_range(self):
+        for cls in FAMILY_CLASSES.values():
+            family = (cls(0.5) if cls is ZipfSweep else cls("r"))
+            for member in draw(family, members=50, draws=500):
+                assert 0 <= member < 50
+
+
+class TestFlashCrowd:
+    def test_hot_set_concentration(self):
+        family = FlashCrowd("fc", hot_members=3, hot_fraction=0.9)
+        hot = set(family.hot_set(MEMBERS))
+        assert hot == {0, 1, 2}
+        stream = draw(family)
+        hot_share = sum(1 for m in stream if m in hot) / len(stream)
+        # 90% targeted + ~1.5% of uniform spill lands on the hot ids
+        assert hot_share > 0.85
+
+    def test_hot_set_clamps_to_population(self):
+        family = FlashCrowd("fc", hot_members=10, hot_fraction=1.0)
+        assert family.hot_set(4) == (0, 1, 2, 3)
+        assert set(draw(family, members=4, draws=200)) <= {0, 1, 2, 3}
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FlashCrowd("fc", hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowd("fc", hot_members=0)
+
+
+class TestThunderingHerd:
+    def test_herd_member_dominates(self):
+        family = ThunderingHerd("th", herd_member=5, herd_fraction=0.95)
+        stream = draw(family)
+        share = stream.count(5) / len(stream)
+        assert share > 0.9
+
+    def test_herd_member_wraps_population(self):
+        family = ThunderingHerd("th", herd_member=7, herd_fraction=1.0)
+        assert set(draw(family, members=5, draws=100)) == {7 % 5}
+
+    def test_declares_flush_interval(self):
+        assert ThunderingHerd("th", flush_interval=0.4).flush_interval == 0.4
+
+
+class TestMultiTenantSkew:
+    def test_tenant_shares_follow_power_law(self):
+        family = MultiTenantSkew("mt", tenants=4, share_exponent=1.0)
+        stream = draw(family, draws=8000)
+        counts = collections.Counter(
+            family.tenant_of(m, MEMBERS) for m in stream
+        )
+        shares = [counts[i] / len(stream) for i in range(4)]
+        # Monotone decreasing, and tenant 0 clearly dominates 1/1+1/2+...
+        assert shares[0] > shares[1] > shares[3]
+        assert shares[0] == pytest.approx(1.0 / (1 + 0.5 + 1 / 3 + 0.25),
+                                          abs=0.05)
+
+    def test_tenant_ranges_are_contiguous_and_exhaustive(self):
+        family = MultiTenantSkew("mt", tenants=3)
+        tenants = {family.tenant_of(m, 90) for m in range(90)}
+        assert tenants == {0, 1, 2}
+        assert family.tenant_of(0, 90) == 0
+        assert family.tenant_of(89, 90) == 2
+
+    def test_rejects_single_tenant(self):
+        with pytest.raises(ValueError):
+            MultiTenantSkew("mt", tenants=1)
+
+
+class TestZipfSweep:
+    @staticmethod
+    def top_decile_share(stream, members):
+        counts = collections.Counter(stream)
+        ranked = [count for _, count in counts.most_common()]
+        top = max(1, members // 10)
+        return sum(ranked[:top]) / len(stream)
+
+    def test_higher_theta_concentrates_harder(self):
+        shares = [
+            self.top_decile_share(draw(ZipfSweep(theta)), MEMBERS)
+            for theta in (0.2, 0.6, 0.95)
+        ]
+        assert shares[0] < shares[1] < shares[2]
+
+    def test_name_carries_theta(self):
+        assert "0.9" in ZipfSweep(0.9).name
+        assert ZipfSweep(0.5, name="custom").name == "custom"

@@ -36,6 +36,30 @@ class TestParser:
         assert args.fuzz_scenario == "fuzz-sharded-fault"
         assert args.max_states == 500000
 
+    def test_scenarios_defaults(self):
+        args = build_parser().parse_args(["scenarios", "--list"])
+        assert args.mode == "both"
+        assert args.seed == 13
+        assert not args.sweep and not args.smoke
+        assert args.technique is None
+
+    def test_scenarios_choice_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenarios", "--technique", "hope"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "--mode", "psychic"])
+
+    def test_docstring_documents_every_subcommand(self):
+        # Guard against --help drift: each registered subcommand must
+        # appear in the module docstring's usage block.
+        import repro.cli as cli
+
+        sub = build_parser()._subparsers._group_actions[0]
+        for command in sub.choices:
+            assert "python -m repro {}".format(command) in cli.__doc__
+
 
 class TestCommands:
     def test_figures_command_runs_clean(self, capsys):
@@ -80,3 +104,36 @@ class TestCommands:
         assert main(["mc", "--scenario", "fig2-iq", "--max-states", "1"]) == 1
         output = capsys.readouterr().out
         assert "state budget exhausted" in output
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure-invalidate" in output
+        assert "herd-after-flush-invalidate" in output
+        assert "[live,mc]" in output
+
+    def test_scenarios_list_honours_filters(self, capsys):
+        assert main(["scenarios", "--list", "--technique", "clock",
+                     "--transport", "inproc"]) == 0
+        output = capsys.readouterr().out
+        assert "figure-clock" in output
+        assert "wire-threaded-clock" not in output
+        assert "figure-invalidate" not in output
+
+    def test_scenarios_run_both_modes_with_parity(self, capsys, tmp_path):
+        out = tmp_path / "reports.json"
+        assert main(["scenarios", "--run", "figure-invalidate", "--smoke",
+                     "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "[live]" in output and "[mc]" in output
+        assert "parity: live/mc verdicts agree" in output
+
+        import json
+
+        reports = json.loads(out.read_text())
+        assert {r["mode"] for r in reports} == {"live", "mc"}
+        assert all(r["verdict"] == "pass" for r in reports)
+
+    def test_scenarios_without_action_explains_usage(self, capsys):
+        assert main(["scenarios"]) == 2
+        assert "--sweep" in capsys.readouterr().out
