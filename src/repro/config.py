@@ -25,6 +25,13 @@ class KVSConfig:
     #: Default item time-to-live in seconds; ``0`` means "never expires".
     default_ttl: float = 0.0
 
+    #: Number of independently locked hash stripes the store's table is
+    #: split over.  Concurrent operations on keys in different stripes
+    #: never contend.  A store with ``memory_limit_bytes`` set always
+    #: runs a single stripe: LRU eviction needs one global recency order
+    #: to keep its guarantees exact.
+    stripe_count: int = 16
+
 
 @dataclass
 class LeaseConfig:
@@ -43,6 +50,10 @@ class LeaseConfig:
     #: is being invalidated/updated visible to other sessions until commit.
     serve_pending_versions: bool = True
 
+    #: Number of independently locked hash stripes the lease table is
+    #: split over (per-key I/Q state only ever touches its own stripe).
+    stripe_count: int = 16
+
 
 @dataclass
 class BackoffConfig:
@@ -53,6 +64,11 @@ class BackoffConfig:
     max_delay: float = 0.1
     #: Add up to this fraction of the delay as jitter to avoid lockstep.
     jitter: float = 0.5
+    #: Use *full jitter* (AWS style): each delay is drawn uniformly from
+    #: ``[0, d]`` where ``d`` is the exponential envelope, instead of
+    #: ``d`` plus a fractional jitter tail.  Full jitter de-synchronizes
+    #: a thundering herd of retriers far more aggressively.
+    full_jitter: bool = False
     #: Give up (raise :class:`~repro.errors.StarvationError`) after this
     #: many attempts; ``None`` retries forever.
     max_attempts: int = None

@@ -76,16 +76,35 @@ class _KeyLeases:
         return self.i_lease is None and not self.q_holders
 
 
+class _LeaseStripe:
+    """One lock's worth of lease state."""
+
+    __slots__ = ("lock", "keys")
+
+    def __init__(self):
+        self.lock = threading.RLock()
+        self.keys = {}
+
+
 class LeaseTable:
-    """Thread-safe lease bookkeeping for one IQ-Server."""
+    """Thread-safe lease bookkeeping for one IQ-Server.
+
+    Per-key lease state lives in ``config.stripe_count`` hash stripes,
+    each under its own reentrant lock, so lease traffic on unrelated
+    keys never contends.  Token generation is shared (the
+    :class:`TokenGenerator` has its own lock); whole-table operations
+    (:meth:`sweep_expired`, :meth:`clear`, :meth:`outstanding`) visit
+    the stripes in fixed index order.
+    """
 
     def __init__(self, config=None, clock=None, stats=None):
         self.config = config or LeaseConfig()
         self.clock = clock or SystemClock()
         self.stats = stats or CacheStats()
         self._tokens = TokenGenerator()
-        self._keys = {}
-        self._lock = threading.RLock()
+        count = max(1, int(getattr(self.config, "stripe_count", 1) or 1))
+        self._stripes = tuple(_LeaseStripe() for _ in range(count))
+        self._stripe_mask = count - 1 if count & (count - 1) == 0 else None
         #: Callback ``fn(key, session_id)`` invoked when a Q lease expires;
         #: the IQ-Server deletes the key-value pair here.
         self.on_q_expired = None
@@ -101,18 +120,23 @@ class LeaseTable:
 
     # -- internal ------------------------------------------------------------
 
-    def _state(self, key, create=False):
-        state = self._keys.get(key)
+    def _stripe_for(self, key):
+        if self._stripe_mask is not None:
+            return self._stripes[hash(key) & self._stripe_mask]
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    def _state(self, stripe, key, create=False):
+        state = stripe.keys.get(key)
         if state is None and create:
             state = _KeyLeases()
-            self._keys[key] = state
+            stripe.keys[key] = state
         return state
 
-    def _gc(self, key, state):
+    def _gc(self, stripe, key, state):
         if state is not None and state.is_empty():
-            self._keys.pop(key, None)
+            stripe.keys.pop(key, None)
 
-    def _expire_locked(self, key, state):
+    def _expire_locked(self, stripe, key, state):
         """Drop expired leases on ``key``; fire Q-expiry callbacks."""
         if state is None:
             return
@@ -135,7 +159,7 @@ class LeaseTable:
                 self.on_q_expired(key, sid)
         if not state.q_holders:
             state.q_mode = None
-        self._gc(key, state)
+        self._gc(stripe, key, state)
 
     # -- I leases --------------------------------------------------------------
 
@@ -145,12 +169,13 @@ class LeaseTable:
         Returns the lease token, or ``None`` when the reader must back off
         (an I or Q lease already exists -- Figure 5a, row I).
         """
-        with self._lock:
-            state = self._state(key)
-            self._expire_locked(key, state)
-            state = self._state(key, create=True)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
+            self._expire_locked(stripe, key, state)
+            state = self._state(stripe, key, create=True)
             if state.i_lease is not None or state.q_holders:
-                self._gc(key, state)
+                self._gc(stripe, key, state)
                 self.stats.incr("lease_backoffs")
                 if self._tracer.active:
                     self._tracer.emit("lease.i.backoff", key=key,
@@ -168,10 +193,11 @@ class LeaseTable:
 
     def i_valid(self, key, token):
         """True when ``token`` is the live I lease on ``key``."""
-        with self._lock:
-            state = self._state(key)
-            self._expire_locked(key, state)
-            state = self._state(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
+            self._expire_locked(stripe, key, state)
+            state = self._state(stripe, key)
             return (
                 state is not None
                 and state.i_lease is not None
@@ -183,12 +209,13 @@ class LeaseTable:
 
         Returns True (and releases the lease) when the token was live.
         """
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             if not self.i_valid(key, token):
                 return False
-            state = self._state(key)
+            state = self._state(stripe, key)
             state.i_lease = None
-            self._gc(key, state)
+            self._gc(stripe, key, state)
             if self._tracer.active:
                 self._tracer.emit("lease.i.redeem", key=key, token=token,
                                   srv=self.owner)
@@ -196,12 +223,13 @@ class LeaseTable:
 
     def void_i(self, key):
         """Invalidate any I lease on ``key`` (Q grant / delete / eviction)."""
-        with self._lock:
-            state = self._state(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
             if state is not None and state.i_lease is not None:
                 state.i_lease = None
                 self.stats.incr("i_lease_voids")
-                self._gc(key, state)
+                self._gc(stripe, key, state)
                 if self._tracer.active:
                     self._tracer.emit("lease.i.void", key=key,
                                       srv=self.owner)
@@ -216,10 +244,11 @@ class LeaseTable:
         abort, per Figure 5b).  Re-requesting a lease the session already
         holds is granted and refreshes its expiry.
         """
-        with self._lock:
-            state = self._state(key)
-            self._expire_locked(key, state)
-            state = self._state(key, create=True)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
+            self._expire_locked(stripe, key, state)
+            state = self._state(stripe, key, create=True)
             granted_expiry = self.clock.now() + self.config.q_lease_ttl
             if session_id in state.q_holders:
                 state.q_holders[session_id] = granted_expiry
@@ -234,7 +263,7 @@ class LeaseTable:
                     or mode != QMode.SHARED_INVALIDATE
                 )
                 if incompatible:
-                    self._gc(key, state)
+                    self._gc(stripe, key, state)
                     self.stats.incr("q_lease_rejects")
                     if self._tracer.active:
                         self._tracer.emit("lease.q.reject", key=key,
@@ -274,22 +303,24 @@ class LeaseTable:
 
     def q_held_by(self, key, session_id):
         """True when ``session_id`` holds a live Q lease on ``key``."""
-        with self._lock:
-            state = self._state(key)
-            self._expire_locked(key, state)
-            state = self._state(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
+            self._expire_locked(stripe, key, state)
+            state = self._state(stripe, key)
             return state is not None and session_id in state.q_holders
 
     def release_q(self, key, session_id):
         """Release ``session_id``'s Q lease on ``key`` (commit/abort)."""
-        with self._lock:
-            state = self._state(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
             if state is None:
                 return False
             removed = state.q_holders.pop(session_id, None) is not None
             if not state.q_holders:
                 state.q_mode = None
-            self._gc(key, state)
+            self._gc(stripe, key, state)
             if removed and self._tracer.active:
                 self._tracer.emit("lease.q.release", key=key, tid=session_id,
                                   srv=self.owner)
@@ -299,10 +330,11 @@ class LeaseTable:
 
     def leases_on(self, key):
         """Diagnostic snapshot: ``(has_i, q_session_ids)`` for ``key``."""
-        with self._lock:
-            state = self._state(key)
-            self._expire_locked(key, state)
-            state = self._state(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            state = self._state(stripe, key)
+            self._expire_locked(stripe, key, state)
+            state = self._state(stripe, key)
             if state is None:
                 return (False, frozenset())
             return (
@@ -316,18 +348,23 @@ class LeaseTable:
 
     def sweep_expired(self):
         """Eagerly expire every stale lease (tests / maintenance thread)."""
-        with self._lock:
-            for key in list(self._keys):
-                self._expire_locked(key, self._keys.get(key))
+        for stripe in self._stripes:
+            with stripe.lock:
+                for key in list(stripe.keys):
+                    self._expire_locked(stripe, key, stripe.keys.get(key))
 
     def clear(self):
         """Drop every lease without firing expiry callbacks (flush_all)."""
-        with self._lock:
-            self._keys.clear()
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.keys.clear()
 
     def outstanding(self):
         """Number of keys with at least one live lease."""
-        with self._lock:
-            for key in list(self._keys):
-                self._expire_locked(key, self._keys.get(key))
-            return len(self._keys)
+        count = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                for key in list(stripe.keys):
+                    self._expire_locked(stripe, key, stripe.keys.get(key))
+                count += len(stripe.keys)
+        return count

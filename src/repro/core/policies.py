@@ -40,6 +40,7 @@ from repro.errors import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import get_tracer
+from repro.core.singleflight import FillOutcome, SingleFlight
 from repro.util.backoff import ExponentialBackoff
 from repro.util.clock import SystemClock
 
@@ -575,7 +576,7 @@ class ClockClient:
 
     def __init__(self, client, connection_factory, mode=AcquisitionMode.DURING,
                  backoff=None, clock=None, config=None,
-                 degraded_fallback=True):
+                 degraded_fallback=True, coalesce_fills=True):
         from repro.sql.clock import CommitClock
 
         self.client = client
@@ -598,6 +599,14 @@ class ClockClient:
         #: by its own lock (BG drives one client from many threads).
         self._local = {}
         self._local_lock = threading.Lock()
+        #: Per-process miss coalescing: concurrent readers of one key
+        #: share a single fill.  The fence is arithmetic -- a waiter
+        #: consumes the outcome only while its own promised reading
+        #: falls inside the fill's validity interval
+        #: (:meth:`~repro.core.singleflight.FillOutcome.covers`), so a
+        #: clock jump between the fill and the join refuses by
+        #: construction, with no lease bookkeeping.
+        self.flights = SingleFlight() if coalesce_fills else None
         self.metrics = MetricsRegistry()
         self._interval_reads = self.metrics.counter(
             "clock_interval_reads", "reads served inside a validity interval")
@@ -607,6 +616,9 @@ class ClockClient:
         self._interval_misses = self.metrics.counter(
             "clock_interval_misses",
             "reads that computed from SQL (miss or expired interval)")
+        self._coalesced_reads = self.metrics.counter(
+            "clock_coalesced_reads",
+            "reads served from a co-located in-flight fill (interval fence)")
         self._clock_commits = self.metrics.counter(
             "clock_commits", "write commits that jumped the commit clock")
         self._degraded_reads = self.metrics.counter(
@@ -658,45 +670,105 @@ class ClockClient:
                                   start=entry[1], expiry=entry[2],
                                   srv="local")
             return entry[0]
-        extend = until if self.config.dynamic_extension else None
+        if self.flights is not None:
+            flight = self.flights.join(key)
+            if flight is not None:
+                # Park on the in-flight fill (drawing successive delays
+                # from the backoff policy) rather than racing it with a
+                # duplicate cget+compute; an abandoned flight falls
+                # through to the fill path immediately.  A backoff cap
+                # (max_attempts) stops the parking, never the read --
+                # clock reads have their own fill path to fall back to.
+                delays = self.backoff.delays()
+                try:
+                    outcome = flight.wait(next(delays))
+                    while outcome is None and not flight.resolved:
+                        outcome = flight.wait(next(delays))
+                except StarvationError:
+                    outcome = None
+                if outcome is not None and outcome.covers(start):
+                    # Interval fence: the fill is exactly current for
+                    # every clock reading it covers, ours included.
+                    self.flights.note(True)
+                    self._interval_reads.inc()
+                    self._coalesced_reads.inc()
+                    if self._tracer.active:
+                        self._tracer.emit(
+                            "clock.serve", key=key, clock=start,
+                            start=outcome.valid_from,
+                            expiry=outcome.valid_until, srv="flight")
+                    self._local_put(key, outcome.value,
+                                    outcome.valid_from, outcome.valid_until)
+                    return outcome.value
+                self.flights.note(False)
+        return self._read_fill(key, compute, start, until)
+
+    def _read_fill(self, key, compute, start, until):
+        """The ``cget``/compute miss path, published as a flight so
+        co-located readers coalesce onto this fill."""
+        flight = (self.flights.begin(key)
+                  if self.flights is not None else None)
         try:
-            result = self.server.cget(key, start, extend=extend)
-        except CacheUnavailableError as exc:
-            if not self.degraded_fallback:
-                raise DegradedModeActive(
-                    "read of {!r} with cache unavailable: {}".format(key, exc)
-                ) from exc
-            self._degraded_reads.inc()
-            if self._tracer.active:
-                self._tracer.emit("client.degraded.read", key=key)
-            value = compute()
-            if value is not None:
-                # The promise -- not the server -- is what makes the
-                # interval valid, so the client tier keeps absorbing
-                # re-reads even while the shared cache is away.
-                self._local_put(key, value, start, until)
-            return value
-        if result.is_hit:
-            self._interval_reads.inc()
-            self._local_put(key, result.value, result.valid_from,
-                            result.valid_until)
-            return result.value
-        value = compute()
-        self._interval_misses.inc()
-        if value is not None:
-            # The local copy never depends on the shared fill landing:
-            # its validity comes from the promise, not the server.
-            self._local_put(key, value, start, until)
+            extend = until if self.config.dynamic_extension else None
             try:
-                self.server.cset(key, value, start, until)
-            except CacheUnavailableError:
-                # An uninstalled cset is always safe: the reader still
-                # returns its freshly computed value and the next reader
-                # simply recomputes.  No journal entry is needed -- clock
-                # writes never depend on the cache being reachable.
+                result = self.server.cget(key, start, extend=extend)
+            except CacheUnavailableError as exc:
+                if not self.degraded_fallback:
+                    raise DegradedModeActive(
+                        "read of {!r} with cache unavailable: {}"
+                        .format(key, exc)
+                    ) from exc
+                self._degraded_reads.inc()
                 if self._tracer.active:
                     self._tracer.emit("client.degraded.read", key=key)
-        return value
+                value = compute()
+                if value is not None:
+                    # The promise -- not the server -- is what makes the
+                    # interval valid, so the client tier keeps absorbing
+                    # re-reads even while the shared cache is away.  The
+                    # same argument lets waiters coalesce onto a
+                    # degraded fill.
+                    self._local_put(key, value, start, until)
+                    flight = self._publish(key, flight, value, start, until)
+                return value
+            if result.is_hit:
+                self._interval_reads.inc()
+                self._local_put(key, result.value, result.valid_from,
+                                result.valid_until)
+                flight = self._publish(key, flight, result.value,
+                                       result.valid_from, result.valid_until)
+                return result.value
+            value = compute()
+            self._interval_misses.inc()
+            if value is not None:
+                # The local copy never depends on the shared fill landing:
+                # its validity comes from the promise, not the server --
+                # which is also why the flight resolves *before* cset.
+                self._local_put(key, value, start, until)
+                flight = self._publish(key, flight, value, start, until)
+                try:
+                    self.server.cset(key, value, start, until)
+                except CacheUnavailableError:
+                    # An uninstalled cset is always safe: the reader still
+                    # returns its freshly computed value and the next reader
+                    # simply recomputes.  No journal entry is needed -- clock
+                    # writes never depend on the cache being reachable.
+                    if self._tracer.active:
+                        self._tracer.emit("client.degraded.read", key=key)
+            return value
+        finally:
+            # Exception or an empty compute: wake waiters with nothing
+            # so they fall back to the wire path instead of timing out.
+            if flight is not None:
+                self.flights.abandon(key, flight)
+
+    def _publish(self, key, flight, value, valid_from, valid_until):
+        """Resolve ``flight`` with an interval-stamped outcome."""
+        if flight is not None:
+            self.flights.unregister(key, flight)
+            flight.resolve(FillOutcome(value, valid_from=valid_from,
+                                       valid_until=valid_until))
+        return None
 
     def write(self, sql_body, changes):
         """RDBMS transaction + clock-jumping commit; zero cache I/O."""

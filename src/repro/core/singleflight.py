@@ -1,0 +1,154 @@
+"""Per-process miss coalescing (singleflight) for the consistency clients.
+
+The paper's I lease already elects one *filler* per key server-side: a
+concurrent reader is told to back off, and sleep-and-repolls the wire
+until the filler's ``IQset`` lands.  After a ``flush_all`` that repoll
+traffic is a thundering herd -- N readers, one key, N x (round trips +
+backoff sleeps).  Misra et al.'s complementary client-side move is to
+share the one in-flight fill among every co-located reader: waiters
+block on the filler's outcome instead of re-polling.
+
+The safety rule (the *fencing rule*, proved in ``repro.mc`` by the
+``coalesced-*`` scenarios and their unfenced losing variant):
+
+* the filler **unregisters the flight before installing**, so nobody can
+  join after the install -- every waiter's read window opened before the
+  installed value was current;
+* an IQ waiter consumes the outcome **only when the install was applied**
+  (``iq_set`` redeemed a live I lease).  A refused install proves an
+  invalidation -- Q grant, ``delete``, ``flush_all`` -- intervened during
+  the fill; the *filler* may still return its own computed value (its
+  read serializes before the racing writer, Section 3.2), but a waiter
+  may have started *after* that writer committed, so it must retry the
+  wire path instead;
+* a clock waiter consumes the outcome **only while its own promised
+  reading falls inside the fill's validity interval**
+  (``valid_from <= reading < valid_until``) -- interval expiry is
+  arithmetic, so the fence is too.
+
+A :class:`SingleFlight` instance is per client (per process): it never
+talks to the wire and holds its lock only for dictionary bookkeeping.
+"""
+
+import threading
+
+__all__ = ["FillOutcome", "Flight", "SingleFlight"]
+
+
+class FillOutcome:
+    """What a resolved flight produced.
+
+    ``applied`` carries the IQ fence (the install redeemed a live I
+    lease); ``valid_from``/``valid_until`` carry the clock fence (the
+    interval the fill's promise covers).
+    """
+
+    __slots__ = ("value", "applied", "valid_from", "valid_until")
+
+    def __init__(self, value, applied=False, valid_from=None,
+                 valid_until=None):
+        self.value = value
+        self.applied = applied
+        self.valid_from = valid_from
+        self.valid_until = valid_until
+
+    def covers(self, reading):
+        """Clock fence: does this fill's interval cover ``reading``?"""
+        return (self.valid_from is not None
+                and self.valid_until is not None
+                and self.valid_from <= reading < self.valid_until)
+
+    def __repr__(self):
+        return ("FillOutcome(value={!r}, applied={}, interval=[{}, {}))"
+                .format(self.value, self.applied, self.valid_from,
+                        self.valid_until))
+
+
+class Flight:
+    """One in-flight fill; waiters block on :meth:`wait`."""
+
+    __slots__ = ("_event", "outcome")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.outcome = None
+
+    def resolve(self, outcome):
+        """Publish the fill's outcome and wake every waiter."""
+        self.outcome = outcome
+        self._event.set()
+
+    def wait(self, timeout):
+        """Block up to ``timeout`` seconds; the outcome, or ``None``.
+
+        ``None`` covers both a timeout and an abandoned flight (the
+        filler crashed or computed nothing); :attr:`resolved` tells the
+        two apart -- a waiter keeps parking on an unresolved flight but
+        falls back to the wire path once the flight is abandoned.
+        """
+        if self._event.wait(timeout):
+            return self.outcome
+        return None
+
+    @property
+    def resolved(self):
+        """True once the filler resolved (or abandoned) this flight."""
+        return self._event.is_set()
+
+
+class SingleFlight:
+    """Registry of at most one in-flight fill per key."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights = {}
+        #: waiters served from a filler's outcome (fence passed)
+        self.coalesced = 0
+        #: waiters that joined a flight but had to retry (fence refused,
+        #: flight abandoned, or wait timed out)
+        self.refused = 0
+
+    def begin(self, key):
+        """Register a new flight for ``key`` (the caller is the filler).
+
+        Replaces any still-registered prior flight: the replaced
+        filler's eventual ``resolve`` still serves the waiters already
+        holding it.
+        """
+        flight = Flight()
+        with self._lock:
+            self._flights[key] = flight
+        return flight
+
+    def join(self, key):
+        """The registered flight for ``key``, or ``None``."""
+        with self._lock:
+            return self._flights.get(key)
+
+    def unregister(self, key, flight):
+        """Remove ``flight`` from the registry *before* its install.
+
+        Ordering is the point: once unregistered, no new waiter can
+        join, so everyone holding the flight joined before the install
+        -- the half of the fencing rule the registry enforces.
+        """
+        with self._lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+
+    def abandon(self, key, flight):
+        """Unregister and resolve with no outcome (fill failed/empty)."""
+        self.unregister(key, flight)
+        flight.resolve(None)
+
+    def note(self, served):
+        with self._lock:
+            if served:
+                self.coalesced += 1
+            else:
+                self.refused += 1
+
+    def in_flight(self):
+        """Number of registered flights (diagnostics)."""
+        with self._lock:
+            return len(self._flights)

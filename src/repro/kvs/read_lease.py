@@ -67,12 +67,26 @@ class _ReadLease:
         self.expires_at = expires_at
 
 
+class _TokenStripe:
+    """One lock's worth of outstanding read-lease tokens."""
+
+    __slots__ = ("lock", "leases")
+
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.leases = {}
+
+
 class ReadLeaseStore:
     """A :class:`CacheStore` wrapped with Facebook read-lease semantics.
 
     All plain commands pass straight through to the underlying store;
     ``lease_get`` / ``lease_set`` implement the lease protocol, and
     ``delete`` additionally voids the key's outstanding token.
+
+    Outstanding tokens live in ``lease_config.stripe_count`` hash
+    stripes (the wrapped store stripes its own table independently), so
+    lease traffic on unrelated keys never shares a lock.
     """
 
     def __init__(self, config=None, lease_config=None, clock=None):
@@ -80,9 +94,17 @@ class ReadLeaseStore:
         self.store = CacheStore(config or KVSConfig(), clock=self.clock)
         self.lease_config = lease_config or LeaseConfig()
         self._tokens = TokenGenerator()
-        self._leases = {}
-        self._lock = threading.Lock()
+        count = max(
+            1, int(getattr(self.lease_config, "stripe_count", 1) or 1)
+        )
+        self._stripes = tuple(_TokenStripe() for _ in range(count))
+        self._stripe_mask = count - 1 if count & (count - 1) == 0 else None
         self.store.on_entry_removed = self._void_lease
+
+    def _stripe_for(self, key):
+        if self._stripe_mask is not None:
+            return self._stripes[hash(key) & self._stripe_mask]
+        return self._stripes[hash(key) % len(self._stripes)]
 
     # -- lease protocol ------------------------------------------------------
 
@@ -91,14 +113,15 @@ class ReadLeaseStore:
         hit = self.store.get(key)
         if hit is not None:
             return LeaseGetResult(value=hit[0])
-        with self._lock:
-            lease = self._live_lease(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            lease = self._live_lease(stripe, key)
             if lease is not None:
                 self.store.stats.incr("lease_backoffs")
                 return LeaseGetResult(backoff=True)
             token = self._tokens.next()
             expires = self.clock.now() + self.lease_config.i_lease_ttl
-            self._leases[key] = _ReadLease(token, expires)
+            stripe.leases[key] = _ReadLease(token, expires)
             self.store.stats.incr("i_lease_grants")
             return LeaseGetResult(token=token)
 
@@ -109,30 +132,42 @@ class ReadLeaseStore:
         by a delete or expired) causes the set to be silently ignored,
         which is how the original design prevents set-after-delete races.
         """
-        with self._lock:
-            lease = self._live_lease(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            lease = self._live_lease(stripe, key)
             if lease is None or lease.token != token:
                 self.store.stats.incr("ignored_sets")
                 return False
-            del self._leases[key]
+            del stripe.leases[key]
         self.store.set(key, value, flags=flags, ttl=ttl)
         return True
 
-    def _live_lease(self, key):
-        """Caller holds the lock.  Expire and drop a stale lease lazily."""
-        lease = self._leases.get(key)
+    def _live_lease(self, stripe, key):
+        """Caller holds the stripe lock.  Expire a stale lease lazily."""
+        lease = stripe.leases.get(key)
         if lease is None:
             return None
         if self.clock.now() >= lease.expires_at:
-            del self._leases[key]
+            del stripe.leases[key]
             self.store.stats.incr("lease_expirations")
             return None
         return lease
 
+    def lease_outstanding(self, key):
+        """True when a token is outstanding on ``key`` (expired or not).
+
+        Pure introspection for model-checker fingerprints and oracles:
+        no lazy expiry, no stats.
+        """
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            return key in stripe.leases
+
     def _void_lease(self, key):
-        with self._lock:
-            if key in self._leases:
-                del self._leases[key]
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            if key in stripe.leases:
+                del stripe.leases[key]
                 self.store.stats.incr("i_lease_voids")
 
     # -- pass-through commands -------------------------------------------------
@@ -170,8 +205,9 @@ class ReadLeaseStore:
         return self.store.delete(key)
 
     def flush_all(self):
-        with self._lock:
-            self._leases.clear()
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.leases.clear()
         self.store.flush_all()
 
     @property

@@ -1,10 +1,20 @@
 """The cache store: memcached command semantics over a hash table + LRU.
 
 Each public method is one memcached command and executes atomically under
-the store lock, exactly matching the per-command atomicity a memcached
-server provides.  Anything *across* commands -- the read-modify-write of
-Figure 1b, a session's invalidations -- is **not** atomic, which is
-precisely the gap the paper's IQ framework closes.
+its key's stripe lock, exactly matching the per-command atomicity a
+memcached server provides.  Anything *across* commands -- the
+read-modify-write of Figure 1b, a session's invalidations -- is **not**
+atomic, which is precisely the gap the paper's IQ framework closes.
+
+The table is split over ``config.stripe_count`` hash stripes, each with
+its own reentrant lock, hash table, LRU list, and slab accounting, so
+concurrent commands on keys in different stripes never contend.
+Whole-store operations (``flush_all``, :meth:`locked`) acquire every
+stripe in fixed index order -- the one global ordering that makes the
+all-stripes path deadlock-free against itself and reentrant against the
+per-key path.  A store with ``memory_limit_bytes`` set collapses to a
+single stripe: LRU eviction keeps one exact global recency order
+instead of approximating it with per-stripe budgets.
 """
 
 import enum
@@ -65,6 +75,52 @@ class ClockGetResult:
         )
 
 
+class _Stripe:
+    """One lock's worth of store state: table + LRU + slab accounting.
+
+    CAS identifiers are per stripe; a key never changes stripes, so the
+    memcached contract (every mutation of a key yields a fresh cas id,
+    compare-and-swap detects any interleaved change) holds exactly.
+    """
+
+    __slots__ = ("lock", "table", "lru", "slabs", "memory_used",
+                 "cas_counter")
+
+    def __init__(self, max_chunk):
+        self.lock = threading.RLock()
+        self.table = {}
+        self.lru = LRUList()
+        self.slabs = SlabClassTable(max_chunk=max_chunk)
+        self.memory_used = 0
+        self.cas_counter = 0
+
+
+class _AllStripes:
+    """Reentrant whole-store lock: every stripe, in fixed index order."""
+
+    __slots__ = ("_stripes",)
+
+    def __init__(self, stripes):
+        self._stripes = stripes
+
+    def __enter__(self):
+        for stripe in self._stripes:
+            stripe.lock.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        for stripe in reversed(self._stripes):
+            stripe.lock.release()
+        return False
+
+    # threading.RLock duck-typing for callers that acquire explicitly.
+    def acquire(self):
+        self.__enter__()
+
+    def release(self):
+        self.__exit__(None, None, None)
+
+
 class CacheStore:
     """Thread-safe in-memory cache with Twemcache semantics.
 
@@ -78,13 +134,17 @@ class CacheStore:
     def __init__(self, config=None, clock=None, stats=None):
         self.config = config or KVSConfig()
         self.clock = clock or SystemClock()
+        #: One :class:`CacheStats` shared by every stripe -- its counters
+        #: are registry-backed and individually thread-safe, so per-stripe
+        #: numbers merge by construction instead of by a read-time view.
         self.stats = stats or CacheStats()
-        self._lock = threading.RLock()
-        self._table = {}
-        self._lru = LRUList()
-        self._slabs = SlabClassTable(max_chunk=self.config.max_item_bytes + 512)
-        self._memory_used = 0
-        self._cas_counter = 0
+        max_chunk = self.config.max_item_bytes + 512
+        count = max(1, int(getattr(self.config, "stripe_count", 1) or 1))
+        if self.config.memory_limit_bytes is not None:
+            count = 1
+        self._stripes = tuple(_Stripe(max_chunk) for _ in range(count))
+        self._stripe_mask = count - 1 if count & (count - 1) == 0 else None
+        self._all = _AllStripes(self._stripes)
         #: Called with the evicted/expired entry; the IQ server hooks this
         #: to drop leases attached to keys that vanish underneath them.
         self.on_entry_removed = None
@@ -98,6 +158,16 @@ class CacheStore:
         #: attribute check per command.
         self.fault_injector = None
         self._tracer = get_tracer()
+
+    @property
+    def stripe_count(self):
+        """Number of lock stripes actually in effect."""
+        return len(self._stripes)
+
+    def _stripe_for(self, key):
+        if self._stripe_mask is not None:
+            return self._stripes[hash(key) & self._stripe_mask]
+        return self._stripes[hash(key) % len(self._stripes)]
 
     # -- validation --------------------------------------------------------
 
@@ -122,11 +192,11 @@ class CacheStore:
                 )
             )
 
-    # -- internal helpers (caller holds the lock) ---------------------------
+    # -- internal helpers (caller holds the stripe lock) ---------------------
 
-    def _next_cas(self):
-        self._cas_counter += 1
-        return self._cas_counter
+    def _next_cas(self, stripe):
+        stripe.cas_counter += 1
+        return stripe.cas_counter
 
     def _expiry_for(self, ttl):
         if ttl is None:
@@ -135,13 +205,13 @@ class CacheStore:
             return 0.0
         return self.clock.now() + ttl
 
-    def _lookup_live(self, key):
+    def _lookup_live(self, stripe, key):
         """Return the live entry for ``key``, expiring it lazily if stale."""
-        entry = self._table.get(key)
+        entry = stripe.table.get(key)
         if entry is None:
             return None
         if entry.is_expired(self.clock.now()):
-            self._unlink(entry)
+            self._unlink(stripe, entry)
             self.stats.incr("expirations")
             if self._tracer.active:
                 self._tracer.emit("store.expire", key=entry.key)
@@ -149,10 +219,10 @@ class CacheStore:
             return None
         return entry
 
-    def _unlink(self, entry):
-        del self._table[entry.key]
-        self._lru.remove(entry)
-        self._memory_used -= self._slabs.release(entry.size())
+    def _unlink(self, stripe, entry):
+        del stripe.table[entry.key]
+        stripe.lru.remove(entry)
+        stripe.memory_used -= stripe.slabs.release(entry.size())
 
     def _notify_removed(self, entry):
         if self.on_entry_removed is not None:
@@ -162,18 +232,19 @@ class CacheStore:
         if self.on_entry_stored is not None:
             self.on_entry_stored(entry.key, entry.value)
 
-    def _insert(self, entry):
-        chunk = self._slabs.chunk_size_for(entry.size())
-        self._ensure_room(chunk)
-        self._table[entry.key] = entry
-        self._lru.push_front(entry)
-        self._memory_used += self._slabs.charge(entry.size())
+    def _insert(self, stripe, entry):
+        chunk = stripe.slabs.chunk_size_for(entry.size())
+        self._ensure_room(stripe, chunk)
+        stripe.table[entry.key] = entry
+        stripe.lru.push_front(entry)
+        stripe.memory_used += stripe.slabs.charge(entry.size())
         self.stats.incr("total_items")
         self._notify_stored(entry)
 
-    def _replace_value(self, entry, value, flags=None, expires_at=None):
+    def _replace_value(self, stripe, entry, value, flags=None,
+                       expires_at=None):
         """Swap an existing entry's value in place, re-accounting memory."""
-        self._memory_used -= self._slabs.release(entry.size())
+        stripe.memory_used -= stripe.slabs.release(entry.size())
         entry.value = value
         if flags is not None:
             entry.flags = flags
@@ -183,20 +254,20 @@ class CacheStore:
         # described the *old* value.  ``cset`` re-stamps after this.
         entry.valid_from = None
         entry.valid_until = None
-        entry.cas_id = self._next_cas()
-        chunk = self._slabs.chunk_size_for(entry.size())
-        self._ensure_room(chunk, exclude=entry)
-        self._memory_used += self._slabs.charge(entry.size())
-        self._lru.touch(entry)
+        entry.cas_id = self._next_cas(stripe)
+        chunk = stripe.slabs.chunk_size_for(entry.size())
+        self._ensure_room(stripe, chunk, exclude=entry)
+        stripe.memory_used += stripe.slabs.charge(entry.size())
+        stripe.lru.touch(entry)
         self._notify_stored(entry)
 
-    def _ensure_room(self, chunk_bytes, exclude=None):
+    def _ensure_room(self, stripe, chunk_bytes, exclude=None):
         limit = self.config.memory_limit_bytes
         if limit is None:
             return
-        while self._memory_used + chunk_bytes > limit:
+        while stripe.memory_used + chunk_bytes > limit:
             victim = None
-            for candidate in self._lru.items_lru_first():
+            for candidate in stripe.lru.items_lru_first():
                 if candidate is not exclude:
                     victim = candidate
                     break
@@ -206,7 +277,7 @@ class CacheStore:
                         chunk_bytes, limit
                     )
                 )
-            self._unlink(victim)
+            self._unlink(stripe, victim)
             self.stats.incr("evictions")
             if self._tracer.active:
                 self._tracer.emit("store.evict", key=victim.key)
@@ -219,26 +290,28 @@ class CacheStore:
         self._check_key(key)
         if self.fault_injector is not None:
             self.fault_injector.perform("store.get", key=key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_get")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 self.stats.incr("get_misses")
                 return None
-            self._lru.touch(entry)
+            stripe.lru.touch(entry)
             self.stats.incr("get_hits")
             return entry.value, entry.flags
 
     def gets(self, key):
         """``gets``: return ``(value, flags, cas_id)`` or ``None``."""
         self._check_key(key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_get")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 self.stats.incr("get_misses")
                 return None
-            self._lru.touch(entry)
+            stripe.lru.touch(entry)
             self.stats.incr("get_hits")
             return entry.value, entry.flags, entry.cas_id
 
@@ -257,13 +330,14 @@ class CacheStore:
         self._check_key(key)
         if self.fault_injector is not None:
             self.fault_injector.perform("store.get", key=key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_cget")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None or entry.valid_until is None:
                 return ClockGetResult()
             if entry.interval_expired(clock_now):
-                self._unlink(entry)
+                self._unlink(stripe, entry)
                 self.stats.incr("interval_expiries")
                 if self._tracer.active:
                     self._tracer.emit("store.interval_expire", key=key,
@@ -276,7 +350,7 @@ class CacheStore:
                 entry.valid_until = extend
                 self.stats.incr("interval_extensions")
                 extended = True
-            self._lru.touch(entry)
+            stripe.lru.touch(entry)
             self.stats.incr("interval_hits")
             return ClockGetResult(
                 entry.value, entry.flags, entry.valid_from,
@@ -300,17 +374,18 @@ class CacheStore:
         self._check_value(value)
         if self.fault_injector is not None:
             self.fault_injector.perform("store.set", key=key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             expires_at = self._expiry_for(ttl)
             if entry is None:
                 new_entry = CacheEntry(
-                    key, value, flags, expires_at, self._next_cas()
+                    key, value, flags, expires_at, self._next_cas(stripe)
                 )
-                self._insert(new_entry)
+                self._insert(stripe, new_entry)
             else:
-                self._replace_value(entry, value, flags, expires_at)
+                self._replace_value(stripe, entry, value, flags, expires_at)
             if self._tracer.active:
                 self._tracer.emit("store.set", key=key, bytes=len(value))
             return StoreResult.STORED
@@ -330,12 +405,13 @@ class CacheStore:
         self._check_value(value)
         if self.fault_injector is not None:
             self.fault_injector.perform("store.set", key=key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_cset")
             if valid_until <= valid_from:
                 self.stats.incr("interval_ignored_sets")
                 return StoreResult.NOT_STORED
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if (entry is not None and entry.valid_until is not None
                     and entry.valid_until >= valid_until):
                 self.stats.incr("interval_ignored_sets")
@@ -343,10 +419,10 @@ class CacheStore:
             expires_at = self._expiry_for(ttl)
             if entry is None:
                 entry = CacheEntry(key, value, flags, expires_at,
-                                   self._next_cas())
-                self._insert(entry)
+                                   self._next_cas(stripe))
+                self._insert(stripe, entry)
             else:
-                self._replace_value(entry, value, flags, expires_at)
+                self._replace_value(stripe, entry, value, flags, expires_at)
             entry.valid_from = valid_from
             entry.valid_until = valid_until
             if self._tracer.active:
@@ -358,55 +434,60 @@ class CacheStore:
         """``add``: store only if the key does not already hold a value."""
         self._check_key(key)
         self._check_value(value)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            if self._lookup_live(key) is not None:
+            if self._lookup_live(stripe, key) is not None:
                 return StoreResult.NOT_STORED
             entry = CacheEntry(key, value, flags, self._expiry_for(ttl),
-                               self._next_cas())
-            self._insert(entry)
+                               self._next_cas(stripe))
+            self._insert(stripe, entry)
             return StoreResult.STORED
 
     def replace(self, key, value, flags=0, ttl=None):
         """``replace``: store only if the key already holds a value."""
         self._check_key(key)
         self._check_value(value)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 return StoreResult.NOT_STORED
-            self._replace_value(entry, value, flags, self._expiry_for(ttl))
+            self._replace_value(stripe, entry, value, flags,
+                                self._expiry_for(ttl))
             return StoreResult.STORED
 
     def append(self, key, suffix):
         """``append``: concatenate ``suffix`` after the existing value."""
         self._check_key(key)
         self._check_value(suffix)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 return StoreResult.NOT_STORED
             new_value = entry.value + suffix
             if len(new_value) > self.config.max_item_bytes:
                 raise ValueTooLargeError("append would exceed item size limit")
-            self._replace_value(entry, new_value)
+            self._replace_value(stripe, entry, new_value)
             return StoreResult.STORED
 
     def prepend(self, key, prefix):
         """``prepend``: concatenate ``prefix`` before the existing value."""
         self._check_key(key)
         self._check_value(prefix)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 return StoreResult.NOT_STORED
             new_value = prefix + entry.value
             if len(new_value) > self.config.max_item_bytes:
                 raise ValueTooLargeError("prepend would exceed item size limit")
-            self._replace_value(entry, new_value)
+            self._replace_value(stripe, entry, new_value)
             return StoreResult.STORED
 
     def cas(self, key, value, cas_id, flags=0, ttl=None):
@@ -418,16 +499,18 @@ class CacheStore:
         """
         self._check_key(key)
         self._check_value(value)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             self.stats.incr("cmd_set")
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 self.stats.incr("cas_misses")
                 return StoreResult.NOT_FOUND
             if entry.cas_id != cas_id:
                 self.stats.incr("cas_badval")
                 return StoreResult.EXISTS
-            self._replace_value(entry, value, flags, self._expiry_for(ttl))
+            self._replace_value(stripe, entry, value, flags,
+                                self._expiry_for(ttl))
             self.stats.incr("cas_hits")
             return StoreResult.STORED
 
@@ -438,12 +521,13 @@ class CacheStore:
         self._check_key(key)
         if self.fault_injector is not None:
             self.fault_injector.perform("store.delete", key=key)
-        with self._lock:
-            entry = self._lookup_live(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 self.stats.incr("delete_misses")
                 return False
-            self._unlink(entry)
+            self._unlink(stripe, entry)
             self.stats.incr("delete_hits")
             if self._tracer.active:
                 self._tracer.emit("store.delete", key=key)
@@ -452,9 +536,10 @@ class CacheStore:
 
     def _arith(self, key, delta, sign):
         self._check_key(key)
-        with self._lock:
+        stripe = self._stripe_for(key)
+        with stripe.lock:
             counter = "incr" if sign > 0 else "decr"
-            entry = self._lookup_live(key)
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 self.stats.incr(counter + "_misses")
                 return None
@@ -471,7 +556,7 @@ class CacheStore:
             else:
                 # memcached clamps decrements at zero rather than wrapping.
                 new = max(0, current - delta)
-            self._replace_value(entry, str(new).encode("ascii"))
+            self._replace_value(stripe, entry, str(new).encode("ascii"))
             self.stats.incr(counter + "_hits")
             return new
 
@@ -490,53 +575,64 @@ class CacheStore:
     def touch(self, key, ttl):
         """``touch``: update an entry's TTL without reading its value."""
         self._check_key(key)
-        with self._lock:
-            entry = self._lookup_live(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            entry = self._lookup_live(stripe, key)
             if entry is None:
                 return False
             entry.expires_at = self._expiry_for(ttl)
-            self._lru.touch(entry)
+            stripe.lru.touch(entry)
             return True
 
     def flush_all(self):
-        """``flush_all``: drop every entry."""
-        with self._lock:
-            entries = list(self._table.values())
-            for entry in entries:
-                self._unlink(entry)
+        """``flush_all``: drop every entry, atomically across stripes."""
+        with self._all:
+            entries = []
+            for stripe in self._stripes:
+                stripe_entries = list(stripe.table.values())
+                for entry in stripe_entries:
+                    self._unlink(stripe, entry)
+                entries.extend(stripe_entries)
             for entry in entries:
                 self._notify_removed(entry)
 
     # -- introspection --------------------------------------------------------
 
     def locked(self):
-        """The store's reentrant mutation lock, for atomic multi-command use.
+        """A reentrant whole-store lock, for atomic multi-command use.
 
-        Mutation hooks (:attr:`on_entry_stored` / :attr:`on_entry_removed`)
-        fire while this lock is held, so a mirror can install its hooks
-        and copy the current contents under one acquisition with no gap
-        a racing write or delete could slip through.
+        Acquires every stripe in fixed index order.  Mutation hooks
+        (:attr:`on_entry_stored` / :attr:`on_entry_removed`) fire while
+        the affected key's stripe lock is held, so a mirror can install
+        its hooks and copy the current contents under one acquisition
+        with no gap a racing write or delete could slip through.
         """
-        return self._lock
+        return self._all
 
     def __len__(self):
-        with self._lock:
-            return len(self._table)
+        with self._all:
+            return sum(len(stripe.table) for stripe in self._stripes)
 
     def __contains__(self, key):
-        with self._lock:
-            return self._lookup_live(key) is not None
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            return self._lookup_live(stripe, key) is not None
 
     def memory_used(self):
         """Chunk bytes currently charged against the budget."""
-        with self._lock:
-            return self._memory_used
+        with self._all:
+            return sum(stripe.memory_used for stripe in self._stripes)
 
     def keys(self):
         """Snapshot of live keys (test/diagnostic helper)."""
-        with self._lock:
+        with self._all:
             now = self.clock.now()
-            return [k for k, e in self._table.items() if not e.is_expired(now)]
+            return [
+                k
+                for stripe in self._stripes
+                for k, e in stripe.table.items()
+                if not e.is_expired(now)
+            ]
 
     def interval_of(self, key):
         """The live entry's ``(valid_from, valid_until)`` stamp, or ``None``.
@@ -547,8 +643,9 @@ class CacheStore:
         no lazy expiry.
         """
         self._check_key(key)
-        with self._lock:
-            entry = self._table.get(key)
+        stripe = self._stripe_for(key)
+        with stripe.lock:
+            entry = stripe.table.get(key)
             if entry is None or entry.is_expired(self.clock.now()):
                 return None
             if entry.valid_until is None:

@@ -26,6 +26,7 @@ original bug.
 
 from repro.mc.sessions import (
     baseline_cas_writer,
+    coalesced_iq_reader,
     baseline_delta_writer,
     baseline_dirty_refresher,
     baseline_reader,
@@ -54,6 +55,7 @@ __all__ = [
     "Scenario",
     "default_final_checks",
     "clock_final_checks",
+    "coalesced_final_checks",
     "get_scenario",
     "scenario_names",
     "SCENARIOS",
@@ -142,6 +144,41 @@ def clock_final_checks(world, runs):
                     program, value, key, sorted(history)
                 )
             )
+    return messages
+
+
+def coalesced_final_checks(world, runs):
+    """Default oracles plus the coalesced-read freshness check.
+
+    A coalesced serve hands one filler's computed value to co-located
+    waiters without touching the server, so a stale hand-off leaves no
+    trace in the store (stale-final is blind to it) and the value *was*
+    committed at some point (dirty-read is blind too).  The ``expect``
+    observation a coalesced reader records at its first step -- the
+    committed value, snapshotted only when no write session was pending
+    on the key -- supplies the missing baseline: every value that read
+    is later served from the cache must be the expected value or a
+    newer committed one.  The scenarios below change each key once, so
+    "newer committed" is exactly the final committed value and the
+    check is exact.
+    """
+    messages = default_final_checks(world, runs)
+    sql = world.sql_contents()
+    for program in sorted(world.observations):
+        expected = {}
+        for kind, key, value in world.observations[program]:
+            if kind == "expect":
+                expected[key] = str(value)
+            elif kind == "cache" and key in expected:
+                served = str(value)
+                if served != expected[key] and served != str(sql[key]):
+                    messages.append(
+                        "coalesced-stale: {} began after {!r} was "
+                        "committed for {} yet was served {!r} (final "
+                        "committed {!r})".format(
+                            program, expected[key], key, value, sql[key]
+                        )
+                    )
     return messages
 
 
@@ -479,6 +516,69 @@ def _qareg_invalidate(batched):
             writer("W", {"k0": "val + 100", "k1": "val + 100"}, attempts=2),
             iq_delta_writer("d", [("k1", "incr", 3)], attempts=2),
             iq_reader("r", "k0", attempts=3),
+        ]
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# client-side miss coalescing (singleflight): fenced vs unfenced waiters
+# ---------------------------------------------------------------------------
+
+def _coalesced_fill(serve_pending):
+    """Two co-located coalescing readers racing an invalidate writer.
+
+    Both readers share one flight registry, so either may serve the
+    other's fill without a wire round trip; the applied fence must keep
+    every interleaving clean, including the figure windows (eager delete
+    with ``serve_pending=False``, the deferred-delete rearrangement
+    window with ``True``).  The cache starts cold so fills -- and hence
+    flights -- actually happen.
+    """
+
+    def build():
+        world = World(keys=("k0",), backend="iq",
+                      serve_pending=serve_pending)
+        world.seed_db_only("k0", 0)
+        flights = {}
+        return world, [
+            iq_invalidate_writer("W", {"k0": "1"}, attempts=2),
+            coalesced_iq_reader("F", "k0", flights, fenced=True,
+                                attempts=3, expect=True),
+            coalesced_iq_reader("R", "k0", flights, fenced=True,
+                                attempts=3, expect=True),
+        ]
+
+    return build
+
+
+def _coalesced_witness(fenced):
+    """The hand-off race the applied fence exists for.
+
+    Filler F computes the pre-commit value under an I lease and leaves
+    its flight registered across the fill window; writer W's Q lease
+    voids that I lease, commits, and deletes; plain reader G then takes
+    a fresh I lease, which forces late-starting reader R into back-off
+    -- where R joins F's still-registered flight.  F's install is
+    refused (``applied=False``).  An *unfenced* R consumes F's value
+    anyway: a read that began after W's session fully ended is served
+    the pre-write value.  Neither classic oracle can see it -- the
+    value was once committed and never reaches the store -- which is
+    what the ``expect`` baseline is for.  The fenced twin must explore
+    clean over the identical program set.
+    """
+
+    def build():
+        world = World(keys=("k0",), backend="iq", serve_pending=False)
+        world.seed_db_only("k0", 0)
+        flights = {}
+        return world, [
+            iq_invalidate_writer("W", {"k0": "1"}, attempts=1),
+            coalesced_iq_reader("F", "k0", flights, fenced=fenced,
+                                attempts=2),
+            iq_reader("G", "k0", attempts=2),
+            coalesced_iq_reader("R", "k0", flights, fenced=fenced,
+                                attempts=2, expect=True),
         ]
 
     return build
@@ -893,6 +993,40 @@ _register(Scenario(
     description="The sequential twin of qareg-batched: per-key qar steps "
                 "with an interleaving point between the keys",
     tags=("pr5", "iq", "batch"),
+))
+
+_register(Scenario(
+    "coalesced-fill-fig3", _coalesced_fill(False),
+    check_final=coalesced_final_checks,
+    description="Two co-located coalescing readers share a flight "
+                "registry against an invalidate writer (eager delete): "
+                "the applied fence keeps every hand-off fresh",
+    tags=("coalesce", "iq"),
+))
+_register(Scenario(
+    "coalesced-fill-fig4", _coalesced_fill(True),
+    check_final=coalesced_final_checks,
+    description="The same coalescing readers inside the deferred-delete "
+                "rearrangement window (pending versions served): still "
+                "no stale hand-off",
+    tags=("coalesce", "iq"),
+))
+_register(Scenario(
+    "coalesced-fenced-guard", _coalesced_witness(True),
+    check_final=coalesced_final_checks,
+    description="The 4-session hand-off race with the applied fence ON: "
+                "a waiter joining a doomed filler's flight refuses the "
+                "refused-install outcome and retries clean",
+    tags=("coalesce", "iq"),
+))
+_register(Scenario(
+    "coalesced-unfenced", _coalesced_witness(False),
+    check_final=coalesced_final_checks, expect_violation=True,
+    description="Rejected variant: a waiter consuming a flight outcome "
+                "without the applied fence is served the pre-write value "
+                "after the writer's session ended -- invisible to the "
+                "store, caught by the expect baseline",
+    tags=("coalesce", "iq"),
 ))
 
 _register(Scenario(

@@ -37,6 +37,7 @@ from repro.mc.program import MCProgram, Op
 
 __all__ = [
     "iq_reader",
+    "coalesced_iq_reader",
     "iq_refresh_writer",
     "iq_invalidate_writer",
     "iq_batch_invalidate_writer",
@@ -123,6 +124,122 @@ def iq_reader(name, key, attempts=3):
                 installed = backend.iq_set(key, _encode(value), token)
             except CacheUnavailableError:
                 return "degraded"
+            if installed:
+                world.observe(name, "fill", key, value)
+            return "filled" if installed else "fill-ignored"
+        return "starved"
+
+    return MCProgram(name, factory)
+
+
+def coalesced_iq_reader(name, key, flights, fenced=True, attempts=3,
+                        wait_steps=2, expect=False):
+    """IQ read with client-side miss coalescing (the singleflight path).
+
+    ``flights`` is the co-located clients' shared flight registry (one
+    plain dict per scenario, created by the scenario's ``build``).  The
+    model mirrors :class:`repro.core.singleflight.SingleFlight` at
+    exactly the granularity the fencing proof needs:
+
+    * the filler *registers* its flight in a step separate from the fill
+      query, and *unregisters* in a step separate from the install --
+      ``join < unregister < install`` is the ordering the applied-fence
+      argument rests on, so those transitions must be independently
+      schedulable;
+    * install and resolve collapse into one step (the real client
+      resolves right after ``iqset`` returns, with no wire operation in
+      between; coarsening adjacent local actions is sound);
+    * a waiter joins at its back-off step (the real client consults the
+      registry where it would otherwise sleep) and then polls the
+      flight in announced ``flight-wait`` steps, consuming the outcome
+      only when ``fenced`` is off or the fill was *applied* (a live I
+      lease at install time).  The deliberately unfenced variant
+      consumes any resolved outcome -- the losing schedule the checker
+      must find.
+
+    Registration and resolution are mirrored into ``world.flags``
+    (``flight:<key>`` while registered, ``flight-outcome:<name>`` once
+    resolved) so explorer fingerprints distinguish states that differ
+    only in flight state; the pending fill value itself is covered by
+    the ``query`` observation, exactly as in :func:`iq_reader`.
+
+    With ``expect=True`` the program's first step snapshots the
+    committed value -- the freshness baseline for the
+    ``coalesced-stale`` oracle
+    (:func:`repro.mc.scenarios.coalesced_final_checks`).  The snapshot
+    is recorded only when no Q lease is outstanding on ``key``: a
+    pending write session means this read may legally serialize before
+    the writer (Figure 4's rearrangement window), so only reads that
+    began *after* the writer's session fully ended carry the obligation
+    to observe its value.
+    """
+
+    def factory(world):
+        backend = world.backend
+        if expect:
+            yield Op("{}:expect".format(name), kvs=[key], sql=True)
+            _has_i, q_holders = backend.leases.leases_on(key)
+            if not q_holders:
+                world.observe(name, "expect", key,
+                              world.query_committed(key))
+        for _ in range(attempts):
+            yield Op("{}:get".format(name), kvs=[key])
+            try:
+                result = backend.iq_get(key)
+            except CacheUnavailableError:
+                yield Op("{}:db-read".format(name), sql=True)
+                world.observe(name, "db", key, world.query_committed(key))
+                return "degraded"
+            if result.is_hit:
+                world.observe(name, "cache", key, result.value)
+                return "hit"
+            if result.backoff:
+                flight = flights.get(key)
+                if flight is None:
+                    continue
+                outcome = None
+                for _ in range(wait_steps):
+                    yield Op("{}:flight-wait".format(name), kvs=[key])
+                    if flight["done"]:
+                        outcome = flight["outcome"]
+                        break
+                if outcome is None:
+                    continue  # timed out, or the filler abandoned
+                value, applied = outcome
+                if fenced and not applied:
+                    # Refused install: an invalidation crossed the fill
+                    # window, so the flight's value may predate a commit
+                    # this read must observe.  Retry through the server.
+                    continue
+                world.observe(name, "cache", key, value)
+                return "coalesced"
+            token = result.token
+            # Filler: every branch below returns, so a program registers
+            # at most one flight per run -- its name is a unique id.
+            flight = {"done": False, "outcome": None}
+            yield Op("{}:flight-begin".format(name), kvs=[key])
+            flights[key] = flight
+            world.flags["flight:{}".format(key)] = name
+            yield Op("{}:fill-query".format(name), sql=True)
+            value = world.query_committed(key)
+            world.observe(name, "query", key, value)
+            yield Op("{}:flight-close".format(name), kvs=[key])
+            if flights.get(key) is flight:
+                del flights[key]
+            if world.flags.get("flight:{}".format(key)) == name:
+                del world.flags["flight:{}".format(key)]
+            yield Op("{}:fill-set".format(name), kvs=[key])
+            try:
+                installed = backend.iq_set(key, _encode(value), token)
+            except CacheUnavailableError:
+                flight["done"] = True
+                world.flags["flight-outcome:{}".format(name)] = "abandoned"
+                return "degraded"
+            flight["outcome"] = (value, installed)
+            flight["done"] = True
+            world.flags["flight-outcome:{}".format(name)] = "{}:{}".format(
+                value, "applied" if installed else "refused"
+            )
             if installed:
                 world.observe(name, "fill", key, value)
             return "filled" if installed else "fill-ignored"

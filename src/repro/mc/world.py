@@ -465,10 +465,10 @@ class World:
     def _lease_snapshot(self):
         snapshot = []
         if self.kind == "baseline":
-            with self.backend._lock:
-                for key in self.keys:
-                    lease = self.backend._leases.get(key)
-                    snapshot.append((key, lease is not None, ()))
+            for key in self.keys:
+                snapshot.append(
+                    (key, self.backend.lease_outstanding(key), ())
+                )
             return tuple(snapshot)
         self._sync_shard_tid_aliases()
         for server_name in sorted(self.servers):

@@ -199,7 +199,11 @@ class LineReader:
                 break
             self._check_limit(len(self._buffer) - self._pos)
             self._fill()
-        line = bytes(self._buffer[self._pos:end])
+        # Slice out through a memoryview: one copy into the result,
+        # where a bytearray slice would copy twice (slice, then bytes).
+        # The view is a same-expression temporary, released before any
+        # buffer mutation (an exported view pins a bytearray's size).
+        line = bytes(memoryview(self._buffer)[self._pos:end])
         self._pos = end + len(CRLF)
         self._compact()
         return line
@@ -213,8 +217,11 @@ class LineReader:
         while len(self._buffer) - self._pos < count + len(CRLF):
             self._fill()
         start = self._pos
-        data = bytes(self._buffer[start:start + count])
-        if self._buffer[start + count:start + count + len(CRLF)] != CRLF:
+        data = bytes(memoryview(self._buffer)[start:start + count])
+        # Indexing a bytearray yields ints -- the terminator check costs
+        # no allocation at all (CRLF is 0x0d 0x0a).
+        if (self._buffer[start + count] != 0x0D
+                or self._buffer[start + count + 1] != 0x0A):
             raise ProtocolError("data block not terminated by CRLF")
         self._pos = start + count + len(CRLF)
         self._compact()
@@ -296,13 +303,23 @@ def data_block_size(command, args):
     return size
 
 
+def value_block(key, value, flags=0, cas_id=None):
+    """A ``VALUE``...``END`` retrieval block *without* the trailing CRLF.
+
+    One %-formatted buffer (PEP 461) instead of a format/encode/concat
+    chain; the dispatcher appends the per-reply CRLF itself, so this is
+    the shape its handlers want.
+    """
+    if cas_id is None:
+        return b"VALUE %s %d %d\r\n%s\r\nEND" % (
+            key.encode(), flags, len(value), value)
+    return b"VALUE %s %d %d %d\r\n%s\r\nEND" % (
+        key.encode(), flags, len(value), cas_id, value)
+
+
 def value_response(key, value, flags=0, cas_id=None):
     """Build a ``VALUE``...``END`` retrieval response."""
-    if cas_id is None:
-        header = "VALUE {} {} {}".format(key, flags, len(value))
-    else:
-        header = "VALUE {} {} {} {}".format(key, flags, len(value), cas_id)
-    return header.encode() + CRLF + value + CRLF + b"END" + CRLF
+    return value_block(key, value, flags=flags, cas_id=cas_id) + CRLF
 
 
 def simple_response(word):

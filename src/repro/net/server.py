@@ -148,7 +148,8 @@ class _Handler(socketserver.BaseRequestHandler):
         self._out = bytearray()
         self._batch = 0
         try:
-            self.request.sendall(bytes(out))
+            # sendall takes any buffer; no need to copy the bytearray.
+            self.request.sendall(out)
         except OSError:
             return False
         if batch > 1:

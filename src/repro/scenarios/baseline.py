@@ -1,9 +1,11 @@
 """Re-measure the committed ``BENCH_*.json`` headline numbers.
 
-The repo commits two baseline files whose headline claims the docs
-quote: ``BENCH_pipeline.json`` (wire-read pipelining and parallel
-commit fan-out speedups) and ``BENCH_clock.json`` (the precise-clock
-read speedup over invalidate).  ``diff_baselines`` re-runs the same
+The repo commits baseline files whose headline claims the docs quote:
+``BENCH_pipeline.json`` (wire-read pipelining and parallel commit
+fan-out speedups), ``BENCH_clock.json`` (the precise-clock read
+speedup over invalidate), and ``BENCH_hotpath.json`` (lock striping,
+miss coalescing, and the trimmed wire path).  ``diff_baselines``
+re-runs the same
 experiments *scaled down*, then compares every headline through an
 explicit :class:`~repro.scenarios.report.Band`:
 
@@ -83,6 +85,14 @@ _CLOCK_SCALE = {
     "smoke": dict(threads=4, ops_per_thread=120, warmup_ops=10, members=60),
     "sweep": dict(threads=6, ops_per_thread=250, warmup_ops=15, members=90),
 }
+_HOTPATH_SCALE = {
+    "smoke": dict(thread_counts=(4, 16), store_duration=0.25,
+                  herd_readers=8, herd_rounds=1, herd_fill_ms=15,
+                  wire_duration=0.6, wire_repeats=1),
+    "sweep": dict(thread_counts=(4, 16, 64), store_duration=0.4,
+                  herd_readers=12, herd_rounds=2, herd_fill_ms=20,
+                  wire_duration=1.0, wire_repeats=2),
+}
 
 
 def _measure_pipeline(tier):
@@ -95,6 +105,11 @@ def _measure_clock(tier):
     return bench.run_experiment(
         transports=("threaded",), **_CLOCK_SCALE[tier]
     )
+
+
+def _measure_hotpath(tier):
+    bench = _import_bench("bench_hotpath")
+    return bench.run_experiment(**_HOTPATH_SCALE[tier])
 
 
 class Headline:
@@ -145,6 +160,21 @@ HEADLINES = (
                  tolerance=0.60),
         ),
         measure=_measure_clock,
+    ),
+    Headline(
+        "hotpath", "BENCH_hotpath.json",
+        bands=(
+            # The herd collapse is structural (polls saved per parked
+            # waiter), but the smoke re-run herds fewer readers for
+            # fewer rounds, hence the slack.
+            Band("miss_herd.reduction", kind="ratio", tolerance=0.60),
+            # Async/threaded at 8 connections after the wire trims.
+            Band("wire_fastpath.ratio", kind="ratio", tolerance=0.45),
+            # The striping win scales with cores and contending
+            # threads; the smoke sweep stops at 16 threads.
+            Band("striping.best_ratio", kind="ratio", tolerance=0.40),
+        ),
+        measure=_measure_hotpath,
     ),
 )
 

@@ -146,6 +146,14 @@ CATALOGUE = (
         fault_plan="kill-restart", oracles=_CHAOS_ORACLES, tags=("chaos",),
     ),
     ScenarioSpec(
+        "chaos-kill-restart-striped",
+        "Kill-restart chaos against a 32-stripe cache store: the lock "
+        "striping must not change what a cold restart may serve",
+        technique="invalidate", transport="threaded", stripes=32,
+        fault_plan="kill-restart", oracles=_CHAOS_ORACLES,
+        tags=("chaos", "hotpath"),
+    ),
+    ScenarioSpec(
         "rebalance-add-invalidate",
         "A third shard joins mid-run through the lease-safe rebalancer",
         technique="invalidate", shards=2, fault_plan="rebalance-add",
@@ -181,6 +189,20 @@ CATALOGUE = (
         fault_plan="flush-herd",
         oracles=("zero-stale", "progress", "herd-misses"),
         tags=("family", "chaos"),
+    ),
+    ScenarioSpec(
+        "herd-after-flush-coalesced",
+        "The same post-flush thundering herd with a slow RDBMS compute: "
+        "backed-off readers must park on the one in-flight fill "
+        "(client miss coalescing), keeping server get traffic O(fills) "
+        "instead of O(backoff polls x waiters)",
+        technique="invalidate",
+        family=ThunderingHerd("herd-coalesced", herd_fraction=0.95,
+                              flush_interval=0.2),
+        fault_plan="flush-herd", compute_delay=0.005,
+        oracles=("zero-stale", "progress", "herd-misses",
+                 "coalesced-gets"),
+        tags=("family", "chaos", "hotpath"),
     ),
     ScenarioSpec(
         "herd-after-flush-refresh",

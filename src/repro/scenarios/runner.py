@@ -33,7 +33,7 @@ import time
 from repro.bg.actions import Technique
 from repro.bg.harness import build_bg_system
 from repro.bg.workload import mix_by_name
-from repro.config import BackoffConfig, LeaseConfig, NetConfig
+from repro.config import BackoffConfig, KVSConfig, LeaseConfig, NetConfig
 from repro.core.iq_server import IQServer
 from repro.faults import (
     FaultAction,
@@ -128,18 +128,23 @@ class _Deployment:
         lease = CHAOS_LEASE if spec.fault_plan in (
             "commit-drop", "kill-restart"
         ) else None
+        kvs = (KVSConfig(stripe_count=spec.stripes)
+               if spec.stripes is not None else None)
         if spec.transport == "inproc":
             if spec.shards > 1:
                 self.shards_arg = spec.shards
-            elif lease is not None:
-                self.iq_server = IQServer(lease_config=lease)
+            elif lease is not None or kvs is not None:
+                self.iq_server = IQServer(
+                    kvs_config=kvs or KVSConfig(),
+                    lease_config=lease or LeaseConfig(),
+                )
             return
         if spec.fault_plan == "commit-drop":
             self.injector = FaultInjector(_commit_drop_plan(), seed=seed)
         count = max(spec.shards, 1)
         for index in range(count):
             server = RestartableServer(
-                self._factory(lease), transport=spec.transport
+                self._factory(lease, kvs), transport=spec.transport
             )
             server.start()
             self.servers.append(server)
@@ -163,9 +168,10 @@ class _Deployment:
         )
 
     @staticmethod
-    def _factory(lease):
+    def _factory(lease, kvs=None):
         def build(tid_start=1):
             return IQServer(
+                kvs_config=kvs or KVSConfig(),
                 lease_config=lease or LeaseConfig(), tid_start=tid_start,
             )
         return build
@@ -313,6 +319,34 @@ def _evaluate_oracles(spec, system, result, deployment, controller,
                     controller.flushes, misses
                 ),
             ))
+        elif oracle == "coalesced-gets":
+            # The singleflight claim, live: herd waiters park on the one
+            # in-flight fill, so server-side misses stay O(fills + one
+            # first-touch poll per waiter) instead of O(backoff polls x
+            # waiters).  Every install is a set, every parked waiter
+            # polled once before joining, a refused fence costs one
+            # retry loop, and each flush can strand one first poll per
+            # worker thread -- anything beyond that budget is repoll
+            # amplification the coalescer should have absorbed.
+            coalesced = metrics.get("coalesced_fills", 0)
+            refused = metrics.get("refused_fills", 0)
+            misses = metrics.get("get_misses", 0)
+            threads = spec.threads or sizing.threads
+            # The slack term covers first polls that race the filler's
+            # flight registration (a few per worker per flush window);
+            # uncoalesced backoff repolling costs several misses per
+            # waiter per flush and blows through it.
+            budget = (metrics.get("cmd_set", 0) + coalesced + 2 * refused
+                      + 3 * threads * (controller.flushes + 2))
+            ok = coalesced > 0 and misses <= budget
+            verdicts.append(OracleVerdict(
+                "coalesced-gets", ok, count=coalesced,
+                detail="{} misses vs budget {} ({} coalesced, {} refused, "
+                       "{} sets, {} flushes)".format(
+                           misses, budget, coalesced, refused,
+                           metrics.get("cmd_set", 0), controller.flushes,
+                       ),
+            ))
         elif oracle == "migration-done":
             report = controller.migration_report
             ok = (controller.error is None and report is not None
@@ -354,6 +388,7 @@ def run_live(spec, sizing="smoke", seed=13):
             iq_server=deployment.iq_server,
             shards=deployment.shards_arg,
             hot_writes=spec.hot_writes,
+            compute_delay=spec.compute_delay,
             audit="audit-clean" in spec.oracles,
             member_sampler=(
                 family.sampler_factory() if family is not None else None
@@ -391,7 +426,16 @@ def run_live(spec, sizing="smoke", seed=13):
             "flushes": controller.flushes,
             "get_misses": snapshot.get("get_misses", 0),
             "get_hits": snapshot.get("get_hits", 0),
+            "cmd_get": snapshot.get("cmd_get", 0),
+            "cmd_set": snapshot.get("cmd_set", 0),
         }
+        flights = getattr(
+            getattr(system.consistency_client, "client", None),
+            "flights", None,
+        )
+        if flights is not None:
+            metrics["coalesced_fills"] = flights.coalesced
+            metrics["refused_fills"] = flights.refused
         if controller.migration_report is not None:
             metrics["migration_moved"] = controller.migration_report.copied
             metrics["migration_dropped"] = (

@@ -35,6 +35,7 @@ ORACLES = (
     "audit-clean",      # online IQAuditor protocol verdict
     "faults-fired",     # the fault plan actually bit
     "herd-misses",      # a flush produced misses on the herd key
+    "coalesced-gets",   # herd fills coalesced; server polls stayed O(fills)
     "migration-done",   # the mid-run migration completed
     "mc-verdict",       # model-checker exploration verdict (mc mode)
 )
@@ -74,6 +75,11 @@ class ScenarioSpec:
     members: int = None
     #: BG write-delay / acquisition knobs for read-hot configurations
     hot_writes: bool = False
+    #: cache-store lock stripes (None = the KVSConfig default)
+    stripes: int = None
+    #: per-fill RDBMS compute delay (seconds); widens the fill window
+    #: so herd entries exercise miss coalescing
+    compute_delay: float = 0.0
 
     def __post_init__(self):
         if self.technique not in TECHNIQUES:
@@ -97,6 +103,8 @@ class ScenarioSpec:
             )
         if self.fault_plan == "rebalance-add" and self.shards < 2:
             raise ValueError("rebalance-add needs shards >= 2")
+        if self.stripes is not None and self.stripes < 1:
+            raise ValueError("stripes must be >= 1")
         if (self.fault_plan in ("commit-drop", "kill-restart")
                 and self.transport == "inproc"):
             raise ValueError(

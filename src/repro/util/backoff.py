@@ -21,7 +21,23 @@ class BackoffPolicy:
 
 
 class ExponentialBackoff(BackoffPolicy):
-    """Exponentially growing delay with optional jitter and attempt cap."""
+    """Exponentially growing delay with optional jitter and attempt cap.
+
+    Two jitter shapes:
+
+    * additive (the default, ``jitter``): the delay grows by up to
+      ``jitter`` of itself -- retries stay clustered near the
+      exponential envelope;
+    * full jitter (``full_jitter=True``): the delay is drawn uniformly
+      from ``[0, envelope]``, the AWS Architecture Blog's recommendation
+      for thundering herds -- the whole window is used, so N herding
+      clients spread out instead of re-colliding at the envelope.
+      ``jitter`` is ignored in this mode.
+
+    The envelope still grows by ``multiplier`` per attempt and caps at
+    ``max_delay``; ``max_attempts`` raises
+    :class:`~repro.errors.StarvationError` identically in both modes.
+    """
 
     def __init__(self, config=None, rng=None):
         self.config = config or BackoffConfig()
@@ -35,9 +51,12 @@ class ExponentialBackoff(BackoffPolicy):
             attempt += 1
             if cfg.max_attempts is not None and attempt > cfg.max_attempts:
                 raise StarvationError(attempt - 1)
-            jittered = delay
-            if cfg.jitter:
-                jittered += delay * cfg.jitter * self._rng.random()
+            if cfg.full_jitter:
+                jittered = delay * self._rng.random()
+            else:
+                jittered = delay
+                if cfg.jitter:
+                    jittered += delay * cfg.jitter * self._rng.random()
             yield jittered
             delay = min(delay * cfg.multiplier, cfg.max_delay)
 

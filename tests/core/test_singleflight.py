@@ -1,0 +1,341 @@
+"""Client-side miss coalescing: the registry, the fences, the parking.
+
+The exhaustive proof of the fencing rule lives in
+``tests/mc/test_coalesced_scenarios.py``; this suite pins the concrete
+implementation -- registry ordering, the applied fence against real
+``flush_all``/write-session invalidations, the clock client's interval
+fence, and the parking behaviour (a waiter blocks on the one in-flight
+fill instead of re-polling the server at every backoff boundary).
+"""
+
+import threading
+
+import pytest
+
+from repro.config import BackoffConfig, ClockConfig
+from repro.core.iq_client import IQClient
+from repro.core.iq_server import IQServer
+from repro.core.policies import ClockClient, KeyChange
+from repro.core.singleflight import FillOutcome, Flight, SingleFlight
+from repro.errors import StarvationError
+from repro.util.backoff import ExponentialBackoff
+
+#: parks resolve in microseconds here; tight delays keep tests snappy
+FAST_BACKOFF = BackoffConfig(initial_delay=0.001, multiplier=2.0,
+                             max_delay=0.01, jitter=0.0)
+
+
+class TestFillOutcome:
+    def test_covers_is_half_open(self):
+        outcome = FillOutcome(b"v", valid_from=3, valid_until=7)
+        assert not outcome.covers(2)
+        assert outcome.covers(3)
+        assert outcome.covers(6)
+        assert not outcome.covers(7)
+
+    def test_unstamped_outcome_covers_nothing(self):
+        assert not FillOutcome(b"v", applied=True).covers(0)
+
+
+class TestFlight:
+    def test_wait_times_out_unresolved(self):
+        flight = Flight()
+        assert flight.wait(0.001) is None
+        assert not flight.resolved
+
+    def test_resolve_wakes_and_marks(self):
+        flight = Flight()
+        outcome = FillOutcome(b"v", applied=True)
+        flight.resolve(outcome)
+        assert flight.resolved
+        assert flight.wait(0.0) is outcome
+
+    def test_abandoned_flight_is_resolved_with_nothing(self):
+        flights = SingleFlight()
+        flight = flights.begin("k")
+        flights.abandon("k", flight)
+        assert flight.resolved
+        assert flight.wait(0.0) is None
+        assert flights.join("k") is None
+
+
+class TestRegistry:
+    def test_join_before_unregister_only(self):
+        flights = SingleFlight()
+        flight = flights.begin("k")
+        assert flights.join("k") is flight
+        flights.unregister("k", flight)
+        # The install happens after unregister; a late reader must not
+        # be able to join (its window opened after the install).
+        assert flights.join("k") is None
+
+    def test_unregister_is_a_noop_for_a_replaced_flight(self):
+        flights = SingleFlight()
+        stale = flights.begin("k")
+        fresh = flights.begin("k")
+        flights.unregister("k", stale)
+        assert flights.join("k") is fresh
+
+    def test_counters(self):
+        flights = SingleFlight()
+        flights.note(True)
+        flights.note(False)
+        flights.note(False)
+        assert flights.coalesced == 1
+        assert flights.refused == 2
+        assert flights.in_flight() == 0
+
+
+def _gated(value, started, release, calls=None):
+    """A compute() that announces entry and blocks until released."""
+    def compute():
+        if calls is not None:
+            calls.append(value)
+        started.set()
+        assert release.wait(5.0), "test deadlock: compute never released"
+        return value
+    return compute
+
+
+def _start(target):
+    thread = threading.Thread(target=target)
+    thread.start()
+    return thread
+
+
+def _await_poll(server, floor, timeout=5.0):
+    """Block until the server has seen more than ``floor`` iqget polls."""
+    deadline = 50 * timeout
+    while server.stats.snapshot()["cmd_get"] <= floor:
+        deadline -= 1
+        assert deadline > 0, "waiter never polled the server"
+        threading.Event().wait(0.02)
+
+
+class TestIQCoalescing:
+    def _run(self, coalesce=True):
+        server = IQServer()
+        client = IQClient(
+            server, backoff=ExponentialBackoff(FAST_BACKOFF),
+            coalesce_fills=coalesce,
+        )
+        return server, client
+
+    def test_waiter_is_served_from_the_applied_fill(self):
+        server, client = self._run()
+        started, release = threading.Event(), threading.Event()
+        waiter_calls, results = [], {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler",
+            client.read_through("k", _gated(b"v0", started, release))))
+        assert started.wait(5.0)
+        polls = server.stats.snapshot()["cmd_get"]
+        waiter = _start(lambda: results.setdefault(
+            "waiter",
+            client.read_through(
+                "k", _gated(b"WRONG", threading.Event(), threading.Event(),
+                            waiter_calls))))
+        _await_poll(server, polls)   # waiter polled once, now parked
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results == {"filler": b"v0", "waiter": b"v0"}
+        assert waiter_calls == []    # the waiter never touched SQL
+        assert client.flights.coalesced == 1
+        assert client.flights.in_flight() == 0
+
+    def test_parked_waiter_polls_the_server_exactly_once(self):
+        """The herd claim: parking replaces per-backoff re-polling, so a
+        fill spanning many backoff periods still costs one ``IQget`` per
+        waiter (filler lease grant + one backoff poll = 2 total)."""
+        server, client = self._run()
+        started, release = threading.Event(), threading.Event()
+        results = {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler",
+            client.read_through("k", _gated(b"v0", started, release))))
+        assert started.wait(5.0)
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read_through("k", lambda: b"WRONG")))
+        _await_poll(server, 1)
+        # Hold the fill across what would be many backoff boundaries
+        # (delays are capped at 10ms; 80ms ~ several re-polls unparked).
+        threading.Event().wait(0.08)
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results["waiter"] == b"v0"
+        assert server.stats.snapshot()["cmd_get"] == 2
+
+    def test_flush_all_during_fill_is_fenced(self):
+        """The losing interleaving from the mc witness, live: the fill
+        races a ``flush_all``; the refused install must not be consumed
+        by the waiter, which retries the wire and fills fresh."""
+        server, client = self._run()
+        started, release = threading.Event(), threading.Event()
+        results = {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler",
+            client.read_through("k", _gated(b"stale", started, release))))
+        assert started.wait(5.0)
+        polls = server.stats.snapshot()["cmd_get"]
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read_through("k", lambda: b"fresh")))
+        _await_poll(server, polls)
+        server.flush_all()           # voids the filler's I lease
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        # The filler may keep its own computed value (it serializes
+        # before the invalidation); the waiter may not.
+        assert results["filler"] == b"stale"
+        assert results["waiter"] == b"fresh"
+        assert client.flights.coalesced == 0
+        assert client.flights.refused >= 1
+        assert server.store.get("k")[0] == b"fresh"
+
+    def test_write_session_invalidation_during_fill_is_fenced(self):
+        """Same fence against the paper's own invalidation: a Q grant
+        voids the I lease mid-fill, ``dar`` deletes, install refused."""
+        server, client = self._run()
+        started, release = threading.Event(), threading.Event()
+        results = {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler",
+            client.read_through("k", _gated(b"stale", started, release))))
+        assert started.wait(5.0)
+        polls = server.stats.snapshot()["cmd_get"]
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read_through("k", lambda: b"fresh")))
+        _await_poll(server, polls)
+        tid = server.gen_id()
+        assert server.qar(tid, "k") is True
+        server.dar(tid)
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results["waiter"] == b"fresh"
+        assert client.flights.refused >= 1
+
+    def test_abandoned_flight_falls_back_to_the_wire(self):
+        """A filler whose compute finds nothing wakes waiters with no
+        outcome; a parked waiter must fall through and fill itself."""
+        server, client = self._run()
+        started, release = threading.Event(), threading.Event()
+        results = {}
+
+        def empty_compute():
+            started.set()
+            assert release.wait(5.0)
+            return None
+
+        filler = _start(lambda: results.setdefault(
+            "filler", client.read_through("k", empty_compute)))
+        assert started.wait(5.0)
+        polls = server.stats.snapshot()["cmd_get"]
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read_through("k", lambda: b"mine")))
+        _await_poll(server, polls)
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results["filler"] is None
+        assert results["waiter"] == b"mine"
+
+    def test_starvation_still_fires_while_parked(self):
+        """Parking draws from the same delays generator, so a backoff
+        attempt cap starves a parked waiter exactly as it would have
+        starved the sleep-and-repoll loop."""
+        server = IQServer()
+        capped = BackoffConfig(initial_delay=0.001, multiplier=1.0,
+                               max_delay=0.001, jitter=0.0, max_attempts=3)
+        client = IQClient(server, backoff=ExponentialBackoff(capped))
+        started, release = threading.Event(), threading.Event()
+        errors = []
+
+        filler = _start(
+            lambda: client.read_through("k", _gated(b"v", started, release)))
+        assert started.wait(5.0)
+
+        def starving_waiter():
+            try:
+                client.read_through("k", lambda: b"x")
+            except StarvationError as exc:
+                errors.append(exc)
+
+        waiter = _start(starving_waiter)
+        waiter.join(5.0)
+        release.set()
+        filler.join(5.0)
+        assert len(errors) == 1
+        assert errors[0].attempts == 3
+
+
+class TestClockCoalescing:
+    @pytest.fixture
+    def items_db(self, db):
+        connection = db.connect()
+        connection.execute(
+            "CREATE TABLE items (id INTEGER PRIMARY KEY, val INTEGER)")
+        connection.execute("INSERT INTO items (id, val) VALUES (1, 10)")
+        connection.close()
+        return db
+
+    def _client(self, iq, items_db):
+        return ClockClient(
+            iq, items_db.connect, config=ClockConfig(local_cache_entries=0),
+            backoff=ExponentialBackoff(FAST_BACKOFF),
+        )
+
+    def test_waiter_inside_the_interval_is_served(self, iq, items_db):
+        client = self._client(iq, items_db)
+        started, release = threading.Event(), threading.Event()
+        waiter_calls, results = [], {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler", client.read("k", _gated(b"fill", started, release))))
+        assert started.wait(5.0)
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read(
+                "k", _gated(b"WRONG", threading.Event(), threading.Event(),
+                            waiter_calls))))
+        threading.Event().wait(0.05)   # waiter promises, joins, parks
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results == {"filler": b"fill", "waiter": b"fill"}
+        assert waiter_calls == []
+        assert client.flights.coalesced == 1
+
+    def test_interval_expiry_is_fenced_arithmetically(self, iq, items_db):
+        """A commit that jumps the key's clock past the fill's promised
+        horizon expires the outcome for every later reader: the waiter's
+        own reading falls outside ``[valid_from, valid_until)``, so it
+        must refuse the hand-off and compute fresh."""
+        client = self._client(iq, items_db)
+        started, release = threading.Event(), threading.Event()
+        results = {}
+
+        filler = _start(lambda: results.setdefault(
+            "filler", client.read("k", _gated(b"fill", started, release))))
+        assert started.wait(5.0)
+
+        # The write commits while the fill is in flight; its clock jump
+        # invalidates the promised interval by arithmetic.
+        def bump(session):
+            session.execute("UPDATE items SET val = 11 WHERE id = 1")
+
+        client.write(bump, [KeyChange("k")])
+        waiter = _start(lambda: results.setdefault(
+            "waiter", client.read("k", lambda: b"own")))
+        threading.Event().wait(0.05)
+        release.set()
+        filler.join(5.0)
+        waiter.join(5.0)
+        assert results["waiter"] == b"own"
+        assert client.flights.coalesced == 0
+        assert client.flights.refused == 1

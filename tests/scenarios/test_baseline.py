@@ -20,8 +20,9 @@ VALID_STATUSES = {STATUS_OK, STATUS_REGRESSION, STATUS_NEW,
 
 
 class TestRegistry:
-    def test_headlines_cover_both_committed_files(self):
-        assert {h.name for h in HEADLINES} == {"pipeline", "clock"}
+    def test_headlines_cover_all_committed_files(self):
+        assert {h.name for h in HEADLINES} == {"pipeline", "clock",
+                                               "hotpath"}
 
     def test_every_band_path_resolves_in_committed_baseline(self):
         for headline in HEADLINES:

@@ -66,3 +66,20 @@ def test_kill_restart_controller_entry():
                       sizing="pytest")
     _assert_clean(report)
     assert report.metrics["kills"] >= 1
+
+
+@pytest.mark.slow
+def test_coalesced_herd_controller_entry():
+    report = run_live(by_name("herd-after-flush-coalesced"),
+                      sizing="pytest")
+    _assert_clean(report)
+    assert report.oracle("coalesced-gets").ok
+    assert report.metrics["coalesced_fills"] > 0
+
+
+@pytest.mark.slow
+def test_striped_kill_restart_controller_entry():
+    report = run_live(by_name("chaos-kill-restart-striped"),
+                      sizing="pytest")
+    _assert_clean(report)
+    assert report.metrics["kills"] >= 1

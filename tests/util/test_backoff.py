@@ -37,6 +37,46 @@ class TestExponentialBackoff:
             delay = next(delays)
             assert 0.01 <= delay <= 0.015
 
+    def test_full_jitter_draws_from_the_whole_envelope(self):
+        # Full jitter is uniform on [0, envelope]: with enough seeded
+        # draws the samples must reach both well below the undecorated
+        # delay (classic jitter can never go below it) and near the top.
+        policy = ExponentialBackoff(
+            BackoffConfig(initial_delay=0.01, multiplier=1.0,
+                          max_delay=0.01, jitter=0.5, full_jitter=True),
+            rng=random.Random(7),
+        )
+        delays = policy.delays()
+        observed = [next(delays) for _ in range(200)]
+        assert all(0.0 <= delay <= 0.01 for delay in observed)
+        assert min(observed) < 0.002      # herd-desynchronising low draws
+        assert max(observed) > 0.008      # and the envelope is still used
+        # the additive `jitter` knob is ignored: nothing exceeds the cap
+        assert max(observed) <= 0.01
+
+    def test_full_jitter_envelope_grows_and_caps(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(initial_delay=0.001, multiplier=2.0,
+                          max_delay=0.004, jitter=0.0, full_jitter=True),
+            rng=random.Random(3),
+        )
+        delays = policy.delays()
+        envelopes = [0.001, 0.002, 0.004, 0.004, 0.004]
+        for envelope in envelopes:
+            assert 0.0 <= next(delays) <= envelope
+
+    def test_full_jitter_still_starves_after_max_attempts(self):
+        policy = ExponentialBackoff(
+            BackoffConfig(max_attempts=3, full_jitter=True),
+            rng=random.Random(1),
+        )
+        delays = policy.delays()
+        for _ in range(3):
+            next(delays)
+        with pytest.raises(StarvationError) as info:
+            next(delays)
+        assert info.value.attempts == 3
+
     def test_starves_after_max_attempts(self):
         policy = ExponentialBackoff(
             BackoffConfig(max_attempts=3, jitter=0.0)
